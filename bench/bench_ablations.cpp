@@ -1,0 +1,345 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//   A1  hash join vs sort-merge join
+//   A2  CLA planner: exact statistics vs sampling estimators
+//   A3  CLA co-coding: on vs off
+//   A4  factorized GLM solvers: gradient descent vs closed-form Gramian,
+//       factorized vs materialized
+//   A5  LA executor: common-subexpression elimination on vs off
+//   A6  model search: batched grid vs successive halving
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "cla/compressed_matrix.h"
+#include "data/generators.h"
+#include "factorized/factorized_glm.h"
+#include "factorized/factorized_gramian.h"
+#include "laopt/cse.h"
+#include "laopt/fusion.h"
+#include "laopt/executor.h"
+#include "modelsel/model_selection.h"
+#include "la/kernels.h"
+#include "ml/metrics.h"
+#include "ml/sparse_glm.h"
+#include "modelsel/successive_halving.h"
+#include "ps/parameter_server.h"
+#include "relational/sort_merge_join.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace dmml;  // NOLINT
+using bench::Fmt;
+using bench::TablePrinter;
+
+void JoinAblation() {
+  std::printf("A1: hash join vs sort-merge join (nS = 30000, dS = 2, dR = 4)\n");
+  TablePrinter table({"nR", "hash_ms", "sortmerge_ms", "rows_out"});
+  for (size_t nr : {100, 1000, 10000}) {
+    data::StarSchemaOptions options;
+    options.ns = 30000;
+    options.nr = nr;
+    options.ds = 2;
+    options.dr = 4;
+    auto ds = data::MakeStarSchema(options, nr);
+    Stopwatch w1;
+    auto hj = relational::HashJoin(ds.s, ds.r, "fk", "rid");
+    double hash_ms = w1.ElapsedMillis();
+    Stopwatch w2;
+    auto smj = relational::SortMergeJoin(ds.s, ds.r, "fk", "rid");
+    double smj_ms = w2.ElapsedMillis();
+    if (!hj.ok() || !smj.ok()) std::exit(1);
+    table.Row({bench::FmtInt(static_cast<long long>(nr)), Fmt(hash_ms, 1),
+               Fmt(smj_ms, 1), bench::FmtInt(static_cast<long long>(hj->num_rows()))});
+  }
+  table.EmitCsv("A1_join");
+  std::printf("\n");
+}
+
+void PlannerAblation() {
+  std::printf("A2: CLA planner — exact vs sampling estimators (n = 100000, 8 cols)\n");
+  TablePrinter table({"planner", "plan+comp_ms", "ratio", "formats_match"});
+  auto m = data::LowCardinalityMatrix(100000, 8, 40, false, 7);
+  Stopwatch w1;
+  auto exact = cla::CompressedMatrix::Compress(m);
+  double exact_ms = w1.ElapsedMillis();
+  cla::CompressionOptions sampled_options;
+  sampled_options.sample_rows = 2000;
+  Stopwatch w2;
+  auto sampled = cla::CompressedMatrix::Compress(m, sampled_options);
+  double sampled_ms = w2.ElapsedMillis();
+  bool match = exact.groups().size() == sampled.groups().size();
+  for (size_t g = 0; match && g < exact.groups().size(); ++g) {
+    match = exact.groups()[g]->format() == sampled.groups()[g]->format();
+  }
+  table.Row({"exact", Fmt(exact_ms, 1), Fmt(exact.CompressionRatio(), 2), "-"});
+  table.Row({"sampled2k", Fmt(sampled_ms, 1), Fmt(sampled.CompressionRatio(), 2),
+             match ? "yes" : "no"});
+  table.EmitCsv("A2_planner");
+  std::printf("\n");
+}
+
+void CocodingAblation() {
+  std::printf("A3: CLA co-coding — correlated column pairs (n = 50000)\n");
+  // Columns come in perfectly correlated pairs.
+  auto base = data::LowCardinalityMatrix(50000, 3, 6, false, 9);
+  la::DenseMatrix m(50000, 6);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t p = 0; p < 3; ++p) {
+      m.At(i, 2 * p) = base.At(i, p);
+      m.At(i, 2 * p + 1) = base.At(i, p) * 3.0 - 1.0;
+    }
+  }
+  TablePrinter table({"cocoding", "groups", "bytes", "ratio"});
+  auto plain = cla::CompressedMatrix::Compress(m);
+  cla::CompressionOptions co;
+  co.enable_cocoding = true;
+  auto coded = cla::CompressedMatrix::Compress(m, co);
+  table.Row({"off", bench::FmtInt(static_cast<long long>(plain.groups().size())),
+             bench::FmtInt(static_cast<long long>(plain.SizeInBytes())),
+             Fmt(plain.CompressionRatio(), 2)});
+  table.Row({"on", bench::FmtInt(static_cast<long long>(coded.groups().size())),
+             bench::FmtInt(static_cast<long long>(coded.SizeInBytes())),
+             Fmt(coded.CompressionRatio(), 2)});
+  table.EmitCsv("A3_cocoding");
+  std::printf("\n");
+}
+
+void SolverAblation() {
+  std::printf("A4: GLM over a join — solver/representation matrix (nS = 40000)\n");
+  data::StarSchemaOptions options;
+  options.ns = 40000;
+  options.nr = 2000;
+  options.ds = 2;
+  options.dr = 20;
+  auto ds = data::MakeStarSchema(options, 11);
+  auto nm = *factorized::NormalizedMatrix::Make(ds.xs, {{ds.xr, ds.fk}});
+
+  ml::GlmConfig gd;
+  gd.learning_rate = 0.01;
+  gd.max_epochs = 20;
+  gd.tolerance = 0;
+
+  TablePrinter table({"method", "ms", "loss"});
+  {
+    Stopwatch w;
+    auto model = factorized::TrainFactorizedGlm(nm, ds.y, gd);
+    double ms = w.ElapsedMillis();
+    if (!model.ok()) std::exit(1);
+    table.Row({"fact_bgd20", Fmt(ms, 1), Fmt(model->loss_history.back(), 4)});
+  }
+  {
+    Stopwatch w;
+    auto model = factorized::TrainMaterializedGlm(nm, ds.y, gd);
+    double ms = w.ElapsedMillis();
+    if (!model.ok()) std::exit(1);
+    table.Row({"mat_bgd20", Fmt(ms, 1), Fmt(model->loss_history.back(), 4)});
+  }
+  {
+    Stopwatch w;
+    auto model = factorized::TrainFactorizedNormalEquations(nm, ds.y);
+    double ms = w.ElapsedMillis();
+    if (!model.ok()) std::exit(1);
+    auto loss = ml::GlmLoss(nm.Materialize(), ds.y, model->weights, model->intercept,
+                            ml::GlmFamily::kGaussian, 0.0);
+    table.Row({"fact_gramian", Fmt(ms, 1), Fmt(*loss, 4)});
+  }
+  {
+    Stopwatch w;
+    auto x = nm.Materialize();
+    ml::GlmConfig ne;
+    ne.solver = ml::GlmSolver::kNormalEquations;
+    auto model = ml::TrainGlm(x, ds.y, ne);
+    double ms = w.ElapsedMillis();
+    if (!model.ok()) std::exit(1);
+    table.Row({"mat_gramian", Fmt(ms, 1), Fmt(model->loss_history.back(), 4)});
+  }
+  table.EmitCsv("A4_solvers");
+  std::printf("\n");
+}
+
+void CseAblation() {
+  std::printf("A5: executor — structural CSE on vs off\n");
+  auto xm = std::make_shared<la::DenseMatrix>(data::GaussianMatrix(1500, 80, 13));
+  // Build t(X)*X three times independently inside one expression.
+  auto make_gram = [&] {
+    auto x = *laopt::ExprNode::Input(xm, "X");
+    return *laopt::ExprNode::MatMul(*laopt::ExprNode::Transpose(x), x);
+  };
+  auto expr = *laopt::ExprNode::Add(*laopt::ExprNode::Add(make_gram(), make_gram()),
+                                    make_gram());
+
+  TablePrinter table({"cse", "ops_executed", "ms"});
+  {
+    laopt::ExecStats stats;
+    Stopwatch w;
+    auto result = laopt::Execute(expr, nullptr, &stats);
+    if (!result.ok()) std::exit(1);
+    table.Row({"off", bench::FmtInt(static_cast<long long>(stats.ops_executed)),
+               Fmt(w.ElapsedMillis(), 1)});
+  }
+  {
+    auto deduped = laopt::EliminateCommonSubexpressions(expr);
+    if (!deduped.ok()) std::exit(1);
+    laopt::ExecStats stats;
+    Stopwatch w;
+    auto result = laopt::Execute(*deduped, nullptr, &stats);
+    if (!result.ok()) std::exit(1);
+    table.Row({"on", bench::FmtInt(static_cast<long long>(stats.ops_executed)),
+               Fmt(w.ElapsedMillis(), 1)});
+  }
+  table.EmitCsv("A5_cse");
+  std::printf("\n");
+}
+
+void HalvingAblation() {
+  std::printf("A6: model search — batched grid vs successive halving (16 configs)\n");
+  auto ds = data::MakeClassification(8000, 20, 0.05, 15);
+  std::vector<ml::GlmConfig> configs;
+  for (size_t i = 0; i < 16; ++i) {
+    ml::GlmConfig c;
+    c.family = ml::GlmFamily::kBinomial;
+    c.learning_rate = 0.001 * static_cast<double>(1 << (i % 8));
+    c.l2 = (i < 8) ? 0.0 : 0.01;
+    c.max_epochs = 64;
+    c.tolerance = 0;
+    configs.push_back(c);
+  }
+
+  TablePrinter table({"strategy", "wall_ms", "epoch_equiv", "winner_lr"});
+  {
+    Stopwatch w;
+    auto models = modelsel::BatchedTrainGlm(ds.x, ds.y, configs);
+    if (!models.ok()) std::exit(1);
+    // Pick by final loss.
+    size_t best = 0;
+    for (size_t c = 1; c < models->size(); ++c) {
+      if ((*models)[c].loss_history.back() < (*models)[best].loss_history.back()) {
+        best = c;
+      }
+    }
+    table.Row({"grid_batched", Fmt(w.ElapsedMillis(), 0),
+               bench::FmtInt(static_cast<long long>(16 * 64)),
+               Fmt(configs[best].learning_rate, 3)});
+  }
+  {
+    modelsel::HalvingConfig hc;
+    hc.min_epochs = 8;
+    hc.eta = 2.0;
+    Stopwatch w;
+    auto result = modelsel::SuccessiveHalving(ds.x, ds.y, configs, hc);
+    if (!result.ok()) std::exit(1);
+    table.Row({"halving", Fmt(w.ElapsedMillis(), 0),
+               bench::FmtInt(static_cast<long long>(result->total_epoch_equivalents)),
+               Fmt(configs[result->best_index].learning_rate, 3)});
+  }
+  table.EmitCsv("A6_halving");
+}
+
+void SparsePushAblation() {
+  std::printf(
+      "\nA7: PS gradient sparsification — top-k pushes with error feedback\n");
+  auto ds = data::MakeClassification(6000, 100, 0.05, 17);
+  TablePrinter table({"topk_frac", "coords_pushed", "final_loss", "accuracy"});
+  for (double frac : {1.0, 0.25, 0.05, 0.01}) {
+    ps::PsConfig config;
+    config.num_workers = 2;
+    config.epochs = 20;
+    config.batch_size = 64;
+    config.learning_rate = 0.3;
+    config.family = ml::GlmFamily::kBinomial;
+    config.topk_fraction = frac;
+    auto result = ps::TrainGlmParameterServer(ds.x, ds.y, config);
+    if (!result.ok()) std::exit(1);
+    auto labels = result->model.PredictLabels(ds.x);
+    double acc = labels.ok() ? *ml::Accuracy(ds.y, *labels) : 0.0;
+    table.Row({Fmt(frac, 2),
+               bench::FmtInt(static_cast<long long>(result->total_coordinates_pushed)),
+               Fmt(result->loss_per_epoch.back(), 4), Fmt(acc, 4)});
+  }
+  table.EmitCsv("A7_sparse_push");
+}
+
+void SparseTrainingAblation() {
+  std::printf("\nA8: GLM training — dense kernels vs CSR kernels by density\n");
+  const size_t n = 10000, d = 200;
+  TablePrinter table({"density", "dense_ms", "sparse_ms", "speedup"});
+  for (double density : {0.01, 0.05, 0.2, 0.5}) {
+    auto sparse = data::SparseGaussianMatrix(n, d, density, 19);
+    auto dense = sparse.ToDense();
+    Rng rng(20);
+    la::DenseMatrix w_true(d, 1);
+    for (size_t j = 0; j < d; ++j) w_true.At(j, 0) = rng.Normal();
+    la::DenseMatrix y = la::SparseGemv(sparse, w_true);
+
+    ml::GlmConfig config;
+    config.learning_rate = 0.2;
+    config.max_epochs = 15;
+    config.tolerance = 0;
+    Stopwatch w1;
+    auto dense_model = ml::TrainGlm(dense, y, config);
+    double dense_ms = w1.ElapsedMillis();
+    Stopwatch w2;
+    auto sparse_model = ml::TrainGlmSparse(sparse, y, config);
+    double sparse_ms = w2.ElapsedMillis();
+    if (!dense_model.ok() || !sparse_model.ok()) std::exit(1);
+    table.Row({Fmt(density, 2), Fmt(dense_ms, 1), Fmt(sparse_ms, 1),
+               Fmt(dense_ms / sparse_ms, 2)});
+  }
+  table.EmitCsv("A8_sparse_training");
+}
+
+void FusionAblation() {
+  std::printf("\nA9: executor — elementwise fusion on vs off (5-op chain)\n");
+  const size_t n = 2000, d = 500;
+  auto a = std::make_shared<la::DenseMatrix>(data::GaussianMatrix(n, d, 21));
+  auto b = std::make_shared<la::DenseMatrix>(data::GaussianMatrix(n, d, 22));
+  auto c = std::make_shared<la::DenseMatrix>(data::GaussianMatrix(n, d, 23));
+  auto ea = *laopt::ExprNode::Input(a, "A");
+  auto eb = *laopt::ExprNode::Input(b, "B");
+  auto ec = *laopt::ExprNode::Input(c, "C");
+  // 2A + B.*C - 0.5B + A.*A : five elementwise ops, four temporaries unfused.
+  auto expr = *laopt::ExprNode::Add(
+      *laopt::ExprNode::Subtract(
+          *laopt::ExprNode::Add(*laopt::ExprNode::ScalarMul(2.0, ea),
+                                *laopt::ExprNode::ElemMul(eb, ec)),
+          *laopt::ExprNode::ScalarMul(0.5, eb)),
+      *laopt::ExprNode::ElemMul(ea, ea));
+
+  constexpr int kReps = 20;
+  TablePrinter table({"fusion", "ms_per_eval", "temporaries"});
+  {
+    Stopwatch w;
+    for (int r = 0; r < kReps; ++r) {
+      auto result = laopt::Execute(expr);
+      if (!result.ok()) std::exit(1);
+    }
+    table.Row({"off", Fmt(w.ElapsedMillis() / kReps, 2), "5"});
+  }
+  {
+    laopt::FusionStats stats;
+    Stopwatch w;
+    for (int r = 0; r < kReps; ++r) {
+      auto result = laopt::ExecuteWithFusion(expr, &stats);
+      if (!result.ok()) std::exit(1);
+    }
+    table.Row({"on", Fmt(w.ElapsedMillis() / kReps, 2), "0"});
+  }
+  table.EmitCsv("A9_fusion");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation experiments over dmml design choices\n\n");
+  JoinAblation();
+  PlannerAblation();
+  CocodingAblation();
+  SolverAblation();
+  CseAblation();
+  HalvingAblation();
+  SparsePushAblation();
+  SparseTrainingAblation();
+  FusionAblation();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Experiment E8 — linear-algebra kernel microbenchmarks (google-benchmark).
+//
+// The baseline everything else stands on: dense GEMM/GEMV, sparse GEMV
+// across densities, transpose, reductions, and the dense solver.
+#include <benchmark/benchmark.h>
+
+#include "data/generators.h"
+#include "la/kernels.h"
+#include "la/ops.h"
+
+namespace {
+
+using namespace dmml;  // NOLINT
+
+void BM_DenseGemm(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto a = data::GaussianMatrix(n, n, 1);
+  auto b = data::GaussianMatrix(n, n, 2);
+  for (auto _ : state) {
+    auto c = la::Multiply(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n * n * n * 2);
+}
+BENCHMARK(BM_DenseGemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_DenseGemv(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto a = data::GaussianMatrix(n, n, 3);
+  auto x = data::GaussianMatrix(n, 1, 4);
+  for (auto _ : state) {
+    auto y = la::Gemv(a, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n * n * 2);
+}
+BENCHMARK(BM_DenseGemv)->Arg(256)->Arg(1024);
+
+void BM_SparseGemv(benchmark::State& state) {
+  const size_t n = 2048;
+  const double density = static_cast<double>(state.range(0)) / 1000.0;
+  auto a = data::SparseGaussianMatrix(n, n, density, 5);
+  auto x = data::GaussianMatrix(n, 1, 6);
+  for (auto _ : state) {
+    auto y = la::SparseGemv(a, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(a.nnz()) * 2);
+}
+BENCHMARK(BM_SparseGemv)->Arg(10)->Arg(100)->Arg(500);  // 1%, 10%, 50%.
+
+void BM_Transpose(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto a = data::GaussianMatrix(n, n, 7);
+  for (auto _ : state) {
+    auto t = la::Transpose(a);
+    benchmark::DoNotOptimize(t.data());
+  }
+}
+BENCHMARK(BM_Transpose)->Arg(256)->Arg(1024);
+
+void BM_ColumnSums(benchmark::State& state) {
+  auto a = data::GaussianMatrix(4096, 256, 8);
+  for (auto _ : state) {
+    auto s = la::ColumnSums(a);
+    benchmark::DoNotOptimize(s.data());
+  }
+}
+BENCHMARK(BM_ColumnSums);
+
+void BM_Solve(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto a = data::GaussianMatrix(n, n, 9);
+  for (size_t i = 0; i < n; ++i) a.At(i, i) += static_cast<double>(n);
+  auto b = data::GaussianMatrix(n, 1, 10);
+  for (auto _ : state) {
+    auto x = la::Solve(a, b);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Solve)->Arg(64)->Arg(128);
+
+void BM_Dot(benchmark::State& state) {
+  auto x = data::GaussianMatrix(1 << 16, 1, 11);
+  auto y = data::GaussianMatrix(1 << 16, 1, 12);
+  for (auto _ : state) {
+    double d = la::Dot(x, y);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_Dot);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Experiment E5 — parameter-server consistency modes (BSP vs ASP vs SSP).
+//
+// Trains the same logistic regression with 4 workers under each consistency
+// protocol, with a small artificial straggler jitter so the protocols
+// actually diverge on uniform hardware. Expected shape: ASP achieves the
+// highest push throughput but staler updates; BSP has zero inter-round
+// staleness and the best per-epoch convergence; SSP interpolates, with
+// observed staleness capped by its bound.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "data/generators.h"
+#include "ml/metrics.h"
+#include "ps/parameter_server.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace dmml;  // NOLINT
+using bench::Fmt;
+using bench::TablePrinter;
+
+void RunMode(TablePrinter* table, const std::string& name, ps::PsConfig config,
+             const la::DenseMatrix& x, const la::DenseMatrix& y) {
+  auto result = ps::TrainGlmParameterServer(x, y, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", name.c_str(),
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto labels = result->model.PredictLabels(x);
+  double acc = labels.ok() ? *ml::Accuracy(y, *labels) : 0.0;
+  double pushes_per_sec =
+      static_cast<double>(result->total_pushes) / result->wall_seconds;
+  table->Row({name, Fmt(result->wall_seconds * 1e3, 0), Fmt(pushes_per_sec, 0),
+              bench::FmtInt(static_cast<long long>(result->max_observed_staleness)),
+              Fmt(result->loss_per_epoch[4], 4), Fmt(result->loss_per_epoch.back(), 4),
+              Fmt(acc, 4)});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E5: parameter-server consistency — BSP vs ASP vs SSP\n");
+  std::printf("4 workers, logistic regression, straggler jitter 0.2 ms/batch\n\n");
+
+  auto ds = data::MakeClassification(8000, 20, 0.05, 11);
+
+  ps::PsConfig base;
+  base.num_workers = 4;
+  base.epochs = 12;
+  base.batch_size = 64;
+  base.learning_rate = 0.3;
+  base.family = ml::GlmFamily::kBinomial;
+  base.straggler_jitter = 0.0002;
+
+  TablePrinter table({"mode", "wall_ms", "pushes_per_s", "max_stale",
+                      "loss_ep5", "loss_final", "accuracy"},
+                     13);
+  {
+    ps::PsConfig config = base;
+    config.mode = ps::ConsistencyMode::kBsp;
+    RunMode(&table, "BSP", config, ds.x, ds.y);
+  }
+  {
+    ps::PsConfig config = base;
+    config.mode = ps::ConsistencyMode::kAsync;
+    RunMode(&table, "ASP", config, ds.x, ds.y);
+  }
+  for (size_t bound : {1, 3}) {
+    ps::PsConfig config = base;
+    config.mode = ps::ConsistencyMode::kSsp;
+    config.staleness_bound = bound;
+    RunMode(&table, "SSP_s" + std::to_string(bound), config, ds.x, ds.y);
+  }
+  table.EmitCsv("E5_ps");
+
+  std::printf(
+      "\nExpected shape (parameter-server literature): ASP shows the highest\n"
+      "push throughput and the loosest staleness; BSP bounds staleness at 1\n"
+      "with the most consistent per-epoch convergence; SSP interpolates and\n"
+      "its observed staleness never exceeds bound+1.\n");
+  return 0;
+}

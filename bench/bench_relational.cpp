@@ -1,0 +1,134 @@
+// Experiment E7 — MADlib-style in-engine ML pipeline and the relational
+// substrate's operator throughput.
+//
+// Part 1: operator microbenchmarks (scan+filter, hash join, group-by,
+// table->matrix export) in rows/second.
+// Part 2: end-to-end "train over a join" — (a) inside the engine: join, then
+// export and train; (b) matrix-native factorized path. Expected shape: the
+// relational path pays a tuple-at-a-time materialization tax; the factorized
+// path avoids it entirely — the motivation for in-DB ML the tutorial covers.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "data/generators.h"
+#include "factorized/factorized_glm.h"
+#include "factorized/normalized_matrix.h"
+#include "relational/operators.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace dmml;  // NOLINT
+using bench::Fmt;
+using bench::TablePrinter;
+
+}  // namespace
+
+int main() {
+  std::printf("E7: relational substrate throughput and in-engine ML pipeline\n\n");
+
+  data::StarSchemaOptions options;
+  options.ns = 40000;
+  options.nr = 2000;
+  options.ds = 4;
+  options.dr = 8;
+  auto ds = data::MakeStarSchema(options, 19);
+
+  std::printf("Part 1: operator throughput (nS = %zu, nR = %zu)\n", options.ns,
+              options.nr);
+  {
+    TablePrinter table({"operator", "out_rows", "ms", "Mrows_per_s"});
+    {
+      Stopwatch w;
+      auto filtered = relational::Filter(
+          ds.s, relational::Compare("y", relational::CompareOp::kGt, 0.0));
+      double ms = w.ElapsedMillis();
+      table.Row({"filter", bench::FmtInt(static_cast<long long>(filtered->num_rows())),
+                 Fmt(ms, 1), Fmt(static_cast<double>(options.ns) / ms / 1e3, 2)});
+    }
+    relational::Predicate* keep_alive = nullptr;
+    (void)keep_alive;
+    storage::Table joined(storage::Schema{});
+    {
+      Stopwatch w;
+      auto result = relational::HashJoin(ds.s, ds.r, "fk", "rid");
+      double ms = w.ElapsedMillis();
+      if (!result.ok()) return 1;
+      joined = std::move(*result);
+      table.Row({"hash_join", bench::FmtInt(static_cast<long long>(joined.num_rows())),
+                 Fmt(ms, 1), Fmt(static_cast<double>(options.ns) / ms / 1e3, 2)});
+    }
+    {
+      Stopwatch w;
+      auto grouped = relational::GroupBy(
+          ds.s, {"fk"},
+          {{relational::AggFunc::kCount, "", "n"},
+           {relational::AggFunc::kAvg, "y", "avg_y"}});
+      double ms = w.ElapsedMillis();
+      if (!grouped.ok()) return 1;
+      table.Row({"group_by", bench::FmtInt(static_cast<long long>(grouped->num_rows())),
+                 Fmt(ms, 1), Fmt(static_cast<double>(options.ns) / ms / 1e3, 2)});
+    }
+    {
+      std::vector<std::string> cols;
+      for (size_t j = 0; j < options.ds; ++j) cols.push_back("xs" + std::to_string(j));
+      for (size_t j = 0; j < options.dr; ++j) cols.push_back("xr" + std::to_string(j));
+      Stopwatch w;
+      auto m = joined.ToMatrix(cols);
+      double ms = w.ElapsedMillis();
+      if (!m.ok()) return 1;
+      table.Row({"to_matrix", bench::FmtInt(static_cast<long long>(m->rows())),
+                 Fmt(ms, 1), Fmt(static_cast<double>(options.ns) / ms / 1e3, 2)});
+    }
+    table.EmitCsv("E7A_operators");
+  }
+
+  std::printf("\nPart 2: end-to-end 'train over a join' (20-epoch linreg)\n");
+  {
+    ml::GlmConfig config;
+    config.learning_rate = 0.01;
+    config.max_epochs = 20;
+    config.tolerance = 0;
+
+    TablePrinter table({"pipeline", "prep_ms", "train_ms", "total_ms"});
+    // (a) Relational: hash join -> export matrix -> train.
+    {
+      Stopwatch w;
+      auto joined = relational::HashJoin(ds.s, ds.r, "fk", "rid");
+      if (!joined.ok()) return 1;
+      std::vector<std::string> cols;
+      for (size_t j = 0; j < options.ds; ++j) cols.push_back("xs" + std::to_string(j));
+      for (size_t j = 0; j < options.dr; ++j) cols.push_back("xr" + std::to_string(j));
+      auto x = joined->ToMatrix(cols);
+      auto y = joined->ToMatrix({"y"});
+      if (!x.ok() || !y.ok()) return 1;
+      double prep_ms = w.ElapsedMillis();
+      Stopwatch wt;
+      auto model = factorized::TrainDenseGlmMatrixForm(*x, *y, config);
+      if (!model.ok()) return 1;
+      double train_ms = wt.ElapsedMillis();
+      table.Row({"sql_join_export", Fmt(prep_ms, 1), Fmt(train_ms, 1),
+                 Fmt(prep_ms + train_ms, 1)});
+    }
+    // (b) Factorized: no join at all.
+    {
+      Stopwatch w;
+      auto nm = factorized::NormalizedMatrix::Make(ds.xs, {{ds.xr, ds.fk}});
+      if (!nm.ok()) return 1;
+      double prep_ms = w.ElapsedMillis();
+      Stopwatch wt;
+      auto model = factorized::TrainFactorizedGlm(*nm, ds.y, config);
+      if (!model.ok()) return 1;
+      double train_ms = wt.ElapsedMillis();
+      table.Row({"factorized", Fmt(prep_ms, 1), Fmt(train_ms, 1),
+                 Fmt(prep_ms + train_ms, 1)});
+    }
+    table.EmitCsv("E7B_pipeline");
+  }
+
+  std::printf(
+      "\nExpected shape: the tuple-at-a-time join/export dominates the\n"
+      "relational pipeline's cost; the factorized path trains over the same\n"
+      "logical join with near-zero preparation.\n");
+  return 0;
+}

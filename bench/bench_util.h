@@ -1,0 +1,69 @@
+/// \file bench_util.h
+/// \brief Shared table-printing helpers for the experiment harnesses.
+///
+/// Each bench binary regenerates one experiment from EXPERIMENTS.md and
+/// prints a fixed-width table plus a machine-readable CSV block, so results
+/// can be eyeballed and scraped.
+#ifndef DMML_BENCH_BENCH_UTIL_H_
+#define DMML_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dmml::bench {
+
+/// \brief Fixed-width table writer: header once, then one row per Row() call.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns, int width = 14)
+      : columns_(std::move(columns)), width_(width) {
+    for (const auto& c : columns_) std::printf("%*s", width_, c.c_str());
+    std::printf("\n");
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      for (int j = 0; j < width_; ++j) std::printf("-");
+    }
+    std::printf("\n");
+  }
+
+  /// \brief Prints one row; `cells` must match the header arity.
+  void Row(const std::vector<std::string>& cells) {
+    for (const auto& c : cells) std::printf("%*s", width_, c.c_str());
+    std::printf("\n");
+    rows_.push_back(cells);
+  }
+
+  /// \brief Emits the whole table again as CSV between marker lines.
+  void EmitCsv(const std::string& tag) const {
+    std::printf("#CSV-BEGIN %s\n", tag.c_str());
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      std::printf("%s%s", i ? "," : "", columns_[i].c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        std::printf("%s%s", i ? "," : "", row[i].c_str());
+      }
+      std::printf("\n");
+    }
+    std::printf("#CSV-END %s\n", tag.c_str());
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  int width_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Formats a double with the given precision.
+inline std::string Fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string FmtInt(long long v) { return std::to_string(v); }
+
+}  // namespace dmml::bench
+
+#endif  // DMML_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,76 @@
+// Iterative analytics directly on compressed data.
+//
+// Compresses a telemetry-like matrix (low-cardinality status codes, sorted
+// timestamps bucketed into runs, a sparse error-count column), inspects the
+// chosen encodings, then runs ridge regression *entirely on the compressed
+// matrix* — the CLA execution model.
+#include <cstdio>
+
+#include "cla/compressed_matrix.h"
+#include "data/generators.h"
+#include "la/kernels.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+using namespace dmml;  // NOLINT
+
+int main() {
+  std::printf("== compressed analytics: ridge regression on compressed data ==\n\n");
+
+  const size_t n = 60000;
+  // Build an 8-column telemetry matrix with mixed compressibility.
+  la::DenseMatrix x(n, 8);
+  {
+    auto status = data::LowCardinalityMatrix(n, 3, 6, false, 1);     // Status codes.
+    auto buckets = data::LowCardinalityMatrix(n, 2, 24, true, 2);    // Hour buckets.
+    Rng rng(3);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < 3; ++j) x.At(i, j) = status.At(i, j);
+      for (size_t j = 0; j < 2; ++j) x.At(i, 3 + j) = buckets.At(i, j);
+      if (rng.Bernoulli(0.03)) x.At(i, 5) = rng.UniformInt(int64_t{1}, int64_t{20});
+      x.At(i, 6) = rng.Normal(50, 10);   // Continuous gauge (incompressible).
+      x.At(i, 7) = rng.Normal(0, 1);     // Continuous gauge (incompressible).
+    }
+  }
+
+  Stopwatch wc;
+  auto cm = cla::CompressedMatrix::Compress(x);
+  std::printf("compressed %zux%zu in %.1f ms\n", x.rows(), x.cols(),
+              wc.ElapsedMillis());
+  std::printf("encodings: %s\n", cm.FormatSummary().c_str());
+  std::printf("compression ratio: %.2fx (%.1f MB -> %.1f MB)\n\n",
+              cm.CompressionRatio(),
+              static_cast<double>(n * 8 * 8) / (1024 * 1024.0),
+              static_cast<double>(cm.SizeInBytes()) / (1024 * 1024.0));
+
+  // Synthesize a target and run ridge regression on the compressed matrix:
+  // w -= lr * (X^T (X w - y) / n + l2 w), all ops on compressed X.
+  Rng rng(4);
+  la::DenseMatrix w_true(8, 1);
+  for (size_t j = 0; j < 8; ++j) w_true.At(j, 0) = rng.Normal();
+  la::DenseMatrix y = *cm.MultiplyVector(w_true);
+  for (size_t i = 0; i < n; ++i) y.At(i, 0) += rng.Normal(0, 0.5);
+
+  la::DenseMatrix w(8, 1);
+  const double lr = 2e-4, l2 = 1e-4, inv_n = 1.0 / static_cast<double>(n);
+  Stopwatch wt;
+  for (int epoch = 0; epoch < 150; ++epoch) {
+    auto scores = *cm.MultiplyVector(w);
+    la::DenseMatrix residual = la::Subtract(scores, y);
+    auto grad = *cm.VectorMultiply(residual);
+    for (size_t j = 0; j < 8; ++j) {
+      w.At(j, 0) -= lr * (grad.At(0, j) * inv_n + l2 * w.At(j, 0));
+    }
+  }
+  std::printf("150 GD epochs on compressed data: %.1f ms\n", wt.ElapsedMillis());
+
+  auto fitted = *cm.MultiplyVector(w);
+  std::printf("fit quality R^2 = %.4f\n", *ml::R2(y, fitted));
+  std::printf("recovered weights vs truth (first 4): ");
+  for (size_t j = 0; j < 4; ++j) {
+    std::printf("%.2f/%.2f ", w.At(j, 0), w_true.At(j, 0));
+  }
+  std::printf("\n");
+  return 0;
+}

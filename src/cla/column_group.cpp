@@ -1,0 +1,102 @@
+#include "cla/column_group.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dmml::cla {
+
+const char* GroupFormatName(GroupFormat format) {
+  switch (format) {
+    case GroupFormat::kUncompressed: return "UC";
+    case GroupFormat::kDdc: return "DDC";
+    case GroupFormat::kRle: return "RLE";
+    case GroupFormat::kOle: return "OLE";
+  }
+  return "?";
+}
+
+CodeArray::CodeArray(size_t n, size_t cardinality) : size_(n) {
+  if (cardinality <= 256) {
+    width_ = 1;
+    data8_.resize(n);
+  } else if (cardinality <= 65536) {
+    width_ = 2;
+    data16_.resize(n);
+  } else {
+    width_ = 4;
+    data32_.resize(n);
+  }
+}
+
+void CodeArray::Set(size_t i, uint32_t code) {
+  switch (width_) {
+    case 1:
+      DMML_CHECK_LT(code, 256u);
+      data8_[i] = static_cast<uint8_t>(code);
+      break;
+    case 2:
+      DMML_CHECK_LT(code, 65536u);
+      data16_[i] = static_cast<uint16_t>(code);
+      break;
+    default:
+      data32_[i] = code;
+  }
+}
+
+void ColumnGroup::MultiplyMatrix(const la::DenseMatrix& m, la::DenseMatrix* y) const {
+  const size_t n = y->rows();
+  const size_t k = m.cols();
+  std::vector<double> v(m.rows());
+  std::vector<double> ycol(n);
+  for (size_t c = 0; c < k; ++c) {
+    for (size_t r = 0; r < m.rows(); ++r) v[r] = m.At(r, c);
+    std::fill(ycol.begin(), ycol.end(), 0.0);
+    MultiplyVector(v.data(), ycol.data(), n);
+    for (size_t i = 0; i < n; ++i) y->At(i, c) += ycol[i];
+  }
+}
+
+void ColumnGroup::TransposeMultiplyMatrix(const la::DenseMatrix& m,
+                                          la::DenseMatrix* out) const {
+  const size_t n = m.rows();
+  const size_t k = m.cols();
+  std::vector<double> u(n);
+  std::vector<double> row(out->rows());
+  for (size_t c = 0; c < k; ++c) {
+    for (size_t i = 0; i < n; ++i) u[i] = m.At(i, c);
+    std::fill(row.begin(), row.end(), 0.0);
+    VectorMultiply(u.data(), n, row.data());
+    for (size_t j = 0; j < out->rows(); ++j) out->At(j, c) += row[j];
+  }
+}
+
+void BuildDictionary(const la::DenseMatrix& m, const std::vector<uint32_t>& columns,
+                     GroupDictionary* dict, std::vector<uint32_t>* codes) {
+  const size_t n = m.rows();
+  const size_t w = columns.size();
+  dict->width = w;
+  dict->values.clear();
+  codes->resize(n);
+
+  // Key tuples by their raw byte pattern (exact-value dictionary).
+  std::unordered_map<std::string, uint32_t> index;
+  std::string key(w * sizeof(double), '\0');
+  std::vector<double> tuple(w);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < w; ++j) tuple[j] = m.At(i, columns[j]);
+    std::memcpy(key.data(), tuple.data(), w * sizeof(double));
+    auto [it, inserted] =
+        index.emplace(key, static_cast<uint32_t>(dict->num_entries()));
+    if (inserted) {
+      dict->values.insert(dict->values.end(), tuple.begin(), tuple.end());
+    }
+    (*codes)[i] = it->second;
+  }
+}
+
+}  // namespace dmml::cla

@@ -1,0 +1,131 @@
+/// \file column_group.h
+/// \brief Compressed column-group interface and shared encoding helpers.
+///
+/// A compressed matrix is a set of column groups, each covering one or more
+/// columns (co-coding) under one encoding: uncompressed (UC), dense
+/// dictionary coding (DDC), run-length (RLE) or offset-list (OLE). All
+/// linear-algebra ops are pushed down to the groups, which operate directly
+/// on their compressed representation — the core idea of compressed linear
+/// algebra (CLA).
+#ifndef DMML_CLA_COLUMN_GROUP_H_
+#define DMML_CLA_COLUMN_GROUP_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "la/dense_matrix.h"
+
+namespace dmml::cla {
+
+/// Encoding kind of a column group.
+enum class GroupFormat : uint8_t { kUncompressed, kDdc, kRle, kOle };
+
+/// \brief Name of a format ("UC", "DDC", "RLE", "OLE").
+const char* GroupFormatName(GroupFormat format);
+
+/// \brief One compressed column group covering `columns()` of the matrix.
+class ColumnGroup {
+ public:
+  virtual ~ColumnGroup() = default;
+
+  /// \brief Global column indices this group encodes.
+  const std::vector<uint32_t>& columns() const { return columns_; }
+
+  /// \brief Encoding of this group.
+  virtual GroupFormat format() const = 0;
+
+  /// \brief In-memory footprint of the compressed representation in bytes
+  /// (dictionary + codes/runs/offsets + column index metadata).
+  virtual size_t SizeInBytes() const = 0;
+
+  /// \brief Scatters this group's values into a dense matrix (which must be
+  /// zero-initialized in this group's columns).
+  virtual void Decompress(la::DenseMatrix* out) const = 0;
+
+  /// \brief y += (group block) · v, reading v at this group's columns.
+  /// `v` is the full-length (cols) vector, `y` has length `n` rows.
+  virtual void MultiplyVector(const double* v, double* y, size_t n) const = 0;
+
+  /// \brief out[col] += Σ_i u[i] * value(i, col) for this group's columns.
+  virtual void VectorMultiply(const double* u, size_t n, double* out) const = 0;
+
+  /// \brief y += (group block) · M for M of shape (total_cols x k); y is
+  /// (n x k) row-major. The base implementation loops MultiplyVector per
+  /// output column; encodings override it with dictionary pre-aggregation.
+  virtual void MultiplyMatrix(const la::DenseMatrix& m, la::DenseMatrix* y) const;
+
+  /// \brief out(col, c) += Σ_i m(i, c) * value(i, col): the (d x k) block of
+  /// (group block)ᵀ · M for M of shape (n x k). Base implementation loops
+  /// VectorMultiply per column of M.
+  virtual void TransposeMultiplyMatrix(const la::DenseMatrix& m,
+                                       la::DenseMatrix* out) const;
+
+  /// \brief Sum of all values in the group.
+  virtual double Sum() const = 0;
+
+  /// \brief out[i] += Σ_j value(i, col_j)² — this group's contribution to
+  /// per-row squared norms (used by compressed k-means).
+  virtual void AddRowSquaredNorms(double* out, size_t n) const = 0;
+
+  /// \brief Number of dictionary entries (0 for uncompressed).
+  virtual size_t DictionarySize() const = 0;
+
+ protected:
+  explicit ColumnGroup(std::vector<uint32_t> columns) : columns_(std::move(columns)) {}
+
+  std::vector<uint32_t> columns_;
+};
+
+/// \brief Packed code array choosing 1/2/4-byte codes from the cardinality.
+class CodeArray {
+ public:
+  CodeArray() = default;
+
+  /// \brief Allocates `n` codes wide enough for `cardinality` values.
+  CodeArray(size_t n, size_t cardinality);
+
+  void Set(size_t i, uint32_t code);
+  uint32_t Get(size_t i) const {
+    switch (width_) {
+      case 1: return data8_[i];
+      case 2: return data16_[i];
+      default: return data32_[i];
+    }
+  }
+
+  size_t size() const { return size_; }
+
+  /// \brief Bytes used by the code storage.
+  size_t SizeInBytes() const { return size_ * width_; }
+
+  /// \brief Code width in bytes (1, 2 or 4).
+  int width() const { return width_; }
+
+ private:
+  size_t size_ = 0;
+  int width_ = 1;
+  std::vector<uint8_t> data8_;
+  std::vector<uint16_t> data16_;
+  std::vector<uint32_t> data32_;
+};
+
+/// \brief Dictionary of distinct row tuples for a column group: `width`
+/// doubles per entry, stored row-major.
+struct GroupDictionary {
+  size_t width = 1;
+  std::vector<double> values;  ///< num_entries * width.
+
+  size_t num_entries() const { return width ? values.size() / width : 0; }
+  const double* Entry(size_t e) const { return values.data() + e * width; }
+  size_t SizeInBytes() const { return values.size() * sizeof(double); }
+};
+
+/// \brief Builds the dictionary and per-row codes for `columns` of `m`.
+/// Entry order is first-appearance order.
+void BuildDictionary(const la::DenseMatrix& m, const std::vector<uint32_t>& columns,
+                     GroupDictionary* dict, std::vector<uint32_t>* codes);
+
+}  // namespace dmml::cla
+
+#endif  // DMML_CLA_COLUMN_GROUP_H_

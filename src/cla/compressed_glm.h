@@ -1,0 +1,22 @@
+/// \file compressed_glm.h
+/// \brief GLM training executed directly on a compressed matrix — CLA's
+/// headline use case: iterative ML without decompression.
+#ifndef DMML_CLA_COMPRESSED_GLM_H_
+#define DMML_CLA_COMPRESSED_GLM_H_
+
+#include "cla/compressed_matrix.h"
+#include "ml/glm.h"
+#include "util/result.h"
+
+namespace dmml::cla {
+
+/// \brief Batch-gradient GLM training where every X·w and Xᵀ·g runs on the
+/// compressed representation. Produces results identical (to fp reordering)
+/// to the dense matrix-form trainer.
+Result<ml::GlmModel> TrainCompressedGlm(const CompressedMatrix& x,
+                                        const la::DenseMatrix& y,
+                                        const ml::GlmConfig& config);
+
+}  // namespace dmml::cla
+
+#endif  // DMML_CLA_COMPRESSED_GLM_H_

@@ -1,0 +1,87 @@
+#include "cla/compressed_kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "la/kernels.h"
+#include "util/rng.h"
+
+namespace dmml::cla {
+
+using la::DenseMatrix;
+using ml::KMeansConfig;
+using ml::KMeansModel;
+
+Result<KMeansModel> TrainCompressedKMeans(const CompressedMatrix& x,
+                                          const KMeansConfig& config) {
+  const size_t n = x.rows(), d = x.cols(), k = config.k;
+  if (k == 0 || k > n) return Status::InvalidArgument("k must be in [1, n]");
+
+  // Initial centers: k sampled rows, extracted via a one-hot
+  // transpose-multiply so no decompression is needed.
+  KMeansModel model;
+  model.centers = DenseMatrix(k, d);
+  {
+    Rng rng(config.seed);
+    DenseMatrix onehots(n, k);
+    for (size_t c = 0; c < k; ++c) {
+      onehots.At(rng.UniformInt(static_cast<uint64_t>(n)), c) = 1.0;
+    }
+    DMML_ASSIGN_OR_RETURN(DenseMatrix cols, x.TransposeMultiplyMatrix(onehots));
+    model.centers = la::Transpose(cols);  // k x d.
+  }
+  model.labels.assign(n, 0);
+
+  DenseMatrix row_norms = x.RowSquaredNorms();
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  for (size_t iter = 0; iter < config.max_iters; ++iter) {
+    DenseMatrix ct = la::Transpose(model.centers);  // d x k.
+    DMML_ASSIGN_OR_RETURN(DenseMatrix cross, x.MultiplyMatrix(ct));
+
+    std::vector<double> center_norms(k);
+    for (size_t c = 0; c < k; ++c) {
+      center_norms[c] = la::Dot(model.centers.Row(c), model.centers.Row(c), d);
+    }
+
+    double inertia = 0;
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < k; ++c) {
+        double dist = row_norms.At(i, 0) - 2.0 * cross.At(i, c) + center_norms[c];
+        if (dist < best_d) {
+          best_d = dist;
+          best = c;
+        }
+      }
+      model.labels[i] = static_cast<int>(best);
+      inertia += std::max(0.0, best_d);
+    }
+
+    DenseMatrix assign(n, k);
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      assign.At(i, static_cast<size_t>(model.labels[i])) = 1.0;
+      counts[static_cast<size_t>(model.labels[i])]++;
+    }
+    DMML_ASSIGN_OR_RETURN(DenseMatrix sums, x.TransposeMultiplyMatrix(assign));
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // Keep the stale center.
+      double inv = 1.0 / static_cast<double>(counts[c]);
+      for (size_t j = 0; j < d; ++j) model.centers.At(c, j) = sums.At(j, c) * inv;
+    }
+
+    model.inertia = inertia;
+    model.inertia_history.push_back(inertia);
+    model.iters_run = iter + 1;
+    if (std::isfinite(prev_inertia) &&
+        std::fabs(prev_inertia - inertia) <=
+            config.tolerance * std::max(1.0, prev_inertia)) {
+      break;
+    }
+    prev_inertia = inertia;
+  }
+  return model;
+}
+
+}  // namespace dmml::cla

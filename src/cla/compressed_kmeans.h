@@ -1,0 +1,24 @@
+/// \file compressed_kmeans.h
+/// \brief Lloyd's k-means executed entirely on a compressed matrix — the
+/// CLA execution model: iterative ML without decompression.
+///
+/// Uses the same distance decomposition as the factorized variant
+/// (rownorms − 2·X·Cᵀ + colnorms), with X·Cᵀ evaluated by the compressed
+/// MultiplyMatrix kernel and the update step by TransposeMultiplyMatrix.
+#ifndef DMML_CLA_COMPRESSED_KMEANS_H_
+#define DMML_CLA_COMPRESSED_KMEANS_H_
+
+#include "cla/compressed_matrix.h"
+#include "ml/kmeans.h"
+#include "util/result.h"
+
+namespace dmml::cla {
+
+/// \brief Runs Lloyd's k-means on the logical content of `x` using only
+/// compressed operators. Initial centers are decompressed sample rows.
+Result<ml::KMeansModel> TrainCompressedKMeans(const CompressedMatrix& x,
+                                              const ml::KMeansConfig& config);
+
+}  // namespace dmml::cla
+
+#endif  // DMML_CLA_COMPRESSED_KMEANS_H_

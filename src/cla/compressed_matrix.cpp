@@ -1,0 +1,301 @@
+#include "cla/compressed_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cla/ddc_group.h"
+#include "cla/ole_group.h"
+#include "cla/rle_group.h"
+#include "cla/uncompressed_group.h"
+#include "util/logging.h"
+
+namespace dmml::cla {
+
+using la::DenseMatrix;
+
+ColumnStats CompressedMatrix::AnalyzeColumn(const DenseMatrix& dense, size_t col) {
+  const size_t n = dense.rows();
+  ColumnStats stats;
+  std::unordered_set<double> distinct;
+  size_t i = 0;
+  while (i < n) {
+    double v = dense.At(i, col);
+    distinct.insert(v);
+    size_t j = i;
+    while (j + 1 < n && dense.At(j + 1, col) == v) ++j;
+    if (v != 0.0) {
+      stats.num_runs++;
+      stats.num_nonzero += j - i + 1;
+    }
+    i = j + 1;
+  }
+  stats.cardinality = distinct.size();
+  stats.uc_size = n * sizeof(double) + sizeof(uint32_t);
+  stats.ddc_size = DdcGroup::EstimateSize(n, stats.cardinality, 1);
+  // RLE/OLE dictionaries exclude the zero tuple.
+  size_t nz_card = stats.cardinality - (distinct.count(0.0) ? 1 : 0);
+  stats.rle_size = RleGroup::EstimateSize(stats.num_runs, nz_card, 1);
+  stats.ole_size = OleGroup::EstimateSize(stats.num_nonzero, nz_card, 1);
+  return stats;
+}
+
+ColumnStats CompressedMatrix::AnalyzeColumnSampled(const DenseMatrix& dense,
+                                                   size_t col, size_t sample_rows) {
+  const size_t n = dense.rows();
+  if (sample_rows == 0 || sample_rows >= n) return AnalyzeColumn(dense, col);
+  const size_t stride = n / sample_rows;
+
+  // Sample statistics over evenly-spaced rows; adjacent-pair comparisons
+  // estimate the run density at the sampled stride.
+  std::unordered_map<double, size_t> freq;
+  size_t sampled = 0, value_changes = 0, nonzero = 0;
+  double prev = 0;
+  bool has_prev = false;
+  for (size_t i = 0; i < n; i += stride) {
+    double v = dense.At(i, col);
+    freq[v]++;
+    ++sampled;
+    if (v != 0.0) ++nonzero;
+    if (has_prev && v != prev) ++value_changes;
+    prev = v;
+    has_prev = true;
+  }
+
+  ColumnStats stats;
+  // Chao1 cardinality estimate: d_obs + f1^2 / (2 f2), capped by n.
+  size_t f1 = 0, f2 = 0;
+  bool zero_seen = freq.count(0.0) > 0;
+  for (const auto& [_, c] : freq) {
+    if (c == 1) ++f1;
+    else if (c == 2) ++f2;
+  }
+  double chao = static_cast<double>(freq.size());
+  if (f1 > 0) {
+    chao += static_cast<double>(f1) * static_cast<double>(f1) /
+            (2.0 * static_cast<double>(f2 > 0 ? f2 : 1));
+  }
+  stats.cardinality = static_cast<size_t>(std::min<double>(chao, static_cast<double>(n)));
+  // Runs: the change rate among sampled neighbors scales to full length.
+  double change_rate =
+      sampled > 1 ? static_cast<double>(value_changes) / static_cast<double>(sampled - 1)
+                  : 0.0;
+  // At stride > 1 the sampled change rate overestimates per-row changes for
+  // clustered data but is exact in the limit of random order — the same
+  // upper-bound bias the CLA estimators accept.
+  stats.num_runs = std::max<size_t>(
+      1, static_cast<size_t>(change_rate * static_cast<double>(n)));
+  stats.num_nonzero = static_cast<size_t>(
+      static_cast<double>(nonzero) / static_cast<double>(sampled) *
+      static_cast<double>(n));
+
+  stats.uc_size = n * sizeof(double) + sizeof(uint32_t);
+  stats.ddc_size = DdcGroup::EstimateSize(n, stats.cardinality, 1);
+  size_t nz_card = stats.cardinality - (zero_seen ? 1 : 0);
+  if (nz_card == 0) nz_card = 1;
+  stats.rle_size = RleGroup::EstimateSize(stats.num_runs, nz_card, 1);
+  stats.ole_size = OleGroup::EstimateSize(stats.num_nonzero, nz_card, 1);
+  return stats;
+}
+
+namespace {
+
+GroupFormat BestFormat(const ColumnStats& stats, double min_gain, size_t* best_size) {
+  GroupFormat fmt = GroupFormat::kUncompressed;
+  size_t best = stats.uc_size;
+  auto consider = [&](GroupFormat f, size_t size) {
+    if (size < best) {
+      best = size;
+      fmt = f;
+    }
+  };
+  consider(GroupFormat::kDdc, stats.ddc_size);
+  consider(GroupFormat::kRle, stats.rle_size);
+  consider(GroupFormat::kOle, stats.ole_size);
+  if (static_cast<double>(best) >
+      min_gain * static_cast<double>(stats.uc_size)) {
+    fmt = GroupFormat::kUncompressed;
+    best = stats.uc_size;
+  }
+  *best_size = best;
+  return fmt;
+}
+
+std::unique_ptr<ColumnGroup> BuildGroup(const DenseMatrix& dense,
+                                        std::vector<uint32_t> cols, GroupFormat fmt) {
+  switch (fmt) {
+    case GroupFormat::kDdc: return std::make_unique<DdcGroup>(dense, std::move(cols));
+    case GroupFormat::kRle: return std::make_unique<RleGroup>(dense, std::move(cols));
+    case GroupFormat::kOle: return std::make_unique<OleGroup>(dense, std::move(cols));
+    case GroupFormat::kUncompressed:
+      return std::make_unique<UncompressedGroup>(dense, std::move(cols));
+  }
+  return nullptr;
+}
+
+// Exact joint cardinality of a column pair.
+size_t JointCardinality(const DenseMatrix& dense, uint32_t a, uint32_t b) {
+  std::unordered_set<std::string> distinct;
+  std::string key(2 * sizeof(double), '\0');
+  for (size_t i = 0; i < dense.rows(); ++i) {
+    double va = dense.At(i, a), vb = dense.At(i, b);
+    std::memcpy(key.data(), &va, sizeof(double));
+    std::memcpy(key.data() + sizeof(double), &vb, sizeof(double));
+    distinct.insert(key);
+  }
+  return distinct.size();
+}
+
+}  // namespace
+
+CompressedMatrix CompressedMatrix::Compress(const DenseMatrix& dense,
+                                            const CompressionOptions& options) {
+  CompressedMatrix cm;
+  cm.rows_ = dense.rows();
+  cm.cols_ = dense.cols();
+
+  struct Plan {
+    uint32_t col;
+    GroupFormat fmt;
+    size_t size;
+    size_t cardinality;
+    bool merged = false;
+  };
+  std::vector<Plan> plans;
+  plans.reserve(dense.cols());
+  for (size_t c = 0; c < dense.cols(); ++c) {
+    ColumnStats stats = options.sample_rows > 0
+                            ? AnalyzeColumnSampled(dense, c, options.sample_rows)
+                            : AnalyzeColumn(dense, c);
+    size_t best_size = 0;
+    GroupFormat fmt = BestFormat(stats, options.min_compression_gain, &best_size);
+    plans.push_back({static_cast<uint32_t>(c), fmt, best_size, stats.cardinality});
+  }
+
+  // Greedy pairwise co-coding among DDC-compressible columns with small
+  // dictionaries: merge when the joint DDC size undercuts the separate plans.
+  if (options.enable_cocoding) {
+    std::vector<size_t> candidates;
+    for (size_t p = 0; p < plans.size(); ++p) {
+      if (plans[p].fmt == GroupFormat::kDdc) candidates.push_back(p);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [&](size_t a, size_t b) {
+                return plans[a].cardinality < plans[b].cardinality;
+              });
+    for (size_t k = 0; k + 1 < candidates.size(); k += 1) {
+      size_t pa = candidates[k];
+      if (plans[pa].merged) continue;
+      for (size_t l = k + 1; l < candidates.size(); ++l) {
+        size_t pb = candidates[l];
+        if (plans[pb].merged) continue;
+        size_t joint_card = JointCardinality(dense, plans[pa].col, plans[pb].col);
+        size_t joint_size = DdcGroup::EstimateSize(dense.rows(), joint_card, 2);
+        if (static_cast<double>(joint_size) <=
+            options.cocode_threshold *
+                static_cast<double>(plans[pa].size + plans[pb].size)) {
+          cm.groups_.push_back(BuildGroup(dense, {plans[pa].col, plans[pb].col},
+                                          GroupFormat::kDdc));
+          plans[pa].merged = plans[pb].merged = true;
+          break;
+        }
+      }
+    }
+  }
+
+  for (const Plan& plan : plans) {
+    if (plan.merged) continue;
+    cm.groups_.push_back(BuildGroup(dense, {plan.col}, plan.fmt));
+  }
+  return cm;
+}
+
+size_t CompressedMatrix::SizeInBytes() const {
+  size_t bytes = 0;
+  for (const auto& g : groups_) bytes += g->SizeInBytes();
+  return bytes;
+}
+
+double CompressedMatrix::CompressionRatio() const {
+  size_t dense_bytes = rows_ * cols_ * sizeof(double);
+  size_t compressed = SizeInBytes();
+  return compressed ? static_cast<double>(dense_bytes) /
+                          static_cast<double>(compressed)
+                    : 0.0;
+}
+
+Result<DenseMatrix> CompressedMatrix::MultiplyVector(const DenseMatrix& v) const {
+  if (v.rows() != cols_ || v.cols() != 1) {
+    return Status::InvalidArgument("MultiplyVector expects a (cols x 1) vector");
+  }
+  DenseMatrix y(rows_, 1);
+  for (const auto& g : groups_) g->MultiplyVector(v.data(), y.data(), rows_);
+  return y;
+}
+
+Result<DenseMatrix> CompressedMatrix::VectorMultiply(const DenseMatrix& u) const {
+  if (u.rows() != rows_ || u.cols() != 1) {
+    return Status::InvalidArgument("VectorMultiply expects a (rows x 1) vector");
+  }
+  DenseMatrix y(1, cols_);
+  for (const auto& g : groups_) g->VectorMultiply(u.data(), rows_, y.data());
+  return y;
+}
+
+Result<DenseMatrix> CompressedMatrix::MultiplyMatrix(const DenseMatrix& m) const {
+  if (m.rows() != cols_) {
+    return Status::InvalidArgument("MultiplyMatrix expects a (cols x k) matrix");
+  }
+  DenseMatrix y(rows_, m.cols());
+  for (const auto& g : groups_) g->MultiplyMatrix(m, &y);
+  return y;
+}
+
+Result<DenseMatrix> CompressedMatrix::TransposeMultiplyMatrix(
+    const DenseMatrix& m) const {
+  if (m.rows() != rows_) {
+    return Status::InvalidArgument("TransposeMultiplyMatrix expects a (rows x k) matrix");
+  }
+  DenseMatrix y(cols_, m.cols());
+  for (const auto& g : groups_) g->TransposeMultiplyMatrix(m, &y);
+  return y;
+}
+
+DenseMatrix CompressedMatrix::RowSquaredNorms() const {
+  DenseMatrix out(rows_, 1);
+  for (const auto& g : groups_) g->AddRowSquaredNorms(out.data(), rows_);
+  return out;
+}
+
+double CompressedMatrix::Sum() const {
+  double acc = 0;
+  for (const auto& g : groups_) acc += g->Sum();
+  return acc;
+}
+
+DenseMatrix CompressedMatrix::Decompress() const {
+  DenseMatrix out(rows_, cols_);
+  for (const auto& g : groups_) g->Decompress(&out);
+  return out;
+}
+
+std::string CompressedMatrix::FormatSummary() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < groups_.size(); ++i) {
+    if (i) os << " ";
+    os << "[";
+    const auto& cols = groups_[i]->columns();
+    for (size_t j = 0; j < cols.size(); ++j) {
+      if (j) os << ",";
+      os << cols[j];
+    }
+    os << "]:" << GroupFormatName(groups_[i]->format()) << "("
+       << groups_[i]->SizeInBytes() << "B)";
+  }
+  return os.str();
+}
+
+}  // namespace dmml::cla

@@ -1,0 +1,130 @@
+#include "cla/ddc_group.h"
+
+namespace dmml::cla {
+
+DdcGroup::DdcGroup(const la::DenseMatrix& m, std::vector<uint32_t> columns)
+    : ColumnGroup(std::move(columns)), n_(m.rows()) {
+  std::vector<uint32_t> raw_codes;
+  BuildDictionary(m, columns_, &dict_, &raw_codes);
+  codes_ = CodeArray(n_, dict_.num_entries());
+  for (size_t i = 0; i < n_; ++i) codes_.Set(i, raw_codes[i]);
+}
+
+size_t DdcGroup::SizeInBytes() const {
+  return dict_.SizeInBytes() + codes_.SizeInBytes() +
+         columns_.size() * sizeof(uint32_t);
+}
+
+size_t DdcGroup::EstimateSize(size_t n, size_t cardinality, size_t width) {
+  size_t code_width = cardinality <= 256 ? 1 : (cardinality <= 65536 ? 2 : 4);
+  return cardinality * width * sizeof(double) + n * code_width +
+         width * sizeof(uint32_t);
+}
+
+void DdcGroup::Decompress(la::DenseMatrix* out) const {
+  const size_t w = columns_.size();
+  for (size_t i = 0; i < n_; ++i) {
+    const double* entry = dict_.Entry(codes_.Get(i));
+    for (size_t j = 0; j < w; ++j) out->At(i, columns_[j]) = entry[j];
+  }
+}
+
+void DdcGroup::MultiplyVector(const double* v, double* y, size_t n) const {
+  (void)n;
+  // Pre-aggregate the dictionary against v once: O(card * w), then one
+  // table lookup per row.
+  const size_t w = columns_.size();
+  std::vector<double> precomp(dict_.num_entries());
+  for (size_t e = 0; e < precomp.size(); ++e) {
+    const double* entry = dict_.Entry(e);
+    double acc = 0;
+    for (size_t j = 0; j < w; ++j) acc += entry[j] * v[columns_[j]];
+    precomp[e] = acc;
+  }
+  for (size_t i = 0; i < n_; ++i) y[i] += precomp[codes_.Get(i)];
+}
+
+void DdcGroup::VectorMultiply(const double* u, size_t n, double* out) const {
+  (void)n;
+  // Group-accumulate u per dictionary entry, then expand once: O(n + card*w).
+  std::vector<double> acc(dict_.num_entries(), 0.0);
+  for (size_t i = 0; i < n_; ++i) acc[codes_.Get(i)] += u[i];
+  const size_t w = columns_.size();
+  for (size_t e = 0; e < acc.size(); ++e) {
+    if (acc[e] == 0.0) continue;
+    const double* entry = dict_.Entry(e);
+    for (size_t j = 0; j < w; ++j) out[columns_[j]] += acc[e] * entry[j];
+  }
+}
+
+void DdcGroup::MultiplyMatrix(const la::DenseMatrix& m, la::DenseMatrix* y) const {
+  // Pre-aggregate the dictionary against all k columns of m at once, then a
+  // single k-wide AXPY per row — the matrix generalization of the MV kernel.
+  const size_t w = columns_.size();
+  const size_t k = m.cols();
+  la::DenseMatrix precomp(dict_.num_entries(), k);
+  for (size_t e = 0; e < dict_.num_entries(); ++e) {
+    const double* entry = dict_.Entry(e);
+    for (size_t j = 0; j < w; ++j) {
+      if (entry[j] == 0.0) continue;
+      for (size_t c = 0; c < k; ++c) {
+        precomp.At(e, c) += entry[j] * m.At(columns_[j], c);
+      }
+    }
+  }
+  for (size_t i = 0; i < n_; ++i) {
+    const double* src = precomp.Row(codes_.Get(i));
+    double* dst = y->Row(i);
+    for (size_t c = 0; c < k; ++c) dst[c] += src[c];
+  }
+}
+
+void DdcGroup::TransposeMultiplyMatrix(const la::DenseMatrix& m,
+                                       la::DenseMatrix* out) const {
+  const size_t w = columns_.size();
+  const size_t k = m.cols();
+  la::DenseMatrix acc(dict_.num_entries(), k);
+  for (size_t i = 0; i < n_; ++i) {
+    const double* src = m.Row(i);
+    double* dst = acc.Row(codes_.Get(i));
+    for (size_t c = 0; c < k; ++c) dst[c] += src[c];
+  }
+  for (size_t e = 0; e < dict_.num_entries(); ++e) {
+    const double* entry = dict_.Entry(e);
+    const double* a = acc.Row(e);
+    for (size_t j = 0; j < w; ++j) {
+      if (entry[j] == 0.0) continue;
+      double* dst = out->Row(columns_[j]);
+      for (size_t c = 0; c < k; ++c) dst[c] += entry[j] * a[c];
+    }
+  }
+}
+
+double DdcGroup::Sum() const {
+  std::vector<size_t> counts(dict_.num_entries(), 0);
+  for (size_t i = 0; i < n_; ++i) counts[codes_.Get(i)]++;
+  const size_t w = columns_.size();
+  double acc = 0;
+  for (size_t e = 0; e < counts.size(); ++e) {
+    const double* entry = dict_.Entry(e);
+    double tuple_sum = 0;
+    for (size_t j = 0; j < w; ++j) tuple_sum += entry[j];
+    acc += tuple_sum * static_cast<double>(counts[e]);
+  }
+  return acc;
+}
+
+void DdcGroup::AddRowSquaredNorms(double* out, size_t n) const {
+  (void)n;
+  const size_t w = columns_.size();
+  std::vector<double> norms(dict_.num_entries());
+  for (size_t e = 0; e < norms.size(); ++e) {
+    const double* entry = dict_.Entry(e);
+    double acc = 0;
+    for (size_t j = 0; j < w; ++j) acc += entry[j] * entry[j];
+    norms[e] = acc;
+  }
+  for (size_t i = 0; i < n_; ++i) out[i] += norms[codes_.Get(i)];
+}
+
+}  // namespace dmml::cla

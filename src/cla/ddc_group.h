@@ -1,0 +1,40 @@
+/// \file ddc_group.h
+/// \brief Dense dictionary coding: one packed code per row into a tuple
+/// dictionary. The workhorse encoding for dense low-cardinality columns.
+#ifndef DMML_CLA_DDC_GROUP_H_
+#define DMML_CLA_DDC_GROUP_H_
+
+#include "cla/column_group.h"
+
+namespace dmml::cla {
+
+/// \brief DDC column group: dictionary + fixed-width per-row codes.
+class DdcGroup : public ColumnGroup {
+ public:
+  /// \brief Encodes `columns` of `m`.
+  DdcGroup(const la::DenseMatrix& m, std::vector<uint32_t> columns);
+
+  GroupFormat format() const override { return GroupFormat::kDdc; }
+  size_t SizeInBytes() const override;
+  void Decompress(la::DenseMatrix* out) const override;
+  void MultiplyVector(const double* v, double* y, size_t n) const override;
+  void VectorMultiply(const double* u, size_t n, double* out) const override;
+  void MultiplyMatrix(const la::DenseMatrix& m, la::DenseMatrix* y) const override;
+  void TransposeMultiplyMatrix(const la::DenseMatrix& m,
+                               la::DenseMatrix* out) const override;
+  double Sum() const override;
+  void AddRowSquaredNorms(double* out, size_t n) const override;
+  size_t DictionarySize() const override { return dict_.num_entries(); }
+
+  /// \brief Exact size this encoding would use for the given stats, in bytes.
+  static size_t EstimateSize(size_t n, size_t cardinality, size_t width);
+
+ private:
+  size_t n_ = 0;
+  GroupDictionary dict_;
+  CodeArray codes_;
+};
+
+}  // namespace dmml::cla
+
+#endif  // DMML_CLA_DDC_GROUP_H_

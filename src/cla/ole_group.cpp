@@ -1,0 +1,110 @@
+#include "cla/ole_group.h"
+
+namespace dmml::cla {
+
+namespace {
+bool EntryIsZero(const double* entry, size_t w) {
+  for (size_t j = 0; j < w; ++j) {
+    if (entry[j] != 0.0) return false;
+  }
+  return true;
+}
+}  // namespace
+
+OleGroup::OleGroup(const la::DenseMatrix& m, std::vector<uint32_t> columns)
+    : ColumnGroup(std::move(columns)), n_(m.rows()) {
+  GroupDictionary full_dict;
+  std::vector<uint32_t> codes;
+  BuildDictionary(m, columns_, &full_dict, &codes);
+
+  // Re-number the dictionary without all-zero tuples.
+  const size_t w = columns_.size();
+  std::vector<int32_t> remap(full_dict.num_entries(), -1);
+  dict_.width = w;
+  for (size_t e = 0; e < full_dict.num_entries(); ++e) {
+    if (EntryIsZero(full_dict.Entry(e), w)) continue;
+    remap[e] = static_cast<int32_t>(dict_.num_entries());
+    const double* entry = full_dict.Entry(e);
+    dict_.values.insert(dict_.values.end(), entry, entry + w);
+  }
+  offsets_.resize(dict_.num_entries());
+  for (size_t i = 0; i < n_; ++i) {
+    int32_t e = remap[codes[i]];
+    if (e >= 0) offsets_[static_cast<size_t>(e)].push_back(static_cast<uint32_t>(i));
+  }
+}
+
+size_t OleGroup::SizeInBytes() const {
+  size_t bytes = dict_.SizeInBytes() + columns_.size() * sizeof(uint32_t);
+  for (const auto& list : offsets_) {
+    bytes += list.size() * sizeof(uint32_t) + sizeof(uint32_t);  // +list length.
+  }
+  return bytes;
+}
+
+size_t OleGroup::EstimateSize(size_t num_nonzero_rows, size_t cardinality,
+                              size_t width) {
+  return cardinality * width * sizeof(double) +
+         num_nonzero_rows * sizeof(uint32_t) + cardinality * sizeof(uint32_t) +
+         width * sizeof(uint32_t);
+}
+
+void OleGroup::Decompress(la::DenseMatrix* out) const {
+  const size_t w = columns_.size();
+  for (size_t e = 0; e < offsets_.size(); ++e) {
+    const double* entry = dict_.Entry(e);
+    for (uint32_t i : offsets_[e]) {
+      for (size_t j = 0; j < w; ++j) out->At(i, columns_[j]) = entry[j];
+    }
+  }
+}
+
+void OleGroup::MultiplyVector(const double* v, double* y, size_t n) const {
+  (void)n;
+  const size_t w = columns_.size();
+  for (size_t e = 0; e < offsets_.size(); ++e) {
+    const double* entry = dict_.Entry(e);
+    double add = 0;
+    for (size_t j = 0; j < w; ++j) add += entry[j] * v[columns_[j]];
+    if (add == 0.0) continue;
+    for (uint32_t i : offsets_[e]) y[i] += add;
+  }
+}
+
+void OleGroup::VectorMultiply(const double* u, size_t n, double* out) const {
+  (void)n;
+  const size_t w = columns_.size();
+  for (size_t e = 0; e < offsets_.size(); ++e) {
+    double acc = 0;
+    for (uint32_t i : offsets_[e]) acc += u[i];
+    if (acc == 0.0) continue;
+    const double* entry = dict_.Entry(e);
+    for (size_t j = 0; j < w; ++j) out[columns_[j]] += acc * entry[j];
+  }
+}
+
+double OleGroup::Sum() const {
+  const size_t w = columns_.size();
+  double acc = 0;
+  for (size_t e = 0; e < offsets_.size(); ++e) {
+    const double* entry = dict_.Entry(e);
+    double tuple_sum = 0;
+    for (size_t j = 0; j < w; ++j) tuple_sum += entry[j];
+    acc += tuple_sum * static_cast<double>(offsets_[e].size());
+  }
+  return acc;
+}
+
+void OleGroup::AddRowSquaredNorms(double* out, size_t n) const {
+  (void)n;
+  const size_t w = columns_.size();
+  for (size_t e = 0; e < offsets_.size(); ++e) {
+    const double* entry = dict_.Entry(e);
+    double acc = 0;
+    for (size_t j = 0; j < w; ++j) acc += entry[j] * entry[j];
+    if (acc == 0.0) continue;
+    for (uint32_t i : offsets_[e]) out[i] += acc;
+  }
+}
+
+}  // namespace dmml::cla

@@ -1,0 +1,39 @@
+/// \file ole_group.h
+/// \brief Offset-list encoding: per-dictionary-entry row index lists,
+/// zero-suppressed. Best on sparse or heavily-skewed columns.
+#ifndef DMML_CLA_OLE_GROUP_H_
+#define DMML_CLA_OLE_GROUP_H_
+
+#include "cla/column_group.h"
+
+namespace dmml::cla {
+
+/// \brief OLE column group: dictionary + per-entry sorted offset lists.
+/// Rows whose tuple is all-zero appear in no list (zero suppression), so the
+/// storage cost is proportional to the number of non-zero rows.
+class OleGroup : public ColumnGroup {
+ public:
+  OleGroup(const la::DenseMatrix& m, std::vector<uint32_t> columns);
+
+  GroupFormat format() const override { return GroupFormat::kOle; }
+  size_t SizeInBytes() const override;
+  void Decompress(la::DenseMatrix* out) const override;
+  void MultiplyVector(const double* v, double* y, size_t n) const override;
+  void VectorMultiply(const double* u, size_t n, double* out) const override;
+  double Sum() const override;
+  void AddRowSquaredNorms(double* out, size_t n) const override;
+  size_t DictionarySize() const override { return dict_.num_entries(); }
+
+  /// \brief Exact size this encoding would use given stats.
+  static size_t EstimateSize(size_t num_nonzero_rows, size_t cardinality,
+                             size_t width);
+
+ private:
+  size_t n_ = 0;
+  GroupDictionary dict_;              ///< Non-zero tuples only.
+  std::vector<std::vector<uint32_t>> offsets_;  ///< One list per dict entry.
+};
+
+}  // namespace dmml::cla
+
+#endif  // DMML_CLA_OLE_GROUP_H_

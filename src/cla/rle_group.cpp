@@ -1,0 +1,125 @@
+#include "cla/rle_group.h"
+
+namespace dmml::cla {
+
+namespace {
+bool EntryIsZero(const double* entry, size_t w) {
+  for (size_t j = 0; j < w; ++j) {
+    if (entry[j] != 0.0) return false;
+  }
+  return true;
+}
+}  // namespace
+
+RleGroup::RleGroup(const la::DenseMatrix& m, std::vector<uint32_t> columns)
+    : ColumnGroup(std::move(columns)), n_(m.rows()) {
+  std::vector<uint32_t> codes;
+  BuildDictionary(m, columns_, &dict_, &codes);
+
+  const size_t w = columns_.size();
+  // Zero-suppression: drop runs whose dictionary tuple is entirely zero.
+  std::vector<bool> is_zero(dict_.num_entries());
+  for (size_t e = 0; e < dict_.num_entries(); ++e) {
+    is_zero[e] = EntryIsZero(dict_.Entry(e), w);
+  }
+
+  size_t i = 0;
+  while (i < n_) {
+    size_t j = i;
+    while (j + 1 < n_ && codes[j + 1] == codes[i]) ++j;
+    if (!is_zero[codes[i]]) {
+      runs_.push_back({static_cast<uint32_t>(i),
+                       static_cast<uint32_t>(j - i + 1), codes[i]});
+    }
+    i = j + 1;
+  }
+}
+
+size_t RleGroup::SizeInBytes() const {
+  return dict_.SizeInBytes() + runs_.size() * sizeof(Run) +
+         columns_.size() * sizeof(uint32_t);
+}
+
+size_t RleGroup::EstimateSize(size_t num_nonzero_runs, size_t cardinality,
+                              size_t width) {
+  return cardinality * width * sizeof(double) + num_nonzero_runs * sizeof(Run) +
+         width * sizeof(uint32_t);
+}
+
+void RleGroup::Decompress(la::DenseMatrix* out) const {
+  const size_t w = columns_.size();
+  for (const Run& run : runs_) {
+    const double* entry = dict_.Entry(run.code);
+    for (uint32_t i = run.start; i < run.start + run.length; ++i) {
+      for (size_t j = 0; j < w; ++j) out->At(i, columns_[j]) = entry[j];
+    }
+  }
+}
+
+void RleGroup::MultiplyVector(const double* v, double* y, size_t n) const {
+  (void)n;
+  const size_t w = columns_.size();
+  std::vector<double> precomp(dict_.num_entries());
+  for (size_t e = 0; e < precomp.size(); ++e) {
+    const double* entry = dict_.Entry(e);
+    double acc = 0;
+    for (size_t j = 0; j < w; ++j) acc += entry[j] * v[columns_[j]];
+    precomp[e] = acc;
+  }
+  for (const Run& run : runs_) {
+    const double add = precomp[run.code];
+    if (add == 0.0) continue;
+    double* dst = y + run.start;
+    for (uint32_t k = 0; k < run.length; ++k) dst[k] += add;
+  }
+}
+
+void RleGroup::VectorMultiply(const double* u, size_t n, double* out) const {
+  (void)n;
+  // Per-entry accumulation of u over each run, then one dictionary expand.
+  std::vector<double> acc(dict_.num_entries(), 0.0);
+  for (const Run& run : runs_) {
+    double s = 0;
+    const double* src = u + run.start;
+    for (uint32_t k = 0; k < run.length; ++k) s += src[k];
+    acc[run.code] += s;
+  }
+  const size_t w = columns_.size();
+  for (size_t e = 0; e < acc.size(); ++e) {
+    if (acc[e] == 0.0) continue;
+    const double* entry = dict_.Entry(e);
+    for (size_t j = 0; j < w; ++j) out[columns_[j]] += acc[e] * entry[j];
+  }
+}
+
+double RleGroup::Sum() const {
+  const size_t w = columns_.size();
+  double acc = 0;
+  for (const Run& run : runs_) {
+    const double* entry = dict_.Entry(run.code);
+    double tuple_sum = 0;
+    for (size_t j = 0; j < w; ++j) tuple_sum += entry[j];
+    acc += tuple_sum * static_cast<double>(run.length);
+  }
+  return acc;
+}
+
+void RleGroup::AddRowSquaredNorms(double* out, size_t n) const {
+  (void)n;
+  const size_t w = columns_.size();
+  std::vector<double> norms(dict_.num_entries());
+  for (size_t e = 0; e < norms.size(); ++e) {
+    const double* entry = dict_.Entry(e);
+    double acc = 0;
+    for (size_t j = 0; j < w; ++j) acc += entry[j] * entry[j];
+    norms[e] = acc;
+  }
+  for (const Run& run : runs_) {
+    const double add = norms[run.code];
+    if (add == 0.0) continue;
+    double* dst = out + run.start;
+    for (uint32_t k = 0; k < run.length; ++k) dst[k] += add;
+  }
+}
+
+}  // namespace dmml::cla

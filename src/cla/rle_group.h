@@ -1,0 +1,47 @@
+/// \file rle_group.h
+/// \brief Run-length encoding: maximal runs of equal tuples, zero-suppressed.
+#ifndef DMML_CLA_RLE_GROUP_H_
+#define DMML_CLA_RLE_GROUP_H_
+
+#include "cla/column_group.h"
+
+namespace dmml::cla {
+
+/// \brief One maximal run of rows sharing a dictionary entry.
+struct Run {
+  uint32_t start;
+  uint32_t length;
+  uint32_t code;
+};
+
+/// \brief RLE column group: dictionary + sorted run list. Runs whose tuple is
+/// all-zero are not stored (zero suppression), so sparse *and* clustered data
+/// both compress well. Best on sorted / temporally-clustered columns.
+class RleGroup : public ColumnGroup {
+ public:
+  RleGroup(const la::DenseMatrix& m, std::vector<uint32_t> columns);
+
+  GroupFormat format() const override { return GroupFormat::kRle; }
+  size_t SizeInBytes() const override;
+  void Decompress(la::DenseMatrix* out) const override;
+  void MultiplyVector(const double* v, double* y, size_t n) const override;
+  void VectorMultiply(const double* u, size_t n, double* out) const override;
+  double Sum() const override;
+  void AddRowSquaredNorms(double* out, size_t n) const override;
+  size_t DictionarySize() const override { return dict_.num_entries(); }
+
+  size_t NumRuns() const { return runs_.size(); }
+
+  /// \brief Exact size this encoding would use given run statistics.
+  static size_t EstimateSize(size_t num_nonzero_runs, size_t cardinality,
+                             size_t width);
+
+ private:
+  size_t n_ = 0;
+  GroupDictionary dict_;
+  std::vector<Run> runs_;  // Sorted by start; non-zero tuples only.
+};
+
+}  // namespace dmml::cla
+
+#endif  // DMML_CLA_RLE_GROUP_H_

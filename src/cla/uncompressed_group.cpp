@@ -1,0 +1,62 @@
+#include "cla/uncompressed_group.h"
+
+namespace dmml::cla {
+
+UncompressedGroup::UncompressedGroup(const la::DenseMatrix& m,
+                                     std::vector<uint32_t> columns)
+    : ColumnGroup(std::move(columns)), n_(m.rows()) {
+  const size_t w = columns_.size();
+  data_.resize(n_ * w);
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = 0; j < w; ++j) data_[i * w + j] = m.At(i, columns_[j]);
+  }
+}
+
+size_t UncompressedGroup::SizeInBytes() const {
+  return data_.size() * sizeof(double) + columns_.size() * sizeof(uint32_t);
+}
+
+void UncompressedGroup::Decompress(la::DenseMatrix* out) const {
+  const size_t w = columns_.size();
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = 0; j < w; ++j) out->At(i, columns_[j]) = data_[i * w + j];
+  }
+}
+
+void UncompressedGroup::MultiplyVector(const double* v, double* y, size_t n) const {
+  (void)n;
+  const size_t w = columns_.size();
+  for (size_t i = 0; i < n_; ++i) {
+    double acc = 0;
+    for (size_t j = 0; j < w; ++j) acc += data_[i * w + j] * v[columns_[j]];
+    y[i] += acc;
+  }
+}
+
+void UncompressedGroup::VectorMultiply(const double* u, size_t n, double* out) const {
+  (void)n;
+  const size_t w = columns_.size();
+  for (size_t i = 0; i < n_; ++i) {
+    const double ui = u[i];
+    if (ui == 0.0) continue;
+    for (size_t j = 0; j < w; ++j) out[columns_[j]] += ui * data_[i * w + j];
+  }
+}
+
+double UncompressedGroup::Sum() const {
+  double acc = 0;
+  for (double v : data_) acc += v;
+  return acc;
+}
+
+void UncompressedGroup::AddRowSquaredNorms(double* out, size_t n) const {
+  (void)n;
+  const size_t w = columns_.size();
+  for (size_t i = 0; i < n_; ++i) {
+    double acc = 0;
+    for (size_t j = 0; j < w; ++j) acc += data_[i * w + j] * data_[i * w + j];
+    out[i] += acc;
+  }
+}
+
+}  // namespace dmml::cla

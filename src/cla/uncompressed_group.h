@@ -1,0 +1,33 @@
+/// \file uncompressed_group.h
+/// \brief Fallback column group storing its columns as plain dense data.
+#ifndef DMML_CLA_UNCOMPRESSED_GROUP_H_
+#define DMML_CLA_UNCOMPRESSED_GROUP_H_
+
+#include "cla/column_group.h"
+
+namespace dmml::cla {
+
+/// \brief Plain dense storage (row-major over the group's columns) used when
+/// no encoding beats 8 bytes/value.
+class UncompressedGroup : public ColumnGroup {
+ public:
+  /// \brief Copies `columns` of `m` into the group.
+  UncompressedGroup(const la::DenseMatrix& m, std::vector<uint32_t> columns);
+
+  GroupFormat format() const override { return GroupFormat::kUncompressed; }
+  size_t SizeInBytes() const override;
+  void Decompress(la::DenseMatrix* out) const override;
+  void MultiplyVector(const double* v, double* y, size_t n) const override;
+  void VectorMultiply(const double* u, size_t n, double* out) const override;
+  double Sum() const override;
+  void AddRowSquaredNorms(double* out, size_t n) const override;
+  size_t DictionarySize() const override { return 0; }
+
+ private:
+  size_t n_ = 0;
+  std::vector<double> data_;  // n_ rows x columns_.size(), row-major.
+};
+
+}  // namespace dmml::cla
+
+#endif  // DMML_CLA_UNCOMPRESSED_GROUP_H_

@@ -1,0 +1,223 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "la/kernels.h"
+#include "util/logging.h"
+
+namespace dmml::data {
+
+using la::DenseMatrix;
+using la::SparseMatrix;
+
+DenseMatrix GaussianMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.Normal();
+  return m;
+}
+
+DenseMatrix UniformMatrix(size_t rows, size_t cols, double lo, double hi,
+                          uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.Uniform(lo, hi);
+  return m;
+}
+
+SparseMatrix SparseGaussianMatrix(size_t rows, size_t cols, double density,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<la::Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(static_cast<double>(rows * cols) * density));
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (rng.Bernoulli(density)) {
+        double v = rng.Normal();
+        if (v == 0.0) v = 1e-9;
+        triplets.push_back({r, c, v});
+      }
+    }
+  }
+  return SparseMatrix::FromTriplets(rows, cols, std::move(triplets));
+}
+
+DenseMatrix LowCardinalityMatrix(size_t rows, size_t cols, size_t cardinality,
+                                 bool run_sorted, uint64_t seed) {
+  DMML_CHECK_GT(cardinality, 0u);
+  Rng rng(seed);
+  DenseMatrix m(rows, cols);
+  for (size_t c = 0; c < cols; ++c) {
+    // A per-column dictionary of distinct values.
+    std::vector<double> dict(cardinality);
+    // Continuous draws keep the requested cardinality exact (collisions are
+    // measure-zero); quantizing here would silently cap it.
+    for (auto& v : dict) v = rng.Uniform(-100, 100);
+    std::vector<size_t> codes(rows);
+    for (auto& code : codes) code = rng.UniformInt(static_cast<uint64_t>(cardinality));
+    if (run_sorted) std::sort(codes.begin(), codes.end());
+    for (size_t r = 0; r < rows; ++r) m.At(r, c) = dict[codes[r]];
+  }
+  return m;
+}
+
+DenseMatrix SkewedCardinalityMatrix(size_t rows, size_t cols, size_t cardinality,
+                                    double s, uint64_t seed) {
+  DMML_CHECK_GT(cardinality, 0u);
+  Rng rng(seed);
+  DenseMatrix m(rows, cols);
+  ZipfGenerator zipf(cardinality, s);
+  for (size_t c = 0; c < cols; ++c) {
+    std::vector<double> dict(cardinality);
+    for (auto& v : dict) v = rng.Uniform(-100, 100);
+    for (size_t r = 0; r < rows; ++r) m.At(r, c) = dict[zipf.Sample(&rng)];
+  }
+  return m;
+}
+
+RegressionDataset MakeRegression(size_t n, size_t d, double noise_sigma,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  RegressionDataset ds;
+  ds.x = GaussianMatrix(n, d, rng.Next());
+  ds.true_w = DenseMatrix(d, 1);
+  for (size_t j = 0; j < d; ++j) ds.true_w.At(j, 0) = rng.Normal(0, 2.0);
+  ds.y = la::Gemv(ds.x, ds.true_w);
+  for (size_t i = 0; i < n; ++i) ds.y.At(i, 0) += rng.Normal(0, noise_sigma);
+  return ds;
+}
+
+ClassificationDataset MakeClassification(size_t n, size_t d, double flip_prob,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  ClassificationDataset ds;
+  ds.x = GaussianMatrix(n, d, rng.Next());
+  ds.true_w = DenseMatrix(d, 1);
+  for (size_t j = 0; j < d; ++j) ds.true_w.At(j, 0) = rng.Normal(0, 2.0);
+  DenseMatrix margin = la::Gemv(ds.x, ds.true_w);
+  ds.y = DenseMatrix(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    double p = 1.0 / (1.0 + std::exp(-margin.At(i, 0)));
+    bool label = rng.Bernoulli(p);
+    if (flip_prob > 0 && rng.Bernoulli(flip_prob)) label = !label;
+    ds.y.At(i, 0) = label ? 1.0 : 0.0;
+  }
+  return ds;
+}
+
+BlobsDataset MakeBlobs(size_t n, size_t d, size_t k, double center_spread,
+                       double cluster_sigma, uint64_t seed) {
+  DMML_CHECK_GT(k, 0u);
+  Rng rng(seed);
+  BlobsDataset ds;
+  ds.centers = DenseMatrix(k, d);
+  for (size_t i = 0; i < ds.centers.size(); ++i) {
+    ds.centers.data()[i] = rng.Normal(0, center_spread);
+  }
+  ds.x = DenseMatrix(n, d);
+  ds.labels.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t c = i % k;  // Balanced clusters.
+    ds.labels[i] = static_cast<int>(c);
+    for (size_t j = 0; j < d; ++j) {
+      ds.x.At(i, j) = ds.centers.At(c, j) + rng.Normal(0, cluster_sigma);
+    }
+  }
+  return ds;
+}
+
+StarSchemaDataset MakeStarSchema(const StarSchemaOptions& options, uint64_t seed) {
+  DMML_CHECK_GT(options.nr, 0u);
+  Rng rng(seed);
+  StarSchemaDataset ds;
+  ds.ns = options.ns;
+  ds.nr = options.nr;
+  ds.ds = options.ds;
+  ds.dr = options.dr;
+  ds.xs = GaussianMatrix(options.ns, options.ds, rng.Next());
+  ds.xr = GaussianMatrix(options.nr, options.dr, rng.Next());
+
+  // Foreign keys: cycle every rid first so the join is total, then sample.
+  ds.fk.resize(options.ns);
+  std::unique_ptr<ZipfGenerator> zipf;
+  if (options.fk_zipf_skew > 0) {
+    zipf = std::make_unique<ZipfGenerator>(options.nr, options.fk_zipf_skew);
+  }
+  for (size_t i = 0; i < options.ns; ++i) {
+    if (i < options.nr) {
+      ds.fk[i] = static_cast<uint32_t>(i);
+    } else if (zipf) {
+      ds.fk[i] = static_cast<uint32_t>(zipf->Sample(&rng));
+    } else {
+      ds.fk[i] = static_cast<uint32_t>(rng.UniformInt(static_cast<uint64_t>(options.nr)));
+    }
+  }
+
+  // Labels from the joined feature vector.
+  DenseMatrix ws(options.ds, 1), wr(options.dr, 1);
+  for (size_t j = 0; j < options.ds; ++j) ws.At(j, 0) = rng.Normal(0, 1.5);
+  for (size_t j = 0; j < options.dr; ++j) wr.At(j, 0) = rng.Normal(0, 1.5);
+  ds.y = DenseMatrix(options.ns, 1);
+  for (size_t i = 0; i < options.ns; ++i) {
+    double score = la::Dot(ds.xs.Row(i), ws.data(), options.ds) +
+                   la::Dot(ds.xr.Row(ds.fk[i]), wr.data(), options.dr);
+    if (options.classification) {
+      double p = 1.0 / (1.0 + std::exp(-score));
+      ds.y.At(i, 0) = rng.Bernoulli(p) ? 1.0 : 0.0;
+    } else {
+      ds.y.At(i, 0) = score + rng.Normal(0, options.noise_sigma);
+    }
+  }
+
+  // Relational views of the same data.
+  std::vector<storage::Field> s_fields = {
+      {"sid", storage::DataType::kInt64, false},
+      {"fk", storage::DataType::kInt64, false},
+      {"y", storage::DataType::kDouble, false},
+  };
+  for (size_t j = 0; j < options.ds; ++j) {
+    s_fields.push_back({"xs" + std::to_string(j), storage::DataType::kDouble, false});
+  }
+  storage::Table s(*storage::Schema::Make(std::move(s_fields)));
+  for (size_t i = 0; i < options.ns; ++i) {
+    std::vector<storage::Value> row;
+    row.reserve(3 + options.ds);
+    row.emplace_back(static_cast<int64_t>(i));
+    row.emplace_back(static_cast<int64_t>(ds.fk[i]));
+    row.emplace_back(ds.y.At(i, 0));
+    for (size_t j = 0; j < options.ds; ++j) row.emplace_back(ds.xs.At(i, j));
+    DMML_CHECK(s.AppendRow(row).ok());
+  }
+  ds.s = std::move(s);
+
+  std::vector<storage::Field> r_fields = {{"rid", storage::DataType::kInt64, false}};
+  for (size_t j = 0; j < options.dr; ++j) {
+    r_fields.push_back({"xr" + std::to_string(j), storage::DataType::kDouble, false});
+  }
+  storage::Table r(*storage::Schema::Make(std::move(r_fields)));
+  for (size_t i = 0; i < options.nr; ++i) {
+    std::vector<storage::Value> row;
+    row.reserve(1 + options.dr);
+    row.emplace_back(static_cast<int64_t>(i));
+    for (size_t j = 0; j < options.dr; ++j) row.emplace_back(ds.xr.At(i, j));
+    DMML_CHECK(r.AppendRow(row).ok());
+  }
+  ds.r = std::move(r);
+  return ds;
+}
+
+DenseMatrix MaterializeStarSchema(const StarSchemaDataset& ds) {
+  DenseMatrix out(ds.ns, ds.ds + ds.dr);
+  for (size_t i = 0; i < ds.ns; ++i) {
+    double* row = out.Row(i);
+    const double* xs = ds.xs.Row(i);
+    for (size_t j = 0; j < ds.ds; ++j) row[j] = xs[j];
+    const double* xr = ds.xr.Row(ds.fk[i]);
+    for (size_t j = 0; j < ds.dr; ++j) row[ds.ds + j] = xr[j];
+  }
+  return out;
+}
+
+}  // namespace dmml::data

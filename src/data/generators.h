@@ -1,0 +1,118 @@
+/// \file generators.h
+/// \brief Seeded synthetic dataset generators.
+///
+/// These stand in for the real-world datasets used by the systems the target
+/// tutorial surveys. Each generator exposes the knob that drives the surveyed
+/// result: tuple/feature ratios for factorized learning, column cardinality
+/// and run structure for compressed linear algebra, margin/noise for
+/// classifiers, cluster separation for k-means.
+#ifndef DMML_DATA_GENERATORS_H_
+#define DMML_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/dense_matrix.h"
+#include "la/sparse_matrix.h"
+#include "storage/table.h"
+#include "util/rng.h"
+
+namespace dmml::data {
+
+/// \brief rows x cols i.i.d. N(0,1) matrix.
+la::DenseMatrix GaussianMatrix(size_t rows, size_t cols, uint64_t seed);
+
+/// \brief rows x cols uniform [lo, hi) matrix.
+la::DenseMatrix UniformMatrix(size_t rows, size_t cols, double lo, double hi,
+                              uint64_t seed);
+
+/// \brief CSR matrix with the given expected density; nonzeros are N(0,1).
+la::SparseMatrix SparseGaussianMatrix(size_t rows, size_t cols, double density,
+                                      uint64_t seed);
+
+/// \brief Matrix whose columns draw from small dictionaries — the CLA sweet
+/// spot. `cardinality` = distinct values per column. With `run_sorted`, values
+/// appear in runs (ideal for RLE); otherwise they are shuffled (DDC/OLE).
+la::DenseMatrix LowCardinalityMatrix(size_t rows, size_t cols, size_t cardinality,
+                                     bool run_sorted, uint64_t seed);
+
+/// \brief Matrix with Zipf-skewed dictionary usage per column (skew `s`).
+la::DenseMatrix SkewedCardinalityMatrix(size_t rows, size_t cols, size_t cardinality,
+                                        double s, uint64_t seed);
+
+/// \brief Supervised regression problem: y = X w* + noise.
+struct RegressionDataset {
+  la::DenseMatrix x;        ///< n x d design matrix.
+  la::DenseMatrix y;        ///< n x 1 targets.
+  la::DenseMatrix true_w;   ///< d x 1 generating weights.
+};
+
+/// \brief Generates a dense regression problem with N(0, noise_sigma) noise.
+RegressionDataset MakeRegression(size_t n, size_t d, double noise_sigma,
+                                 uint64_t seed);
+
+/// \brief Supervised binary classification problem with labels in {0, 1}.
+struct ClassificationDataset {
+  la::DenseMatrix x;        ///< n x d design matrix.
+  la::DenseMatrix y;        ///< n x 1 labels (0.0 / 1.0).
+  la::DenseMatrix true_w;   ///< d x 1 generating weights.
+};
+
+/// \brief Labels drawn from the logistic model sigmoid(X w*); `flip_prob`
+/// additionally flips labels (noisy-label regime).
+ClassificationDataset MakeClassification(size_t n, size_t d, double flip_prob,
+                                         uint64_t seed);
+
+/// \brief Gaussian blob mixture for clustering.
+struct BlobsDataset {
+  la::DenseMatrix x;        ///< n x d points.
+  std::vector<int> labels;  ///< Ground-truth cluster of each point.
+  la::DenseMatrix centers;  ///< k x d generating centers.
+};
+
+/// \brief `k` spherical Gaussian clusters with the given center spread and
+/// within-cluster stddev.
+BlobsDataset MakeBlobs(size_t n, size_t d, size_t k, double center_spread,
+                       double cluster_sigma, uint64_t seed);
+
+/// \brief A normalized (star-schema) learning task: entity table S with a
+/// foreign key into attribute table R, as in Orion / Morpheus.
+///
+///   S(sid INT64, fk INT64, y DOUBLE, xs0..xs{dS-1} DOUBLE)
+///   R(rid INT64, xr0..xr{dR-1} DOUBLE)
+///
+/// The materialized design matrix is [XS | XR[fk]] with dS + dR columns and
+/// nS rows. *Tuple ratio* = nS / nR; *feature ratio* = dR / dS. Redundancy in
+/// the materialized matrix grows with both — which is exactly the regime
+/// where factorized learning wins.
+struct StarSchemaDataset {
+  storage::Table s{storage::Schema{}};  ///< Entity table (with label y).
+  storage::Table r{storage::Schema{}};  ///< Attribute (dimension) table.
+  size_t ns = 0, nr = 0, ds = 0, dr = 0;
+  la::DenseMatrix xs;          ///< nS x dS entity features.
+  la::DenseMatrix xr;          ///< nR x dR attribute features.
+  std::vector<uint32_t> fk;    ///< nS foreign keys into R.
+  la::DenseMatrix y;           ///< nS x 1 labels (regression targets).
+};
+
+/// \brief Options for the star-schema generator.
+struct StarSchemaOptions {
+  size_t ns = 1000;        ///< Entity rows.
+  size_t nr = 100;         ///< Attribute rows (tuple ratio = ns / nr).
+  size_t ds = 2;           ///< Entity features.
+  size_t dr = 20;          ///< Attribute features (feature ratio = dr / ds).
+  double noise_sigma = 0.1;
+  bool classification = false;  ///< Emit 0/1 labels via logistic model instead.
+  double fk_zipf_skew = 0.0;    ///< Zipf skew of FK distribution (0 = uniform).
+};
+
+/// \brief Generates a normalized dataset; every rid in R is at least
+/// referenced once when ns >= nr (keys 0..nr-1 are cycled before sampling).
+StarSchemaDataset MakeStarSchema(const StarSchemaOptions& options, uint64_t seed);
+
+/// \brief Materializes the joined design matrix [XS | XR[fk]] (nS x (dS+dR)).
+la::DenseMatrix MaterializeStarSchema(const StarSchemaDataset& ds);
+
+}  // namespace dmml::data
+
+#endif  // DMML_DATA_GENERATORS_H_

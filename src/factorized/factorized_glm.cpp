@@ -1,0 +1,127 @@
+#include "factorized/factorized_glm.h"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "la/kernels.h"
+
+namespace dmml::factorized {
+
+using la::DenseMatrix;
+using ml::GlmConfig;
+using ml::GlmFamily;
+using ml::GlmModel;
+
+namespace {
+
+// Generic batch-gradient loop over an abstract linear operator T given by
+// `mult` (T·v) and `tmult` (Tᵀ·v). Both concrete paths instantiate this.
+Result<GlmModel> RunMatrixFormBgd(
+    size_t n, size_t d, const la::DenseMatrix& y, const GlmConfig& config,
+    const std::function<Result<DenseMatrix>(const DenseMatrix&)>& mult,
+    const std::function<Result<DenseMatrix>(const DenseMatrix&)>& tmult) {
+  if (y.rows() != n || y.cols() != 1) {
+    return Status::InvalidArgument("factorized GLM: y must be n x 1");
+  }
+  if (config.family == GlmFamily::kBinomial) {
+    for (size_t i = 0; i < n; ++i) {
+      double v = y.At(i, 0);
+      if (v != 0.0 && v != 1.0) {
+        return Status::InvalidArgument("Binomial family requires 0/1 labels");
+      }
+    }
+  }
+  if (config.learning_rate <= 0) {
+    return Status::InvalidArgument("learning_rate must be positive");
+  }
+
+  GlmModel model;
+  model.family = config.family;
+  model.weights = DenseMatrix(d, 1);
+
+  const double inv_n = 1.0 / static_cast<double>(n);
+  double prev_loss = std::numeric_limits<double>::infinity();
+  for (size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    DMML_ASSIGN_OR_RETURN(DenseMatrix scores, mult(model.weights));
+    // Residual g = invlink(score + b) - y, and loss in the same pass.
+    double loss = 0;
+    double bias_grad = 0;
+    for (size_t i = 0; i < n; ++i) {
+      double s = scores.At(i, 0) + model.intercept;
+      double yi = y.At(i, 0);
+      if (config.family == GlmFamily::kGaussian) {
+        double r = s - yi;
+        loss += 0.5 * r * r;
+        scores.At(i, 0) = r;
+      } else {
+        double sign_y = yi > 0.5 ? 1.0 : -1.0;
+        double m = sign_y * s;
+        loss += m > 0 ? std::log1p(std::exp(-m)) : -m + std::log1p(std::exp(m));
+        scores.At(i, 0) = ml::GlmInverseLink(s, config.family) - yi;
+      }
+      bias_grad += scores.At(i, 0);
+    }
+    loss *= inv_n;
+    if (config.l2 > 0) {
+      double w2 = 0;
+      for (size_t j = 0; j < d; ++j) w2 += model.weights.At(j, 0) * model.weights.At(j, 0);
+      loss += 0.5 * config.l2 * w2;
+    }
+
+    DMML_ASSIGN_OR_RETURN(DenseMatrix grad, tmult(scores));
+    double lr =
+        config.learning_rate / (1.0 + config.lr_decay * static_cast<double>(epoch));
+    for (size_t j = 0; j < d; ++j) {
+      model.weights.At(j, 0) -=
+          lr * (grad.At(j, 0) * inv_n + config.l2 * model.weights.At(j, 0));
+    }
+    if (config.fit_intercept) model.intercept -= lr * bias_grad * inv_n;
+
+    model.loss_history.push_back(loss);
+    model.epochs_run = epoch + 1;
+    if (std::isfinite(prev_loss) &&
+        std::fabs(prev_loss - loss) <= config.tolerance * std::max(1.0, prev_loss)) {
+      break;
+    }
+    prev_loss = loss;
+  }
+  return model;
+}
+
+}  // namespace
+
+Result<GlmModel> TrainFactorizedGlm(const NormalizedMatrix& t, const DenseMatrix& y,
+                                    const GlmConfig& config) {
+  return RunMatrixFormBgd(
+      t.rows(), t.cols(), y, config,
+      [&t](const DenseMatrix& v) { return t.Multiply(v); },
+      [&t](const DenseMatrix& v) { return t.TransposeMultiply(v); });
+}
+
+Result<GlmModel> TrainDenseGlmMatrixForm(const DenseMatrix& x, const DenseMatrix& y,
+                                         const GlmConfig& config) {
+  return RunMatrixFormBgd(
+      x.rows(), x.cols(), y, config,
+      [&x](const DenseMatrix& v) -> Result<DenseMatrix> { return la::Multiply(x, v); },
+      [&x](const DenseMatrix& v) -> Result<DenseMatrix> {
+        // Xᵀ v without forming the transpose.
+        DenseMatrix out(x.cols(), v.cols());
+        for (size_t i = 0; i < x.rows(); ++i) {
+          const double* xi = x.Row(i);
+          const double* vi = v.Row(i);
+          for (size_t j = 0; j < x.cols(); ++j) {
+            la::Axpy(xi[j], vi, out.Row(j), v.cols());
+          }
+        }
+        return out;
+      });
+}
+
+Result<GlmModel> TrainMaterializedGlm(const NormalizedMatrix& t, const DenseMatrix& y,
+                                      const GlmConfig& config) {
+  DenseMatrix x = t.Materialize();
+  return TrainDenseGlmMatrixForm(x, y, config);
+}
+
+}  // namespace dmml::factorized

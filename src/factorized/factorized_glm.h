@@ -1,0 +1,42 @@
+/// \file factorized_glm.h
+/// \brief GLM training over a NormalizedMatrix (factorized) and over its
+/// materialized join (baseline), with identical numerics.
+///
+/// Both paths run the same batch-gradient iteration
+///
+///   scores = T w + b;  g = invlink(scores) - y
+///   w -= lr * (Tᵀ g / n + λ w);  b -= lr * mean(g)
+///
+/// differing only in how T·v and Tᵀ·v are evaluated, so their outputs agree
+/// to floating-point reordering. This mirrors the Orion experiment design.
+#ifndef DMML_FACTORIZED_FACTORIZED_GLM_H_
+#define DMML_FACTORIZED_FACTORIZED_GLM_H_
+
+#include "factorized/normalized_matrix.h"
+#include "ml/glm.h"
+#include "util/result.h"
+
+namespace dmml::factorized {
+
+/// \brief Trains a GLM with batch gradient descent using factorized
+/// multiplies (never materializing the join).
+Result<ml::GlmModel> TrainFactorizedGlm(const NormalizedMatrix& t,
+                                        const la::DenseMatrix& y,
+                                        const ml::GlmConfig& config);
+
+/// \brief Baseline: materializes the join once, then runs the *same*
+/// matrix-formulated batch-gradient loop on the dense result.
+Result<ml::GlmModel> TrainMaterializedGlm(const NormalizedMatrix& t,
+                                          const la::DenseMatrix& y,
+                                          const ml::GlmConfig& config);
+
+/// \brief The shared iteration on an explicit dense design matrix; exposed so
+/// tests can verify both paths agree and so benches can time it excluding
+/// materialization.
+Result<ml::GlmModel> TrainDenseGlmMatrixForm(const la::DenseMatrix& x,
+                                             const la::DenseMatrix& y,
+                                             const ml::GlmConfig& config);
+
+}  // namespace dmml::factorized
+
+#endif  // DMML_FACTORIZED_FACTORIZED_GLM_H_

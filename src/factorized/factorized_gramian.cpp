@@ -1,0 +1,176 @@
+#include "factorized/factorized_gramian.h"
+
+#include <unordered_map>
+
+#include "la/kernels.h"
+#include "la/ops.h"
+
+namespace dmml::factorized {
+
+using la::DenseMatrix;
+
+DenseMatrix FactorizedGramian(const NormalizedMatrix& t) {
+  const size_t n = t.rows();
+  const auto& entity = t.entity_features();
+  const size_t ds = entity.cols();
+  const auto& tables = t.tables();
+  const size_t d = t.cols();
+  DenseMatrix g(d, d);
+
+  // Per-table column offsets within T.
+  std::vector<size_t> offsets(tables.size());
+  {
+    size_t off = ds;
+    for (size_t ti = 0; ti < tables.size(); ++ti) {
+      offsets[ti] = off;
+      off += tables[ti].features.cols();
+    }
+  }
+
+  // Block XSᵀXS.
+  for (size_t i = 0; i < n; ++i) {
+    const double* xs = entity.Row(i);
+    for (size_t a = 0; a < ds; ++a) {
+      if (xs[a] == 0.0) continue;
+      la::Axpy(xs[a], xs, g.Row(a), ds);
+    }
+  }
+
+  for (size_t ti = 0; ti < tables.size(); ++ti) {
+    const auto& tab = tables[ti];
+    const size_t nr = tab.features.rows();
+    const size_t dr = tab.features.cols();
+    const size_t off = offsets[ti];
+
+    // fk histogram: counts[r] = |{i : fk[i] = r}| (this is KᵀK's diagonal).
+    std::vector<double> counts(nr, 0.0);
+    for (size_t i = 0; i < n; ++i) counts[tab.fk[i]] += 1.0;
+
+    // Block XSᵀ(K R): group-accumulate XS rows by fk (nR x dS), then fold
+    // against XR.
+    if (ds > 0) {
+      DenseMatrix grouped(nr, ds);
+      for (size_t i = 0; i < n; ++i) {
+        la::Axpy(1.0, entity.Row(i), grouped.Row(tab.fk[i]), ds);
+      }
+      for (size_t r = 0; r < nr; ++r) {
+        const double* gs = grouped.Row(r);
+        const double* xr = tab.features.Row(r);
+        for (size_t a = 0; a < ds; ++a) {
+          if (gs[a] == 0.0) continue;
+          la::Axpy(gs[a], xr, g.Row(a) + off, dr);
+        }
+      }
+    }
+
+    // Block RᵀKᵀKR = Rᵀ diag(counts) R.
+    for (size_t r = 0; r < nr; ++r) {
+      if (counts[r] == 0.0) continue;
+      const double* xr = tab.features.Row(r);
+      for (size_t a = 0; a < dr; ++a) {
+        double scaled = counts[r] * xr[a];
+        if (scaled == 0.0) continue;
+        la::Axpy(scaled, xr, g.Row(off + a) + off, dr);
+      }
+    }
+
+    // Cross-table blocks R_sᵀK_sᵀK_t R_t for s < t: accumulate the sparse
+    // co-occurrence counts C[r_s][r_t], then fold both dictionaries.
+    for (size_t si = 0; si < ti; ++si) {
+      const auto& stab = tables[si];
+      const size_t soff = offsets[si];
+      const size_t sdr = stab.features.cols();
+      std::unordered_map<uint64_t, double> cooc;
+      cooc.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t key = (static_cast<uint64_t>(stab.fk[i]) << 32) | tab.fk[i];
+        cooc[key] += 1.0;
+      }
+      for (const auto& [key, count] : cooc) {
+        uint32_t rs = static_cast<uint32_t>(key >> 32);
+        uint32_t rt = static_cast<uint32_t>(key & 0xffffffffu);
+        const double* xs_row = stab.features.Row(rs);
+        const double* xt_row = tab.features.Row(rt);
+        for (size_t a = 0; a < sdr; ++a) {
+          double scaled = count * xs_row[a];
+          if (scaled == 0.0) continue;
+          la::Axpy(scaled, xt_row, g.Row(soff + a) + off, dr);
+        }
+      }
+    }
+  }
+
+  // Mirror the upper blocks into the lower triangle.
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = a + 1; b < d; ++b) g.At(b, a) = g.At(a, b);
+  }
+  return g;
+}
+
+DenseMatrix FactorizedColumnSums(const NormalizedMatrix& t) {
+  const size_t n = t.rows();
+  const auto& entity = t.entity_features();
+  const size_t ds = entity.cols();
+  DenseMatrix sums(t.cols(), 1);
+  for (size_t i = 0; i < n; ++i) {
+    const double* xs = entity.Row(i);
+    for (size_t j = 0; j < ds; ++j) sums.At(j, 0) += xs[j];
+  }
+  size_t off = ds;
+  for (const auto& tab : t.tables()) {
+    const size_t nr = tab.features.rows();
+    const size_t dr = tab.features.cols();
+    std::vector<double> counts(nr, 0.0);
+    for (size_t i = 0; i < n; ++i) counts[tab.fk[i]] += 1.0;
+    for (size_t r = 0; r < nr; ++r) {
+      if (counts[r] == 0.0) continue;
+      la::Axpy(counts[r], tab.features.Row(r), &sums.At(off, 0), dr);
+    }
+    off += dr;
+  }
+  return sums;
+}
+
+Result<ml::GlmModel> TrainFactorizedNormalEquations(const NormalizedMatrix& t,
+                                                    const la::DenseMatrix& y,
+                                                    double l2, bool fit_intercept) {
+  const size_t n = t.rows();
+  const size_t d = t.cols();
+  if (y.rows() != n || y.cols() != 1) {
+    return Status::InvalidArgument("factorized normal equations: y must be n x 1");
+  }
+  const size_t da = fit_intercept ? d + 1 : d;
+
+  DenseMatrix gram = FactorizedGramian(t);
+  DMML_ASSIGN_OR_RETURN(DenseMatrix xty, t.TransposeMultiply(y));
+
+  DenseMatrix a(da, da);
+  DenseMatrix b(da, 1);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < d; ++j) a.At(i, j) = gram.At(i, j);
+    b.At(i, 0) = xty.At(i, 0);
+  }
+  if (fit_intercept) {
+    DenseMatrix col_sums = FactorizedColumnSums(t);
+    for (size_t j = 0; j < d; ++j) {
+      a.At(d, j) = col_sums.At(j, 0);
+      a.At(j, d) = col_sums.At(j, 0);
+    }
+    a.At(d, d) = static_cast<double>(n);
+    b.At(d, 0) = la::Sum(y);
+  }
+  if (l2 > 0) {
+    for (size_t j = 0; j < d; ++j) a.At(j, j) += l2 * static_cast<double>(n);
+  }
+  DMML_ASSIGN_OR_RETURN(DenseMatrix sol, la::Solve(a, b));
+
+  ml::GlmModel model;
+  model.family = ml::GlmFamily::kGaussian;
+  model.weights = DenseMatrix(d, 1);
+  for (size_t j = 0; j < d; ++j) model.weights.At(j, 0) = sol.At(j, 0);
+  model.intercept = fit_intercept ? sol.At(d, 0) : 0.0;
+  model.epochs_run = 1;
+  return model;
+}
+
+}  // namespace dmml::factorized

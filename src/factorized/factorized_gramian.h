@@ -1,0 +1,43 @@
+/// \file factorized_gramian.h
+/// \brief Gramian (TᵀT) and normal-equation solving over normalized data —
+/// the Orion "cofactor" computation.
+///
+/// For T = [XS | XR₁[fk₁] | XR₂[fk₂] | ...] the Gramian decomposes into
+/// blocks that never require materializing T:
+///
+///   * XSᵀXS                 — O(nS·dS²) over the entity table
+///   * XSᵀ(K_t R_t)          — group-accumulate XS rows by fk_t (nR_t×dS),
+///                             then multiply with XR_t: O(nS·dS + nR_t·dS·dR_t)
+///   * R_tᵀK_tᵀK_t R_t       — K_tᵀK_t = diag(fk counts):
+///                             O(nR_t·dR_t²)
+///   * R_sᵀK_sᵀK_t R_t (s≠t) — K_sᵀK_t is the sparse fk co-occurrence matrix
+///                             with ≤ nS nonzeros.
+///
+/// With the Gramian and Tᵀy in hand, ridge regression solves in closed form
+/// without ever touching an nS×d materialized matrix.
+#ifndef DMML_FACTORIZED_FACTORIZED_GRAMIAN_H_
+#define DMML_FACTORIZED_FACTORIZED_GRAMIAN_H_
+
+#include "factorized/normalized_matrix.h"
+#include "ml/glm.h"
+#include "util/result.h"
+
+namespace dmml::factorized {
+
+/// \brief Computes TᵀT (d x d) without materializing T.
+la::DenseMatrix FactorizedGramian(const NormalizedMatrix& t);
+
+/// \brief Computes Tᵀ1 (column sums as d x 1) without materializing T.
+la::DenseMatrix FactorizedColumnSums(const NormalizedMatrix& t);
+
+/// \brief Closed-form ridge regression over the normalized design matrix:
+/// solves (TᵀT + λnI) w = Tᵀy (with an optional intercept row/column
+/// appended), entirely from factorized statistics.
+Result<ml::GlmModel> TrainFactorizedNormalEquations(const NormalizedMatrix& t,
+                                                    const la::DenseMatrix& y,
+                                                    double l2 = 0.0,
+                                                    bool fit_intercept = true);
+
+}  // namespace dmml::factorized
+
+#endif  // DMML_FACTORIZED_FACTORIZED_GRAMIAN_H_

@@ -1,0 +1,122 @@
+#include "factorized/factorized_kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "la/kernels.h"
+#include "util/rng.h"
+
+namespace dmml::factorized {
+
+using la::DenseMatrix;
+using ml::KMeansConfig;
+using ml::KMeansModel;
+
+namespace {
+
+// Samples k distinct-ish logical row indices as initial centers (uniform;
+// matches the non-k-means++ init of ml::TrainKMeans for comparability).
+std::vector<size_t> SampleInitRows(size_t n, size_t k, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<size_t> rows(k);
+  for (size_t c = 0; c < k; ++c) rows[c] = rng.UniformInt(static_cast<uint64_t>(n));
+  return rows;
+}
+
+// Extracts logical row `i` of the normalized matrix into `out` (length cols).
+void GatherRow(const NormalizedMatrix& t, size_t i, double* out) {
+  const auto& entity = t.entity_features();
+  const size_t ds = entity.cols();
+  for (size_t j = 0; j < ds; ++j) out[j] = entity.At(i, j);
+  size_t offset = ds;
+  for (const auto& tab : t.tables()) {
+    const size_t dr = tab.features.cols();
+    const double* xr = tab.features.Row(tab.fk[i]);
+    for (size_t j = 0; j < dr; ++j) out[offset + j] = xr[j];
+    offset += dr;
+  }
+}
+
+}  // namespace
+
+Result<KMeansModel> TrainFactorizedKMeans(const NormalizedMatrix& t,
+                                          const KMeansConfig& config) {
+  const size_t n = t.rows(), d = t.cols(), k = config.k;
+  if (k == 0 || k > n) return Status::InvalidArgument("k must be in [1, n]");
+
+  KMeansModel model;
+  model.centers = DenseMatrix(k, d);
+  auto init_rows = SampleInitRows(n, k, config.seed);
+  for (size_t c = 0; c < k; ++c) GatherRow(t, init_rows[c], model.centers.Row(c));
+  model.labels.assign(n, 0);
+
+  // Row squared norms are join-invariant: compute once, factorized.
+  DenseMatrix row_norms = t.RowSquaredNorms();
+
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  for (size_t iter = 0; iter < config.max_iters; ++iter) {
+    // Cross terms T · Cᵀ in one factorized multiply (n x k).
+    DenseMatrix ct = la::Transpose(model.centers);
+    DMML_ASSIGN_OR_RETURN(DenseMatrix cross, t.Multiply(ct));
+
+    std::vector<double> center_norms(k);
+    for (size_t c = 0; c < k; ++c) {
+      center_norms[c] = la::Dot(model.centers.Row(c), model.centers.Row(c), d);
+    }
+
+    // Assignment + inertia from the distance decomposition.
+    double inertia = 0;
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < k; ++c) {
+        double dist = row_norms.At(i, 0) - 2.0 * cross.At(i, c) + center_norms[c];
+        if (dist < best_d) {
+          best_d = dist;
+          best = c;
+        }
+      }
+      model.labels[i] = static_cast<int>(best);
+      inertia += std::max(0.0, best_d);
+    }
+
+    // Update step: C' = (Aᵀ T)ᵀ scaled by cluster sizes, where A is the
+    // assignment indicator — one factorized transpose-multiply.
+    DenseMatrix a(n, k);
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      a.At(i, static_cast<size_t>(model.labels[i])) = 1.0;
+      counts[static_cast<size_t>(model.labels[i])]++;
+    }
+    DMML_ASSIGN_OR_RETURN(DenseMatrix sums, t.TransposeMultiply(a));  // d x k
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster with a random logical row.
+        Rng rng(config.seed + iter * 7919 + c);
+        GatherRow(t, rng.UniformInt(static_cast<uint64_t>(n)), model.centers.Row(c));
+        continue;
+      }
+      double inv = 1.0 / static_cast<double>(counts[c]);
+      for (size_t j = 0; j < d; ++j) model.centers.At(c, j) = sums.At(j, c) * inv;
+    }
+
+    model.inertia = inertia;
+    model.inertia_history.push_back(inertia);
+    model.iters_run = iter + 1;
+    if (std::isfinite(prev_inertia) &&
+        std::fabs(prev_inertia - inertia) <=
+        config.tolerance * std::max(1.0, prev_inertia)) {
+      break;
+    }
+    prev_inertia = inertia;
+  }
+  return model;
+}
+
+Result<KMeansModel> TrainMaterializedKMeans(const NormalizedMatrix& t,
+                                            const KMeansConfig& config) {
+  DenseMatrix x = t.Materialize();
+  return ml::TrainKMeans(x, config);
+}
+
+}  // namespace dmml::factorized

@@ -1,0 +1,31 @@
+/// \file factorized_kmeans.h
+/// \brief Lloyd's k-means pushed through the join (Morpheus-style).
+///
+/// The two expensive steps of Lloyd's algorithm are linear-algebra ops over
+/// the design matrix T:
+///   * distances:  D = rownorms(T) · 1ᵀ − 2 T Cᵀ + 1 · colnorms(C)ᵀ
+///   * update:     C' = (Aᵀ T) / counts, A the n x k assignment indicator
+/// Both reduce to NormalizedMatrix::Multiply / TransposeMultiply, so k-means
+/// runs on normalized data without materializing the join.
+#ifndef DMML_FACTORIZED_FACTORIZED_KMEANS_H_
+#define DMML_FACTORIZED_FACTORIZED_KMEANS_H_
+
+#include "factorized/normalized_matrix.h"
+#include "ml/kmeans.h"
+#include "util/result.h"
+
+namespace dmml::factorized {
+
+/// \brief Runs Lloyd's k-means on the logical join output of `t` using only
+/// factorized operators. Initial centers are sampled logical rows.
+Result<ml::KMeansModel> TrainFactorizedKMeans(const NormalizedMatrix& t,
+                                              const ml::KMeansConfig& config);
+
+/// \brief Baseline: materializes the join and delegates to ml::TrainKMeans.
+/// Uses the same initialization rule for comparability.
+Result<ml::KMeansModel> TrainMaterializedKMeans(const NormalizedMatrix& t,
+                                                const ml::KMeansConfig& config);
+
+}  // namespace dmml::factorized
+
+#endif  // DMML_FACTORIZED_FACTORIZED_KMEANS_H_

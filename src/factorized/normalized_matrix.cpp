@@ -1,0 +1,165 @@
+#include "factorized/normalized_matrix.h"
+
+#include "la/kernels.h"
+
+namespace dmml::factorized {
+
+using la::DenseMatrix;
+
+Result<NormalizedMatrix> NormalizedMatrix::Make(DenseMatrix entity_features,
+                                                std::vector<AttributeTable> tables) {
+  const size_t ns = entity_features.rows();
+  if (ns == 0) return Status::InvalidArgument("NormalizedMatrix: zero rows");
+  if (tables.empty()) {
+    return Status::InvalidArgument("NormalizedMatrix needs >= 1 attribute table");
+  }
+  size_t cols = entity_features.cols();
+  for (size_t t = 0; t < tables.size(); ++t) {
+    const auto& tab = tables[t];
+    if (tab.fk.size() != ns) {
+      return Status::InvalidArgument("table " + std::to_string(t) +
+                                     ": fk length does not match entity rows");
+    }
+    const size_t nr = tab.features.rows();
+    if (nr == 0 || tab.features.cols() == 0) {
+      return Status::InvalidArgument("table " + std::to_string(t) +
+                                     ": empty attribute features");
+    }
+    for (uint32_t key : tab.fk) {
+      if (key >= nr) {
+        return Status::OutOfRange("table " + std::to_string(t) +
+                                  ": foreign key out of range");
+      }
+    }
+    cols += tab.features.cols();
+  }
+  NormalizedMatrix nm;
+  nm.rows_ = ns;
+  nm.cols_ = cols;
+  nm.entity_ = std::move(entity_features);
+  nm.tables_ = std::move(tables);
+  return nm;
+}
+
+Result<DenseMatrix> NormalizedMatrix::Multiply(const DenseMatrix& m) const {
+  if (m.rows() != cols_) {
+    return Status::InvalidArgument("Multiply: operand has " + std::to_string(m.rows()) +
+                                   " rows, expected " + std::to_string(cols_));
+  }
+  const size_t k = m.cols();
+  DenseMatrix out(rows_, k);
+
+  // Entity block: XS * M_S (standard dense product).
+  size_t offset = 0;
+  const size_t ds = entity_.cols();
+  if (ds > 0) {
+    DenseMatrix ms = m.SliceRows(0, ds);
+    out = la::Multiply(entity_, ms);
+    offset = ds;
+  }
+
+  // Attribute blocks: compute XR_i * M_i once per distinct rid, then gather.
+  for (const auto& tab : tables_) {
+    const size_t dr = tab.features.cols();
+    DenseMatrix mi = m.SliceRows(offset, offset + dr);
+    DenseMatrix partial = la::Multiply(tab.features, mi);  // nR x k
+    for (size_t i = 0; i < rows_; ++i) {
+      la::Axpy(1.0, partial.Row(tab.fk[i]), out.Row(i), k);
+    }
+    offset += dr;
+  }
+  return out;
+}
+
+Result<DenseMatrix> NormalizedMatrix::TransposeMultiply(const DenseMatrix& m) const {
+  if (m.rows() != rows_) {
+    return Status::InvalidArgument("TransposeMultiply: operand has " +
+                                   std::to_string(m.rows()) + " rows, expected " +
+                                   std::to_string(rows_));
+  }
+  const size_t k = m.cols();
+  DenseMatrix out(cols_, k);
+
+  // Entity block: XSᵀ * M.
+  size_t offset = 0;
+  const size_t ds = entity_.cols();
+  if (ds > 0) {
+    for (size_t i = 0; i < rows_; ++i) {
+      const double* xs = entity_.Row(i);
+      const double* mrow = m.Row(i);
+      for (size_t j = 0; j < ds; ++j) {
+        la::Axpy(xs[j], mrow, out.Row(j), k);
+      }
+    }
+    offset = ds;
+  }
+
+  // Attribute blocks: group-accumulate m by fk, then XR_iᵀ * grouped.
+  for (const auto& tab : tables_) {
+    const size_t nr = tab.features.rows();
+    const size_t dr = tab.features.cols();
+    DenseMatrix grouped(nr, k);
+    for (size_t i = 0; i < rows_; ++i) {
+      la::Axpy(1.0, m.Row(i), grouped.Row(tab.fk[i]), k);
+    }
+    // XR_iᵀ (dr x nr) * grouped (nr x k) without forming the transpose.
+    for (size_t r = 0; r < nr; ++r) {
+      const double* xr = tab.features.Row(r);
+      const double* g = grouped.Row(r);
+      for (size_t j = 0; j < dr; ++j) {
+        la::Axpy(xr[j], g, out.Row(offset + j), k);
+      }
+    }
+    offset += dr;
+  }
+  return out;
+}
+
+DenseMatrix NormalizedMatrix::RowSquaredNorms() const {
+  DenseMatrix out(rows_, 1);
+  const size_t ds = entity_.cols();
+  for (size_t i = 0; i < rows_; ++i) {
+    out.At(i, 0) = la::Dot(entity_.Row(i), entity_.Row(i), ds);
+  }
+  for (const auto& tab : tables_) {
+    const size_t nr = tab.features.rows();
+    const size_t dr = tab.features.cols();
+    // Per-rid squared norms, computed once.
+    std::vector<double> norms(nr);
+    for (size_t r = 0; r < nr; ++r) {
+      norms[r] = la::Dot(tab.features.Row(r), tab.features.Row(r), dr);
+    }
+    for (size_t i = 0; i < rows_; ++i) out.At(i, 0) += norms[tab.fk[i]];
+  }
+  return out;
+}
+
+DenseMatrix NormalizedMatrix::Materialize() const {
+  DenseMatrix out(rows_, cols_);
+  const size_t ds = entity_.cols();
+  for (size_t i = 0; i < rows_; ++i) {
+    double* row = out.Row(i);
+    const double* xs = entity_.Row(i);
+    for (size_t j = 0; j < ds; ++j) row[j] = xs[j];
+    size_t offset = ds;
+    for (const auto& tab : tables_) {
+      const size_t dr = tab.features.cols();
+      const double* xr = tab.features.Row(tab.fk[i]);
+      for (size_t j = 0; j < dr; ++j) row[offset + j] = xr[j];
+      offset += dr;
+    }
+  }
+  return out;
+}
+
+double NormalizedMatrix::RedundancyRatio() const {
+  double materialized = static_cast<double>(rows_) * static_cast<double>(cols_);
+  double normalized = static_cast<double>(entity_.size());
+  for (const auto& tab : tables_) {
+    normalized += static_cast<double>(tab.features.size());
+    normalized += static_cast<double>(tab.fk.size());  // Key column storage.
+  }
+  return materialized / normalized;
+}
+
+}  // namespace dmml::factorized

@@ -1,0 +1,101 @@
+#include "la/dense_matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dmml::la {
+
+DenseMatrix::DenseMatrix(size_t rows, size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  DMML_CHECK_EQ(rows_ * cols_, data_.size());
+}
+
+DenseMatrix::DenseMatrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    DMML_CHECK_EQ(row.size(), cols_);
+    for (double v : row) data_.push_back(v);
+  }
+}
+
+DenseMatrix DenseMatrix::ColumnVector(std::vector<double> values) {
+  size_t n = values.size();
+  return DenseMatrix(n, 1, std::move(values));
+}
+
+DenseMatrix DenseMatrix::RowVector(std::vector<double> values) {
+  size_t n = values.size();
+  return DenseMatrix(1, n, std::move(values));
+}
+
+DenseMatrix DenseMatrix::Identity(size_t n) {
+  DenseMatrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+DenseMatrix DenseMatrix::SliceRows(size_t begin, size_t end) const {
+  DMML_CHECK_LE(begin, end);
+  DMML_CHECK_LE(end, rows_);
+  DenseMatrix out(end - begin, cols_);
+  std::copy(data_.begin() + begin * cols_, data_.begin() + end * cols_,
+            out.data_.begin());
+  return out;
+}
+
+DenseMatrix DenseMatrix::SliceCols(size_t begin, size_t end) const {
+  DMML_CHECK_LE(begin, end);
+  DMML_CHECK_LE(end, cols_);
+  DenseMatrix out(rows_, end - begin);
+  for (size_t r = 0; r < rows_; ++r) {
+    std::copy(Row(r) + begin, Row(r) + end, out.Row(r));
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::Column(size_t c) const {
+  DMML_CHECK_LT(c, cols_);
+  DenseMatrix out(rows_, 1);
+  for (size_t r = 0; r < rows_; ++r) out.At(r, 0) = At(r, c);
+  return out;
+}
+
+void DenseMatrix::Fill(double v) {
+  std::fill(data_.begin(), data_.end(), v);
+}
+
+bool DenseMatrix::operator==(const DenseMatrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+}
+
+bool DenseMatrix::ApproxEquals(const DenseMatrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string DenseMatrix::ToString(size_t max_rows, size_t max_cols) const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " [";
+  for (size_t r = 0; r < std::min(rows_, max_rows); ++r) {
+    if (r) os << ", ";
+    os << "[";
+    for (size_t c = 0; c < std::min(cols_, max_cols); ++c) {
+      if (c) os << ", ";
+      os << At(r, c);
+    }
+    if (cols_ > max_cols) os << ", ...";
+    os << "]";
+  }
+  if (rows_ > max_rows) os << ", ...";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace dmml::la

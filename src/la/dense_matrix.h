@@ -1,0 +1,97 @@
+/// \file dense_matrix.h
+/// \brief Row-major dense double matrix — the workhorse value type of dmml.
+#ifndef DMML_LA_DENSE_MATRIX_H_
+#define DMML_LA_DENSE_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace dmml::la {
+
+/// \brief A dense, row-major matrix of doubles.
+///
+/// Vectors are represented as n x 1 (column vector) or 1 x n (row vector)
+/// matrices. Storage is contiguous; element (i, j) lives at data()[i*cols+j].
+class DenseMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  DenseMatrix() = default;
+
+  /// Zero-initialized rows x cols matrix.
+  DenseMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// rows x cols matrix filled with `fill`.
+  DenseMatrix(size_t rows, size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Takes ownership of `data` (size must be rows*cols).
+  DenseMatrix(size_t rows, size_t cols, std::vector<double> data);
+
+  /// Construction from nested initializer lists: {{1,2},{3,4}}.
+  DenseMatrix(std::initializer_list<std::initializer_list<double>> init);
+
+  /// \brief n x 1 column vector from values.
+  static DenseMatrix ColumnVector(std::vector<double> values);
+
+  /// \brief 1 x n row vector from values.
+  static DenseMatrix RowVector(std::vector<double> values);
+
+  /// \brief n x n identity.
+  static DenseMatrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// \brief True iff this is a column or row vector (or 1x1).
+  bool IsVector() const { return rows_ == 1 || cols_ == 1; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  double& operator()(size_t r, size_t c) { return At(r, c); }
+  double operator()(size_t r, size_t c) const { return At(r, c); }
+
+  /// \brief Pointer to the start of row `r`.
+  double* Row(size_t r) { return data_.data() + r * cols_; }
+  const double* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  /// \brief Copies rows [begin, end) into a new matrix.
+  DenseMatrix SliceRows(size_t begin, size_t end) const;
+
+  /// \brief Copies columns [begin, end) into a new matrix.
+  DenseMatrix SliceCols(size_t begin, size_t end) const;
+
+  /// \brief Copies column c as an n x 1 vector.
+  DenseMatrix Column(size_t c) const;
+
+  /// \brief Sets every element to `v`.
+  void Fill(double v);
+
+  /// \brief Exact element-wise equality.
+  bool operator==(const DenseMatrix& other) const;
+
+  /// \brief Element-wise equality within `tol` (absolute).
+  bool ApproxEquals(const DenseMatrix& other, double tol = 1e-9) const;
+
+  /// \brief Debug rendering, e.g. "[[1, 2], [3, 4]]".
+  std::string ToString(size_t max_rows = 8, size_t max_cols = 8) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace dmml::la
+
+#endif  // DMML_LA_DENSE_MATRIX_H_

@@ -1,0 +1,225 @@
+#include "la/kernels.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dmml::la {
+
+DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b, ThreadPool* pool) {
+  DMML_CHECK_EQ(a.cols(), b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  DenseMatrix c(m, n);
+  ParallelFor(pool, m, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      double* crow = c.Row(i);
+      const double* arow = a.Row(i);
+      for (size_t p = 0; p < k; ++p) {
+        const double aip = arow[p];
+        if (aip == 0.0) continue;
+        const double* brow = b.Row(p);
+        for (size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+      }
+    }
+  });
+  return c;
+}
+
+DenseMatrix Gemv(const DenseMatrix& a, const DenseMatrix& x, ThreadPool* pool) {
+  DMML_CHECK(x.cols() == 1);
+  DMML_CHECK_EQ(a.cols(), x.rows());
+  DenseMatrix y(a.rows(), 1);
+  const double* xv = x.data();
+  ParallelFor(pool, a.rows(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      y.At(i, 0) = Dot(a.Row(i), xv, a.cols());
+    }
+  });
+  return y;
+}
+
+DenseMatrix Gevm(const DenseMatrix& x, const DenseMatrix& a, ThreadPool* pool) {
+  (void)pool;  // Row-accumulating; parallel version would need private buffers.
+  DMML_CHECK(x.cols() == 1);
+  DMML_CHECK_EQ(a.rows(), x.rows());
+  DenseMatrix y(1, a.cols());
+  double* yv = y.data();
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double xi = x.data()[i];
+    if (xi == 0.0) continue;
+    Axpy(xi, a.Row(i), yv, a.cols());
+  }
+  return y;
+}
+
+DenseMatrix Transpose(const DenseMatrix& a) {
+  DenseMatrix t(a.cols(), a.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.Row(i);
+    for (size_t j = 0; j < a.cols(); ++j) t.At(j, i) = row[j];
+  }
+  return t;
+}
+
+namespace {
+DenseMatrix Zip(const DenseMatrix& a, const DenseMatrix& b,
+                double (*op)(double, double)) {
+  DMML_CHECK_EQ(a.rows(), b.rows());
+  DMML_CHECK_EQ(a.cols(), b.cols());
+  DenseMatrix c(a.rows(), a.cols());
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* pc = c.data();
+  for (size_t i = 0; i < a.size(); ++i) pc[i] = op(pa[i], pb[i]);
+  return c;
+}
+}  // namespace
+
+DenseMatrix Add(const DenseMatrix& a, const DenseMatrix& b) {
+  return Zip(a, b, [](double x, double y) { return x + y; });
+}
+
+DenseMatrix Subtract(const DenseMatrix& a, const DenseMatrix& b) {
+  return Zip(a, b, [](double x, double y) { return x - y; });
+}
+
+DenseMatrix ElementwiseMultiply(const DenseMatrix& a, const DenseMatrix& b) {
+  return Zip(a, b, [](double x, double y) { return x * y; });
+}
+
+DenseMatrix Scale(const DenseMatrix& a, double alpha) {
+  DenseMatrix c(a.rows(), a.cols());
+  for (size_t i = 0; i < a.size(); ++i) c.data()[i] = alpha * a.data()[i];
+  return c;
+}
+
+DenseMatrix AddScalar(const DenseMatrix& a, double alpha) {
+  DenseMatrix c(a.rows(), a.cols());
+  for (size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] + alpha;
+  return c;
+}
+
+DenseMatrix Map(const DenseMatrix& a, const std::function<double(double)>& fn) {
+  DenseMatrix c(a.rows(), a.cols());
+  for (size_t i = 0; i < a.size(); ++i) c.data()[i] = fn(a.data()[i]);
+  return c;
+}
+
+void Axpy(double alpha, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+double Dot(const double* x, const double* y, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double Dot(const DenseMatrix& x, const DenseMatrix& y) {
+  DMML_CHECK(x.IsVector());
+  DMML_CHECK(y.IsVector());
+  DMML_CHECK_EQ(x.size(), y.size());
+  return Dot(x.data(), y.data(), x.size());
+}
+
+double Sum(const DenseMatrix& a) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a.data()[i];
+  return acc;
+}
+
+DenseMatrix ColumnSums(const DenseMatrix& a) {
+  DenseMatrix s(1, a.cols());
+  for (size_t i = 0; i < a.rows(); ++i) Axpy(1.0, a.Row(i), s.data(), a.cols());
+  return s;
+}
+
+DenseMatrix RowSums(const DenseMatrix& a) {
+  DenseMatrix s(a.rows(), 1);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double acc = 0.0;
+    const double* row = a.Row(i);
+    for (size_t j = 0; j < a.cols(); ++j) acc += row[j];
+    s.At(i, 0) = acc;
+  }
+  return s;
+}
+
+double FrobeniusNorm(const DenseMatrix& a) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a.data()[i] * a.data()[i];
+  return std::sqrt(acc);
+}
+
+double RowSquaredDistance(const DenseMatrix& a, size_t r1, const DenseMatrix& b,
+                          size_t r2) {
+  DMML_CHECK_EQ(a.cols(), b.cols());
+  const double* x = a.Row(r1);
+  const double* y = b.Row(r2);
+  double acc = 0.0;
+  for (size_t j = 0; j < a.cols(); ++j) {
+    double d = x[j] - y[j];
+    acc += d * d;
+  }
+  return acc;
+}
+
+DenseMatrix SparseGemv(const SparseMatrix& a, const DenseMatrix& x, ThreadPool* pool) {
+  DMML_CHECK(x.cols() == 1);
+  DMML_CHECK_EQ(a.cols(), x.rows());
+  DenseMatrix y(a.rows(), 1);
+  const double* xv = x.data();
+  ParallelFor(pool, a.rows(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      double acc = 0.0;
+      for (size_t k = a.RowBegin(i); k < a.RowEnd(i); ++k) {
+        acc += a.values()[k] * xv[a.col_idx()[k]];
+      }
+      y.At(i, 0) = acc;
+    }
+  });
+  return y;
+}
+
+DenseMatrix SparseGevm(const DenseMatrix& x, const SparseMatrix& a) {
+  DMML_CHECK(x.cols() == 1);
+  DMML_CHECK_EQ(a.rows(), x.rows());
+  DenseMatrix y(1, a.cols());
+  double* yv = y.data();
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double xi = x.data()[i];
+    if (xi == 0.0) continue;
+    for (size_t k = a.RowBegin(i); k < a.RowEnd(i); ++k) {
+      yv[a.col_idx()[k]] += xi * a.values()[k];
+    }
+  }
+  return y;
+}
+
+DenseMatrix SparseMultiplyDense(const SparseMatrix& a, const DenseMatrix& b,
+                                ThreadPool* pool) {
+  DMML_CHECK_EQ(a.cols(), b.rows());
+  DenseMatrix c(a.rows(), b.cols());
+  ParallelFor(pool, a.rows(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      double* crow = c.Row(i);
+      for (size_t k = a.RowBegin(i); k < a.RowEnd(i); ++k) {
+        Axpy(a.values()[k], b.Row(a.col_idx()[k]), crow, b.cols());
+      }
+    }
+  });
+  return c;
+}
+
+SparseMatrix SparseTranspose(const SparseMatrix& a) {
+  std::vector<Triplet> triplets;
+  triplets.reserve(a.nnz());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t k = a.RowBegin(r); k < a.RowEnd(r); ++k) {
+      triplets.push_back({a.col_idx()[k], r, a.values()[k]});
+    }
+  }
+  return SparseMatrix::FromTriplets(a.cols(), a.rows(), std::move(triplets));
+}
+
+}  // namespace dmml::la

@@ -1,0 +1,100 @@
+/// \file kernels.h
+/// \brief BLAS-like computational kernels over DenseMatrix / SparseMatrix.
+///
+/// All kernels are free functions; shape mismatches are surfaced as Status
+/// errors by the checked wrappers in ops.h, while the kernels here assume
+/// validated shapes (checked with DMML_CHECK in debug spirit).
+#ifndef DMML_LA_KERNELS_H_
+#define DMML_LA_KERNELS_H_
+
+#include <functional>
+
+#include "la/dense_matrix.h"
+#include "la/sparse_matrix.h"
+#include "util/thread_pool.h"
+
+namespace dmml::la {
+
+// ---------------------------------------------------------------------------
+// Dense kernels
+// ---------------------------------------------------------------------------
+
+/// \brief C = A * B (dense GEMM, ikj loop order). Optionally parallel over rows.
+DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b,
+                     ThreadPool* pool = nullptr);
+
+/// \brief y = A * x with x an (n x 1) vector; returns (m x 1).
+DenseMatrix Gemv(const DenseMatrix& a, const DenseMatrix& x,
+                 ThreadPool* pool = nullptr);
+
+/// \brief y = x^T * A with x an (m x 1) vector; returns (1 x n).
+DenseMatrix Gevm(const DenseMatrix& x, const DenseMatrix& a,
+                 ThreadPool* pool = nullptr);
+
+/// \brief A^T.
+DenseMatrix Transpose(const DenseMatrix& a);
+
+/// \brief A + B.
+DenseMatrix Add(const DenseMatrix& a, const DenseMatrix& b);
+
+/// \brief A - B.
+DenseMatrix Subtract(const DenseMatrix& a, const DenseMatrix& b);
+
+/// \brief Element-wise (Hadamard) product.
+DenseMatrix ElementwiseMultiply(const DenseMatrix& a, const DenseMatrix& b);
+
+/// \brief alpha * A.
+DenseMatrix Scale(const DenseMatrix& a, double alpha);
+
+/// \brief A + alpha (element-wise scalar add).
+DenseMatrix AddScalar(const DenseMatrix& a, double alpha);
+
+/// \brief Applies `fn` to every element.
+DenseMatrix Map(const DenseMatrix& a, const std::function<double(double)>& fn);
+
+/// \brief In-place y += alpha * x over raw buffers of length n.
+void Axpy(double alpha, const double* x, double* y, size_t n);
+
+/// \brief Dot product of raw buffers of length n.
+double Dot(const double* x, const double* y, size_t n);
+
+/// \brief Dot product of two vectors (either orientation, same length).
+double Dot(const DenseMatrix& x, const DenseMatrix& y);
+
+/// \brief Sum of all elements.
+double Sum(const DenseMatrix& a);
+
+/// \brief Per-column sums as a 1 x cols row vector.
+DenseMatrix ColumnSums(const DenseMatrix& a);
+
+/// \brief Per-row sums as a rows x 1 column vector.
+DenseMatrix RowSums(const DenseMatrix& a);
+
+/// \brief Frobenius norm.
+double FrobeniusNorm(const DenseMatrix& a);
+
+/// \brief Squared L2 distance between row `r1` of a and row `r2` of b.
+double RowSquaredDistance(const DenseMatrix& a, size_t r1, const DenseMatrix& b,
+                          size_t r2);
+
+// ---------------------------------------------------------------------------
+// Sparse kernels
+// ---------------------------------------------------------------------------
+
+/// \brief y = A * x for CSR A and dense (n x 1) x.
+DenseMatrix SparseGemv(const SparseMatrix& a, const DenseMatrix& x,
+                       ThreadPool* pool = nullptr);
+
+/// \brief y = x^T * A for CSR A; returns (1 x n).
+DenseMatrix SparseGevm(const DenseMatrix& x, const SparseMatrix& a);
+
+/// \brief C = A * B for CSR A and dense B.
+DenseMatrix SparseMultiplyDense(const SparseMatrix& a, const DenseMatrix& b,
+                                ThreadPool* pool = nullptr);
+
+/// \brief A^T for CSR A (returns CSR).
+SparseMatrix SparseTranspose(const SparseMatrix& a);
+
+}  // namespace dmml::la
+
+#endif  // DMML_LA_KERNELS_H_

@@ -1,0 +1,150 @@
+#include "la/matrix_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "util/csv.h"
+#include "util/string_utils.h"
+
+namespace dmml::la {
+
+namespace {
+
+constexpr char kDenseMagic[4] = {'D', 'M', 'M', '1'};
+constexpr char kSparseMagic[4] = {'D', 'M', 'S', '1'};
+
+Status WriteExact(std::ofstream& out, const void* data, size_t bytes) {
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+  if (!out) return Status::IOError("matrix write failed");
+  return Status::OK();
+}
+
+Status ReadExact(std::ifstream& in, void* data, size_t bytes) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (in.gcount() != static_cast<std::streamsize>(bytes)) {
+    return Status::IOError("matrix file truncated");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveDenseMatrix(const DenseMatrix& m, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  DMML_RETURN_IF_ERROR(WriteExact(out, kDenseMagic, 4));
+  uint64_t dims[2] = {m.rows(), m.cols()};
+  DMML_RETURN_IF_ERROR(WriteExact(out, dims, sizeof(dims)));
+  return WriteExact(out, m.data(), m.size() * sizeof(double));
+}
+
+Result<DenseMatrix> LoadDenseMatrix(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  char magic[4];
+  DMML_RETURN_IF_ERROR(ReadExact(in, magic, 4));
+  if (std::memcmp(magic, kDenseMagic, 4) != 0) {
+    return Status::InvalidArgument("not a DMM1 dense-matrix file: " + path);
+  }
+  uint64_t dims[2];
+  DMML_RETURN_IF_ERROR(ReadExact(in, dims, sizeof(dims)));
+  if (dims[0] > (1ull << 32) || dims[1] > (1ull << 32)) {
+    return Status::InvalidArgument("implausible matrix dimensions");
+  }
+  DenseMatrix m(static_cast<size_t>(dims[0]), static_cast<size_t>(dims[1]));
+  DMML_RETURN_IF_ERROR(ReadExact(in, m.data(), m.size() * sizeof(double)));
+  return m;
+}
+
+Status SaveSparseMatrix(const SparseMatrix& m, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  DMML_RETURN_IF_ERROR(WriteExact(out, kSparseMagic, 4));
+  uint64_t header[3] = {m.rows(), m.cols(), m.nnz()};
+  DMML_RETURN_IF_ERROR(WriteExact(out, header, sizeof(header)));
+  // row_ptr as u64 for portability across size_t widths.
+  std::vector<uint64_t> row_ptr(m.row_ptr().begin(), m.row_ptr().end());
+  DMML_RETURN_IF_ERROR(
+      WriteExact(out, row_ptr.data(), row_ptr.size() * sizeof(uint64_t)));
+  DMML_RETURN_IF_ERROR(
+      WriteExact(out, m.col_idx().data(), m.col_idx().size() * sizeof(uint32_t)));
+  return WriteExact(out, m.values().data(), m.values().size() * sizeof(double));
+}
+
+Result<SparseMatrix> LoadSparseMatrix(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  char magic[4];
+  DMML_RETURN_IF_ERROR(ReadExact(in, magic, 4));
+  if (std::memcmp(magic, kSparseMagic, 4) != 0) {
+    return Status::InvalidArgument("not a DMS1 sparse-matrix file: " + path);
+  }
+  uint64_t header[3];
+  DMML_RETURN_IF_ERROR(ReadExact(in, header, sizeof(header)));
+  const size_t rows = static_cast<size_t>(header[0]);
+  const size_t cols = static_cast<size_t>(header[1]);
+  const size_t nnz = static_cast<size_t>(header[2]);
+  if (rows > (1ull << 32) || cols > (1ull << 32) || nnz > rows * cols) {
+    return Status::InvalidArgument("implausible sparse matrix header");
+  }
+  std::vector<uint64_t> row_ptr(rows + 1);
+  DMML_RETURN_IF_ERROR(
+      ReadExact(in, row_ptr.data(), row_ptr.size() * sizeof(uint64_t)));
+  std::vector<uint32_t> col_idx(nnz);
+  DMML_RETURN_IF_ERROR(ReadExact(in, col_idx.data(), nnz * sizeof(uint32_t)));
+  std::vector<double> values(nnz);
+  DMML_RETURN_IF_ERROR(ReadExact(in, values.data(), nnz * sizeof(double)));
+
+  // Rebuild through the validating triplet path.
+  std::vector<Triplet> triplets;
+  triplets.reserve(nnz);
+  for (size_t r = 0; r < rows; ++r) {
+    if (row_ptr[r] > row_ptr[r + 1] || row_ptr[r + 1] > nnz) {
+      return Status::InvalidArgument("corrupt row_ptr in sparse matrix file");
+    }
+    for (uint64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      if (col_idx[k] >= cols) {
+        return Status::InvalidArgument("corrupt col_idx in sparse matrix file");
+      }
+      triplets.push_back({r, col_idx[k], values[k]});
+    }
+  }
+  return SparseMatrix::FromTriplets(rows, cols, std::move(triplets));
+}
+
+Status SaveDenseMatrixCsv(const DenseMatrix& m, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.precision(17);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) {
+      if (j) out << ',';
+      out << m.At(i, j);
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("matrix CSV write failed");
+  return Status::OK();
+}
+
+Result<DenseMatrix> LoadDenseMatrixCsv(const std::string& path) {
+  CsvOptions options;
+  options.has_header = false;
+  DMML_ASSIGN_OR_RETURN(CsvDocument doc, ReadCsvFile(path, options));
+  if (doc.rows.empty()) return DenseMatrix();
+  const size_t cols = doc.rows.front().size();
+  DenseMatrix m(doc.rows.size(), cols);
+  for (size_t i = 0; i < doc.rows.size(); ++i) {
+    if (doc.rows[i].size() != cols) {
+      return Status::InvalidArgument("ragged CSV row " + std::to_string(i));
+    }
+    for (size_t j = 0; j < cols; ++j) {
+      DMML_ASSIGN_OR_RETURN(double v, ParseDouble(doc.rows[i][j]));
+      m.At(i, j) = v;
+    }
+  }
+  return m;
+}
+
+}  // namespace dmml::la

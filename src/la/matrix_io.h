@@ -1,0 +1,37 @@
+/// \file matrix_io.h
+/// \brief Matrix persistence: a small binary format plus CSV interop.
+#ifndef DMML_LA_MATRIX_IO_H_
+#define DMML_LA_MATRIX_IO_H_
+
+#include <string>
+
+#include "la/dense_matrix.h"
+#include "la/sparse_matrix.h"
+#include "util/result.h"
+
+namespace dmml::la {
+
+/// \brief Writes a dense matrix as "DMM1" binary: magic, rows, cols,
+/// row-major float64 payload (host endianness).
+Status SaveDenseMatrix(const DenseMatrix& m, const std::string& path);
+
+/// \brief Reads a matrix written by SaveDenseMatrix, validating the header.
+Result<DenseMatrix> LoadDenseMatrix(const std::string& path);
+
+/// \brief Writes a CSR matrix as "DMS1" binary: magic, rows, cols, nnz,
+/// row_ptr, col_idx, values.
+Status SaveSparseMatrix(const SparseMatrix& m, const std::string& path);
+
+/// \brief Reads a matrix written by SaveSparseMatrix.
+Result<SparseMatrix> LoadSparseMatrix(const std::string& path);
+
+/// \brief Writes a dense matrix as headerless CSV (one row per line).
+Status SaveDenseMatrixCsv(const DenseMatrix& m, const std::string& path);
+
+/// \brief Reads a headerless numeric CSV into a dense matrix; all rows must
+/// have equal width.
+Result<DenseMatrix> LoadDenseMatrixCsv(const std::string& path);
+
+}  // namespace dmml::la
+
+#endif  // DMML_LA_MATRIX_IO_H_

@@ -1,0 +1,101 @@
+#include "la/ops.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace dmml::la {
+
+namespace {
+std::string ShapeError(const char* op, const DenseMatrix& a, const DenseMatrix& b) {
+  std::ostringstream os;
+  os << op << ": incompatible shapes " << a.rows() << "x" << a.cols() << " and "
+     << b.rows() << "x" << b.cols();
+  return os.str();
+}
+}  // namespace
+
+Result<DenseMatrix> CheckedMultiply(const DenseMatrix& a, const DenseMatrix& b) {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument(ShapeError("multiply", a, b));
+  }
+  return Multiply(a, b);
+}
+
+Result<DenseMatrix> CheckedAdd(const DenseMatrix& a, const DenseMatrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return Status::InvalidArgument(ShapeError("add", a, b));
+  }
+  return Add(a, b);
+}
+
+Result<DenseMatrix> CheckedSubtract(const DenseMatrix& a, const DenseMatrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return Status::InvalidArgument(ShapeError("subtract", a, b));
+  }
+  return Subtract(a, b);
+}
+
+Result<DenseMatrix> CheckedElementwiseMultiply(const DenseMatrix& a,
+                                               const DenseMatrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return Status::InvalidArgument(ShapeError("elementwise multiply", a, b));
+  }
+  return ElementwiseMultiply(a, b);
+}
+
+Result<DenseMatrix> Solve(const DenseMatrix& a, const DenseMatrix& b) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Solve: A must be square");
+  }
+  if (a.rows() != b.rows()) {
+    return Status::InvalidArgument(ShapeError("solve", a, b));
+  }
+  const size_t n = a.rows();
+  const size_t m = b.cols();
+  DenseMatrix lu = a;  // Working copy, destroyed by elimination.
+  DenseMatrix x = b;
+
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    size_t pivot = col;
+    double best = std::fabs(lu.At(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      double v = std::fabs(lu.At(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      return Status::FailedPrecondition("Solve: matrix is singular to precision");
+    }
+    if (pivot != col) {
+      for (size_t j = 0; j < n; ++j) std::swap(lu.At(col, j), lu.At(pivot, j));
+      for (size_t j = 0; j < m; ++j) std::swap(x.At(col, j), x.At(pivot, j));
+    }
+    const double d = lu.At(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      double f = lu.At(r, col) / d;
+      if (f == 0.0) continue;
+      for (size_t j = col; j < n; ++j) lu.At(r, j) -= f * lu.At(col, j);
+      for (size_t j = 0; j < m; ++j) x.At(r, j) -= f * x.At(col, j);
+    }
+  }
+  // Back substitution.
+  for (size_t col = n; col-- > 0;) {
+    const double d = lu.At(col, col);
+    for (size_t j = 0; j < m; ++j) x.At(col, j) /= d;
+    for (size_t r = 0; r < col; ++r) {
+      double f = lu.At(r, col);
+      if (f == 0.0) continue;
+      for (size_t j = 0; j < m; ++j) x.At(r, j) -= f * x.At(col, j);
+    }
+  }
+  return x;
+}
+
+Result<DenseMatrix> Inverse(const DenseMatrix& a) {
+  return Solve(a, DenseMatrix::Identity(a.rows()));
+}
+
+}  // namespace dmml::la

@@ -1,0 +1,40 @@
+/// \file ops.h
+/// \brief Shape-checked, Status-returning wrappers over the LA kernels.
+///
+/// These are the public entry points for callers that cannot guarantee
+/// conforming shapes (e.g. user-provided matrices); internal code on a hot
+/// path calls the kernels directly.
+#ifndef DMML_LA_OPS_H_
+#define DMML_LA_OPS_H_
+
+#include "la/dense_matrix.h"
+#include "la/kernels.h"
+#include "la/sparse_matrix.h"
+#include "util/result.h"
+
+namespace dmml::la {
+
+/// \brief C = A * B, validating inner dimensions.
+Result<DenseMatrix> CheckedMultiply(const DenseMatrix& a, const DenseMatrix& b);
+
+/// \brief A + B, validating shapes.
+Result<DenseMatrix> CheckedAdd(const DenseMatrix& a, const DenseMatrix& b);
+
+/// \brief A - B, validating shapes.
+Result<DenseMatrix> CheckedSubtract(const DenseMatrix& a, const DenseMatrix& b);
+
+/// \brief Hadamard product, validating shapes.
+Result<DenseMatrix> CheckedElementwiseMultiply(const DenseMatrix& a,
+                                               const DenseMatrix& b);
+
+/// \brief Solves A x = b for square A via partial-pivot Gaussian elimination.
+///
+/// Returns FailedPrecondition for singular (to working precision) systems.
+Result<DenseMatrix> Solve(const DenseMatrix& a, const DenseMatrix& b);
+
+/// \brief Inverse of square A (via Solve against the identity).
+Result<DenseMatrix> Inverse(const DenseMatrix& a);
+
+}  // namespace dmml::la
+
+#endif  // DMML_LA_OPS_H_

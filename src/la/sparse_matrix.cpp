@@ -1,0 +1,84 @@
+#include "la/sparse_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dmml::la {
+
+SparseMatrix SparseMatrix::FromTriplets(size_t rows, size_t cols,
+                                        std::vector<Triplet> triplets) {
+  for (const auto& t : triplets) {
+    DMML_CHECK_LT(t.row, rows);
+    DMML_CHECK_LT(t.col, cols);
+  }
+  std::sort(triplets.begin(), triplets.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+
+  // Coalesce duplicates.
+  std::vector<Triplet> merged;
+  merged.reserve(triplets.size());
+  for (const auto& t : triplets) {
+    if (!merged.empty() && merged.back().row == t.row && merged.back().col == t.col) {
+      merged.back().value += t.value;
+    } else {
+      merged.push_back(t);
+    }
+  }
+
+  for (const auto& t : merged) {
+    if (t.value == 0.0) continue;
+    m.col_idx_.push_back(static_cast<uint32_t>(t.col));
+    m.values_.push_back(t.value);
+    m.row_ptr_[t.row + 1]++;
+  }
+  for (size_t r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  return m;
+}
+
+SparseMatrix SparseMatrix::FromDense(const DenseMatrix& dense, double tol) {
+  SparseMatrix m;
+  m.rows_ = dense.rows();
+  m.cols_ = dense.cols();
+  m.row_ptr_.assign(m.rows_ + 1, 0);
+  for (size_t r = 0; r < m.rows_; ++r) {
+    const double* row = dense.Row(r);
+    for (size_t c = 0; c < m.cols_; ++c) {
+      if (std::fabs(row[c]) > tol) {
+        m.col_idx_.push_back(static_cast<uint32_t>(c));
+        m.values_.push_back(row[c]);
+      }
+    }
+    m.row_ptr_[r + 1] = m.values_.size();
+  }
+  return m;
+}
+
+double SparseMatrix::At(size_t r, size_t c) const {
+  DMML_CHECK_LT(r, rows_);
+  DMML_CHECK_LT(c, cols_);
+  auto begin = col_idx_.begin() + row_ptr_[r];
+  auto end = col_idx_.begin() + row_ptr_[r + 1];
+  auto it = std::lower_bound(begin, end, static_cast<uint32_t>(c));
+  if (it == end || *it != c) return 0.0;
+  return values_[static_cast<size_t>(it - col_idx_.begin())];
+}
+
+DenseMatrix SparseMatrix::ToDense() const {
+  DenseMatrix out(rows_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      out.At(r, col_idx_[k]) = values_[k];
+    }
+  }
+  return out;
+}
+
+}  // namespace dmml::la

@@ -1,0 +1,84 @@
+/// \file sparse_matrix.h
+/// \brief CSR (compressed sparse row) matrix.
+#ifndef DMML_LA_SPARSE_MATRIX_H_
+#define DMML_LA_SPARSE_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "la/dense_matrix.h"
+
+namespace dmml::la {
+
+/// \brief One (column, value) entry of a sparse row.
+struct SparseEntry {
+  uint32_t col;
+  double value;
+};
+
+/// \brief Builder-friendly triplet (COO) representation.
+struct Triplet {
+  size_t row;
+  size_t col;
+  double value;
+};
+
+/// \brief Immutable CSR sparse matrix of doubles.
+///
+/// Column indices within each row are strictly increasing. Explicit zeros are
+/// allowed but the builders drop them.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// \brief Builds from triplets; duplicates are summed, zeros dropped.
+  static SparseMatrix FromTriplets(size_t rows, size_t cols,
+                                   std::vector<Triplet> triplets);
+
+  /// \brief Converts a dense matrix, dropping entries with |v| <= tol.
+  static SparseMatrix FromDense(const DenseMatrix& dense, double tol = 0.0);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  /// \brief Number of stored entries.
+  size_t nnz() const { return values_.size(); }
+
+  /// \brief nnz / (rows*cols); 0 for an empty matrix.
+  double Density() const {
+    size_t cells = rows_ * cols_;
+    return cells ? static_cast<double>(nnz()) / static_cast<double>(cells) : 0.0;
+  }
+
+  /// \brief Start offset of row r within col_idx()/values().
+  size_t RowBegin(size_t r) const { return row_ptr_[r]; }
+  size_t RowEnd(size_t r) const { return row_ptr_[r + 1]; }
+
+  const std::vector<size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<uint32_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// \brief Element lookup by binary search within the row. O(log nnz(row)).
+  double At(size_t r, size_t c) const;
+
+  /// \brief Materializes to dense.
+  DenseMatrix ToDense() const;
+
+  bool operator==(const SparseMatrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           row_ptr_ == other.row_ptr_ && col_idx_ == other.col_idx_ &&
+           values_ == other.values_;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<size_t> row_ptr_{0};
+  std::vector<uint32_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace dmml::la
+
+#endif  // DMML_LA_SPARSE_MATRIX_H_

@@ -1,0 +1,119 @@
+#include "laopt/cse.h"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace dmml::laopt {
+
+namespace {
+
+// Structural key of a node given canonical ids for its children.
+std::string NodeKey(const ExprNode& node, const std::vector<size_t>& child_ids) {
+  std::ostringstream os;
+  os << static_cast<int>(node.kind());
+  if (node.kind() == OpKind::kInput) {
+    os << ":" << node.matrix().get();  // Payload identity.
+  }
+  if (node.kind() == OpKind::kScalarMul) os << ":" << node.scalar();
+  for (size_t id : child_ids) os << "," << id;
+  return os.str();
+}
+
+class HashConser {
+ public:
+  explicit HashConser(CseReport* report) : report_(report) {}
+
+  Result<ExprPtr> Intern(const ExprPtr& node) {
+    auto memo_it = visited_.find(node.get());
+    if (memo_it != visited_.end()) return memo_it->second;
+
+    std::vector<ExprPtr> kids;
+    std::vector<size_t> child_ids;
+    kids.reserve(node->children().size());
+    for (const auto& c : node->children()) {
+      DMML_ASSIGN_OR_RETURN(ExprPtr interned, Intern(c));
+      child_ids.push_back(ids_.at(interned.get()));
+      kids.push_back(std::move(interned));
+    }
+
+    std::string key = NodeKey(*node, child_ids);
+    auto it = table_.find(key);
+    if (it != table_.end()) {
+      if (report_ && it->second.get() != node.get()) report_->merges++;
+      visited_.emplace(node.get(), it->second);
+      return it->second;
+    }
+
+    // Rebuild the node over the interned children (children may have been
+    // replaced by canonical representatives).
+    ExprPtr rebuilt;
+    switch (node->kind()) {
+      case OpKind::kInput:
+        rebuilt = node;
+        break;
+      case OpKind::kMatMul: {
+        DMML_ASSIGN_OR_RETURN(rebuilt, ExprNode::MatMul(kids[0], kids[1]));
+        break;
+      }
+      case OpKind::kTranspose: {
+        DMML_ASSIGN_OR_RETURN(rebuilt, ExprNode::Transpose(kids[0]));
+        break;
+      }
+      case OpKind::kAdd: {
+        DMML_ASSIGN_OR_RETURN(rebuilt, ExprNode::Add(kids[0], kids[1]));
+        break;
+      }
+      case OpKind::kSubtract: {
+        DMML_ASSIGN_OR_RETURN(rebuilt, ExprNode::Subtract(kids[0], kids[1]));
+        break;
+      }
+      case OpKind::kElemMul: {
+        DMML_ASSIGN_OR_RETURN(rebuilt, ExprNode::ElemMul(kids[0], kids[1]));
+        break;
+      }
+      case OpKind::kScalarMul: {
+        DMML_ASSIGN_OR_RETURN(rebuilt, ExprNode::ScalarMul(node->scalar(), kids[0]));
+        break;
+      }
+      case OpKind::kSum: {
+        DMML_ASSIGN_OR_RETURN(rebuilt, ExprNode::Sum(kids[0]));
+        break;
+      }
+      case OpKind::kRowSums: {
+        DMML_ASSIGN_OR_RETURN(rebuilt, ExprNode::RowSums(kids[0]));
+        break;
+      }
+      case OpKind::kColSums: {
+        DMML_ASSIGN_OR_RETURN(rebuilt, ExprNode::ColSums(kids[0]));
+        break;
+      }
+    }
+    ids_.emplace(rebuilt.get(), next_id_++);
+    table_.emplace(std::move(key), rebuilt);
+    visited_.emplace(node.get(), rebuilt);
+    return rebuilt;
+  }
+
+ private:
+  CseReport* report_;
+  std::unordered_map<std::string, ExprPtr> table_;
+  std::unordered_map<const ExprNode*, ExprPtr> visited_;
+  std::unordered_map<const ExprNode*, size_t> ids_;
+  size_t next_id_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> EliminateCommonSubexpressions(const ExprPtr& root, CseReport* report) {
+  if (!root) return Status::InvalidArgument("CSE: null expression");
+  if (report) {
+    *report = CseReport{};
+    report->nodes_before = root->NumNodes();
+  }
+  HashConser conser(report);
+  DMML_ASSIGN_OR_RETURN(ExprPtr result, conser.Intern(root));
+  if (report) report->nodes_after = result->NumNodes();
+  return result;
+}
+
+}  // namespace dmml::laopt

@@ -1,0 +1,30 @@
+/// \file cse.h
+/// \brief Structural common-subexpression elimination for LA DAGs.
+///
+/// The executor already reuses results for *pointer-identical* sub-DAGs;
+/// this pass hash-conses the expression tree so structurally identical
+/// subtrees built independently (e.g. t(X)·X appearing in two formulas)
+/// become the same node and are computed once.
+#ifndef DMML_LAOPT_CSE_H_
+#define DMML_LAOPT_CSE_H_
+
+#include "laopt/expr.h"
+
+namespace dmml::laopt {
+
+/// \brief CSE statistics.
+struct CseReport {
+  size_t nodes_before = 0;
+  size_t nodes_after = 0;
+  size_t merges = 0;  ///< Structurally duplicate subtrees unified.
+};
+
+/// \brief Rewrites the DAG so equal subtrees share one node. Leaves are
+/// considered equal only when they wrap the same matrix buffer (pointer
+/// identity on the payload), so no data comparison is needed.
+Result<ExprPtr> EliminateCommonSubexpressions(const ExprPtr& root,
+                                              CseReport* report = nullptr);
+
+}  // namespace dmml::laopt
+
+#endif  // DMML_LAOPT_CSE_H_

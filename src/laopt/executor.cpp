@@ -1,0 +1,86 @@
+#include "laopt/executor.h"
+
+#include <unordered_map>
+
+#include "la/kernels.h"
+#include "laopt/optimizer.h"
+
+namespace dmml::laopt {
+
+using la::DenseMatrix;
+
+namespace {
+
+class Evaluator {
+ public:
+  Evaluator(ThreadPool* pool, ExecStats* stats) : pool_(pool), stats_(stats) {}
+
+  Result<DenseMatrix> Eval(const ExprPtr& node) {
+    auto it = memo_.find(node.get());
+    if (it != memo_.end()) {
+      if (stats_) stats_->memo_hits++;
+      return it->second;
+    }
+    DMML_ASSIGN_OR_RETURN(DenseMatrix result, EvalUncached(node));
+    memo_.emplace(node.get(), result);
+    return result;
+  }
+
+ private:
+  Result<DenseMatrix> EvalUncached(const ExprPtr& node) {
+    if (node->kind() == OpKind::kInput) return *node->matrix();
+    if (stats_) stats_->ops_executed++;
+
+    std::vector<DenseMatrix> kids;
+    kids.reserve(node->children().size());
+    for (const auto& c : node->children()) {
+      DMML_ASSIGN_OR_RETURN(DenseMatrix k, Eval(c));
+      kids.push_back(std::move(k));
+    }
+    switch (node->kind()) {
+      case OpKind::kMatMul:
+        return la::Multiply(kids[0], kids[1], pool_);
+      case OpKind::kTranspose:
+        return la::Transpose(kids[0]);
+      case OpKind::kAdd:
+        return la::Add(kids[0], kids[1]);
+      case OpKind::kSubtract:
+        return la::Subtract(kids[0], kids[1]);
+      case OpKind::kElemMul:
+        return la::ElementwiseMultiply(kids[0], kids[1]);
+      case OpKind::kScalarMul:
+        return la::Scale(kids[0], node->scalar());
+      case OpKind::kSum: {
+        DenseMatrix out(1, 1);
+        out.At(0, 0) = la::Sum(kids[0]);
+        return out;
+      }
+      case OpKind::kRowSums:
+        return la::RowSums(kids[0]);
+      case OpKind::kColSums:
+        return la::ColumnSums(kids[0]);
+      case OpKind::kInput:
+        break;  // Handled above.
+    }
+    return Status::Internal("unknown op kind in executor");
+  }
+
+  ThreadPool* pool_;
+  ExecStats* stats_;
+  std::unordered_map<const ExprNode*, DenseMatrix> memo_;
+};
+
+}  // namespace
+
+Result<DenseMatrix> Execute(const ExprPtr& root, ThreadPool* pool, ExecStats* stats) {
+  if (!root) return Status::InvalidArgument("Execute: null expression");
+  Evaluator evaluator(pool, stats);
+  return evaluator.Eval(root);
+}
+
+Result<DenseMatrix> OptimizeAndExecute(const ExprPtr& root, ThreadPool* pool) {
+  DMML_ASSIGN_OR_RETURN(ExprPtr optimized, Optimize(root));
+  return Execute(optimized, pool);
+}
+
+}  // namespace dmml::laopt

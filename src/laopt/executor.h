@@ -1,0 +1,28 @@
+/// \file executor.h
+/// \brief Evaluates LA expression DAGs with common-subexpression memoization.
+#ifndef DMML_LAOPT_EXECUTOR_H_
+#define DMML_LAOPT_EXECUTOR_H_
+
+#include "laopt/expr.h"
+#include "util/thread_pool.h"
+
+namespace dmml::laopt {
+
+/// \brief Execution statistics.
+struct ExecStats {
+  size_t ops_executed = 0;      ///< Non-leaf nodes evaluated.
+  size_t memo_hits = 0;         ///< Shared sub-DAGs reused.
+};
+
+/// \brief Evaluates `root`, reusing results for shared sub-DAGs (pointer
+/// identity). Thread pool, if given, parallelizes large matmuls.
+Result<la::DenseMatrix> Execute(const ExprPtr& root, ThreadPool* pool = nullptr,
+                                ExecStats* stats = nullptr);
+
+/// \brief Optimize-then-execute convenience.
+Result<la::DenseMatrix> OptimizeAndExecute(const ExprPtr& root,
+                                           ThreadPool* pool = nullptr);
+
+}  // namespace dmml::laopt
+
+#endif  // DMML_LAOPT_EXECUTOR_H_

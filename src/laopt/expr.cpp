@@ -1,0 +1,218 @@
+#include "laopt/expr.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace dmml::laopt {
+
+namespace {
+// Private-constructor helper: make_shared cannot reach ExprNode's private
+// constructor, so allocate through a local subclass.
+struct NodeMaker : ExprNode {};
+
+std::shared_ptr<ExprNode> NewNode() {
+  return std::static_pointer_cast<ExprNode>(std::make_shared<NodeMaker>());
+}
+}  // namespace
+
+size_t ExprNode::NumNodes() const {
+  std::unordered_set<const ExprNode*> seen;
+  std::vector<const ExprNode*> stack{this};
+  while (!stack.empty()) {
+    const ExprNode* node = stack.back();
+    stack.pop_back();
+    if (!seen.insert(node).second) continue;
+    for (const auto& c : node->children_) stack.push_back(c.get());
+  }
+  return seen.size();
+}
+
+std::string ExprNode::ToString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case OpKind::kInput:
+      os << (name_.empty() ? "M" : name_) << "[" << rows_ << "x" << cols_ << "]";
+      break;
+    case OpKind::kMatMul:
+      os << "(" << children_[0]->ToString() << " * " << children_[1]->ToString()
+         << ")";
+      break;
+    case OpKind::kTranspose:
+      os << "t(" << children_[0]->ToString() << ")";
+      break;
+    case OpKind::kAdd:
+      os << "(" << children_[0]->ToString() << " + " << children_[1]->ToString()
+         << ")";
+      break;
+    case OpKind::kSubtract:
+      os << "(" << children_[0]->ToString() << " - " << children_[1]->ToString()
+         << ")";
+      break;
+    case OpKind::kElemMul:
+      os << "(" << children_[0]->ToString() << " .* " << children_[1]->ToString()
+         << ")";
+      break;
+    case OpKind::kScalarMul:
+      os << "(" << scalar_ << " * " << children_[0]->ToString() << ")";
+      break;
+    case OpKind::kSum:
+      os << "sum(" << children_[0]->ToString() << ")";
+      break;
+    case OpKind::kRowSums:
+      os << "rowSums(" << children_[0]->ToString() << ")";
+      break;
+    case OpKind::kColSums:
+      os << "colSums(" << children_[0]->ToString() << ")";
+      break;
+  }
+  return os.str();
+}
+
+Result<ExprPtr> ExprNode::Input(std::shared_ptr<const la::DenseMatrix> m,
+                                std::string name) {
+  if (!m) return Status::InvalidArgument("Input: null matrix");
+  auto node = NewNode();
+  node->kind_ = OpKind::kInput;
+  node->rows_ = m->rows();
+  node->cols_ = m->cols();
+  node->matrix_ = std::move(m);
+  node->name_ = std::move(name);
+  return ExprPtr(node);
+}
+
+Result<ExprPtr> ExprNode::MatMul(ExprPtr a, ExprPtr b) {
+  if (!a || !b) return Status::InvalidArgument("MatMul: null operand");
+  if (a->cols() != b->rows()) {
+    return Status::InvalidArgument("MatMul: inner dimension mismatch (" +
+                                   std::to_string(a->cols()) + " vs " +
+                                   std::to_string(b->rows()) + ")");
+  }
+  auto node = NewNode();
+  node->kind_ = OpKind::kMatMul;
+  node->rows_ = a->rows();
+  node->cols_ = b->cols();
+  node->children_ = {std::move(a), std::move(b)};
+  return ExprPtr(node);
+}
+
+Result<ExprPtr> ExprNode::Transpose(ExprPtr a) {
+  if (!a) return Status::InvalidArgument("Transpose: null operand");
+  auto node = NewNode();
+  node->kind_ = OpKind::kTranspose;
+  node->rows_ = a->cols();
+  node->cols_ = a->rows();
+  node->children_ = {std::move(a)};
+  return ExprPtr(node);
+}
+
+Result<ExprPtr> ExprNode::Add(ExprPtr a, ExprPtr b) {
+  if (!a || !b) return Status::InvalidArgument("Add: null operand");
+  if (a->rows() != b->rows() || a->cols() != b->cols()) {
+    return Status::InvalidArgument("Add: shape mismatch");
+  }
+  auto node = NewNode();
+  node->kind_ = OpKind::kAdd;
+  node->rows_ = a->rows();
+  node->cols_ = a->cols();
+  node->children_ = {std::move(a), std::move(b)};
+  return ExprPtr(node);
+}
+
+Result<ExprPtr> ExprNode::Subtract(ExprPtr a, ExprPtr b) {
+  if (!a || !b) return Status::InvalidArgument("Subtract: null operand");
+  if (a->rows() != b->rows() || a->cols() != b->cols()) {
+    return Status::InvalidArgument("Subtract: shape mismatch");
+  }
+  auto node = NewNode();
+  node->kind_ = OpKind::kSubtract;
+  node->rows_ = a->rows();
+  node->cols_ = a->cols();
+  node->children_ = {std::move(a), std::move(b)};
+  return ExprPtr(node);
+}
+
+Result<ExprPtr> ExprNode::ElemMul(ExprPtr a, ExprPtr b) {
+  if (!a || !b) return Status::InvalidArgument("ElemMul: null operand");
+  if (a->rows() != b->rows() || a->cols() != b->cols()) {
+    return Status::InvalidArgument("ElemMul: shape mismatch");
+  }
+  auto node = NewNode();
+  node->kind_ = OpKind::kElemMul;
+  node->rows_ = a->rows();
+  node->cols_ = a->cols();
+  node->children_ = {std::move(a), std::move(b)};
+  return ExprPtr(node);
+}
+
+Result<ExprPtr> ExprNode::ScalarMul(double alpha, ExprPtr a) {
+  if (!a) return Status::InvalidArgument("ScalarMul: null operand");
+  auto node = NewNode();
+  node->kind_ = OpKind::kScalarMul;
+  node->rows_ = a->rows();
+  node->cols_ = a->cols();
+  node->scalar_ = alpha;
+  node->children_ = {std::move(a)};
+  return ExprPtr(node);
+}
+
+Result<ExprPtr> ExprNode::Sum(ExprPtr a) {
+  if (!a) return Status::InvalidArgument("Sum: null operand");
+  auto node = NewNode();
+  node->kind_ = OpKind::kSum;
+  node->rows_ = 1;
+  node->cols_ = 1;
+  node->children_ = {std::move(a)};
+  return ExprPtr(node);
+}
+
+Result<ExprPtr> ExprNode::RowSums(ExprPtr a) {
+  if (!a) return Status::InvalidArgument("RowSums: null operand");
+  auto node = NewNode();
+  node->kind_ = OpKind::kRowSums;
+  node->rows_ = a->rows();
+  node->cols_ = 1;
+  node->children_ = {std::move(a)};
+  return ExprPtr(node);
+}
+
+Result<ExprPtr> ExprNode::ColSums(ExprPtr a) {
+  if (!a) return Status::InvalidArgument("ColSums: null operand");
+  auto node = NewNode();
+  node->kind_ = OpKind::kColSums;
+  node->rows_ = 1;
+  node->cols_ = a->cols();
+  node->children_ = {std::move(a)};
+  return ExprPtr(node);
+}
+
+double EstimateFlops(const ExprPtr& e) {
+  double acc = 0;
+  switch (e->kind()) {
+    case OpKind::kInput:
+      return 0;
+    case OpKind::kMatMul:
+      acc = 2.0 * static_cast<double>(e->children()[0]->rows()) *
+            static_cast<double>(e->children()[0]->cols()) *
+            static_cast<double>(e->children()[1]->cols());
+      break;
+    case OpKind::kTranspose:
+    case OpKind::kScalarMul:
+      acc = static_cast<double>(e->rows()) * static_cast<double>(e->cols());
+      break;
+    case OpKind::kAdd:
+    case OpKind::kSubtract:
+    case OpKind::kElemMul:
+      acc = static_cast<double>(e->rows()) * static_cast<double>(e->cols());
+      break;
+    case OpKind::kSum:
+    case OpKind::kRowSums:
+    case OpKind::kColSums:
+      acc = static_cast<double>(e->children()[0]->rows()) *
+            static_cast<double>(e->children()[0]->cols());
+      break;
+  }
+  for (const auto& c : e->children()) acc += EstimateFlops(c);
+  return acc;
+}
+
+}  // namespace dmml::laopt

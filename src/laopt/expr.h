@@ -1,0 +1,88 @@
+/// \file expr.h
+/// \brief Lazy linear-algebra expression DAG (SystemML-style logical plans).
+///
+/// Expressions are built with overloaded combinators, carry inferred shapes,
+/// and are evaluated by the executor in laopt/executor.h — optionally after
+/// the rewrites in laopt/optimizer.h (transpose elimination, scalar folding,
+/// optimal matrix-chain ordering).
+#ifndef DMML_LAOPT_EXPR_H_
+#define DMML_LAOPT_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "la/dense_matrix.h"
+#include "util/result.h"
+
+namespace dmml::laopt {
+
+/// Operator kind of an expression node.
+enum class OpKind {
+  kInput,      ///< Leaf matrix.
+  kMatMul,     ///< A · B.
+  kTranspose,  ///< Aᵀ.
+  kAdd,        ///< A + B (same shape).
+  kSubtract,   ///< A − B.
+  kElemMul,    ///< A ⊙ B.
+  kScalarMul,  ///< α · A.
+  kSum,        ///< Full sum as a 1x1 matrix.
+  kRowSums,    ///< Per-row sums (n x 1).
+  kColSums,    ///< Per-column sums (1 x n).
+};
+
+class ExprNode;
+using ExprPtr = std::shared_ptr<const ExprNode>;
+
+/// \brief Immutable expression node. Shapes are inferred at construction.
+class ExprNode {
+ public:
+  OpKind kind() const { return kind_; }
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  double scalar() const { return scalar_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+  /// \brief Leaf payload (kInput only).
+  const std::shared_ptr<const la::DenseMatrix>& matrix() const { return matrix_; }
+
+  /// \brief Total node count of the sub-DAG (duplicates counted once).
+  size_t NumNodes() const;
+
+  /// \brief Rendering like "((t(X) * X) * v)".
+  std::string ToString() const;
+
+  // Factories (validated).
+  static Result<ExprPtr> Input(std::shared_ptr<const la::DenseMatrix> m,
+                               std::string name = "");
+  static Result<ExprPtr> MatMul(ExprPtr a, ExprPtr b);
+  static Result<ExprPtr> Transpose(ExprPtr a);
+  static Result<ExprPtr> Add(ExprPtr a, ExprPtr b);
+  static Result<ExprPtr> Subtract(ExprPtr a, ExprPtr b);
+  static Result<ExprPtr> ElemMul(ExprPtr a, ExprPtr b);
+  static Result<ExprPtr> ScalarMul(double alpha, ExprPtr a);
+  static Result<ExprPtr> Sum(ExprPtr a);
+  static Result<ExprPtr> RowSums(ExprPtr a);
+  static Result<ExprPtr> ColSums(ExprPtr a);
+
+  const std::string& name() const { return name_; }
+
+ protected:
+  ExprNode() = default;
+
+ private:
+  OpKind kind_ = OpKind::kInput;
+  size_t rows_ = 0, cols_ = 0;
+  double scalar_ = 1.0;
+  std::string name_;
+  std::shared_ptr<const la::DenseMatrix> matrix_;
+  std::vector<ExprPtr> children_;
+};
+
+/// \brief Estimated floating-point operations to evaluate `e` naively
+/// (no common-subexpression sharing; multiplications dominate).
+double EstimateFlops(const ExprPtr& e);
+
+}  // namespace dmml::laopt
+
+#endif  // DMML_LAOPT_EXPR_H_

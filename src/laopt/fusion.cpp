@@ -1,0 +1,194 @@
+#include "laopt/fusion.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "la/kernels.h"
+
+namespace dmml::laopt {
+
+using la::DenseMatrix;
+
+namespace {
+
+bool IsElementwise(OpKind kind) {
+  return kind == OpKind::kAdd || kind == OpKind::kSubtract ||
+         kind == OpKind::kElemMul || kind == OpKind::kScalarMul;
+}
+
+size_t CountElementwiseOps(const ExprPtr& node) {
+  if (!IsElementwise(node->kind())) return 0;
+  size_t count = 1;
+  for (const auto& c : node->children()) count += CountElementwiseOps(c);
+  return count;
+}
+
+// A compiled cell program in postfix form, executed on a small stack.
+struct Instruction {
+  enum Kind { kLoad, kAdd, kSub, kMul, kScale } kind;
+  size_t input = 0;    // kLoad: index into the inputs array.
+  double alpha = 1.0;  // kScale.
+};
+
+// Compiles the elementwise region into postfix instructions; `inputs`
+// collects the region's non-elementwise boundary nodes (deduplicated).
+void CompileRegion(const ExprPtr& node, std::vector<Instruction>* program,
+                   std::vector<ExprPtr>* inputs,
+                   std::unordered_map<const ExprNode*, size_t>* input_index) {
+  if (!IsElementwise(node->kind())) {
+    auto [it, inserted] = input_index->emplace(node.get(), inputs->size());
+    if (inserted) inputs->push_back(node);
+    program->push_back({Instruction::kLoad, it->second, 0});
+    return;
+  }
+  for (const auto& c : node->children()) {
+    CompileRegion(c, program, inputs, input_index);
+  }
+  switch (node->kind()) {
+    case OpKind::kAdd:
+      program->push_back({Instruction::kAdd, 0, 0});
+      break;
+    case OpKind::kSubtract:
+      program->push_back({Instruction::kSub, 0, 0});
+      break;
+    case OpKind::kElemMul:
+      program->push_back({Instruction::kMul, 0, 0});
+      break;
+    case OpKind::kScalarMul:
+      program->push_back({Instruction::kScale, 0, node->scalar()});
+      break;
+    default:
+      break;  // Unreachable: guarded by IsElementwise.
+  }
+}
+
+}  // namespace
+
+bool IsFusibleRegion(const ExprPtr& node) {
+  return node && CountElementwiseOps(node) >= 2;
+}
+
+Result<DenseMatrix> ExecuteFused(
+    const ExprPtr& node,
+    const std::function<Result<DenseMatrix>(const ExprPtr&)>& eval_child) {
+  if (!IsFusibleRegion(node)) {
+    return Status::InvalidArgument("ExecuteFused: not a fusible region");
+  }
+  std::vector<Instruction> program;
+  std::vector<ExprPtr> input_nodes;
+  std::unordered_map<const ExprNode*, size_t> input_index;
+  CompileRegion(node, &program, &input_nodes, &input_index);
+
+  std::vector<DenseMatrix> inputs;
+  inputs.reserve(input_nodes.size());
+  for (const auto& in : input_nodes) {
+    DMML_ASSIGN_OR_RETURN(DenseMatrix m, eval_child(in));
+    if (m.rows() != node->rows() || m.cols() != node->cols()) {
+      return Status::Internal("fused region input shape mismatch");
+    }
+    inputs.push_back(std::move(m));
+  }
+
+  DenseMatrix out(node->rows(), node->cols());
+  const size_t cells = out.size();
+  std::vector<double> stack(program.size());
+  for (size_t i = 0; i < cells; ++i) {
+    size_t top = 0;
+    for (const Instruction& ins : program) {
+      switch (ins.kind) {
+        case Instruction::kLoad:
+          stack[top++] = inputs[ins.input].data()[i];
+          break;
+        case Instruction::kAdd:
+          --top;
+          stack[top - 1] += stack[top];
+          break;
+        case Instruction::kSub:
+          --top;
+          stack[top - 1] -= stack[top];
+          break;
+        case Instruction::kMul:
+          --top;
+          stack[top - 1] *= stack[top];
+          break;
+        case Instruction::kScale:
+          stack[top - 1] *= ins.alpha;
+          break;
+      }
+    }
+    out.data()[i] = stack[0];
+  }
+  return out;
+}
+
+namespace {
+
+class FusingEvaluator {
+ public:
+  explicit FusingEvaluator(FusionStats* stats) : stats_(stats) {}
+
+  Result<DenseMatrix> Eval(const ExprPtr& node) {
+    auto it = memo_.find(node.get());
+    if (it != memo_.end()) return it->second;
+    DMML_ASSIGN_OR_RETURN(DenseMatrix result, EvalUncached(node));
+    memo_.emplace(node.get(), result);
+    return result;
+  }
+
+ private:
+  Result<DenseMatrix> EvalUncached(const ExprPtr& node) {
+    if (IsFusibleRegion(node)) {
+      if (stats_) {
+        stats_->regions_fused++;
+        stats_->ops_fused += CountElementwiseOps(node);
+      }
+      return ExecuteFused(node, [this](const ExprPtr& c) { return Eval(c); });
+    }
+    if (node->kind() == OpKind::kInput) return *node->matrix();
+    std::vector<DenseMatrix> kids;
+    kids.reserve(node->children().size());
+    for (const auto& c : node->children()) {
+      DMML_ASSIGN_OR_RETURN(DenseMatrix k, Eval(c));
+      kids.push_back(std::move(k));
+    }
+    switch (node->kind()) {
+      case OpKind::kMatMul:
+        return la::Multiply(kids[0], kids[1]);
+      case OpKind::kTranspose:
+        return la::Transpose(kids[0]);
+      case OpKind::kAdd:
+        return la::Add(kids[0], kids[1]);
+      case OpKind::kSubtract:
+        return la::Subtract(kids[0], kids[1]);
+      case OpKind::kElemMul:
+        return la::ElementwiseMultiply(kids[0], kids[1]);
+      case OpKind::kScalarMul:
+        return la::Scale(kids[0], node->scalar());
+      case OpKind::kSum: {
+        DenseMatrix out(1, 1);
+        out.At(0, 0) = la::Sum(kids[0]);
+        return out;
+      }
+      case OpKind::kRowSums:
+        return la::RowSums(kids[0]);
+      case OpKind::kColSums:
+        return la::ColumnSums(kids[0]);
+      case OpKind::kInput:
+        break;
+    }
+    return Status::Internal("unknown op kind in fusing executor");
+  }
+
+  FusionStats* stats_;
+  std::unordered_map<const ExprNode*, DenseMatrix> memo_;
+};
+
+}  // namespace
+
+Result<DenseMatrix> ExecuteWithFusion(const ExprPtr& root, FusionStats* stats) {
+  if (!root) return Status::InvalidArgument("ExecuteWithFusion: null expression");
+  FusingEvaluator evaluator(stats);
+  return evaluator.Eval(root);
+}
+
+}  // namespace dmml::laopt

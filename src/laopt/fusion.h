@@ -1,0 +1,45 @@
+/// \file fusion.h
+/// \brief Fused elementwise execution (SystemML-style operator fusion).
+///
+/// A chain of elementwise operators (+, −, ⊙, scalar·) evaluated node by
+/// node materializes one temporary matrix per operator. Fusion compiles the
+/// maximal elementwise subtree into a single cell-at-a-time program executed
+/// in one pass over the inputs — no intermediates, one write.
+#ifndef DMML_LAOPT_FUSION_H_
+#define DMML_LAOPT_FUSION_H_
+
+#include <functional>
+
+#include "laopt/expr.h"
+#include "util/result.h"
+
+namespace dmml::laopt {
+
+/// \brief True iff `node` roots a fusible elementwise region of depth >= 2
+/// (at least two elementwise ops, all over same-shaped operands).
+bool IsFusibleRegion(const ExprPtr& node);
+
+/// \brief Evaluates a fusible elementwise region in one pass over its leaf
+/// matrices. `leaves` maps each distinct leaf node encountered to its
+/// evaluated matrix; all must share the region's shape.
+///
+/// Precondition: IsFusibleRegion(node). Non-elementwise children must have
+/// been evaluated and passed via `leaves` (keyed by node pointer).
+Result<la::DenseMatrix> ExecuteFused(
+    const ExprPtr& node,
+    const std::function<Result<la::DenseMatrix>(const ExprPtr&)>& eval_child);
+
+/// \brief Statistics from a fused execution.
+struct FusionStats {
+  size_t regions_fused = 0;
+  size_t ops_fused = 0;  ///< Elementwise operators folded into fused loops.
+};
+
+/// \brief Executes `root` like laopt::Execute but with elementwise fusion;
+/// results are identical, temporaries are fewer.
+Result<la::DenseMatrix> ExecuteWithFusion(const ExprPtr& root,
+                                          FusionStats* stats = nullptr);
+
+}  // namespace dmml::laopt
+
+#endif  // DMML_LAOPT_FUSION_H_

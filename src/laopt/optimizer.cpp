@@ -1,0 +1,202 @@
+#include "laopt/optimizer.h"
+
+#include <limits>
+#include <unordered_map>
+
+namespace dmml::laopt {
+
+namespace {
+
+// Flattens a left/right-nested MatMul tree into its ordered factor list.
+void FlattenChain(const ExprPtr& node, std::vector<ExprPtr>* factors) {
+  if (node->kind() == OpKind::kMatMul) {
+    FlattenChain(node->children()[0], factors);
+    FlattenChain(node->children()[1], factors);
+  } else {
+    factors->push_back(node);
+  }
+}
+
+// Classic O(m^3) matrix-chain DP over the factor shapes. Returns split
+// points; splits[i][j] is the optimal split index for factors [i, j].
+double ChainDp(const std::vector<std::pair<size_t, size_t>>& shapes,
+               std::vector<std::vector<size_t>>* splits) {
+  const size_t m = shapes.size();
+  std::vector<std::vector<double>> cost(m, std::vector<double>(m, 0.0));
+  splits->assign(m, std::vector<size_t>(m, 0));
+  for (size_t len = 2; len <= m; ++len) {
+    for (size_t i = 0; i + len <= m; ++i) {
+      size_t j = i + len - 1;
+      cost[i][j] = std::numeric_limits<double>::infinity();
+      for (size_t k = i; k < j; ++k) {
+        double c = cost[i][k] + cost[k + 1][j] +
+                   2.0 * static_cast<double>(shapes[i].first) *
+                       static_cast<double>(shapes[k].second) *
+                       static_cast<double>(shapes[j].second);
+        if (c < cost[i][j]) {
+          cost[i][j] = c;
+          (*splits)[i][j] = k;
+        }
+      }
+    }
+  }
+  return m >= 2 ? cost[0][m - 1] : 0.0;
+}
+
+Result<ExprPtr> RebuildChain(const std::vector<ExprPtr>& factors,
+                             const std::vector<std::vector<size_t>>& splits, size_t i,
+                             size_t j) {
+  if (i == j) return factors[i];
+  size_t k = splits[i][j];
+  DMML_ASSIGN_OR_RETURN(ExprPtr left, RebuildChain(factors, splits, i, k));
+  DMML_ASSIGN_OR_RETURN(ExprPtr right, RebuildChain(factors, splits, k + 1, j));
+  return ExprNode::MatMul(std::move(left), std::move(right));
+}
+
+// Naive left-to-right chain cost, used to detect whether reordering changed
+// anything (for the report).
+double CurrentChainCost(const ExprPtr& node) {
+  if (node->kind() != OpKind::kMatMul) return 0.0;
+  return CurrentChainCost(node->children()[0]) +
+         CurrentChainCost(node->children()[1]) +
+         2.0 * static_cast<double>(node->children()[0]->rows()) *
+             static_cast<double>(node->children()[0]->cols()) *
+             static_cast<double>(node->children()[1]->cols());
+}
+
+class Rewriter {
+ public:
+  Rewriter(const OptimizerOptions& options, OptimizerReport* report)
+      : options_(options), report_(report) {}
+
+  Result<ExprPtr> Rewrite(const ExprPtr& node) {
+    auto it = memo_.find(node.get());
+    if (it != memo_.end()) return it->second;
+    DMML_ASSIGN_OR_RETURN(ExprPtr result, RewriteUncached(node));
+    memo_.emplace(node.get(), result);
+    return result;
+  }
+
+ private:
+  Result<ExprPtr> RewriteUncached(const ExprPtr& node) {
+    // Rewrite children first (bottom-up).
+    std::vector<ExprPtr> kids;
+    kids.reserve(node->children().size());
+    for (const auto& c : node->children()) {
+      DMML_ASSIGN_OR_RETURN(ExprPtr k, Rewrite(c));
+      kids.push_back(std::move(k));
+    }
+
+    switch (node->kind()) {
+      case OpKind::kInput:
+        return node;
+      case OpKind::kTranspose: {
+        // t(t(X)) -> X.
+        if (options_.eliminate_transposes &&
+            kids[0]->kind() == OpKind::kTranspose) {
+          if (report_) report_->transposes_eliminated++;
+          return kids[0]->children()[0];
+        }
+        return ExprNode::Transpose(kids[0]);
+      }
+      case OpKind::kScalarMul: {
+        // a*(b*X) -> (a*b)*X.
+        if (options_.fold_scalars && kids[0]->kind() == OpKind::kScalarMul) {
+          if (report_) report_->scalars_folded++;
+          return ExprNode::ScalarMul(node->scalar() * kids[0]->scalar(),
+                                     kids[0]->children()[0]);
+        }
+        return ExprNode::ScalarMul(node->scalar(), kids[0]);
+      }
+      case OpKind::kMatMul: {
+        // Hoist scalars out of products: (aX)·Y -> a(X·Y).
+        double scalar = 1.0;
+        if (options_.fold_scalars) {
+          for (auto& k : kids) {
+            while (k->kind() == OpKind::kScalarMul) {
+              scalar *= k->scalar();
+              k = k->children()[0];
+              if (report_) report_->scalars_folded++;
+            }
+          }
+        }
+        DMML_ASSIGN_OR_RETURN(ExprPtr mm, ExprNode::MatMul(kids[0], kids[1]));
+        if (options_.reorder_chains) {
+          std::vector<ExprPtr> factors;
+          FlattenChain(mm, &factors);
+          if (factors.size() > 2) {
+            std::vector<std::pair<size_t, size_t>> shapes;
+            shapes.reserve(factors.size());
+            for (const auto& f : factors) shapes.push_back({f->rows(), f->cols()});
+            std::vector<std::vector<size_t>> splits;
+            double optimal = ChainDp(shapes, &splits);
+            double current = CurrentChainCost(mm);
+            if (optimal + 0.5 < current) {
+              DMML_ASSIGN_OR_RETURN(
+                  mm, RebuildChain(factors, splits, 0, factors.size() - 1));
+              if (report_) report_->chains_reordered++;
+            }
+          }
+        }
+        if (scalar != 1.0) return ExprNode::ScalarMul(scalar, mm);
+        return mm;
+      }
+      case OpKind::kAdd:
+        return ExprNode::Add(kids[0], kids[1]);
+      case OpKind::kSubtract:
+        return ExprNode::Subtract(kids[0], kids[1]);
+      case OpKind::kElemMul:
+        return ExprNode::ElemMul(kids[0], kids[1]);
+      case OpKind::kSum: {
+        // sum(a * X) -> a * sum(X).
+        if (options_.fold_scalars && kids[0]->kind() == OpKind::kScalarMul) {
+          if (report_) report_->scalars_folded++;
+          DMML_ASSIGN_OR_RETURN(ExprPtr inner,
+                                ExprNode::Sum(kids[0]->children()[0]));
+          return ExprNode::ScalarMul(kids[0]->scalar(), inner);
+        }
+        // sum(A %*% B) -> colSums(A) %*% rowSums(B): O(nmk) -> O(nk + km).
+        if (options_.reorder_chains && kids[0]->kind() == OpKind::kMatMul) {
+          if (report_) report_->chains_reordered++;
+          DMML_ASSIGN_OR_RETURN(ExprPtr cs,
+                                ExprNode::ColSums(kids[0]->children()[0]));
+          DMML_ASSIGN_OR_RETURN(ExprPtr rs,
+                                ExprNode::RowSums(kids[0]->children()[1]));
+          return ExprNode::MatMul(std::move(cs), std::move(rs));
+        }
+        return ExprNode::Sum(kids[0]);
+      }
+      case OpKind::kRowSums:
+        return ExprNode::RowSums(kids[0]);
+      case OpKind::kColSums:
+        return ExprNode::ColSums(kids[0]);
+    }
+    return Status::Internal("unknown op kind");
+  }
+
+  const OptimizerOptions& options_;
+  OptimizerReport* report_;
+  std::unordered_map<const ExprNode*, ExprPtr> memo_;
+};
+
+}  // namespace
+
+Result<ExprPtr> Optimize(const ExprPtr& root, const OptimizerOptions& options,
+                         OptimizerReport* report) {
+  if (!root) return Status::InvalidArgument("Optimize: null expression");
+  if (report) {
+    *report = OptimizerReport{};
+    report->flops_before = EstimateFlops(root);
+  }
+  Rewriter rewriter(options, report);
+  DMML_ASSIGN_OR_RETURN(ExprPtr result, rewriter.Rewrite(root));
+  if (report) report->flops_after = EstimateFlops(result);
+  return result;
+}
+
+double OptimalChainCost(const std::vector<std::pair<size_t, size_t>>& shapes) {
+  std::vector<std::vector<size_t>> splits;
+  return ChainDp(shapes, &splits);
+}
+
+}  // namespace dmml::laopt

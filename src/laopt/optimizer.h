@@ -1,0 +1,44 @@
+/// \file optimizer.h
+/// \brief Logical rewrites over LA expression DAGs.
+///
+/// Implements the classic SystemML-style logical optimizations:
+///  * transpose elimination: t(t(X)) → X
+///  * scalar folding: α(βX) → (αβ)X, and scalar hoisting out of matmuls
+///  * optimal matrix-chain ordering: flatten A·B·C·…, dynamic-programming
+///    parenthesization by flop cost, rebuild. This turns e.g.
+///    t(X)·(X·v) evaluated as (t(X)·X)·v — O(n·d²) — into the
+///    O(n·d) two-gemv order automatically (and vice versa when profitable).
+#ifndef DMML_LAOPT_OPTIMIZER_H_
+#define DMML_LAOPT_OPTIMIZER_H_
+
+#include "laopt/expr.h"
+
+namespace dmml::laopt {
+
+/// \brief Optimizer pass selection.
+struct OptimizerOptions {
+  bool eliminate_transposes = true;
+  bool fold_scalars = true;
+  bool reorder_chains = true;
+};
+
+/// \brief Rewrite statistics, for diagnostics and benchmarks.
+struct OptimizerReport {
+  size_t transposes_eliminated = 0;
+  size_t scalars_folded = 0;
+  size_t chains_reordered = 0;
+  double flops_before = 0;
+  double flops_after = 0;
+};
+
+/// \brief Applies the enabled rewrites bottom-up; returns the rewritten DAG.
+Result<ExprPtr> Optimize(const ExprPtr& root, const OptimizerOptions& options = {},
+                         OptimizerReport* report = nullptr);
+
+/// \brief Optimal parenthesization cost (flops) of multiplying matrices with
+/// the given (rows, cols) shapes in sequence — exposed for testing the DP.
+double OptimalChainCost(const std::vector<std::pair<size_t, size_t>>& shapes);
+
+}  // namespace dmml::laopt
+
+#endif  // DMML_LAOPT_OPTIMIZER_H_

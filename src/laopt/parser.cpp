@@ -1,0 +1,252 @@
+#include "laopt/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+#include "laopt/executor.h"
+#include "laopt/optimizer.h"
+#include "util/string_utils.h"
+
+namespace dmml::laopt {
+
+namespace {
+
+enum class TokenKind { kNumber, kIdent, kPlus, kMinus, kStar, kMatMul, kLParen,
+                       kRParen, kEnd };
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  double number = 0;
+  size_t pos = 0;
+};
+
+Result<std::vector<Token>> Tokenize(const std::string& src) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < src.size()) {
+    char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (c == '+') {
+      tokens.push_back({TokenKind::kPlus, "+", 0, start});
+      ++i;
+    } else if (c == '-') {
+      tokens.push_back({TokenKind::kMinus, "-", 0, start});
+      ++i;
+    } else if (c == '(') {
+      tokens.push_back({TokenKind::kLParen, "(", 0, start});
+      ++i;
+    } else if (c == ')') {
+      tokens.push_back({TokenKind::kRParen, ")", 0, start});
+      ++i;
+    } else if (c == '%') {
+      if (src.compare(i, 3, "%*%") == 0) {
+        tokens.push_back({TokenKind::kMatMul, "%*%", 0, start});
+        i += 3;
+      } else {
+        return Status::InvalidArgument("unexpected '%' at position " +
+                                       std::to_string(start));
+      }
+    } else if (c == '*') {
+      tokens.push_back({TokenKind::kStar, "*", 0, start});
+      ++i;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      size_t j = i;
+      while (j < src.size() &&
+             (std::isdigit(static_cast<unsigned char>(src[j])) || src[j] == '.' ||
+              src[j] == 'e' || src[j] == 'E' ||
+              ((src[j] == '+' || src[j] == '-') && j > i &&
+               (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
+        ++j;
+      }
+      DMML_ASSIGN_OR_RETURN(double value, ParseDouble(src.substr(i, j - i)));
+      tokens.push_back({TokenKind::kNumber, src.substr(i, j - i), value, start});
+      i = j;
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < src.size() && (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                                src[j] == '_' || src[j] == '.')) {
+        ++j;
+      }
+      tokens.push_back({TokenKind::kIdent, src.substr(i, j - i), 0, start});
+      i = j;
+    } else {
+      return Status::InvalidArgument("unexpected character '" + std::string(1, c) +
+                                     "' at position " + std::to_string(start));
+    }
+  }
+  tokens.push_back({TokenKind::kEnd, "", 0, src.size()});
+  return tokens;
+}
+
+// A parsed value is a matrix expression or a scalar (folded until it touches
+// a matrix via '*', '+', or '-' with another scalar).
+struct ParsedValue {
+  ExprPtr expr;            // Null when scalar.
+  double scalar = 0;
+  bool is_scalar = false;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const Environment& env)
+      : tokens_(std::move(tokens)), env_(env) {}
+
+  Result<ParsedValue> ParseExpr() {
+    DMML_ASSIGN_OR_RETURN(ParsedValue lhs, ParseTerm());
+    while (Peek().kind == TokenKind::kPlus || Peek().kind == TokenKind::kMinus) {
+      bool plus = Take().kind == TokenKind::kPlus;
+      DMML_ASSIGN_OR_RETURN(ParsedValue rhs, ParseTerm());
+      if (lhs.is_scalar && rhs.is_scalar) {
+        lhs.scalar = plus ? lhs.scalar + rhs.scalar : lhs.scalar - rhs.scalar;
+        continue;
+      }
+      if (lhs.is_scalar || rhs.is_scalar) {
+        return Status::InvalidArgument(
+            "cannot add a scalar to a matrix; use elementwise tricks explicitly");
+      }
+      DMML_ASSIGN_OR_RETURN(lhs.expr, plus ? ExprNode::Add(lhs.expr, rhs.expr)
+                                           : ExprNode::Subtract(lhs.expr, rhs.expr));
+    }
+    return lhs;
+  }
+
+  Result<ParsedValue> ParseTerm() {
+    DMML_ASSIGN_OR_RETURN(ParsedValue lhs, ParseFactor());
+    while (Peek().kind == TokenKind::kStar || Peek().kind == TokenKind::kMatMul) {
+      bool matmul = Take().kind == TokenKind::kMatMul;
+      DMML_ASSIGN_OR_RETURN(ParsedValue rhs, ParseFactor());
+      if (matmul) {
+        if (lhs.is_scalar || rhs.is_scalar) {
+          return Status::InvalidArgument("%*% requires matrix operands");
+        }
+        DMML_ASSIGN_OR_RETURN(lhs.expr, ExprNode::MatMul(lhs.expr, rhs.expr));
+        continue;
+      }
+      // '*': scalar folding, scalar*matrix, or elementwise matrix product.
+      if (lhs.is_scalar && rhs.is_scalar) {
+        lhs.scalar *= rhs.scalar;
+      } else if (lhs.is_scalar) {
+        DMML_ASSIGN_OR_RETURN(rhs.expr, ExprNode::ScalarMul(lhs.scalar, rhs.expr));
+        lhs = rhs;
+      } else if (rhs.is_scalar) {
+        DMML_ASSIGN_OR_RETURN(lhs.expr, ExprNode::ScalarMul(rhs.scalar, lhs.expr));
+      } else {
+        DMML_ASSIGN_OR_RETURN(lhs.expr, ExprNode::ElemMul(lhs.expr, rhs.expr));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ParsedValue> ParseFactor() {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kNumber: {
+        Take();
+        ParsedValue value;
+        value.is_scalar = true;
+        value.scalar = token.number;
+        return value;
+      }
+      case TokenKind::kMinus: {
+        Take();
+        DMML_ASSIGN_OR_RETURN(ParsedValue inner, ParseFactor());
+        if (inner.is_scalar) {
+          inner.scalar = -inner.scalar;
+        } else {
+          DMML_ASSIGN_OR_RETURN(inner.expr, ExprNode::ScalarMul(-1.0, inner.expr));
+        }
+        return inner;
+      }
+      case TokenKind::kIdent: {
+        Take();
+        // Builtins: t(...), sum(...), rowSums(...), colSums(...).
+        const bool is_builtin = token.text == "t" || token.text == "sum" ||
+                                token.text == "rowSums" || token.text == "colSums";
+        if (is_builtin && Peek().kind == TokenKind::kLParen) {
+          Take();
+          DMML_ASSIGN_OR_RETURN(ParsedValue inner, ParseExpr());
+          DMML_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+          if (inner.is_scalar) {
+            return Status::InvalidArgument(token.text + "() requires a matrix operand");
+          }
+          ParsedValue value;
+          if (token.text == "t") {
+            DMML_ASSIGN_OR_RETURN(value.expr, ExprNode::Transpose(inner.expr));
+          } else if (token.text == "sum") {
+            DMML_ASSIGN_OR_RETURN(value.expr, ExprNode::Sum(inner.expr));
+          } else if (token.text == "rowSums") {
+            DMML_ASSIGN_OR_RETURN(value.expr, ExprNode::RowSums(inner.expr));
+          } else {
+            DMML_ASSIGN_OR_RETURN(value.expr, ExprNode::ColSums(inner.expr));
+          }
+          return value;
+        }
+        auto it = env_.find(token.text);
+        if (it == env_.end()) {
+          return Status::NotFound("unknown identifier '" + token.text +
+                                  "' at position " + std::to_string(token.pos));
+        }
+        ParsedValue value;
+        DMML_ASSIGN_OR_RETURN(value.expr, ExprNode::Input(it->second, token.text));
+        return value;
+      }
+      case TokenKind::kLParen: {
+        Take();
+        DMML_ASSIGN_OR_RETURN(ParsedValue inner, ParseExpr());
+        DMML_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        return inner;
+      }
+      default:
+        return Status::InvalidArgument("unexpected token '" + token.text +
+                                       "' at position " + std::to_string(token.pos));
+    }
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return Status::InvalidArgument("expected ')' at position " +
+                                     std::to_string(Peek().pos));
+    }
+    Take();
+    return Status::OK();
+  }
+
+  const Token& Peek() const { return tokens_[cursor_]; }
+  const Token& Take() { return tokens_[cursor_++]; }
+
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+ private:
+  std::vector<Token> tokens_;
+  const Environment& env_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParseExpression(const std::string& source, const Environment& env) {
+  DMML_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens), env);
+  DMML_ASSIGN_OR_RETURN(ParsedValue value, parser.ParseExpr());
+  if (!parser.AtEnd()) {
+    return Status::InvalidArgument("trailing input after expression");
+  }
+  if (value.is_scalar) {
+    return Status::InvalidArgument("expression evaluates to a scalar, not a matrix");
+  }
+  return value.expr;
+}
+
+Result<la::DenseMatrix> EvalExpression(const std::string& source,
+                                       const Environment& env) {
+  DMML_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpression(source, env));
+  return OptimizeAndExecute(expr);
+}
+
+}  // namespace dmml::laopt

@@ -1,0 +1,49 @@
+/// \file parser.h
+/// \brief A small declarative expression language over matrices — the
+/// SystemML-DML-style front end to the laopt DAG.
+///
+/// Grammar (R/DML-flavored):
+///
+///   expr     := term (('+' | '-') term)*
+///   term     := factor (('%*%' | '*') factor)*        // %*% = matmul,
+///                                                     // '*'  = elementwise
+///                                                     // or scalar multiply
+///   factor   := NUMBER | IDENT | 't' '(' expr ')' | '(' expr ')'
+///               | ('-') factor
+///
+/// Identifiers are resolved against a caller-supplied environment of named
+/// matrices. Numeric literals act as scalars and may appear on either side
+/// of '*'; scalar-scalar arithmetic is folded at parse time.
+///
+///   auto expr = ParseExpression("t(X) %*% (X %*% v) + 0.5 * v", env);
+///
+/// The result is an ordinary ExprPtr: optimize it, CSE it, execute it.
+#ifndef DMML_LAOPT_PARSER_H_
+#define DMML_LAOPT_PARSER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "la/dense_matrix.h"
+#include "laopt/expr.h"
+#include "util/result.h"
+
+namespace dmml::laopt {
+
+/// \brief Named matrices visible to a parsed expression.
+using Environment = std::map<std::string, std::shared_ptr<const la::DenseMatrix>>;
+
+/// \brief Parses `source` into an expression DAG over `env`.
+///
+/// Errors (syntax, unknown identifiers, shape mismatches) are reported with
+/// the offending position.
+Result<ExprPtr> ParseExpression(const std::string& source, const Environment& env);
+
+/// \brief Parse + optimize + execute in one call.
+Result<la::DenseMatrix> EvalExpression(const std::string& source,
+                                       const Environment& env);
+
+}  // namespace dmml::laopt
+
+#endif  // DMML_LAOPT_PARSER_H_

@@ -1,0 +1,35 @@
+#include "laopt/pipeline.h"
+
+#include "laopt/executor.h"
+
+namespace dmml::laopt {
+
+Result<ExprPtr> CompilePlan(const ExprPtr& root, const PipelineOptions& options,
+                            PlanReport* report) {
+  if (!root) return Status::InvalidArgument("CompilePlan: null expression");
+  if (report) {
+    *report = PlanReport{};
+    report->estimated_flops_in = EstimateFlops(root);
+  }
+  DMML_ASSIGN_OR_RETURN(
+      ExprPtr plan,
+      Optimize(root, options.rewrites, report ? &report->rewriter : nullptr));
+  if (options.run_cse) {
+    DMML_ASSIGN_OR_RETURN(
+        plan, EliminateCommonSubexpressions(plan, report ? &report->cse : nullptr));
+  }
+  if (report) report->estimated_flops_out = EstimateFlops(plan);
+  return plan;
+}
+
+Result<la::DenseMatrix> CompileAndExecute(const ExprPtr& root,
+                                          const PipelineOptions& options,
+                                          PlanReport* report) {
+  DMML_ASSIGN_OR_RETURN(ExprPtr plan, CompilePlan(root, options, report));
+  if (options.run_fusion) {
+    return ExecuteWithFusion(plan, report ? &report->fusion : nullptr);
+  }
+  return Execute(plan);
+}
+
+}  // namespace dmml::laopt

@@ -1,0 +1,45 @@
+/// \file pipeline.h
+/// \brief The full compilation pipeline: logical rewrites → structural CSE →
+/// fused execution, with a consolidated plan report.
+///
+/// This is the "SystemML in one call" entry point: callers hand over a DAG
+/// (hand-built or parsed from the expression language) and get the optimized
+/// result plus a report of everything the compiler did.
+#ifndef DMML_LAOPT_PIPELINE_H_
+#define DMML_LAOPT_PIPELINE_H_
+
+#include "laopt/cse.h"
+#include "laopt/expr.h"
+#include "laopt/fusion.h"
+#include "laopt/optimizer.h"
+
+namespace dmml::laopt {
+
+/// \brief Pipeline configuration.
+struct PipelineOptions {
+  OptimizerOptions rewrites;   ///< Pass selection for the rewriter.
+  bool run_cse = true;
+  bool run_fusion = true;
+};
+
+/// \brief Everything the compiler did to the plan.
+struct PlanReport {
+  OptimizerReport rewriter;
+  CseReport cse;
+  FusionStats fusion;
+  double estimated_flops_in = 0;
+  double estimated_flops_out = 0;
+};
+
+/// \brief Compiles `root` through all enabled passes; returns the final DAG.
+Result<ExprPtr> CompilePlan(const ExprPtr& root, const PipelineOptions& options = {},
+                            PlanReport* report = nullptr);
+
+/// \brief Compile + execute in one call (fused execution when enabled).
+Result<la::DenseMatrix> CompileAndExecute(const ExprPtr& root,
+                                          const PipelineOptions& options = {},
+                                          PlanReport* report = nullptr);
+
+}  // namespace dmml::laopt
+
+#endif  // DMML_LAOPT_PIPELINE_H_

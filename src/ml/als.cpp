@@ -1,0 +1,122 @@
+#include "ml/als.h"
+
+#include <cmath>
+#include <limits>
+
+#include "la/kernels.h"
+#include "la/ops.h"
+#include "util/rng.h"
+
+namespace dmml::ml {
+
+using la::DenseMatrix;
+using la::SparseMatrix;
+
+namespace {
+
+// Solves the per-row ridge system: factors for one side given the other.
+// For row entries {(j, r_ij)}: (Σ v_j v_jᵀ + λI) u_i = Σ r_ij v_j.
+Status SolveSide(const SparseMatrix& ratings, const DenseMatrix& fixed,
+                 double l2, DenseMatrix* out) {
+  const size_t rank = fixed.cols();
+  DenseMatrix a(rank, rank);
+  DenseMatrix b(rank, 1);
+  for (size_t i = 0; i < ratings.rows(); ++i) {
+    const size_t begin = ratings.RowBegin(i), end = ratings.RowEnd(i);
+    if (begin == end) continue;  // No observations: keep the current factor.
+    a.Fill(0.0);
+    b.Fill(0.0);
+    for (size_t k = begin; k < end; ++k) {
+      const double* v = fixed.Row(ratings.col_idx()[k]);
+      const double r = ratings.values()[k];
+      for (size_t p = 0; p < rank; ++p) {
+        b.At(p, 0) += r * v[p];
+        la::Axpy(v[p], v, a.Row(p), rank);
+      }
+    }
+    for (size_t p = 0; p < rank; ++p) a.At(p, p) += l2;
+    DMML_ASSIGN_OR_RETURN(DenseMatrix u, la::Solve(a, b));
+    for (size_t p = 0; p < rank; ++p) out->At(i, p) = u.At(p, 0);
+  }
+  return Status::OK();
+}
+
+double TrainingRmse(const SparseMatrix& ratings, const DenseMatrix& u,
+                    const DenseMatrix& v) {
+  double acc = 0;
+  size_t count = 0;
+  const size_t rank = u.cols();
+  for (size_t i = 0; i < ratings.rows(); ++i) {
+    for (size_t k = ratings.RowBegin(i); k < ratings.RowEnd(i); ++k) {
+      double pred = la::Dot(u.Row(i), v.Row(ratings.col_idx()[k]), rank);
+      double err = pred - ratings.values()[k];
+      acc += err * err;
+      ++count;
+    }
+  }
+  return count ? std::sqrt(acc / static_cast<double>(count)) : 0.0;
+}
+
+}  // namespace
+
+Result<AlsModel> TrainAls(const SparseMatrix& ratings, const AlsConfig& config) {
+  const size_t n = ratings.rows(), m = ratings.cols();
+  if (n == 0 || m == 0) return Status::InvalidArgument("ALS: empty rating matrix");
+  if (ratings.nnz() == 0) return Status::InvalidArgument("ALS: no observed ratings");
+  if (config.rank == 0) return Status::InvalidArgument("ALS: rank must be >= 1");
+  if (config.l2 < 0) return Status::InvalidArgument("ALS: l2 must be >= 0");
+  if (config.l2 == 0.0) {
+    // Unregularized per-row systems are singular whenever a row has fewer
+    // observations than the rank; require a ridge.
+    return Status::InvalidArgument("ALS: l2 must be positive");
+  }
+
+  Rng rng(config.seed);
+  AlsModel model;
+  model.user_factors = DenseMatrix(n, config.rank);
+  model.item_factors = DenseMatrix(m, config.rank);
+  for (size_t e = 0; e < model.user_factors.size(); ++e) {
+    model.user_factors.data()[e] = rng.Normal(0, 0.1);
+  }
+  for (size_t e = 0; e < model.item_factors.size(); ++e) {
+    model.item_factors.data()[e] = rng.Normal(0, 0.1);
+  }
+
+  SparseMatrix ratings_t = la::SparseTranspose(ratings);
+  double prev_rmse = std::numeric_limits<double>::infinity();
+  for (size_t iter = 0; iter < config.max_iters; ++iter) {
+    DMML_RETURN_IF_ERROR(
+        SolveSide(ratings, model.item_factors, config.l2, &model.user_factors));
+    DMML_RETURN_IF_ERROR(
+        SolveSide(ratings_t, model.user_factors, config.l2, &model.item_factors));
+
+    double rmse = TrainingRmse(ratings, model.user_factors, model.item_factors);
+    model.rmse_history.push_back(rmse);
+    model.iters_run = iter + 1;
+    if (std::isfinite(prev_rmse) &&
+        std::fabs(prev_rmse - rmse) <= config.tolerance * std::max(1.0, prev_rmse)) {
+      break;
+    }
+    prev_rmse = rmse;
+  }
+  return model;
+}
+
+Result<double> AlsModel::Predict(size_t user, size_t item) const {
+  if (user >= user_factors.rows() || item >= item_factors.rows()) {
+    return Status::OutOfRange("ALS: user or item index out of range");
+  }
+  return la::Dot(user_factors.Row(user), item_factors.Row(item),
+                 user_factors.cols());
+}
+
+Result<double> AlsModel::Rmse(const SparseMatrix& ratings) const {
+  if (ratings.rows() != user_factors.rows() ||
+      ratings.cols() != item_factors.rows()) {
+    return Status::InvalidArgument("ALS: rating matrix shape mismatch");
+  }
+  if (ratings.nnz() == 0) return Status::InvalidArgument("ALS: no observed ratings");
+  return TrainingRmse(ratings, user_factors, item_factors);
+}
+
+}  // namespace dmml::ml

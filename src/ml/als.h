@@ -1,0 +1,50 @@
+/// \file als.h
+/// \brief Low-rank matrix factorization by alternating least squares —
+/// the collaborative-filtering workload of the tutorial's motivating
+/// applications (recommendations), and a second consumer of the dense
+/// solver substrate.
+#ifndef DMML_ML_ALS_H_
+#define DMML_ML_ALS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/dense_matrix.h"
+#include "la/sparse_matrix.h"
+#include "util/result.h"
+
+namespace dmml::ml {
+
+/// \brief ALS hyperparameters.
+struct AlsConfig {
+  size_t rank = 8;
+  double l2 = 0.1;          ///< Tikhonov regularization per solve.
+  size_t max_iters = 20;
+  double tolerance = 1e-5;  ///< Relative training-RMSE improvement stop.
+  uint64_t seed = 42;
+};
+
+/// \brief A fitted factorization R ≈ U Vᵀ over the observed entries.
+struct AlsModel {
+  la::DenseMatrix user_factors;  ///< n x rank.
+  la::DenseMatrix item_factors;  ///< m x rank.
+  std::vector<double> rmse_history;  ///< Training RMSE per iteration.
+  size_t iters_run = 0;
+
+  /// \brief Predicted rating for (user, item).
+  Result<double> Predict(size_t user, size_t item) const;
+
+  /// \brief RMSE over the observed entries of `ratings`.
+  Result<double> Rmse(const la::SparseMatrix& ratings) const;
+};
+
+/// \brief Factorizes the observed entries of `ratings` (CSR; zeros are
+/// treated as *unobserved*, not as ratings of zero).
+///
+/// Each iteration solves, for every user then every item, the rank x rank
+/// ridge system over that row's observed entries — the textbook ALS sweep.
+Result<AlsModel> TrainAls(const la::SparseMatrix& ratings, const AlsConfig& config);
+
+}  // namespace dmml::ml
+
+#endif  // DMML_ML_ALS_H_

@@ -1,0 +1,249 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+namespace dmml::ml {
+
+using la::DenseMatrix;
+
+namespace {
+
+// Impurity abstraction: Gini for classification, variance for regression.
+struct SplitResult {
+  bool found = false;
+  size_t feature = 0;
+  double threshold = 0.0;
+  double impurity_decrease = 0.0;
+};
+
+double GiniFromCounts(const std::map<double, size_t>& counts, size_t total) {
+  if (total == 0) return 0.0;
+  double acc = 1.0;
+  for (const auto& [_, c] : counts) {
+    double p = static_cast<double>(c) / static_cast<double>(total);
+    acc -= p * p;
+  }
+  return acc;
+}
+
+double Gini(const DenseMatrix& y, const std::vector<size_t>& idx) {
+  std::map<double, size_t> counts;
+  for (size_t i : idx) counts[y.At(i, 0)]++;
+  return GiniFromCounts(counts, idx.size());
+}
+
+double Variance(const DenseMatrix& y, const std::vector<size_t>& idx) {
+  if (idx.empty()) return 0.0;
+  double mean = 0;
+  for (size_t i : idx) mean += y.At(i, 0);
+  mean /= static_cast<double>(idx.size());
+  double acc = 0;
+  for (size_t i : idx) {
+    double d = y.At(i, 0) - mean;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(idx.size());
+}
+
+// Finds the best (feature, threshold) split via per-feature sorted sweeps.
+SplitResult FindBestSplit(const DenseMatrix& x, const DenseMatrix& y,
+                          const std::vector<size_t>& idx, bool classifier,
+                          const TreeConfig& config) {
+  const size_t n = idx.size();
+  SplitResult best;
+  if (n < config.min_samples_split) return best;
+
+  double parent_impurity = classifier ? Gini(y, idx) : Variance(y, idx);
+  if (parent_impurity == 0.0) return best;
+
+  std::vector<size_t> sorted = idx;
+  for (size_t f = 0; f < x.cols(); ++f) {
+    std::sort(sorted.begin(), sorted.end(),
+              [&](size_t a, size_t b) { return x.At(a, f) < x.At(b, f); });
+
+    if (classifier) {
+      // Incremental class counts for O(n log n + n*k) per feature.
+      std::map<double, size_t> left_counts, right_counts;
+      for (size_t i : sorted) right_counts[y.At(i, 0)]++;
+      for (size_t pos = 0; pos + 1 < n; ++pos) {
+        double label = y.At(sorted[pos], 0);
+        left_counts[label]++;
+        if (--right_counts[label] == 0) right_counts.erase(label);
+        double v = x.At(sorted[pos], f);
+        double next = x.At(sorted[pos + 1], f);
+        if (v == next) continue;  // Can't split between equal values.
+        size_t nl = pos + 1, nr = n - nl;
+        if (nl < config.min_samples_leaf || nr < config.min_samples_leaf) continue;
+        double gl = GiniFromCounts(left_counts, nl);
+        double gr = GiniFromCounts(right_counts, nr);
+        double weighted = (static_cast<double>(nl) * gl + static_cast<double>(nr) * gr) /
+                          static_cast<double>(n);
+        double decrease = parent_impurity - weighted;
+        if (decrease > best.impurity_decrease) {
+          best = {true, f, (v + next) / 2.0, decrease};
+        }
+      }
+    } else {
+      // Incremental sums for variance.
+      double right_sum = 0, right_sq = 0;
+      for (size_t i : sorted) {
+        right_sum += y.At(i, 0);
+        right_sq += y.At(i, 0) * y.At(i, 0);
+      }
+      double left_sum = 0, left_sq = 0;
+      for (size_t pos = 0; pos + 1 < n; ++pos) {
+        double yv = y.At(sorted[pos], 0);
+        left_sum += yv;
+        left_sq += yv * yv;
+        right_sum -= yv;
+        right_sq -= yv * yv;
+        double v = x.At(sorted[pos], f);
+        double next = x.At(sorted[pos + 1], f);
+        if (v == next) continue;
+        size_t nl = pos + 1, nr = n - nl;
+        if (nl < config.min_samples_leaf || nr < config.min_samples_leaf) continue;
+        double vl = left_sq / nl - (left_sum / nl) * (left_sum / nl);
+        double vr = right_sq / nr - (right_sum / nr) * (right_sum / nr);
+        double weighted = (static_cast<double>(nl) * vl + static_cast<double>(nr) * vr) /
+                          static_cast<double>(n);
+        double decrease = parent_impurity - weighted;
+        if (decrease > best.impurity_decrease) {
+          best = {true, f, (v + next) / 2.0, decrease};
+        }
+      }
+    }
+  }
+  if (best.impurity_decrease <= config.min_impurity_decrease) best.found = false;
+  return best;
+}
+
+double LeafValue(const DenseMatrix& y, const std::vector<size_t>& idx,
+                 bool classifier) {
+  if (classifier) {
+    std::map<double, size_t> counts;
+    for (size_t i : idx) counts[y.At(i, 0)]++;
+    double best_label = 0;
+    size_t best_count = 0;
+    for (const auto& [label, c] : counts) {
+      if (c > best_count) {
+        best_count = c;
+        best_label = label;
+      }
+    }
+    return best_label;
+  }
+  double mean = 0;
+  for (size_t i : idx) mean += y.At(i, 0);
+  return idx.empty() ? 0.0 : mean / static_cast<double>(idx.size());
+}
+
+// Recursive builder; returns the index of the created node.
+int BuildNode(const DenseMatrix& x, const DenseMatrix& y, std::vector<size_t> idx,
+              size_t depth, bool classifier, const TreeConfig& config,
+              std::vector<TreeNode>* nodes) {
+  int node_id = static_cast<int>(nodes->size());
+  nodes->push_back({});
+  (*nodes)[node_id].num_samples = idx.size();
+  (*nodes)[node_id].value = LeafValue(y, idx, classifier);
+
+  if (depth >= config.max_depth || idx.size() < config.min_samples_split) {
+    return node_id;
+  }
+  SplitResult split = FindBestSplit(x, y, idx, classifier, config);
+  if (!split.found) return node_id;
+
+  std::vector<size_t> left_idx, right_idx;
+  for (size_t i : idx) {
+    if (x.At(i, split.feature) <= split.threshold) left_idx.push_back(i);
+    else right_idx.push_back(i);
+  }
+  if (left_idx.empty() || right_idx.empty()) return node_id;
+
+  idx.clear();
+  idx.shrink_to_fit();
+  int left = BuildNode(x, y, std::move(left_idx), depth + 1, classifier, config, nodes);
+  int right =
+      BuildNode(x, y, std::move(right_idx), depth + 1, classifier, config, nodes);
+  TreeNode& node = (*nodes)[node_id];
+  node.is_leaf = false;
+  node.feature = split.feature;
+  node.threshold = split.threshold;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+Result<DecisionTreeModel> TrainTree(const DenseMatrix& x, const DenseMatrix& y,
+                                    const TreeConfig& config, bool classifier) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("decision tree: empty data");
+  }
+  if (y.rows() != x.rows() || y.cols() != 1) {
+    return Status::InvalidArgument("decision tree: y must be n x 1");
+  }
+  DecisionTreeModel model;
+  model.is_classifier = classifier;
+  std::vector<size_t> idx(x.rows());
+  std::iota(idx.begin(), idx.end(), 0);
+  BuildNode(x, y, std::move(idx), 0, classifier, config, &model.nodes);
+  return model;
+}
+
+}  // namespace
+
+Result<DenseMatrix> DecisionTreeModel::Predict(const DenseMatrix& x) const {
+  if (nodes.empty()) return Status::FailedPrecondition("tree is not trained");
+  DenseMatrix out(x.rows(), 1);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    int cur = 0;
+    while (!nodes[cur].is_leaf) {
+      const TreeNode& node = nodes[cur];
+      if (node.feature >= x.cols()) {
+        return Status::InvalidArgument("tree dimensionality mismatch");
+      }
+      cur = x.At(i, node.feature) <= node.threshold ? node.left : node.right;
+    }
+    out.At(i, 0) = nodes[cur].value;
+  }
+  return out;
+}
+
+size_t DecisionTreeModel::Depth() const {
+  // Iterative depth computation over the array encoding.
+  std::vector<std::pair<int, size_t>> stack{{0, 0}};
+  size_t depth = 0;
+  while (!stack.empty()) {
+    auto [id, d] = stack.back();
+    stack.pop_back();
+    depth = std::max(depth, d);
+    const TreeNode& node = nodes[id];
+    if (!node.is_leaf) {
+      stack.push_back({node.left, d + 1});
+      stack.push_back({node.right, d + 1});
+    }
+  }
+  return depth;
+}
+
+size_t DecisionTreeModel::NumLeaves() const {
+  size_t count = 0;
+  for (const auto& node : nodes) count += node.is_leaf ? 1 : 0;
+  return count;
+}
+
+Result<DecisionTreeModel> TrainTreeClassifier(const DenseMatrix& x,
+                                              const DenseMatrix& y,
+                                              const TreeConfig& config) {
+  return TrainTree(x, y, config, true);
+}
+
+Result<DecisionTreeModel> TrainTreeRegressor(const DenseMatrix& x,
+                                             const DenseMatrix& y,
+                                             const TreeConfig& config) {
+  return TrainTree(x, y, config, false);
+}
+
+}  // namespace dmml::ml

@@ -1,0 +1,60 @@
+/// \file decision_tree.h
+/// \brief CART decision trees (classification by Gini, regression by variance).
+#ifndef DMML_ML_DECISION_TREE_H_
+#define DMML_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "la/dense_matrix.h"
+#include "util/result.h"
+
+namespace dmml::ml {
+
+/// \brief Decision-tree hyperparameters.
+struct TreeConfig {
+  size_t max_depth = 8;
+  size_t min_samples_split = 2;
+  size_t min_samples_leaf = 1;
+  double min_impurity_decrease = 0.0;
+};
+
+/// \brief One node of the trained tree (array-encoded).
+struct TreeNode {
+  bool is_leaf = true;
+  size_t feature = 0;      ///< Split feature (internal nodes).
+  double threshold = 0.0;  ///< Go left if x[feature] <= threshold.
+  int left = -1;           ///< Child indices into the node array.
+  int right = -1;
+  double value = 0.0;      ///< Leaf prediction (class id or mean target).
+  size_t num_samples = 0;
+};
+
+/// \brief A fitted CART tree.
+struct DecisionTreeModel {
+  bool is_classifier = true;
+  std::vector<TreeNode> nodes;  ///< nodes[0] is the root.
+
+  /// \brief Predicted value per row (class id for classifiers).
+  Result<la::DenseMatrix> Predict(const la::DenseMatrix& x) const;
+
+  /// \brief Depth of the trained tree (root = depth 0).
+  size_t Depth() const;
+
+  size_t NumLeaves() const;
+};
+
+/// \brief Trains a classification tree on integer labels encoded as doubles.
+Result<DecisionTreeModel> TrainTreeClassifier(const la::DenseMatrix& x,
+                                              const la::DenseMatrix& y,
+                                              const TreeConfig& config = {});
+
+/// \brief Trains a regression tree (variance-reduction splits).
+Result<DecisionTreeModel> TrainTreeRegressor(const la::DenseMatrix& x,
+                                             const la::DenseMatrix& y,
+                                             const TreeConfig& config = {});
+
+}  // namespace dmml::ml
+
+#endif  // DMML_ML_DECISION_TREE_H_

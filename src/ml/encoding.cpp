@@ -1,0 +1,117 @@
+#include "ml/encoding.h"
+
+#include <functional>
+
+namespace dmml::ml {
+
+using la::SparseMatrix;
+using la::Triplet;
+using storage::Column;
+using storage::DataType;
+using storage::Table;
+
+namespace {
+
+Result<const Column*> RequireStringColumn(const Table& table,
+                                          const std::string& name) {
+  DMML_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(name));
+  if (col->type() != DataType::kString) {
+    return Status::InvalidArgument("column '" + name + "' is not a string column");
+  }
+  return col;
+}
+
+}  // namespace
+
+Status OneHotEncoder::Fit(const Table& table, const std::vector<std::string>& columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("one-hot encoder needs >= 1 column");
+  }
+  columns_ = columns;
+  dictionaries_.assign(columns.size(), {});
+  for (size_t c = 0; c < columns.size(); ++c) {
+    DMML_ASSIGN_OR_RETURN(const Column* col, RequireStringColumn(table, columns[c]));
+    // std::map keeps values sorted; slots assigned in sorted order below.
+    for (size_t i = 0; i < table.num_rows(); ++i) {
+      if (col->IsValid(i)) dictionaries_[c].emplace(col->GetString(i), 0);
+    }
+    size_t slot = 0;
+    for (auto& [_, s] : dictionaries_[c]) s = slot++;
+  }
+  offsets_.assign(columns.size(), 0);
+  size_t offset = 0;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    offsets_[c] = offset;
+    offset += dictionaries_[c].size();
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+size_t OneHotEncoder::TotalWidth() const {
+  size_t width = 0;
+  for (const auto& dict : dictionaries_) width += dict.size();
+  return width;
+}
+
+std::vector<std::string> OneHotEncoder::FeatureNames() const {
+  std::vector<std::string> names(TotalWidth());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    for (const auto& [value, slot] : dictionaries_[c]) {
+      names[offsets_[c] + slot] = columns_[c] + "=" + value;
+    }
+  }
+  return names;
+}
+
+Result<SparseMatrix> OneHotEncoder::Transform(const Table& table) const {
+  if (!fitted_) return Status::FailedPrecondition("one-hot encoder is not fitted");
+  std::vector<Triplet> triplets;
+  triplets.reserve(table.num_rows() * columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    DMML_ASSIGN_OR_RETURN(const Column* col, RequireStringColumn(table, columns_[c]));
+    for (size_t i = 0; i < table.num_rows(); ++i) {
+      if (!col->IsValid(i)) continue;  // NULL -> all-zero block.
+      auto it = dictionaries_[c].find(col->GetString(i));
+      if (it == dictionaries_[c].end()) continue;  // Unseen -> all-zero.
+      triplets.push_back({i, offsets_[c] + it->second, 1.0});
+    }
+  }
+  return SparseMatrix::FromTriplets(table.num_rows(), TotalWidth(),
+                                    std::move(triplets));
+}
+
+Result<SparseMatrix> OneHotEncoder::FitTransform(
+    const Table& table, const std::vector<std::string>& columns) {
+  DMML_RETURN_IF_ERROR(Fit(table, columns));
+  return Transform(table);
+}
+
+Result<SparseMatrix> HashEncode(const Table& table,
+                                const std::vector<std::string>& columns,
+                                size_t num_buckets, uint64_t seed) {
+  if (num_buckets == 0) {
+    return Status::InvalidArgument("hash encoding needs >= 1 bucket");
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("hash encoding needs >= 1 column");
+  }
+  std::vector<Triplet> triplets;
+  std::hash<std::string> hasher;
+  for (const auto& name : columns) {
+    DMML_ASSIGN_OR_RETURN(const Column* col, RequireStringColumn(table, name));
+    for (size_t i = 0; i < table.num_rows(); ++i) {
+      if (!col->IsValid(i)) continue;
+      // Namespaced key so equal values in different columns hash apart.
+      size_t h = hasher(name + "\x1f" + col->GetString(i)) ^ seed;
+      size_t bucket = h % num_buckets;
+      // Sign hash halves collision bias (Weinberger et al.).
+      double sign = ((h >> 17) & 1) ? 1.0 : -1.0;
+      triplets.push_back({i, bucket, sign});
+    }
+  }
+  return SparseMatrix::FromTriplets(table.num_rows(), num_buckets,
+                                    std::move(triplets));
+}
+
+}  // namespace dmml::ml

@@ -1,0 +1,60 @@
+/// \file encoding.h
+/// \brief Categorical feature encoding: one-hot (dictionary) and feature
+/// hashing — the bridge from string table columns to trainable matrices.
+#ifndef DMML_ML_ENCODING_H_
+#define DMML_ML_ENCODING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "la/sparse_matrix.h"
+#include "storage/table.h"
+#include "util/result.h"
+
+namespace dmml::ml {
+
+/// \brief Dictionary-based one-hot encoder over string columns.
+///
+/// Fit learns per-column dictionaries (sorted for determinism); Transform
+/// produces a CSR matrix with one indicator block per column. Values unseen
+/// at fit time (and NULLs) encode as all-zero within their block.
+class OneHotEncoder {
+ public:
+  /// \brief Learns dictionaries for the named string columns of `table`.
+  Status Fit(const storage::Table& table, const std::vector<std::string>& columns);
+
+  /// \brief Encodes the same columns of `table` (any table with matching
+  /// column names/types) into an (n x TotalWidth) CSR indicator matrix.
+  Result<la::SparseMatrix> Transform(const storage::Table& table) const;
+
+  /// \brief Fit + Transform.
+  Result<la::SparseMatrix> FitTransform(const storage::Table& table,
+                                        const std::vector<std::string>& columns);
+
+  /// \brief Sum of dictionary sizes = encoded width.
+  size_t TotalWidth() const;
+
+  /// \brief Output column name ("col=value") for each encoded position.
+  std::vector<std::string> FeatureNames() const;
+
+  bool fitted() const { return fitted_; }
+
+ private:
+  bool fitted_ = false;
+  std::vector<std::string> columns_;
+  std::vector<std::map<std::string, size_t>> dictionaries_;  ///< value -> slot.
+  std::vector<size_t> offsets_;  ///< Block start per column.
+};
+
+/// \brief Stateless feature hashing ("hashing trick"): maps (column, value)
+/// pairs into `num_buckets` dimensions with a sign hash, so no dictionary —
+/// and no fit pass — is needed. Collisions are tolerated by the learner.
+Result<la::SparseMatrix> HashEncode(const storage::Table& table,
+                                    const std::vector<std::string>& columns,
+                                    size_t num_buckets, uint64_t seed = 42);
+
+}  // namespace dmml::ml
+
+#endif  // DMML_ML_ENCODING_H_

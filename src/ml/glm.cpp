@@ -1,0 +1,400 @@
+#include "ml/glm.h"
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "la/kernels.h"
+#include "la/ops.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dmml::ml {
+
+using la::DenseMatrix;
+
+double GlmInverseLink(double score, GlmFamily family) {
+  if (family == GlmFamily::kGaussian) return score;
+  // Numerically-stable sigmoid.
+  if (score >= 0) {
+    double z = std::exp(-score);
+    return 1.0 / (1.0 + z);
+  }
+  double z = std::exp(score);
+  return z / (1.0 + z);
+}
+
+Result<DenseMatrix> GlmModel::DecisionFunction(const DenseMatrix& x) const {
+  if (x.cols() != weights.rows()) {
+    return Status::InvalidArgument("model expects " + std::to_string(weights.rows()) +
+                                   " features, got " + std::to_string(x.cols()));
+  }
+  DenseMatrix scores = la::Gemv(x, weights);
+  if (intercept != 0.0) {
+    for (size_t i = 0; i < scores.rows(); ++i) scores.At(i, 0) += intercept;
+  }
+  return scores;
+}
+
+Result<DenseMatrix> GlmModel::Predict(const DenseMatrix& x) const {
+  DMML_ASSIGN_OR_RETURN(DenseMatrix scores, DecisionFunction(x));
+  if (family == GlmFamily::kGaussian) return scores;
+  for (size_t i = 0; i < scores.rows(); ++i) {
+    scores.At(i, 0) = GlmInverseLink(scores.At(i, 0), family);
+  }
+  return scores;
+}
+
+Result<DenseMatrix> GlmModel::PredictLabels(const DenseMatrix& x,
+                                            double threshold) const {
+  if (family != GlmFamily::kBinomial) {
+    return Status::FailedPrecondition("PredictLabels requires the Binomial family");
+  }
+  DMML_ASSIGN_OR_RETURN(DenseMatrix probs, Predict(x));
+  for (size_t i = 0; i < probs.rows(); ++i) {
+    probs.At(i, 0) = probs.At(i, 0) >= threshold ? 1.0 : 0.0;
+  }
+  return probs;
+}
+
+Result<double> GlmLoss(const DenseMatrix& x, const DenseMatrix& y,
+                       const DenseMatrix& w, double intercept, GlmFamily family,
+                       double l2) {
+  if (x.rows() != y.rows() || y.cols() != 1 || x.cols() != w.rows()) {
+    return Status::InvalidArgument("GlmLoss: shape mismatch");
+  }
+  const size_t n = x.rows();
+  if (n == 0) return Status::InvalidArgument("GlmLoss: empty data");
+  double acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double score = la::Dot(x.Row(i), w.data(), x.cols()) + intercept;
+    if (family == GlmFamily::kGaussian) {
+      double r = score - y.At(i, 0);
+      acc += 0.5 * r * r;
+    } else {
+      // log(1 + exp(-margin)) with the stable formulation.
+      double yi = y.At(i, 0) > 0.5 ? 1.0 : -1.0;
+      double m = yi * score;
+      acc += m > 0 ? std::log1p(std::exp(-m)) : -m + std::log1p(std::exp(m));
+    }
+  }
+  double loss = acc / static_cast<double>(n);
+  if (l2 > 0) {
+    double w2 = 0;
+    for (size_t j = 0; j < w.rows(); ++j) w2 += w.At(j, 0) * w.At(j, 0);
+    loss += 0.5 * l2 * w2;
+  }
+  return loss;
+}
+
+namespace {
+
+// Residual of one example under the family: dLoss/dScore.
+inline double ScoreGradient(double score, double y, GlmFamily family) {
+  return GlmInverseLink(score, family) - y;
+}
+
+// Full-batch gradient descent.
+void RunBatchGd(const DenseMatrix& x, const DenseMatrix& y, const GlmConfig& config,
+                GlmModel* model) {
+  const size_t n = x.rows(), d = x.cols();
+  DenseMatrix grad(d, 1);
+  double prev_loss = std::numeric_limits<double>::infinity();
+  for (size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    grad.Fill(0.0);
+    double bias_grad = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double score = la::Dot(x.Row(i), model->weights.data(), d) + model->intercept;
+      double g = ScoreGradient(score, y.At(i, 0), config.family);
+      la::Axpy(g, x.Row(i), grad.data(), d);
+      bias_grad += g;
+    }
+    double inv_n = 1.0 / static_cast<double>(n);
+    double lr = config.learning_rate / (1.0 + config.lr_decay * static_cast<double>(epoch));
+    for (size_t j = 0; j < d; ++j) {
+      double gj = grad.At(j, 0) * inv_n + config.l2 * model->weights.At(j, 0);
+      model->weights.At(j, 0) -= lr * gj;
+    }
+    if (config.fit_intercept) model->intercept -= lr * bias_grad * inv_n;
+
+    double loss = *GlmLoss(x, y, model->weights, model->intercept, config.family,
+                           config.l2);
+    model->loss_history.push_back(loss);
+    model->epochs_run = epoch + 1;
+    if (std::isfinite(prev_loss) &&
+        std::fabs(prev_loss - loss) <= config.tolerance * std::max(1.0, prev_loss)) {
+      break;
+    }
+    prev_loss = loss;
+  }
+}
+
+// Serial SGD / mini-batch SGD (batch = 1 for plain SGD).
+void RunSgd(const DenseMatrix& x, const DenseMatrix& y, const GlmConfig& config,
+            size_t batch_size, GlmModel* model) {
+  const size_t n = x.rows(), d = x.cols();
+  Rng rng(config.seed);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  DenseMatrix grad(d, 1);
+  double prev_loss = std::numeric_limits<double>::infinity();
+
+  for (size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double lr = config.learning_rate / (1.0 + config.lr_decay * static_cast<double>(epoch));
+    for (size_t start = 0; start < n; start += batch_size) {
+      size_t end = std::min(start + batch_size, n);
+      grad.Fill(0.0);
+      double bias_grad = 0.0;
+      for (size_t k = start; k < end; ++k) {
+        size_t i = order[k];
+        double score = la::Dot(x.Row(i), model->weights.data(), d) + model->intercept;
+        double g = ScoreGradient(score, y.At(i, 0), config.family);
+        la::Axpy(g, x.Row(i), grad.data(), d);
+        bias_grad += g;
+      }
+      double inv_b = 1.0 / static_cast<double>(end - start);
+      for (size_t j = 0; j < d; ++j) {
+        double gj = grad.At(j, 0) * inv_b + config.l2 * model->weights.At(j, 0);
+        model->weights.At(j, 0) -= lr * gj;
+      }
+      if (config.fit_intercept) model->intercept -= lr * bias_grad * inv_b;
+    }
+    double loss = *GlmLoss(x, y, model->weights, model->intercept, config.family,
+                           config.l2);
+    model->loss_history.push_back(loss);
+    model->epochs_run = epoch + 1;
+    if (std::isfinite(prev_loss) &&
+        std::fabs(prev_loss - loss) <= config.tolerance * std::max(1.0, prev_loss)) {
+      break;
+    }
+    prev_loss = loss;
+  }
+}
+
+// Mini-batch SGD with per-coordinate adaptive step sizes (Adagrad or Adam).
+void RunAdaptive(const DenseMatrix& x, const DenseMatrix& y, const GlmConfig& config,
+                 bool adam, GlmModel* model) {
+  const size_t n = x.rows(), d = x.cols();
+  const size_t batch_size = std::max<size_t>(1, config.batch_size);
+  Rng rng(config.seed);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  DenseMatrix grad(d, 1);
+
+  // Accumulators: Adagrad uses g2 only; Adam uses m (first) and g2 (second).
+  std::vector<double> m(d + 1, 0.0);
+  std::vector<double> g2(d + 1, 0.0);
+  size_t step = 0;
+  double prev_loss = std::numeric_limits<double>::infinity();
+
+  for (size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < n; start += batch_size) {
+      size_t end = std::min(start + batch_size, n);
+      grad.Fill(0.0);
+      double bias_grad = 0.0;
+      for (size_t k = start; k < end; ++k) {
+        size_t i = order[k];
+        double score = la::Dot(x.Row(i), model->weights.data(), d) + model->intercept;
+        double g = ScoreGradient(score, y.At(i, 0), config.family);
+        la::Axpy(g, x.Row(i), grad.data(), d);
+        bias_grad += g;
+      }
+      double inv_b = 1.0 / static_cast<double>(end - start);
+      ++step;
+      auto update = [&](size_t j, double gj, double* param) {
+        if (adam) {
+          m[j] = config.adam_beta1 * m[j] + (1 - config.adam_beta1) * gj;
+          g2[j] = config.adam_beta2 * g2[j] + (1 - config.adam_beta2) * gj * gj;
+          double m_hat =
+              m[j] / (1 - std::pow(config.adam_beta1, static_cast<double>(step)));
+          double v_hat =
+              g2[j] / (1 - std::pow(config.adam_beta2, static_cast<double>(step)));
+          *param -= config.learning_rate * m_hat /
+                    (std::sqrt(v_hat) + config.adaptive_eps);
+        } else {
+          g2[j] += gj * gj;
+          *param -=
+              config.learning_rate * gj / (std::sqrt(g2[j]) + config.adaptive_eps);
+        }
+      };
+      for (size_t j = 0; j < d; ++j) {
+        double gj = grad.At(j, 0) * inv_b + config.l2 * model->weights.At(j, 0);
+        update(j, gj, &model->weights.At(j, 0));
+      }
+      if (config.fit_intercept) update(d, bias_grad * inv_b, &model->intercept);
+    }
+    double loss = *GlmLoss(x, y, model->weights, model->intercept, config.family,
+                           config.l2);
+    model->loss_history.push_back(loss);
+    model->epochs_run = epoch + 1;
+    if (std::isfinite(prev_loss) &&
+        std::fabs(prev_loss - loss) <= config.tolerance * std::max(1.0, prev_loss)) {
+      break;
+    }
+    prev_loss = loss;
+  }
+}
+
+// Hogwild-style lock-free parallel SGD: each worker samples examples and
+// applies unsynchronized updates to the shared weight vector. Races are
+// benign for sparse-conflict workloads (Niu et al., NIPS'11).
+void RunHogwild(const DenseMatrix& x, const DenseMatrix& y, const GlmConfig& config,
+                ThreadPool* pool, GlmModel* model) {
+  const size_t n = x.rows(), d = x.cols();
+  size_t num_threads = std::max<size_t>(1, config.num_threads);
+  std::unique_ptr<ThreadPool> local_pool;
+  if (pool == nullptr && num_threads > 1) {
+    local_pool = std::make_unique<ThreadPool>(num_threads);
+    pool = local_pool.get();
+  }
+
+  // Shared parameters; updates are intentionally unsynchronized.
+  std::vector<double> w(d, 0.0);
+  std::atomic<double> intercept{0.0};
+
+  double prev_loss = std::numeric_limits<double>::infinity();
+  for (size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    double lr = config.learning_rate / (1.0 + config.lr_decay * static_cast<double>(epoch));
+    auto worker = [&](size_t tid, size_t begin, size_t end) {
+      Rng rng(config.seed + epoch * 1315423911ULL + tid);
+      size_t steps = end - begin;
+      for (size_t s = 0; s < steps; ++s) {
+        size_t i = rng.UniformInt(static_cast<uint64_t>(n));
+        double b = intercept.load(std::memory_order_relaxed);
+        double score = la::Dot(x.Row(i), w.data(), d) + b;
+        double g = ScoreGradient(score, y.At(i, 0), config.family);
+        const double* xi = x.Row(i);
+        for (size_t j = 0; j < d; ++j) {
+          // Racy read-modify-write: the Hogwild contract.
+          w[j] -= lr * (g * xi[j] + config.l2 * w[j]);
+        }
+        if (config.fit_intercept) {
+          intercept.store(b - lr * g, std::memory_order_relaxed);
+        }
+      }
+    };
+
+    if (pool == nullptr || num_threads <= 1) {
+      worker(0, 0, n);
+    } else {
+      std::vector<std::future<void>> futures;
+      size_t chunk = (n + num_threads - 1) / num_threads;
+      for (size_t t = 0; t < num_threads; ++t) {
+        size_t begin = t * chunk, end = std::min(begin + chunk, n);
+        if (begin >= end) break;
+        futures.push_back(pool->Submit([&, t, begin, end] { worker(t, begin, end); }));
+      }
+      for (auto& f : futures) f.get();
+    }
+
+    for (size_t j = 0; j < d; ++j) model->weights.At(j, 0) = w[j];
+    model->intercept = intercept.load();
+    double loss = *GlmLoss(x, y, model->weights, model->intercept, config.family,
+                           config.l2);
+    model->loss_history.push_back(loss);
+    model->epochs_run = epoch + 1;
+    if (std::isfinite(prev_loss) &&
+        std::fabs(prev_loss - loss) <= config.tolerance * std::max(1.0, prev_loss)) {
+      break;
+    }
+    prev_loss = loss;
+  }
+}
+
+// Closed-form ridge solution (X^T X + n*λI) w = X^T y, with optional
+// intercept handled by augmenting a ones column.
+Status RunNormalEquations(const DenseMatrix& x, const DenseMatrix& y,
+                          const GlmConfig& config, GlmModel* model) {
+  const size_t n = x.rows(), d = x.cols();
+  const size_t da = config.fit_intercept ? d + 1 : d;
+
+  DenseMatrix xtx(da, da);
+  DenseMatrix xty(da, 1);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = x.Row(i);
+    auto get = [&](size_t j) { return j < d ? row[j] : 1.0; };
+    for (size_t a = 0; a < da; ++a) {
+      double va = get(a);
+      xty.At(a, 0) += va * y.At(i, 0);
+      for (size_t b = a; b < da; ++b) xtx.At(a, b) += va * get(b);
+    }
+  }
+  for (size_t a = 0; a < da; ++a) {
+    for (size_t b = 0; b < a; ++b) xtx.At(a, b) = xtx.At(b, a);
+  }
+  // L2 penalty (matching the per-example-mean loss convention: λ * n).
+  if (config.l2 > 0) {
+    for (size_t j = 0; j < d; ++j) {
+      xtx.At(j, j) += config.l2 * static_cast<double>(n);
+    }
+  }
+  DMML_ASSIGN_OR_RETURN(DenseMatrix sol, la::Solve(xtx, xty));
+  for (size_t j = 0; j < d; ++j) model->weights.At(j, 0) = sol.At(j, 0);
+  model->intercept = config.fit_intercept ? sol.At(d, 0) : 0.0;
+  model->epochs_run = 1;
+  DMML_ASSIGN_OR_RETURN(
+      double loss,
+      GlmLoss(x, y, model->weights, model->intercept, config.family, config.l2));
+  model->loss_history.push_back(loss);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<GlmModel> TrainGlm(const DenseMatrix& x, const DenseMatrix& y,
+                          const GlmConfig& config, ThreadPool* pool) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("TrainGlm: empty design matrix");
+  }
+  if (y.rows() != x.rows() || y.cols() != 1) {
+    return Status::InvalidArgument("TrainGlm: y must be n x 1 matching x");
+  }
+  if (config.family == GlmFamily::kBinomial) {
+    for (size_t i = 0; i < y.rows(); ++i) {
+      double v = y.At(i, 0);
+      if (v != 0.0 && v != 1.0) {
+        return Status::InvalidArgument("Binomial family requires 0/1 labels");
+      }
+    }
+  }
+  if (config.solver == GlmSolver::kNormalEquations &&
+      config.family != GlmFamily::kGaussian) {
+    return Status::InvalidArgument("normal equations require the Gaussian family");
+  }
+  if (config.learning_rate <= 0 && config.solver != GlmSolver::kNormalEquations) {
+    return Status::InvalidArgument("learning_rate must be positive");
+  }
+
+  GlmModel model;
+  model.family = config.family;
+  model.weights = DenseMatrix(x.cols(), 1);
+
+  switch (config.solver) {
+    case GlmSolver::kBatchGd:
+      RunBatchGd(x, y, config, &model);
+      break;
+    case GlmSolver::kSgd:
+      RunSgd(x, y, config, 1, &model);
+      break;
+    case GlmSolver::kMiniBatchSgd:
+      RunSgd(x, y, config, std::max<size_t>(1, config.batch_size), &model);
+      break;
+    case GlmSolver::kHogwild:
+      RunHogwild(x, y, config, pool, &model);
+      break;
+    case GlmSolver::kNormalEquations:
+      DMML_RETURN_IF_ERROR(RunNormalEquations(x, y, config, &model));
+      break;
+    case GlmSolver::kAdagrad:
+      RunAdaptive(x, y, config, /*adam=*/false, &model);
+      break;
+    case GlmSolver::kAdam:
+      RunAdaptive(x, y, config, /*adam=*/true, &model);
+      break;
+  }
+  return model;
+}
+
+}  // namespace dmml::ml

@@ -1,0 +1,171 @@
+#include "ml/gmm.h"
+
+#include <cmath>
+#include <limits>
+
+#include "la/kernels.h"
+#include "util/rng.h"
+
+namespace dmml::ml {
+
+using la::DenseMatrix;
+
+namespace {
+
+// Log density of x (row) under component c with diagonal covariance.
+double LogDensity(const double* x, const GmmModel& model, size_t c, size_t d) {
+  double acc = 0;
+  for (size_t j = 0; j < d; ++j) {
+    double var = model.variances.At(c, j);
+    double delta = x[j] - model.means.At(c, j);
+    acc += -0.5 * (std::log(2.0 * M_PI * var) + delta * delta / var);
+  }
+  return acc;
+}
+
+// Fills `resp` (n x k) with responsibilities; returns the mean log-likelihood.
+double EStep(const DenseMatrix& x, const GmmModel& model, DenseMatrix* resp) {
+  const size_t n = x.rows(), d = x.cols(), k = model.weights.size();
+  double total_ll = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double* row = resp->Row(i);
+    double mx = -std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < k; ++c) {
+      row[c] = std::log(model.weights[c]) + LogDensity(x.Row(i), model, c, d);
+      mx = std::max(mx, row[c]);
+    }
+    double total = 0;
+    for (size_t c = 0; c < k; ++c) {
+      row[c] = std::exp(row[c] - mx);
+      total += row[c];
+    }
+    for (size_t c = 0; c < k; ++c) row[c] /= total;
+    total_ll += mx + std::log(total);
+  }
+  return total_ll / static_cast<double>(n);
+}
+
+}  // namespace
+
+Result<GmmModel> TrainGmm(const DenseMatrix& x, const GmmConfig& config) {
+  const size_t n = x.rows(), d = x.cols(), k = config.num_components;
+  if (n == 0 || d == 0) return Status::InvalidArgument("GMM: empty data");
+  if (k == 0 || k > n) return Status::InvalidArgument("GMM: k must be in [1, n]");
+  if (config.var_floor <= 0) {
+    return Status::InvalidArgument("GMM: var_floor must be positive");
+  }
+
+  // Initialize means at random points, variances at the global per-dimension
+  // variance, weights uniform.
+  Rng rng(config.seed);
+  GmmModel model;
+  model.means = DenseMatrix(k, d);
+  for (size_t c = 0; c < k; ++c) {
+    size_t pick = rng.UniformInt(static_cast<uint64_t>(n));
+    std::copy(x.Row(pick), x.Row(pick) + d, model.means.Row(c));
+  }
+  model.variances = DenseMatrix(k, d);
+  {
+    std::vector<double> mean(d, 0.0), var(d, 0.0);
+    for (size_t i = 0; i < n; ++i) la::Axpy(1.0, x.Row(i), mean.data(), d);
+    for (size_t j = 0; j < d; ++j) mean[j] /= static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double* row = x.Row(i);
+      for (size_t j = 0; j < d; ++j) {
+        double delta = row[j] - mean[j];
+        var[j] += delta * delta;
+      }
+    }
+    for (size_t j = 0; j < d; ++j) {
+      var[j] = std::max(config.var_floor, var[j] / static_cast<double>(n));
+    }
+    for (size_t c = 0; c < k; ++c) {
+      std::copy(var.begin(), var.end(), model.variances.Row(c));
+    }
+  }
+  model.weights.assign(k, 1.0 / static_cast<double>(k));
+
+  DenseMatrix resp(n, k);
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  for (size_t iter = 0; iter < config.max_iters; ++iter) {
+    double ll = EStep(x, model, &resp);
+    model.log_likelihood_history.push_back(ll);
+    model.iters_run = iter + 1;
+
+    // M step.
+    for (size_t c = 0; c < k; ++c) {
+      double nk = 0;
+      for (size_t i = 0; i < n; ++i) nk += resp.At(i, c);
+      if (nk < 1e-12) {
+        // Dead component: re-seed it at a random point.
+        size_t pick = rng.UniformInt(static_cast<uint64_t>(n));
+        std::copy(x.Row(pick), x.Row(pick) + d, model.means.Row(c));
+        model.weights[c] = 1.0 / static_cast<double>(n);
+        continue;
+      }
+      for (size_t j = 0; j < d; ++j) model.means.At(c, j) = 0;
+      for (size_t i = 0; i < n; ++i) {
+        la::Axpy(resp.At(i, c), x.Row(i), model.means.Row(c), d);
+      }
+      for (size_t j = 0; j < d; ++j) model.means.At(c, j) /= nk;
+
+      for (size_t j = 0; j < d; ++j) model.variances.At(c, j) = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const double r = resp.At(i, c);
+        const double* row = x.Row(i);
+        for (size_t j = 0; j < d; ++j) {
+          double delta = row[j] - model.means.At(c, j);
+          model.variances.At(c, j) += r * delta * delta;
+        }
+      }
+      for (size_t j = 0; j < d; ++j) {
+        model.variances.At(c, j) =
+            std::max(config.var_floor, model.variances.At(c, j) / nk);
+      }
+      model.weights[c] = nk / static_cast<double>(n);
+    }
+    // Renormalize weights (dead-component reseeding can unbalance them).
+    double wsum = 0;
+    for (double w : model.weights) wsum += w;
+    for (double& w : model.weights) w /= wsum;
+
+    if (std::isfinite(prev_ll) &&
+        std::fabs(ll - prev_ll) <= config.tolerance * std::max(1.0, std::fabs(prev_ll))) {
+      break;
+    }
+    prev_ll = ll;
+  }
+  return model;
+}
+
+Result<DenseMatrix> GmmModel::PredictProba(const DenseMatrix& x) const {
+  if (x.cols() != means.cols()) {
+    return Status::InvalidArgument("GMM: dimensionality mismatch");
+  }
+  DenseMatrix resp(x.rows(), weights.size());
+  EStep(x, *this, &resp);
+  return resp;
+}
+
+Result<std::vector<int>> GmmModel::Predict(const DenseMatrix& x) const {
+  DMML_ASSIGN_OR_RETURN(DenseMatrix resp, PredictProba(x));
+  std::vector<int> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    size_t best = 0;
+    for (size_t c = 1; c < resp.cols(); ++c) {
+      if (resp.At(i, c) > resp.At(i, best)) best = c;
+    }
+    out[i] = static_cast<int>(best);
+  }
+  return out;
+}
+
+Result<double> GmmModel::ScoreSamples(const DenseMatrix& x) const {
+  if (x.cols() != means.cols()) {
+    return Status::InvalidArgument("GMM: dimensionality mismatch");
+  }
+  DenseMatrix resp(x.rows(), weights.size());
+  return EStep(x, *this, &resp);
+}
+
+}  // namespace dmml::ml

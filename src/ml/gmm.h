@@ -1,0 +1,51 @@
+/// \file gmm.h
+/// \brief Gaussian mixture models with diagonal covariance, fit by EM.
+///
+/// The expectation-maximization workhorse of in-database analytics suites
+/// (MADlib ships it as a UDA): soft clustering with per-component means,
+/// per-dimension variances and mixing weights; the log-likelihood is
+/// guaranteed non-decreasing across EM iterations.
+#ifndef DMML_ML_GMM_H_
+#define DMML_ML_GMM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/dense_matrix.h"
+#include "util/result.h"
+
+namespace dmml::ml {
+
+/// \brief GMM hyperparameters.
+struct GmmConfig {
+  size_t num_components = 3;
+  size_t max_iters = 100;
+  double tolerance = 1e-6;      ///< Relative log-likelihood improvement stop.
+  double var_floor = 1e-6;      ///< Lower bound on per-dimension variances.
+  uint64_t seed = 42;           ///< k-means-style initialization seed.
+};
+
+/// \brief A fitted mixture.
+struct GmmModel {
+  la::DenseMatrix means;       ///< k x d.
+  la::DenseMatrix variances;   ///< k x d (diagonal covariances).
+  std::vector<double> weights; ///< Mixing proportions, sum to 1.
+  std::vector<double> log_likelihood_history;  ///< Mean LL per iteration.
+  size_t iters_run = 0;
+
+  /// \brief Per-point responsibilities (n x k), rows summing to 1.
+  Result<la::DenseMatrix> PredictProba(const la::DenseMatrix& x) const;
+
+  /// \brief Hard assignment: argmax responsibility per row.
+  Result<std::vector<int>> Predict(const la::DenseMatrix& x) const;
+
+  /// \brief Mean log-likelihood of `x` under the mixture.
+  Result<double> ScoreSamples(const la::DenseMatrix& x) const;
+};
+
+/// \brief Fits a diagonal-covariance GMM on (n x d) data with EM.
+Result<GmmModel> TrainGmm(const la::DenseMatrix& x, const GmmConfig& config);
+
+}  // namespace dmml::ml
+
+#endif  // DMML_ML_GMM_H_

@@ -1,0 +1,164 @@
+#include "ml/gradient_boosting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ml/glm.h"
+#include "util/rng.h"
+
+namespace dmml::ml {
+
+using la::DenseMatrix;
+
+namespace {
+
+Result<GradientBoostingModel> TrainBoosted(const DenseMatrix& x, const DenseMatrix& y,
+                                           const BoostingConfig& config,
+                                           bool classifier) {
+  const size_t n = x.rows(), d = x.cols();
+  if (n == 0 || d == 0) return Status::InvalidArgument("boosting: empty data");
+  if (y.rows() != n || y.cols() != 1) {
+    return Status::InvalidArgument("boosting: y must be n x 1");
+  }
+  if (config.num_rounds == 0) {
+    return Status::InvalidArgument("boosting: num_rounds >= 1");
+  }
+  if (config.learning_rate <= 0) {
+    return Status::InvalidArgument("boosting: learning_rate must be positive");
+  }
+  if (config.subsample <= 0 || config.subsample > 1.0) {
+    return Status::InvalidArgument("boosting: subsample in (0, 1]");
+  }
+  if (classifier) {
+    for (size_t i = 0; i < n; ++i) {
+      double v = y.At(i, 0);
+      if (v != 0.0 && v != 1.0) {
+        return Status::InvalidArgument("boosted classifier requires 0/1 labels");
+      }
+    }
+  }
+
+  GradientBoostingModel model;
+  model.is_classifier = classifier;
+  model.learning_rate = config.learning_rate;
+
+  // Base score: mean target (regression) or prior log-odds (classification).
+  double mean = 0;
+  for (size_t i = 0; i < n; ++i) mean += y.At(i, 0);
+  mean /= static_cast<double>(n);
+  if (classifier) {
+    double p = std::clamp(mean, 1e-6, 1.0 - 1e-6);
+    model.base_score = std::log(p / (1.0 - p));
+  } else {
+    model.base_score = mean;
+  }
+
+  // Current additive scores F(x_i).
+  std::vector<double> f(n, model.base_score);
+  DenseMatrix residual(n, 1);
+  Rng rng(config.seed);
+  std::vector<size_t> all_rows(n);
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+  size_t sample_size =
+      std::max<size_t>(1, static_cast<size_t>(config.subsample * static_cast<double>(n)));
+
+  for (size_t round = 0; round < config.num_rounds; ++round) {
+    // Negative gradient of the loss at the current scores.
+    for (size_t i = 0; i < n; ++i) {
+      if (classifier) {
+        double p = GlmInverseLink(f[i], GlmFamily::kBinomial);
+        residual.At(i, 0) = y.At(i, 0) - p;
+      } else {
+        residual.At(i, 0) = y.At(i, 0) - f[i];
+      }
+    }
+
+    // Optional row subsampling (stochastic gradient boosting).
+    DenseMatrix xt, rt;
+    if (sample_size < n) {
+      rng.Shuffle(&all_rows);
+      xt = DenseMatrix(sample_size, d);
+      rt = DenseMatrix(sample_size, 1);
+      for (size_t s = 0; s < sample_size; ++s) {
+        std::copy(x.Row(all_rows[s]), x.Row(all_rows[s]) + d, xt.Row(s));
+        rt.At(s, 0) = residual.At(all_rows[s], 0);
+      }
+    }
+    const DenseMatrix& x_fit = sample_size < n ? xt : x;
+    const DenseMatrix& r_fit = sample_size < n ? rt : residual;
+
+    DMML_ASSIGN_OR_RETURN(DecisionTreeModel tree,
+                          TrainTreeRegressor(x_fit, r_fit, config.tree));
+    DMML_ASSIGN_OR_RETURN(DenseMatrix update, tree.Predict(x));
+    for (size_t i = 0; i < n; ++i) {
+      f[i] += config.learning_rate * update.At(i, 0);
+    }
+    model.trees.push_back(std::move(tree));
+
+    // Track training loss.
+    double loss = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (classifier) {
+        double sign_y = y.At(i, 0) > 0.5 ? 1.0 : -1.0;
+        double m = sign_y * f[i];
+        loss += m > 0 ? std::log1p(std::exp(-m)) : -m + std::log1p(std::exp(m));
+      } else {
+        double r = y.At(i, 0) - f[i];
+        loss += 0.5 * r * r;
+      }
+    }
+    model.train_loss.push_back(loss / static_cast<double>(n));
+  }
+  return model;
+}
+
+}  // namespace
+
+Result<DenseMatrix> GradientBoostingModel::DecisionFunction(
+    const DenseMatrix& x) const {
+  if (trees.empty()) return Status::FailedPrecondition("boosting model not trained");
+  DenseMatrix f(x.rows(), 1, base_score);
+  for (const auto& tree : trees) {
+    DMML_ASSIGN_OR_RETURN(DenseMatrix update, tree.Predict(x));
+    for (size_t i = 0; i < x.rows(); ++i) {
+      f.At(i, 0) += learning_rate * update.At(i, 0);
+    }
+  }
+  return f;
+}
+
+Result<DenseMatrix> GradientBoostingModel::Predict(const DenseMatrix& x) const {
+  DMML_ASSIGN_OR_RETURN(DenseMatrix f, DecisionFunction(x));
+  if (!is_classifier) return f;
+  for (size_t i = 0; i < f.rows(); ++i) {
+    f.At(i, 0) = GlmInverseLink(f.At(i, 0), GlmFamily::kBinomial);
+  }
+  return f;
+}
+
+Result<DenseMatrix> GradientBoostingModel::PredictLabels(const DenseMatrix& x,
+                                                         double threshold) const {
+  if (!is_classifier) {
+    return Status::FailedPrecondition("PredictLabels requires a classifier");
+  }
+  DMML_ASSIGN_OR_RETURN(DenseMatrix probs, Predict(x));
+  for (size_t i = 0; i < probs.rows(); ++i) {
+    probs.At(i, 0) = probs.At(i, 0) >= threshold ? 1.0 : 0.0;
+  }
+  return probs;
+}
+
+Result<GradientBoostingModel> TrainBoostedRegressor(const DenseMatrix& x,
+                                                    const DenseMatrix& y,
+                                                    const BoostingConfig& config) {
+  return TrainBoosted(x, y, config, false);
+}
+
+Result<GradientBoostingModel> TrainBoostedClassifier(const DenseMatrix& x,
+                                                     const DenseMatrix& y,
+                                                     const BoostingConfig& config) {
+  return TrainBoosted(x, y, config, true);
+}
+
+}  // namespace dmml::ml

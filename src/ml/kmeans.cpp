@@ -1,0 +1,152 @@
+#include "ml/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "la/kernels.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace dmml::ml {
+
+using la::DenseMatrix;
+
+namespace {
+
+// Index of the nearest center for row i, plus its squared distance.
+std::pair<int, double> Nearest(const DenseMatrix& x, size_t i,
+                               const DenseMatrix& centers) {
+  int best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centers.rows(); ++c) {
+    double d = la::RowSquaredDistance(x, i, centers, c);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return {best, best_d};
+}
+
+DenseMatrix InitCenters(const DenseMatrix& x, const KMeansConfig& config, Rng* rng) {
+  const size_t n = x.rows(), d = x.cols(), k = config.k;
+  DenseMatrix centers(k, d);
+  if (!config.kmeanspp_init) {
+    for (size_t c = 0; c < k; ++c) {
+      size_t i = rng->UniformInt(static_cast<uint64_t>(n));
+      std::copy(x.Row(i), x.Row(i) + d, centers.Row(c));
+    }
+    return centers;
+  }
+  // k-means++: first center uniform, then D^2-weighted sampling.
+  size_t first = rng->UniformInt(static_cast<uint64_t>(n));
+  std::copy(x.Row(first), x.Row(first) + d, centers.Row(0));
+  std::vector<double> dist2(n, std::numeric_limits<double>::infinity());
+  for (size_t c = 1; c < k; ++c) {
+    double total = 0;
+    for (size_t i = 0; i < n; ++i) {
+      double dd = la::RowSquaredDistance(x, i, centers, c - 1);
+      dist2[i] = std::min(dist2[i], dd);
+      total += dist2[i];
+    }
+    size_t chosen = 0;
+    if (total > 0) {
+      double r = rng->Uniform() * total;
+      double acc = 0;
+      for (size_t i = 0; i < n; ++i) {
+        acc += dist2[i];
+        if (r < acc) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng->UniformInt(static_cast<uint64_t>(n));
+    }
+    std::copy(x.Row(chosen), x.Row(chosen) + d, centers.Row(c));
+  }
+  return centers;
+}
+
+}  // namespace
+
+Result<std::vector<int>> KMeansModel::Predict(const DenseMatrix& x) const {
+  if (x.cols() != centers.cols()) {
+    return Status::InvalidArgument("k-means model dimensionality mismatch");
+  }
+  std::vector<int> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) out[i] = Nearest(x, i, centers).first;
+  return out;
+}
+
+Result<KMeansModel> TrainKMeans(const DenseMatrix& x, const KMeansConfig& config) {
+  const size_t n = x.rows(), d = x.cols(), k = config.k;
+  if (n == 0 || d == 0) return Status::InvalidArgument("k-means: empty data");
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("k-means: k must be in [1, n]");
+  }
+  Rng rng(config.seed);
+  KMeansModel model;
+  model.centers = InitCenters(x, config, &rng);
+  model.labels.assign(n, 0);
+
+  std::vector<size_t> counts(k);
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  for (size_t iter = 0; iter < config.max_iters; ++iter) {
+    // Assignment step.
+    double inertia = 0;
+    for (size_t i = 0; i < n; ++i) {
+      auto [c, dd] = Nearest(x, i, model.centers);
+      model.labels[i] = c;
+      inertia += dd;
+    }
+    // Update step.
+    model.centers.Fill(0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      size_t c = static_cast<size_t>(model.labels[i]);
+      la::Axpy(1.0, x.Row(i), model.centers.Row(c), d);
+      counts[c]++;
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed empty cluster at the point farthest from its center.
+        size_t far_i = 0;
+        double far_d = -1;
+        for (size_t i = 0; i < n; ++i) {
+          double dd = la::RowSquaredDistance(
+              x, i, model.centers, static_cast<size_t>(model.labels[i]));
+          if (dd > far_d) {
+            far_d = dd;
+            far_i = i;
+          }
+        }
+        std::copy(x.Row(far_i), x.Row(far_i) + d, model.centers.Row(c));
+        continue;
+      }
+      double inv = 1.0 / static_cast<double>(counts[c]);
+      for (size_t j = 0; j < d; ++j) model.centers.At(c, j) *= inv;
+    }
+
+    model.inertia = inertia;
+    model.inertia_history.push_back(inertia);
+    model.iters_run = iter + 1;
+    if (std::isfinite(prev_inertia) &&
+        std::fabs(prev_inertia - inertia) <=
+        config.tolerance * std::max(1.0, prev_inertia)) {
+      break;
+    }
+    prev_inertia = inertia;
+  }
+  // Final assignment against the last centers.
+  double inertia = 0;
+  for (size_t i = 0; i < n; ++i) {
+    auto [c, dd] = Nearest(x, i, model.centers);
+    model.labels[i] = c;
+    inertia += dd;
+  }
+  model.inertia = inertia;
+  return model;
+}
+
+}  // namespace dmml::ml

@@ -1,0 +1,145 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "la/kernels.h"
+
+namespace dmml::ml {
+
+using la::DenseMatrix;
+
+namespace {
+Status CheckVectors(const DenseMatrix& a, const DenseMatrix& b) {
+  if (!a.IsVector() || !b.IsVector() || a.size() != b.size() || a.size() == 0) {
+    return Status::InvalidArgument("metrics require equal-length non-empty vectors");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<double> Rmse(const DenseMatrix& y_true, const DenseMatrix& y_pred) {
+  DMML_RETURN_IF_ERROR(CheckVectors(y_true, y_pred));
+  double acc = 0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    double d = y_true.data()[i] - y_pred.data()[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(y_true.size()));
+}
+
+Result<double> Mae(const DenseMatrix& y_true, const DenseMatrix& y_pred) {
+  DMML_RETURN_IF_ERROR(CheckVectors(y_true, y_pred));
+  double acc = 0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    acc += std::fabs(y_true.data()[i] - y_pred.data()[i]);
+  }
+  return acc / static_cast<double>(y_true.size());
+}
+
+Result<double> R2(const DenseMatrix& y_true, const DenseMatrix& y_pred) {
+  DMML_RETURN_IF_ERROR(CheckVectors(y_true, y_pred));
+  const size_t n = y_true.size();
+  double mean = la::Sum(y_true) / static_cast<double>(n);
+  double ss_res = 0, ss_tot = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double r = y_true.data()[i] - y_pred.data()[i];
+    double t = y_true.data()[i] - mean;
+    ss_res += r * r;
+    ss_tot += t * t;
+  }
+  if (ss_tot == 0) return Status::FailedPrecondition("R2 undefined for constant y");
+  return 1.0 - ss_res / ss_tot;
+}
+
+Result<double> Accuracy(const DenseMatrix& y_true, const DenseMatrix& y_pred) {
+  DMML_RETURN_IF_ERROR(CheckVectors(y_true, y_pred));
+  size_t hits = 0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true.data()[i] == y_pred.data()[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(y_true.size());
+}
+
+Result<double> LogLoss(const DenseMatrix& y_true, const DenseMatrix& y_prob,
+                       double eps) {
+  DMML_RETURN_IF_ERROR(CheckVectors(y_true, y_prob));
+  double acc = 0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    double p = std::clamp(y_prob.data()[i], eps, 1.0 - eps);
+    double y = y_true.data()[i];
+    acc += -(y * std::log(p) + (1.0 - y) * std::log(1.0 - p));
+  }
+  return acc / static_cast<double>(y_true.size());
+}
+
+Result<PrecisionRecallF1> BinaryPrf(const DenseMatrix& y_true,
+                                    const DenseMatrix& y_pred) {
+  DMML_RETURN_IF_ERROR(CheckVectors(y_true, y_pred));
+  size_t tp = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    bool t = y_true.data()[i] == 1.0;
+    bool p = y_pred.data()[i] == 1.0;
+    if (t && p) ++tp;
+    else if (!t && p) ++fp;
+    else if (t && !p) ++fn;
+  }
+  PrecisionRecallF1 out{0, 0, 0};
+  if (tp + fp > 0) out.precision = static_cast<double>(tp) / static_cast<double>(tp + fp);
+  if (tp + fn > 0) out.recall = static_cast<double>(tp) / static_cast<double>(tp + fn);
+  if (out.precision + out.recall > 0) {
+    out.f1 = 2 * out.precision * out.recall / (out.precision + out.recall);
+  }
+  return out;
+}
+
+Result<double> RocAuc(const DenseMatrix& y_true, const DenseMatrix& y_score) {
+  DMML_RETURN_IF_ERROR(CheckVectors(y_true, y_score));
+  const size_t n = y_true.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return y_score.data()[a] < y_score.data()[b];
+  });
+  // Rank-sum with average ranks for ties.
+  std::vector<double> rank(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n &&
+           y_score.data()[order[j + 1]] == y_score.data()[order[i]]) {
+      ++j;
+    }
+    double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  double pos_rank_sum = 0;
+  size_t num_pos = 0;
+  for (size_t k = 0; k < n; ++k) {
+    if (y_true.data()[k] == 1.0) {
+      pos_rank_sum += rank[k];
+      ++num_pos;
+    }
+  }
+  size_t num_neg = n - num_pos;
+  if (num_pos == 0 || num_neg == 0) {
+    return Status::FailedPrecondition("AUC undefined with a single class");
+  }
+  double auc = (pos_rank_sum - static_cast<double>(num_pos) *
+                                   (static_cast<double>(num_pos) + 1) / 2.0) /
+               (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+  return auc;
+}
+
+double KMeansInertia(const DenseMatrix& x, const DenseMatrix& centers,
+                     const std::vector<int>& assignment) {
+  double acc = 0;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    acc += la::RowSquaredDistance(x, i, centers, static_cast<size_t>(assignment[i]));
+  }
+  return acc;
+}
+
+}  // namespace dmml::ml

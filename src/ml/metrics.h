@@ -1,0 +1,48 @@
+/// \file metrics.h
+/// \brief Evaluation metrics for regression, classification and clustering.
+#ifndef DMML_ML_METRICS_H_
+#define DMML_ML_METRICS_H_
+
+#include <vector>
+
+#include "la/dense_matrix.h"
+#include "util/result.h"
+
+namespace dmml::ml {
+
+/// \brief Root mean squared error between (n x 1) vectors.
+Result<double> Rmse(const la::DenseMatrix& y_true, const la::DenseMatrix& y_pred);
+
+/// \brief Mean absolute error.
+Result<double> Mae(const la::DenseMatrix& y_true, const la::DenseMatrix& y_pred);
+
+/// \brief Coefficient of determination R^2.
+Result<double> R2(const la::DenseMatrix& y_true, const la::DenseMatrix& y_pred);
+
+/// \brief Fraction of exact matches between 0/1 label vectors.
+Result<double> Accuracy(const la::DenseMatrix& y_true, const la::DenseMatrix& y_pred);
+
+/// \brief Binary log loss given predicted probabilities (clipped to [eps,1-eps]).
+Result<double> LogLoss(const la::DenseMatrix& y_true, const la::DenseMatrix& y_prob,
+                       double eps = 1e-12);
+
+/// \brief Precision / recall / F1 for the positive (1.0) class.
+struct PrecisionRecallF1 {
+  double precision;
+  double recall;
+  double f1;
+};
+Result<PrecisionRecallF1> BinaryPrf(const la::DenseMatrix& y_true,
+                                    const la::DenseMatrix& y_pred);
+
+/// \brief Area under the ROC curve from predicted scores (rank-based,
+/// tie-aware Mann–Whitney formulation).
+Result<double> RocAuc(const la::DenseMatrix& y_true, const la::DenseMatrix& y_score);
+
+/// \brief Sum of squared distances of points to their assigned centroids.
+double KMeansInertia(const la::DenseMatrix& x, const la::DenseMatrix& centers,
+                     const std::vector<int>& assignment);
+
+}  // namespace dmml::ml
+
+#endif  // DMML_ML_METRICS_H_

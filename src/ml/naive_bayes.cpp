@@ -1,0 +1,112 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace dmml::ml {
+
+using la::DenseMatrix;
+
+Result<NaiveBayesModel> TrainNaiveBayes(const DenseMatrix& x, const std::vector<int>& y,
+                                        const NaiveBayesConfig& config) {
+  const size_t n = x.rows(), d = x.cols();
+  if (n == 0 || d == 0) return Status::InvalidArgument("naive Bayes: empty data");
+  if (y.size() != n) return Status::InvalidArgument("naive Bayes: |y| != n");
+
+  std::map<int, size_t> class_index;
+  for (int label : y) class_index.emplace(label, class_index.size());
+  // Re-number in sorted order for determinism.
+  size_t idx = 0;
+  for (auto& [label, i] : class_index) i = idx++;
+  const size_t k = class_index.size();
+  if (k < 2) return Status::InvalidArgument("naive Bayes needs >= 2 classes");
+
+  NaiveBayesModel model;
+  model.classes.resize(k);
+  for (const auto& [label, i] : class_index) model.classes[i] = label;
+  model.means = DenseMatrix(k, d);
+  model.variances = DenseMatrix(k, d);
+  model.log_priors.assign(k, 0.0);
+
+  std::vector<size_t> counts(k, 0);
+  for (size_t i = 0; i < n; ++i) {
+    size_t c = class_index[y[i]];
+    counts[c]++;
+    la::DenseMatrix* unused = nullptr;
+    (void)unused;
+    for (size_t j = 0; j < d; ++j) model.means.At(c, j) += x.At(i, j);
+  }
+  for (size_t c = 0; c < k; ++c) {
+    double inv = 1.0 / static_cast<double>(counts[c]);
+    for (size_t j = 0; j < d; ++j) model.means.At(c, j) *= inv;
+    model.log_priors[c] =
+        std::log(static_cast<double>(counts[c]) / static_cast<double>(n));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    size_t c = class_index[y[i]];
+    for (size_t j = 0; j < d; ++j) {
+      double delta = x.At(i, j) - model.means.At(c, j);
+      model.variances.At(c, j) += delta * delta;
+    }
+  }
+  for (size_t c = 0; c < k; ++c) {
+    double inv = 1.0 / static_cast<double>(counts[c]);
+    for (size_t j = 0; j < d; ++j) {
+      model.variances.At(c, j) =
+          model.variances.At(c, j) * inv + config.var_smoothing;
+    }
+  }
+  return model;
+}
+
+Result<DenseMatrix> NaiveBayesModel::JointLogLikelihood(const DenseMatrix& x) const {
+  const size_t k = classes.size(), d = means.cols();
+  if (x.cols() != d) {
+    return Status::InvalidArgument("naive Bayes dimensionality mismatch");
+  }
+  DenseMatrix jll(x.rows(), k);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t c = 0; c < k; ++c) {
+      double acc = log_priors[c];
+      for (size_t j = 0; j < d; ++j) {
+        double var = variances.At(c, j);
+        double delta = x.At(i, j) - means.At(c, j);
+        acc += -0.5 * (std::log(2.0 * M_PI * var) + delta * delta / var);
+      }
+      jll.At(i, c) = acc;
+    }
+  }
+  return jll;
+}
+
+Result<std::vector<int>> NaiveBayesModel::Predict(const DenseMatrix& x) const {
+  DMML_ASSIGN_OR_RETURN(DenseMatrix jll, JointLogLikelihood(x));
+  std::vector<int> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    size_t best = 0;
+    for (size_t c = 1; c < classes.size(); ++c) {
+      if (jll.At(i, c) > jll.At(i, best)) best = c;
+    }
+    out[i] = classes[best];
+  }
+  return out;
+}
+
+Result<DenseMatrix> NaiveBayesModel::PredictProba(const DenseMatrix& x) const {
+  DMML_ASSIGN_OR_RETURN(DenseMatrix jll, JointLogLikelihood(x));
+  const size_t k = classes.size();
+  for (size_t i = 0; i < x.rows(); ++i) {
+    double mx = jll.At(i, 0);
+    for (size_t c = 1; c < k; ++c) mx = std::max(mx, jll.At(i, c));
+    double total = 0;
+    for (size_t c = 0; c < k; ++c) {
+      jll.At(i, c) = std::exp(jll.At(i, c) - mx);
+      total += jll.At(i, c);
+    }
+    for (size_t c = 0; c < k; ++c) jll.At(i, c) /= total;
+  }
+  return jll;
+}
+
+}  // namespace dmml::ml

@@ -1,0 +1,42 @@
+/// \file naive_bayes.h
+/// \brief Gaussian naive Bayes classifier for multi-class problems.
+#ifndef DMML_ML_NAIVE_BAYES_H_
+#define DMML_ML_NAIVE_BAYES_H_
+
+#include <vector>
+
+#include "la/dense_matrix.h"
+#include "util/result.h"
+
+namespace dmml::ml {
+
+/// \brief Gaussian NB hyperparameters.
+struct NaiveBayesConfig {
+  double var_smoothing = 1e-9;  ///< Added to per-feature variances.
+};
+
+/// \brief A fitted Gaussian naive Bayes model.
+struct NaiveBayesModel {
+  std::vector<int> classes;      ///< Distinct labels in training order.
+  la::DenseMatrix means;         ///< num_classes x d.
+  la::DenseMatrix variances;     ///< num_classes x d.
+  std::vector<double> log_priors;
+
+  /// \brief Per-class joint log-likelihoods (n x num_classes).
+  Result<la::DenseMatrix> JointLogLikelihood(const la::DenseMatrix& x) const;
+
+  /// \brief Most probable class per row.
+  Result<std::vector<int>> Predict(const la::DenseMatrix& x) const;
+
+  /// \brief Posterior probabilities (n x num_classes), softmax-normalized.
+  Result<la::DenseMatrix> PredictProba(const la::DenseMatrix& x) const;
+};
+
+/// \brief Fits Gaussian NB on (n x d) features and integer labels.
+Result<NaiveBayesModel> TrainNaiveBayes(const la::DenseMatrix& x,
+                                        const std::vector<int>& y,
+                                        const NaiveBayesConfig& config = {});
+
+}  // namespace dmml::ml
+
+#endif  // DMML_ML_NAIVE_BAYES_H_

@@ -1,0 +1,125 @@
+#include "ml/pca.h"
+
+#include <cmath>
+
+#include "la/kernels.h"
+#include "util/rng.h"
+
+namespace dmml::ml {
+
+using la::DenseMatrix;
+
+namespace {
+
+// Power iteration for the dominant eigenpair of symmetric `cov`.
+std::pair<DenseMatrix, double> DominantEigenpair(const DenseMatrix& cov,
+                                                 const PcaConfig& config,
+                                                 uint64_t seed) {
+  const size_t d = cov.rows();
+  Rng rng(seed);
+  DenseMatrix v(d, 1);
+  for (size_t j = 0; j < d; ++j) v.At(j, 0) = rng.Normal();
+  double norm = la::FrobeniusNorm(v);
+  for (size_t j = 0; j < d; ++j) v.At(j, 0) /= norm;
+
+  double eigenvalue = 0;
+  for (size_t iter = 0; iter < config.max_iters; ++iter) {
+    DenseMatrix next = la::Gemv(cov, v);
+    double next_norm = la::FrobeniusNorm(next);
+    if (next_norm == 0) break;  // Null space; keep the current vector.
+    for (size_t j = 0; j < d; ++j) next.At(j, 0) /= next_norm;
+    double delta = 0;
+    for (size_t j = 0; j < d; ++j) {
+      delta = std::max(delta, std::fabs(next.At(j, 0) - v.At(j, 0)));
+    }
+    v = std::move(next);
+    eigenvalue = next_norm;
+    if (delta < config.tolerance) break;
+  }
+  // Rayleigh quotient for a clean eigenvalue estimate.
+  DenseMatrix cv = la::Gemv(cov, v);
+  eigenvalue = la::Dot(v, cv);
+  return {std::move(v), eigenvalue};
+}
+
+}  // namespace
+
+Result<PcaModel> TrainPca(const DenseMatrix& x, const PcaConfig& config) {
+  const size_t n = x.rows(), d = x.cols();
+  if (n < 2 || d == 0) return Status::InvalidArgument("PCA: need n >= 2 rows");
+  if (config.num_components == 0 || config.num_components > d) {
+    return Status::InvalidArgument("PCA: num_components must be in [1, d]");
+  }
+
+  PcaModel model;
+  model.mean = DenseMatrix(1, d);
+  for (size_t i = 0; i < n; ++i) {
+    la::Axpy(1.0, x.Row(i), model.mean.data(), d);
+  }
+  for (size_t j = 0; j < d; ++j) model.mean.At(0, j) /= static_cast<double>(n);
+
+  // Covariance (d x d), formed once. O(n d^2).
+  DenseMatrix cov(d, d);
+  std::vector<double> centered(d);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = x.Row(i);
+    for (size_t j = 0; j < d; ++j) centered[j] = row[j] - model.mean.At(0, j);
+    for (size_t a = 0; a < d; ++a) {
+      if (centered[a] == 0.0) continue;
+      la::Axpy(centered[a], centered.data(), cov.Row(a), d);
+    }
+  }
+  double inv = 1.0 / static_cast<double>(n - 1);
+  for (size_t i = 0; i < cov.size(); ++i) cov.data()[i] *= inv;
+
+  double total_variance = 0;
+  for (size_t j = 0; j < d; ++j) total_variance += cov.At(j, j);
+
+  model.components = DenseMatrix(config.num_components, d);
+  for (size_t c = 0; c < config.num_components; ++c) {
+    auto [v, eigenvalue] = DominantEigenpair(cov, config, config.seed + c);
+    for (size_t j = 0; j < d; ++j) model.components.At(c, j) = v.At(j, 0);
+    model.explained_variance.push_back(std::max(0.0, eigenvalue));
+    // Hotelling deflation: cov -= lambda v v^T.
+    for (size_t a = 0; a < d; ++a) {
+      la::Axpy(-eigenvalue * v.At(a, 0), v.data(), cov.Row(a), d);
+    }
+  }
+  for (double ev : model.explained_variance) {
+    model.explained_variance_ratio.push_back(
+        total_variance > 0 ? ev / total_variance : 0.0);
+  }
+  return model;
+}
+
+Result<DenseMatrix> PcaModel::Transform(const DenseMatrix& x) const {
+  const size_t d = components.cols();
+  if (x.cols() != d) return Status::InvalidArgument("PCA: dimensionality mismatch");
+  const size_t k = components.rows();
+  DenseMatrix z(x.rows(), k);
+  std::vector<double> centered(d);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double* row = x.Row(i);
+    for (size_t j = 0; j < d; ++j) centered[j] = row[j] - mean.At(0, j);
+    for (size_t c = 0; c < k; ++c) {
+      z.At(i, c) = la::Dot(centered.data(), components.Row(c), d);
+    }
+  }
+  return z;
+}
+
+Result<DenseMatrix> PcaModel::InverseTransform(const DenseMatrix& z) const {
+  const size_t k = components.rows(), d = components.cols();
+  if (z.cols() != k) return Status::InvalidArgument("PCA: component-count mismatch");
+  DenseMatrix x(z.rows(), d);
+  for (size_t i = 0; i < z.rows(); ++i) {
+    double* row = x.Row(i);
+    for (size_t j = 0; j < d; ++j) row[j] = mean.At(0, j);
+    for (size_t c = 0; c < k; ++c) {
+      la::Axpy(z.At(i, c), components.Row(c), row, d);
+    }
+  }
+  return x;
+}
+
+}  // namespace dmml::ml

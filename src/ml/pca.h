@@ -1,0 +1,45 @@
+/// \file pca.h
+/// \brief Principal component analysis via power iteration with deflation.
+#ifndef DMML_ML_PCA_H_
+#define DMML_ML_PCA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/dense_matrix.h"
+#include "util/result.h"
+
+namespace dmml::ml {
+
+/// \brief PCA hyperparameters.
+struct PcaConfig {
+  size_t num_components = 2;
+  size_t max_iters = 300;       ///< Power iterations per component.
+  double tolerance = 1e-9;      ///< Eigenvector-change stop criterion.
+  uint64_t seed = 42;           ///< Power-iteration start vector.
+};
+
+/// \brief A fitted PCA model.
+struct PcaModel {
+  la::DenseMatrix components;        ///< num_components x d (rows are PCs).
+  la::DenseMatrix mean;              ///< 1 x d column means.
+  std::vector<double> explained_variance;        ///< Eigenvalues, descending.
+  std::vector<double> explained_variance_ratio;  ///< Fractions of total var.
+
+  /// \brief Projects (n x d) data into (n x num_components).
+  Result<la::DenseMatrix> Transform(const la::DenseMatrix& x) const;
+
+  /// \brief Back-projects (n x num_components) into the original space.
+  Result<la::DenseMatrix> InverseTransform(const la::DenseMatrix& z) const;
+};
+
+/// \brief Fits PCA on (n x d) data: centers, forms the covariance, extracts
+/// the top components by power iteration with Hotelling deflation.
+///
+/// Suitable for the moderate d (< a few thousand) this library targets;
+/// requires num_components <= d and n >= 2.
+Result<PcaModel> TrainPca(const la::DenseMatrix& x, const PcaConfig& config);
+
+}  // namespace dmml::ml
+
+#endif  // DMML_ML_PCA_H_

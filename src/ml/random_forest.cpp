@@ -1,0 +1,179 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace dmml::ml {
+
+using la::DenseMatrix;
+
+namespace {
+
+// Gathers selected rows/columns of x into a dense sub-matrix.
+DenseMatrix GatherSubMatrix(const DenseMatrix& x, const std::vector<size_t>& rows,
+                            const std::vector<size_t>& cols) {
+  DenseMatrix out(rows.size(), cols.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const double* src = x.Row(rows[i]);
+    double* dst = out.Row(i);
+    for (size_t j = 0; j < cols.size(); ++j) dst[j] = src[cols[j]];
+  }
+  return out;
+}
+
+Result<RandomForestModel> TrainForest(const DenseMatrix& x, const DenseMatrix& y,
+                                      const ForestConfig& config, bool classifier,
+                                      ThreadPool* pool) {
+  const size_t n = x.rows(), d = x.cols();
+  if (n == 0 || d == 0) return Status::InvalidArgument("forest: empty data");
+  if (y.rows() != n || y.cols() != 1) {
+    return Status::InvalidArgument("forest: y must be n x 1");
+  }
+  if (config.num_trees == 0) return Status::InvalidArgument("forest: num_trees >= 1");
+  if (config.bootstrap_fraction <= 0 || config.bootstrap_fraction > 1.0) {
+    return Status::InvalidArgument("forest: bootstrap_fraction in (0, 1]");
+  }
+
+  size_t max_features = config.max_features;
+  if (max_features == 0) {
+    max_features = classifier
+                       ? static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(d))))
+                       : std::max<size_t>(1, d / 3);
+  }
+  max_features = std::min(max_features, d);
+  size_t sample_size =
+      std::max<size_t>(1, static_cast<size_t>(config.bootstrap_fraction *
+                                              static_cast<double>(n)));
+
+  RandomForestModel model;
+  model.is_classifier = classifier;
+  model.trees.resize(config.num_trees);
+  model.feature_subsets.resize(config.num_trees);
+  std::vector<Status> statuses(config.num_trees, Status::OK());
+
+  auto train_one = [&](size_t t) {
+    Rng rng(config.seed + 0x9e3779b9ULL * (t + 1));
+    // Bootstrap rows (with replacement).
+    std::vector<size_t> rows(sample_size);
+    for (auto& r : rows) r = rng.UniformInt(static_cast<uint64_t>(n));
+    // Feature subset (without replacement).
+    std::vector<size_t> cols(d);
+    std::iota(cols.begin(), cols.end(), 0);
+    rng.Shuffle(&cols);
+    cols.resize(max_features);
+    std::sort(cols.begin(), cols.end());
+
+    DenseMatrix xt = GatherSubMatrix(x, rows, cols);
+    DenseMatrix yt(rows.size(), 1);
+    for (size_t i = 0; i < rows.size(); ++i) yt.At(i, 0) = y.At(rows[i], 0);
+
+    auto tree = classifier ? TrainTreeClassifier(xt, yt, config.tree)
+                           : TrainTreeRegressor(xt, yt, config.tree);
+    if (!tree.ok()) {
+      statuses[t] = tree.status();
+      return;
+    }
+    model.trees[t] = std::move(*tree);
+    model.feature_subsets[t] = std::move(cols);
+  };
+
+  if (pool != nullptr && pool->num_threads() > 1) {
+    std::vector<std::future<void>> futures;
+    for (size_t t = 0; t < config.num_trees; ++t) {
+      futures.push_back(pool->Submit([&train_one, t] { train_one(t); }));
+    }
+    for (auto& f : futures) f.get();
+  } else {
+    for (size_t t = 0; t < config.num_trees; ++t) train_one(t);
+  }
+  for (const auto& status : statuses) {
+    DMML_RETURN_IF_ERROR(status);
+  }
+  return model;
+}
+
+// Per-tree predictions projected through the tree's feature subset.
+Result<DenseMatrix> TreePredictSubset(const DecisionTreeModel& tree,
+                                      const std::vector<size_t>& subset,
+                                      const DenseMatrix& x) {
+  std::vector<size_t> all_rows(x.rows());
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+  DenseMatrix xs = GatherSubMatrix(x, all_rows, subset);
+  return tree.Predict(xs);
+}
+
+}  // namespace
+
+Result<DenseMatrix> RandomForestModel::Predict(const DenseMatrix& x) const {
+  if (trees.empty()) return Status::FailedPrecondition("forest is not trained");
+  const size_t n = x.rows();
+  if (is_classifier) {
+    // Majority vote over arbitrary label values.
+    std::vector<std::map<double, int>> votes(n);
+    for (size_t t = 0; t < trees.size(); ++t) {
+      DMML_ASSIGN_OR_RETURN(DenseMatrix pred,
+                            TreePredictSubset(trees[t], feature_subsets[t], x));
+      for (size_t i = 0; i < n; ++i) votes[i][pred.At(i, 0)]++;
+    }
+    DenseMatrix out(n, 1);
+    for (size_t i = 0; i < n; ++i) {
+      double best_label = 0;
+      int best_count = -1;
+      for (const auto& [label, count] : votes[i]) {
+        if (count > best_count) {
+          best_count = count;
+          best_label = label;
+        }
+      }
+      out.At(i, 0) = best_label;
+    }
+    return out;
+  }
+  DenseMatrix out(n, 1);
+  for (size_t t = 0; t < trees.size(); ++t) {
+    DMML_ASSIGN_OR_RETURN(DenseMatrix pred,
+                          TreePredictSubset(trees[t], feature_subsets[t], x));
+    for (size_t i = 0; i < n; ++i) out.At(i, 0) += pred.At(i, 0);
+  }
+  double inv = 1.0 / static_cast<double>(trees.size());
+  for (size_t i = 0; i < n; ++i) out.At(i, 0) *= inv;
+  return out;
+}
+
+Result<DenseMatrix> RandomForestModel::PredictProba(const DenseMatrix& x) const {
+  if (!is_classifier) {
+    return Status::FailedPrecondition("PredictProba requires a classifier forest");
+  }
+  if (trees.empty()) return Status::FailedPrecondition("forest is not trained");
+  DenseMatrix out(x.rows(), 1);
+  for (size_t t = 0; t < trees.size(); ++t) {
+    DMML_ASSIGN_OR_RETURN(DenseMatrix pred,
+                          TreePredictSubset(trees[t], feature_subsets[t], x));
+    for (size_t i = 0; i < x.rows(); ++i) {
+      if (pred.At(i, 0) == 1.0) out.At(i, 0) += 1.0;
+    }
+  }
+  double inv = 1.0 / static_cast<double>(trees.size());
+  for (size_t i = 0; i < x.rows(); ++i) out.At(i, 0) *= inv;
+  return out;
+}
+
+Result<RandomForestModel> TrainForestClassifier(const DenseMatrix& x,
+                                                const DenseMatrix& y,
+                                                const ForestConfig& config,
+                                                ThreadPool* pool) {
+  return TrainForest(x, y, config, true, pool);
+}
+
+Result<RandomForestModel> TrainForestRegressor(const DenseMatrix& x,
+                                               const DenseMatrix& y,
+                                               const ForestConfig& config,
+                                               ThreadPool* pool) {
+  return TrainForest(x, y, config, false, pool);
+}
+
+}  // namespace dmml::ml

@@ -1,0 +1,57 @@
+/// \file random_forest.h
+/// \brief Bagged ensembles of CART trees with per-tree feature subsampling.
+///
+/// The tutorial's "ensembling" answer to noisy data and variance reduction:
+/// each tree trains on a bootstrap resample using a random subset of the
+/// features; classification aggregates by majority vote, regression by mean.
+#ifndef DMML_ML_RANDOM_FOREST_H_
+#define DMML_ML_RANDOM_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/dense_matrix.h"
+#include "ml/decision_tree.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace dmml::ml {
+
+/// \brief Random-forest hyperparameters.
+struct ForestConfig {
+  size_t num_trees = 20;
+  TreeConfig tree;                 ///< Per-tree CART settings.
+  /// Features per tree; 0 = sqrt(d) for classifiers, d/3 for regressors.
+  size_t max_features = 0;
+  double bootstrap_fraction = 1.0; ///< Sample size as a fraction of n.
+  uint64_t seed = 42;
+};
+
+/// \brief A fitted forest; trees see only their `feature_subsets` columns.
+struct RandomForestModel {
+  bool is_classifier = true;
+  std::vector<DecisionTreeModel> trees;
+  std::vector<std::vector<size_t>> feature_subsets;  ///< Global column ids.
+
+  /// \brief Majority vote (classifier) or mean (regressor) per row.
+  Result<la::DenseMatrix> Predict(const la::DenseMatrix& x) const;
+
+  /// \brief Classifier only: fraction of trees voting 1.0 per row.
+  Result<la::DenseMatrix> PredictProba(const la::DenseMatrix& x) const;
+};
+
+/// \brief Trains a classification forest (labels encoded as doubles).
+Result<RandomForestModel> TrainForestClassifier(const la::DenseMatrix& x,
+                                                const la::DenseMatrix& y,
+                                                const ForestConfig& config = {},
+                                                ThreadPool* pool = nullptr);
+
+/// \brief Trains a regression forest.
+Result<RandomForestModel> TrainForestRegressor(const la::DenseMatrix& x,
+                                               const la::DenseMatrix& y,
+                                               const ForestConfig& config = {},
+                                               ThreadPool* pool = nullptr);
+
+}  // namespace dmml::ml
+
+#endif  // DMML_ML_RANDOM_FOREST_H_

@@ -1,0 +1,65 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+
+namespace dmml::ml {
+
+using la::DenseMatrix;
+
+Status StandardScaler::Fit(const DenseMatrix& x) {
+  if (x.rows() == 0) return Status::InvalidArgument("cannot fit scaler on empty data");
+  const size_t n = x.rows(), d = x.cols();
+  means_ = DenseMatrix(1, d);
+  stds_ = DenseMatrix(1, d);
+  for (size_t j = 0; j < d; ++j) {
+    double sum = 0;
+    for (size_t i = 0; i < n; ++i) sum += x.At(i, j);
+    means_.At(0, j) = sum / static_cast<double>(n);
+  }
+  for (size_t j = 0; j < d; ++j) {
+    double acc = 0;
+    for (size_t i = 0; i < n; ++i) {
+      double dlt = x.At(i, j) - means_.At(0, j);
+      acc += dlt * dlt;
+    }
+    double var = acc / static_cast<double>(n);
+    stds_.At(0, j) = var > 0 ? std::sqrt(var) : 1.0;
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<DenseMatrix> StandardScaler::Transform(const DenseMatrix& x) const {
+  if (!fitted_) return Status::FailedPrecondition("scaler is not fitted");
+  if (x.cols() != means_.cols()) {
+    return Status::InvalidArgument("scaler width mismatch");
+  }
+  DenseMatrix out(x.rows(), x.cols());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < x.cols(); ++j) {
+      out.At(i, j) = (x.At(i, j) - means_.At(0, j)) / stds_.At(0, j);
+    }
+  }
+  return out;
+}
+
+Result<DenseMatrix> StandardScaler::FitTransform(const DenseMatrix& x) {
+  DMML_RETURN_IF_ERROR(Fit(x));
+  return Transform(x);
+}
+
+Result<DenseMatrix> StandardScaler::InverseTransform(const DenseMatrix& x) const {
+  if (!fitted_) return Status::FailedPrecondition("scaler is not fitted");
+  if (x.cols() != means_.cols()) {
+    return Status::InvalidArgument("scaler width mismatch");
+  }
+  DenseMatrix out(x.rows(), x.cols());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < x.cols(); ++j) {
+      out.At(i, j) = x.At(i, j) * stds_.At(0, j) + means_.At(0, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace dmml::ml

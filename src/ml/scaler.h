@@ -1,0 +1,42 @@
+/// \file scaler.h
+/// \brief Feature standardization (zero mean, unit variance per column).
+#ifndef DMML_ML_SCALER_H_
+#define DMML_ML_SCALER_H_
+
+#include "la/dense_matrix.h"
+#include "util/result.h"
+
+namespace dmml::ml {
+
+/// \brief Per-column standardizer: x' = (x - mean) / std.
+///
+/// Columns with zero variance are passed through unshifted-scale (std treated
+/// as 1) so constant/intercept columns survive scaling.
+class StandardScaler {
+ public:
+  /// \brief Learns per-column means and standard deviations.
+  Status Fit(const la::DenseMatrix& x);
+
+  /// \brief Applies the learned transform; InvalidArgument on width mismatch
+  /// or if Fit has not run.
+  Result<la::DenseMatrix> Transform(const la::DenseMatrix& x) const;
+
+  /// \brief Fit + Transform in one step.
+  Result<la::DenseMatrix> FitTransform(const la::DenseMatrix& x);
+
+  /// \brief Reverses the transform.
+  Result<la::DenseMatrix> InverseTransform(const la::DenseMatrix& x) const;
+
+  bool fitted() const { return fitted_; }
+  const la::DenseMatrix& means() const { return means_; }
+  const la::DenseMatrix& stds() const { return stds_; }
+
+ private:
+  bool fitted_ = false;
+  la::DenseMatrix means_;  // 1 x d
+  la::DenseMatrix stds_;   // 1 x d
+};
+
+}  // namespace dmml::ml
+
+#endif  // DMML_ML_SCALER_H_

@@ -1,0 +1,142 @@
+#include "ml/softmax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "la/kernels.h"
+
+namespace dmml::ml {
+
+using la::DenseMatrix;
+
+namespace {
+
+// In-place row-wise softmax of an (n x k) score matrix.
+void RowSoftmax(DenseMatrix* scores) {
+  const size_t k = scores->cols();
+  for (size_t i = 0; i < scores->rows(); ++i) {
+    double* row = scores->Row(i);
+    double mx = row[0];
+    for (size_t c = 1; c < k; ++c) mx = std::max(mx, row[c]);
+    double total = 0;
+    for (size_t c = 0; c < k; ++c) {
+      row[c] = std::exp(row[c] - mx);
+      total += row[c];
+    }
+    for (size_t c = 0; c < k; ++c) row[c] /= total;
+  }
+}
+
+}  // namespace
+
+Result<SoftmaxModel> TrainSoftmax(const DenseMatrix& x, const std::vector<int>& y,
+                                  const SoftmaxConfig& config) {
+  const size_t n = x.rows(), d = x.cols();
+  if (n == 0 || d == 0) return Status::InvalidArgument("softmax: empty data");
+  if (y.size() != n) return Status::InvalidArgument("softmax: |y| != n");
+  if (config.learning_rate <= 0) {
+    return Status::InvalidArgument("softmax: learning_rate must be positive");
+  }
+
+  std::map<int, size_t> class_index;
+  for (int label : y) class_index.emplace(label, 0);
+  size_t next = 0;
+  for (auto& [_, idx] : class_index) idx = next++;
+  const size_t k = class_index.size();
+  if (k < 2) return Status::InvalidArgument("softmax needs >= 2 classes");
+
+  SoftmaxModel model;
+  model.classes.resize(k);
+  for (const auto& [label, idx] : class_index) model.classes[idx] = label;
+  model.weights = DenseMatrix(d, k);
+  model.intercepts = DenseMatrix(1, k);
+
+  std::vector<size_t> yc(n);
+  for (size_t i = 0; i < n; ++i) yc[i] = class_index[y[i]];
+
+  const double inv_n = 1.0 / static_cast<double>(n);
+  double prev_loss = std::numeric_limits<double>::infinity();
+  for (size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    // Probabilities via one GEMM, then the gradient via one transposed GEMM.
+    DenseMatrix probs = la::Multiply(x, model.weights);  // n x k.
+    for (size_t i = 0; i < n; ++i) {
+      la::Axpy(1.0, model.intercepts.data(), probs.Row(i), k);
+    }
+    RowSoftmax(&probs);
+
+    double loss = 0;
+    for (size_t i = 0; i < n; ++i) {
+      loss += -std::log(std::max(probs.At(i, yc[i]), 1e-300));
+      probs.At(i, yc[i]) -= 1.0;  // probs becomes the residual matrix.
+    }
+    loss *= inv_n;
+    if (config.l2 > 0) {
+      double w2 = 0;
+      for (size_t e = 0; e < model.weights.size(); ++e) {
+        w2 += model.weights.data()[e] * model.weights.data()[e];
+      }
+      loss += 0.5 * config.l2 * w2;
+    }
+
+    // grad = Xᵀ residual (d x k), accumulated without forming Xᵀ.
+    DenseMatrix grad(d, k);
+    DenseMatrix bias_grad(1, k);
+    for (size_t i = 0; i < n; ++i) {
+      const double* xi = x.Row(i);
+      const double* ri = probs.Row(i);
+      for (size_t j = 0; j < d; ++j) la::Axpy(xi[j], ri, grad.Row(j), k);
+      la::Axpy(1.0, ri, bias_grad.data(), k);
+    }
+    for (size_t j = 0; j < d; ++j) {
+      for (size_t c = 0; c < k; ++c) {
+        model.weights.At(j, c) -=
+            config.learning_rate *
+            (grad.At(j, c) * inv_n + config.l2 * model.weights.At(j, c));
+      }
+    }
+    if (config.fit_intercept) {
+      for (size_t c = 0; c < k; ++c) {
+        model.intercepts.At(0, c) -=
+            config.learning_rate * bias_grad.At(0, c) * inv_n;
+      }
+    }
+
+    model.loss_history.push_back(loss);
+    model.epochs_run = epoch + 1;
+    if (std::isfinite(prev_loss) &&
+        std::fabs(prev_loss - loss) <= config.tolerance * std::max(1.0, prev_loss)) {
+      break;
+    }
+    prev_loss = loss;
+  }
+  return model;
+}
+
+Result<DenseMatrix> SoftmaxModel::PredictProba(const DenseMatrix& x) const {
+  if (x.cols() != weights.rows()) {
+    return Status::InvalidArgument("softmax: dimensionality mismatch");
+  }
+  DenseMatrix probs = la::Multiply(x, weights);
+  for (size_t i = 0; i < probs.rows(); ++i) {
+    la::Axpy(1.0, intercepts.data(), probs.Row(i), probs.cols());
+  }
+  RowSoftmax(&probs);
+  return probs;
+}
+
+Result<std::vector<int>> SoftmaxModel::Predict(const DenseMatrix& x) const {
+  DMML_ASSIGN_OR_RETURN(DenseMatrix probs, PredictProba(x));
+  std::vector<int> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    size_t best = 0;
+    for (size_t c = 1; c < probs.cols(); ++c) {
+      if (probs.At(i, c) > probs.At(i, best)) best = c;
+    }
+    out[i] = classes[best];
+  }
+  return out;
+}
+
+}  // namespace dmml::ml

@@ -1,0 +1,51 @@
+/// \file softmax.h
+/// \brief Multinomial (softmax) logistic regression.
+///
+/// Multi-class GLM trained with full-batch gradient descent on the
+/// cross-entropy loss; the multi-class companion to the Binomial family in
+/// glm.h, and the classifier whose per-epoch cost is one X·W GEMM — the same
+/// access pattern the batched model-selection trainer exploits.
+#ifndef DMML_ML_SOFTMAX_H_
+#define DMML_ML_SOFTMAX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/dense_matrix.h"
+#include "util/result.h"
+
+namespace dmml::ml {
+
+/// \brief Softmax-regression hyperparameters.
+struct SoftmaxConfig {
+  double learning_rate = 0.5;
+  double l2 = 0.0;
+  size_t max_epochs = 200;
+  double tolerance = 1e-7;
+  bool fit_intercept = true;
+  uint64_t seed = 42;
+};
+
+/// \brief A fitted softmax regression.
+struct SoftmaxModel {
+  std::vector<int> classes;    ///< Distinct labels, sorted.
+  la::DenseMatrix weights;     ///< d x k (one column per class).
+  la::DenseMatrix intercepts;  ///< 1 x k.
+  std::vector<double> loss_history;
+  size_t epochs_run = 0;
+
+  /// \brief Class probabilities (n x k), rows summing to 1.
+  Result<la::DenseMatrix> PredictProba(const la::DenseMatrix& x) const;
+
+  /// \brief Most probable class label per row.
+  Result<std::vector<int>> Predict(const la::DenseMatrix& x) const;
+};
+
+/// \brief Trains softmax regression on (n x d) features and integer labels
+/// (any distinct values; >= 2 classes required).
+Result<SoftmaxModel> TrainSoftmax(const la::DenseMatrix& x, const std::vector<int>& y,
+                                  const SoftmaxConfig& config = {});
+
+}  // namespace dmml::ml
+
+#endif  // DMML_ML_SOFTMAX_H_

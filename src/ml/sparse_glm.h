@@ -1,0 +1,29 @@
+/// \file sparse_glm.h
+/// \brief GLM training over CSR design matrices.
+///
+/// Sparse feature matrices (one-hot encodings, text features) are the other
+/// half of ML-system workloads; batch-gradient training over CSR costs
+/// O(nnz) per epoch instead of O(n·d). Produces the same GlmModel as the
+/// dense trainer.
+#ifndef DMML_ML_SPARSE_GLM_H_
+#define DMML_ML_SPARSE_GLM_H_
+
+#include "la/sparse_matrix.h"
+#include "ml/glm.h"
+#include "util/result.h"
+
+namespace dmml::ml {
+
+/// \brief Trains a GLM on a CSR design matrix with batch gradient descent
+/// (solver field of `config` is ignored; BGD is the sparse path here).
+Result<GlmModel> TrainGlmSparse(const la::SparseMatrix& x, const la::DenseMatrix& y,
+                                const GlmConfig& config);
+
+/// \brief Mean family loss on sparse data (mirrors ml::GlmLoss).
+Result<double> GlmLossSparse(const la::SparseMatrix& x, const la::DenseMatrix& y,
+                             const la::DenseMatrix& w, double intercept,
+                             GlmFamily family, double l2);
+
+}  // namespace dmml::ml
+
+#endif  // DMML_ML_SPARSE_GLM_H_

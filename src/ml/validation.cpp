@@ -1,0 +1,111 @@
+#include "ml/validation.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace dmml::ml {
+
+using la::DenseMatrix;
+
+Result<TrainTestSplit> SplitTrainTest(const DenseMatrix& x, const DenseMatrix& y,
+                                      double test_fraction, uint64_t seed) {
+  const size_t n = x.rows();
+  if (y.rows() != n) return Status::InvalidArgument("split: x/y row mismatch");
+  if (test_fraction <= 0 || test_fraction >= 1) {
+    return Status::InvalidArgument("split: test_fraction must be in (0, 1)");
+  }
+  size_t test_size = static_cast<size_t>(test_fraction * static_cast<double>(n));
+  if (test_size == 0 || test_size == n) {
+    return Status::InvalidArgument("split: both sides need at least one row");
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&order);
+
+  auto gather = [&](size_t begin, size_t end, const DenseMatrix& m) {
+    DenseMatrix out(end - begin, m.cols());
+    for (size_t i = begin; i < end; ++i) {
+      std::copy(m.Row(order[i]), m.Row(order[i]) + m.cols(), out.Row(i - begin));
+    }
+    return out;
+  };
+
+  TrainTestSplit split;
+  split.x_test = gather(0, test_size, x);
+  split.y_test = gather(0, test_size, y);
+  split.x_train = gather(test_size, n, x);
+  split.y_train = gather(test_size, n, y);
+  return split;
+}
+
+Result<ConfusionMatrix> BuildConfusionMatrix(const std::vector<int>& y_true,
+                                             const std::vector<int>& y_pred) {
+  if (y_true.size() != y_pred.size() || y_true.empty()) {
+    return Status::InvalidArgument("confusion matrix: label size mismatch");
+  }
+  std::map<int, size_t> index;
+  for (int label : y_true) index.emplace(label, 0);
+  for (int label : y_pred) index.emplace(label, 0);
+  size_t next = 0;
+  for (auto& [_, idx] : index) idx = next++;
+
+  ConfusionMatrix cm;
+  cm.classes.resize(index.size());
+  for (const auto& [label, idx] : index) cm.classes[idx] = label;
+  cm.counts = DenseMatrix(index.size(), index.size());
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    cm.counts.At(index[y_true[i]], index[y_pred[i]]) += 1.0;
+  }
+  return cm;
+}
+
+double ConfusionMatrix::Accuracy() const {
+  double diag = 0, total = 0;
+  for (size_t i = 0; i < counts.rows(); ++i) {
+    diag += counts.At(i, i);
+    for (size_t j = 0; j < counts.cols(); ++j) total += counts.At(i, j);
+  }
+  return total > 0 ? diag / total : 0.0;
+}
+
+Result<double> ConfusionMatrix::Recall(int label) const {
+  auto it = std::find(classes.begin(), classes.end(), label);
+  if (it == classes.end()) return Status::NotFound("unknown class label");
+  size_t c = static_cast<size_t>(it - classes.begin());
+  double row_sum = 0;
+  for (size_t j = 0; j < counts.cols(); ++j) row_sum += counts.At(c, j);
+  if (row_sum == 0) return Status::FailedPrecondition("class has no true examples");
+  return counts.At(c, c) / row_sum;
+}
+
+Result<double> ConfusionMatrix::Precision(int label) const {
+  auto it = std::find(classes.begin(), classes.end(), label);
+  if (it == classes.end()) return Status::NotFound("unknown class label");
+  size_t c = static_cast<size_t>(it - classes.begin());
+  double col_sum = 0;
+  for (size_t i = 0; i < counts.rows(); ++i) col_sum += counts.At(i, c);
+  if (col_sum == 0) return Status::FailedPrecondition("class never predicted");
+  return counts.At(c, c) / col_sum;
+}
+
+std::string ConfusionMatrix::ToString() const {
+  std::ostringstream os;
+  os << "true\\pred";
+  for (int c : classes) os << "\t" << c;
+  os << "\n";
+  for (size_t i = 0; i < counts.rows(); ++i) {
+    os << classes[i];
+    for (size_t j = 0; j < counts.cols(); ++j) {
+      os << "\t" << static_cast<long long>(counts.At(i, j));
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dmml::ml

@@ -1,0 +1,51 @@
+/// \file validation.h
+/// \brief Train/test splitting and confusion-matrix utilities.
+#ifndef DMML_ML_VALIDATION_H_
+#define DMML_ML_VALIDATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "la/dense_matrix.h"
+#include "util/result.h"
+
+namespace dmml::ml {
+
+/// \brief A shuffled train/test partition of (x, y).
+struct TrainTestSplit {
+  la::DenseMatrix x_train, y_train;
+  la::DenseMatrix x_test, y_test;
+};
+
+/// \brief Splits (x, y) with `test_fraction` of the rows held out, after a
+/// seeded shuffle. Requires at least one row on each side.
+Result<TrainTestSplit> SplitTrainTest(const la::DenseMatrix& x,
+                                      const la::DenseMatrix& y,
+                                      double test_fraction, uint64_t seed);
+
+/// \brief A k x k confusion matrix over integer class labels.
+struct ConfusionMatrix {
+  std::vector<int> classes;        ///< Sorted distinct labels.
+  la::DenseMatrix counts;          ///< counts(true, predicted).
+
+  /// \brief Overall accuracy.
+  double Accuracy() const;
+
+  /// \brief Recall of class `label` (diagonal over row sum).
+  Result<double> Recall(int label) const;
+
+  /// \brief Precision of class `label` (diagonal over column sum).
+  Result<double> Precision(int label) const;
+
+  /// \brief Fixed-width text rendering for reports.
+  std::string ToString() const;
+};
+
+/// \brief Builds the confusion matrix of two equal-length label sequences.
+Result<ConfusionMatrix> BuildConfusionMatrix(const std::vector<int>& y_true,
+                                             const std::vector<int>& y_pred);
+
+}  // namespace dmml::ml
+
+#endif  // DMML_ML_VALIDATION_H_

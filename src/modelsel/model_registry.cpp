@@ -1,0 +1,199 @@
+#include "modelsel/model_registry.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <dirent.h>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_utils.h"
+
+namespace dmml::modelsel {
+
+namespace {
+
+Status EnsureDir(const std::string& path) {
+  struct stat st;
+  if (stat(path.c_str(), &st) == 0) {
+    if (S_ISDIR(st.st_mode)) return Status::OK();
+    return Status::IOError("not a directory: " + path);
+  }
+  if (mkdir(path.c_str(), 0755) != 0) {
+    return Status::IOError("cannot create directory: " + path);
+  }
+  return Status::OK();
+}
+
+bool ValidName(const std::string& name) {
+  if (name.empty() || name.size() > 128) return false;
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> ListDir(const std::string& path) {
+  std::vector<std::string> out;
+  DIR* dir = opendir(path.c_str());
+  if (!dir) return out;
+  while (dirent* entry = readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name != "." && name != "..") out.push_back(name);
+  }
+  closedir(dir);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+Result<ModelRegistry> ModelRegistry::Open(const std::string& root) {
+  DMML_RETURN_IF_ERROR(EnsureDir(root));
+  return ModelRegistry(root);
+}
+
+std::string ModelRegistry::ModelDir(const std::string& name) const {
+  return root_ + "/" + name;
+}
+
+std::string ModelRegistry::VersionPath(const std::string& name, size_t version) const {
+  return ModelDir(name) + "/v" + std::to_string(version) + ".model";
+}
+
+std::vector<std::string> ModelRegistry::ListModels() const { return ListDir(root_); }
+
+std::vector<size_t> ModelRegistry::ListVersions(const std::string& name) const {
+  std::vector<size_t> versions;
+  for (const auto& file : ListDir(ModelDir(name))) {
+    if (StartsWith(file, "v") && file.size() > 7 &&
+        file.substr(file.size() - 6) == ".model") {
+      auto v = ParseInt64(file.substr(1, file.size() - 7));
+      if (v.ok() && *v > 0) versions.push_back(static_cast<size_t>(*v));
+    }
+  }
+  std::sort(versions.begin(), versions.end());
+  return versions;
+}
+
+Result<size_t> ModelRegistry::Save(const std::string& name, const ml::GlmModel& model,
+                                   const std::map<std::string, std::string>& tags) {
+  if (!ValidName(name)) {
+    return Status::InvalidArgument("model names must be [A-Za-z0-9_-]+: " + name);
+  }
+  if (model.weights.rows() == 0) {
+    return Status::InvalidArgument("refusing to save an untrained model");
+  }
+  DMML_RETURN_IF_ERROR(EnsureDir(ModelDir(name)));
+  auto versions = ListVersions(name);
+  size_t version = versions.empty() ? 1 : versions.back() + 1;
+
+  std::ofstream out(VersionPath(name, version));
+  if (!out) return Status::IOError("cannot write model file");
+  out.precision(17);
+  out << "format dmml-glm-1\n";
+  out << "name " << name << "\n";
+  out << "version " << version << "\n";
+  out << "family "
+      << (model.family == ml::GlmFamily::kBinomial ? "binomial" : "gaussian") << "\n";
+  out << "num_features " << model.weights.rows() << "\n";
+  out << "intercept " << model.intercept << "\n";
+  for (const auto& [key, value] : tags) {
+    if (key.find(' ') != std::string::npos || value.find('\n') != std::string::npos) {
+      return Status::InvalidArgument("tag keys must not contain spaces; values "
+                                     "must be single-line");
+    }
+    out << "tag " << key << " " << value << "\n";
+  }
+  out << "weights";
+  for (size_t j = 0; j < model.weights.rows(); ++j) {
+    out << " " << model.weights.At(j, 0);
+  }
+  out << "\n";
+  if (!out) return Status::IOError("model write failed");
+  return version;
+}
+
+namespace {
+
+struct ParsedModel {
+  ModelRecord record;
+  ml::GlmModel model;
+};
+
+Result<ParsedModel> ParseModelFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("no model file: " + path);
+  ParsedModel out;
+  std::string line;
+  bool got_weights = false;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "format") {
+      std::string fmt;
+      ls >> fmt;
+      if (fmt != "dmml-glm-1") return Status::InvalidArgument("unknown format " + fmt);
+    } else if (key == "name") {
+      ls >> out.record.name;
+    } else if (key == "version") {
+      ls >> out.record.version;
+    } else if (key == "family") {
+      std::string family;
+      ls >> family;
+      out.record.family = family == "binomial" ? ml::GlmFamily::kBinomial
+                                               : ml::GlmFamily::kGaussian;
+      out.model.family = out.record.family;
+    } else if (key == "num_features") {
+      ls >> out.record.num_features;
+    } else if (key == "intercept") {
+      ls >> out.model.intercept;
+    } else if (key == "tag") {
+      std::string tag_key;
+      ls >> tag_key;
+      std::string value;
+      std::getline(ls, value);
+      out.record.tags[tag_key] = std::string(Trim(value));
+    } else if (key == "weights") {
+      std::vector<double> w;
+      double v;
+      while (ls >> v) w.push_back(v);
+      out.model.weights = la::DenseMatrix::ColumnVector(std::move(w));
+      got_weights = true;
+    }
+  }
+  if (!got_weights || out.model.weights.rows() != out.record.num_features) {
+    return Status::InvalidArgument("corrupt model file: " + path);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ml::GlmModel> ModelRegistry::Load(const std::string& name,
+                                         size_t version) const {
+  DMML_ASSIGN_OR_RETURN(ModelRecord record, GetRecord(name, version));
+  DMML_ASSIGN_OR_RETURN(ParsedModel parsed,
+                        ParseModelFile(VersionPath(name, record.version)));
+  return parsed.model;
+}
+
+Result<ModelRecord> ModelRegistry::GetRecord(const std::string& name,
+                                             size_t version) const {
+  auto versions = ListVersions(name);
+  if (versions.empty()) return Status::NotFound("no model named " + name);
+  size_t resolved = version == 0 ? versions.back() : version;
+  if (std::find(versions.begin(), versions.end(), resolved) == versions.end()) {
+    return Status::NotFound("no version " + std::to_string(resolved) + " of " + name);
+  }
+  DMML_ASSIGN_OR_RETURN(ParsedModel parsed,
+                        ParseModelFile(VersionPath(name, resolved)));
+  return parsed.record;
+}
+
+}  // namespace dmml::modelsel

@@ -1,0 +1,66 @@
+/// \file model_registry.h
+/// \brief Disk-backed model management (the ModelDB / ModelHub concern the
+/// target tutorial surveys): versioned storage of trained GLMs with
+/// metadata, listing, and retrieval.
+#ifndef DMML_MODELSEL_MODEL_REGISTRY_H_
+#define DMML_MODELSEL_MODEL_REGISTRY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ml/glm.h"
+#include "util/result.h"
+
+namespace dmml::modelsel {
+
+/// \brief Metadata stored next to every model version.
+struct ModelRecord {
+  std::string name;
+  size_t version = 0;
+  ml::GlmFamily family = ml::GlmFamily::kGaussian;
+  size_t num_features = 0;
+  std::map<std::string, std::string> tags;  ///< Free-form key/value pairs
+                                            ///< (dataset, metric scores, ...).
+};
+
+/// \brief A directory of versioned GLM models.
+///
+/// Layout: <root>/<name>/v<k>.model — a line-oriented text format holding
+/// the record and the parameters. Versions are append-only; saving a name
+/// again creates version latest+1.
+class ModelRegistry {
+ public:
+  /// \brief Opens (creating if needed) a registry rooted at `root`.
+  static Result<ModelRegistry> Open(const std::string& root);
+
+  /// \brief Persists a model under `name`; returns the assigned version.
+  Result<size_t> Save(const std::string& name, const ml::GlmModel& model,
+                      const std::map<std::string, std::string>& tags = {});
+
+  /// \brief Loads version `version` of `name` (0 = latest).
+  Result<ml::GlmModel> Load(const std::string& name, size_t version = 0) const;
+
+  /// \brief Metadata of a stored version (0 = latest).
+  Result<ModelRecord> GetRecord(const std::string& name, size_t version = 0) const;
+
+  /// \brief All model names in the registry, sorted.
+  std::vector<std::string> ListModels() const;
+
+  /// \brief Stored versions of `name`, ascending (empty if unknown).
+  std::vector<size_t> ListVersions(const std::string& name) const;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  explicit ModelRegistry(std::string root) : root_(std::move(root)) {}
+
+  std::string ModelDir(const std::string& name) const;
+  std::string VersionPath(const std::string& name, size_t version) const;
+
+  std::string root_;
+};
+
+}  // namespace dmml::modelsel
+
+#endif  // DMML_MODELSEL_MODEL_REGISTRY_H_

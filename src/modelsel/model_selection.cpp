@@ -1,0 +1,266 @@
+#include "modelsel/model_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "la/kernels.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace dmml::modelsel {
+
+using la::DenseMatrix;
+using ml::GlmConfig;
+using ml::GlmFamily;
+using ml::GlmModel;
+
+std::vector<GlmConfig> GridSpec::Expand() const {
+  std::vector<GlmConfig> configs;
+  configs.reserve(learning_rates.size() * l2_penalties.size());
+  for (double lr : learning_rates) {
+    for (double l2 : l2_penalties) {
+      GlmConfig c = base;
+      c.learning_rate = lr;
+      c.l2 = l2;
+      configs.push_back(c);
+    }
+  }
+  return configs;
+}
+
+Result<KFold> KFold::Make(size_t n, size_t k, uint64_t seed) {
+  if (k < 2 || k > n) return Status::InvalidArgument("k-fold: need 2 <= k <= n");
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&order);
+  KFold kf;
+  kf.folds_.resize(k);
+  for (size_t i = 0; i < n; ++i) kf.folds_[i % k].push_back(order[i]);
+  return kf;
+}
+
+std::vector<size_t> KFold::TrainingIndices(size_t f) const {
+  std::vector<size_t> out;
+  for (size_t g = 0; g < folds_.size(); ++g) {
+    if (g == f) continue;
+    out.insert(out.end(), folds_[g].begin(), folds_[g].end());
+  }
+  return out;
+}
+
+DenseMatrix GatherRows(const DenseMatrix& m, const std::vector<size_t>& rows) {
+  DenseMatrix out(rows.size(), m.cols());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::copy(m.Row(rows[i]), m.Row(rows[i]) + m.cols(), out.Row(i));
+  }
+  return out;
+}
+
+namespace {
+
+// Higher-is-better score of a trained model on held-out data.
+Result<double> ScoreModel(const GlmModel& model, const DenseMatrix& x,
+                          const DenseMatrix& y) {
+  if (model.family == GlmFamily::kBinomial) {
+    DMML_ASSIGN_OR_RETURN(DenseMatrix labels, model.PredictLabels(x));
+    return ml::Accuracy(y, labels);
+  }
+  DMML_ASSIGN_OR_RETURN(DenseMatrix pred, model.Predict(x));
+  DMML_ASSIGN_OR_RETURN(double rmse, ml::Rmse(y, pred));
+  return -rmse;
+}
+
+CvScore Summarize(const GlmConfig& config, std::vector<double> fold_scores) {
+  CvScore score;
+  score.config = config;
+  score.fold_scores = std::move(fold_scores);
+  double sum = 0;
+  for (double s : score.fold_scores) sum += s;
+  score.mean_score = sum / static_cast<double>(score.fold_scores.size());
+  double var = 0;
+  for (double s : score.fold_scores) {
+    double d = s - score.mean_score;
+    var += d * d;
+  }
+  score.std_score =
+      std::sqrt(var / static_cast<double>(score.fold_scores.size()));
+  return score;
+}
+
+size_t ArgBest(const std::vector<CvScore>& scores) {
+  size_t best = 0;
+  for (size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i].mean_score > scores[best].mean_score) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<CvScore> CrossValidate(const DenseMatrix& x, const DenseMatrix& y,
+                              const GlmConfig& config, size_t k, uint64_t seed) {
+  DMML_ASSIGN_OR_RETURN(KFold kf, KFold::Make(x.rows(), k, seed));
+  std::vector<double> fold_scores;
+  fold_scores.reserve(k);
+  for (size_t f = 0; f < k; ++f) {
+    auto train_idx = kf.TrainingIndices(f);
+    DenseMatrix xt = GatherRows(x, train_idx);
+    DenseMatrix yt = GatherRows(y, train_idx);
+    DenseMatrix xv = GatherRows(x, kf.ValidationIndices(f));
+    DenseMatrix yv = GatherRows(y, kf.ValidationIndices(f));
+    DMML_ASSIGN_OR_RETURN(GlmModel model, ml::TrainGlm(xt, yt, config));
+    DMML_ASSIGN_OR_RETURN(double score, ScoreModel(model, xv, yv));
+    fold_scores.push_back(score);
+  }
+  return Summarize(config, std::move(fold_scores));
+}
+
+Result<GridSearchResult> GridSearchSequential(const DenseMatrix& x,
+                                              const DenseMatrix& y,
+                                              const GridSpec& grid, size_t k,
+                                              uint64_t seed) {
+  Stopwatch watch;
+  GridSearchResult result;
+  for (const GlmConfig& config : grid.Expand()) {
+    DMML_ASSIGN_OR_RETURN(CvScore score, CrossValidate(x, y, config, k, seed));
+    result.scores.push_back(std::move(score));
+  }
+  if (result.scores.empty()) {
+    return Status::InvalidArgument("grid search: empty grid");
+  }
+  result.best_index = ArgBest(result.scores);
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+Result<std::vector<GlmModel>> BatchedTrainGlm(const DenseMatrix& x,
+                                              const DenseMatrix& y,
+                                              const std::vector<GlmConfig>& configs) {
+  if (configs.empty()) return Status::InvalidArgument("batched train: no configs");
+  const size_t n = x.rows(), d = x.cols(), m = configs.size();
+  if (n == 0 || d == 0) return Status::InvalidArgument("batched train: empty data");
+  if (y.rows() != n || y.cols() != 1) {
+    return Status::InvalidArgument("batched train: y must be n x 1");
+  }
+  const GlmConfig& base = configs.front();
+  for (const auto& c : configs) {
+    if (c.family != base.family || c.max_epochs != base.max_epochs ||
+        c.fit_intercept != base.fit_intercept) {
+      return Status::InvalidArgument(
+          "batched train: configs must share family, epochs and intercept");
+    }
+    if (c.learning_rate <= 0) {
+      return Status::InvalidArgument("learning_rate must be positive");
+    }
+  }
+  if (base.family == GlmFamily::kBinomial) {
+    for (size_t i = 0; i < n; ++i) {
+      double v = y.At(i, 0);
+      if (v != 0.0 && v != 1.0) {
+        return Status::InvalidArgument("Binomial family requires 0/1 labels");
+      }
+    }
+  }
+
+  // One weight column per configuration; shared scans via GEMM.
+  DenseMatrix w(d, m);
+  std::vector<double> intercepts(m, 0.0);
+  std::vector<std::vector<double>> loss_histories(m);
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  for (size_t epoch = 0; epoch < base.max_epochs; ++epoch) {
+    DenseMatrix scores = la::Multiply(x, w);  // n x m — one scan for all models.
+    // Residuals and losses per model.
+    std::vector<double> losses(m, 0.0);
+    std::vector<double> bias_grads(m, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      double* srow = scores.Row(i);
+      const double yi = y.At(i, 0);
+      for (size_t c = 0; c < m; ++c) {
+        double s = srow[c] + intercepts[c];
+        if (base.family == GlmFamily::kGaussian) {
+          double r = s - yi;
+          losses[c] += 0.5 * r * r;
+          srow[c] = r;
+        } else {
+          double sign_y = yi > 0.5 ? 1.0 : -1.0;
+          double margin = sign_y * s;
+          losses[c] += margin > 0 ? std::log1p(std::exp(-margin))
+                                  : -margin + std::log1p(std::exp(margin));
+          srow[c] = ml::GlmInverseLink(s, base.family) - yi;
+        }
+        bias_grads[c] += srow[c];
+      }
+    }
+    // Gradients for all models in one GEMM: G = Xᵀ R (d x m).
+    DenseMatrix grads(d, m);
+    for (size_t i = 0; i < n; ++i) {
+      const double* xi = x.Row(i);
+      const double* ri = scores.Row(i);
+      for (size_t j = 0; j < d; ++j) la::Axpy(xi[j], ri, grads.Row(j), m);
+    }
+    for (size_t c = 0; c < m; ++c) {
+      const GlmConfig& cfg = configs[c];
+      double lr = cfg.learning_rate /
+                  (1.0 + cfg.lr_decay * static_cast<double>(epoch));
+      for (size_t j = 0; j < d; ++j) {
+        w.At(j, c) -= lr * (grads.At(j, c) * inv_n + cfg.l2 * w.At(j, c));
+      }
+      if (cfg.fit_intercept) intercepts[c] -= lr * bias_grads[c] * inv_n;
+      double loss = losses[c] * inv_n;
+      if (cfg.l2 > 0) {
+        double w2 = 0;
+        for (size_t j = 0; j < d; ++j) w2 += w.At(j, c) * w.At(j, c);
+        loss += 0.5 * cfg.l2 * w2;
+      }
+      loss_histories[c].push_back(loss);
+    }
+  }
+
+  std::vector<GlmModel> models(m);
+  for (size_t c = 0; c < m; ++c) {
+    models[c].family = base.family;
+    models[c].weights = w.Column(c);
+    models[c].intercept = intercepts[c];
+    models[c].loss_history = std::move(loss_histories[c]);
+    models[c].epochs_run = base.max_epochs;
+  }
+  return models;
+}
+
+Result<GridSearchResult> GridSearchBatched(const DenseMatrix& x, const DenseMatrix& y,
+                                           const GridSpec& grid, size_t k,
+                                           uint64_t seed) {
+  Stopwatch watch;
+  std::vector<GlmConfig> configs = grid.Expand();
+  if (configs.empty()) return Status::InvalidArgument("grid search: empty grid");
+  DMML_ASSIGN_OR_RETURN(KFold kf, KFold::Make(x.rows(), k, seed));
+
+  std::vector<std::vector<double>> fold_scores(configs.size());
+  for (size_t f = 0; f < k; ++f) {
+    auto train_idx = kf.TrainingIndices(f);
+    DenseMatrix xt = GatherRows(x, train_idx);
+    DenseMatrix yt = GatherRows(y, train_idx);
+    DenseMatrix xv = GatherRows(x, kf.ValidationIndices(f));
+    DenseMatrix yv = GatherRows(y, kf.ValidationIndices(f));
+    DMML_ASSIGN_OR_RETURN(std::vector<GlmModel> models,
+                          BatchedTrainGlm(xt, yt, configs));
+    for (size_t c = 0; c < configs.size(); ++c) {
+      DMML_ASSIGN_OR_RETURN(double score, ScoreModel(models[c], xv, yv));
+      fold_scores[c].push_back(score);
+    }
+  }
+
+  GridSearchResult result;
+  for (size_t c = 0; c < configs.size(); ++c) {
+    result.scores.push_back(Summarize(configs[c], std::move(fold_scores[c])));
+  }
+  result.best_index = ArgBest(result.scores);
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace dmml::modelsel

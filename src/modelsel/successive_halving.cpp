@@ -1,0 +1,128 @@
+#include "modelsel/successive_halving.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ml/metrics.h"
+#include "modelsel/model_selection.h"
+#include "util/rng.h"
+
+namespace dmml::modelsel {
+
+using la::DenseMatrix;
+using ml::GlmConfig;
+using ml::GlmFamily;
+using ml::GlmModel;
+
+namespace {
+
+// Rung score (higher is better). Binomial uses negative log-loss rather
+// than accuracy: early-rung models trained with different learning rates
+// often share the same decision *direction* (and thus the same accuracy),
+// while their probability calibration — which log-loss sees — already
+// separates them.
+Result<double> ScoreModel(const GlmModel& model, const DenseMatrix& x,
+                          const DenseMatrix& y) {
+  if (model.family == GlmFamily::kBinomial) {
+    DMML_ASSIGN_OR_RETURN(DenseMatrix probs, model.Predict(x));
+    DMML_ASSIGN_OR_RETURN(double loss, ml::LogLoss(y, probs));
+    return -loss;
+  }
+  DMML_ASSIGN_OR_RETURN(DenseMatrix pred, model.Predict(x));
+  DMML_ASSIGN_OR_RETURN(double rmse, ml::Rmse(y, pred));
+  return -rmse;
+}
+
+}  // namespace
+
+Result<HalvingResult> SuccessiveHalving(const DenseMatrix& x, const DenseMatrix& y,
+                                        std::vector<GlmConfig> configs,
+                                        const HalvingConfig& config) {
+  if (configs.empty()) {
+    return Status::InvalidArgument("successive halving: no configurations");
+  }
+  if (config.eta <= 1.0) {
+    return Status::InvalidArgument("successive halving: eta must exceed 1");
+  }
+  if (config.min_epochs == 0) {
+    return Status::InvalidArgument("successive halving: min_epochs >= 1");
+  }
+  if (config.validation_fraction <= 0 || config.validation_fraction >= 1) {
+    return Status::InvalidArgument("successive halving: validation_fraction in (0,1)");
+  }
+  const size_t n = x.rows();
+  if (n < 4) return Status::InvalidArgument("successive halving: too few rows");
+
+  // Shuffled train/validation split.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(config.seed);
+  rng.Shuffle(&order);
+  size_t val_size = std::max<size_t>(
+      1, static_cast<size_t>(config.validation_fraction * static_cast<double>(n)));
+  std::vector<size_t> val_idx(order.begin(), order.begin() + val_size);
+  std::vector<size_t> train_idx(order.begin() + val_size, order.end());
+  DenseMatrix xt = GatherRows(x, train_idx);
+  DenseMatrix yt = GatherRows(y, train_idx);
+  DenseMatrix xv = GatherRows(x, val_idx);
+  DenseMatrix yv = GatherRows(y, val_idx);
+
+  HalvingResult result;
+  std::vector<size_t> alive(configs.size());
+  std::iota(alive.begin(), alive.end(), 0);
+
+  size_t epochs = config.min_epochs;
+  while (true) {
+    // Batched training of all survivors from scratch at this rung's budget.
+    std::vector<GlmConfig> rung_configs;
+    rung_configs.reserve(alive.size());
+    for (size_t idx : alive) {
+      GlmConfig c = configs[idx];
+      c.max_epochs = epochs;
+      c.tolerance = 0;
+      rung_configs.push_back(c);
+    }
+    DMML_ASSIGN_OR_RETURN(std::vector<GlmModel> models,
+                          BatchedTrainGlm(xt, yt, rung_configs));
+    result.total_epoch_equivalents += alive.size() * epochs;
+
+    HalvingRung rung;
+    rung.epochs = epochs;
+    rung.survivors = alive;
+    for (const auto& model : models) {
+      DMML_ASSIGN_OR_RETURN(double score, ScoreModel(model, xv, yv));
+      rung.scores.push_back(score);
+    }
+    result.rungs.push_back(rung);
+
+    if (alive.size() == 1) break;
+
+    // Keep the top ceil(|alive| / eta).
+    std::vector<size_t> rank(alive.size());
+    std::iota(rank.begin(), rank.end(), 0);
+    std::sort(rank.begin(), rank.end(), [&](size_t a, size_t b) {
+      return rung.scores[a] > rung.scores[b];
+    });
+    size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::ceil(static_cast<double>(alive.size()) / config.eta)));
+    std::vector<size_t> next;
+    next.reserve(keep);
+    for (size_t r = 0; r < keep; ++r) next.push_back(alive[rank[r]]);
+    alive = std::move(next);
+    epochs = static_cast<size_t>(
+        std::ceil(static_cast<double>(epochs) * config.eta));
+  }
+
+  result.best_index = alive.front();
+  GlmConfig final_config = configs[result.best_index];
+  final_config.max_epochs = epochs;
+  final_config.tolerance = 0;
+  DMML_ASSIGN_OR_RETURN(std::vector<GlmModel> final_models,
+                        BatchedTrainGlm(x, y, {final_config}));
+  result.best_model = std::move(final_models.front());
+  return result;
+}
+
+}  // namespace dmml::modelsel

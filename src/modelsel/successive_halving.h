@@ -1,0 +1,52 @@
+/// \file successive_halving.h
+/// \brief Bandit-style hyperparameter search (TuPAQ / Hyperband family).
+///
+/// Instead of giving every configuration the full epoch budget (grid
+/// search), successive halving trains all survivors for a small budget,
+/// keeps the best 1/eta fraction, multiplies the budget by eta and repeats.
+/// Each rung trains its survivors *as one batch* (shared scans), compounding
+/// the Columbus-style win with the bandit-style win.
+#ifndef DMML_MODELSEL_SUCCESSIVE_HALVING_H_
+#define DMML_MODELSEL_SUCCESSIVE_HALVING_H_
+
+#include <vector>
+
+#include "la/dense_matrix.h"
+#include "ml/glm.h"
+#include "util/result.h"
+
+namespace dmml::modelsel {
+
+/// \brief Successive-halving controls.
+struct HalvingConfig {
+  size_t min_epochs = 4;    ///< Budget of the first rung.
+  double eta = 2.0;         ///< Keep top 1/eta per rung; budget *= eta.
+  double validation_fraction = 0.2;  ///< Held-out fraction for rung scoring.
+  uint64_t seed = 42;
+};
+
+/// \brief One rung of the schedule, for reporting.
+struct HalvingRung {
+  size_t epochs;                  ///< Budget each survivor received so far.
+  std::vector<size_t> survivors;  ///< Indices into the original config list.
+  std::vector<double> scores;     ///< Validation score per survivor.
+};
+
+/// \brief Search outcome.
+struct HalvingResult {
+  size_t best_index = 0;          ///< Winner in the original config list.
+  ml::GlmModel best_model;        ///< Winner retrained on all data.
+  std::vector<HalvingRung> rungs;
+  size_t total_epoch_equivalents = 0;  ///< Σ (configs alive × epochs granted).
+};
+
+/// \brief Runs successive halving over GLM configurations (all must share
+/// family and fit_intercept; max_epochs is overridden by the schedule).
+Result<HalvingResult> SuccessiveHalving(const la::DenseMatrix& x,
+                                        const la::DenseMatrix& y,
+                                        std::vector<ml::GlmConfig> configs,
+                                        const HalvingConfig& config = {});
+
+}  // namespace dmml::modelsel
+
+#endif  // DMML_MODELSEL_SUCCESSIVE_HALVING_H_

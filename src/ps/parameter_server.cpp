@@ -1,0 +1,243 @@
+#include "ps/parameter_server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+#include <thread>
+
+#include "la/kernels.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace dmml::ps {
+
+using la::DenseMatrix;
+
+const char* ConsistencyModeName(ConsistencyMode mode) {
+  switch (mode) {
+    case ConsistencyMode::kBsp: return "BSP";
+    case ConsistencyMode::kAsync: return "ASP";
+    case ConsistencyMode::kSsp: return "SSP";
+  }
+  return "?";
+}
+
+ParameterServer::ParameterServer(size_t dim, size_t num_workers)
+    : weights_(dim, 0.0), clocks_(num_workers, 0) {}
+
+void ParameterServer::Pull(std::vector<double>* w, double* intercept) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  *w = weights_;
+  *intercept = intercept_;
+}
+
+void ParameterServer::Push(const std::vector<double>& grad, double bias_grad,
+                           double lr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t j = 0; j < weights_.size(); ++j) weights_[j] -= lr * grad[j];
+  intercept_ -= lr * bias_grad;
+}
+
+void ParameterServer::PushSparse(const std::vector<uint32_t>& indices,
+                                 const std::vector<double>& values, double bias_grad,
+                                 double lr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t k = 0; k < indices.size(); ++k) {
+    weights_[indices[k]] -= lr * values[k];
+  }
+  intercept_ -= lr * bias_grad;
+}
+
+size_t ParameterServer::MinClockLocked() const {
+  return *std::min_element(clocks_.begin(), clocks_.end());
+}
+
+void ParameterServer::AdvanceClock(size_t worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clocks_[worker]++;
+  size_t max_clock = *std::max_element(clocks_.begin(), clocks_.end());
+  max_staleness_ = std::max(max_staleness_, max_clock - MinClockLocked());
+  cv_.notify_all();
+}
+
+void ParameterServer::WaitForSlowest(size_t worker, size_t bound) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return clocks_[worker] <= MinClockLocked() + bound; });
+}
+
+void ParameterServer::Barrier(size_t epoch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return MinClockLocked() >= epoch; });
+}
+
+size_t ParameterServer::max_observed_staleness() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_staleness_;
+}
+
+DenseMatrix ParameterServer::SnapshotWeights() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DenseMatrix w(weights_.size(), 1);
+  for (size_t j = 0; j < weights_.size(); ++j) w.At(j, 0) = weights_[j];
+  return w;
+}
+
+double ParameterServer::SnapshotIntercept() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return intercept_;
+}
+
+Result<PsResult> TrainGlmParameterServer(const DenseMatrix& x, const DenseMatrix& y,
+                                         const PsConfig& config) {
+  const size_t n = x.rows(), d = x.cols();
+  if (n == 0 || d == 0) return Status::InvalidArgument("PS training: empty data");
+  if (y.rows() != n || y.cols() != 1) {
+    return Status::InvalidArgument("PS training: y must be n x 1");
+  }
+  if (config.num_workers == 0) {
+    return Status::InvalidArgument("PS training: need >= 1 worker");
+  }
+  if (config.family == ml::GlmFamily::kBinomial) {
+    for (size_t i = 0; i < n; ++i) {
+      double v = y.At(i, 0);
+      if (v != 0.0 && v != 1.0) {
+        return Status::InvalidArgument("Binomial family requires 0/1 labels");
+      }
+    }
+  }
+
+  if (config.topk_fraction <= 0 || config.topk_fraction > 1.0) {
+    return Status::InvalidArgument("PS training: topk_fraction in (0, 1]");
+  }
+
+  const size_t workers = std::min(config.num_workers, n);
+  ParameterServer server(d, workers);
+  Stopwatch watch;
+  const bool sparse_push = config.topk_fraction < 1.0;
+  const size_t topk = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(config.topk_fraction * static_cast<double>(d))));
+
+  std::atomic<size_t> total_pushes{0};
+  std::atomic<size_t> total_coordinates{0};
+  std::mutex loss_mu;
+  std::vector<double> loss_per_epoch(config.epochs,
+                                     std::numeric_limits<double>::quiet_NaN());
+  std::vector<size_t> epoch_completions(config.epochs, 0);
+
+  auto worker_fn = [&](size_t wid) {
+    // Contiguous shard of the examples.
+    size_t chunk = (n + workers - 1) / workers;
+    size_t begin = wid * chunk, end = std::min(begin + chunk, n);
+    if (begin >= end) {
+      for (size_t e = 0; e < config.epochs; ++e) server.AdvanceClock(wid);
+      return;
+    }
+    Rng rng(config.seed + 77771ULL * wid);
+    std::vector<size_t> order(end - begin);
+    std::iota(order.begin(), order.end(), begin);
+    std::vector<double> w(d);
+    std::vector<double> grad(d);
+    // Error-feedback residual for sparsified pushes.
+    std::vector<double> residual(sparse_push ? d : 0, 0.0);
+    std::vector<uint32_t> push_idx;
+    std::vector<double> push_val;
+    std::vector<uint32_t> coord_order(sparse_push ? d : 0);
+    double intercept = 0;
+
+    for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+      if (config.mode == ConsistencyMode::kSsp) {
+        server.WaitForSlowest(wid, config.staleness_bound);
+      }
+      rng.Shuffle(&order);
+      for (size_t start = 0; start < order.size(); start += config.batch_size) {
+        size_t stop = std::min(start + config.batch_size, order.size());
+        server.Pull(&w, &intercept);
+        std::fill(grad.begin(), grad.end(), 0.0);
+        double bias_grad = 0;
+        for (size_t k = start; k < stop; ++k) {
+          size_t i = order[k];
+          double score = la::Dot(x.Row(i), w.data(), d) + intercept;
+          double g = ml::GlmInverseLink(score, config.family) - y.At(i, 0);
+          la::Axpy(g, x.Row(i), grad.data(), d);
+          bias_grad += g;
+        }
+        double inv_b = 1.0 / static_cast<double>(stop - start);
+        for (size_t j = 0; j < d; ++j) {
+          grad[j] = grad[j] * inv_b + config.l2 * w[j];
+        }
+        if (sparse_push) {
+          // Error feedback: fold the untransmitted remainder of previous
+          // pushes into this gradient, then transmit only the top-k
+          // coordinates by magnitude.
+          for (size_t j = 0; j < d; ++j) grad[j] += residual[j];
+          std::iota(coord_order.begin(), coord_order.end(), 0u);
+          std::nth_element(coord_order.begin(), coord_order.begin() + (topk - 1),
+                           coord_order.end(), [&](uint32_t a, uint32_t b) {
+                             return std::fabs(grad[a]) > std::fabs(grad[b]);
+                           });
+          push_idx.assign(coord_order.begin(), coord_order.begin() + topk);
+          push_val.clear();
+          for (uint32_t j : push_idx) push_val.push_back(grad[j]);
+          for (size_t j = 0; j < d; ++j) residual[j] = grad[j];
+          for (uint32_t j : push_idx) residual[j] = 0.0;
+          server.PushSparse(push_idx, push_val,
+                            config.fit_intercept ? bias_grad * inv_b : 0.0,
+                            config.learning_rate);
+          total_coordinates.fetch_add(topk, std::memory_order_relaxed);
+        } else {
+          server.Push(grad, config.fit_intercept ? bias_grad * inv_b : 0.0,
+                      config.learning_rate);
+          total_coordinates.fetch_add(d, std::memory_order_relaxed);
+        }
+        total_pushes.fetch_add(1, std::memory_order_relaxed);
+        if (config.straggler_jitter > 0) {
+          // Scale with the worker id so one worker is a systematic straggler,
+          // as on heterogeneous clusters; ASP/SSP then visibly run ahead.
+          double delay =
+              rng.Uniform() * config.straggler_jitter * static_cast<double>(1 + wid);
+          std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+        }
+      }
+      server.AdvanceClock(wid);
+      if (config.mode == ConsistencyMode::kBsp) server.Barrier(epoch + 1);
+
+      // The last worker to finish round `epoch` records the global loss.
+      bool record = false;
+      {
+        std::lock_guard<std::mutex> lock(loss_mu);
+        if (++epoch_completions[epoch] == workers) record = true;
+      }
+      if (record) {
+        DenseMatrix snapshot = server.SnapshotWeights();
+        double b = server.SnapshotIntercept();
+        auto loss = ml::GlmLoss(x, y, snapshot, b, config.family, config.l2);
+        if (loss.ok()) {
+          std::lock_guard<std::mutex> lock(loss_mu);
+          loss_per_epoch[epoch] = *loss;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t wid = 0; wid < workers; ++wid) threads.emplace_back(worker_fn, wid);
+  for (auto& t : threads) t.join();
+
+  PsResult result;
+  result.model.family = config.family;
+  result.model.weights = server.SnapshotWeights();
+  result.model.intercept = server.SnapshotIntercept();
+  result.model.epochs_run = config.epochs;
+  result.model.loss_history = loss_per_epoch;
+  result.loss_per_epoch = std::move(loss_per_epoch);
+  result.total_pushes = total_pushes.load();
+  result.total_coordinates_pushed = total_coordinates.load();
+  result.max_observed_staleness = server.max_observed_staleness();
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace dmml::ps

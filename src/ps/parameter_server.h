@@ -1,0 +1,131 @@
+/// \file parameter_server.h
+/// \brief Shared-memory parameter server with BSP / ASP / SSP consistency.
+///
+/// Simulates the distributed parameter-server architectures the target
+/// tutorial surveys. Workers run data-parallel mini-batch SGD over shards of
+/// the training set and exchange updates through a central versioned
+/// parameter store:
+///
+///   * BSP  — bulk-synchronous: a barrier after every epoch; gradients are
+///     never stale. Best statistical efficiency per epoch, worst stall time.
+///   * ASP  — fully asynchronous: no coordination; highest throughput,
+///     stalest gradients.
+///   * SSP  — stale-synchronous: a worker may run ahead of the slowest
+///     worker by at most `staleness_bound` epochs.
+///
+/// The consistency/staleness semantics — not the network — produce the
+/// convergence trade-offs, so a shared-memory simulation preserves the
+/// surveyed behaviour.
+#ifndef DMML_PS_PARAMETER_SERVER_H_
+#define DMML_PS_PARAMETER_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "la/dense_matrix.h"
+#include "ml/glm.h"
+#include "util/result.h"
+
+namespace dmml::ps {
+
+/// Consistency protocol between workers and the server.
+enum class ConsistencyMode { kBsp, kAsync, kSsp };
+
+/// \brief Name of a mode ("BSP", "ASP", "SSP").
+const char* ConsistencyModeName(ConsistencyMode mode);
+
+/// \brief Versioned central parameter store.
+///
+/// Thread-safe. Keeps per-worker logical clocks (completed epochs) to
+/// implement SSP blocking and to report observed staleness.
+class ParameterServer {
+ public:
+  /// \param dim        number of model weights (excluding intercept).
+  /// \param num_workers worker count for clock tracking.
+  ParameterServer(size_t dim, size_t num_workers);
+
+  /// \brief Copies the current parameters into `w`/`intercept`.
+  void Pull(std::vector<double>* w, double* intercept) const;
+
+  /// \brief Applies a scaled gradient: w -= lr * grad, b -= lr * bias_grad.
+  void Push(const std::vector<double>& grad, double bias_grad, double lr);
+
+  /// \brief Sparse push: applies only the given (index, value) gradient
+  /// coordinates — the communication-compressed update path.
+  void PushSparse(const std::vector<uint32_t>& indices,
+                  const std::vector<double>& values, double bias_grad, double lr);
+
+  /// \brief Marks `worker` as having completed one more epoch.
+  void AdvanceClock(size_t worker);
+
+  /// \brief Blocks until clock(worker) <= min_clock + bound (SSP condition).
+  void WaitForSlowest(size_t worker, size_t bound);
+
+  /// \brief Blocks until every worker reaches `epoch` (BSP barrier).
+  void Barrier(size_t epoch);
+
+  /// \brief Largest clock spread (fastest - slowest) observed so far.
+  size_t max_observed_staleness() const;
+
+  /// \brief Snapshot of the parameters as a GLM weight vector.
+  la::DenseMatrix SnapshotWeights() const;
+  double SnapshotIntercept() const;
+
+ private:
+  size_t MinClockLocked() const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+  std::vector<size_t> clocks_;
+  size_t max_staleness_ = 0;
+};
+
+/// \brief Parameter-server training configuration.
+struct PsConfig {
+  ConsistencyMode mode = ConsistencyMode::kBsp;
+  size_t num_workers = 4;
+  size_t staleness_bound = 2;   ///< SSP only.
+  size_t batch_size = 32;
+  size_t epochs = 20;
+  double learning_rate = 0.1;
+  double l2 = 0.0;
+  ml::GlmFamily family = ml::GlmFamily::kBinomial;
+  bool fit_intercept = true;
+  uint64_t seed = 42;
+  /// Artificial per-batch compute jitter (seconds): worker w sleeps
+  /// uniform[0, x*(1+w)] after each batch, making the highest-id worker a
+  /// systematic straggler — exposes consistency-mode differences even on
+  /// uniform hardware. 0 disables.
+  double straggler_jitter = 0.0;
+  /// Gradient sparsification: each push transmits only the top
+  /// ceil(d * topk_fraction) coordinates by magnitude; the untransmitted
+  /// remainder accumulates locally (error feedback) and joins later pushes.
+  /// 1.0 = dense pushes (off).
+  double topk_fraction = 1.0;
+};
+
+/// \brief Result of a parameter-server training run.
+struct PsResult {
+  ml::GlmModel model;
+  std::vector<double> loss_per_epoch;  ///< Global loss after each epoch round.
+  size_t total_pushes = 0;
+  /// Gradient coordinates actually transmitted (the communication volume;
+  /// equals total_pushes * d for dense pushes).
+  size_t total_coordinates_pushed = 0;
+  size_t max_observed_staleness = 0;
+  double wall_seconds = 0;
+};
+
+/// \brief Trains a GLM with `config.num_workers` threads against a central
+/// parameter server under the configured consistency mode.
+Result<PsResult> TrainGlmParameterServer(const la::DenseMatrix& x,
+                                         const la::DenseMatrix& y,
+                                         const PsConfig& config);
+
+}  // namespace dmml::ps
+
+#endif  // DMML_PS_PARAMETER_SERVER_H_

@@ -1,0 +1,297 @@
+#include "relational/operators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+namespace dmml::relational {
+
+using storage::Column;
+using storage::DataType;
+using storage::Field;
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+
+Result<Table> Filter(const Table& input, const PredicatePtr& pred) {
+  DMML_RETURN_IF_ERROR(pred->Validate(input.schema()));
+  Table out(input.schema());
+  for (size_t i = 0; i < input.num_rows(); ++i) {
+    DMML_ASSIGN_OR_RETURN(bool keep, pred->Evaluate(input, i));
+    if (keep) DMML_RETURN_IF_ERROR(out.AppendRow(input.GetRow(i)));
+  }
+  return out;
+}
+
+Result<Table> Project(const Table& input, const std::vector<std::string>& columns) {
+  std::vector<size_t> indices;
+  std::vector<Field> fields;
+  for (const auto& name : columns) {
+    DMML_ASSIGN_OR_RETURN(size_t idx, input.schema().RequireField(name));
+    indices.push_back(idx);
+    fields.push_back(input.schema().field(idx));
+  }
+  DMML_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  Table out(schema);
+  std::vector<Value> row(indices.size());
+  for (size_t i = 0; i < input.num_rows(); ++i) {
+    for (size_t j = 0; j < indices.size(); ++j) {
+      row[j] = input.column(indices[j]).GetValue(i);
+    }
+    DMML_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+namespace {
+
+// A join key: either int64 or string. NULL keys are skipped by callers.
+struct JoinKey {
+  bool is_string = false;
+  int64_t ival = 0;
+  std::string sval;
+
+  bool operator==(const JoinKey& other) const {
+    if (is_string != other.is_string) return false;
+    return is_string ? sval == other.sval : ival == other.ival;
+  }
+};
+
+struct JoinKeyHash {
+  size_t operator()(const JoinKey& k) const {
+    return k.is_string ? std::hash<std::string>()(k.sval)
+                       : std::hash<int64_t>()(static_cast<int64_t>(k.ival));
+  }
+};
+
+Result<JoinKey> MakeKey(const Column& col, size_t row) {
+  JoinKey k;
+  switch (col.type()) {
+    case DataType::kInt64:
+      k.is_string = false;
+      k.ival = col.GetInt64(row);
+      return k;
+    case DataType::kString:
+      k.is_string = true;
+      k.sval = col.GetString(row);
+      return k;
+    default:
+      return Status::InvalidArgument("join keys must be INT64 or STRING");
+  }
+}
+
+}  // namespace
+
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::string& left_key, const std::string& right_key,
+                       const JoinOptions& options) {
+  DMML_ASSIGN_OR_RETURN(size_t lk, left.schema().RequireField(left_key));
+  DMML_ASSIGN_OR_RETURN(size_t rk, right.schema().RequireField(right_key));
+  const Column& lcol = left.column(lk);
+  const Column& rcol = right.column(rk);
+  if (lcol.type() != rcol.type()) {
+    return Status::InvalidArgument("join key type mismatch: " +
+                                   std::string(DataTypeToString(lcol.type())) + " vs " +
+                                   DataTypeToString(rcol.type()));
+  }
+
+  // Build a hash table on the right input.
+  std::unordered_map<JoinKey, std::vector<size_t>, JoinKeyHash> build;
+  build.reserve(right.num_rows());
+  for (size_t i = 0; i < right.num_rows(); ++i) {
+    if (!rcol.IsValid(i)) continue;
+    DMML_ASSIGN_OR_RETURN(JoinKey key, MakeKey(rcol, i));
+    build[std::move(key)].push_back(i);
+  }
+
+  Schema right_schema = right.schema();
+  if (options.type == JoinType::kLeftOuter) {
+    // Unmatched left rows are padded with NULLs on the right side, so every
+    // right field must be nullable in the output schema.
+    std::vector<Field> fields = right_schema.fields();
+    for (auto& f : fields) f.nullable = true;
+    right_schema = Schema(std::move(fields));
+  }
+  Schema out_schema = left.schema().Concat(right_schema, options.clash_prefix);
+  Table out(out_schema);
+
+  const size_t right_arity = right.schema().num_fields();
+  std::vector<Value> row;
+  row.reserve(out_schema.num_fields());
+  for (size_t i = 0; i < left.num_rows(); ++i) {
+    const std::vector<size_t>* matches = nullptr;
+    if (lcol.IsValid(i)) {
+      DMML_ASSIGN_OR_RETURN(JoinKey key, MakeKey(lcol, i));
+      auto it = build.find(key);
+      if (it != build.end()) matches = &it->second;
+    }
+    if (matches) {
+      for (size_t r : *matches) {
+        row = left.GetRow(i);
+        auto rrow = right.GetRow(r);
+        row.insert(row.end(), std::make_move_iterator(rrow.begin()),
+                   std::make_move_iterator(rrow.end()));
+        DMML_RETURN_IF_ERROR(out.AppendRow(row));
+      }
+    } else if (options.type == JoinType::kLeftOuter) {
+      row = left.GetRow(i);
+      row.resize(row.size() + right_arity, std::monostate{});
+      DMML_RETURN_IF_ERROR(out.AppendRow(row));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct AggState {
+  double sum = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  size_t count = 0;       // Rows in the group (for COUNT).
+  size_t value_count = 0; // Non-NULL values seen (for AVG/MIN/MAX semantics).
+};
+
+}  // namespace
+
+Result<Table> GroupBy(const Table& input, const std::vector<std::string>& keys,
+                      const std::vector<AggSpec>& aggs) {
+  std::vector<size_t> key_idx;
+  for (const auto& k : keys) {
+    DMML_ASSIGN_OR_RETURN(size_t idx, input.schema().RequireField(k));
+    key_idx.push_back(idx);
+  }
+  std::vector<size_t> agg_idx(aggs.size(), SIZE_MAX);
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    if (aggs[a].func == AggFunc::kCount && aggs[a].column.empty()) continue;
+    DMML_ASSIGN_OR_RETURN(size_t idx, input.schema().RequireField(aggs[a].column));
+    const auto type = input.schema().field(idx).type;
+    if (type == DataType::kString && aggs[a].func != AggFunc::kCount) {
+      return Status::InvalidArgument("cannot aggregate string column " +
+                                     aggs[a].column);
+    }
+    agg_idx[a] = idx;
+  }
+
+  // Group rows by stringified key tuple (simple and deterministic).
+  std::map<std::vector<std::string>, std::vector<AggState>> groups;
+  std::map<std::vector<std::string>, std::vector<Value>> group_keys;
+  for (size_t i = 0; i < input.num_rows(); ++i) {
+    std::vector<std::string> gk;
+    std::vector<Value> kv;
+    gk.reserve(key_idx.size());
+    for (size_t idx : key_idx) {
+      Value v = input.column(idx).GetValue(i);
+      gk.push_back(storage::ValueToString(v) +
+                   (std::holds_alternative<std::monostate>(v) ? "\x01NULL" : ""));
+      kv.push_back(std::move(v));
+    }
+    auto [it, inserted] = groups.try_emplace(gk, aggs.size());
+    if (inserted) group_keys.emplace(gk, std::move(kv));
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      AggState& st = it->second[a];
+      st.count++;
+      if (agg_idx[a] == SIZE_MAX) continue;
+      const Column& col = input.column(agg_idx[a]);
+      if (!col.IsValid(i)) continue;
+      auto num = col.GetNumeric(i);
+      if (!num.ok()) continue;
+      double v = *num;
+      st.sum += v;
+      st.min = std::min(st.min, v);
+      st.max = std::max(st.max, v);
+      st.value_count++;
+    }
+  }
+
+  // Output schema: key fields then aggregate fields.
+  std::vector<Field> fields;
+  for (size_t idx : key_idx) fields.push_back(input.schema().field(idx));
+  for (const auto& a : aggs) {
+    DataType t = a.func == AggFunc::kCount ? DataType::kInt64 : DataType::kDouble;
+    fields.push_back({a.output_name, t, true});
+  }
+  DMML_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  Table out(schema);
+
+  for (const auto& [gk, states] : groups) {
+    std::vector<Value> row = group_keys[gk];
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const AggState& st = states[a];
+      switch (aggs[a].func) {
+        case AggFunc::kCount:
+          row.emplace_back(static_cast<int64_t>(st.count));
+          break;
+        case AggFunc::kSum:
+          if (st.value_count == 0) row.emplace_back(std::monostate{});
+          else row.emplace_back(st.sum);
+          break;
+        case AggFunc::kAvg:
+          if (st.value_count == 0) row.emplace_back(std::monostate{});
+          else row.emplace_back(st.sum / static_cast<double>(st.value_count));
+          break;
+        case AggFunc::kMin:
+          if (st.value_count == 0) row.emplace_back(std::monostate{});
+          else row.emplace_back(st.min);
+          break;
+        case AggFunc::kMax:
+          if (st.value_count == 0) row.emplace_back(std::monostate{});
+          else row.emplace_back(st.max);
+          break;
+      }
+    }
+    DMML_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+Result<Table> OrderBy(const Table& input, const std::string& column, bool ascending) {
+  DMML_ASSIGN_OR_RETURN(size_t idx, input.schema().RequireField(column));
+  const Column& col = input.column(idx);
+  std::vector<size_t> order(input.num_rows());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  auto less = [&](size_t a, size_t b) {
+    bool va = col.IsValid(a), vb = col.IsValid(b);
+    if (!va || !vb) return !va && vb;  // NULLs first.
+    switch (col.type()) {
+      case DataType::kInt64: return col.GetInt64(a) < col.GetInt64(b);
+      case DataType::kDouble: return col.GetDouble(a) < col.GetDouble(b);
+      case DataType::kString: return col.GetString(a) < col.GetString(b);
+      case DataType::kBool: return col.GetBool(a) < col.GetBool(b);
+    }
+    return false;
+  };
+  std::stable_sort(order.begin(), order.end(), less);
+  if (!ascending) std::reverse(order.begin(), order.end());
+
+  Table out(input.schema());
+  for (size_t i : order) DMML_RETURN_IF_ERROR(out.AppendRow(input.GetRow(i)));
+  return out;
+}
+
+Result<Table> Union(const Table& a, const Table& b) {
+  if (!(a.schema() == b.schema())) {
+    return Status::InvalidArgument("UNION requires identical schemas");
+  }
+  Table out(a.schema());
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    DMML_RETURN_IF_ERROR(out.AppendRow(a.GetRow(i)));
+  }
+  for (size_t i = 0; i < b.num_rows(); ++i) {
+    DMML_RETURN_IF_ERROR(out.AppendRow(b.GetRow(i)));
+  }
+  return out;
+}
+
+Table Limit(const Table& input, size_t n) {
+  Table out(input.schema());
+  for (size_t i = 0; i < std::min(n, input.num_rows()); ++i) {
+    out.AppendRow(input.GetRow(i));
+  }
+  return out;
+}
+
+}  // namespace dmml::relational

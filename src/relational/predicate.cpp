@@ -1,0 +1,166 @@
+#include "relational/predicate.h"
+
+namespace dmml::relational {
+
+namespace {
+
+using storage::DataType;
+using storage::Table;
+using storage::Value;
+
+// Three-way comparison of a column cell with a literal; nullopt means
+// incomparable (NULL or type mismatch at runtime).
+std::optional<int> CompareCell(const storage::Column& col, size_t row,
+                               const Value& literal) {
+  if (!col.IsValid(row)) return std::nullopt;
+  switch (col.type()) {
+    case DataType::kInt64: {
+      // Allow comparing int columns against int or double literals.
+      if (const auto* i = std::get_if<int64_t>(&literal)) {
+        int64_t v = col.GetInt64(row);
+        return v < *i ? -1 : (v > *i ? 1 : 0);
+      }
+      if (const auto* d = std::get_if<double>(&literal)) {
+        double v = static_cast<double>(col.GetInt64(row));
+        return v < *d ? -1 : (v > *d ? 1 : 0);
+      }
+      return std::nullopt;
+    }
+    case DataType::kDouble: {
+      double v = col.GetDouble(row);
+      double lit;
+      if (const auto* d = std::get_if<double>(&literal)) lit = *d;
+      else if (const auto* i = std::get_if<int64_t>(&literal)) lit = static_cast<double>(*i);
+      else return std::nullopt;
+      return v < lit ? -1 : (v > lit ? 1 : 0);
+    }
+    case DataType::kString: {
+      const auto* s = std::get_if<std::string>(&literal);
+      if (!s) return std::nullopt;
+      int c = col.GetString(row).compare(*s);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case DataType::kBool: {
+      const auto* b = std::get_if<bool>(&literal);
+      if (!b) return std::nullopt;
+      int v = col.GetBool(row) ? 1 : 0;
+      int lit = *b ? 1 : 0;
+      return v < lit ? -1 : (v > lit ? 1 : 0);
+    }
+  }
+  return std::nullopt;
+}
+
+class ComparePredicate : public Predicate {
+ public:
+  ComparePredicate(std::string column, CompareOp op, Value literal)
+      : column_(std::move(column)), op_(op), literal_(std::move(literal)) {}
+
+  Result<bool> Evaluate(const Table& table, size_t row) const override {
+    DMML_ASSIGN_OR_RETURN(const storage::Column* col, table.ColumnByName(column_));
+    auto cmp = CompareCell(*col, row, literal_);
+    if (!cmp) return false;
+    switch (op_) {
+      case CompareOp::kEq: return *cmp == 0;
+      case CompareOp::kNe: return *cmp != 0;
+      case CompareOp::kLt: return *cmp < 0;
+      case CompareOp::kLe: return *cmp <= 0;
+      case CompareOp::kGt: return *cmp > 0;
+      case CompareOp::kGe: return *cmp >= 0;
+    }
+    return Status::Internal("unreachable compare op");
+  }
+
+  Status Validate(const storage::Schema& schema) const override {
+    return schema.RequireField(column_).ok()
+               ? Status::OK()
+               : Status::NotFound("predicate references unknown column: " + column_);
+  }
+
+ private:
+  std::string column_;
+  CompareOp op_;
+  Value literal_;
+};
+
+class BinaryPredicate : public Predicate {
+ public:
+  BinaryPredicate(PredicatePtr lhs, PredicatePtr rhs, bool is_and)
+      : lhs_(std::move(lhs)), rhs_(std::move(rhs)), is_and_(is_and) {}
+
+  Result<bool> Evaluate(const Table& table, size_t row) const override {
+    DMML_ASSIGN_OR_RETURN(bool l, lhs_->Evaluate(table, row));
+    if (is_and_ && !l) return false;
+    if (!is_and_ && l) return true;
+    return rhs_->Evaluate(table, row);
+  }
+
+  Status Validate(const storage::Schema& schema) const override {
+    DMML_RETURN_IF_ERROR(lhs_->Validate(schema));
+    return rhs_->Validate(schema);
+  }
+
+ private:
+  PredicatePtr lhs_, rhs_;
+  bool is_and_;
+};
+
+class NotPredicate : public Predicate {
+ public:
+  explicit NotPredicate(PredicatePtr inner) : inner_(std::move(inner)) {}
+
+  Result<bool> Evaluate(const Table& table, size_t row) const override {
+    DMML_ASSIGN_OR_RETURN(bool v, inner_->Evaluate(table, row));
+    return !v;
+  }
+
+  Status Validate(const storage::Schema& schema) const override {
+    return inner_->Validate(schema);
+  }
+
+ private:
+  PredicatePtr inner_;
+};
+
+class IsNullPredicate : public Predicate {
+ public:
+  explicit IsNullPredicate(std::string column) : column_(std::move(column)) {}
+
+  Result<bool> Evaluate(const Table& table, size_t row) const override {
+    DMML_ASSIGN_OR_RETURN(const storage::Column* col, table.ColumnByName(column_));
+    return !col->IsValid(row);
+  }
+
+  Status Validate(const storage::Schema& schema) const override {
+    return schema.RequireField(column_).ok()
+               ? Status::OK()
+               : Status::NotFound("predicate references unknown column: " + column_);
+  }
+
+ private:
+  std::string column_;
+};
+
+}  // namespace
+
+PredicatePtr Compare(std::string column, CompareOp op, storage::Value literal) {
+  return std::make_shared<ComparePredicate>(std::move(column), op, std::move(literal));
+}
+
+PredicatePtr And(PredicatePtr lhs, PredicatePtr rhs) {
+  return std::make_shared<BinaryPredicate>(std::move(lhs), std::move(rhs), true);
+}
+
+PredicatePtr Or(PredicatePtr lhs, PredicatePtr rhs) {
+  return std::make_shared<BinaryPredicate>(std::move(lhs), std::move(rhs), false);
+}
+
+PredicatePtr Not(PredicatePtr inner) {
+  return std::make_shared<NotPredicate>(std::move(inner));
+}
+
+PredicatePtr IsNull(std::string column) {
+  return std::make_shared<IsNullPredicate>(std::move(column));
+}
+
+}  // namespace dmml::relational

@@ -1,0 +1,53 @@
+/// \file predicate.h
+/// \brief Row predicates for the Filter operator.
+#ifndef DMML_RELATIONAL_PREDICATE_H_
+#define DMML_RELATIONAL_PREDICATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/result.h"
+
+namespace dmml::relational {
+
+/// Comparison operator of a leaf predicate.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// \brief A boolean row predicate tree (leaf comparisons, AND/OR/NOT).
+///
+/// Predicates are evaluated column-at-a-time by Filter; Bind() resolves the
+/// column name against a concrete schema once per table.
+class Predicate {
+ public:
+  virtual ~Predicate() = default;
+
+  /// \brief Evaluates the predicate for row `row` of `table`.
+  /// NULL comparisons evaluate to false (SQL-ish three-valued collapse).
+  virtual Result<bool> Evaluate(const storage::Table& table, size_t row) const = 0;
+
+  /// \brief Checks the predicate is well-formed against `schema`.
+  virtual Status Validate(const storage::Schema& schema) const = 0;
+};
+
+using PredicatePtr = std::shared_ptr<const Predicate>;
+
+/// \brief column <op> literal.
+PredicatePtr Compare(std::string column, CompareOp op, storage::Value literal);
+
+/// \brief Conjunction.
+PredicatePtr And(PredicatePtr lhs, PredicatePtr rhs);
+
+/// \brief Disjunction.
+PredicatePtr Or(PredicatePtr lhs, PredicatePtr rhs);
+
+/// \brief Negation (NULL-comparisons stay false, they do not become true).
+PredicatePtr Not(PredicatePtr inner);
+
+/// \brief column IS NULL.
+PredicatePtr IsNull(std::string column);
+
+}  // namespace dmml::relational
+
+#endif  // DMML_RELATIONAL_PREDICATE_H_

@@ -1,0 +1,26 @@
+/// \file sort_merge_join.h
+/// \brief Sort-merge equi-join — the classic alternative to the hash join in
+/// operators.h, kept separate for ablation benchmarking.
+#ifndef DMML_RELATIONAL_SORT_MERGE_JOIN_H_
+#define DMML_RELATIONAL_SORT_MERGE_JOIN_H_
+
+#include <string>
+
+#include "relational/operators.h"
+#include "storage/table.h"
+#include "util/result.h"
+
+namespace dmml::relational {
+
+/// \brief Inner equi-join on one INT64 or STRING key per side, implemented
+/// by sorting row ids on both sides and merging. Produces the same rows as
+/// HashJoin but ordered by key (then by left/right row order within a key).
+Result<storage::Table> SortMergeJoin(const storage::Table& left,
+                                     const storage::Table& right,
+                                     const std::string& left_key,
+                                     const std::string& right_key,
+                                     const std::string& clash_prefix = "r_");
+
+}  // namespace dmml::relational
+
+#endif  // DMML_RELATIONAL_SORT_MERGE_JOIN_H_

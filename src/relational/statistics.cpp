@@ -1,0 +1,159 @@
+#include "relational/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace dmml::relational {
+
+using storage::Column;
+using storage::DataType;
+using storage::Table;
+
+const ColumnStatistics* TableStatistics::Find(const std::string& name) const {
+  for (const auto& col : columns) {
+    if (col.name == name) return &col;
+  }
+  return nullptr;
+}
+
+Result<TableStatistics> CollectStatistics(const Table& table,
+                                          size_t histogram_buckets) {
+  if (histogram_buckets == 0) {
+    return Status::InvalidArgument("histogram_buckets must be >= 1");
+  }
+  TableStatistics stats;
+  stats.num_rows = table.num_rows();
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    ColumnStatistics cs;
+    cs.name = table.schema().field(c).name;
+    cs.num_rows = table.num_rows();
+    cs.null_count = col.null_count();
+
+    if (col.type() == DataType::kString) {
+      std::unordered_set<std::string> distinct;
+      for (size_t i = 0; i < table.num_rows(); ++i) {
+        if (col.IsValid(i)) distinct.insert(col.GetString(i));
+      }
+      cs.distinct_count = distinct.size();
+    } else {
+      std::unordered_set<double> distinct;
+      double mn = std::numeric_limits<double>::infinity();
+      double mx = -std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < table.num_rows(); ++i) {
+        if (!col.IsValid(i)) continue;
+        double v = *col.GetNumeric(i);
+        distinct.insert(v);
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+      }
+      cs.distinct_count = distinct.size();
+      if (!distinct.empty()) {
+        cs.min_value = mn;
+        cs.max_value = mx;
+        cs.histogram.assign(histogram_buckets, 0);
+        double width = (mx - mn) / static_cast<double>(histogram_buckets);
+        for (size_t i = 0; i < table.num_rows(); ++i) {
+          if (!col.IsValid(i)) continue;
+          double v = *col.GetNumeric(i);
+          size_t bucket =
+              width > 0 ? std::min(histogram_buckets - 1,
+                                   static_cast<size_t>((v - mn) / width))
+                        : 0;
+          cs.histogram[bucket]++;
+        }
+      }
+    }
+    stats.columns.push_back(std::move(cs));
+  }
+  return stats;
+}
+
+Result<double> EstimateSelectivity(const TableStatistics& stats,
+                                   const std::string& column, CompareOp op,
+                                   double value) {
+  const ColumnStatistics* cs = stats.Find(column);
+  if (cs == nullptr) return Status::NotFound("no statistics for column " + column);
+  if (cs->num_rows == 0) return 0.0;
+  const double non_null_fraction =
+      1.0 - static_cast<double>(cs->null_count) / static_cast<double>(cs->num_rows);
+  if (!cs->min_value) return 0.0;  // All NULL (or string column).
+
+  const double mn = *cs->min_value, mx = *cs->max_value;
+  auto clamp01 = [](double v) { return std::clamp(v, 0.0, 1.0); };
+
+  double selectivity;
+  switch (op) {
+    case CompareOp::kEq:
+      if (value < mn || value > mx) {
+        selectivity = 0.0;
+      } else {
+        selectivity = cs->distinct_count > 0
+                          ? 1.0 / static_cast<double>(cs->distinct_count)
+                          : 0.0;
+      }
+      break;
+    case CompareOp::kNe:
+      selectivity = value < mn || value > mx
+                        ? 1.0
+                        : 1.0 - (cs->distinct_count > 0
+                                     ? 1.0 / static_cast<double>(cs->distinct_count)
+                                     : 0.0);
+      break;
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+    case CompareOp::kGt:
+    case CompareOp::kGe: {
+      // Histogram mass below `value` (linear interpolation within bucket).
+      double below;
+      if (mx == mn) {
+        // Degenerate point mass: honor strict vs non-strict comparisons.
+        bool inclusive = op == CompareOp::kLe || op == CompareOp::kGt;
+        below = (inclusive ? value >= mx : value > mx) ? 1.0 : 0.0;
+      } else if (cs->histogram.empty()) {
+        below = clamp01((value - mn) / (mx - mn));
+      } else {
+        double width = (mx - mn) / static_cast<double>(cs->histogram.size());
+        double mass = 0, total = 0;
+        for (size_t b = 0; b < cs->histogram.size(); ++b) {
+          total += static_cast<double>(cs->histogram[b]);
+          double lo = mn + width * static_cast<double>(b);
+          double hi = lo + width;
+          if (value >= hi) {
+            mass += static_cast<double>(cs->histogram[b]);
+          } else if (value > lo) {
+            mass += static_cast<double>(cs->histogram[b]) * (value - lo) / width;
+          }
+        }
+        below = total > 0 ? mass / total : 0.0;
+      }
+      if (op == CompareOp::kLt || op == CompareOp::kLe) {
+        selectivity = clamp01(below);
+      } else {
+        selectivity = clamp01(1.0 - below);
+      }
+      break;
+    }
+    default:
+      return Status::Internal("unreachable compare op");
+  }
+  return selectivity * non_null_fraction;
+}
+
+Result<double> EstimateJoinCardinality(const TableStatistics& left,
+                                       const std::string& left_column,
+                                       const TableStatistics& right,
+                                       const std::string& right_column) {
+  const ColumnStatistics* lc = left.Find(left_column);
+  const ColumnStatistics* rc = right.Find(right_column);
+  if (lc == nullptr || rc == nullptr) {
+    return Status::NotFound("missing join-column statistics");
+  }
+  size_t max_ndv = std::max(lc->distinct_count, rc->distinct_count);
+  if (max_ndv == 0) return 0.0;
+  return static_cast<double>(left.num_rows) * static_cast<double>(right.num_rows) /
+         static_cast<double>(max_ndv);
+}
+
+}  // namespace dmml::relational

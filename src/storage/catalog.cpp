@@ -1,0 +1,37 @@
+#include "storage/catalog.h"
+
+namespace dmml::storage {
+
+Status Catalog::RegisterTable(const std::string& name, Table table) {
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table already registered: " + name);
+  }
+  tables_.emplace(name, std::make_shared<const Table>(std::move(table)));
+  return Status::OK();
+}
+
+void Catalog::PutTable(const std::string& name, Table table) {
+  tables_[name] = std::make_shared<const Table>(std::move(table));
+}
+
+Result<std::shared_ptr<const Table>> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named: " + name);
+  return it->second;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) return Status::NotFound("no table named: " + name);
+  return Status::OK();
+}
+
+bool Catalog::HasTable(const std::string& name) const { return tables_.count(name) > 0; }
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace dmml::storage

@@ -1,0 +1,44 @@
+/// \file catalog.h
+/// \brief Named-table registry, the root object of the relational substrate.
+#ifndef DMML_STORAGE_CATALOG_H_
+#define DMML_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/result.h"
+
+namespace dmml::storage {
+
+/// \brief Owns tables by name. Single-threaded registry (workers read tables
+/// through shared_ptr, which keeps them alive across catalog mutations).
+class Catalog {
+ public:
+  /// \brief Registers a table; AlreadyExists if the name is taken.
+  Status RegisterTable(const std::string& name, Table table);
+
+  /// \brief Replaces or inserts a table.
+  void PutTable(const std::string& name, Table table);
+
+  /// \brief Looks up a table by name.
+  Result<std::shared_ptr<const Table>> GetTable(const std::string& name) const;
+
+  /// \brief Removes a table; NotFound if absent.
+  Status DropTable(const std::string& name);
+
+  /// \brief True iff `name` is registered.
+  bool HasTable(const std::string& name) const;
+
+  /// \brief Registered table names, sorted.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<const Table>> tables_;
+};
+
+}  // namespace dmml::storage
+
+#endif  // DMML_STORAGE_CATALOG_H_

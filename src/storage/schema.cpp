@@ -1,0 +1,52 @@
+#include "storage/schema.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace dmml::storage {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+Result<Schema> Schema::Make(std::vector<Field> fields) {
+  std::unordered_set<std::string> seen;
+  for (const auto& f : fields) {
+    if (!seen.insert(f.name).second) {
+      return Status::InvalidArgument("duplicate field name: " + f.name);
+    }
+  }
+  return Schema(std::move(fields));
+}
+
+std::optional<size_t> Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> Schema::RequireField(const std::string& name) const {
+  auto idx = FieldIndex(name);
+  if (!idx) return Status::NotFound("no field named '" + name + "'");
+  return *idx;
+}
+
+Schema Schema::Concat(const Schema& other, const std::string& clash_prefix) const {
+  std::vector<Field> out = fields_;
+  for (const auto& f : other.fields_) {
+    Field g = f;
+    if (FieldIndex(f.name)) g.name = clash_prefix + f.name;
+    out.push_back(std::move(g));
+  }
+  return Schema(std::move(out));
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) os << ", ";
+    os << fields_[i].name << ":" << DataTypeToString(fields_[i].type);
+  }
+  return os.str();
+}
+
+}  // namespace dmml::storage

@@ -1,0 +1,59 @@
+/// \file schema.h
+/// \brief Table schemas: ordered, named, typed fields.
+#ifndef DMML_STORAGE_SCHEMA_H_
+#define DMML_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/types.h"
+#include "util/result.h"
+
+namespace dmml::storage {
+
+/// \brief One named, typed field of a schema.
+struct Field {
+  std::string name;
+  DataType type;
+  bool nullable = true;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type && nullable == other.nullable;
+  }
+};
+
+/// \brief Ordered collection of fields with unique names.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  /// \brief Validates name uniqueness.
+  static Result<Schema> Make(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// \brief Index of the field named `name`, if present.
+  std::optional<size_t> FieldIndex(const std::string& name) const;
+
+  /// \brief Result-returning variant of FieldIndex.
+  Result<size_t> RequireField(const std::string& name) const;
+
+  /// \brief Schema of this ⨝ other with `prefix` disambiguation on clashes.
+  Schema Concat(const Schema& other, const std::string& clash_prefix) const;
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+
+  /// \brief "name:TYPE, name:TYPE, ..." rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace dmml::storage
+
+#endif  // DMML_STORAGE_SCHEMA_H_

@@ -1,0 +1,36 @@
+#include "storage/types.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dmml::storage {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt64: return "INT64";
+    case DataType::kDouble: return "DOUBLE";
+    case DataType::kString: return "STRING";
+    case DataType::kBool: return "BOOL";
+  }
+  return "UNKNOWN";
+}
+
+bool ParseDataType(const std::string& name, DataType* out) {
+  std::string upper = name;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper == "INT64" || upper == "INT" || upper == "BIGINT") {
+    *out = DataType::kInt64;
+  } else if (upper == "DOUBLE" || upper == "FLOAT" || upper == "REAL") {
+    *out = DataType::kDouble;
+  } else if (upper == "STRING" || upper == "TEXT" || upper == "VARCHAR") {
+    *out = DataType::kString;
+  } else if (upper == "BOOL" || upper == "BOOLEAN") {
+    *out = DataType::kBool;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dmml::storage

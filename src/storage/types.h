@@ -1,0 +1,27 @@
+/// \file types.h
+/// \brief Logical column types of the storage layer.
+#ifndef DMML_STORAGE_TYPES_H_
+#define DMML_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dmml::storage {
+
+/// Logical type of a column.
+enum class DataType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+  kBool = 3,
+};
+
+/// \brief Human-readable type name ("INT64", "DOUBLE", ...).
+const char* DataTypeToString(DataType type);
+
+/// \brief Parses "INT64"/"DOUBLE"/"STRING"/"BOOL" (case-insensitive).
+bool ParseDataType(const std::string& name, DataType* out);
+
+}  // namespace dmml::storage
+
+#endif  // DMML_STORAGE_TYPES_H_

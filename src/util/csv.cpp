@@ -1,0 +1,129 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace dmml {
+
+namespace {
+
+// Parses CSV text into rows of fields, handling quoted fields.
+Result<std::vector<std::vector<std::string>>> ParseRows(const std::string& text,
+                                                        char delim) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  bool row_started = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+    row_started = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"' && !field_started) {
+      in_quotes = true;
+      field_started = true;
+      row_started = true;
+    } else if (c == delim) {
+      end_field();
+      row_started = true;
+    } else if (c == '\r') {
+      // Swallow; handled with the following \n (or treated as row end).
+      if (i + 1 < text.size() && text[i + 1] == '\n') continue;
+      if (row_started || field_started) end_row();
+    } else if (c == '\n') {
+      if (row_started || field_started) end_row();
+    } else {
+      field += c;
+      field_started = true;
+      row_started = true;
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quoted CSV field");
+  if (row_started || field_started) end_row();
+  return rows;
+}
+
+}  // namespace
+
+Result<CsvDocument> ParseCsv(const std::string& text, const CsvOptions& options) {
+  DMML_ASSIGN_OR_RETURN(auto rows, ParseRows(text, options.delimiter));
+  CsvDocument doc;
+  if (options.has_header) {
+    if (rows.empty()) return Status::InvalidArgument("CSV has no header row");
+    doc.header = std::move(rows.front());
+    rows.erase(rows.begin());
+  }
+  doc.rows = std::move(rows);
+  return doc;
+}
+
+Result<CsvDocument> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str(), options);
+}
+
+std::string EscapeCsvField(const std::string& field, char delimiter) {
+  bool needs_quote = false;
+  for (char c : field) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows,
+                    char delimiter) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open file for write: " + path);
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out << delimiter;
+      out << EscapeCsvField(row[i], delimiter);
+    }
+    out << '\n';
+  };
+  if (!header.empty()) write_row(header);
+  for (const auto& row : rows) write_row(row);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace dmml

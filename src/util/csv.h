@@ -1,0 +1,48 @@
+/// \file csv.h
+/// \brief RFC-4180-ish CSV reading and writing.
+///
+/// Supports quoted fields with embedded delimiters, escaped quotes ("")
+/// and newlines inside quoted fields. Used by the storage layer to load
+/// tables and by the bench harnesses to emit result series.
+#ifndef DMML_UTIL_CSV_H_
+#define DMML_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace dmml {
+
+/// \brief Options controlling CSV parsing.
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+};
+
+/// \brief A fully-parsed CSV file: optional header plus rows of string cells.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// \brief Parses CSV text into a document. Rows may have ragged widths; the
+/// caller validates against its schema.
+Result<CsvDocument> ParseCsv(const std::string& text, const CsvOptions& options = {});
+
+/// \brief Reads and parses a CSV file from disk.
+Result<CsvDocument> ReadCsvFile(const std::string& path, const CsvOptions& options = {});
+
+/// \brief Serializes rows (quoting where needed) and writes them to `path`.
+Status WriteCsvFile(const std::string& path, const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows,
+                    char delimiter = ',');
+
+/// \brief Quotes a single CSV field if it contains the delimiter, quotes or
+/// newlines.
+std::string EscapeCsvField(const std::string& field, char delimiter = ',');
+
+}  // namespace dmml
+
+#endif  // DMML_UTIL_CSV_H_

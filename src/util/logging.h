@@ -1,0 +1,57 @@
+/// \file logging.h
+/// \brief Minimal leveled logging and check macros.
+#ifndef DMML_UTIL_LOGGING_H_
+#define DMML_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dmml {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// \brief Global log threshold; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dmml
+
+#define DMML_LOG(level) \
+  ::dmml::internal::LogMessage(::dmml::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Fatal-on-false invariant check (enabled in all build types).
+#define DMML_CHECK(cond)                                              \
+  if (!(cond))                                                        \
+  ::dmml::internal::LogMessage(::dmml::LogLevel::kFatal, __FILE__, __LINE__) \
+      << "Check failed: " #cond " "
+
+#define DMML_CHECK_EQ(a, b) DMML_CHECK((a) == (b))
+#define DMML_CHECK_NE(a, b) DMML_CHECK((a) != (b))
+#define DMML_CHECK_LT(a, b) DMML_CHECK((a) < (b))
+#define DMML_CHECK_LE(a, b) DMML_CHECK((a) <= (b))
+#define DMML_CHECK_GT(a, b) DMML_CHECK((a) > (b))
+#define DMML_CHECK_GE(a, b) DMML_CHECK((a) >= (b))
+
+#endif  // DMML_UTIL_LOGGING_H_

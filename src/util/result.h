@@ -1,0 +1,77 @@
+/// \file result.h
+/// \brief Result<T>: a value or an error Status.
+#ifndef DMML_UTIL_RESULT_H_
+#define DMML_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace dmml {
+
+/// \brief Holds either a successfully-produced T or the Status explaining why
+/// production failed.
+///
+/// A Result constructed from an OK status is a programming error and aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      std::cerr << "Result constructed from OK status\n";
+      std::abort();
+    }
+  }
+
+  /// \brief True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// \brief The error status (OK if a value is present).
+  const Status& status() const { return status_; }
+
+  /// \brief Access the value; aborts with the error message if not ok().
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    DieIfError();
+    return std::move(*value_);
+  }
+
+  /// \brief The value, or `alt` if this Result holds an error.
+  T ValueOr(T alt) const {
+    return ok() ? *value_ : std::move(alt);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: " << status_.ToString() << "\n";
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dmml
+
+#endif  // DMML_UTIL_RESULT_H_

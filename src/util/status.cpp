@@ -1,0 +1,20 @@
+#include "util/status.h"
+
+namespace dmml {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "Invalid argument";
+    case StatusCode::kOutOfRange: return "Out of range";
+    case StatusCode::kNotFound: return "Not found";
+    case StatusCode::kAlreadyExists: return "Already exists";
+    case StatusCode::kIOError: return "IO error";
+    case StatusCode::kNotImplemented: return "Not implemented";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kFailedPrecondition: return "Failed precondition";
+  }
+  return "Unknown";
+}
+
+}  // namespace dmml

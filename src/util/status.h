@@ -1,0 +1,131 @@
+/// \file status.h
+/// \brief Status error model used across all dmml public APIs.
+///
+/// dmml does not throw exceptions across public API boundaries. Fallible
+/// operations return a Status (or a Result<T>, see result.h). The idiom
+/// follows Apache Arrow / RocksDB:
+///
+///   DMML_RETURN_IF_ERROR(DoThing());
+///   DMML_ASSIGN_OR_RETURN(auto m, LoadMatrix(path));
+#ifndef DMML_UTIL_STATUS_H_
+#define DMML_UTIL_STATUS_H_
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace dmml {
+
+/// Machine-readable category of an error.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kIOError = 5,
+  kNotImplemented = 6,
+  kInternal = 7,
+  kFailedPrecondition = 8,
+};
+
+/// \brief Human-readable name of a StatusCode (e.g. "Invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of a fallible operation: either OK or an error code + message.
+///
+/// The OK status carries no allocation; error states allocate a small state
+/// object. Statuses are cheap to move and to copy-on-OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  /// \brief Factory for the OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  /// \brief True iff this status represents success.
+  bool ok() const { return state_ == nullptr; }
+
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+
+  /// \brief The error message ("" for OK).
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::ostringstream os;
+    os << StatusCodeToString(state_->code) << ": " << state_->msg;
+    return os.str();
+  }
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<State> state_;  // nullptr == OK
+};
+
+}  // namespace dmml
+
+/// Propagates an error Status from the enclosing function.
+#define DMML_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::dmml::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+#define DMML_CONCAT_IMPL(x, y) x##y
+#define DMML_CONCAT(x, y) DMML_CONCAT_IMPL(x, y)
+
+/// Unwraps a Result<T> into `lhs`, propagating errors.
+#define DMML_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  DMML_ASSIGN_OR_RETURN_IMPL(DMML_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define DMML_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).ValueOrDie()
+
+#endif  // DMML_UTIL_STATUS_H_

@@ -1,0 +1,33 @@
+/// \file stopwatch.h
+/// \brief Wall-clock timing helper for benchmark harnesses.
+#ifndef DMML_UTIL_STOPWATCH_H_
+#define DMML_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace dmml {
+
+/// \brief Simple wall-clock stopwatch (steady clock).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// \brief Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// \brief Elapsed seconds since construction or last Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// \brief Elapsed milliseconds since construction or last Reset.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dmml
+
+#endif  // DMML_UTIL_STOPWATCH_H_

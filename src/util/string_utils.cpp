@@ -1,0 +1,68 @@
+#include "util/string_utils.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+namespace dmml {
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  std::string buf(Trim(s));
+  if (buf.empty()) return Status::InvalidArgument("empty string is not a double");
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE) return Status::OutOfRange("double out of range: " + buf);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not a double: '" + buf + "'");
+  }
+  return v;
+}
+
+Result<int64_t> ParseInt64(std::string_view s) {
+  std::string buf(Trim(s));
+  if (buf.empty()) return Status::InvalidArgument("empty string is not an int");
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE) return Status::OutOfRange("int64 out of range: " + buf);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not an int64: '" + buf + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::ostringstream os;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) os << sep;
+    os << parts[i];
+  }
+  return os.str();
+}
+
+}  // namespace dmml

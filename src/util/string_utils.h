@@ -1,0 +1,34 @@
+/// \file string_utils.h
+/// \brief Small string helpers shared by the CSV reader and the catalog.
+#ifndef DMML_UTIL_STRING_UTILS_H_
+#define DMML_UTIL_STRING_UTILS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace dmml {
+
+/// \brief Splits `s` on `delim`; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// \brief Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// \brief Case-sensitive prefix test.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// \brief Parses a double, rejecting trailing garbage.
+Result<double> ParseDouble(std::string_view s);
+
+/// \brief Parses an int64, rejecting trailing garbage.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// \brief Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace dmml
+
+#endif  // DMML_UTIL_STRING_UTILS_H_

@@ -1,0 +1,83 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace dmml {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> pt(std::move(task));
+  std::future<void> fut = pt.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(pt));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::WaitAll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    fn(0, n);
+    return;
+  }
+  size_t num_chunks = std::min(n, pool->num_threads());
+  size_t chunk = (n + num_chunks - 1) / num_chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_chunks);
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    size_t end = std::min(begin + chunk, n);
+    futures.push_back(pool->Submit([&fn, begin, end] { fn(begin, end); }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+ThreadPool* GlobalThreadPool() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return &pool;
+}
+
+}  // namespace dmml

@@ -1,0 +1,59 @@
+/// \file thread_pool.h
+/// \brief Fixed-size worker pool with a ParallelFor convenience.
+#ifndef DMML_UTIL_THREAD_POOL_H_
+#define DMML_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dmml {
+
+/// \brief A fixed pool of worker threads executing submitted closures.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueues a task; the returned future resolves on completion.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// \brief Number of worker threads.
+  size_t num_threads() const { return workers_.size(); }
+
+  /// \brief Blocks until every submitted task has completed.
+  void WaitAll();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// \brief Splits [0, n) into contiguous chunks and runs `fn(begin, end)` on
+/// the pool, blocking until all chunks finish. With a null pool (or one
+/// thread) runs inline.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t, size_t)>& fn);
+
+/// \brief Default process-wide pool sized to the hardware concurrency.
+ThreadPool* GlobalThreadPool();
+
+}  // namespace dmml
+
+#endif  // DMML_UTIL_THREAD_POOL_H_

@@ -1,0 +1,153 @@
+// Tests for gradient-boosted tree ensembles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.h"
+#include "ml/gradient_boosting.h"
+#include "ml/metrics.h"
+
+namespace dmml::ml {
+namespace {
+
+using la::DenseMatrix;
+
+TEST(BoostingTest, RegressorFitsNonlinearTarget) {
+  // y = sin(3 x0) + x1^2: out of reach for linear models, easy for boosting.
+  const size_t n = 600;
+  auto x = data::UniformMatrix(n, 2, -1, 1, 1);
+  DenseMatrix y(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    y.At(i, 0) = std::sin(3 * x.At(i, 0)) + x.At(i, 1) * x.At(i, 1);
+  }
+  BoostingConfig config;
+  config.num_rounds = 80;
+  config.learning_rate = 0.2;
+  auto model = TrainBoostedRegressor(x, y, config);
+  ASSERT_TRUE(model.ok());
+  auto pred = *model->Predict(x);
+  EXPECT_GT(*R2(y, pred), 0.97);
+}
+
+TEST(BoostingTest, TrainingLossDecreasesMonotonically) {
+  auto ds = data::MakeRegression(300, 4, 0.1, 2);
+  BoostingConfig config;
+  config.num_rounds = 40;
+  auto model = TrainBoostedRegressor(ds.x, ds.y, config);
+  ASSERT_TRUE(model.ok());
+  ASSERT_EQ(model->train_loss.size(), 40u);
+  for (size_t r = 1; r < model->train_loss.size(); ++r) {
+    EXPECT_LE(model->train_loss[r], model->train_loss[r - 1] + 1e-9);
+  }
+}
+
+TEST(BoostingTest, ClassifierLearnsXor) {
+  DenseMatrix x(400, 2);
+  DenseMatrix y(400, 1);
+  Rng rng(3);
+  for (size_t i = 0; i < 400; ++i) {
+    double a = rng.Uniform() < 0.5 ? 0.0 : 1.0;
+    double b = rng.Uniform() < 0.5 ? 0.0 : 1.0;
+    x.At(i, 0) = a + rng.Normal(0, 0.05);
+    x.At(i, 1) = b + rng.Normal(0, 0.05);
+    y.At(i, 0) = (a != b) ? 1.0 : 0.0;
+  }
+  BoostingConfig config;
+  config.num_rounds = 30;
+  config.learning_rate = 0.3;
+  auto model = TrainBoostedClassifier(x, y, config);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(*Accuracy(y, *model->PredictLabels(x)), 0.97);
+  // Probabilities are valid and informative.
+  auto probs = *model->Predict(x);
+  for (size_t i = 0; i < probs.rows(); ++i) {
+    EXPECT_GE(probs.At(i, 0), 0.0);
+    EXPECT_LE(probs.At(i, 0), 1.0);
+  }
+  EXPECT_GT(*RocAuc(y, probs), 0.99);
+}
+
+TEST(BoostingTest, BaseScoreIsPriorLogOdds) {
+  DenseMatrix x(10, 1);
+  DenseMatrix y(10, 1);
+  for (size_t i = 0; i < 8; ++i) y.At(i, 0) = 1.0;  // 80% positives.
+  BoostingConfig config;
+  config.num_rounds = 1;
+  auto model = TrainBoostedClassifier(x, y, config);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->base_score, std::log(0.8 / 0.2), 1e-9);
+}
+
+TEST(BoostingTest, MoreRoundsReduceLoss) {
+  auto ds = data::MakeClassification(400, 4, 0.1, 4);
+  BoostingConfig few, many;
+  few.num_rounds = 5;
+  many.num_rounds = 60;
+  auto model_few = TrainBoostedClassifier(ds.x, ds.y, few);
+  auto model_many = TrainBoostedClassifier(ds.x, ds.y, many);
+  ASSERT_TRUE(model_few.ok());
+  ASSERT_TRUE(model_many.ok());
+  EXPECT_LT(model_many->train_loss.back(), model_few->train_loss.back());
+}
+
+TEST(BoostingTest, SubsamplingStillLearns) {
+  auto ds = data::MakeRegression(500, 3, 0.1, 5);
+  BoostingConfig config;
+  config.num_rounds = 60;
+  config.subsample = 0.5;
+  auto model = TrainBoostedRegressor(ds.x, ds.y, config);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(*R2(ds.y, *model->Predict(ds.x)), 0.9);
+}
+
+TEST(BoostingTest, ShrinkageControlsStepSize) {
+  auto ds = data::MakeRegression(200, 3, 0.05, 6);
+  BoostingConfig slow;
+  slow.num_rounds = 5;
+  slow.learning_rate = 0.01;
+  auto model = TrainBoostedRegressor(ds.x, ds.y, slow);
+  ASSERT_TRUE(model.ok());
+  // With tiny shrinkage and few rounds the fit barely moves off the mean.
+  double var = 0, mean = 0;
+  for (size_t i = 0; i < ds.y.rows(); ++i) mean += ds.y.At(i, 0);
+  mean /= static_cast<double>(ds.y.rows());
+  for (size_t i = 0; i < ds.y.rows(); ++i) {
+    double d = ds.y.At(i, 0) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(ds.y.rows());
+  EXPECT_GT(model->train_loss.back(), 0.3 * var);
+}
+
+TEST(BoostingTest, Validation) {
+  auto ds = data::MakeRegression(50, 2, 0.1, 7);
+  BoostingConfig config;
+  config.num_rounds = 0;
+  EXPECT_FALSE(TrainBoostedRegressor(ds.x, ds.y, config).ok());
+  config = BoostingConfig{};
+  config.learning_rate = 0;
+  EXPECT_FALSE(TrainBoostedRegressor(ds.x, ds.y, config).ok());
+  config = BoostingConfig{};
+  config.subsample = 0;
+  EXPECT_FALSE(TrainBoostedRegressor(ds.x, ds.y, config).ok());
+  config = BoostingConfig{};
+  EXPECT_FALSE(TrainBoostedClassifier(ds.x, ds.y, config).ok());  // Non-binary y.
+  GradientBoostingModel untrained;
+  EXPECT_FALSE(untrained.Predict(ds.x).ok());
+}
+
+TEST(BoostingTest, DeterministicGivenSeed) {
+  auto ds = data::MakeRegression(150, 3, 0.2, 8);
+  BoostingConfig config;
+  config.num_rounds = 10;
+  config.subsample = 0.7;
+  config.seed = 55;
+  auto a = TrainBoostedRegressor(ds.x, ds.y, config);
+  auto b = TrainBoostedRegressor(ds.x, ds.y, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(*a->Predict(ds.x) == *b->Predict(ds.x));
+}
+
+}  // namespace
+}  // namespace dmml::ml

@@ -1,0 +1,323 @@
+// Tests for compressed linear algebra: encodings round-trip losslessly,
+// compressed ops match uncompressed ops, the planner picks sensible formats,
+// and compression ratios behave as cardinality changes.
+#include <gtest/gtest.h>
+
+#include "cla/compressed_matrix.h"
+#include "cla/ddc_group.h"
+#include "cla/ole_group.h"
+#include "cla/rle_group.h"
+#include "cla/uncompressed_group.h"
+#include "data/generators.h"
+#include "la/kernels.h"
+
+namespace dmml::cla {
+namespace {
+
+using la::DenseMatrix;
+
+DenseMatrix LowCardData() {
+  return data::LowCardinalityMatrix(500, 4, 8, /*run_sorted=*/false, 42);
+}
+
+// Shared check: a group reproduces its source columns exactly and its MV/VM
+// results match the dense kernels.
+void CheckGroupEquivalence(const ColumnGroup& group, const DenseMatrix& source) {
+  const size_t n = source.rows();
+  DenseMatrix decompressed(n, source.cols());
+  group.Decompress(&decompressed);
+  for (uint32_t c : group.columns()) {
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_DOUBLE_EQ(decompressed.At(i, c), source.At(i, c))
+          << "col " << c << " row " << i;
+    }
+  }
+
+  auto v = data::GaussianMatrix(source.cols(), 1, 7);
+  DenseMatrix y_comp(n, 1);
+  group.MultiplyVector(v.data(), y_comp.data(), n);
+  // Reference: only this group's columns contribute.
+  DenseMatrix y_ref(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = 0;
+    for (uint32_t c : group.columns()) acc += source.At(i, c) * v.At(c, 0);
+    y_ref.At(i, 0) = acc;
+  }
+  EXPECT_TRUE(y_comp.ApproxEquals(y_ref, 1e-9));
+
+  auto u = data::GaussianMatrix(n, 1, 8);
+  DenseMatrix out_comp(1, source.cols());
+  group.VectorMultiply(u.data(), n, out_comp.data());
+  DenseMatrix out_ref(1, source.cols());
+  for (uint32_t c : group.columns()) {
+    double acc = 0;
+    for (size_t i = 0; i < n; ++i) acc += u.At(i, 0) * source.At(i, c);
+    out_ref.At(0, c) = acc;
+  }
+  EXPECT_TRUE(out_comp.ApproxEquals(out_ref, 1e-9));
+
+  double sum_ref = 0;
+  for (uint32_t c : group.columns()) {
+    for (size_t i = 0; i < n; ++i) sum_ref += source.At(i, c);
+  }
+  EXPECT_NEAR(group.Sum(), sum_ref, 1e-7);
+}
+
+TEST(CodeArrayTest, WidthSelection) {
+  EXPECT_EQ(CodeArray(10, 200).width(), 1);
+  EXPECT_EQ(CodeArray(10, 257).width(), 2);
+  EXPECT_EQ(CodeArray(10, 70000).width(), 4);
+}
+
+TEST(CodeArrayTest, SetGetRoundTrip) {
+  CodeArray codes(100, 300);  // 2-byte codes.
+  for (size_t i = 0; i < 100; ++i) codes.Set(i, static_cast<uint32_t>(i * 3));
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(codes.Get(i), i * 3);
+  EXPECT_EQ(codes.SizeInBytes(), 200u);
+}
+
+TEST(DictionaryTest, BuildsFirstAppearanceOrder) {
+  DenseMatrix m{{1, 9}, {2, 9}, {1, 9}, {3, 9}};
+  GroupDictionary dict;
+  std::vector<uint32_t> codes;
+  BuildDictionary(m, {0}, &dict, &codes);
+  EXPECT_EQ(dict.num_entries(), 3u);
+  EXPECT_EQ(codes, (std::vector<uint32_t>{0, 1, 0, 2}));
+  EXPECT_DOUBLE_EQ(dict.Entry(2)[0], 3.0);
+}
+
+TEST(DictionaryTest, MultiColumnTuples) {
+  DenseMatrix m{{1, 5}, {1, 6}, {1, 5}};
+  GroupDictionary dict;
+  std::vector<uint32_t> codes;
+  BuildDictionary(m, {0, 1}, &dict, &codes);
+  EXPECT_EQ(dict.num_entries(), 2u);
+  EXPECT_EQ(codes, (std::vector<uint32_t>{0, 1, 0}));
+}
+
+TEST(UncompressedGroupTest, Equivalence) {
+  auto m = data::GaussianMatrix(100, 3, 1);
+  UncompressedGroup group(m, {0, 2});
+  CheckGroupEquivalence(group, m);
+  EXPECT_EQ(group.format(), GroupFormat::kUncompressed);
+  EXPECT_GE(group.SizeInBytes(), 100u * 2 * sizeof(double));
+}
+
+TEST(DdcGroupTest, Equivalence) {
+  auto m = LowCardData();
+  DdcGroup group(m, {1});
+  CheckGroupEquivalence(group, m);
+  EXPECT_EQ(group.DictionarySize(), 8u);
+  // 500 1-byte codes + 8 dict doubles + metadata: far below 4000 dense bytes.
+  EXPECT_LT(group.SizeInBytes(), 700u);
+}
+
+TEST(DdcGroupTest, CoCodedPairEquivalence) {
+  auto m = LowCardData();
+  DdcGroup group(m, {0, 3});
+  CheckGroupEquivalence(group, m);
+  EXPECT_LE(group.DictionarySize(), 64u);
+}
+
+TEST(RleGroupTest, EquivalenceOnSortedData) {
+  auto m = data::LowCardinalityMatrix(400, 2, 5, /*run_sorted=*/true, 3);
+  RleGroup group(m, {0});
+  CheckGroupEquivalence(group, m);
+  // Sorted 5-value column => at most 5 runs.
+  EXPECT_LE(group.NumRuns(), 5u);
+  EXPECT_LT(group.SizeInBytes(), 200u);
+}
+
+TEST(RleGroupTest, EquivalenceOnUnsortedData) {
+  auto m = LowCardData();
+  RleGroup group(m, {2});
+  CheckGroupEquivalence(group, m);
+}
+
+TEST(RleGroupTest, ZeroRunsSuppressed) {
+  DenseMatrix m(10, 1);
+  m.At(3, 0) = 1.0;
+  m.At(4, 0) = 1.0;
+  RleGroup group(m, {0});
+  EXPECT_EQ(group.NumRuns(), 1u);  // Only the nonzero run stored.
+  CheckGroupEquivalence(group, m);
+}
+
+TEST(OleGroupTest, EquivalenceOnSparseData) {
+  DenseMatrix m(300, 2);
+  // ~10% nonzero in column 0, constant column 1.
+  Rng rng(5);
+  for (size_t i = 0; i < 300; ++i) {
+    if (rng.Bernoulli(0.1)) m.At(i, 0) = 7.5;
+    m.At(i, 1) = 2.0;
+  }
+  OleGroup group(m, {0});
+  CheckGroupEquivalence(group, m);
+  // Storage proportional to nnz, not n.
+  EXPECT_LT(group.SizeInBytes(), 300u);
+}
+
+TEST(OleGroupTest, AllZeroColumnIsTiny) {
+  DenseMatrix m(1000, 1);
+  OleGroup group(m, {0});
+  EXPECT_EQ(group.DictionarySize(), 0u);
+  EXPECT_LT(group.SizeInBytes(), 16u);
+  CheckGroupEquivalence(group, m);
+}
+
+// --------------------------------------------------------------------------
+// CompressedMatrix end-to-end
+// --------------------------------------------------------------------------
+
+TEST(CompressedMatrixTest, LosslessRoundTrip) {
+  auto m = LowCardData();
+  auto cm = CompressedMatrix::Compress(m);
+  EXPECT_TRUE(cm.Decompress() == m);
+}
+
+TEST(CompressedMatrixTest, MultiplyVectorMatchesDense) {
+  auto m = LowCardData();
+  auto cm = CompressedMatrix::Compress(m);
+  auto v = data::GaussianMatrix(m.cols(), 1, 9);
+  auto y = cm.MultiplyVector(v);
+  ASSERT_TRUE(y.ok());
+  EXPECT_TRUE(y->ApproxEquals(la::Gemv(m, v), 1e-9));
+}
+
+TEST(CompressedMatrixTest, VectorMultiplyMatchesDense) {
+  auto m = LowCardData();
+  auto cm = CompressedMatrix::Compress(m);
+  auto u = data::GaussianMatrix(m.rows(), 1, 10);
+  auto y = cm.VectorMultiply(u);
+  ASSERT_TRUE(y.ok());
+  EXPECT_TRUE(y->ApproxEquals(la::Gevm(u, m), 1e-9));
+}
+
+TEST(CompressedMatrixTest, SumMatchesDense) {
+  auto m = LowCardData();
+  auto cm = CompressedMatrix::Compress(m);
+  EXPECT_NEAR(cm.Sum(), la::Sum(m), 1e-7);
+}
+
+TEST(CompressedMatrixTest, ShapeValidation) {
+  auto cm = CompressedMatrix::Compress(LowCardData());
+  EXPECT_FALSE(cm.MultiplyVector(DenseMatrix(3, 1)).ok());
+  EXPECT_FALSE(cm.VectorMultiply(DenseMatrix(3, 1)).ok());
+}
+
+TEST(CompressedMatrixTest, LowCardinalityCompressesWell) {
+  auto m = data::LowCardinalityMatrix(5000, 6, 10, false, 21);
+  auto cm = CompressedMatrix::Compress(m);
+  EXPECT_GT(cm.CompressionRatio(), 4.0);
+}
+
+TEST(CompressedMatrixTest, GaussianDataStaysUncompressed) {
+  auto m = data::GaussianMatrix(2000, 4, 22);
+  auto cm = CompressedMatrix::Compress(m);
+  for (const auto& g : cm.groups()) {
+    EXPECT_EQ(g->format(), GroupFormat::kUncompressed);
+  }
+  EXPECT_LE(cm.CompressionRatio(), 1.01);
+  // Ops still correct on the uncompressed fallback.
+  auto v = data::GaussianMatrix(4, 1, 23);
+  EXPECT_TRUE(cm.MultiplyVector(v)->ApproxEquals(la::Gemv(m, v), 1e-9));
+}
+
+TEST(CompressedMatrixTest, SortedDataPrefersRle) {
+  auto m = data::LowCardinalityMatrix(5000, 2, 4, /*run_sorted=*/true, 24);
+  auto cm = CompressedMatrix::Compress(m);
+  for (const auto& g : cm.groups()) EXPECT_EQ(g->format(), GroupFormat::kRle);
+  EXPECT_GT(cm.CompressionRatio(), 100.0);
+}
+
+TEST(CompressedMatrixTest, SparseDataPrefersOleOrRle) {
+  DenseMatrix m(4000, 2);
+  Rng rng(25);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      if (rng.Bernoulli(0.05)) m.At(i, j) = rng.Normal();
+    }
+  }
+  auto cm = CompressedMatrix::Compress(m);
+  for (const auto& g : cm.groups()) {
+    EXPECT_TRUE(g->format() == GroupFormat::kOle || g->format() == GroupFormat::kRle);
+  }
+  EXPECT_GT(cm.CompressionRatio(), 5.0);
+  EXPECT_TRUE(cm.Decompress() == m);
+}
+
+TEST(CompressedMatrixTest, CompressionRatioDegradesWithCardinality) {
+  double prev_ratio = 1e9;
+  for (size_t card : {4u, 64u, 1024u}) {
+    auto m = data::LowCardinalityMatrix(4000, 3, card, false, 30 + card);
+    auto cm = CompressedMatrix::Compress(m);
+    EXPECT_LT(cm.CompressionRatio(), prev_ratio);
+    prev_ratio = cm.CompressionRatio();
+  }
+}
+
+TEST(CompressedMatrixTest, CoCodingMergesCorrelatedColumns) {
+  // Column 1 is a deterministic function of column 0 => joint cardinality
+  // equals individual cardinality, ideal for co-coding.
+  auto base = data::LowCardinalityMatrix(3000, 1, 6, false, 31);
+  DenseMatrix m(3000, 2);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    m.At(i, 0) = base.At(i, 0);
+    m.At(i, 1) = base.At(i, 0) * 2.0 + 1.0;
+  }
+  CompressionOptions options;
+  options.enable_cocoding = true;
+  auto cm = CompressedMatrix::Compress(m, options);
+  ASSERT_EQ(cm.groups().size(), 1u);
+  EXPECT_EQ(cm.groups()[0]->columns().size(), 2u);
+  EXPECT_TRUE(cm.Decompress() == m);
+  // Co-coded must beat two separate DDC groups.
+  auto separate = CompressedMatrix::Compress(m);
+  EXPECT_LT(cm.SizeInBytes(), separate.SizeInBytes());
+}
+
+TEST(CompressedMatrixTest, FormatSummaryMentionsEveryGroup) {
+  auto m = LowCardData();
+  auto cm = CompressedMatrix::Compress(m);
+  std::string s = cm.FormatSummary();
+  for (size_t c = 0; c < m.cols(); ++c) {
+    EXPECT_NE(s.find("[" + std::to_string(c) + "]"), std::string::npos) << s;
+  }
+}
+
+TEST(AnalyzeColumnTest, StatsAreExact) {
+  DenseMatrix m(6, 1);
+  double vals[] = {0, 0, 5, 5, 3, 0};
+  for (size_t i = 0; i < 6; ++i) m.At(i, 0) = vals[i];
+  auto stats = CompressedMatrix::AnalyzeColumn(m, 0);
+  EXPECT_EQ(stats.cardinality, 3u);   // {0, 5, 3}
+  EXPECT_EQ(stats.num_runs, 2u);      // [5,5] and [3] (zero runs suppressed).
+  EXPECT_EQ(stats.num_nonzero, 3u);
+}
+
+// Property sweep: compressed ops == dense ops across data shapes.
+class ClaPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, bool, int>> {};
+
+TEST_P(ClaPropertyTest, OpsMatchDenseAcrossDataShapes) {
+  auto [cardinality, sorted, seed] = GetParam();
+  auto m = data::LowCardinalityMatrix(700, 5, cardinality, sorted, seed);
+  CompressionOptions options;
+  options.enable_cocoding = (seed % 2) == 0;
+  auto cm = CompressedMatrix::Compress(m, options);
+
+  EXPECT_TRUE(cm.Decompress() == m);
+  auto v = data::GaussianMatrix(5, 1, seed + 100);
+  EXPECT_TRUE(cm.MultiplyVector(v)->ApproxEquals(la::Gemv(m, v), 1e-9));
+  auto u = data::GaussianMatrix(700, 1, seed + 200);
+  EXPECT_TRUE(cm.VectorMultiply(u)->ApproxEquals(la::Gevm(u, m), 1e-9));
+  EXPECT_NEAR(cm.Sum(), la::Sum(m), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DataShapes, ClaPropertyTest,
+    ::testing::Combine(::testing::Values<size_t>(2, 17, 300),
+                       ::testing::Bool(), ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace dmml::cla

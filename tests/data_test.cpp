@@ -1,0 +1,217 @@
+// Tests for the synthetic data generators: determinism, shapes, and the
+// statistical/structural properties each downstream experiment relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "data/generators.h"
+#include "la/kernels.h"
+
+namespace dmml::data {
+namespace {
+
+TEST(GeneratorsTest, GaussianDeterministicAndShaped) {
+  auto a = GaussianMatrix(10, 7, 42);
+  auto b = GaussianMatrix(10, 7, 42);
+  auto c = GaussianMatrix(10, 7, 43);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.rows(), 10u);
+  EXPECT_EQ(a.cols(), 7u);
+}
+
+TEST(GeneratorsTest, GaussianMoments) {
+  auto m = GaussianMatrix(200, 100, 1);
+  double mean = la::Sum(m) / static_cast<double>(m.size());
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  double var = 0;
+  for (size_t i = 0; i < m.size(); ++i) var += m.data()[i] * m.data()[i];
+  EXPECT_NEAR(var / static_cast<double>(m.size()), 1.0, 0.05);
+}
+
+TEST(GeneratorsTest, UniformBounds) {
+  auto m = UniformMatrix(100, 10, -2.0, 3.0, 2);
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_GE(m.data()[i], -2.0);
+    EXPECT_LT(m.data()[i], 3.0);
+  }
+}
+
+TEST(GeneratorsTest, SparseDensityApproximate) {
+  auto m = SparseGaussianMatrix(200, 100, 0.1, 3);
+  EXPECT_NEAR(m.Density(), 0.1, 0.02);
+  EXPECT_EQ(m.rows(), 200u);
+  EXPECT_EQ(m.cols(), 100u);
+}
+
+TEST(GeneratorsTest, LowCardinalityHonorsCardinality) {
+  auto m = LowCardinalityMatrix(1000, 3, 7, false, 4);
+  for (size_t c = 0; c < 3; ++c) {
+    std::set<double> distinct;
+    for (size_t r = 0; r < m.rows(); ++r) distinct.insert(m.At(r, c));
+    EXPECT_LE(distinct.size(), 7u);
+    EXPECT_GE(distinct.size(), 5u);  // Nearly all dictionary values used.
+  }
+}
+
+TEST(GeneratorsTest, RunSortedProducesFewRuns) {
+  auto m = LowCardinalityMatrix(1000, 1, 5, true, 5);
+  size_t runs = 1;
+  for (size_t r = 1; r < m.rows(); ++r) {
+    if (m.At(r, 0) != m.At(r - 1, 0)) ++runs;
+  }
+  EXPECT_LE(runs, 5u);
+}
+
+TEST(GeneratorsTest, SkewedCardinalityIsSkewed) {
+  auto m = SkewedCardinalityMatrix(5000, 1, 50, 1.5, 6);
+  std::map<double, int> counts;
+  for (size_t r = 0; r < m.rows(); ++r) counts[m.At(r, 0)]++;
+  int max_count = 0;
+  for (auto& [_, c] : counts) max_count = std::max(max_count, c);
+  // The top value should dominate under heavy skew.
+  EXPECT_GT(max_count, 1500);
+}
+
+TEST(GeneratorsTest, RegressionLabelsFollowModel) {
+  auto ds = MakeRegression(500, 6, 0.01, 7);
+  auto clean = la::Gemv(ds.x, ds.true_w);
+  double max_dev = 0;
+  for (size_t i = 0; i < 500; ++i) {
+    max_dev = std::max(max_dev, std::fabs(clean.At(i, 0) - ds.y.At(i, 0)));
+  }
+  EXPECT_LT(max_dev, 0.1);  // ~N(0, 0.01) noise.
+}
+
+TEST(GeneratorsTest, ClassificationLabelsAreBinaryAndBalancedish) {
+  auto ds = MakeClassification(1000, 4, 0.0, 8);
+  size_t pos = 0;
+  for (size_t i = 0; i < 1000; ++i) {
+    double v = ds.y.At(i, 0);
+    ASSERT_TRUE(v == 0.0 || v == 1.0);
+    pos += v == 1.0;
+  }
+  EXPECT_GT(pos, 200u);
+  EXPECT_LT(pos, 800u);
+}
+
+TEST(GeneratorsTest, FlipProbAddsNoise) {
+  auto clean = MakeClassification(2000, 4, 0.0, 9);
+  auto noisy = MakeClassification(2000, 4, 0.4, 9);
+  size_t diffs = 0;
+  for (size_t i = 0; i < 2000; ++i) {
+    diffs += clean.y.At(i, 0) != noisy.y.At(i, 0);
+  }
+  EXPECT_NEAR(static_cast<double>(diffs) / 2000.0, 0.4, 0.05);
+}
+
+TEST(GeneratorsTest, BlobsClusterAroundCenters) {
+  auto blobs = MakeBlobs(300, 4, 3, 50.0, 0.5, 10);
+  EXPECT_EQ(blobs.x.rows(), 300u);
+  EXPECT_EQ(blobs.centers.rows(), 3u);
+  for (size_t i = 0; i < 300; ++i) {
+    size_t c = static_cast<size_t>(blobs.labels[i]);
+    double d = la::RowSquaredDistance(blobs.x, i, blobs.centers, c);
+    EXPECT_LT(d, 4.0 * 4 * 0.5 * 0.5 * 16);  // Loose sanity bound.
+  }
+}
+
+TEST(StarSchemaTest, ShapesAndKeyRanges) {
+  StarSchemaOptions options;
+  options.ns = 120;
+  options.nr = 30;
+  options.ds = 2;
+  options.dr = 4;
+  auto ds = MakeStarSchema(options, 11);
+  EXPECT_EQ(ds.xs.rows(), 120u);
+  EXPECT_EQ(ds.xs.cols(), 2u);
+  EXPECT_EQ(ds.xr.rows(), 30u);
+  EXPECT_EQ(ds.xr.cols(), 4u);
+  EXPECT_EQ(ds.fk.size(), 120u);
+  for (uint32_t key : ds.fk) EXPECT_LT(key, 30u);
+  // Every rid is referenced at least once (keys are cycled first).
+  std::unordered_set<uint32_t> used(ds.fk.begin(), ds.fk.end());
+  EXPECT_EQ(used.size(), 30u);
+}
+
+TEST(StarSchemaTest, RelationalTablesMirrorMatrices) {
+  StarSchemaOptions options;
+  options.ns = 50;
+  options.nr = 10;
+  options.ds = 2;
+  options.dr = 3;
+  auto ds = MakeStarSchema(options, 12);
+  EXPECT_EQ(ds.s.num_rows(), 50u);
+  EXPECT_EQ(ds.s.schema().num_fields(), 3u + 2u);  // sid, fk, y + xs.
+  EXPECT_EQ(ds.r.num_rows(), 10u);
+  EXPECT_EQ(ds.r.schema().num_fields(), 1u + 3u);  // rid + xr.
+
+  // Spot-check that table cells match the matrix views.
+  auto xs0 = ds.s.ToMatrix({"xs0"});
+  ASSERT_TRUE(xs0.ok());
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(xs0->At(i, 0), ds.xs.At(i, 0));
+  }
+  auto fk_col = ds.s.ToMatrix({"fk"});
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(fk_col->At(i, 0), static_cast<double>(ds.fk[i]));
+  }
+}
+
+TEST(StarSchemaTest, MaterializeLayout) {
+  StarSchemaOptions options;
+  options.ns = 20;
+  options.nr = 4;
+  options.ds = 1;
+  options.dr = 2;
+  auto ds = MakeStarSchema(options, 13);
+  auto mat = MaterializeStarSchema(ds);
+  EXPECT_EQ(mat.rows(), 20u);
+  EXPECT_EQ(mat.cols(), 3u);
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(mat.At(i, 0), ds.xs.At(i, 0));
+    EXPECT_DOUBLE_EQ(mat.At(i, 1), ds.xr.At(ds.fk[i], 0));
+    EXPECT_DOUBLE_EQ(mat.At(i, 2), ds.xr.At(ds.fk[i], 1));
+  }
+}
+
+TEST(StarSchemaTest, ClassificationLabels) {
+  StarSchemaOptions options;
+  options.ns = 200;
+  options.nr = 10;
+  options.classification = true;
+  auto ds = MakeStarSchema(options, 14);
+  for (size_t i = 0; i < 200; ++i) {
+    double v = ds.y.At(i, 0);
+    EXPECT_TRUE(v == 0.0 || v == 1.0);
+  }
+}
+
+TEST(StarSchemaTest, ZipfSkewConcentratesKeys) {
+  StarSchemaOptions options;
+  options.ns = 5000;
+  options.nr = 100;
+  options.fk_zipf_skew = 1.5;
+  auto ds = MakeStarSchema(options, 15);
+  std::vector<int> counts(100, 0);
+  for (uint32_t key : ds.fk) counts[key]++;
+  int max_count = *std::max_element(counts.begin(), counts.end());
+  EXPECT_GT(max_count, 500);  // Heavy head under skew 1.5.
+}
+
+TEST(StarSchemaTest, Deterministic) {
+  StarSchemaOptions options;
+  options.ns = 30;
+  options.nr = 5;
+  auto a = MakeStarSchema(options, 99);
+  auto b = MakeStarSchema(options, 99);
+  EXPECT_TRUE(a.xs == b.xs);
+  EXPECT_TRUE(a.xr == b.xr);
+  EXPECT_EQ(a.fk, b.fk);
+  EXPECT_TRUE(a.y == b.y);
+}
+
+}  // namespace
+}  // namespace dmml::data

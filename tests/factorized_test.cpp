@@ -1,0 +1,339 @@
+// Tests for factorized learning over normalized data: the factorized
+// operators agree exactly with their materialized counterparts, GLM and
+// k-means training agree across both paths, and the redundancy accounting
+// behaves as the tuple/feature ratios change.
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "factorized/factorized_glm.h"
+#include "factorized/factorized_kmeans.h"
+#include "factorized/normalized_matrix.h"
+#include "la/kernels.h"
+#include "ml/metrics.h"
+
+namespace dmml::factorized {
+namespace {
+
+using la::DenseMatrix;
+
+NormalizedMatrix SmallNormalized(uint64_t seed = 1) {
+  data::StarSchemaOptions options;
+  options.ns = 60;
+  options.nr = 8;
+  options.ds = 3;
+  options.dr = 5;
+  auto ds = data::MakeStarSchema(options, seed);
+  return *NormalizedMatrix::Make(ds.xs, {{ds.xr, ds.fk}});
+}
+
+TEST(NormalizedMatrixTest, MakeValidation) {
+  DenseMatrix xs(4, 2);
+  DenseMatrix xr(3, 2);
+  // fk length mismatch.
+  EXPECT_FALSE(NormalizedMatrix::Make(xs, {{xr, {0, 1}}}).ok());
+  // fk out of range.
+  EXPECT_FALSE(NormalizedMatrix::Make(xs, {{xr, {0, 1, 2, 3}}}).ok());
+  // No attribute tables.
+  EXPECT_FALSE(NormalizedMatrix::Make(xs, {}).ok());
+  // OK.
+  auto nm = NormalizedMatrix::Make(xs, {{xr, {0, 1, 2, 0}}});
+  ASSERT_TRUE(nm.ok());
+  EXPECT_EQ(nm->rows(), 4u);
+  EXPECT_EQ(nm->cols(), 4u);
+}
+
+TEST(NormalizedMatrixTest, MaterializeGathersRows) {
+  DenseMatrix xs{{1}, {2}, {3}};
+  DenseMatrix xr{{10, 20}, {30, 40}};
+  auto nm = NormalizedMatrix::Make(xs, {{xr, {1, 0, 1}}});
+  ASSERT_TRUE(nm.ok());
+  DenseMatrix expected{{1, 30, 40}, {2, 10, 20}, {3, 30, 40}};
+  EXPECT_TRUE(nm->Materialize() == expected);
+}
+
+TEST(NormalizedMatrixTest, MultiplyMatchesMaterialized) {
+  auto nm = SmallNormalized();
+  auto m = data::GaussianMatrix(nm.cols(), 3, 2);
+  auto fact = nm.Multiply(m);
+  ASSERT_TRUE(fact.ok());
+  auto mat = la::Multiply(nm.Materialize(), m);
+  EXPECT_TRUE(fact->ApproxEquals(mat, 1e-9));
+}
+
+TEST(NormalizedMatrixTest, TransposeMultiplyMatchesMaterialized) {
+  auto nm = SmallNormalized();
+  auto m = data::GaussianMatrix(nm.rows(), 2, 3);
+  auto fact = nm.TransposeMultiply(m);
+  ASSERT_TRUE(fact.ok());
+  auto mat = la::Multiply(la::Transpose(nm.Materialize()), m);
+  EXPECT_TRUE(fact->ApproxEquals(mat, 1e-9));
+}
+
+TEST(NormalizedMatrixTest, RowSquaredNormsMatchMaterialized) {
+  auto nm = SmallNormalized();
+  auto norms = nm.RowSquaredNorms();
+  auto mat = nm.Materialize();
+  for (size_t i = 0; i < nm.rows(); ++i) {
+    EXPECT_NEAR(norms.At(i, 0), la::Dot(mat.Row(i), mat.Row(i), mat.cols()), 1e-9);
+  }
+}
+
+TEST(NormalizedMatrixTest, ShapeErrors) {
+  auto nm = SmallNormalized();
+  EXPECT_FALSE(nm.Multiply(DenseMatrix(nm.cols() + 1, 1)).ok());
+  EXPECT_FALSE(nm.TransposeMultiply(DenseMatrix(nm.rows() + 1, 1)).ok());
+}
+
+TEST(NormalizedMatrixTest, MultipleAttributeTables) {
+  data::StarSchemaOptions options;
+  options.ns = 40;
+  options.nr = 5;
+  options.ds = 2;
+  options.dr = 3;
+  auto ds1 = data::MakeStarSchema(options, 4);
+  options.nr = 7;
+  options.dr = 4;
+  auto ds2 = data::MakeStarSchema(options, 5);
+  auto nm = NormalizedMatrix::Make(ds1.xs, {{ds1.xr, ds1.fk}, {ds2.xr, ds2.fk}});
+  ASSERT_TRUE(nm.ok());
+  EXPECT_EQ(nm->cols(), 2u + 3u + 4u);
+
+  auto m = data::GaussianMatrix(nm->cols(), 2, 6);
+  EXPECT_TRUE(nm->Multiply(m)->ApproxEquals(la::Multiply(nm->Materialize(), m), 1e-9));
+  auto u = data::GaussianMatrix(nm->rows(), 2, 7);
+  EXPECT_TRUE(nm->TransposeMultiply(u)->ApproxEquals(
+      la::Multiply(la::Transpose(nm->Materialize()), u), 1e-9));
+}
+
+TEST(NormalizedMatrixTest, NoEntityFeatures) {
+  // dS = 0: all features come through the join.
+  DenseMatrix xs(5, 0);
+  DenseMatrix xr{{1, 2}, {3, 4}};
+  auto nm = NormalizedMatrix::Make(xs, {{xr, {0, 1, 0, 1, 1}}});
+  ASSERT_TRUE(nm.ok());
+  EXPECT_EQ(nm->cols(), 2u);
+  auto v = DenseMatrix::ColumnVector({1.0, -1.0});
+  auto y = nm->Multiply(v);
+  ASSERT_TRUE(y.ok());
+  EXPECT_TRUE(y->ApproxEquals(la::Gemv(nm->Materialize(), v), 1e-12));
+}
+
+TEST(NormalizedMatrixTest, RedundancyRatioGrowsWithTupleRatio) {
+  data::StarSchemaOptions options;
+  options.ds = 2;
+  options.dr = 20;
+  options.nr = 50;
+  options.ns = 100;
+  auto small = data::MakeStarSchema(options, 8);
+  options.ns = 5000;
+  auto large = data::MakeStarSchema(options, 9);
+  auto nm_small = *NormalizedMatrix::Make(small.xs, {{small.xr, small.fk}});
+  auto nm_large = *NormalizedMatrix::Make(large.xs, {{large.xr, large.fk}});
+  EXPECT_GT(nm_large.RedundancyRatio(), nm_small.RedundancyRatio());
+  EXPECT_GT(nm_large.RedundancyRatio(), 3.0);
+}
+
+// --------------------------------------------------------------------------
+// Factorized GLM
+// --------------------------------------------------------------------------
+
+ml::GlmConfig RegressionConfig() {
+  ml::GlmConfig config;
+  config.family = ml::GlmFamily::kGaussian;
+  config.learning_rate = 0.05;
+  config.max_epochs = 150;
+  config.tolerance = 1e-12;
+  return config;
+}
+
+TEST(FactorizedGlmTest, MatchesMaterializedExactly) {
+  data::StarSchemaOptions options;
+  options.ns = 300;
+  options.nr = 20;
+  options.ds = 2;
+  options.dr = 8;
+  auto ds = data::MakeStarSchema(options, 10);
+  auto nm = *NormalizedMatrix::Make(ds.xs, {{ds.xr, ds.fk}});
+
+  auto config = RegressionConfig();
+  auto fact = TrainFactorizedGlm(nm, ds.y, config);
+  auto mat = TrainMaterializedGlm(nm, ds.y, config);
+  ASSERT_TRUE(fact.ok());
+  ASSERT_TRUE(mat.ok());
+  EXPECT_EQ(fact->epochs_run, mat->epochs_run);
+  EXPECT_TRUE(fact->weights.ApproxEquals(mat->weights, 1e-8));
+  EXPECT_NEAR(fact->intercept, mat->intercept, 1e-8);
+}
+
+TEST(FactorizedGlmTest, LearnsTheRegressionTask) {
+  data::StarSchemaOptions options;
+  options.ns = 500;
+  options.nr = 25;
+  options.ds = 2;
+  options.dr = 6;
+  options.noise_sigma = 0.05;
+  auto ds = data::MakeStarSchema(options, 11);
+  auto nm = *NormalizedMatrix::Make(ds.xs, {{ds.xr, ds.fk}});
+  auto config = RegressionConfig();
+  config.max_epochs = 800;
+  auto model = TrainFactorizedGlm(nm, ds.y, config);
+  ASSERT_TRUE(model.ok());
+  // Predictions on the materialized matrix should be close to labels.
+  auto pred = la::Gemv(nm.Materialize(), model->weights);
+  for (size_t i = 0; i < pred.rows(); ++i) pred.At(i, 0) += model->intercept;
+  EXPECT_GT(*ml::R2(ds.y, pred), 0.95);
+}
+
+TEST(FactorizedGlmTest, LogisticFamilyAgrees) {
+  data::StarSchemaOptions options;
+  options.ns = 250;
+  options.nr = 15;
+  options.ds = 2;
+  options.dr = 5;
+  options.classification = true;
+  auto ds = data::MakeStarSchema(options, 12);
+  auto nm = *NormalizedMatrix::Make(ds.xs, {{ds.xr, ds.fk}});
+
+  ml::GlmConfig config;
+  config.family = ml::GlmFamily::kBinomial;
+  config.learning_rate = 0.3;
+  config.max_epochs = 120;
+  auto fact = TrainFactorizedGlm(nm, ds.y, config);
+  auto mat = TrainMaterializedGlm(nm, ds.y, config);
+  ASSERT_TRUE(fact.ok());
+  ASSERT_TRUE(mat.ok());
+  EXPECT_TRUE(fact->weights.ApproxEquals(mat->weights, 1e-7));
+}
+
+TEST(FactorizedGlmTest, LossHistoriesAgree) {
+  auto nm = SmallNormalized(13);
+  DenseMatrix y(nm.rows(), 1);
+  for (size_t i = 0; i < y.rows(); ++i) y.At(i, 0) = static_cast<double>(i % 3);
+  auto config = RegressionConfig();
+  config.max_epochs = 30;
+  auto fact = TrainFactorizedGlm(nm, y, config);
+  auto mat = TrainMaterializedGlm(nm, y, config);
+  ASSERT_TRUE(fact.ok());
+  ASSERT_TRUE(mat.ok());
+  ASSERT_EQ(fact->loss_history.size(), mat->loss_history.size());
+  for (size_t e = 0; e < fact->loss_history.size(); ++e) {
+    EXPECT_NEAR(fact->loss_history[e], mat->loss_history[e], 1e-9);
+  }
+}
+
+TEST(FactorizedGlmTest, Validation) {
+  auto nm = SmallNormalized(14);
+  ml::GlmConfig config;
+  EXPECT_FALSE(TrainFactorizedGlm(nm, DenseMatrix(3, 1), config).ok());
+  config.family = ml::GlmFamily::kBinomial;
+  DenseMatrix bad_labels(nm.rows(), 1, 0.5);
+  EXPECT_FALSE(TrainFactorizedGlm(nm, bad_labels, config).ok());
+  config.family = ml::GlmFamily::kGaussian;
+  config.learning_rate = 0;
+  EXPECT_FALSE(TrainFactorizedGlm(nm, DenseMatrix(nm.rows(), 1), config).ok());
+}
+
+// --------------------------------------------------------------------------
+// Factorized k-means
+// --------------------------------------------------------------------------
+
+TEST(FactorizedKMeansTest, MatchesMaterializedInertiaScale) {
+  data::StarSchemaOptions options;
+  options.ns = 400;
+  options.nr = 12;
+  options.ds = 2;
+  options.dr = 6;
+  auto ds = data::MakeStarSchema(options, 15);
+  auto nm = *NormalizedMatrix::Make(ds.xs, {{ds.xr, ds.fk}});
+
+  ml::KMeansConfig config;
+  config.k = 4;
+  config.max_iters = 60;
+  config.seed = 5;
+  config.kmeanspp_init = false;
+  auto fact = TrainFactorizedKMeans(nm, config);
+  auto mat = TrainMaterializedKMeans(nm, config);
+  ASSERT_TRUE(fact.ok());
+  ASSERT_TRUE(mat.ok());
+  // Different init paths may settle in different local optima; both must be
+  // valid clusterings of the same data with comparable quality.
+  EXPECT_GT(fact->inertia, 0);
+  EXPECT_LT(fact->inertia, mat->inertia * 2.0);
+  EXPECT_LT(mat->inertia, fact->inertia * 2.0);
+}
+
+TEST(FactorizedKMeansTest, InertiaDecreases) {
+  auto nm = SmallNormalized(16);
+  ml::KMeansConfig config;
+  config.k = 3;
+  config.max_iters = 40;
+  auto model = TrainFactorizedKMeans(nm, config);
+  ASSERT_TRUE(model.ok());
+  for (size_t i = 1; i < model->inertia_history.size(); ++i) {
+    EXPECT_LE(model->inertia_history[i], model->inertia_history[i - 1] + 1e-6);
+  }
+}
+
+TEST(FactorizedKMeansTest, AssignmentsConsistentWithCenters) {
+  auto nm = SmallNormalized(17);
+  ml::KMeansConfig config;
+  config.k = 3;
+  auto model = TrainFactorizedKMeans(nm, config);
+  ASSERT_TRUE(model.ok());
+  auto mat = nm.Materialize();
+  // Each point's recorded label must be its argmin-distance center.
+  for (size_t i = 0; i < mat.rows(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    int best_c = -1;
+    for (size_t c = 0; c < config.k; ++c) {
+      double d = la::RowSquaredDistance(mat, i, model->centers, c);
+      if (d < best) {
+        best = d;
+        best_c = static_cast<int>(c);
+      }
+    }
+    EXPECT_EQ(model->labels[i], best_c) << "row " << i;
+  }
+}
+
+TEST(FactorizedKMeansTest, InvalidK) {
+  auto nm = SmallNormalized(18);
+  ml::KMeansConfig config;
+  config.k = 0;
+  EXPECT_FALSE(TrainFactorizedKMeans(nm, config).ok());
+  config.k = nm.rows() + 1;
+  EXPECT_FALSE(TrainFactorizedKMeans(nm, config).ok());
+}
+
+// Property sweep: factorized operators == materialized operators across
+// random star-schema shapes, including multi-table and skewed keys.
+class FactorizedOpsProperty
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t, size_t>> {};
+
+TEST_P(FactorizedOpsProperty, OperatorsAgreeWithMaterialized) {
+  auto [ns, nr, ds_, dr] = GetParam();
+  data::StarSchemaOptions options;
+  options.ns = ns;
+  options.nr = nr;
+  options.ds = ds_;
+  options.dr = dr;
+  options.fk_zipf_skew = (ns % 2) ? 1.1 : 0.0;
+  auto ds = data::MakeStarSchema(options, ns * 31 + nr);
+  auto nm = *NormalizedMatrix::Make(ds.xs, {{ds.xr, ds.fk}});
+  auto mat = nm.Materialize();
+
+  auto m = data::GaussianMatrix(nm.cols(), 2, ns + 1);
+  EXPECT_TRUE(nm.Multiply(m)->ApproxEquals(la::Multiply(mat, m), 1e-8));
+  auto u = data::GaussianMatrix(nm.rows(), 2, ns + 2);
+  EXPECT_TRUE(nm.TransposeMultiply(u)->ApproxEquals(
+      la::Multiply(la::Transpose(mat), u), 1e-8));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FactorizedOpsProperty,
+    ::testing::Values(std::make_tuple(50, 5, 1, 3), std::make_tuple(101, 7, 2, 9),
+                      std::make_tuple(64, 64, 3, 3), std::make_tuple(200, 2, 0, 4),
+                      std::make_tuple(33, 11, 5, 1)));
+
+}  // namespace
+}  // namespace dmml::factorized

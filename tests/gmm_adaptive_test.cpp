@@ -1,0 +1,206 @@
+// Tests for Gaussian mixture models (EM) and adaptive GLM solvers
+// (Adagrad / Adam).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "data/generators.h"
+#include "la/kernels.h"
+#include "ml/glm.h"
+#include "ml/gmm.h"
+#include "ml/metrics.h"
+
+namespace dmml::ml {
+namespace {
+
+using la::DenseMatrix;
+
+// --------------------------------------------------------------------------
+// GMM
+// --------------------------------------------------------------------------
+
+TEST(GmmTest, RecoversWellSeparatedMixture) {
+  auto blobs = data::MakeBlobs(600, 2, 3, 20.0, 0.8, 1);
+  GmmConfig config;
+  config.num_components = 3;
+  config.seed = 2;
+  auto model = TrainGmm(blobs.x, config);
+  ASSERT_TRUE(model.ok());
+  auto pred = *model->Predict(blobs.x);
+  // Cluster purity against planted labels.
+  for (size_t c = 0; c < 3; ++c) {
+    std::map<int, int> votes;
+    for (size_t i = 0; i < pred.size(); ++i) {
+      if (pred[i] == static_cast<int>(c)) votes[blobs.labels[i]]++;
+    }
+    int total = 0, best = 0;
+    for (auto& [_, v] : votes) {
+      total += v;
+      best = std::max(best, v);
+    }
+    if (total > 0) EXPECT_GT(static_cast<double>(best) / total, 0.95);
+  }
+  // Mixing weights near the balanced truth.
+  for (double w : model->weights) EXPECT_NEAR(w, 1.0 / 3.0, 0.1);
+}
+
+TEST(GmmTest, LogLikelihoodNonDecreasing) {
+  auto blobs = data::MakeBlobs(300, 3, 4, 6.0, 1.2, 3);
+  GmmConfig config;
+  config.num_components = 4;
+  config.tolerance = 0;
+  config.max_iters = 40;
+  auto model = TrainGmm(blobs.x, config);
+  ASSERT_TRUE(model.ok());
+  for (size_t i = 1; i < model->log_likelihood_history.size(); ++i) {
+    EXPECT_GE(model->log_likelihood_history[i],
+              model->log_likelihood_history[i - 1] - 1e-8);
+  }
+}
+
+TEST(GmmTest, ResponsibilitiesSumToOne) {
+  auto blobs = data::MakeBlobs(150, 2, 2, 8.0, 1.0, 4);
+  GmmConfig config;
+  config.num_components = 2;
+  auto model = TrainGmm(blobs.x, config);
+  ASSERT_TRUE(model.ok());
+  auto resp = *model->PredictProba(blobs.x);
+  for (size_t i = 0; i < resp.rows(); ++i) {
+    double total = 0;
+    for (size_t c = 0; c < resp.cols(); ++c) {
+      EXPECT_GE(resp.At(i, c), 0.0);
+      total += resp.At(i, c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(GmmTest, ScoreSamplesPrefersInDistributionData) {
+  auto blobs = data::MakeBlobs(400, 2, 2, 10.0, 0.5, 5);
+  GmmConfig config;
+  config.num_components = 2;
+  auto model = TrainGmm(blobs.x, config);
+  ASSERT_TRUE(model.ok());
+  double in_dist = *model->ScoreSamples(blobs.x);
+  // Far-away outliers score much lower.
+  DenseMatrix outliers(10, 2, 500.0);
+  double out_dist = *model->ScoreSamples(outliers);
+  EXPECT_GT(in_dist, out_dist + 100.0);
+}
+
+TEST(GmmTest, SingleComponentMatchesSampleMoments) {
+  auto x = data::GaussianMatrix(2000, 2, 6);
+  GmmConfig config;
+  config.num_components = 1;
+  config.max_iters = 5;
+  auto model = TrainGmm(x, config);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->means.At(0, 0), 0.0, 0.1);
+  EXPECT_NEAR(model->variances.At(0, 0), 1.0, 0.1);
+  EXPECT_DOUBLE_EQ(model->weights[0], 1.0);
+}
+
+TEST(GmmTest, Validation) {
+  GmmConfig config;
+  EXPECT_FALSE(TrainGmm(DenseMatrix(0, 2), config).ok());
+  config.num_components = 0;
+  EXPECT_FALSE(TrainGmm(DenseMatrix(5, 2), config).ok());
+  config.num_components = 10;
+  EXPECT_FALSE(TrainGmm(DenseMatrix(5, 2), config).ok());
+  config = GmmConfig{};
+  config.var_floor = 0;
+  EXPECT_FALSE(TrainGmm(DenseMatrix(5, 2), config).ok());
+  config = GmmConfig{};
+  config.num_components = 2;
+  auto model = TrainGmm(data::GaussianMatrix(20, 2, 7), config);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->Predict(DenseMatrix(3, 5)).ok());
+  EXPECT_FALSE(model->ScoreSamples(DenseMatrix(3, 5)).ok());
+}
+
+// --------------------------------------------------------------------------
+// Adaptive solvers
+// --------------------------------------------------------------------------
+
+// Badly scaled features: plain SGD struggles without per-feature tuning;
+// adaptive methods equalize the effective step sizes.
+data::RegressionDataset BadlyScaled(uint64_t seed) {
+  auto ds = data::MakeRegression(600, 6, 0.05, seed);
+  for (size_t i = 0; i < ds.x.rows(); ++i) {
+    ds.x.At(i, 0) *= 100.0;  // One huge feature...
+    ds.x.At(i, 1) *= 0.01;   // ...and one tiny one.
+  }
+  // Recompute labels for the scaled features.
+  ds.y = la::Gemv(ds.x, ds.true_w);
+  return ds;
+}
+
+class AdaptiveSolverTest : public ::testing::TestWithParam<GlmSolver> {};
+
+TEST_P(AdaptiveSolverTest, HandlesBadlyScaledFeatures) {
+  auto ds = BadlyScaled(8);
+  GlmConfig config;
+  config.solver = GetParam();
+  config.learning_rate = 0.5;
+  config.max_epochs = 200;
+  config.batch_size = 32;
+  config.tolerance = 0;
+  auto model = TrainGlm(ds.x, ds.y, config);
+  ASSERT_TRUE(model.ok());
+  auto pred = *model->Predict(ds.x);
+  EXPECT_GT(*R2(ds.y, pred), 0.95) << "solver " << static_cast<int>(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Adaptive, AdaptiveSolverTest,
+                         ::testing::Values(GlmSolver::kAdagrad, GlmSolver::kAdam));
+
+TEST(AdaptiveSolverTest, AdamBeatsPlainSgdOnBadScaling) {
+  auto ds = BadlyScaled(9);
+  GlmConfig adam;
+  adam.solver = GlmSolver::kAdam;
+  adam.learning_rate = 0.5;
+  adam.max_epochs = 100;
+  adam.tolerance = 0;
+  auto adam_model = TrainGlm(ds.x, ds.y, adam);
+  ASSERT_TRUE(adam_model.ok());
+
+  GlmConfig sgd = adam;
+  sgd.solver = GlmSolver::kMiniBatchSgd;
+  // Any usable global lr is hostage to the 100x feature: with lr small
+  // enough not to diverge, the tiny feature barely learns.
+  sgd.learning_rate = 1e-5;
+  auto sgd_model = TrainGlm(ds.x, ds.y, sgd);
+  ASSERT_TRUE(sgd_model.ok());
+  EXPECT_LT(adam_model->loss_history.back(), sgd_model->loss_history.back());
+}
+
+TEST(AdaptiveSolverTest, LogisticFamilyWorks) {
+  auto ds = data::MakeClassification(500, 5, 0.05, 10);
+  GlmConfig config;
+  config.solver = GlmSolver::kAdam;
+  config.family = GlmFamily::kBinomial;
+  config.learning_rate = 0.05;
+  config.max_epochs = 40;
+  auto model = TrainGlm(ds.x, ds.y, config);
+  ASSERT_TRUE(model.ok());
+  auto labels = *model->PredictLabels(ds.x);
+  EXPECT_GT(*Accuracy(ds.y, labels), 0.85);
+}
+
+TEST(AdaptiveSolverTest, DeterministicGivenSeed) {
+  auto ds = data::MakeRegression(200, 4, 0.1, 11);
+  GlmConfig config;
+  config.solver = GlmSolver::kAdagrad;
+  config.max_epochs = 10;
+  config.seed = 77;
+  auto a = TrainGlm(ds.x, ds.y, config);
+  auto b = TrainGlm(ds.x, ds.y, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->weights == b->weights);
+}
+
+}  // namespace
+}  // namespace dmml::ml

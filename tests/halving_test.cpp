@@ -1,0 +1,125 @@
+// Tests for successive-halving hyperparameter search.
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "ml/metrics.h"
+#include "modelsel/successive_halving.h"
+
+namespace dmml::modelsel {
+namespace {
+
+using la::DenseMatrix;
+using ml::GlmConfig;
+using ml::GlmFamily;
+
+std::vector<GlmConfig> MixedQualityConfigs() {
+  // One clearly-good configuration among several hopeless ones.
+  GlmConfig base;
+  base.family = GlmFamily::kBinomial;
+  std::vector<GlmConfig> configs(6, base);
+  configs[0].learning_rate = 1e-5;   // Barely moves.
+  configs[1].learning_rate = 1e-4;
+  configs[2].learning_rate = 0.4;    // The good one.
+  configs[3].learning_rate = 1e-5;
+  configs[3].l2 = 10.0;              // Over-regularized.
+  configs[4].learning_rate = 1e-4;
+  configs[4].l2 = 5.0;
+  configs[5].learning_rate = 2e-5;
+  return configs;
+}
+
+TEST(HalvingTest, FindsTheGoodConfiguration) {
+  auto ds = data::MakeClassification(800, 6, 0.05, 1);
+  HalvingConfig config;
+  config.min_epochs = 5;
+  config.eta = 2.0;
+  auto result = SuccessiveHalving(ds.x, ds.y, MixedQualityConfigs(), config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->best_index, 2u);
+  auto labels = result->best_model.PredictLabels(ds.x);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_GT(*ml::Accuracy(ds.y, *labels), 0.8);
+}
+
+TEST(HalvingTest, RungsShrinkGeometrically) {
+  auto ds = data::MakeClassification(400, 4, 0.1, 2);
+  HalvingConfig config;
+  config.min_epochs = 3;
+  config.eta = 2.0;
+  std::vector<GlmConfig> configs(8, GlmConfig{});
+  for (size_t i = 0; i < 8; ++i) {
+    configs[i].family = GlmFamily::kBinomial;
+    configs[i].learning_rate = 0.01 * static_cast<double>(i + 1);
+  }
+  auto result = SuccessiveHalving(ds.x, ds.y, configs, config);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->rungs.size(), 3u);
+  EXPECT_EQ(result->rungs[0].survivors.size(), 8u);
+  EXPECT_EQ(result->rungs[1].survivors.size(), 4u);
+  EXPECT_EQ(result->rungs[2].survivors.size(), 2u);
+  // Budget grows by eta per rung.
+  EXPECT_EQ(result->rungs[0].epochs, 3u);
+  EXPECT_EQ(result->rungs[1].epochs, 6u);
+  EXPECT_EQ(result->rungs[2].epochs, 12u);
+}
+
+TEST(HalvingTest, SpendsFewerEpochsThanFullGrid) {
+  auto ds = data::MakeClassification(300, 4, 0.1, 3);
+  std::vector<GlmConfig> configs(16, GlmConfig{});
+  for (size_t i = 0; i < 16; ++i) {
+    configs[i].family = GlmFamily::kBinomial;
+    configs[i].learning_rate = 0.02 * static_cast<double>(i + 1);
+  }
+  HalvingConfig config;
+  config.min_epochs = 4;
+  config.eta = 2.0;
+  auto result = SuccessiveHalving(ds.x, ds.y, configs, config);
+  ASSERT_TRUE(result.ok());
+  // Full grid at the final budget: 16 configs x final epochs.
+  size_t final_epochs = result->rungs.back().epochs;
+  EXPECT_LT(result->total_epoch_equivalents, 16 * final_epochs);
+}
+
+TEST(HalvingTest, SingleConfigDegeneratesGracefully) {
+  auto ds = data::MakeClassification(200, 3, 0.1, 4);
+  GlmConfig only;
+  only.family = GlmFamily::kBinomial;
+  only.learning_rate = 0.3;
+  HalvingConfig config;
+  config.min_epochs = 5;
+  auto result = SuccessiveHalving(ds.x, ds.y, {only}, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->best_index, 0u);
+  EXPECT_EQ(result->rungs.size(), 1u);
+}
+
+TEST(HalvingTest, GaussianFamilyUsesRmseScore) {
+  auto ds = data::MakeRegression(300, 4, 0.1, 5);
+  std::vector<GlmConfig> configs(4, GlmConfig{});
+  configs[0].learning_rate = 1e-6;
+  configs[1].learning_rate = 0.05;  // Good.
+  configs[2].learning_rate = 1e-6;
+  configs[3].learning_rate = 1e-5;
+  HalvingConfig config;
+  config.min_epochs = 10;
+  auto result = SuccessiveHalving(ds.x, ds.y, configs, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->best_index, 1u);
+}
+
+TEST(HalvingTest, Validation) {
+  auto ds = data::MakeClassification(100, 3, 0.1, 6);
+  HalvingConfig config;
+  EXPECT_FALSE(SuccessiveHalving(ds.x, ds.y, {}, config).ok());
+  config.eta = 1.0;
+  EXPECT_FALSE(SuccessiveHalving(ds.x, ds.y, {GlmConfig{}}, config).ok());
+  config = HalvingConfig{};
+  config.min_epochs = 0;
+  EXPECT_FALSE(SuccessiveHalving(ds.x, ds.y, {GlmConfig{}}, config).ok());
+  config = HalvingConfig{};
+  config.validation_fraction = 1.5;
+  EXPECT_FALSE(SuccessiveHalving(ds.x, ds.y, {GlmConfig{}}, config).ok());
+}
+
+}  // namespace
+}  // namespace dmml::modelsel

@@ -1,0 +1,289 @@
+// Tests for the linear-algebra substrate: DenseMatrix, SparseMatrix,
+// kernels and the checked ops (including the linear solver).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.h"
+#include "la/dense_matrix.h"
+#include "la/kernels.h"
+#include "la/ops.h"
+#include "la/sparse_matrix.h"
+#include "util/thread_pool.h"
+
+namespace dmml::la {
+namespace {
+
+TEST(DenseMatrixTest, ConstructionAndAccess) {
+  DenseMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.0);
+  m.At(1, 2) = 5.5;
+  EXPECT_EQ(m(1, 2), 5.5);
+}
+
+TEST(DenseMatrixTest, InitializerList) {
+  DenseMatrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m.At(2, 1), 6.0);
+}
+
+TEST(DenseMatrixTest, VectorsAndIdentity) {
+  auto v = DenseMatrix::ColumnVector({1, 2, 3});
+  EXPECT_EQ(v.rows(), 3u);
+  EXPECT_EQ(v.cols(), 1u);
+  EXPECT_TRUE(v.IsVector());
+  auto r = DenseMatrix::RowVector({1, 2});
+  EXPECT_EQ(r.rows(), 1u);
+  auto eye = DenseMatrix::Identity(3);
+  EXPECT_EQ(eye.At(1, 1), 1.0);
+  EXPECT_EQ(eye.At(0, 1), 0.0);
+}
+
+TEST(DenseMatrixTest, Slicing) {
+  DenseMatrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  auto rows = m.SliceRows(1, 3);
+  EXPECT_EQ(rows.rows(), 2u);
+  EXPECT_EQ(rows.At(0, 0), 4.0);
+  auto cols = m.SliceCols(1, 2);
+  EXPECT_EQ(cols.cols(), 1u);
+  EXPECT_EQ(cols.At(2, 0), 8.0);
+  auto col = m.Column(2);
+  EXPECT_EQ(col.At(1, 0), 6.0);
+}
+
+TEST(DenseMatrixTest, EqualityAndApprox) {
+  DenseMatrix a{{1, 2}, {3, 4}};
+  DenseMatrix b = a;
+  EXPECT_TRUE(a == b);
+  b.At(0, 0) += 1e-12;
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(a.ApproxEquals(b, 1e-9));
+  EXPECT_FALSE(a.ApproxEquals(DenseMatrix(2, 3), 1.0));
+}
+
+TEST(DenseMatrixTest, ToStringTruncates) {
+  DenseMatrix m(20, 20, 1.0);
+  std::string s = m.ToString(2, 2);
+  EXPECT_NE(s.find("..."), std::string::npos);
+  EXPECT_NE(s.find("20x20"), std::string::npos);
+}
+
+TEST(KernelsTest, MultiplyMatchesHandComputed) {
+  DenseMatrix a{{1, 2}, {3, 4}};
+  DenseMatrix b{{5, 6}, {7, 8}};
+  DenseMatrix c = Multiply(a, b);
+  EXPECT_TRUE(c == (DenseMatrix{{19, 22}, {43, 50}}));
+}
+
+TEST(KernelsTest, MultiplyParallelMatchesSerial) {
+  auto a = data::GaussianMatrix(37, 23, 1);
+  auto b = data::GaussianMatrix(23, 11, 2);
+  ThreadPool pool(4);
+  EXPECT_TRUE(Multiply(a, b).ApproxEquals(Multiply(a, b, &pool), 1e-12));
+}
+
+TEST(KernelsTest, GemvAndGevm) {
+  DenseMatrix a{{1, 2}, {3, 4}, {5, 6}};
+  auto x = DenseMatrix::ColumnVector({1, -1});
+  DenseMatrix y = Gemv(a, x);
+  EXPECT_TRUE(y == DenseMatrix::ColumnVector({-1, -1, -1}));
+  auto u = DenseMatrix::ColumnVector({1, 0, 2});
+  DenseMatrix z = Gevm(u, a);
+  EXPECT_TRUE(z == DenseMatrix::RowVector({11, 14}));
+}
+
+TEST(KernelsTest, GemvEqualsMultiply) {
+  auto a = data::GaussianMatrix(15, 9, 5);
+  auto x = data::GaussianMatrix(9, 1, 6);
+  EXPECT_TRUE(Gemv(a, x).ApproxEquals(Multiply(a, x), 1e-12));
+}
+
+TEST(KernelsTest, TransposeInvolution) {
+  auto a = data::GaussianMatrix(7, 4, 9);
+  EXPECT_TRUE(Transpose(Transpose(a)) == a);
+  EXPECT_EQ(Transpose(a).rows(), 4u);
+  EXPECT_EQ(Transpose(a).At(2, 5), a.At(5, 2));
+}
+
+TEST(KernelsTest, ElementwiseOps) {
+  DenseMatrix a{{1, 2}, {3, 4}};
+  DenseMatrix b{{10, 20}, {30, 40}};
+  EXPECT_TRUE(Add(a, b) == (DenseMatrix{{11, 22}, {33, 44}}));
+  EXPECT_TRUE(Subtract(b, a) == (DenseMatrix{{9, 18}, {27, 36}}));
+  EXPECT_TRUE(ElementwiseMultiply(a, a) == (DenseMatrix{{1, 4}, {9, 16}}));
+  EXPECT_TRUE(Scale(a, 2.0) == (DenseMatrix{{2, 4}, {6, 8}}));
+  EXPECT_TRUE(AddScalar(a, 1.0) == (DenseMatrix{{2, 3}, {4, 5}}));
+  EXPECT_TRUE(Map(a, [](double v) { return v * v; }) ==
+              (DenseMatrix{{1, 4}, {9, 16}}));
+}
+
+TEST(KernelsTest, Reductions) {
+  DenseMatrix a{{1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(Sum(a), 10.0);
+  EXPECT_TRUE(ColumnSums(a) == DenseMatrix::RowVector({4, 6}));
+  EXPECT_TRUE(RowSums(a) == DenseMatrix::ColumnVector({3, 7}));
+  EXPECT_DOUBLE_EQ(FrobeniusNorm(a), std::sqrt(30.0));
+}
+
+TEST(KernelsTest, DotAndAxpy) {
+  auto x = DenseMatrix::ColumnVector({1, 2, 3});
+  auto y = DenseMatrix::ColumnVector({4, 5, 6});
+  EXPECT_DOUBLE_EQ(Dot(x, y), 32.0);
+  double buf[3] = {1, 1, 1};
+  Axpy(2.0, x.data(), buf, 3);
+  EXPECT_DOUBLE_EQ(buf[2], 7.0);
+}
+
+TEST(KernelsTest, RowSquaredDistance) {
+  DenseMatrix a{{0, 0}, {3, 4}};
+  EXPECT_DOUBLE_EQ(RowSquaredDistance(a, 0, a, 1), 25.0);
+  EXPECT_DOUBLE_EQ(RowSquaredDistance(a, 1, a, 1), 0.0);
+}
+
+// --------------------------------------------------------------------------
+// Sparse
+// --------------------------------------------------------------------------
+
+TEST(SparseMatrixTest, FromTripletsCoalescesAndSorts) {
+  auto m = SparseMatrix::FromTriplets(
+      3, 3, {{0, 2, 1.0}, {0, 0, 2.0}, {0, 2, 3.0}, {2, 1, -1.0}});
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 4.0);  // 1 + 3 coalesced.
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(2, 1), -1.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 0.0);
+}
+
+TEST(SparseMatrixTest, ZeroSumTripletsDropped) {
+  auto m = SparseMatrix::FromTriplets(2, 2, {{0, 0, 1.0}, {0, 0, -1.0}});
+  EXPECT_EQ(m.nnz(), 0u);
+}
+
+TEST(SparseMatrixTest, DenseRoundTrip) {
+  auto dense = data::GaussianMatrix(10, 8, 3);
+  // Zero out some entries.
+  for (size_t i = 0; i < dense.rows(); ++i) {
+    for (size_t j = 0; j < dense.cols(); j += 2) dense.At(i, j) = 0.0;
+  }
+  auto sparse = SparseMatrix::FromDense(dense);
+  EXPECT_TRUE(sparse.ToDense() == dense);
+  EXPECT_DOUBLE_EQ(sparse.Density(), static_cast<double>(sparse.nnz()) / 80.0);
+}
+
+TEST(SparseMatrixTest, SparseGemvMatchesDense) {
+  auto sparse = data::SparseGaussianMatrix(30, 20, 0.2, 4);
+  auto dense = sparse.ToDense();
+  auto x = data::GaussianMatrix(20, 1, 5);
+  EXPECT_TRUE(SparseGemv(sparse, x).ApproxEquals(Gemv(dense, x), 1e-10));
+}
+
+TEST(SparseMatrixTest, SparseGevmMatchesDense) {
+  auto sparse = data::SparseGaussianMatrix(30, 20, 0.2, 6);
+  auto dense = sparse.ToDense();
+  auto u = data::GaussianMatrix(30, 1, 7);
+  EXPECT_TRUE(SparseGevm(u, sparse).ApproxEquals(Gevm(u, dense), 1e-10));
+}
+
+TEST(SparseMatrixTest, SparseMultiplyDenseMatchesDense) {
+  auto sparse = data::SparseGaussianMatrix(12, 18, 0.3, 8);
+  auto b = data::GaussianMatrix(18, 5, 9);
+  EXPECT_TRUE(
+      SparseMultiplyDense(sparse, b).ApproxEquals(Multiply(sparse.ToDense(), b), 1e-10));
+}
+
+TEST(SparseMatrixTest, SparseTransposeMatchesDense) {
+  auto sparse = data::SparseGaussianMatrix(9, 14, 0.25, 10);
+  EXPECT_TRUE(SparseTranspose(sparse).ToDense() == Transpose(sparse.ToDense()));
+}
+
+// --------------------------------------------------------------------------
+// Checked ops + solver
+// --------------------------------------------------------------------------
+
+TEST(OpsTest, CheckedOpsRejectBadShapes) {
+  DenseMatrix a(2, 3), b(2, 3), c(3, 2);
+  EXPECT_FALSE(CheckedMultiply(a, b).ok());
+  EXPECT_TRUE(CheckedMultiply(a, c).ok());
+  EXPECT_FALSE(CheckedAdd(a, c).ok());
+  EXPECT_TRUE(CheckedAdd(a, b).ok());
+  EXPECT_FALSE(CheckedSubtract(a, c).ok());
+  EXPECT_FALSE(CheckedElementwiseMultiply(a, c).ok());
+}
+
+TEST(OpsTest, SolveRecoversSolution) {
+  DenseMatrix a{{4, 1}, {1, 3}};
+  auto b = DenseMatrix::ColumnVector({1, 2});
+  auto x = Solve(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(Multiply(a, *x).ApproxEquals(b, 1e-10));
+}
+
+TEST(OpsTest, SolveWithPivoting) {
+  // Zero on the diagonal forces a pivot swap.
+  DenseMatrix a{{0, 1}, {1, 0}};
+  auto b = DenseMatrix::ColumnVector({3, 7});
+  auto x = Solve(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x->At(0, 0), 7.0, 1e-12);
+  EXPECT_NEAR(x->At(1, 0), 3.0, 1e-12);
+}
+
+TEST(OpsTest, SolveDetectsSingular) {
+  DenseMatrix a{{1, 2}, {2, 4}};
+  auto b = DenseMatrix::ColumnVector({1, 2});
+  auto x = Solve(a, b);
+  ASSERT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(OpsTest, SolveRejectsNonSquare) {
+  EXPECT_FALSE(Solve(DenseMatrix(2, 3), DenseMatrix(2, 1)).ok());
+  EXPECT_FALSE(Solve(DenseMatrix(2, 2), DenseMatrix(3, 1)).ok());
+}
+
+TEST(OpsTest, InverseTimesSelfIsIdentity) {
+  auto a = data::GaussianMatrix(6, 6, 11);
+  for (size_t i = 0; i < 6; ++i) a.At(i, i) += 6.0;  // Diagonal dominance.
+  auto inv = Inverse(a);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_TRUE(Multiply(a, *inv).ApproxEquals(DenseMatrix::Identity(6), 1e-8));
+}
+
+// Property sweep: random solve instances are actually solved.
+class SolvePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolvePropertyTest, RandomWellConditionedSystems) {
+  const int seed = GetParam();
+  auto a = data::GaussianMatrix(8, 8, seed);
+  for (size_t i = 0; i < 8; ++i) a.At(i, i) += 10.0;
+  auto b = data::GaussianMatrix(8, 2, seed + 1000);
+  auto x = Solve(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(Multiply(a, *x).ApproxEquals(b, 1e-8));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolvePropertyTest, ::testing::Range(0, 10));
+
+// Property sweep: (AB)^T == B^T A^T across random shapes.
+class TransposeProductProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TransposeProductProperty, TransposeOfProduct) {
+  auto [m, k, n] = GetParam();
+  auto a = data::GaussianMatrix(m, k, m * 100 + k);
+  auto b = data::GaussianMatrix(k, n, k * 100 + n);
+  EXPECT_TRUE(Transpose(Multiply(a, b))
+                  .ApproxEquals(Multiply(Transpose(b), Transpose(a)), 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TransposeProductProperty,
+                         ::testing::Combine(::testing::Values(1, 3, 8),
+                                            ::testing::Values(2, 5),
+                                            ::testing::Values(1, 4, 7)));
+
+}  // namespace
+}  // namespace dmml::la

@@ -1,0 +1,140 @@
+// Full ML-lifecycle integration test: statistics-informed relational prep →
+// model search → ensemble comparison → registry persistence → reload →
+// declarative scoring. Exercises every major module in one flow.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "data/generators.h"
+#include "laopt/parser.h"
+#include "ml/gradient_boosting.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+#include "ml/validation.h"
+#include "modelsel/model_registry.h"
+#include "modelsel/successive_halving.h"
+#include "relational/operators.h"
+#include "relational/statistics.h"
+
+namespace dmml {
+namespace {
+
+using la::DenseMatrix;
+
+TEST(LifecycleTest, PrepSearchPersistReloadScore) {
+  // 1. Normalized data lands in the engine.
+  data::StarSchemaOptions options;
+  options.ns = 3000;
+  options.nr = 100;
+  options.ds = 3;
+  options.dr = 4;
+  options.classification = true;
+  auto dataset = data::MakeStarSchema(options, 11);
+
+  // 2. Statistics-informed filter: keep the bulk of the mass (estimate
+  // first, then verify the estimate was sane).
+  auto stats = relational::CollectStatistics(dataset.s);
+  ASSERT_TRUE(stats.ok());
+  auto est = relational::EstimateSelectivity(*stats, "xs0",
+                                             relational::CompareOp::kGt, -1.0);
+  ASSERT_TRUE(est.ok());
+  auto filtered = relational::Filter(
+      dataset.s, relational::Compare("xs0", relational::CompareOp::kGt, -1.0));
+  ASSERT_TRUE(filtered.ok());
+  double actual = static_cast<double>(filtered->num_rows()) /
+                  static_cast<double>(dataset.s.num_rows());
+  EXPECT_NEAR(*est, actual, 0.1);
+
+  // 3. Join + feature extraction.
+  auto joined = relational::HashJoin(*filtered, dataset.r, "fk", "rid");
+  ASSERT_TRUE(joined.ok());
+  std::vector<std::string> features = {"xs0", "xs1", "xs2",
+                                       "xr0", "xr1", "xr2", "xr3"};
+  auto x = *joined->ToMatrix(features);
+  auto y = *joined->ToMatrix({"y"});
+  auto split = ml::SplitTrainTest(x, y, 0.25, 7);
+  ASSERT_TRUE(split.ok());
+
+  // 4. Hyperparameter search for the GLM via successive halving.
+  std::vector<ml::GlmConfig> configs;
+  for (double lr : {0.005, 0.05, 0.5}) {
+    ml::GlmConfig c;
+    c.family = ml::GlmFamily::kBinomial;
+    c.learning_rate = lr;
+    configs.push_back(c);
+  }
+  modelsel::HalvingConfig halving;
+  halving.min_epochs = 10;
+  auto search =
+      modelsel::SuccessiveHalving(split->x_train, split->y_train, configs, halving);
+  ASSERT_TRUE(search.ok());
+  auto glm_labels = search->best_model.PredictLabels(split->x_test);
+  ASSERT_TRUE(glm_labels.ok());
+  double glm_acc = *ml::Accuracy(split->y_test, *glm_labels);
+  EXPECT_GT(glm_acc, 0.75);
+
+  // 5. Ensembles on the same split for comparison.
+  ml::ForestConfig forest_config;
+  forest_config.num_trees = 10;
+  auto forest =
+      ml::TrainForestClassifier(split->x_train, split->y_train, forest_config);
+  ASSERT_TRUE(forest.ok());
+  double forest_acc =
+      *ml::Accuracy(split->y_test, *forest->Predict(split->x_test));
+
+  ml::BoostingConfig boost_config;
+  boost_config.num_rounds = 30;
+  auto boosted =
+      ml::TrainBoostedClassifier(split->x_train, split->y_train, boost_config);
+  ASSERT_TRUE(boosted.ok());
+  double boost_acc =
+      *ml::Accuracy(split->y_test, *boosted->PredictLabels(split->x_test));
+  // All three learners must be clearly better than chance on this task.
+  EXPECT_GT(forest_acc, 0.65);
+  EXPECT_GT(boost_acc, 0.65);
+
+  // 6. Persist the GLM winner with its metrics; reload and verify.
+  std::string root = testing::TempDir() + "/dmml_lifecycle_registry";
+  std::string cleanup = "rm -rf " + root;
+  ASSERT_EQ(std::system(cleanup.c_str()), 0);
+  auto registry = modelsel::ModelRegistry::Open(root);
+  ASSERT_TRUE(registry.ok());
+  auto version = registry->Save(
+      "churn_glm", search->best_model,
+      {{"test_accuracy", std::to_string(glm_acc)},
+       {"features", std::to_string(features.size())}});
+  ASSERT_TRUE(version.ok());
+
+  auto reloaded = registry->Load("churn_glm");
+  ASSERT_TRUE(reloaded.ok());
+  auto reloaded_labels = reloaded->PredictLabels(split->x_test);
+  ASSERT_TRUE(reloaded_labels.ok());
+  EXPECT_TRUE(*reloaded_labels == *glm_labels);  // Identical post-reload.
+
+  // 7. Score declaratively: margins = X %*% w through the parsed language,
+  // matching the model's own decision function.
+  laopt::Environment env = {
+      {"X", std::make_shared<DenseMatrix>(split->x_test)},
+      {"w", std::make_shared<DenseMatrix>(reloaded->weights)}};
+  auto margins = laopt::EvalExpression("X %*% w", env);
+  ASSERT_TRUE(margins.ok());
+  auto reference = reloaded->DecisionFunction(split->x_test);
+  ASSERT_TRUE(reference.ok());
+  for (size_t i = 0; i < margins->rows(); ++i) {
+    EXPECT_NEAR(margins->At(i, 0) + reloaded->intercept, reference->At(i, 0), 1e-9);
+  }
+
+  // 8. Confusion matrix sanity over the winner's predictions.
+  std::vector<int> y_true(split->y_test.rows()), y_pred(split->y_test.rows());
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    y_true[i] = static_cast<int>(split->y_test.At(i, 0));
+    y_pred[i] = static_cast<int>((*glm_labels).At(i, 0));
+  }
+  auto cm = ml::BuildConfusionMatrix(y_true, y_pred);
+  ASSERT_TRUE(cm.ok());
+  EXPECT_NEAR(cm->Accuracy(), glm_acc, 1e-12);
+}
+
+}  // namespace
+}  // namespace dmml

@@ -1,0 +1,220 @@
+// Tests for GLM training: every solver converges and recovers planted
+// weights, families validate labels, predictions behave, L2 shrinks weights.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.h"
+#include "la/kernels.h"
+#include "ml/glm.h"
+#include "ml/metrics.h"
+
+namespace dmml::ml {
+namespace {
+
+using la::DenseMatrix;
+
+GlmConfig LinRegConfig(GlmSolver solver) {
+  GlmConfig c;
+  c.family = GlmFamily::kGaussian;
+  c.solver = solver;
+  c.learning_rate = 0.05;
+  c.max_epochs = 400;
+  c.tolerance = 1e-12;
+  return c;
+}
+
+TEST(GlmTest, NormalEquationsRecoverExactWeights) {
+  auto ds = data::MakeRegression(300, 5, /*noise_sigma=*/0.0, 1);
+  GlmConfig config = LinRegConfig(GlmSolver::kNormalEquations);
+  auto model = TrainGlm(ds.x, ds.y, config);
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(model->weights.ApproxEquals(ds.true_w, 1e-8));
+  EXPECT_NEAR(model->intercept, 0.0, 1e-8);
+}
+
+TEST(GlmTest, NormalEquationsWithoutIntercept) {
+  auto ds = data::MakeRegression(200, 4, 0.0, 2);
+  GlmConfig config = LinRegConfig(GlmSolver::kNormalEquations);
+  config.fit_intercept = false;
+  auto model = TrainGlm(ds.x, ds.y, config);
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(model->weights.ApproxEquals(ds.true_w, 1e-8));
+  EXPECT_EQ(model->intercept, 0.0);
+}
+
+TEST(GlmTest, RidgeShrinksWeights) {
+  auto ds = data::MakeRegression(100, 6, 0.1, 3);
+  GlmConfig plain = LinRegConfig(GlmSolver::kNormalEquations);
+  GlmConfig ridge = plain;
+  ridge.l2 = 1.0;
+  auto m0 = TrainGlm(ds.x, ds.y, plain);
+  auto m1 = TrainGlm(ds.x, ds.y, ridge);
+  ASSERT_TRUE(m0.ok());
+  ASSERT_TRUE(m1.ok());
+  EXPECT_LT(la::FrobeniusNorm(m1->weights), la::FrobeniusNorm(m0->weights));
+}
+
+// All iterative solvers should approach the closed-form solution on a
+// well-conditioned regression problem.
+class GlmSolverConvergence : public ::testing::TestWithParam<GlmSolver> {};
+
+TEST_P(GlmSolverConvergence, ApproachesClosedForm) {
+  auto ds = data::MakeRegression(400, 4, 0.05, 4);
+  GlmConfig exact = LinRegConfig(GlmSolver::kNormalEquations);
+  auto reference = TrainGlm(ds.x, ds.y, exact);
+  ASSERT_TRUE(reference.ok());
+
+  GlmConfig config = LinRegConfig(GetParam());
+  config.max_epochs = 600;
+  config.num_threads = 2;
+  auto model = TrainGlm(ds.x, ds.y, config);
+  ASSERT_TRUE(model.ok());
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(model->weights.At(j, 0), reference->weights.At(j, 0), 0.05)
+        << "weight " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Solvers, GlmSolverConvergence,
+                         ::testing::Values(GlmSolver::kBatchGd, GlmSolver::kSgd,
+                                           GlmSolver::kMiniBatchSgd,
+                                           GlmSolver::kHogwild));
+
+TEST(GlmTest, LossHistoryIsDecreasingForBatchGd) {
+  auto ds = data::MakeRegression(200, 3, 0.1, 5);
+  auto model = TrainGlm(ds.x, ds.y, LinRegConfig(GlmSolver::kBatchGd));
+  ASSERT_TRUE(model.ok());
+  ASSERT_GE(model->loss_history.size(), 2u);
+  for (size_t i = 1; i < model->loss_history.size(); ++i) {
+    EXPECT_LE(model->loss_history[i], model->loss_history[i - 1] + 1e-9);
+  }
+}
+
+TEST(GlmTest, EarlyStoppingTriggersBeforeMaxEpochs) {
+  auto ds = data::MakeRegression(100, 2, 0.0, 6);
+  GlmConfig config = LinRegConfig(GlmSolver::kBatchGd);
+  config.max_epochs = 100000;
+  config.tolerance = 1e-6;
+  auto model = TrainGlm(ds.x, ds.y, config);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(model->epochs_run, 100000u);
+}
+
+TEST(GlmTest, LogisticRecoversSeparation) {
+  auto ds = data::MakeClassification(600, 4, /*flip_prob=*/0.0, 7);
+  GlmConfig config;
+  config.family = GlmFamily::kBinomial;
+  config.solver = GlmSolver::kBatchGd;
+  config.learning_rate = 0.5;
+  config.max_epochs = 500;
+  auto model = TrainGlm(ds.x, ds.y, config);
+  ASSERT_TRUE(model.ok());
+  auto labels = model->PredictLabels(ds.x);
+  ASSERT_TRUE(labels.ok());
+  double acc = *Accuracy(ds.y, *labels);
+  EXPECT_GT(acc, 0.85);
+  // Probabilities are calibrated-ish: AUC should be high.
+  auto probs = model->Predict(ds.x);
+  EXPECT_GT(*RocAuc(ds.y, *probs), 0.9);
+}
+
+TEST(GlmTest, LogisticSgdAlsoLearns) {
+  auto ds = data::MakeClassification(600, 4, 0.05, 8);
+  GlmConfig config;
+  config.family = GlmFamily::kBinomial;
+  config.solver = GlmSolver::kSgd;
+  config.learning_rate = 0.2;
+  config.lr_decay = 0.01;
+  config.max_epochs = 60;
+  auto model = TrainGlm(ds.x, ds.y, config);
+  ASSERT_TRUE(model.ok());
+  auto labels = model->PredictLabels(ds.x);
+  EXPECT_GT(*Accuracy(ds.y, *labels), 0.8);
+}
+
+TEST(GlmTest, BinomialRejectsNonBinaryLabels) {
+  auto ds = data::MakeRegression(50, 3, 0.1, 9);  // Continuous targets.
+  GlmConfig config;
+  config.family = GlmFamily::kBinomial;
+  EXPECT_FALSE(TrainGlm(ds.x, ds.y, config).ok());
+}
+
+TEST(GlmTest, NormalEquationsRejectBinomial) {
+  auto ds = data::MakeClassification(50, 3, 0.0, 10);
+  GlmConfig config;
+  config.family = GlmFamily::kBinomial;
+  config.solver = GlmSolver::kNormalEquations;
+  EXPECT_FALSE(TrainGlm(ds.x, ds.y, config).ok());
+}
+
+TEST(GlmTest, InputValidation) {
+  GlmConfig config;
+  EXPECT_FALSE(TrainGlm(DenseMatrix(0, 0), DenseMatrix(0, 1), config).ok());
+  EXPECT_FALSE(TrainGlm(DenseMatrix(5, 2), DenseMatrix(4, 1), config).ok());
+  EXPECT_FALSE(TrainGlm(DenseMatrix(5, 2), DenseMatrix(5, 2), config).ok());
+  config.learning_rate = -1;
+  EXPECT_FALSE(TrainGlm(DenseMatrix(5, 2), DenseMatrix(5, 1), config).ok());
+}
+
+TEST(GlmTest, PredictValidatesWidth) {
+  auto ds = data::MakeRegression(50, 3, 0.1, 11);
+  auto model = TrainGlm(ds.x, ds.y, LinRegConfig(GlmSolver::kNormalEquations));
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->Predict(DenseMatrix(5, 4)).ok());
+  EXPECT_TRUE(model->Predict(DenseMatrix(5, 3)).ok());
+}
+
+TEST(GlmTest, PredictLabelsRequiresBinomial) {
+  auto ds = data::MakeRegression(50, 3, 0.1, 12);
+  auto model = TrainGlm(ds.x, ds.y, LinRegConfig(GlmSolver::kNormalEquations));
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->PredictLabels(ds.x).ok());
+}
+
+TEST(GlmTest, InverseLinkSigmoidIsStable) {
+  EXPECT_DOUBLE_EQ(GlmInverseLink(3.0, GlmFamily::kGaussian), 3.0);
+  EXPECT_NEAR(GlmInverseLink(0.0, GlmFamily::kBinomial), 0.5, 1e-12);
+  EXPECT_NEAR(GlmInverseLink(1000.0, GlmFamily::kBinomial), 1.0, 1e-12);
+  EXPECT_NEAR(GlmInverseLink(-1000.0, GlmFamily::kBinomial), 0.0, 1e-12);
+  EXPECT_FALSE(std::isnan(GlmInverseLink(-1000.0, GlmFamily::kBinomial)));
+}
+
+TEST(GlmTest, GlmLossMatchesManualComputation) {
+  DenseMatrix x{{1.0, 0.0}, {0.0, 1.0}};
+  auto y = DenseMatrix::ColumnVector({2.0, 0.0});
+  auto w = DenseMatrix::ColumnVector({1.0, 1.0});
+  // Residuals: (1-2)=-1 and (1-0)=1 -> mean of 0.5*1 + 0.5*1 = 0.5.
+  auto loss = GlmLoss(x, y, w, 0.0, GlmFamily::kGaussian, 0.0);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_DOUBLE_EQ(*loss, 0.5);
+  // With L2: + 0.5*lambda*|w|^2 = 0.5*2*2 = ... lambda=2 -> +2.
+  EXPECT_DOUBLE_EQ(*GlmLoss(x, y, w, 0.0, GlmFamily::kGaussian, 2.0), 2.5);
+}
+
+TEST(GlmTest, DeterministicGivenSeed) {
+  auto ds = data::MakeClassification(200, 3, 0.1, 13);
+  GlmConfig config;
+  config.family = GlmFamily::kBinomial;
+  config.solver = GlmSolver::kSgd;
+  config.max_epochs = 10;
+  config.seed = 99;
+  auto m1 = TrainGlm(ds.x, ds.y, config);
+  auto m2 = TrainGlm(ds.x, ds.y, config);
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  EXPECT_TRUE(m1->weights == m2->weights);
+}
+
+TEST(GlmTest, InterceptCapturesShiftedData) {
+  // y = 3 + 0*x: weights ~0, intercept ~3.
+  auto x = data::GaussianMatrix(300, 2, 14);
+  DenseMatrix y(300, 1, 3.0);
+  auto model = TrainGlm(x, y, LinRegConfig(GlmSolver::kNormalEquations));
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->intercept, 3.0, 1e-6);
+  EXPECT_LT(la::FrobeniusNorm(model->weights), 1e-6);
+}
+
+}  // namespace
+}  // namespace dmml::ml

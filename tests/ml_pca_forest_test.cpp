@@ -1,0 +1,230 @@
+// Tests for PCA (power iteration) and random forests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.h"
+#include "la/kernels.h"
+#include "ml/metrics.h"
+#include "ml/pca.h"
+#include "ml/random_forest.h"
+
+namespace dmml::ml {
+namespace {
+
+using la::DenseMatrix;
+
+// --------------------------------------------------------------------------
+// PCA
+// --------------------------------------------------------------------------
+
+// Builds data with a known dominant direction: z * dir + small noise.
+DenseMatrix AnisotropicData(size_t n, const std::vector<double>& dir, double noise,
+                            uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix x(n, dir.size());
+  for (size_t i = 0; i < n; ++i) {
+    double z = rng.Normal(0, 3.0);
+    for (size_t j = 0; j < dir.size(); ++j) {
+      x.At(i, j) = z * dir[j] + rng.Normal(0, noise);
+    }
+  }
+  return x;
+}
+
+TEST(PcaTest, RecoversDominantDirection) {
+  std::vector<double> dir = {0.6, 0.8};  // Unit vector.
+  auto x = AnisotropicData(500, dir, 0.05, 1);
+  PcaConfig config;
+  config.num_components = 1;
+  auto model = TrainPca(x, config);
+  ASSERT_TRUE(model.ok());
+  // Recovered PC equals ±dir.
+  double dot = model->components.At(0, 0) * dir[0] + model->components.At(0, 1) * dir[1];
+  EXPECT_NEAR(std::fabs(dot), 1.0, 1e-3);
+  EXPECT_GT(model->explained_variance_ratio[0], 0.99);
+}
+
+TEST(PcaTest, ComponentsAreOrthonormal) {
+  auto x = data::GaussianMatrix(300, 6, 2);
+  PcaConfig config;
+  config.num_components = 4;
+  auto model = TrainPca(x, config);
+  ASSERT_TRUE(model.ok());
+  for (size_t a = 0; a < 4; ++a) {
+    for (size_t b = 0; b < 4; ++b) {
+      double dot = la::Dot(model->components.Row(a), model->components.Row(b), 6);
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-3) << a << "," << b;
+    }
+  }
+}
+
+TEST(PcaTest, ExplainedVarianceDescendsAndSumsBelowTotal) {
+  auto x = data::GaussianMatrix(400, 5, 3);
+  PcaConfig config;
+  config.num_components = 5;
+  auto model = TrainPca(x, config);
+  ASSERT_TRUE(model.ok());
+  double ratio_sum = 0;
+  for (size_t c = 1; c < 5; ++c) {
+    EXPECT_LE(model->explained_variance[c], model->explained_variance[c - 1] + 1e-9);
+  }
+  for (double r : model->explained_variance_ratio) ratio_sum += r;
+  EXPECT_NEAR(ratio_sum, 1.0, 1e-6);  // All d components explain everything.
+}
+
+TEST(PcaTest, TransformReducesReconstructionErrorWithMoreComponents) {
+  auto x = AnisotropicData(200, {1.0, 0.0, 0.0}, 0.3, 4);
+  double prev_err = 1e18;
+  for (size_t k = 1; k <= 3; ++k) {
+    PcaConfig config;
+    config.num_components = k;
+    auto model = TrainPca(x, config);
+    ASSERT_TRUE(model.ok());
+    auto z = *model->Transform(x);
+    EXPECT_EQ(z.cols(), k);
+    auto back = *model->InverseTransform(z);
+    double err = la::FrobeniusNorm(la::Subtract(back, x));
+    EXPECT_LT(err, prev_err + 1e-9);
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-6);  // Full rank reconstructs exactly.
+}
+
+TEST(PcaTest, TransformValidatesShapes) {
+  auto x = data::GaussianMatrix(50, 4, 5);
+  PcaConfig config;
+  config.num_components = 2;
+  auto model = TrainPca(x, config);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->Transform(DenseMatrix(3, 5)).ok());
+  EXPECT_FALSE(model->InverseTransform(DenseMatrix(3, 3)).ok());
+}
+
+TEST(PcaTest, InvalidInputs) {
+  PcaConfig config;
+  EXPECT_FALSE(TrainPca(DenseMatrix(1, 3), config).ok());
+  config.num_components = 0;
+  EXPECT_FALSE(TrainPca(DenseMatrix(10, 3), config).ok());
+  config.num_components = 4;
+  EXPECT_FALSE(TrainPca(DenseMatrix(10, 3), config).ok());
+}
+
+// --------------------------------------------------------------------------
+// Random forest
+// --------------------------------------------------------------------------
+
+TEST(ForestTest, BeatsSingleTreeOnNoisyData) {
+  auto train = data::MakeClassification(800, 8, 0.15, 6);
+  ForestConfig config;
+  config.num_trees = 25;
+  config.tree.max_depth = 5;
+  config.seed = 7;
+  auto forest = TrainForestClassifier(train.x, train.y, config);
+  ASSERT_TRUE(forest.ok());
+
+  TreeConfig solo_config;
+  solo_config.max_depth = 5;
+  auto solo = TrainTreeClassifier(train.x, train.y, solo_config);
+  ASSERT_TRUE(solo.ok());
+
+  // Evaluate on freshly generated data from the same planted model: the
+  // generator re-creates x and w from the same seed, so draw more rows and
+  // slice off an unseen tail.
+  auto big = data::MakeClassification(1600, 8, 0.15, 6);
+  auto x_test = big.x.SliceRows(800, 1600);
+  auto y_test = big.y.SliceRows(800, 1600);
+  double forest_acc = *Accuracy(y_test, *forest->Predict(x_test));
+  double solo_acc = *Accuracy(y_test, *solo->Predict(x_test));
+  EXPECT_GT(forest_acc, 0.70);
+  EXPECT_GE(forest_acc, solo_acc - 0.02);  // At worst on par, usually better.
+}
+
+TEST(ForestTest, RegressorAveragesTrees) {
+  auto ds = data::MakeRegression(500, 5, 0.2, 8);
+  ForestConfig config;
+  config.num_trees = 15;
+  config.tree.max_depth = 8;
+  config.max_features = 5;  // Linear target: every tree needs all features.
+  auto forest = TrainForestRegressor(ds.x, ds.y, config);
+  ASSERT_TRUE(forest.ok());
+  EXPECT_FALSE(forest->is_classifier);
+  auto pred = *forest->Predict(ds.x);
+  EXPECT_GT(*R2(ds.y, pred), 0.7);
+}
+
+TEST(ForestTest, PredictProbaIsVoteFraction) {
+  auto ds = data::MakeClassification(300, 4, 0.05, 9);
+  ForestConfig config;
+  config.num_trees = 10;
+  auto forest = TrainForestClassifier(ds.x, ds.y, config);
+  ASSERT_TRUE(forest.ok());
+  auto proba = *forest->PredictProba(ds.x);
+  for (size_t i = 0; i < proba.rows(); ++i) {
+    double p = proba.At(i, 0);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    // Vote fractions are multiples of 1/num_trees.
+    double scaled = p * 10.0;
+    EXPECT_NEAR(scaled, std::round(scaled), 1e-9);
+  }
+}
+
+TEST(ForestTest, FeatureSubsetsRespectMaxFeatures) {
+  auto ds = data::MakeClassification(200, 9, 0.1, 10);
+  ForestConfig config;
+  config.num_trees = 8;
+  config.max_features = 3;
+  auto forest = TrainForestClassifier(ds.x, ds.y, config);
+  ASSERT_TRUE(forest.ok());
+  for (const auto& subset : forest->feature_subsets) {
+    EXPECT_EQ(subset.size(), 3u);
+    for (size_t c : subset) EXPECT_LT(c, 9u);
+  }
+}
+
+TEST(ForestTest, DeterministicGivenSeed) {
+  auto ds = data::MakeClassification(150, 4, 0.1, 11);
+  ForestConfig config;
+  config.num_trees = 5;
+  config.seed = 1234;
+  auto a = TrainForestClassifier(ds.x, ds.y, config);
+  auto b = TrainForestClassifier(ds.x, ds.y, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(*a->Predict(ds.x) == *b->Predict(ds.x));
+}
+
+TEST(ForestTest, ParallelTrainingMatchesSerial) {
+  auto ds = data::MakeClassification(200, 5, 0.1, 12);
+  ForestConfig config;
+  config.num_trees = 6;
+  config.seed = 77;
+  auto serial = TrainForestClassifier(ds.x, ds.y, config);
+  ThreadPool pool(3);
+  auto parallel = TrainForestClassifier(ds.x, ds.y, config, &pool);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_TRUE(*serial->Predict(ds.x) == *parallel->Predict(ds.x));
+}
+
+TEST(ForestTest, InvalidInputs) {
+  auto ds = data::MakeClassification(50, 3, 0.0, 13);
+  ForestConfig config;
+  config.num_trees = 0;
+  EXPECT_FALSE(TrainForestClassifier(ds.x, ds.y, config).ok());
+  config = ForestConfig{};
+  config.bootstrap_fraction = 0;
+  EXPECT_FALSE(TrainForestClassifier(ds.x, ds.y, config).ok());
+  config = ForestConfig{};
+  EXPECT_FALSE(TrainForestClassifier(DenseMatrix(0, 3), DenseMatrix(0, 1), config).ok());
+  RandomForestModel untrained;
+  EXPECT_FALSE(untrained.Predict(ds.x).ok());
+  // PredictProba on a regressor is rejected.
+  auto reg = TrainForestRegressor(ds.x, ds.y, ForestConfig{});
+  ASSERT_TRUE(reg.ok());
+  EXPECT_FALSE(reg->PredictProba(ds.x).ok());
+}
+
+}  // namespace
+}  // namespace dmml::ml

@@ -1,0 +1,192 @@
+// Tests for the parameter server: the store itself, then BSP/ASP/SSP
+// training runs that must all converge on a learnable problem, with
+// consistency-specific invariants (BSP staleness 0, SSP bounded).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "data/generators.h"
+#include "ml/metrics.h"
+#include "ps/parameter_server.h"
+
+namespace dmml::ps {
+namespace {
+
+using la::DenseMatrix;
+
+TEST(ParameterServerTest, PushPullRoundTrip) {
+  ParameterServer server(3, 2);
+  std::vector<double> w;
+  double b = 0;
+  server.Pull(&w, &b);
+  EXPECT_EQ(w, (std::vector<double>{0, 0, 0}));
+  EXPECT_EQ(b, 0);
+
+  server.Push({1.0, 2.0, 3.0}, 0.5, 0.1);
+  server.Pull(&w, &b);
+  EXPECT_DOUBLE_EQ(w[0], -0.1);
+  EXPECT_DOUBLE_EQ(w[2], -0.3);
+  EXPECT_DOUBLE_EQ(b, -0.05);
+}
+
+TEST(ParameterServerTest, SnapshotMatchesPull) {
+  ParameterServer server(2, 1);
+  server.Push({1.0, -1.0}, 1.0, 1.0);
+  auto w = server.SnapshotWeights();
+  EXPECT_DOUBLE_EQ(w.At(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(w.At(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(server.SnapshotIntercept(), -1.0);
+}
+
+TEST(ParameterServerTest, ClocksTrackStaleness) {
+  ParameterServer server(1, 2);
+  EXPECT_EQ(server.max_observed_staleness(), 0u);
+  server.AdvanceClock(0);
+  server.AdvanceClock(0);
+  EXPECT_EQ(server.max_observed_staleness(), 2u);  // Worker 1 stuck at 0.
+  server.AdvanceClock(1);
+  server.AdvanceClock(1);
+  EXPECT_EQ(server.max_observed_staleness(), 2u);  // Historical max.
+}
+
+TEST(ParameterServerTest, BarrierReleasesWhenAllArrive) {
+  ParameterServer server(1, 2);
+  std::thread slow([&server] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    server.AdvanceClock(1);
+  });
+  server.AdvanceClock(0);
+  server.Barrier(1);  // Must block until `slow` advances worker 1.
+  slow.join();
+  EXPECT_EQ(server.max_observed_staleness(), 1u);
+}
+
+TEST(ParameterServerTest, WaitForSlowestBlocksFastWorker) {
+  ParameterServer server(1, 2);
+  // Worker 0 is 3 epochs ahead; bound 2 must block it until worker 1 moves.
+  server.AdvanceClock(0);
+  server.AdvanceClock(0);
+  server.AdvanceClock(0);
+  std::thread unblocker([&server] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    server.AdvanceClock(1);
+  });
+  server.WaitForSlowest(0, 2);
+  unblocker.join();
+  SUCCEED();
+}
+
+PsConfig BaseConfig() {
+  PsConfig config;
+  config.num_workers = 3;
+  config.epochs = 25;
+  config.learning_rate = 0.2;
+  config.batch_size = 16;
+  config.family = ml::GlmFamily::kBinomial;
+  return config;
+}
+
+class PsModeTest : public ::testing::TestWithParam<ConsistencyMode> {};
+
+TEST_P(PsModeTest, ConvergesOnSeparableProblem) {
+  auto ds = data::MakeClassification(600, 4, 0.0, 21);
+  PsConfig config = BaseConfig();
+  config.mode = GetParam();
+  auto result = TrainGlmParameterServer(ds.x, ds.y, config);
+  ASSERT_TRUE(result.ok());
+  auto labels = result->model.PredictLabels(ds.x);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_GT(*ml::Accuracy(ds.y, *labels), 0.85)
+      << ConsistencyModeName(GetParam());
+  EXPECT_GT(result->total_pushes, 0u);
+  // Loss per epoch was recorded for every round.
+  ASSERT_EQ(result->loss_per_epoch.size(), config.epochs);
+  for (double loss : result->loss_per_epoch) EXPECT_FALSE(std::isnan(loss));
+  // Later losses should not exceed the early ones. Under ASP the epoch
+  // snapshots race with fast workers, so allow a small tolerance instead of
+  // asserting strict decrease.
+  EXPECT_LT(result->loss_per_epoch.back(), result->loss_per_epoch.front() * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, PsModeTest,
+                         ::testing::Values(ConsistencyMode::kBsp,
+                                           ConsistencyMode::kAsync,
+                                           ConsistencyMode::kSsp));
+
+TEST(PsTrainingTest, BspNeverObservesStalenessAboveOne) {
+  auto ds = data::MakeClassification(300, 3, 0.0, 22);
+  PsConfig config = BaseConfig();
+  config.mode = ConsistencyMode::kBsp;
+  auto result = TrainGlmParameterServer(ds.x, ds.y, config);
+  ASSERT_TRUE(result.ok());
+  // Within one round workers can differ by at most 1 epoch under BSP.
+  EXPECT_LE(result->max_observed_staleness, 1u);
+}
+
+TEST(PsTrainingTest, SspRespectsStalenessBound) {
+  auto ds = data::MakeClassification(300, 3, 0.0, 23);
+  PsConfig config = BaseConfig();
+  config.mode = ConsistencyMode::kSsp;
+  config.staleness_bound = 2;
+  auto result = TrainGlmParameterServer(ds.x, ds.y, config);
+  ASSERT_TRUE(result.ok());
+  // A worker must never run more than bound+1 epochs ahead of the slowest.
+  EXPECT_LE(result->max_observed_staleness, config.staleness_bound + 1);
+}
+
+TEST(PsTrainingTest, GaussianFamilyRegression) {
+  auto ds = data::MakeRegression(500, 4, 0.05, 24);
+  PsConfig config = BaseConfig();
+  config.family = ml::GlmFamily::kGaussian;
+  config.learning_rate = 0.05;
+  config.epochs = 40;
+  auto result = TrainGlmParameterServer(ds.x, ds.y, config);
+  ASSERT_TRUE(result.ok());
+  auto pred = result->model.Predict(ds.x);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_GT(*ml::R2(ds.y, *pred), 0.9);
+}
+
+TEST(PsTrainingTest, SingleWorkerDegeneratesToMiniBatchSgd) {
+  auto ds = data::MakeClassification(200, 3, 0.05, 25);
+  PsConfig config = BaseConfig();
+  config.num_workers = 1;
+  auto result = TrainGlmParameterServer(ds.x, ds.y, config);
+  ASSERT_TRUE(result.ok());
+  // A single worker can never observe a clock spread.
+  EXPECT_EQ(result->max_observed_staleness, 0u);
+  auto labels = result->model.PredictLabels(ds.x);
+  EXPECT_GT(*ml::Accuracy(ds.y, *labels), 0.8);
+}
+
+TEST(PsTrainingTest, MoreWorkersThanExamplesIsHandled) {
+  auto ds = data::MakeClassification(5, 2, 0.0, 26);
+  PsConfig config = BaseConfig();
+  config.num_workers = 16;
+  config.epochs = 5;
+  auto result = TrainGlmParameterServer(ds.x, ds.y, config);
+  ASSERT_TRUE(result.ok());
+}
+
+TEST(PsTrainingTest, Validation) {
+  auto ds = data::MakeClassification(50, 2, 0.0, 27);
+  PsConfig config = BaseConfig();
+  config.num_workers = 0;
+  EXPECT_FALSE(TrainGlmParameterServer(ds.x, ds.y, config).ok());
+  config = BaseConfig();
+  EXPECT_FALSE(TrainGlmParameterServer(DenseMatrix(0, 2), DenseMatrix(0, 1),
+                                       config)
+                   .ok());
+  EXPECT_FALSE(
+      TrainGlmParameterServer(ds.x, DenseMatrix(ds.x.rows(), 1, 0.5), config).ok());
+}
+
+TEST(PsTrainingTest, ModeNames) {
+  EXPECT_STREQ(ConsistencyModeName(ConsistencyMode::kBsp), "BSP");
+  EXPECT_STREQ(ConsistencyModeName(ConsistencyMode::kAsync), "ASP");
+  EXPECT_STREQ(ConsistencyModeName(ConsistencyMode::kSsp), "SSP");
+}
+
+}  // namespace
+}  // namespace dmml::ps

@@ -1,0 +1,184 @@
+// Property tests for the relational engine over randomized tables:
+// complement/partition laws for Filter, join-algorithm equivalence,
+// aggregate conservation laws and sort invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "relational/operators.h"
+#include "relational/sort_merge_join.h"
+#include "relational/statistics.h"
+#include "storage/table.h"
+#include "util/rng.h"
+
+namespace dmml::relational {
+namespace {
+
+using storage::DataType;
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+
+// A random table with an int key, a double value (some NULLs) and a string
+// category column.
+Table RandomTable(size_t rows, size_t key_space, double null_prob, uint64_t seed) {
+  Table t(Schema({{"k", DataType::kInt64, true},
+                  {"v", DataType::kDouble, true},
+                  {"cat", DataType::kString, true}}));
+  Rng rng(seed);
+  const char* cats[] = {"a", "b", "c", "d"};
+  for (size_t i = 0; i < rows; ++i) {
+    Value v = rng.Bernoulli(null_prob) ? Value(std::monostate{})
+                                       : Value(rng.Normal(0, 10));
+    EXPECT_TRUE(
+        t.AppendRow({static_cast<int64_t>(rng.UniformInt(key_space)), v,
+                     std::string(cats[rng.UniformInt(uint64_t{4})])})
+            .ok());
+  }
+  return t;
+}
+
+class RelationalProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RelationalProperty, FilterPartitionsRows) {
+  // Under two-valued collapse, p and Not(p) partition every table exactly.
+  Table t = RandomTable(200, 20, 0.15, GetParam());
+  auto p = Compare("v", CompareOp::kGt, 0.0);
+  auto kept = Filter(t, p);
+  auto dropped = Filter(t, Not(p));
+  ASSERT_TRUE(kept.ok());
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(kept->num_rows() + dropped->num_rows(), t.num_rows());
+}
+
+TEST_P(RelationalProperty, FilterIsIdempotent) {
+  Table t = RandomTable(150, 10, 0.1, GetParam() + 100);
+  auto p = Compare("k", CompareOp::kLe, int64_t{5});
+  auto once = Filter(t, p);
+  ASSERT_TRUE(once.ok());
+  auto twice = Filter(*once, p);
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(once->num_rows(), twice->num_rows());
+}
+
+TEST_P(RelationalProperty, HashAndSortMergeJoinsAgree) {
+  Table left = RandomTable(120, 15, 0.1, GetParam() + 200);
+  Table right = RandomTable(60, 15, 0.1, GetParam() + 300);
+  JoinOptions options;
+  options.clash_prefix = "r_";
+  auto hj = HashJoin(left, right, "k", "k", options);
+  auto smj = SortMergeJoin(left, right, "k", "k");
+  ASSERT_TRUE(hj.ok());
+  ASSERT_TRUE(smj.ok());
+  EXPECT_EQ(hj->num_rows(), smj->num_rows());
+
+  // Key histograms of both outputs must match exactly.
+  auto histogram = [](const Table& t) {
+    std::map<int64_t, size_t> h;
+    auto idx = *t.schema().FieldIndex("k");
+    for (size_t i = 0; i < t.num_rows(); ++i) h[t.column(idx).GetInt64(i)]++;
+    return h;
+  };
+  EXPECT_EQ(histogram(*hj), histogram(*smj));
+}
+
+TEST_P(RelationalProperty, JoinCardinalityIsSumOfKeyProducts) {
+  Table left = RandomTable(100, 8, 0.0, GetParam() + 400);
+  Table right = RandomTable(50, 8, 0.0, GetParam() + 500);
+  auto joined = HashJoin(left, right, "k", "k");
+  ASSERT_TRUE(joined.ok());
+  std::map<int64_t, size_t> lh, rh;
+  for (size_t i = 0; i < left.num_rows(); ++i) lh[left.column(0).GetInt64(i)]++;
+  for (size_t i = 0; i < right.num_rows(); ++i) rh[right.column(0).GetInt64(i)]++;
+  size_t expected = 0;
+  for (const auto& [key, count] : lh) {
+    auto it = rh.find(key);
+    if (it != rh.end()) expected += count * it->second;
+  }
+  EXPECT_EQ(joined->num_rows(), expected);
+}
+
+TEST_P(RelationalProperty, GroupByCountsConserveRows) {
+  Table t = RandomTable(180, 12, 0.2, GetParam() + 600);
+  auto grouped = GroupBy(t, {"cat"}, {{AggFunc::kCount, "", "n"}});
+  ASSERT_TRUE(grouped.ok());
+  int64_t total = 0;
+  auto n_idx = *grouped->schema().FieldIndex("n");
+  for (size_t i = 0; i < grouped->num_rows(); ++i) {
+    total += grouped->column(n_idx).GetInt64(i);
+  }
+  EXPECT_EQ(static_cast<size_t>(total), t.num_rows());
+}
+
+TEST_P(RelationalProperty, GroupBySumMatchesDirectSum) {
+  Table t = RandomTable(160, 6, 0.1, GetParam() + 700);
+  auto grouped = GroupBy(t, {"k"}, {{AggFunc::kSum, "v", "s"}});
+  ASSERT_TRUE(grouped.ok());
+  double group_total = 0;
+  auto s_idx = *grouped->schema().FieldIndex("s");
+  for (size_t i = 0; i < grouped->num_rows(); ++i) {
+    if (grouped->column(s_idx).IsValid(i)) {
+      group_total += grouped->column(s_idx).GetDouble(i);
+    }
+  }
+  double direct_total = 0;
+  auto v_col = *t.ColumnByName("v");
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    if (v_col->IsValid(i)) direct_total += v_col->GetDouble(i);
+  }
+  EXPECT_NEAR(group_total, direct_total, 1e-9);
+}
+
+TEST_P(RelationalProperty, OrderByIsASortedPermutation) {
+  Table t = RandomTable(130, 100, 0.1, GetParam() + 800);
+  auto sorted = OrderBy(t, "v");
+  ASSERT_TRUE(sorted.ok());
+  ASSERT_EQ(sorted->num_rows(), t.num_rows());
+  auto v_idx = *sorted->schema().FieldIndex("v");
+  // Non-decreasing among non-NULLs, NULLs up front.
+  bool seen_value = false;
+  double prev = -1e300;
+  for (size_t i = 0; i < sorted->num_rows(); ++i) {
+    if (!sorted->column(v_idx).IsValid(i)) {
+      EXPECT_FALSE(seen_value) << "NULL after a value at row " << i;
+      continue;
+    }
+    double v = sorted->column(v_idx).GetDouble(i);
+    if (seen_value) EXPECT_GE(v, prev);
+    prev = v;
+    seen_value = true;
+  }
+  // Multiset of values preserved.
+  auto collect = [v_idx](const Table& table) {
+    std::multiset<double> values;
+    for (size_t i = 0; i < table.num_rows(); ++i) {
+      if (table.column(v_idx).IsValid(i)) {
+        values.insert(table.column(v_idx).GetDouble(i));
+      }
+    }
+    return values;
+  };
+  EXPECT_EQ(collect(*sorted), collect(t));
+}
+
+TEST_P(RelationalProperty, SelectivityEstimateTracksActual) {
+  Table t = RandomTable(500, 30, 0.1, GetParam() + 900);
+  auto stats = CollectStatistics(t);
+  ASSERT_TRUE(stats.ok());
+  for (double threshold : {-5.0, 0.0, 5.0}) {
+    auto est = EstimateSelectivity(*stats, "v", CompareOp::kLt, threshold);
+    ASSERT_TRUE(est.ok());
+    auto actual_rows = Filter(t, Compare("v", CompareOp::kLt, threshold));
+    ASSERT_TRUE(actual_rows.ok());
+    double actual =
+        static_cast<double>(actual_rows->num_rows()) / static_cast<double>(t.num_rows());
+    EXPECT_NEAR(*est, actual, 0.08) << "threshold " << threshold;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelationalProperty, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace dmml::relational

@@ -1,0 +1,279 @@
+// Tests for the relational operators: predicates, filter, project, hash
+// join (inner/left-outer), group-by aggregates, order-by, union, limit.
+#include <gtest/gtest.h>
+
+#include "relational/operators.h"
+#include "relational/predicate.h"
+#include "storage/table.h"
+
+namespace dmml::relational {
+namespace {
+
+using storage::DataType;
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+
+Table Employees() {
+  Table t(Schema({{"id", DataType::kInt64, false},
+                  {"dept", DataType::kString, true},
+                  {"salary", DataType::kDouble, true}}));
+  auto add = [&](int64_t id, const char* dept, double salary) {
+    EXPECT_TRUE(t.AppendRow({id, std::string(dept), salary}).ok());
+  };
+  add(1, "eng", 100);
+  add(2, "eng", 120);
+  add(3, "sales", 80);
+  add(4, "sales", 90);
+  add(5, "hr", 70);
+  return t;
+}
+
+Table Departments() {
+  Table t(Schema({{"name", DataType::kString, false},
+                  {"budget", DataType::kDouble, true}}));
+  EXPECT_TRUE(t.AppendRow({std::string("eng"), 1000.0}).ok());
+  EXPECT_TRUE(t.AppendRow({std::string("sales"), 500.0}).ok());
+  // Note: no "hr" row -> hr employees drop out of inner joins.
+  return t;
+}
+
+TEST(PredicateTest, CompareNumericOps) {
+  Table t = Employees();
+  auto ge = Compare("salary", CompareOp::kGe, 90.0);
+  auto result = Filter(t, ge);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 3u);
+
+  auto eq = Compare("id", CompareOp::kEq, int64_t{3});
+  EXPECT_EQ(Filter(t, eq)->num_rows(), 1u);
+  auto ne = Compare("id", CompareOp::kNe, int64_t{3});
+  EXPECT_EQ(Filter(t, ne)->num_rows(), 4u);
+  auto lt = Compare("salary", CompareOp::kLt, 80.0);
+  EXPECT_EQ(Filter(t, lt)->num_rows(), 1u);
+  auto le = Compare("salary", CompareOp::kLe, 80.0);
+  EXPECT_EQ(Filter(t, le)->num_rows(), 2u);
+  auto gt = Compare("salary", CompareOp::kGt, 100.0);
+  EXPECT_EQ(Filter(t, gt)->num_rows(), 1u);
+}
+
+TEST(PredicateTest, IntColumnComparedToDoubleLiteral) {
+  Table t = Employees();
+  auto p = Compare("id", CompareOp::kLe, 2.5);
+  EXPECT_EQ(Filter(t, p)->num_rows(), 2u);
+}
+
+TEST(PredicateTest, StringCompare) {
+  Table t = Employees();
+  auto p = Compare("dept", CompareOp::kEq, std::string("eng"));
+  EXPECT_EQ(Filter(t, p)->num_rows(), 2u);
+}
+
+TEST(PredicateTest, AndOrNot) {
+  Table t = Employees();
+  auto eng = Compare("dept", CompareOp::kEq, std::string("eng"));
+  auto rich = Compare("salary", CompareOp::kGt, 100.0);
+  EXPECT_EQ(Filter(t, And(eng, rich))->num_rows(), 1u);
+  EXPECT_EQ(Filter(t, Or(eng, rich))->num_rows(), 2u);
+  EXPECT_EQ(Filter(t, Not(eng))->num_rows(), 3u);
+}
+
+TEST(PredicateTest, NullComparisonsAreFalse) {
+  Table t(Schema({{"v", DataType::kDouble, true}}));
+  ASSERT_TRUE(t.AppendRow({1.0}).ok());
+  ASSERT_TRUE(t.AppendRow({std::monostate{}}).ok());
+  auto p = Compare("v", CompareOp::kGe, 0.0);
+  EXPECT_EQ(Filter(t, p)->num_rows(), 1u);
+  // NOT of a NULL comparison stays false-side: NULL row is *included* by Not
+  // only under two-valued collapse; our semantics: Evaluate returned false,
+  // so Not -> true. Document the chosen two-valued behaviour:
+  EXPECT_EQ(Filter(t, Not(p))->num_rows(), 1u);
+  EXPECT_EQ(Filter(t, IsNull("v"))->num_rows(), 1u);
+  EXPECT_EQ(Filter(t, Not(IsNull("v")))->num_rows(), 1u);
+}
+
+TEST(PredicateTest, UnknownColumnIsError) {
+  Table t = Employees();
+  auto p = Compare("ghost", CompareOp::kEq, 1.0);
+  EXPECT_FALSE(Filter(t, p).ok());
+}
+
+TEST(ProjectTest, ReordersAndDrops) {
+  Table t = Employees();
+  auto result = Project(t, {"salary", "id"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->schema().num_fields(), 2u);
+  EXPECT_EQ(result->schema().field(0).name, "salary");
+  EXPECT_DOUBLE_EQ(std::get<double>(result->GetRow(0)[0]), 100.0);
+  EXPECT_FALSE(Project(t, {"nope"}).ok());
+}
+
+TEST(HashJoinTest, InnerJoinOnStringKey) {
+  auto result = HashJoin(Employees(), Departments(), "dept", "name");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 4u);  // hr has no match.
+  // Joined schema carries both sides.
+  EXPECT_TRUE(result->schema().FieldIndex("budget").has_value());
+  EXPECT_TRUE(result->schema().FieldIndex("salary").has_value());
+}
+
+TEST(HashJoinTest, LeftOuterPadsWithNulls) {
+  JoinOptions options;
+  options.type = JoinType::kLeftOuter;
+  auto result = HashJoin(Employees(), Departments(), "dept", "name", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 5u);
+  // The hr row has NULL budget.
+  bool found_null = false;
+  auto budget_idx = *result->schema().FieldIndex("budget");
+  for (size_t i = 0; i < result->num_rows(); ++i) {
+    if (!result->column(budget_idx).IsValid(i)) found_null = true;
+  }
+  EXPECT_TRUE(found_null);
+}
+
+TEST(HashJoinTest, DuplicateBuildKeysFanOut) {
+  Table left(Schema({{"k", DataType::kInt64, false}}));
+  ASSERT_TRUE(left.AppendRow({int64_t{1}}).ok());
+  Table right(Schema({{"k2", DataType::kInt64, false},
+                      {"v", DataType::kDouble, true}}));
+  ASSERT_TRUE(right.AppendRow({int64_t{1}, 10.0}).ok());
+  ASSERT_TRUE(right.AppendRow({int64_t{1}, 20.0}).ok());
+  auto result = HashJoin(left, right, "k", "k2");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 2u);
+}
+
+TEST(HashJoinTest, NullKeysNeverMatch) {
+  Table left(Schema({{"k", DataType::kInt64, true}}));
+  ASSERT_TRUE(left.AppendRow({std::monostate{}}).ok());
+  Table right(Schema({{"k2", DataType::kInt64, true}}));
+  ASSERT_TRUE(right.AppendRow({std::monostate{}}).ok());
+  auto result = HashJoin(left, right, "k", "k2");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 0u);
+}
+
+TEST(HashJoinTest, KeyTypeMismatchIsError) {
+  auto result = HashJoin(Employees(), Departments(), "id", "name");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(HashJoinTest, DoubleKeyRejected) {
+  auto result = HashJoin(Employees(), Employees(), "salary", "salary");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(HashJoinTest, ClashPrefixApplied) {
+  auto result = HashJoin(Employees(), Employees(), "id", "id");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->schema().FieldIndex("r_id").has_value());
+  EXPECT_TRUE(result->schema().FieldIndex("r_salary").has_value());
+}
+
+TEST(GroupByTest, CountSumAvgMinMax) {
+  auto result = GroupBy(Employees(), {"dept"},
+                        {{AggFunc::kCount, "", "n"},
+                         {AggFunc::kSum, "salary", "total"},
+                         {AggFunc::kAvg, "salary", "avg"},
+                         {AggFunc::kMin, "salary", "lo"},
+                         {AggFunc::kMax, "salary", "hi"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 3u);
+  // Find the eng group.
+  auto dept_idx = *result->schema().FieldIndex("dept");
+  for (size_t i = 0; i < result->num_rows(); ++i) {
+    if (result->column(dept_idx).GetString(i) != "eng") continue;
+    auto row = result->GetRow(i);
+    EXPECT_EQ(std::get<int64_t>(row[1]), 2);
+    EXPECT_DOUBLE_EQ(std::get<double>(row[2]), 220.0);
+    EXPECT_DOUBLE_EQ(std::get<double>(row[3]), 110.0);
+    EXPECT_DOUBLE_EQ(std::get<double>(row[4]), 100.0);
+    EXPECT_DOUBLE_EQ(std::get<double>(row[5]), 120.0);
+  }
+}
+
+TEST(GroupByTest, NullsSkippedInAggregatesButCounted) {
+  Table t(Schema({{"g", DataType::kInt64, false}, {"v", DataType::kDouble, true}}));
+  ASSERT_TRUE(t.AppendRow({int64_t{1}, 5.0}).ok());
+  ASSERT_TRUE(t.AppendRow({int64_t{1}, std::monostate{}}).ok());
+  auto result = GroupBy(t, {"g"},
+                        {{AggFunc::kCount, "", "n"}, {AggFunc::kAvg, "v", "avg"}});
+  ASSERT_TRUE(result.ok());
+  auto row = result->GetRow(0);
+  EXPECT_EQ(std::get<int64_t>(row[1]), 2);       // COUNT counts NULL rows.
+  EXPECT_DOUBLE_EQ(std::get<double>(row[2]), 5.0);  // AVG skips NULLs.
+}
+
+TEST(GroupByTest, AllNullGroupYieldsNullAggregate) {
+  Table t(Schema({{"g", DataType::kInt64, false}, {"v", DataType::kDouble, true}}));
+  ASSERT_TRUE(t.AppendRow({int64_t{1}, std::monostate{}}).ok());
+  auto result = GroupBy(t, {"g"}, {{AggFunc::kSum, "v", "s"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(result->GetRow(0)[1]));
+}
+
+TEST(GroupByTest, StringAggregateRejected) {
+  auto result = GroupBy(Employees(), {"dept"}, {{AggFunc::kSum, "dept", "s"}});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GroupByTest, MultiKeyGrouping) {
+  Table t(Schema({{"a", DataType::kInt64, false},
+                  {"b", DataType::kInt64, false},
+                  {"v", DataType::kDouble, true}}));
+  ASSERT_TRUE(t.AppendRow({int64_t{1}, int64_t{1}, 1.0}).ok());
+  ASSERT_TRUE(t.AppendRow({int64_t{1}, int64_t{2}, 2.0}).ok());
+  ASSERT_TRUE(t.AppendRow({int64_t{1}, int64_t{1}, 3.0}).ok());
+  auto result = GroupBy(t, {"a", "b"}, {{AggFunc::kCount, "", "n"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 2u);
+}
+
+TEST(OrderByTest, SortsAscendingAndDescending) {
+  auto asc = OrderBy(Employees(), "salary");
+  ASSERT_TRUE(asc.ok());
+  EXPECT_DOUBLE_EQ(std::get<double>(asc->GetRow(0)[2]), 70.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(asc->GetRow(4)[2]), 120.0);
+  auto desc = OrderBy(Employees(), "salary", false);
+  ASSERT_TRUE(desc.ok());
+  EXPECT_DOUBLE_EQ(std::get<double>(desc->GetRow(0)[2]), 120.0);
+}
+
+TEST(OrderByTest, NullsFirst) {
+  Table t(Schema({{"v", DataType::kDouble, true}}));
+  ASSERT_TRUE(t.AppendRow({2.0}).ok());
+  ASSERT_TRUE(t.AppendRow({std::monostate{}}).ok());
+  ASSERT_TRUE(t.AppendRow({1.0}).ok());
+  auto result = OrderBy(t, "v");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(result->GetRow(0)[0]));
+  EXPECT_DOUBLE_EQ(std::get<double>(result->GetRow(1)[0]), 1.0);
+}
+
+TEST(UnionTest, ConcatenatesMatchingSchemas) {
+  auto u = Union(Employees(), Employees());
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->num_rows(), 10u);
+  EXPECT_FALSE(Union(Employees(), Departments()).ok());
+}
+
+TEST(LimitTest, TruncatesAndHandlesOverrun) {
+  EXPECT_EQ(Limit(Employees(), 2).num_rows(), 2u);
+  EXPECT_EQ(Limit(Employees(), 100).num_rows(), 5u);
+  EXPECT_EQ(Limit(Employees(), 0).num_rows(), 0u);
+}
+
+TEST(PipelineTest, FilterJoinAggregateEndToEnd) {
+  // Average salary by department budget bracket for employees earning >= 80.
+  auto filtered = Filter(Employees(), Compare("salary", CompareOp::kGe, 80.0));
+  ASSERT_TRUE(filtered.ok());
+  auto joined = HashJoin(*filtered, Departments(), "dept", "name");
+  ASSERT_TRUE(joined.ok());
+  auto grouped = GroupBy(*joined, {"dept"}, {{AggFunc::kAvg, "salary", "avg_salary"}});
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->num_rows(), 2u);  // eng and sales; hr filtered by join.
+}
+
+}  // namespace
+}  // namespace dmml::relational

@@ -1,0 +1,193 @@
+// Tests for softmax regression and gradient-sparsified parameter-server
+// training (top-k pushes with error feedback).
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "ml/metrics.h"
+#include "ml/softmax.h"
+#include "ps/parameter_server.h"
+
+namespace dmml {
+namespace {
+
+using la::DenseMatrix;
+
+// --------------------------------------------------------------------------
+// Softmax regression
+// --------------------------------------------------------------------------
+
+TEST(SoftmaxTest, SeparatesThreeBlobs) {
+  auto blobs = data::MakeBlobs(450, 3, 3, 8.0, 1.0, 1);
+  auto model = ml::TrainSoftmax(blobs.x, blobs.labels);
+  ASSERT_TRUE(model.ok());
+  auto pred = *model->Predict(blobs.x);
+  int hits = 0;
+  for (size_t i = 0; i < pred.size(); ++i) hits += pred[i] == blobs.labels[i];
+  EXPECT_GT(static_cast<double>(hits) / pred.size(), 0.95);
+}
+
+TEST(SoftmaxTest, ProbabilitiesSumToOne) {
+  auto blobs = data::MakeBlobs(120, 2, 4, 5.0, 1.2, 2);
+  auto model = ml::TrainSoftmax(blobs.x, blobs.labels);
+  ASSERT_TRUE(model.ok());
+  auto probs = *model->PredictProba(blobs.x);
+  for (size_t i = 0; i < probs.rows(); ++i) {
+    double total = 0;
+    for (size_t c = 0; c < probs.cols(); ++c) {
+      EXPECT_GE(probs.At(i, c), 0.0);
+      total += probs.At(i, c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(SoftmaxTest, LossDecreasesMonotonically) {
+  auto blobs = data::MakeBlobs(200, 3, 3, 4.0, 1.5, 3);
+  ml::SoftmaxConfig config;
+  config.max_epochs = 50;
+  config.tolerance = 0;
+  auto model = ml::TrainSoftmax(blobs.x, blobs.labels, config);
+  ASSERT_TRUE(model.ok());
+  for (size_t e = 1; e < model->loss_history.size(); ++e) {
+    EXPECT_LE(model->loss_history[e], model->loss_history[e - 1] + 1e-9);
+  }
+}
+
+TEST(SoftmaxTest, TwoClassMatchesLogisticFamilyAccuracy) {
+  auto ds = data::MakeClassification(500, 4, 0.05, 4);
+  std::vector<int> labels(ds.y.rows());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int>(ds.y.At(i, 0));
+  }
+  ml::SoftmaxConfig config;
+  config.max_epochs = 500;
+  auto model = ml::TrainSoftmax(ds.x, labels, config);
+  ASSERT_TRUE(model.ok());
+  auto pred = *model->Predict(ds.x);
+  int hits = 0;
+  for (size_t i = 0; i < pred.size(); ++i) hits += pred[i] == labels[i];
+  double softmax_acc = static_cast<double>(hits) / pred.size();
+
+  // On two classes softmax must match the Binomial GLM, which is the ground
+  // truth for what is achievable on this (noisy) dataset.
+  ml::GlmConfig glm_config;
+  glm_config.family = ml::GlmFamily::kBinomial;
+  glm_config.learning_rate = 0.5;
+  glm_config.max_epochs = 500;
+  auto glm = ml::TrainGlm(ds.x, ds.y, glm_config);
+  ASSERT_TRUE(glm.ok());
+  double glm_acc = *ml::Accuracy(ds.y, *glm->PredictLabels(ds.x));
+  EXPECT_NEAR(softmax_acc, glm_acc, 0.02);
+  EXPECT_GT(softmax_acc, 0.7);
+}
+
+TEST(SoftmaxTest, ArbitraryLabelValuesPreserved) {
+  auto blobs = data::MakeBlobs(150, 2, 3, 10.0, 0.5, 5);
+  std::vector<int> labels(blobs.labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) labels[i] = blobs.labels[i] * 100 - 7;
+  auto model = ml::TrainSoftmax(blobs.x, labels);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->classes, (std::vector<int>{-7, 93, 193}));
+  auto pred = model->Predict(blobs.x);
+  ASSERT_TRUE(pred.ok());
+  for (int p : *pred) {
+    EXPECT_TRUE(p == -7 || p == 93 || p == 193);
+  }
+}
+
+TEST(SoftmaxTest, Validation) {
+  EXPECT_FALSE(ml::TrainSoftmax(DenseMatrix(0, 2), {}).ok());
+  EXPECT_FALSE(ml::TrainSoftmax(DenseMatrix(3, 2), {0, 1}).ok());
+  EXPECT_FALSE(ml::TrainSoftmax(DenseMatrix(3, 2), {5, 5, 5}).ok());
+  auto blobs = data::MakeBlobs(50, 2, 2, 8.0, 0.5, 6);
+  ml::SoftmaxConfig config;
+  config.learning_rate = 0;
+  EXPECT_FALSE(ml::TrainSoftmax(blobs.x, blobs.labels, config).ok());
+  auto model = ml::TrainSoftmax(blobs.x, blobs.labels);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->Predict(DenseMatrix(2, 5)).ok());
+}
+
+// --------------------------------------------------------------------------
+// Gradient-sparsified parameter server
+// --------------------------------------------------------------------------
+
+ps::PsConfig SparseBase() {
+  ps::PsConfig config;
+  config.num_workers = 2;
+  config.epochs = 30;
+  config.batch_size = 32;
+  config.learning_rate = 0.2;
+  config.family = ml::GlmFamily::kBinomial;
+  return config;
+}
+
+TEST(SparsePsTest, PushSparseUpdatesOnlyGivenCoordinates) {
+  ps::ParameterServer server(4, 1);
+  server.PushSparse({1, 3}, {2.0, -1.0}, 0.5, 0.1);
+  std::vector<double> w;
+  double b = 0;
+  server.Pull(&w, &b);
+  EXPECT_DOUBLE_EQ(w[0], 0.0);
+  EXPECT_DOUBLE_EQ(w[1], -0.2);
+  EXPECT_DOUBLE_EQ(w[2], 0.0);
+  EXPECT_DOUBLE_EQ(w[3], 0.1);
+  EXPECT_DOUBLE_EQ(b, -0.05);
+}
+
+TEST(SparsePsTest, TopKReducesCommunication) {
+  auto ds = data::MakeClassification(800, 40, 0.0, 7);
+  ps::PsConfig dense = SparseBase();
+  auto dense_result = ps::TrainGlmParameterServer(ds.x, ds.y, dense);
+  ASSERT_TRUE(dense_result.ok());
+
+  ps::PsConfig sparse = SparseBase();
+  sparse.topk_fraction = 0.1;  // 4 of 40 coordinates per push.
+  auto sparse_result = ps::TrainGlmParameterServer(ds.x, ds.y, sparse);
+  ASSERT_TRUE(sparse_result.ok());
+
+  EXPECT_EQ(dense_result->total_coordinates_pushed,
+            dense_result->total_pushes * 40);
+  EXPECT_EQ(sparse_result->total_coordinates_pushed,
+            sparse_result->total_pushes * 4);
+  EXPECT_LT(sparse_result->total_coordinates_pushed,
+            dense_result->total_coordinates_pushed / 5);
+}
+
+TEST(SparsePsTest, ErrorFeedbackPreservesConvergence) {
+  auto ds = data::MakeClassification(800, 40, 0.0, 8);
+  ps::PsConfig sparse = SparseBase();
+  sparse.topk_fraction = 0.1;
+  auto result = ps::TrainGlmParameterServer(ds.x, ds.y, sparse);
+  ASSERT_TRUE(result.ok());
+  auto labels = result->model.PredictLabels(ds.x);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_GT(*ml::Accuracy(ds.y, *labels), 0.85);
+  EXPECT_LT(result->loss_per_epoch.back(), result->loss_per_epoch.front());
+}
+
+TEST(SparsePsTest, WorksAcrossConsistencyModes) {
+  auto ds = data::MakeClassification(400, 20, 0.05, 9);
+  for (auto mode : {ps::ConsistencyMode::kBsp, ps::ConsistencyMode::kAsync,
+                    ps::ConsistencyMode::kSsp}) {
+    ps::PsConfig config = SparseBase();
+    config.mode = mode;
+    config.topk_fraction = 0.25;
+    auto result = ps::TrainGlmParameterServer(ds.x, ds.y, config);
+    ASSERT_TRUE(result.ok()) << ps::ConsistencyModeName(mode);
+    auto labels = result->model.PredictLabels(ds.x);
+    EXPECT_GT(*ml::Accuracy(ds.y, *labels), 0.8) << ps::ConsistencyModeName(mode);
+  }
+}
+
+TEST(SparsePsTest, InvalidFractionRejected) {
+  auto ds = data::MakeClassification(100, 5, 0.0, 10);
+  ps::PsConfig config = SparseBase();
+  config.topk_fraction = 0;
+  EXPECT_FALSE(ps::TrainGlmParameterServer(ds.x, ds.y, config).ok());
+  config.topk_fraction = 1.5;
+  EXPECT_FALSE(ps::TrainGlmParameterServer(ds.x, ds.y, config).ok());
+}
+
+}  // namespace
+}  // namespace dmml

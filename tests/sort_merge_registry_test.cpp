@@ -1,0 +1,230 @@
+// Tests for the sort-merge join (vs hash join equivalence) and the
+// model registry (versioned model management).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "data/generators.h"
+#include "ml/glm.h"
+#include "modelsel/model_registry.h"
+#include "relational/sort_merge_join.h"
+
+namespace dmml {
+namespace {
+
+using relational::HashJoin;
+using relational::SortMergeJoin;
+using storage::DataType;
+using storage::Schema;
+using storage::Table;
+
+// --------------------------------------------------------------------------
+// Sort-merge join
+// --------------------------------------------------------------------------
+
+Table MakeKeyed(const std::vector<int64_t>& keys, const std::vector<double>& values,
+                const char* key_name, const char* value_name) {
+  Table t(Schema({{key_name, DataType::kInt64, true},
+                  {value_name, DataType::kDouble, true}}));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_TRUE(t.AppendRow({keys[i], values[i]}).ok());
+  }
+  return t;
+}
+
+// Canonical multiset of (key, lvalue, rvalue) triples from a join output.
+std::vector<std::tuple<int64_t, double, double>> Triples(const Table& joined) {
+  std::vector<std::tuple<int64_t, double, double>> out;
+  auto k = *joined.schema().FieldIndex("k");
+  auto lv = *joined.schema().FieldIndex("lv");
+  auto rv = *joined.schema().FieldIndex("rv");
+  for (size_t i = 0; i < joined.num_rows(); ++i) {
+    out.emplace_back(joined.column(k).GetInt64(i), joined.column(lv).GetDouble(i),
+                     joined.column(rv).GetDouble(i));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(SortMergeJoinTest, MatchesHashJoinRowMultiset) {
+  Rng rng(1);
+  std::vector<int64_t> lkeys, rkeys;
+  std::vector<double> lvals, rvals;
+  for (int i = 0; i < 200; ++i) {
+    lkeys.push_back(static_cast<int64_t>(rng.UniformInt(uint64_t{30})));
+    lvals.push_back(rng.Normal());
+  }
+  for (int i = 0; i < 60; ++i) {
+    rkeys.push_back(static_cast<int64_t>(rng.UniformInt(uint64_t{30})));
+    rvals.push_back(rng.Normal());
+  }
+  Table left = MakeKeyed(lkeys, lvals, "k", "lv");
+  Table right = MakeKeyed(rkeys, rvals, "k2", "rv");
+  // Rename right key to line up schemas: select k2 as key on the right.
+  auto smj = SortMergeJoin(left, right, "k", "k2");
+  auto hj = HashJoin(left, right, "k", "k2");
+  ASSERT_TRUE(smj.ok());
+  ASSERT_TRUE(hj.ok());
+  EXPECT_EQ(smj->num_rows(), hj->num_rows());
+  EXPECT_EQ(Triples(*smj), Triples(*hj));
+}
+
+TEST(SortMergeJoinTest, OutputIsKeyOrdered) {
+  Table left = MakeKeyed({5, 1, 3}, {50, 10, 30}, "k", "lv");
+  Table right = MakeKeyed({3, 5, 1}, {0.3, 0.5, 0.1}, "k2", "rv");
+  auto joined = SortMergeJoin(left, right, "k", "k2");
+  ASSERT_TRUE(joined.ok());
+  ASSERT_EQ(joined->num_rows(), 3u);
+  auto k = *joined->schema().FieldIndex("k");
+  EXPECT_EQ(joined->column(k).GetInt64(0), 1);
+  EXPECT_EQ(joined->column(k).GetInt64(1), 3);
+  EXPECT_EQ(joined->column(k).GetInt64(2), 5);
+}
+
+TEST(SortMergeJoinTest, ManyToManyFansOut) {
+  Table left = MakeKeyed({1, 1}, {10, 11}, "k", "lv");
+  Table right = MakeKeyed({1, 1, 1}, {0.1, 0.2, 0.3}, "k2", "rv");
+  auto joined = SortMergeJoin(left, right, "k", "k2");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->num_rows(), 6u);
+}
+
+TEST(SortMergeJoinTest, NullKeysDropped) {
+  Table left(Schema({{"k", DataType::kInt64, true}}));
+  ASSERT_TRUE(left.AppendRow({std::monostate{}}).ok());
+  ASSERT_TRUE(left.AppendRow({int64_t{1}}).ok());
+  Table right(Schema({{"k2", DataType::kInt64, true}}));
+  ASSERT_TRUE(right.AppendRow({int64_t{1}}).ok());
+  ASSERT_TRUE(right.AppendRow({std::monostate{}}).ok());
+  auto joined = SortMergeJoin(left, right, "k", "k2");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->num_rows(), 1u);
+}
+
+TEST(SortMergeJoinTest, StringKeysAndValidation) {
+  Table left(Schema({{"k", DataType::kString, true}}));
+  ASSERT_TRUE(left.AppendRow({std::string("b")}).ok());
+  ASSERT_TRUE(left.AppendRow({std::string("a")}).ok());
+  Table right(Schema({{"k2", DataType::kString, true}}));
+  ASSERT_TRUE(right.AppendRow({std::string("a")}).ok());
+  auto joined = SortMergeJoin(left, right, "k", "k2");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->num_rows(), 1u);
+
+  Table dbl(Schema({{"k3", DataType::kDouble, true}}));
+  EXPECT_FALSE(SortMergeJoin(left, dbl, "k", "k3").ok());
+  EXPECT_FALSE(SortMergeJoin(left, right, "nope", "k2").ok());
+}
+
+// --------------------------------------------------------------------------
+// Model registry
+// --------------------------------------------------------------------------
+
+class ModelRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = testing::TempDir() + "/dmml_registry_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this));
+    // Fresh directory per test.
+    std::string cmd = "rm -rf " + root_;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+
+  ml::GlmModel TrainSmallModel(uint64_t seed) {
+    auto ds = data::MakeRegression(100, 3, 0.1, seed);
+    ml::GlmConfig config;
+    config.solver = ml::GlmSolver::kNormalEquations;
+    return *ml::TrainGlm(ds.x, ds.y, config);
+  }
+
+  std::string root_;
+};
+
+TEST_F(ModelRegistryTest, SaveLoadRoundTrip) {
+  auto registry = modelsel::ModelRegistry::Open(root_);
+  ASSERT_TRUE(registry.ok());
+  auto model = TrainSmallModel(1);
+  auto version = registry->Save("churn", model, {{"dataset", "synthetic"}});
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, 1u);
+
+  auto loaded = registry->Load("churn");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->weights.ApproxEquals(model.weights, 0));
+  EXPECT_DOUBLE_EQ(loaded->intercept, model.intercept);
+  EXPECT_EQ(loaded->family, model.family);
+}
+
+TEST_F(ModelRegistryTest, VersionsAreAppendOnly) {
+  auto registry = modelsel::ModelRegistry::Open(root_);
+  ASSERT_TRUE(registry.ok());
+  auto m1 = TrainSmallModel(1);
+  auto m2 = TrainSmallModel(2);
+  EXPECT_EQ(*registry->Save("m", m1), 1u);
+  EXPECT_EQ(*registry->Save("m", m2), 2u);
+  EXPECT_EQ(registry->ListVersions("m"), (std::vector<size_t>{1, 2}));
+
+  // Latest is v2; v1 remains loadable.
+  auto latest = registry->Load("m");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_TRUE(latest->weights.ApproxEquals(m2.weights, 0));
+  auto v1 = registry->Load("m", 1);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_TRUE(v1->weights.ApproxEquals(m1.weights, 0));
+}
+
+TEST_F(ModelRegistryTest, RecordsCarryTags) {
+  auto registry = modelsel::ModelRegistry::Open(root_);
+  ASSERT_TRUE(registry.ok());
+  auto model = TrainSmallModel(3);
+  ASSERT_TRUE(
+      registry->Save("tagged", model, {{"rmse", "0.123"}, {"owner", "alice"}}).ok());
+  auto record = registry->GetRecord("tagged");
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->name, "tagged");
+  EXPECT_EQ(record->version, 1u);
+  EXPECT_EQ(record->num_features, 3u);
+  EXPECT_EQ(record->tags.at("rmse"), "0.123");
+  EXPECT_EQ(record->tags.at("owner"), "alice");
+}
+
+TEST_F(ModelRegistryTest, ListModels) {
+  auto registry = modelsel::ModelRegistry::Open(root_);
+  ASSERT_TRUE(registry.ok());
+  auto model = TrainSmallModel(4);
+  ASSERT_TRUE(registry->Save("alpha", model).ok());
+  ASSERT_TRUE(registry->Save("beta", model).ok());
+  EXPECT_EQ(registry->ListModels(), (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST_F(ModelRegistryTest, ErrorsOnMisuse) {
+  auto registry = modelsel::ModelRegistry::Open(root_);
+  ASSERT_TRUE(registry.ok());
+  EXPECT_FALSE(registry->Load("ghost").ok());
+  EXPECT_FALSE(registry->GetRecord("ghost").ok());
+  auto model = TrainSmallModel(5);
+  EXPECT_FALSE(registry->Save("bad name!", model).ok());
+  EXPECT_FALSE(registry->Save("", model).ok());
+  ml::GlmModel untrained;
+  EXPECT_FALSE(registry->Save("empty", untrained).ok());
+  ASSERT_TRUE(registry->Save("ok", model).ok());
+  EXPECT_FALSE(registry->Load("ok", 99).ok());
+  // Tag keys with spaces rejected.
+  EXPECT_FALSE(registry->Save("ok", model, {{"bad key", "v"}}).ok());
+}
+
+TEST_F(ModelRegistryTest, ReopenSeesExistingModels) {
+  {
+    auto registry = modelsel::ModelRegistry::Open(root_);
+    ASSERT_TRUE(registry.ok());
+    ASSERT_TRUE(registry->Save("persist", TrainSmallModel(6)).ok());
+  }
+  auto reopened = modelsel::ModelRegistry::Open(root_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->ListModels(), std::vector<std::string>{"persist"});
+  EXPECT_TRUE(reopened->Load("persist").ok());
+}
+
+}  // namespace
+}  // namespace dmml

@@ -1,0 +1,242 @@
+// Tests for the storage layer: types, columns, schemas, tables, catalog,
+// CSV load/store and table->matrix bridging.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "storage/catalog.h"
+#include "storage/column.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/types.h"
+
+namespace dmml::storage {
+namespace {
+
+TEST(TypesTest, NamesRoundTrip) {
+  EXPECT_STREQ(DataTypeToString(DataType::kInt64), "INT64");
+  EXPECT_STREQ(DataTypeToString(DataType::kDouble), "DOUBLE");
+  EXPECT_STREQ(DataTypeToString(DataType::kString), "STRING");
+  EXPECT_STREQ(DataTypeToString(DataType::kBool), "BOOL");
+  DataType t;
+  EXPECT_TRUE(ParseDataType("double", &t));
+  EXPECT_EQ(t, DataType::kDouble);
+  EXPECT_TRUE(ParseDataType("BIGINT", &t));
+  EXPECT_EQ(t, DataType::kInt64);
+  EXPECT_TRUE(ParseDataType("varchar", &t));
+  EXPECT_EQ(t, DataType::kString);
+  EXPECT_FALSE(ParseDataType("blob", &t));
+}
+
+TEST(ColumnTest, TypedAppendAndGet) {
+  Column c(DataType::kInt64);
+  c.AppendInt64(7);
+  c.AppendNull();
+  c.AppendInt64(-3);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.null_count(), 1u);
+  EXPECT_TRUE(c.IsValid(0));
+  EXPECT_FALSE(c.IsValid(1));
+  EXPECT_EQ(c.GetInt64(0), 7);
+  EXPECT_EQ(c.GetInt64(2), -3);
+}
+
+TEST(ColumnTest, GenericAppendValidatesType) {
+  Column c(DataType::kDouble);
+  EXPECT_TRUE(c.Append(Value(1.5)).ok());
+  EXPECT_FALSE(c.Append(Value(int64_t{1})).ok());
+  EXPECT_TRUE(c.Append(Value(std::monostate{})).ok());  // NULL always allowed.
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(ColumnTest, GetValueAndNumeric) {
+  Column c(DataType::kBool);
+  c.AppendBool(true);
+  c.AppendNull();
+  EXPECT_EQ(std::get<bool>(c.GetValue(0)), true);
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(c.GetValue(1)));
+  EXPECT_DOUBLE_EQ(*c.GetNumeric(0), 1.0);
+  EXPECT_FALSE(c.GetNumeric(1).ok());
+
+  Column s(DataType::kString);
+  s.AppendString("abc");
+  EXPECT_FALSE(s.GetNumeric(0).ok());
+  EXPECT_EQ(s.GetString(0), "abc");
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(ValueToString(Value(int64_t{42})), "42");
+  EXPECT_EQ(ValueToString(Value(std::string("hi"))), "hi");
+  EXPECT_EQ(ValueToString(Value(true)), "true");
+  EXPECT_EQ(ValueToString(Value(std::monostate{})), "");
+}
+
+TEST(SchemaTest, MakeRejectsDuplicates) {
+  auto ok =
+      Schema::Make({{"a", DataType::kInt64, false}, {"b", DataType::kDouble, true}});
+  ASSERT_TRUE(ok.ok());
+  auto bad =
+      Schema::Make({{"a", DataType::kInt64, false}, {"a", DataType::kDouble, true}});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(SchemaTest, FieldLookup) {
+  Schema s({{"x", DataType::kDouble, true}, {"y", DataType::kInt64, true}});
+  EXPECT_EQ(*s.FieldIndex("y"), 1u);
+  EXPECT_FALSE(s.FieldIndex("z").has_value());
+  EXPECT_TRUE(s.RequireField("x").ok());
+  EXPECT_EQ(s.RequireField("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, ConcatDisambiguatesClashes) {
+  Schema a({{"id", DataType::kInt64, false}, {"v", DataType::kDouble, true}});
+  Schema b({{"id", DataType::kInt64, false}, {"w", DataType::kDouble, true}});
+  Schema joined = a.Concat(b, "r_");
+  EXPECT_EQ(joined.num_fields(), 4u);
+  EXPECT_TRUE(joined.FieldIndex("r_id").has_value());
+  EXPECT_TRUE(joined.FieldIndex("w").has_value());
+}
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64, false},
+                 {"name", DataType::kString, true},
+                 {"score", DataType::kDouble, true},
+                 {"active", DataType::kBool, true}});
+}
+
+TEST(TableTest, AppendAndGetRow) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.AppendRow({int64_t{1}, std::string("ann"), 0.5, true}).ok());
+  ASSERT_TRUE(t.AppendRow({int64_t{2}, std::monostate{}, std::monostate{}, false}).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  auto row = t.GetRow(1);
+  EXPECT_EQ(std::get<int64_t>(row[0]), 2);
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(row[1]));
+}
+
+TEST(TableTest, AppendRowValidation) {
+  Table t(TestSchema());
+  EXPECT_FALSE(t.AppendRow({int64_t{1}}).ok());  // Wrong arity.
+  EXPECT_FALSE(t.AppendRow({0.5, std::string("x"), 0.5, true}).ok());  // Wrong type.
+  EXPECT_FALSE(
+      t.AppendRow({std::monostate{}, std::string("x"), 0.5, true}).ok());  // NULL PK.
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TableTest, ColumnByName) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.AppendRow({int64_t{1}, std::string("a"), 2.0, true}).ok());
+  auto col = t.ColumnByName("score");
+  ASSERT_TRUE(col.ok());
+  EXPECT_DOUBLE_EQ((*col)->GetDouble(0), 2.0);
+  EXPECT_FALSE(t.ColumnByName("missing").ok());
+}
+
+TEST(TableTest, ToMatrixProjectsNumericColumns) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.AppendRow({int64_t{1}, std::string("a"), 2.0, true}).ok());
+  ASSERT_TRUE(t.AppendRow({int64_t{5}, std::string("b"), -1.0, false}).ok());
+  auto m = t.ToMatrix({"score", "id", "active"});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->rows(), 2u);
+  EXPECT_EQ(m->cols(), 3u);
+  EXPECT_DOUBLE_EQ(m->At(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m->At(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m->At(0, 2), 1.0);
+}
+
+TEST(TableTest, ToMatrixRejectsStrings) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.AppendRow({int64_t{1}, std::string("a"), 2.0, true}).ok());
+  EXPECT_FALSE(t.ToMatrix({"name"}).ok());
+}
+
+TEST(TableTest, ToMatrixNullPolicy) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.AppendRow({int64_t{1}, std::string("a"), std::monostate{}, true}).ok());
+  auto lenient = t.ToMatrix({"score"});
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_DOUBLE_EQ(lenient->At(0, 0), 0.0);  // NULL -> 0.
+  EXPECT_FALSE(t.ToMatrix({"score"}, /*reject_nulls=*/true).ok());
+}
+
+TEST(TableTest, ColumnToVector) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.AppendRow({int64_t{3}, std::string("a"), 1.5, true}).ok());
+  auto v = t.ColumnToVector("id");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->rows(), 1u);
+  EXPECT_DOUBLE_EQ(v->At(0, 0), 3.0);
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.AppendRow({int64_t{1}, std::string("a,b"), 2.5, true}).ok());
+  ASSERT_TRUE(t.AppendRow({int64_t{2}, std::monostate{}, -0.5, false}).ok());
+  std::string path = testing::TempDir() + "/dmml_table_test.csv";
+  ASSERT_TRUE(t.ToCsvFile(path).ok());
+
+  auto loaded = Table::FromCsvFile(path, TestSchema());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_rows(), 2u);
+  EXPECT_EQ(std::get<std::string>(loaded->GetRow(0)[1]), "a,b");
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(loaded->GetRow(1)[1]));
+  EXPECT_DOUBLE_EQ(std::get<double>(loaded->GetRow(1)[2]), -0.5);
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, FromCsvRejectsBadArity) {
+  std::string path = testing::TempDir() + "/dmml_bad_arity.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("id,name,score,active\n1,a\n", f);
+  fclose(f);
+  EXPECT_FALSE(Table::FromCsvFile(path, TestSchema()).ok());
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, FromCsvRejectsBadNumbers) {
+  std::string path = testing::TempDir() + "/dmml_bad_num.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("id,name,score,active\nnotanint,a,1.0,true\n", f);
+  fclose(f);
+  EXPECT_FALSE(Table::FromCsvFile(path, TestSchema()).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CatalogTest, RegisterLookupDrop) {
+  Catalog catalog;
+  Table t(TestSchema());
+  ASSERT_TRUE(catalog.RegisterTable("users", std::move(t)).ok());
+  EXPECT_TRUE(catalog.HasTable("users"));
+  EXPECT_FALSE(catalog.RegisterTable("users", Table(TestSchema())).ok());
+
+  auto got = catalog.GetTable("users");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->num_rows(), 0u);
+  EXPECT_FALSE(catalog.GetTable("ghosts").ok());
+
+  EXPECT_EQ(catalog.TableNames(), std::vector<std::string>{"users"});
+  EXPECT_TRUE(catalog.DropTable("users").ok());
+  EXPECT_FALSE(catalog.DropTable("users").ok());
+  EXPECT_FALSE(catalog.HasTable("users"));
+}
+
+TEST(CatalogTest, PutTableReplaces) {
+  Catalog catalog;
+  catalog.PutTable("t", Table(TestSchema()));
+  Table t2(TestSchema());
+  ASSERT_TRUE(t2.AppendRow({int64_t{1}, std::string("x"), 1.0, true}).ok());
+  catalog.PutTable("t", std::move(t2));
+  EXPECT_EQ((*catalog.GetTable("t"))->num_rows(), 1u);
+}
+
+TEST(CatalogTest, SharedPtrSurvivesDrop) {
+  Catalog catalog;
+  catalog.PutTable("t", Table(TestSchema()));
+  auto ref = *catalog.GetTable("t");
+  ASSERT_TRUE(catalog.DropTable("t").ok());
+  EXPECT_EQ(ref->num_rows(), 0u);  // Still alive through the shared_ptr.
+}
+
+}  // namespace
+}  // namespace dmml::storage

@@ -1,0 +1,385 @@
+// Tests for the util substrate: Status/Result, logging levels, Rng,
+// string utilities, CSV parsing and the thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "util/csv.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_utils.h"
+#include "util/thread_pool.h"
+
+namespace dmml {
+namespace {
+
+// --------------------------------------------------------------------------
+// Status / Result
+// --------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad value");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad value");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad value");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+Status FailThenPropagate() {
+  DMML_RETURN_IF_ERROR(Status::IOError("disk gone"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  Status s = FailThenPropagate();
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Result<int> DoubleIt(int v) {
+  DMML_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(ResultTest, ValuePath) {
+  Result<int> r = DoubleIt(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, ErrorPath) {
+  Result<int> r = DoubleIt(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  EXPECT_EQ(DoubleIt(-3).ValueOr(7), 7);
+  EXPECT_EQ(DoubleIt(3).ValueOr(7), 6);
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).ValueOrDie();
+  EXPECT_EQ(*p, 5);
+}
+
+// --------------------------------------------------------------------------
+// Rng
+// --------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int diffs = 0;
+  for (int i = 0; i < 20; ++i) diffs += a.Next() != b.Next();
+  EXPECT_GT(diffs, 15);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntIsInRangeAndCoversValues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformInt(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, NormalHasRoughlyZeroMeanUnitVar) {
+  Rng rng(99);
+  const int n = 20000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(11);
+  ZipfGenerator zipf(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) counts[zipf.Sample(&rng)]++;
+  EXPECT_GT(counts[0], counts[50] * 5);
+  EXPECT_GT(counts[0], counts[10]);
+}
+
+TEST(RngTest, ZipfZeroSkewIsUniformish) {
+  Rng rng(11);
+  ZipfGenerator zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) counts[zipf.Sample(&rng)]++;
+  for (int c : counts) EXPECT_NEAR(c, 5000, 600);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(3);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto original = v;
+  rng.Shuffle(&v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+  EXPECT_NE(v, original);  // With overwhelming probability.
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> weights{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 10000; ++i) counts[rng.Discrete(weights)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.Split();
+  Rng b(42);
+  b.Next();  // Split consumed one value.
+  EXPECT_EQ(a.Next(), b.Next());
+  // Child stream should differ from parent's continuation.
+  EXPECT_NE(child.Next(), a.Next());
+}
+
+// --------------------------------------------------------------------------
+// String utils
+// --------------------------------------------------------------------------
+
+TEST(StringUtilsTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilsTest, TrimStripsWhitespace) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringUtilsTest, ParseDoubleAcceptsNumbers) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble(" -1e3 "), -1000.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("0"), 0.0);
+}
+
+TEST(StringUtilsTest, ParseDoubleRejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+}
+
+TEST(StringUtilsTest, ParseInt64RoundTrips) {
+  EXPECT_EQ(*ParseInt64("-42"), -42);
+  EXPECT_EQ(*ParseInt64("9007199254740993"), 9007199254740993LL);
+  EXPECT_FALSE(ParseInt64("12.5").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+}
+
+TEST(StringUtilsTest, JoinConcatenates) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("hello", "lo"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+// --------------------------------------------------------------------------
+// CSV
+// --------------------------------------------------------------------------
+
+TEST(CsvTest, ParsesSimpleDocument) {
+  auto doc = ParseCsv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[1][2], "6");
+}
+
+TEST(CsvTest, HandlesQuotedFieldsWithCommasAndQuotes) {
+  auto doc = ParseCsv("name,desc\n\"Smith, John\",\"said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0][0], "Smith, John");
+  EXPECT_EQ(doc->rows[0][1], "said \"hi\"");
+}
+
+TEST(CsvTest, HandlesNewlinesInsideQuotes) {
+  auto doc = ParseCsv("a\n\"line1\nline2\"\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 1u);
+  EXPECT_EQ(doc->rows[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, HandlesCrLf) {
+  auto doc = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 1u);
+  EXPECT_EQ(doc->rows[0][1], "2");
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsv("a\n\"unterminated\n").ok());
+}
+
+TEST(CsvTest, NoHeaderMode) {
+  CsvOptions opts;
+  opts.has_header = false;
+  auto doc = ParseCsv("1,2\n3,4\n", opts);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->header.empty());
+  EXPECT_EQ(doc->rows.size(), 2u);
+}
+
+TEST(CsvTest, EmptyHeaderOnlyDocument) {
+  auto doc = ParseCsv("a,b\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->rows.empty());
+}
+
+TEST(CsvTest, EscapeQuotesWhenNeeded) {
+  EXPECT_EQ(EscapeCsvField("plain"), "plain");
+  EXPECT_EQ(EscapeCsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("q\"q"), "\"q\"\"q\"");
+  EXPECT_EQ(EscapeCsvField("nl\n"), "\"nl\n\"");
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::string path = testing::TempDir() + "/dmml_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(path, {"x", "y"}, {{"1", "a,b"}, {"2", "c"}}).ok());
+  auto doc = ReadCsvFile(path);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->header, (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(doc->rows[0][1], "a,b");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  auto doc = ReadCsvFile("/nonexistent/definitely/missing.csv");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kIOError);
+}
+
+// --------------------------------------------------------------------------
+// ThreadPool
+// --------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { counter++; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, 1000, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i]++;
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForNullPoolRunsInline) {
+  int calls = 0;
+  ParallelFor(nullptr, 10, [&](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 10u);
+    calls++;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroElements) {
+  ThreadPool pool(2);
+  bool called = false;
+  ParallelFor(&pool, 0, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, WaitAllBlocksUntilDrained) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&done] { done++; });
+  }
+  pool.WaitAll();
+  EXPECT_EQ(done.load(), 20);
+}
+
+}  // namespace
+}  // namespace dmml
