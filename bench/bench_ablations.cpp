@@ -341,5 +341,6 @@ int main() {
   SparsePushAblation();
   SparseTrainingAblation();
   FusionAblation();
+  dmml::bench::EmitMetrics("ablations");
   return 0;
 }

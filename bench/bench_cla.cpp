@@ -108,5 +108,6 @@ int main() {
       "sorted and sparse data with near- or better-than-dense op times;\n"
       "UC fallback and ratio <= 1.01 on Gaussian data; ratio decays toward 1\n"
       "as per-column cardinality grows.\n");
+  dmml::bench::EmitMetrics("cla");
   return 0;
 }

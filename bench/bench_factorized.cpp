@@ -94,5 +94,6 @@ int main() {
   std::printf(
       "\nExpected shape (Orion/Morpheus): speedup ~1 at low ratios, growing\n"
       "with tuple ratio and feature ratio as join redundancy grows.\n");
+  dmml::bench::EmitMetrics("factorized");
   return 0;
 }

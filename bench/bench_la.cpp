@@ -4,6 +4,7 @@
 // across densities, transpose, reductions, and the dense solver.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "data/generators.h"
 #include "la/kernels.h"
 #include "la/ops.h"
@@ -93,4 +94,12 @@ BENCHMARK(BM_Dot);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the metrics snapshot lands after the run.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dmml::bench::EmitMetrics("la");
+  return 0;
+}

@@ -87,5 +87,6 @@ int main() {
       "\nExpected shape (SystemML): large wins whenever the optimizer routes a\n"
       "chain through skinny intermediates (gram_vector, skewed_chain);\n"
       "no regression on already-cheap plans (scalar_clutter).\n");
+  dmml::bench::EmitMetrics("laopt");
   return 0;
 }

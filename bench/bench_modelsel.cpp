@@ -56,5 +56,6 @@ int main() {
       "\nExpected shape (Columbus/MSMS): speedup ~1 with a single\n"
       "configuration, growing with the grid size as scans are shared; both\n"
       "strategies select the same best configuration.\n");
+  dmml::bench::EmitMetrics("modelsel");
   return 0;
 }

@@ -81,5 +81,6 @@ int main() {
       "push throughput and the loosest staleness; BSP bounds staleness at 1\n"
       "with the most consistent per-epoch convergence; SSP interpolates and\n"
       "its observed staleness never exceeds bound+1.\n");
+  dmml::bench::EmitMetrics("ps");
   return 0;
 }

@@ -130,5 +130,6 @@ int main() {
       "\nExpected shape: the tuple-at-a-time join/export dominates the\n"
       "relational pipeline's cost; the factorized path trains over the same\n"
       "logical join with near-zero preparation.\n");
+  dmml::bench::EmitMetrics("relational");
   return 0;
 }

@@ -105,5 +105,6 @@ int main() {
       "reach the loss target in far fewer epochs than batch GD; Hogwild\n"
       "matches serial SGD accuracy; with >1 hardware thread, Hogwild\n"
       "ms_per_epoch would drop near-linearly (flat on this 1-CPU host).\n");
+  dmml::bench::EmitMetrics("sgd");
   return 0;
 }

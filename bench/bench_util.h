@@ -8,8 +8,12 @@
 #define DMML_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dmml::bench {
 
@@ -63,6 +67,24 @@ inline std::string Fmt(double v, int precision = 3) {
 }
 
 inline std::string FmtInt(long long v) { return std::to_string(v); }
+
+/// \brief Dumps the process-wide metrics snapshot between marker lines, and —
+/// when DMML_TRACE=1 — writes the trace buffers as Chrome trace-event JSON to
+/// DMML_TRACE_FILE (default `<tag>_trace.json`). Call once at the end of main.
+inline void EmitMetrics(const std::string& tag) {
+  std::printf("#METRICS-BEGIN %s\n", tag.c_str());
+  std::printf("%s", obs::MetricsRegistry::Global().TextSnapshot().c_str());
+  std::printf("#METRICS-END %s\n", tag.c_str());
+  if (obs::TracingEnabled()) {
+    const char* env = std::getenv("DMML_TRACE_FILE");
+    std::string path = (env != nullptr && env[0] != '\0') ? env : tag + "_trace.json";
+    if (obs::WriteChromeTraceFile(path)) {
+      std::printf("#TRACE %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write trace file %s\n", path.c_str());
+    }
+  }
+}
 
 }  // namespace dmml::bench
 

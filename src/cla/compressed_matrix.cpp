@@ -11,6 +11,8 @@
 #include "cla/ole_group.h"
 #include "cla/rle_group.h"
 #include "cla/uncompressed_group.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace dmml::cla {
@@ -151,8 +153,31 @@ size_t JointCardinality(const DenseMatrix& dense, uint32_t a, uint32_t b) {
 
 }  // namespace
 
+namespace {
+
+// Records planner outcomes: how many columns landed in each encoding, how
+// many groups were co-coded, and the achieved compression ratio.
+void RecordCompressionMetrics(const CompressedMatrix& cm) {
+  auto& reg = obs::MetricsRegistry::Global();
+  static obs::Counter* per_format[] = {
+      reg.GetCounter("cla.columns.uncompressed"),
+      reg.GetCounter("cla.columns.ddc"),
+      reg.GetCounter("cla.columns.rle"),
+      reg.GetCounter("cla.columns.ole"),
+  };
+  for (const auto& g : cm.groups()) {
+    size_t f = static_cast<size_t>(g->format());
+    if (f < 4) per_format[f]->Add(g->columns().size());
+    if (g->columns().size() > 1) DMML_COUNTER_INC("cla.cocoded_groups");
+  }
+  DMML_GAUGE_SET("cla.compression_ratio", cm.CompressionRatio());
+}
+
+}  // namespace
+
 CompressedMatrix CompressedMatrix::Compress(const DenseMatrix& dense,
                                             const CompressionOptions& options) {
+  DMML_TRACE_SPAN("cla.compress");
   CompressedMatrix cm;
   cm.rows_ = dense.rows();
   cm.cols_ = dense.cols();
@@ -210,6 +235,7 @@ CompressedMatrix CompressedMatrix::Compress(const DenseMatrix& dense,
     if (plan.merged) continue;
     cm.groups_.push_back(BuildGroup(dense, {plan.col}, plan.fmt));
   }
+  RecordCompressionMetrics(cm);
   return cm;
 }
 
@@ -231,6 +257,8 @@ Result<DenseMatrix> CompressedMatrix::MultiplyVector(const DenseMatrix& v) const
   if (v.rows() != cols_ || v.cols() != 1) {
     return Status::InvalidArgument("MultiplyVector expects a (cols x 1) vector");
   }
+  DMML_TRACE_SPAN("cla.matvec");
+  DMML_COUNTER_INC("cla.matvec_calls");
   DenseMatrix y(rows_, 1);
   for (const auto& g : groups_) g->MultiplyVector(v.data(), y.data(), rows_);
   return y;
@@ -277,6 +305,10 @@ double CompressedMatrix::Sum() const {
 }
 
 DenseMatrix CompressedMatrix::Decompress() const {
+  // Falling back to the dense form forfeits the compressed-ops win; worth
+  // watching in production workloads.
+  DMML_COUNTER_INC("cla.decompress_fallback");
+  DMML_TRACE_SPAN("cla.decompress");
   DenseMatrix out(rows_, cols_);
   for (const auto& g : groups_) g->Decompress(&out);
   return out;

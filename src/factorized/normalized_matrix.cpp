@@ -1,10 +1,38 @@
 #include "factorized/normalized_matrix.h"
 
 #include "la/kernels.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dmml::factorized {
 
 using la::DenseMatrix;
+
+namespace {
+
+// Multiplying through the normalized form touches each attribute row once
+// instead of once per referencing entity row; the difference against the
+// materialized product is the redundancy the factorization avoided.
+void RecordAvoidedFlops(const NormalizedMatrix& t, size_t k) {
+  double materialized = 2.0 * static_cast<double>(t.rows()) *
+                        static_cast<double>(t.cols()) * static_cast<double>(k);
+  double factorized = 2.0 * static_cast<double>(t.rows()) *
+                      static_cast<double>(t.entity_features().cols()) *
+                      static_cast<double>(k);
+  for (const auto& tab : t.tables()) {
+    factorized += 2.0 * static_cast<double>(tab.features.rows()) *
+                  static_cast<double>(tab.features.cols()) *
+                  static_cast<double>(k);
+    // The per-row gather/scatter of the (nS x k) partials.
+    factorized += 2.0 * static_cast<double>(t.rows()) * static_cast<double>(k);
+  }
+  if (materialized > factorized) {
+    DMML_COUNTER_ADD("factorized.flops_avoided",
+                     static_cast<uint64_t>(materialized - factorized));
+  }
+}
+
+}  // namespace
 
 Result<NormalizedMatrix> NormalizedMatrix::Make(DenseMatrix entity_features,
                                                 std::vector<AttributeTable> tables) {
@@ -47,6 +75,9 @@ Result<DenseMatrix> NormalizedMatrix::Multiply(const DenseMatrix& m) const {
                                    " rows, expected " + std::to_string(cols_));
   }
   const size_t k = m.cols();
+  DMML_TRACE_SPAN("factorized.multiply");
+  DMML_COUNTER_INC("factorized.multiply_calls");
+  RecordAvoidedFlops(*this, k);
   DenseMatrix out(rows_, k);
 
   // Entity block: XS * M_S (standard dense product).
@@ -78,6 +109,9 @@ Result<DenseMatrix> NormalizedMatrix::TransposeMultiply(const DenseMatrix& m) co
                                    std::to_string(rows_));
   }
   const size_t k = m.cols();
+  DMML_TRACE_SPAN("factorized.transpose_multiply");
+  DMML_COUNTER_INC("factorized.multiply_calls");
+  RecordAvoidedFlops(*this, k);
   DenseMatrix out(cols_, k);
 
   // Entity block: XSᵀ * M.

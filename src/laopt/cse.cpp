@@ -3,6 +3,8 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+
 namespace dmml::laopt {
 
 namespace {
@@ -39,6 +41,7 @@ class HashConser {
     std::string key = NodeKey(*node, child_ids);
     auto it = table_.find(key);
     if (it != table_.end()) {
+      if (it->second.get() != node.get()) DMML_COUNTER_INC("laopt.cse.merges");
       if (report_ && it->second.get() != node.get()) report_->merges++;
       visited_.emplace(node.get(), it->second);
       return it->second;

@@ -1,15 +1,48 @@
 #include "laopt/executor.h"
 
+#include <array>
+#include <string>
 #include <unordered_map>
 
 #include "la/kernels.h"
 #include "laopt/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dmml::laopt {
 
 using la::DenseMatrix;
 
 namespace {
+
+constexpr size_t kNumOpKinds = static_cast<size_t>(OpKind::kColSums) + 1;
+
+// Per-op-kind instruments, resolved once. The names double as span labels so
+// metrics and trace rows line up (e.g. counter laopt.executor.ops.matmul and
+// span "laopt.op.matmul").
+struct OpInstruments {
+  std::array<obs::Counter*, kNumOpKinds> count;
+  std::array<obs::Counter*, kNumOpKinds> micros;
+  std::array<const char*, kNumOpKinds> span_name;
+
+  static const OpInstruments& Get() {
+    static const OpInstruments* instruments = [] {
+      auto* out = new OpInstruments();
+      auto& reg = obs::MetricsRegistry::Global();
+      for (size_t k = 0; k < kNumOpKinds; ++k) {
+        const char* name = OpKindName(static_cast<OpKind>(k));
+        out->count[k] = reg.GetCounter(std::string("laopt.executor.ops.") + name);
+        out->micros[k] =
+            reg.GetCounter(std::string("laopt.executor.op_us.") + name);
+        // Span names must outlive the trace rings; leak one copy per kind.
+        out->span_name[k] =
+            (new std::string(std::string("laopt.op.") + name))->c_str();
+      }
+      return out;
+    }();
+    return *instruments;
+  }
+};
 
 class Evaluator {
  public:
@@ -19,6 +52,7 @@ class Evaluator {
     auto it = memo_.find(node.get());
     if (it != memo_.end()) {
       if (stats_) stats_->memo_hits++;
+      DMML_COUNTER_INC("laopt.executor.memo_hits");
       return it->second;
     }
     DMML_ASSIGN_OR_RETURN(DenseMatrix result, EvalUncached(node));
@@ -37,6 +71,11 @@ class Evaluator {
       DMML_ASSIGN_OR_RETURN(DenseMatrix k, Eval(c));
       kids.push_back(std::move(k));
     }
+    const size_t kind_idx = static_cast<size_t>(node->kind());
+    const OpInstruments& instruments = OpInstruments::Get();
+    instruments.count[kind_idx]->Add(1);
+    obs::ScopedTimerUs op_timer(instruments.micros[kind_idx]);
+    DMML_TRACE_SPAN(instruments.span_name[kind_idx]);
     switch (node->kind()) {
       case OpKind::kMatMul:
         return la::Multiply(kids[0], kids[1], pool_);
@@ -74,6 +113,7 @@ class Evaluator {
 
 Result<DenseMatrix> Execute(const ExprPtr& root, ThreadPool* pool, ExecStats* stats) {
   if (!root) return Status::InvalidArgument("Execute: null expression");
+  DMML_TRACE_SPAN("laopt.execute");
   Evaluator evaluator(pool, stats);
   return evaluator.Eval(root);
 }

@@ -15,6 +15,22 @@ std::shared_ptr<ExprNode> NewNode() {
 }
 }  // namespace
 
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput: return "input";
+    case OpKind::kMatMul: return "matmul";
+    case OpKind::kTranspose: return "transpose";
+    case OpKind::kAdd: return "add";
+    case OpKind::kSubtract: return "subtract";
+    case OpKind::kElemMul: return "elem_mul";
+    case OpKind::kScalarMul: return "scalar_mul";
+    case OpKind::kSum: return "sum";
+    case OpKind::kRowSums: return "row_sums";
+    case OpKind::kColSums: return "col_sums";
+  }
+  return "unknown";
+}
+
 size_t ExprNode::NumNodes() const {
   std::unordered_set<const ExprNode*> seen;
   std::vector<const ExprNode*> stack{this};

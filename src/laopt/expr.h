@@ -31,6 +31,10 @@ enum class OpKind {
   kColSums,    ///< Per-column sums (1 x n).
 };
 
+/// \brief Stable identifier for an op kind ("matmul", "transpose", ...),
+/// usable as a metric-name suffix.
+const char* OpKindName(OpKind kind);
+
 class ExprNode;
 using ExprPtr = std::shared_ptr<const ExprNode>;
 

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "la/kernels.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dmml::laopt {
 
@@ -142,6 +144,8 @@ class FusingEvaluator {
         stats_->regions_fused++;
         stats_->ops_fused += CountElementwiseOps(node);
       }
+      DMML_COUNTER_INC("laopt.fusion.regions_fused");
+      DMML_COUNTER_ADD("laopt.fusion.ops_fused", CountElementwiseOps(node));
       return ExecuteFused(node, [this](const ExprPtr& c) { return Eval(c); });
     }
     if (node->kind() == OpKind::kInput) return *node->matrix();
@@ -187,6 +191,7 @@ class FusingEvaluator {
 
 Result<DenseMatrix> ExecuteWithFusion(const ExprPtr& root, FusionStats* stats) {
   if (!root) return Status::InvalidArgument("ExecuteWithFusion: null expression");
+  DMML_TRACE_SPAN("laopt.execute_fused");
   FusingEvaluator evaluator(stats);
   return evaluator.Eval(root);
 }

@@ -3,6 +3,9 @@
 #include <limits>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace dmml::laopt {
 
 namespace {
@@ -95,6 +98,7 @@ class Rewriter {
         if (options_.eliminate_transposes &&
             kids[0]->kind() == OpKind::kTranspose) {
           if (report_) report_->transposes_eliminated++;
+          DMML_COUNTER_INC("laopt.rewrite.transposes_eliminated");
           return kids[0]->children()[0];
         }
         return ExprNode::Transpose(kids[0]);
@@ -103,6 +107,7 @@ class Rewriter {
         // a*(b*X) -> (a*b)*X.
         if (options_.fold_scalars && kids[0]->kind() == OpKind::kScalarMul) {
           if (report_) report_->scalars_folded++;
+          DMML_COUNTER_INC("laopt.rewrite.scalars_folded");
           return ExprNode::ScalarMul(node->scalar() * kids[0]->scalar(),
                                      kids[0]->children()[0]);
         }
@@ -117,6 +122,7 @@ class Rewriter {
               scalar *= k->scalar();
               k = k->children()[0];
               if (report_) report_->scalars_folded++;
+              DMML_COUNTER_INC("laopt.rewrite.scalars_folded");
             }
           }
         }
@@ -135,6 +141,7 @@ class Rewriter {
               DMML_ASSIGN_OR_RETURN(
                   mm, RebuildChain(factors, splits, 0, factors.size() - 1));
               if (report_) report_->chains_reordered++;
+              DMML_COUNTER_INC("laopt.rewrite.chains_reordered");
             }
           }
         }
@@ -158,6 +165,7 @@ class Rewriter {
         // sum(A %*% B) -> colSums(A) %*% rowSums(B): O(nmk) -> O(nk + km).
         if (options_.reorder_chains && kids[0]->kind() == OpKind::kMatMul) {
           if (report_) report_->chains_reordered++;
+          DMML_COUNTER_INC("laopt.rewrite.chains_reordered");
           DMML_ASSIGN_OR_RETURN(ExprPtr cs,
                                 ExprNode::ColSums(kids[0]->children()[0]));
           DMML_ASSIGN_OR_RETURN(ExprPtr rs,
@@ -184,6 +192,7 @@ class Rewriter {
 Result<ExprPtr> Optimize(const ExprPtr& root, const OptimizerOptions& options,
                          OptimizerReport* report) {
   if (!root) return Status::InvalidArgument("Optimize: null expression");
+  DMML_TRACE_SPAN("laopt.optimize");
   if (report) {
     *report = OptimizerReport{};
     report->flops_before = EstimateFlops(root);

@@ -6,6 +6,8 @@
 
 #include "la/kernels.h"
 #include "la/ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -94,6 +96,22 @@ inline double ScoreGradient(double score, double y, GlmFamily family) {
   return GlmInverseLink(score, family) - y;
 }
 
+// Observes one epoch's wall time into ml.glm.epoch_us on scope exit, so
+// convergence breaks still record the final (partial) epoch.
+class EpochScope {
+ public:
+  EpochScope() : start_(obs::NowMicros()) {}
+  ~EpochScope() {
+    DMML_HISTOGRAM_OBSERVE("ml.glm.epoch_us", obs::ExponentialBuckets(32, 4, 10),
+                           static_cast<double>(obs::NowMicros() - start_));
+  }
+  EpochScope(const EpochScope&) = delete;
+  EpochScope& operator=(const EpochScope&) = delete;
+
+ private:
+  uint64_t start_;
+};
+
 // Full-batch gradient descent.
 void RunBatchGd(const DenseMatrix& x, const DenseMatrix& y, const GlmConfig& config,
                 GlmModel* model) {
@@ -101,6 +119,7 @@ void RunBatchGd(const DenseMatrix& x, const DenseMatrix& y, const GlmConfig& con
   DenseMatrix grad(d, 1);
   double prev_loss = std::numeric_limits<double>::infinity();
   for (size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    EpochScope epoch_scope;
     grad.Fill(0.0);
     double bias_grad = 0.0;
     for (size_t i = 0; i < n; ++i) {
@@ -140,6 +159,7 @@ void RunSgd(const DenseMatrix& x, const DenseMatrix& y, const GlmConfig& config,
   double prev_loss = std::numeric_limits<double>::infinity();
 
   for (size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    EpochScope epoch_scope;
     rng.Shuffle(&order);
     double lr = config.learning_rate / (1.0 + config.lr_decay * static_cast<double>(epoch));
     for (size_t start = 0; start < n; start += batch_size) {
@@ -189,6 +209,7 @@ void RunAdaptive(const DenseMatrix& x, const DenseMatrix& y, const GlmConfig& co
   double prev_loss = std::numeric_limits<double>::infinity();
 
   for (size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    EpochScope epoch_scope;
     rng.Shuffle(&order);
     for (size_t start = 0; start < n; start += batch_size) {
       size_t end = std::min(start + batch_size, n);
@@ -256,6 +277,7 @@ void RunHogwild(const DenseMatrix& x, const DenseMatrix& y, const GlmConfig& con
 
   double prev_loss = std::numeric_limits<double>::infinity();
   for (size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    EpochScope epoch_scope;
     double lr = config.learning_rate / (1.0 + config.lr_decay * static_cast<double>(epoch));
     auto worker = [&](size_t tid, size_t begin, size_t end) {
       Rng rng(config.seed + epoch * 1315423911ULL + tid);
@@ -371,6 +393,7 @@ Result<GlmModel> TrainGlm(const DenseMatrix& x, const DenseMatrix& y,
   model.family = config.family;
   model.weights = DenseMatrix(x.cols(), 1);
 
+  DMML_TRACE_SPAN("ml.glm.train");
   switch (config.solver) {
     case GlmSolver::kBatchGd:
       RunBatchGd(x, y, config, &model);

@@ -5,6 +5,8 @@
 
 #include "la/kernels.h"
 #include "ml/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace dmml::ml {
@@ -85,6 +87,7 @@ Result<KMeansModel> TrainKMeans(const DenseMatrix& x, const KMeansConfig& config
   if (k == 0 || k > n) {
     return Status::InvalidArgument("k-means: k must be in [1, n]");
   }
+  DMML_TRACE_SPAN("ml.kmeans.train");
   Rng rng(config.seed);
   KMeansModel model;
   model.centers = InitCenters(x, config, &rng);
@@ -93,6 +96,7 @@ Result<KMeansModel> TrainKMeans(const DenseMatrix& x, const KMeansConfig& config
   std::vector<size_t> counts(k);
   double prev_inertia = std::numeric_limits<double>::infinity();
   for (size_t iter = 0; iter < config.max_iters; ++iter) {
+    const uint64_t iter_start_us = obs::NowMicros();
     // Assignment step.
     double inertia = 0;
     for (size_t i = 0; i < n; ++i) {
@@ -131,6 +135,8 @@ Result<KMeansModel> TrainKMeans(const DenseMatrix& x, const KMeansConfig& config
     model.inertia = inertia;
     model.inertia_history.push_back(inertia);
     model.iters_run = iter + 1;
+    DMML_HISTOGRAM_OBSERVE("ml.kmeans.iter_us", obs::ExponentialBuckets(32, 4, 10),
+                           static_cast<double>(obs::NowMicros() - iter_start_us));
     if (std::isfinite(prev_inertia) &&
         std::fabs(prev_inertia - inertia) <=
         config.tolerance * std::max(1.0, prev_inertia)) {

@@ -6,6 +6,8 @@
 
 #include "la/kernels.h"
 #include "ml/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -122,10 +124,12 @@ Result<GridSearchResult> GridSearchSequential(const DenseMatrix& x,
                                               const DenseMatrix& y,
                                               const GridSpec& grid, size_t k,
                                               uint64_t seed) {
+  DMML_TRACE_SPAN("modelsel.grid_search");
   Stopwatch watch;
   GridSearchResult result;
   for (const GlmConfig& config : grid.Expand()) {
     DMML_ASSIGN_OR_RETURN(CvScore score, CrossValidate(x, y, config, k, seed));
+    DMML_COUNTER_INC("modelsel.configs_evaluated");
     result.scores.push_back(std::move(score));
   }
   if (result.scores.empty()) {
@@ -140,6 +144,8 @@ Result<std::vector<GlmModel>> BatchedTrainGlm(const DenseMatrix& x,
                                               const DenseMatrix& y,
                                               const std::vector<GlmConfig>& configs) {
   if (configs.empty()) return Status::InvalidArgument("batched train: no configs");
+  DMML_TRACE_SPAN("modelsel.batched_train");
+  DMML_COUNTER_ADD("modelsel.configs_evaluated", configs.size());
   const size_t n = x.rows(), d = x.cols(), m = configs.size();
   if (n == 0 || d == 0) return Status::InvalidArgument("batched train: empty data");
   if (y.rows() != n || y.cols() != 1) {
@@ -234,6 +240,7 @@ Result<std::vector<GlmModel>> BatchedTrainGlm(const DenseMatrix& x,
 Result<GridSearchResult> GridSearchBatched(const DenseMatrix& x, const DenseMatrix& y,
                                            const GridSpec& grid, size_t k,
                                            uint64_t seed) {
+  DMML_TRACE_SPAN("modelsel.grid_search_batched");
   Stopwatch watch;
   std::vector<GlmConfig> configs = grid.Expand();
   if (configs.empty()) return Status::InvalidArgument("grid search: empty grid");

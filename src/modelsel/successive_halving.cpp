@@ -6,6 +6,8 @@
 
 #include "ml/metrics.h"
 #include "modelsel/model_selection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace dmml::modelsel {
@@ -48,6 +50,7 @@ Result<HalvingResult> SuccessiveHalving(const DenseMatrix& x, const DenseMatrix&
   if (config.min_epochs == 0) {
     return Status::InvalidArgument("successive halving: min_epochs >= 1");
   }
+  DMML_TRACE_SPAN("modelsel.halving");
   if (config.validation_fraction <= 0 || config.validation_fraction >= 1) {
     return Status::InvalidArgument("successive halving: validation_fraction in (0,1)");
   }
@@ -110,6 +113,7 @@ Result<HalvingResult> SuccessiveHalving(const DenseMatrix& x, const DenseMatrix&
     std::vector<size_t> next;
     next.reserve(keep);
     for (size_t r = 0; r < keep; ++r) next.push_back(alive[rank[r]]);
+    DMML_COUNTER_ADD("modelsel.configs_pruned", alive.size() - keep);
     alive = std::move(next);
     epochs = static_cast<size_t>(
         std::ceil(static_cast<double>(epochs) * config.eta));

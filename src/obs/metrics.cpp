@@ -1,0 +1,259 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace dmml::obs {
+
+namespace {
+
+// Escapes a metric name for JSON embedding (names are dotted identifiers in
+// practice, but snapshots must stay valid JSON for arbitrary strings).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kCounterShards;
+  return shard;
+}
+
+uint64_t NowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - epoch)
+          .count());
+}
+
+namespace internal {
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace internal
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_.push_back(1.0);
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double v) {
+  size_t i = std::upper_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  // upper_bound yields the first bound > v, i.e. v <= bounds_[i] lands in
+  // bucket i; past-the-end is the overflow bucket. Exact bound values must
+  // stay in their bucket, so back off one slot when v == bounds_[i-1].
+  if (i > 0 && v == bounds_[i - 1]) --i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  uint64_t cur = sum_bits_.load(std::memory_order_relaxed);
+  uint64_t next;
+  do {
+    next = internal::DoubleBits(internal::BitsDouble(cur) + v);
+  } while (!sum_bits_.compare_exchange_weak(cur, next, std::memory_order_relaxed));
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < num_buckets(); ++i) total += BucketCount(i);
+  return total;
+}
+
+double Histogram::Sum() const {
+  return internal::BitsDouble(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::Mean() const {
+  uint64_t n = TotalCount();
+  return n ? Sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::Percentile(double p) const {
+  uint64_t total = TotalCount();
+  if (total == 0) return 0.0;
+  p = std::min(100.0, std::max(0.0, p));
+  double target = p / 100.0 * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < num_buckets(); ++i) {
+    uint64_t c = BucketCount(i);
+    if (static_cast<double>(seen + c) >= target && c > 0) {
+      if (i >= bounds_.size()) return bounds_.back();  // overflow bucket
+      double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      double hi = bounds_[i];
+      double frac = (target - static_cast<double>(seen)) / static_cast<double>(c);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    }
+    seen += c;
+  }
+  return bounds_.back();
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i < num_buckets(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor, size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double v = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: instrument pointers cached in function-local statics
+  // must outlive every other static destructor.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+std::string MetricsRegistry::TextSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    uint64_t v = c->Value();
+    if (v == 0) continue;
+    os << "counter " << name << " " << v << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << "gauge " << name << " " << FormatDouble(g->Value()) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    uint64_t n = h->TotalCount();
+    if (n == 0) continue;
+    os << "histogram " << name << " count=" << n << " sum="
+       << FormatDouble(h->Sum()) << " mean=" << FormatDouble(h->Mean())
+       << " p50=" << FormatDouble(h->Percentile(50))
+       << " p99=" << FormatDouble(h->Percentile(99)) << " buckets=[";
+    for (size_t i = 0; i < h->num_buckets(); ++i) {
+      if (i) os << " ";
+      if (i < h->bounds().size()) {
+        os << "le" << FormatDouble(h->bounds()[i]);
+      } else {
+        os << "inf";
+      }
+      os << ":" << h->BucketCount(i);
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::JsonSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\":" << c->Value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\":" << FormatDouble(g->Value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\":{\"count\":" << h->TotalCount()
+       << ",\"sum\":" << FormatDouble(h->Sum()) << ",\"bounds\":[";
+    for (size_t i = 0; i < h->bounds().size(); ++i) {
+      if (i) os << ",";
+      os << FormatDouble(h->bounds()[i]);
+    }
+    os << "],\"buckets\":[";
+    for (size_t i = 0; i < h->num_buckets(); ++i) {
+      if (i) os << ",";
+      os << h->BucketCount(i);
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace dmml::obs

@@ -1,0 +1,196 @@
+/// \file metrics.h
+/// \brief Process-wide metrics registry: counters, gauges, histograms.
+///
+/// The registry hands out stable pointers to named instruments; hot paths
+/// cache the pointer in a function-local static (see DMML_COUNTER_ADD) so the
+/// name lookup happens once per call site. Increments are relaxed atomics —
+/// counters additionally shard across cache lines so concurrent writers from
+/// the thread pool or PS workers never contend on one line. Snapshots are
+/// exported as aligned text (for bench #METRICS blocks) or JSON.
+#ifndef DMML_OBS_METRICS_H_
+#define DMML_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dmml::obs {
+
+/// Shards per counter; writers pick a stable per-thread shard.
+inline constexpr size_t kCounterShards = 16;
+
+/// \brief Stable per-thread shard index in [0, kCounterShards).
+size_t ThisThreadShard();
+
+/// \brief Monotonic microseconds since process start (trace timebase).
+uint64_t NowMicros();
+
+/// \brief A monotonically increasing sum, sharded to keep concurrent
+/// increments off each other's cache lines.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    shards_[ThisThreadShard()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// \brief Sum over all shards (approximate under concurrent writes).
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  Shard shards_[kCounterShards];
+};
+
+namespace internal {
+/// Bit-casts between double and uint64_t so doubles can live in atomics.
+uint64_t DoubleBits(double v);
+double BitsDouble(uint64_t bits);
+}  // namespace internal
+
+/// \brief A last-written double value (e.g. compression ratio, queue depth).
+class Gauge {
+ public:
+  void Set(double v) {
+    bits_.store(internal::DoubleBits(v), std::memory_order_relaxed);
+  }
+
+  void Add(double delta) {
+    uint64_t cur = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(
+        cur, internal::DoubleBits(internal::BitsDouble(cur) + delta),
+        std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const {
+    return internal::BitsDouble(bits_.load(std::memory_order_relaxed));
+  }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// \brief Fixed-bucket histogram. Bucket i counts observations v <=
+/// bounds[i] (first matching bound); one overflow bucket counts v >
+/// bounds.back(). Observation is two relaxed increments plus a CAS-add for
+/// the running sum.
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  size_t num_buckets() const { return bounds_.size() + 1; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t TotalCount() const;
+  double Sum() const;
+  double Mean() const;
+
+  /// \brief Bucket-interpolated percentile, p in [0, 100]. Returns 0 when
+  /// empty; values in the overflow bucket report the last finite bound.
+  double Percentile(double p) const;
+
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> sum_bits_{0};  // double bit-cast, CAS-accumulated
+};
+
+/// \brief `count` ascending bounds: start, start*factor, start*factor^2, ...
+std::vector<double> ExponentialBuckets(double start, double factor, size_t count);
+
+/// \brief Named-instrument registry. Get* is create-or-lookup: the first
+/// call registers, later calls (even with different bucket bounds) return
+/// the existing instrument. Pointers stay valid for the process lifetime.
+class MetricsRegistry {
+ public:
+  /// \brief Process-wide registry (never destroyed, safe during exit).
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
+
+  /// \brief "TYPE name value" lines, sorted by name within each type.
+  std::string TextSnapshot() const;
+
+  /// \brief One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string JsonSnapshot() const;
+
+  /// \brief Zeroes every instrument; registrations (and handed-out
+  /// pointers) stay valid. Counters with value 0 are skipped by snapshots.
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// \brief Adds elapsed wall micros to a counter when it leaves scope.
+class ScopedTimerUs {
+ public:
+  explicit ScopedTimerUs(Counter* c) : counter_(c), start_(NowMicros()) {}
+  ~ScopedTimerUs() { counter_->Add(NowMicros() - start_); }
+  ScopedTimerUs(const ScopedTimerUs&) = delete;
+  ScopedTimerUs& operator=(const ScopedTimerUs&) = delete;
+
+ private:
+  Counter* counter_;
+  uint64_t start_;
+};
+
+}  // namespace dmml::obs
+
+/// Hot-path helpers: the registry lookup runs once per call site (name must
+/// be a string literal or otherwise stable across calls).
+#define DMML_COUNTER_ADD(name, delta)                                \
+  do {                                                               \
+    static ::dmml::obs::Counter* dmml_obs_counter =                  \
+        ::dmml::obs::MetricsRegistry::Global().GetCounter(name);     \
+    dmml_obs_counter->Add(delta);                                    \
+  } while (0)
+
+#define DMML_COUNTER_INC(name) DMML_COUNTER_ADD(name, 1)
+
+#define DMML_GAUGE_SET(name, value)                                  \
+  do {                                                               \
+    static ::dmml::obs::Gauge* dmml_obs_gauge =                      \
+        ::dmml::obs::MetricsRegistry::Global().GetGauge(name);       \
+    dmml_obs_gauge->Set(value);                                      \
+  } while (0)
+
+#define DMML_HISTOGRAM_OBSERVE(name, bounds, value)                  \
+  do {                                                               \
+    static ::dmml::obs::Histogram* dmml_obs_hist =                   \
+        ::dmml::obs::MetricsRegistry::Global().GetHistogram(name,    \
+                                                            bounds); \
+    dmml_obs_hist->Observe(value);                                   \
+  } while (0)
+
+#endif  // DMML_OBS_METRICS_H_

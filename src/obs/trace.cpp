@@ -1,0 +1,149 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace dmml::obs {
+
+namespace {
+
+constexpr size_t kRingCapacity = 1 << 15;  // 32768 events per thread
+
+// One thread's span storage. The owner thread appends under the ring mutex
+// (uncontended except while an exporter drains), so snapshots are coherent
+// and TSan-clean without any lock-free subtlety on the hot path — spans are
+// coarse (operator granularity), not per-element.
+class TraceRing {
+ public:
+  explicit TraceRing(uint32_t tid) : tid_(tid) { events_.reserve(256); }
+
+  void Record(const char* name, uint64_t start_us, uint64_t end_us) {
+    std::lock_guard<std::mutex> lock(mu_);
+    TraceEvent e{name, start_us, end_us - start_us, tid_};
+    if (events_.size() < kRingCapacity) {
+      events_.push_back(e);
+    } else {
+      events_[head_ % kRingCapacity] = e;
+      ++head_;
+    }
+  }
+
+  void AppendTo(std::vector<TraceEvent>* out) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Oldest-first: the slots at [head_, size) predate the wrapped prefix.
+    for (size_t i = head_ % kRingCapacity; i < events_.size(); ++i) {
+      out->push_back(events_[i]);
+    }
+    for (size_t i = 0; i < head_ % kRingCapacity; ++i) out->push_back(events_[i]);
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+    head_ = 0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  size_t head_ = 0;  // Next overwrite slot once the ring is full.
+  uint32_t tid_;
+};
+
+struct RingDirectory {
+  std::mutex mu;
+  // shared_ptr keeps rings (and their events) alive after thread exit.
+  std::vector<std::shared_ptr<TraceRing>> rings;
+};
+
+RingDirectory& Directory() {
+  static RingDirectory* dir = new RingDirectory();
+  return *dir;
+}
+
+TraceRing& ThisThreadRing() {
+  thread_local std::shared_ptr<TraceRing> ring = [] {
+    auto r = std::make_shared<TraceRing>(ThisThreadId());
+    RingDirectory& dir = Directory();
+    std::lock_guard<std::mutex> lock(dir.mu);
+    dir.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+bool EnvTruthy(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  return std::strcmp(v, "0") != 0 && std::strcmp(v, "false") != 0 &&
+         std::strcmp(v, "FALSE") != 0 && std::strcmp(v, "off") != 0;
+}
+
+}  // namespace
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{EnvTruthy("DMML_TRACE")};
+}  // namespace internal
+
+void SetTracingEnabled(bool enabled) {
+  internal::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+uint32_t ThisThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void RecordSpan(const char* name, uint64_t start_us, uint64_t end_us) {
+  ThisThreadRing().Record(name, start_us, end_us);
+}
+
+std::vector<TraceEvent> CollectTraceEvents() {
+  std::vector<TraceEvent> out;
+  RingDirectory& dir = Directory();
+  std::lock_guard<std::mutex> lock(dir.mu);
+  for (const auto& ring : dir.rings) ring->AppendTo(&out);
+  std::stable_sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.start_us < b.start_us;
+  });
+  return out;
+}
+
+void ClearTrace() {
+  RingDirectory& dir = Directory();
+  std::lock_guard<std::mutex> lock(dir.mu);
+  for (const auto& ring : dir.rings) ring->Clear();
+}
+
+std::string ChromeTraceJson() {
+  std::vector<TraceEvent> events = CollectTraceEvents();
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i) os << ",";
+    os << "{\"name\":\"" << e.name << "\",\"cat\":\"dmml\",\"ph\":\"X\",\"ts\":"
+       << e.start_us << ",\"dur\":" << e.dur_us << ",\"pid\":0,\"tid\":" << e.tid
+       << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+bool WriteChromeTraceFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string json = ChromeTraceJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = written == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace dmml::obs

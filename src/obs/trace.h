@@ -1,0 +1,93 @@
+/// \file trace.h
+/// \brief Scoped tracing into per-thread ring buffers.
+///
+/// `DMML_TRACE_SPAN("executor.matmult")` opens an RAII span; when tracing is
+/// enabled the span's (name, start, duration, thread) is recorded into the
+/// calling thread's ring buffer on scope exit. When tracing is disabled the
+/// whole span costs one relaxed load and branch. Recorded events export as
+/// Chrome trace-event JSON loadable in chrome://tracing or Perfetto.
+///
+/// Tracing starts disabled unless the DMML_TRACE environment variable is set
+/// to a truthy value (anything except "", "0", "false") at process start.
+#ifndef DMML_OBS_TRACE_H_
+#define DMML_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"  // NowMicros
+
+namespace dmml::obs {
+
+namespace internal {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace internal
+
+/// \brief The disabled-tracing fast path: one relaxed load.
+inline bool TracingEnabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled);
+
+/// \brief Small dense id for the calling thread (assigned on first use).
+uint32_t ThisThreadId();
+
+/// \brief One completed span. `name` must point at storage that outlives the
+/// trace (string literals in practice — DMML_TRACE_SPAN enforces this shape).
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t start_us = 0;
+  uint64_t dur_us = 0;
+  uint32_t tid = 0;
+};
+
+/// \brief Appends a completed span to the calling thread's ring buffer.
+/// Rings hold a fixed number of events and overwrite the oldest.
+void RecordSpan(const char* name, uint64_t start_us, uint64_t end_us);
+
+/// \brief Snapshot of every thread's ring, ordered by (tid, start time).
+/// Includes events from threads that have already exited.
+std::vector<TraceEvent> CollectTraceEvents();
+
+/// \brief Drops all recorded events (rings stay registered).
+void ClearTrace();
+
+/// \brief Chrome trace-event JSON ("X" complete events, ts/dur in micros).
+std::string ChromeTraceJson();
+
+/// \brief Writes ChromeTraceJson() to `path`; false on I/O failure.
+bool WriteChromeTraceFile(const std::string& path);
+
+/// \brief RAII span; see DMML_TRACE_SPAN.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TracingEnabled()) {
+      name_ = name;
+      start_us_ = NowMicros();
+    }
+  }
+  ~TraceSpan() {
+    if (name_) RecordSpan(name_, start_us_, NowMicros());
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t start_us_ = 0;
+};
+
+}  // namespace dmml::obs
+
+#define DMML_OBS_CONCAT_INNER(a, b) a##b
+#define DMML_OBS_CONCAT(a, b) DMML_OBS_CONCAT_INNER(a, b)
+
+/// Records a span covering the rest of the enclosing scope.
+#define DMML_TRACE_SPAN(name) \
+  ::dmml::obs::TraceSpan DMML_OBS_CONCAT(dmml_trace_span_, __COUNTER__)(name)
+
+#endif  // DMML_OBS_TRACE_H_

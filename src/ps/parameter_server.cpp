@@ -8,12 +8,22 @@
 #include <thread>
 
 #include "la/kernels.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
 namespace dmml::ps {
 
 using la::DenseMatrix;
+
+namespace {
+
+// Staleness is small-integer valued; wait times span micros to seconds.
+std::vector<double> StalenessBounds() { return {0, 1, 2, 4, 8, 16, 32}; }
+std::vector<double> WaitBounds() { return obs::ExponentialBuckets(16, 4, 10); }
+
+}  // namespace
 
 const char* ConsistencyModeName(ConsistencyMode mode) {
   switch (mode) {
@@ -28,6 +38,7 @@ ParameterServer::ParameterServer(size_t dim, size_t num_workers)
     : weights_(dim, 0.0), clocks_(num_workers, 0) {}
 
 void ParameterServer::Pull(std::vector<double>* w, double* intercept) const {
+  DMML_COUNTER_INC("ps.pulls");
   std::lock_guard<std::mutex> lock(mu_);
   *w = weights_;
   *intercept = intercept_;
@@ -35,6 +46,8 @@ void ParameterServer::Pull(std::vector<double>* w, double* intercept) const {
 
 void ParameterServer::Push(const std::vector<double>& grad, double bias_grad,
                            double lr) {
+  DMML_COUNTER_INC("ps.pushes");
+  DMML_COUNTER_ADD("ps.coordinates_pushed", grad.size());
   std::lock_guard<std::mutex> lock(mu_);
   for (size_t j = 0; j < weights_.size(); ++j) weights_[j] -= lr * grad[j];
   intercept_ -= lr * bias_grad;
@@ -43,6 +56,8 @@ void ParameterServer::Push(const std::vector<double>& grad, double bias_grad,
 void ParameterServer::PushSparse(const std::vector<uint32_t>& indices,
                                  const std::vector<double>& values, double bias_grad,
                                  double lr) {
+  DMML_COUNTER_INC("ps.sparse_pushes");
+  DMML_COUNTER_ADD("ps.coordinates_pushed", indices.size());
   std::lock_guard<std::mutex> lock(mu_);
   for (size_t k = 0; k < indices.size(); ++k) {
     weights_[indices[k]] -= lr * values[k];
@@ -55,21 +70,39 @@ size_t ParameterServer::MinClockLocked() const {
 }
 
 void ParameterServer::AdvanceClock(size_t worker) {
-  std::lock_guard<std::mutex> lock(mu_);
-  clocks_[worker]++;
-  size_t max_clock = *std::max_element(clocks_.begin(), clocks_.end());
-  max_staleness_ = std::max(max_staleness_, max_clock - MinClockLocked());
-  cv_.notify_all();
+  size_t staleness;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    clocks_[worker]++;
+    size_t max_clock = *std::max_element(clocks_.begin(), clocks_.end());
+    staleness = max_clock - MinClockLocked();
+    max_staleness_ = std::max(max_staleness_, staleness);
+    cv_.notify_all();
+  }
+  DMML_HISTOGRAM_OBSERVE("ps.staleness", StalenessBounds(),
+                         static_cast<double>(staleness));
 }
 
 void ParameterServer::WaitForSlowest(size_t worker, size_t bound) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return clocks_[worker] <= MinClockLocked() + bound; });
+  DMML_TRACE_SPAN("ps.wait_for_slowest");
+  Stopwatch wait;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return clocks_[worker] <= MinClockLocked() + bound; });
+  }
+  DMML_HISTOGRAM_OBSERVE("ps.wait_us", WaitBounds(),
+                         static_cast<double>(wait.ElapsedMicros()));
 }
 
 void ParameterServer::Barrier(size_t epoch) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return MinClockLocked() >= epoch; });
+  DMML_TRACE_SPAN("ps.barrier");
+  Stopwatch wait;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return MinClockLocked() >= epoch; });
+  }
+  DMML_HISTOGRAM_OBSERVE("ps.wait_us", WaitBounds(),
+                         static_cast<double>(wait.ElapsedMicros()));
 }
 
 size_t ParameterServer::max_observed_staleness() const {
@@ -114,6 +147,7 @@ Result<PsResult> TrainGlmParameterServer(const DenseMatrix& x, const DenseMatrix
 
   const size_t workers = std::min(config.num_workers, n);
   ParameterServer server(d, workers);
+  DMML_TRACE_SPAN("ps.train");
   Stopwatch watch;
   const bool sparse_push = config.topk_fraction < 1.0;
   const size_t topk = std::max<size_t>(
@@ -147,6 +181,7 @@ Result<PsResult> TrainGlmParameterServer(const DenseMatrix& x, const DenseMatrix
     double intercept = 0;
 
     for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+      DMML_TRACE_SPAN("ps.worker_epoch");
       if (config.mode == ConsistencyMode::kSsp) {
         server.WaitForSlowest(wid, config.staleness_bound);
       }

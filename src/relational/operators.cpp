@@ -6,6 +6,10 @@
 #include <map>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/stopwatch.h"
+
 namespace dmml::relational {
 
 using storage::Column;
@@ -97,7 +101,10 @@ Result<Table> HashJoin(const Table& left, const Table& right,
                                    DataTypeToString(rcol.type()));
   }
 
+  DMML_TRACE_SPAN("relational.hash_join");
+
   // Build a hash table on the right input.
+  Stopwatch build_watch;
   std::unordered_map<JoinKey, std::vector<size_t>, JoinKeyHash> build;
   build.reserve(right.num_rows());
   for (size_t i = 0; i < right.num_rows(); ++i) {
@@ -105,6 +112,8 @@ Result<Table> HashJoin(const Table& left, const Table& right,
     DMML_ASSIGN_OR_RETURN(JoinKey key, MakeKey(rcol, i));
     build[std::move(key)].push_back(i);
   }
+  DMML_COUNTER_ADD("relational.join.rows_built", right.num_rows());
+  DMML_COUNTER_ADD("relational.join.build_us", build_watch.ElapsedMicros());
 
   Schema right_schema = right.schema();
   if (options.type == JoinType::kLeftOuter) {
@@ -118,6 +127,7 @@ Result<Table> HashJoin(const Table& left, const Table& right,
   Table out(out_schema);
 
   const size_t right_arity = right.schema().num_fields();
+  Stopwatch probe_watch;
   std::vector<Value> row;
   row.reserve(out_schema.num_fields());
   for (size_t i = 0; i < left.num_rows(); ++i) {
@@ -141,6 +151,9 @@ Result<Table> HashJoin(const Table& left, const Table& right,
       DMML_RETURN_IF_ERROR(out.AppendRow(row));
     }
   }
+  DMML_COUNTER_ADD("relational.join.rows_probed", left.num_rows());
+  DMML_COUNTER_ADD("relational.join.rows_emitted", out.num_rows());
+  DMML_COUNTER_ADD("relational.join.probe_us", probe_watch.ElapsedMicros());
   return out;
 }
 

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/stopwatch.h"
+
 namespace dmml::relational {
 
 using storage::Column;
@@ -56,11 +60,15 @@ Result<Table> SortMergeJoin(const Table& left, const Table& right,
     return Status::InvalidArgument("join keys must be INT64 or STRING");
   }
 
+  DMML_TRACE_SPAN("relational.sort_merge_join");
+  Stopwatch sort_watch;
   auto lorder = SortedKeyOrder(lcol, left.num_rows());
   auto rorder = SortedKeyOrder(rcol, right.num_rows());
+  DMML_COUNTER_ADD("relational.smj.sort_us", sort_watch.ElapsedMicros());
 
   Schema out_schema = left.schema().Concat(right.schema(), clash_prefix);
   Table out(out_schema);
+  Stopwatch merge_watch;
 
   size_t li = 0, ri = 0;
   while (li < lorder.size() && ri < rorder.size()) {
@@ -94,6 +102,8 @@ Result<Table> SortMergeJoin(const Table& left, const Table& right,
       ri = rend + 1;
     }
   }
+  DMML_COUNTER_ADD("relational.smj.merge_us", merge_watch.ElapsedMicros());
+  DMML_COUNTER_ADD("relational.smj.rows_emitted", out.num_rows());
   return out;
 }
 

@@ -1,11 +1,17 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+#include "obs/trace.h"
 
 namespace dmml {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -17,10 +23,38 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+// DMML_LOG_LEVEL accepts a level name (debug|info|warn|warning|error|fatal,
+// any case) or the numeric enum value; unset or unparsable means kInfo.
+int LevelFromEnv() {
+  const char* v = std::getenv("DMML_LOG_LEVEL");
+  if (v == nullptr || *v == '\0') return static_cast<int>(LogLevel::kInfo);
+  char lower[16] = {0};
+  for (size_t i = 0; v[i] != '\0' && i + 1 < sizeof(lower); ++i) {
+    lower[i] = static_cast<char>(std::tolower(static_cast<unsigned char>(v[i])));
+  }
+  if (std::strcmp(lower, "debug") == 0) return static_cast<int>(LogLevel::kDebug);
+  if (std::strcmp(lower, "info") == 0) return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(lower, "warn") == 0 || std::strcmp(lower, "warning") == 0) {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (std::strcmp(lower, "error") == 0) return static_cast<int>(LogLevel::kError);
+  if (std::strcmp(lower, "fatal") == 0) return static_cast<int>(LogLevel::kFatal);
+  if (lower[0] >= '0' && lower[0] <= '4' && lower[1] == '\0') return lower[0] - '0';
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+// Function-local static so the env read happens exactly once, on first use,
+// regardless of static-initialization order across translation units.
+std::atomic<int>& LevelVar() {
+  static std::atomic<int> level{LevelFromEnv()};
+  return level;
+}
+
 }  // namespace
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
-void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+LogLevel GetLogLevel() { return static_cast<LogLevel>(LevelVar().load()); }
+void SetLogLevel(LogLevel level) { LevelVar().store(static_cast<int>(level)); }
 
 namespace internal {
 
@@ -29,12 +63,24 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  std::time_t now = std::time(nullptr);
+  std::tm tm_buf;
+  localtime_r(&now, &tm_buf);
+  char ts[16];
+  std::strftime(ts, sizeof(ts), "%H:%M:%S", &tm_buf);
+  stream_ << "[" << LevelName(level) << " " << ts << " t"
+          << obs::ThisThreadId() << " " << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
   if (level_ >= GetLogLevel() || level_ == LogLevel::kFatal) {
-    std::cerr << stream_.str() << std::endl;
+    // The whole line (prefix, message, newline) goes out in one fwrite so
+    // concurrent threads — pool workers, PS workers — never interleave
+    // mid-line: fwrite locks the FILE stream.
+    std::string line = stream_.str();
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
   }
   if (level_ == LogLevel::kFatal) std::abort();
 }

@@ -4,6 +4,7 @@
 #define DMML_UTIL_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace dmml {
 
@@ -22,6 +23,15 @@ class Stopwatch {
 
   /// \brief Elapsed milliseconds since construction or last Reset.
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// \brief Elapsed whole microseconds since construction or last Reset.
+  /// Preferred over hand-rolled ElapsedSeconds()*1e6 conversions when feeding
+  /// metrics counters and histograms.
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start_)
+            .count());
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

@@ -2,7 +2,35 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace dmml {
+
+namespace {
+
+// Instrument pointers resolved once; the pool's hot path then pays only
+// relaxed atomic updates (plus two clock reads per task).
+struct PoolMetrics {
+  obs::Gauge* queue_depth;
+  obs::Histogram* wait_us;
+  obs::Histogram* run_us;
+
+  static PoolMetrics& Get() {
+    static PoolMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      return PoolMetrics{
+          reg.GetGauge("threadpool.queue_depth"),
+          reg.GetHistogram("threadpool.task_wait_us",
+                           obs::ExponentialBuckets(8, 4, 10)),
+          reg.GetHistogram("threadpool.task_run_us",
+                           obs::ExponentialBuckets(8, 4, 10)),
+      };
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -26,7 +54,8 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::future<void> fut = pt.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push(std::move(pt));
+    tasks_.push({std::move(pt), obs::NowMicros()});
+    PoolMetrics::Get().queue_depth->Set(static_cast<double>(tasks_.size()));
   }
   cv_.notify_one();
   return fut;
@@ -38,17 +67,22 @@ void ThreadPool::WaitAll() {
 }
 
 void ThreadPool::WorkerLoop() {
+  PoolMetrics& metrics = PoolMetrics::Get();
   for (;;) {
-    std::packaged_task<void()> task;
+    QueuedTask item;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
       if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
+      item = std::move(tasks_.front());
       tasks_.pop();
+      metrics.queue_depth->Set(static_cast<double>(tasks_.size()));
       ++in_flight_;
     }
-    task();
+    uint64_t start_us = obs::NowMicros();
+    metrics.wait_us->Observe(static_cast<double>(start_us - item.enqueue_us));
+    item.task();
+    metrics.run_us->Observe(static_cast<double>(obs::NowMicros() - start_us));
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

@@ -5,6 +5,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -34,10 +35,15 @@ class ThreadPool {
   void WaitAll();
 
  private:
+  struct QueuedTask {
+    std::packaged_task<void()> task;
+    uint64_t enqueue_us = 0;  ///< For the task_wait_us latency histogram.
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
+  std::queue<QueuedTask> tasks_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;

@@ -1,0 +1,341 @@
+// Tests for the dmml::obs metrics registry and scoped tracing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dmml::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON validator: enough to assert the exporters
+// emit syntactically well-formed documents without a JSON dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool Valid() {
+    pos_ = 0;
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Literal(const char* lit) {
+    size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+  bool String() {
+    if (!Consume('"')) return false;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    return pos_ < s_.size() && s_[pos_++] == '"';
+  }
+  bool Number() {
+    size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Value() {
+    SkipWs();
+    if (pos_ >= s_.size()) return false;
+    char c = s_[pos_];
+    if (c == '{') return Object();
+    if (c == '[') return Array();
+    if (c == '"') return String();
+    if (Literal("true") || Literal("false") || Literal("null")) return true;
+    return Number();
+  }
+  bool Object() {
+    if (!Consume('{')) return false;
+    SkipWs();
+    if (Consume('}')) return true;
+    do {
+      SkipWs();
+      if (!String()) return false;
+      if (!Consume(':')) return false;
+      if (!Value()) return false;
+    } while (Consume(','));
+    return Consume('}');
+  }
+  bool Array() {
+    if (!Consume('[')) return false;
+    SkipWs();
+    if (Consume(']')) return true;
+    do {
+      if (!Value()) return false;
+    } while (Consume(','));
+    return Consume(']');
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+TEST(JsonCheckerTest, SanityOnKnownInputs) {
+  EXPECT_TRUE(JsonChecker(R"({"a":[1,2.5,"x\"y"],"b":{"c":true}})").Valid());
+  EXPECT_FALSE(JsonChecker(R"({"a":1,)").Valid());
+  EXPECT_FALSE(JsonChecker(R"({"a" 1})").Valid());
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(MetricsRegistryTest, LookupReturnsStablePointer) {
+  auto& reg = MetricsRegistry::Global();
+  Counter* c1 = reg.GetCounter("obs_test.stable");
+  Counter* c2 = reg.GetCounter("obs_test.stable");
+  EXPECT_EQ(c1, c2);
+
+  Gauge* g1 = reg.GetGauge("obs_test.gauge");
+  Gauge* g2 = reg.GetGauge("obs_test.gauge");
+  EXPECT_EQ(g1, g2);
+}
+
+TEST(MetricsRegistryTest, HistogramReRegistrationKeepsFirstBounds) {
+  auto& reg = MetricsRegistry::Global();
+  Histogram* h1 = reg.GetHistogram("obs_test.hist_bounds", {1.0, 2.0});
+  Histogram* h2 = reg.GetHistogram("obs_test.hist_bounds", {100.0, 200.0, 300.0});
+  EXPECT_EQ(h1, h2);
+  ASSERT_EQ(h1->bounds().size(), 2u);
+  EXPECT_DOUBLE_EQ(h1->bounds()[0], 1.0);
+}
+
+TEST(MetricsRegistryTest, CountersAndGaugesRoundTrip) {
+  auto& reg = MetricsRegistry::Global();
+  Counter* c = reg.GetCounter("obs_test.roundtrip");
+  c->Reset();
+  c->Add(5);
+  c->Add();
+  EXPECT_EQ(c->Value(), 6u);
+  c->Reset();
+  EXPECT_EQ(c->Value(), 0u);
+
+  Gauge* g = reg.GetGauge("obs_test.gauge_roundtrip");
+  g->Set(2.5);
+  EXPECT_DOUBLE_EQ(g->Value(), 2.5);
+  g->Add(-1.0);
+  EXPECT_DOUBLE_EQ(g->Value(), 1.5);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsSumExactly) {
+  Counter* c = MetricsRegistry::Global().GetCounter("obs_test.concurrent");
+  c->Reset();
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kIncrements; ++i) c->Add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->Value(), static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram semantics
+
+TEST(HistogramTest, BucketEdges) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);  // bucket 0 (v <= 1)
+  h.Observe(1.0);  // bucket 0: a value equal to a bound lands at that bound
+  h.Observe(1.5);  // bucket 1
+  h.Observe(4.0);  // bucket 2
+  h.Observe(5.0);  // overflow
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.BucketCount(3), 1u);
+  EXPECT_EQ(h.TotalCount(), 5u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 12.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 2.4);
+}
+
+TEST(HistogramTest, PercentilesAreMonotone) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 100; ++i) h.Observe(1.5);
+  for (int i = 0; i < 10; ++i) h.Observe(7.0);
+  double p50 = h.Percentile(50);
+  double p99 = h.Percentile(99);
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  EXPECT_GE(p99, p50);
+  EXPECT_LE(p99, 8.0);
+  EXPECT_DOUBLE_EQ(Histogram({1.0}).Percentile(50), 0.0);  // Empty → 0.
+}
+
+TEST(HistogramTest, ExponentialBucketsAscend) {
+  auto bounds = ExponentialBuckets(8, 4, 5);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_DOUBLE_EQ(bounds[0], 8.0);
+  EXPECT_DOUBLE_EQ(bounds[4], 8.0 * 256.0);
+  for (size_t i = 1; i < bounds.size(); ++i) EXPECT_GT(bounds[i], bounds[i - 1]);
+}
+
+TEST(HistogramTest, ResetZeroesEverything) {
+  Histogram h({1.0, 2.0});
+  h.Observe(0.5);
+  h.Observe(10.0);
+  h.Reset();
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+
+TEST(SnapshotTest, TextSnapshotListsNonzeroInstruments) {
+  auto& reg = MetricsRegistry::Global();
+  reg.GetCounter("obs_test.text_counter")->Reset();
+  reg.GetCounter("obs_test.text_counter")->Add(7);
+  reg.GetGauge("obs_test.text_gauge")->Set(1.25);
+  reg.GetHistogram("obs_test.text_hist", {1.0, 10.0})->Observe(3.0);
+  std::string text = reg.TextSnapshot();
+  EXPECT_NE(text.find("counter obs_test.text_counter 7"), std::string::npos);
+  EXPECT_NE(text.find("gauge obs_test.text_gauge 1.25"), std::string::npos);
+  EXPECT_NE(text.find("histogram obs_test.text_hist"), std::string::npos);
+}
+
+TEST(SnapshotTest, JsonSnapshotIsValidJson) {
+  auto& reg = MetricsRegistry::Global();
+  reg.GetCounter(R"(obs_test.we"ird\name)")->Add(1);
+  reg.GetHistogram("obs_test.json_hist", {0.5, 5.0})->Observe(1.0);
+  std::string json = reg.JsonSnapshot();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+
+class TracingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = TracingEnabled();
+    ClearTrace();
+  }
+  void TearDown() override {
+    SetTracingEnabled(was_enabled_);
+    ClearTrace();
+  }
+  bool was_enabled_ = false;
+};
+
+TEST_F(TracingTest, DisabledRecordsNothing) {
+  SetTracingEnabled(false);
+  {
+    DMML_TRACE_SPAN("obs_test.disabled");
+  }
+  EXPECT_TRUE(CollectTraceEvents().empty());
+}
+
+TEST_F(TracingTest, NestedSpansRecordInnerBeforeOuter) {
+  SetTracingEnabled(true);
+  {
+    DMML_TRACE_SPAN("obs_test.outer");
+    {
+      DMML_TRACE_SPAN("obs_test.inner");
+    }
+  }
+  auto events = CollectTraceEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  const TraceEvent* outer = nullptr;
+  const TraceEvent* inner = nullptr;
+  for (const auto& e : events) {
+    if (std::string(e.name) == "obs_test.outer") outer = &e;
+    if (std::string(e.name) == "obs_test.inner") inner = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // The inner span nests inside the outer one.
+  EXPECT_GE(inner->start_us, outer->start_us);
+  EXPECT_LE(inner->start_us + inner->dur_us, outer->start_us + outer->dur_us);
+}
+
+TEST_F(TracingTest, CollectsEventsFromExitedThreads) {
+  SetTracingEnabled(true);
+  std::thread([] { DMML_TRACE_SPAN("obs_test.worker_span"); }).join();
+  auto events = CollectTraceEvents();
+  bool found = false;
+  for (const auto& e : events) {
+    if (std::string(e.name) == "obs_test.worker_span") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TracingTest, ChromeTraceJsonIsValid) {
+  SetTracingEnabled(true);
+  {
+    DMML_TRACE_SPAN("obs_test.chrome");
+  }
+  std::string json = ChromeTraceJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("obs_test.chrome"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST_F(TracingTest, ThreadIdsAreDenseAndStable) {
+  uint32_t id1 = ThisThreadId();
+  uint32_t id2 = ThisThreadId();
+  EXPECT_EQ(id1, id2);
+  std::atomic<uint32_t> other{0};
+  std::thread([&] { other = ThisThreadId(); }).join();
+  EXPECT_NE(other.load(), id1);
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path macros
+
+TEST(MacroTest, CounterAndHistogramMacrosReachRegistry) {
+  auto& reg = MetricsRegistry::Global();
+  reg.GetCounter("obs_test.macro_counter")->Reset();
+  for (int i = 0; i < 3; ++i) DMML_COUNTER_INC("obs_test.macro_counter");
+  DMML_COUNTER_ADD("obs_test.macro_counter", 7);
+  EXPECT_EQ(reg.GetCounter("obs_test.macro_counter")->Value(), 10u);
+
+  DMML_GAUGE_SET("obs_test.macro_gauge", 3.5);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("obs_test.macro_gauge")->Value(), 3.5);
+
+  DMML_HISTOGRAM_OBSERVE("obs_test.macro_hist", obs::ExponentialBuckets(1, 2, 4), 3.0);
+  EXPECT_EQ(reg.GetHistogram("obs_test.macro_hist", {})->TotalCount(), 1u);
+}
+
+}  // namespace
+}  // namespace dmml::obs

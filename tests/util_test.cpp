@@ -6,8 +6,13 @@
 #include <cmath>
 #include <cstdio>
 #include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "util/csv.h"
+#include "util/logging.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -379,6 +384,79 @@ TEST(ThreadPoolTest, WaitAllBlocksUntilDrained) {
   }
   pool.WaitAll();
   EXPECT_EQ(done.load(), 20);
+}
+
+// --------------------------------------------------------------------------
+// Logging
+// --------------------------------------------------------------------------
+
+// Restores the process log level after each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_ = LogLevel::kInfo;
+};
+
+TEST_F(LoggingTest, PrefixCarriesLevelTimestampThreadAndLocation) {
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  DMML_LOG(Warning) << "prefix probe";
+  std::string out = ::testing::internal::GetCapturedStderr();
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_NE(out.find("WARN "), std::string::npos);
+  EXPECT_NE(out.find(" t"), std::string::npos);
+  EXPECT_NE(out.find("util_test.cpp:"), std::string::npos);
+  EXPECT_NE(out.find("] prefix probe\n"), std::string::npos);
+  // HH:MM:SS — two colons inside the bracketed prefix.
+  std::string prefix = out.substr(0, out.find(']'));
+  size_t colons = 0;
+  for (char c : prefix) colons += (c == ':');
+  EXPECT_GE(colons, 3u);  // Two in the timestamp, one in file:line.
+}
+
+TEST_F(LoggingTest, MessagesBelowThresholdAreSuppressed) {
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  DMML_LOG(Info) << "should not appear";
+  DMML_LOG(Warning) << "nor this";
+  DMML_LOG(Error) << "only this";
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("should not appear"), std::string::npos);
+  EXPECT_EQ(out.find("nor this"), std::string::npos);
+  EXPECT_NE(out.find("only this"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ConcurrentWritersNeverInterleaveWithinALine) {
+  SetLogLevel(LogLevel::kInfo);
+  constexpr int kThreads = 8;
+  constexpr int kLines = 50;
+  ::testing::internal::CaptureStderr();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        DMML_LOG(Info) << "writer=" << t << " line=" << i << " tail";
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::string out = ::testing::internal::GetCapturedStderr();
+
+  std::istringstream lines(out);
+  std::string line;
+  int matched = 0;
+  while (std::getline(lines, line)) {
+    if (line.find("writer=") == std::string::npos) continue;
+    // Every emitted line must be whole: prefix at the front, marker at the
+    // end, and exactly one prefix (no other line spliced into it).
+    EXPECT_EQ(line.front(), '[') << line;
+    EXPECT_EQ(line.substr(line.size() - 4), "tail") << line;
+    EXPECT_EQ(line.find("writer="), line.rfind("writer=")) << line;
+    ++matched;
+  }
+  EXPECT_EQ(matched, kThreads * kLines);
 }
 
 }  // namespace
