@@ -11,6 +11,7 @@
 
 #include "bench/bench_util.h"
 #include "data/generators.h"
+#include "laopt/analysis.h"
 #include "laopt/executor.h"
 #include "laopt/expr.h"
 #include "laopt/optimizer.h"
@@ -82,6 +83,27 @@ int main() {
   RunCase(&table, "scalar_clutter", cluttered, 20);
 
   table.EmitCsv("E3_laopt");
+
+  // Static-analyzer throughput: shape/sparsity/footprint inference over a
+  // deep elementwise DAG. Plan-time analysis must stay negligible next to
+  // even one kernel launch.
+  {
+    ExprPtr deep = x;
+    for (int i = 0; i < 200; ++i) {
+      deep = *ExprNode::Add(deep, *ExprNode::ScalarMul(0.5, x));
+    }
+    Stopwatch w;
+    auto analysis = laopt::AnalyzeDag(deep);
+    double us = w.ElapsedMillis() * 1000.0;
+    if (!analysis.ok()) std::exit(1);
+    const auto* root_info = analysis->Find(deep.get());
+    std::printf(
+        "\nanalysis: %zu nodes in %.1f us (%.2f us/node), root estimate %s, "
+        "%.0f MB\n",
+        analysis->NumAnalyzed(), us, us / analysis->NumAnalyzed(),
+        root_info->shape.ToString().c_str(),
+        static_cast<double>(root_info->est_bytes) / (1024.0 * 1024.0));
+  }
 
   std::printf(
       "\nExpected shape (SystemML): large wins whenever the optimizer routes a\n"

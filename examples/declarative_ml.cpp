@@ -12,6 +12,7 @@
 #include "laopt/executor.h"
 #include "laopt/optimizer.h"
 #include "laopt/parser.h"
+#include "laopt/pipeline.h"
 #include "ml/metrics.h"
 #include "util/stopwatch.h"
 
@@ -35,12 +36,21 @@ int main() {
     std::fprintf(stderr, "parse error: %s\n", parsed.status().ToString().c_str());
     return 1;
   }
-  laopt::OptimizerReport report;
-  auto optimized = laopt::Optimize(*parsed, {}, &report);
-  if (!optimized.ok()) return 1;
+  // Full pipeline: static analysis (shape/sparsity/footprint validation),
+  // rewrites, CSE. Set DMML_EXPLAIN=1 to log the per-node analysis table.
+  laopt::PlanReport report;
+  auto optimized = laopt::CompilePlan(*parsed, {}, &report);
+  if (!optimized.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 optimized.status().ToString().c_str());
+    return 1;
+  }
   std::printf("plan: %s\n", (*optimized)->ToString().c_str());
-  std::printf("estimated Mflops: %.1f -> %.1f\n\n", report.flops_before / 1e6,
-              report.flops_after / 1e6);
+  std::printf("estimated Mflops: %.1f -> %.1f\n",
+              report.rewriter.flops_before / 1e6, report.rewriter.flops_after / 1e6);
+  std::printf("analysis: %zu nodes, output sparsity %.2f, est. result %.1f KB\n\n",
+              report.analysis_nodes, report.output_sparsity,
+              static_cast<double>(report.output_est_bytes) / 1024.0);
 
   // Gradient descent where each step re-executes the optimized DAG. The
   // leaf `w` is shared, so updating the buffer in place re-feeds the plan.

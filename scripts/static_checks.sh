@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# translation unit in src/ and fails on any warning, so new findings cannot
+# land silently. Usage:
+#
+#   scripts/static_checks.sh [build-dir]
+#
+# A compile_commands.json is generated into the build dir (default
+# build-tidy) if not already present. Exit codes: 0 clean, 1 findings,
+# 2 environment problem (no clang-tidy on PATH).
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-tidy}"
+
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy_bin" >/dev/null 2>&1; then
+  echo "static_checks: '$tidy_bin' not found on PATH." >&2
+  echo "Install clang-tidy (or set CLANG_TIDY) and re-run." >&2
+  exit 2
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null \
+    || { echo "static_checks: cmake configure failed" >&2; exit 2; }
+fi
+
+mapfile -t sources < <(find "$repo_root/src" -name '*.cpp' | sort)
+echo "static_checks: running $tidy_bin over ${#sources[@]} files..."
+
+status=0
+for f in "${sources[@]}"; do
+  # --quiet suppresses the "N warnings generated" chatter; findings still
+  # print. WarningsAsErrors in .clang-tidy makes any finding a failure.
+  if ! "$tidy_bin" --quiet -p "$build_dir" "$f"; then
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "static_checks: FAILED — fix the findings above (policy: .clang-tidy)" >&2
+else
+  echo "static_checks: clean"
+fi
+exit "$status"

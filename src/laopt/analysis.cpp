@@ -1,0 +1,300 @@
+#include "laopt/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dmml::laopt {
+
+namespace {
+
+// Bytes per stored nonzero in a CSR-style layout: 8 for the value plus 8 for
+// the column index (kept at 64-bit so the estimate stays conservative).
+constexpr uint64_t kSparseCellBytes = 16;
+
+// Diagnostics embed the offending node's rendering; cap it so a deep DAG
+// does not turn one error line into pages.
+std::string Abbreviate(const ExprNode& node) {
+  std::string s = node.ToString();
+  constexpr size_t kMax = 120;
+  if (s.size() > kMax) s = s.substr(0, kMax) + "...";
+  return s;
+}
+
+// a × b, saturating at UINT64_MAX instead of wrapping.
+uint64_t SatMul(uint64_t a, uint64_t b, bool* saturated) {
+  uint64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    *saturated = true;
+    return UINT64_MAX;
+  }
+  return out;
+}
+
+uint64_t SatAdd(uint64_t a, uint64_t b, bool* saturated) {
+  uint64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    *saturated = true;
+    return UINT64_MAX;
+  }
+  return out;
+}
+
+double ClampSparsity(double s) { return std::min(1.0, std::max(0.0, s)); }
+
+// Sparsity of A·B, or dense when the inner dimension is unknown.
+double MatMulSparsity(double sa, double sb, const Dim& inner) {
+  if (ClampSparsity(sa * sb) == 0.0) return 0.0;
+  if (!inner.known) return 1.0;  // No k to reason with: assume dense.
+  return MatMulSparsityEstimate(sa, sb, inner.value);
+}
+
+// Sparsity of a length-k reduction of cells with sparsity s (a row/col sum
+// is nonzero if any summand is).
+double ReduceSparsity(double s, const Dim& length) {
+  if (s == 0.0) return 0.0;
+  if (!length.known) return 1.0;
+  return ClampSparsity(1.0 - std::pow(1.0 - s, static_cast<double>(length.value)));
+}
+
+double ExactSparsity(const la::DenseMatrix& m) {
+  if (m.size() == 0) return 0.0;
+  size_t nnz = 0;
+  const double* data = m.data();
+  for (size_t i = 0; i < m.size(); ++i) nnz += (data[i] != 0.0) ? 1 : 0;
+  return static_cast<double>(nnz) / static_cast<double>(m.size());
+}
+
+Status ShapeError(const ExprNode& node, const char* what, const Shape& left,
+                  const Shape& right) {
+  DMML_COUNTER_INC("laopt.analysis.shape_rejects");
+  return Status::InvalidArgument(
+      std::string("plan-time shape error at node ") + Abbreviate(node) + ": " +
+      what + ": left operand is " + left.ToString() + ", right operand is " +
+      right.ToString());
+}
+
+void FillFootprint(NodeAnalysis* info) {
+  if (!info->shape.FullyKnown()) return;
+  info->bytes_known = true;
+  bool saturated = false;
+  const uint64_t rows = info->shape.rows.value;
+  const uint64_t cols = info->shape.cols.value;
+  info->dense_bytes = DenseFootprintBytes(rows, cols, &saturated);
+
+  // CSR-style alternative: ~16 bytes per estimated nonzero plus one 8-byte
+  // row pointer per row (+1). Only cheaper when the matrix is quite sparse.
+  const uint64_t cells = SatMul(rows, cols, &saturated);
+  const auto nnz = static_cast<uint64_t>(
+      std::ceil(info->sparsity * static_cast<double>(cells)));
+  uint64_t sparse = SatMul(nnz, kSparseCellBytes, &saturated);
+  sparse = SatAdd(sparse, SatMul(rows + 1, sizeof(uint64_t), &saturated),
+                  &saturated);
+  info->est_bytes = std::min(info->dense_bytes, sparse);
+  info->bytes_saturated = saturated;
+  if (saturated) DMML_COUNTER_INC("laopt.analysis.footprint_saturations");
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  std::ostringstream os;
+  if (bytes >= (1ull << 30)) {
+    os << static_cast<double>(bytes) / static_cast<double>(1ull << 30) << "GiB";
+  } else if (bytes >= (1ull << 20)) {
+    os << static_cast<double>(bytes) / static_cast<double>(1ull << 20) << "MiB";
+  } else if (bytes >= (1ull << 10)) {
+    os << static_cast<double>(bytes) / static_cast<double>(1ull << 10) << "KiB";
+  } else {
+    os << bytes << "B";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string Dim::ToString() const {
+  return known ? std::to_string(value) : std::string("?");
+}
+
+std::string Shape::ToString() const {
+  return rows.ToString() + "x" + cols.ToString();
+}
+
+double MatMulSparsityEstimate(double sa, double sb, size_t inner) {
+  // A result cell is nonzero unless all `inner` products a_ir·b_rc vanish;
+  // under independence each product is nonzero with probability sa·sb.
+  const double cell = ClampSparsity(sa * sb);
+  if (cell == 0.0 || inner == 0) return 0.0;
+  return ClampSparsity(1.0 - std::pow(1.0 - cell, static_cast<double>(inner)));
+}
+
+uint64_t DenseFootprintBytes(uint64_t rows, uint64_t cols, bool* saturated) {
+  bool sat = false;
+  uint64_t bytes = SatMul(SatMul(rows, cols, &sat), sizeof(double), &sat);
+  if (saturated) *saturated = sat;
+  return bytes;
+}
+
+DagAnalysis::DagAnalysis(AnalysisOptions options) : options_(options) {}
+
+const NodeAnalysis* DagAnalysis::Find(const ExprNode* node) const {
+  auto it = info_.find(node);
+  return it == info_.end() ? nullptr : &it->second;
+}
+
+Result<NodeAnalysis> DagAnalysis::Ensure(const ExprPtr& node) {
+  if (!node) return Status::InvalidArgument("analysis: null expression");
+  if (const NodeAnalysis* cached = Find(node.get())) return *cached;
+
+  // Children first (memoized, so shared sub-DAGs are analyzed once).
+  std::vector<NodeAnalysis> kids;
+  kids.reserve(node->children().size());
+  for (const auto& c : node->children()) {
+    DMML_ASSIGN_OR_RETURN(NodeAnalysis k, Ensure(c));
+    kids.push_back(k);
+  }
+
+  NodeAnalysis info;
+  info.shape.rows = Dim::FromNode(node->rows());
+  info.shape.cols = Dim::FromNode(node->cols());
+
+  switch (node->kind()) {
+    case OpKind::kInput: {
+      if (node->matrix()) {
+        info.sparsity = options_.exact_input_nnz ? ExactSparsity(*node->matrix())
+                                                 : 1.0;
+      } else {
+        info.sparsity = ClampSparsity(options_.default_placeholder_sparsity);
+        DMML_COUNTER_INC("laopt.analysis.placeholders");
+      }
+      break;
+    }
+    case OpKind::kMatMul: {
+      const Dim& inner_l = kids[0].shape.cols;
+      const Dim& inner_r = kids[1].shape.rows;
+      if (inner_l.known && inner_r.known && inner_l.value != inner_r.value) {
+        return ShapeError(*node, "matmul inner dimension mismatch",
+                          kids[0].shape, kids[1].shape);
+      }
+      info.shape.rows = kids[0].shape.rows;
+      info.shape.cols = kids[1].shape.cols;
+      info.sparsity = MatMulSparsity(kids[0].sparsity, kids[1].sparsity,
+                                     inner_l.known ? inner_l : inner_r);
+      break;
+    }
+    case OpKind::kTranspose:
+      info.shape.rows = kids[0].shape.cols;
+      info.shape.cols = kids[0].shape.rows;
+      info.sparsity = kids[0].sparsity;
+      break;
+    case OpKind::kAdd:
+    case OpKind::kSubtract:
+    case OpKind::kElemMul: {
+      const Shape& a = kids[0].shape;
+      const Shape& b = kids[1].shape;
+      if ((a.rows.known && b.rows.known && a.rows.value != b.rows.value) ||
+          (a.cols.known && b.cols.known && a.cols.value != b.cols.value)) {
+        return ShapeError(*node, "elementwise operand shape mismatch", a, b);
+      }
+      info.shape.rows = a.rows.known ? a.rows : b.rows;
+      info.shape.cols = a.cols.known ? a.cols : b.cols;
+      const double sa = kids[0].sparsity, sb = kids[1].sparsity;
+      info.sparsity = node->kind() == OpKind::kElemMul
+                          ? ClampSparsity(sa * sb)
+                          : ClampSparsity(sa + sb - sa * sb);
+      break;
+    }
+    case OpKind::kScalarMul:
+      info.shape = kids[0].shape;
+      info.sparsity = node->scalar() == 0.0 ? 0.0 : kids[0].sparsity;
+      break;
+    case OpKind::kSum:
+      info.sparsity = kids[0].sparsity > 0.0 ? 1.0 : 0.0;
+      break;
+    case OpKind::kRowSums:
+      info.shape.rows = kids[0].shape.rows;
+      info.sparsity = ReduceSparsity(kids[0].sparsity, kids[0].shape.cols);
+      break;
+    case OpKind::kColSums:
+      info.shape.cols = kids[0].shape.cols;
+      info.sparsity = ReduceSparsity(kids[0].sparsity, kids[0].shape.rows);
+      break;
+  }
+
+  FillFootprint(&info);
+  if (!info.shape.FullyKnown()) DMML_COUNTER_INC("laopt.analysis.unknown_shapes");
+  info_.emplace(node.get(), info);
+  return info;
+}
+
+std::string DagAnalysis::Explain(const ExprPtr& root) {
+  std::ostringstream os;
+  if (!root) return "EXPLAIN: <null plan>\n";
+
+  Status error = Status::OK();
+  std::unordered_map<const ExprNode*, size_t> ids;
+  std::vector<ExprPtr> order;
+  // Iterative post-order so the dump is topological (children before users).
+  std::vector<std::pair<ExprPtr, bool>> stack{{root, false}};
+  while (!stack.empty()) {
+    auto [node, expanded] = stack.back();
+    stack.pop_back();
+    if (ids.count(node.get())) continue;
+    if (expanded) {
+      ids.emplace(node.get(), order.size());
+      order.push_back(node);
+      continue;
+    }
+    stack.push_back({node, true});
+    for (const auto& c : node->children()) stack.push_back({c, false});
+  }
+
+  os << "EXPLAIN plan: " << order.size() << " nodes\n";
+  for (const ExprPtr& node : order) {
+    auto analyzed = Ensure(node);
+    os << "  [" << ids[node.get()] << "] " << OpKindName(node->kind());
+    if (node->kind() == OpKind::kInput) {
+      os << " " << (node->name().empty() ? "_" : node->name());
+      if (!node->matrix()) os << " (placeholder)";
+    } else {
+      os << "(";
+      for (size_t i = 0; i < node->children().size(); ++i) {
+        os << (i ? ", " : "") << "[" << ids[node->children()[i].get()] << "]";
+      }
+      os << ")";
+    }
+    if (node->kind() == OpKind::kScalarMul) os << " alpha=" << node->scalar();
+    if (!analyzed.ok()) {
+      os << ": " << analyzed.status().message() << "\n";
+      error = analyzed.status();
+      break;  // Everything above this node is equally unanalyzable.
+    }
+    const NodeAnalysis& a = *analyzed;
+    os << ": " << a.shape.ToString() << ", sparsity " << a.sparsity;
+    if (a.bytes_known) {
+      os << ", est " << HumanBytes(a.est_bytes) << " (dense "
+         << HumanBytes(a.dense_bytes) << ")";
+      if (a.bytes_saturated) os << " [saturated]";
+    } else {
+      os << ", est ?";
+    }
+    os << "\n";
+  }
+  if (!error.ok()) os << "  plan rejected: " << error.message() << "\n";
+  return os.str();
+}
+
+Result<DagAnalysis> AnalyzeDag(const ExprPtr& root, const AnalysisOptions& options) {
+  if (!root) return Status::InvalidArgument("AnalyzeDag: null expression");
+  DMML_TRACE_SPAN("laopt.analyze");
+  DagAnalysis analysis(options);
+  DMML_RETURN_IF_ERROR(analysis.Ensure(root).status());
+  DMML_COUNTER_INC("laopt.analysis.runs");
+  DMML_COUNTER_ADD("laopt.analysis.nodes", analysis.NumAnalyzed());
+  return analysis;
+}
+
+}  // namespace dmml::laopt

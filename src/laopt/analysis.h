@@ -1,0 +1,150 @@
+/// \file analysis.h
+/// \brief Static analysis over LA expression DAGs: shape, sparsity, and
+/// memory inference at plan time (SystemML/SystemDS-style).
+///
+/// Before any rewrite or execution touches data, AnalyzeDag walks the DAG
+/// and derives, per node:
+///
+///  * the output shape, with symbolic unknown-dimension propagation
+///    (Placeholder leaves may declare ExprNode::kUnknownDim dims);
+///  * a sparsity estimate in [0, 1], propagated with the standard
+///    independence formulas (add: sA+sB−sA·sB, elementwise multiply: sA·sB,
+///    matmul: 1−(1−sA·sB)^k over inner dimension k);
+///  * an estimated output memory footprint in bytes, computed with
+///    overflow-checked 64-bit arithmetic (saturating, never wrapping), both
+///    for a dense layout and for the cheaper of dense/CSR given the
+///    estimated sparsity.
+///
+/// Shape-inconsistent DAGs (possible via ExprNode::MakeUnchecked or the
+/// parser's deferred-check mode) are rejected here — at plan time — with a
+/// diagnostic naming the offending node and both operand shapes.
+///
+/// Consumers: the optimizer's matrix-chain DP costs candidate orders with
+/// analyzer shapes and sparsities (laopt/optimizer.h), and the fusion
+/// executor declines regions whose estimated working set exceeds a memory
+/// budget (laopt/fusion.h). `DagAnalysis::Explain` renders the per-node
+/// table as a DMML_EXPLAIN-style dump.
+#ifndef DMML_LAOPT_ANALYSIS_H_
+#define DMML_LAOPT_ANALYSIS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "laopt/expr.h"
+#include "util/result.h"
+
+namespace dmml::laopt {
+
+/// \brief A possibly-unknown matrix dimension.
+struct Dim {
+  bool known = false;
+  size_t value = 0;
+
+  static Dim Known(size_t v) { return {true, v}; }
+  static Dim Unknown() { return {}; }
+
+  /// \brief From an ExprNode dimension (kUnknownDim → Unknown).
+  static Dim FromNode(size_t v) {
+    return v == ExprNode::kUnknownDim ? Unknown() : Known(v);
+  }
+
+  /// \brief "123" or "?".
+  std::string ToString() const;
+};
+
+/// \brief An inferred (rows, cols) shape.
+struct Shape {
+  Dim rows;
+  Dim cols;
+
+  bool FullyKnown() const { return rows.known && cols.known; }
+
+  /// \brief "100x10", "?x10", ...
+  std::string ToString() const;
+};
+
+/// \brief Everything the analyzer derives for one node.
+struct NodeAnalysis {
+  Shape shape;
+
+  /// Estimated fraction of nonzero cells in [0, 1]; 1.0 when nothing better
+  /// is known (dense is the conservative assumption for memory and cost).
+  double sparsity = 1.0;
+
+  /// True iff the footprint estimates below are meaningful (shape fully
+  /// known). `bytes_saturated` marks estimates clamped at UINT64_MAX because
+  /// rows×cols×8 overflowed 64-bit arithmetic.
+  bool bytes_known = false;
+  bool bytes_saturated = false;
+
+  /// Dense row-major footprint: rows × cols × sizeof(double).
+  uint64_t dense_bytes = 0;
+
+  /// Footprint of the cheaper plausible representation: dense, or a
+  /// CSR-style sparse layout (~16 bytes per estimated nonzero) when the
+  /// sparsity estimate makes that smaller.
+  uint64_t est_bytes = 0;
+};
+
+/// \brief Analyzer knobs.
+struct AnalysisOptions {
+  /// Sparsity assumed for Placeholder leaves (no data to inspect).
+  double default_placeholder_sparsity = 1.0;
+
+  /// Count exact nonzeros of bound input matrices (one O(size) scan per
+  /// distinct leaf). When false, inputs are assumed dense.
+  bool exact_input_nnz = true;
+};
+
+/// \brief Per-node analysis results for one DAG, memoized by node identity.
+///
+/// Obtained from AnalyzeDag. `Ensure` analyzes nodes on demand, so passes
+/// that rewrite the DAG (optimizer, CSE) can keep querying one DagAnalysis
+/// for nodes they create — each node is analyzed at most once.
+class DagAnalysis {
+ public:
+  explicit DagAnalysis(AnalysisOptions options = {});
+
+  /// \brief Analysis for `node`, computing (and validating) it and any
+  /// unvisited descendants first. Fails on a shape-inconsistent node with a
+  /// diagnostic naming the node and both operand shapes.
+  Result<NodeAnalysis> Ensure(const ExprPtr& node);
+
+  /// \brief Already-computed analysis for `node`, or nullptr.
+  const NodeAnalysis* Find(const ExprNode* node) const;
+
+  /// \brief Number of nodes analyzed so far.
+  size_t NumAnalyzed() const { return info_.size(); }
+
+  /// \brief DMML_EXPLAIN-style dump of `root`'s sub-DAG: one line per node
+  /// in topological order with shape, sparsity, and footprint, children
+  /// referenced by line id. Analyzes unvisited nodes; on a shape error the
+  /// dump contains the diagnostic instead of rows for the invalid region.
+  std::string Explain(const ExprPtr& root);
+
+ private:
+  AnalysisOptions options_;
+  std::unordered_map<const ExprNode*, NodeAnalysis> info_;
+};
+
+/// \brief Validates and analyzes the whole DAG under `root`. This is the
+/// plan-time gate: a shape-mismatched program fails here with a node-level
+/// diagnostic instead of failing (or asserting) mid-execution.
+///
+/// Metrics: increments laopt.analysis.runs and laopt.analysis.nodes on
+/// success, laopt.analysis.shape_rejects on rejection.
+Result<DagAnalysis> AnalyzeDag(const ExprPtr& root,
+                               const AnalysisOptions& options = {});
+
+/// \brief rows × cols × sizeof(double) with overflow-checked 64-bit math;
+/// saturates to UINT64_MAX and sets *saturated on overflow.
+uint64_t DenseFootprintBytes(uint64_t rows, uint64_t cols, bool* saturated);
+
+/// \brief Independence-model sparsity of A·B: 1 − (1 − sa·sb)^inner. Used by
+/// the analyzer and by the optimizer's sparsity-aware chain costing.
+double MatMulSparsityEstimate(double sa, double sb, size_t inner);
+
+}  // namespace dmml::laopt
+
+#endif  // DMML_LAOPT_ANALYSIS_H_

@@ -23,7 +23,9 @@ constexpr size_t kNumOpKinds = static_cast<size_t>(OpKind::kColSums) + 1;
 struct OpInstruments {
   std::array<obs::Counter*, kNumOpKinds> count;
   std::array<obs::Counter*, kNumOpKinds> micros;
-  std::array<const char*, kNumOpKinds> span_name;
+  // Span names must outlive the trace rings; the instance below is immortal
+  // (leaked but always reachable, so LeakSanitizer stays quiet).
+  std::array<std::string, kNumOpKinds> span_name;
 
   static const OpInstruments& Get() {
     static const OpInstruments* instruments = [] {
@@ -34,9 +36,7 @@ struct OpInstruments {
         out->count[k] = reg.GetCounter(std::string("laopt.executor.ops.") + name);
         out->micros[k] =
             reg.GetCounter(std::string("laopt.executor.op_us.") + name);
-        // Span names must outlive the trace rings; leak one copy per kind.
-        out->span_name[k] =
-            (new std::string(std::string("laopt.op.") + name))->c_str();
+        out->span_name[k] = std::string("laopt.op.") + name;
       }
       return out;
     }();
@@ -62,7 +62,14 @@ class Evaluator {
 
  private:
   Result<DenseMatrix> EvalUncached(const ExprPtr& node) {
-    if (node->kind() == OpKind::kInput) return *node->matrix();
+    if (node->kind() == OpKind::kInput) {
+      if (!node->matrix()) {
+        return Status::FailedPrecondition(
+            "cannot execute unbound placeholder '" +
+            (node->name().empty() ? std::string("_") : node->name()) + "'");
+      }
+      return *node->matrix();
+    }
     if (stats_) stats_->ops_executed++;
 
     std::vector<DenseMatrix> kids;
@@ -75,7 +82,7 @@ class Evaluator {
     const OpInstruments& instruments = OpInstruments::Get();
     instruments.count[kind_idx]->Add(1);
     obs::ScopedTimerUs op_timer(instruments.micros[kind_idx]);
-    DMML_TRACE_SPAN(instruments.span_name[kind_idx]);
+    DMML_TRACE_SPAN(instruments.span_name[kind_idx].c_str());
     switch (node->kind()) {
       case OpKind::kMatMul:
         return la::Multiply(kids[0], kids[1], pool_);

@@ -39,15 +39,29 @@ class ExprNode;
 using ExprPtr = std::shared_ptr<const ExprNode>;
 
 /// \brief Immutable expression node. Shapes are inferred at construction.
+///
+/// Dimensions may be *unknown* (kUnknownDim) when the node is — or derives
+/// from — a Placeholder leaf whose data arrives after planning. Checked
+/// factories validate whatever is known at construction; the static analyzer
+/// in laopt/analysis.h re-derives and validates the full DAG at plan time,
+/// which is the only check deferred-constructed nodes (MakeUnchecked) get.
 class ExprNode {
  public:
+  /// Sentinel for a dimension that is not known until execution time.
+  static constexpr size_t kUnknownDim = static_cast<size_t>(-1);
+
   OpKind kind() const { return kind_; }
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
   double scalar() const { return scalar_; }
   const std::vector<ExprPtr>& children() const { return children_; }
 
-  /// \brief Leaf payload (kInput only).
+  /// \brief True iff both dimensions are known at plan time.
+  bool HasKnownShape() const {
+    return rows_ != kUnknownDim && cols_ != kUnknownDim;
+  }
+
+  /// \brief Leaf payload (kInput only; null for Placeholder leaves).
   const std::shared_ptr<const la::DenseMatrix>& matrix() const { return matrix_; }
 
   /// \brief Total node count of the sub-DAG (duplicates counted once).
@@ -59,6 +73,20 @@ class ExprNode {
   // Factories (validated).
   static Result<ExprPtr> Input(std::shared_ptr<const la::DenseMatrix> m,
                                std::string name = "");
+
+  /// \brief Data-less leaf with a declared (possibly kUnknownDim) shape —
+  /// plans can be compiled and costed before the matrix exists. Executing a
+  /// plan containing an unbound placeholder is an error.
+  static Result<ExprPtr> Placeholder(size_t rows, size_t cols,
+                                     std::string name = "");
+
+  /// \brief Constructs a node WITHOUT shape validation; output dimensions are
+  /// derived best-effort from the children. Used by front ends that defer
+  /// shape checking to the plan-time analyzer (laopt/analysis.h), which then
+  /// reports mismatches with full operand shapes instead of failing inside a
+  /// combinator. Not valid for kInput; `scalar` only read for kScalarMul.
+  static Result<ExprPtr> MakeUnchecked(OpKind kind, std::vector<ExprPtr> children,
+                                       double scalar = 1.0);
   static Result<ExprPtr> MatMul(ExprPtr a, ExprPtr b);
   static Result<ExprPtr> Transpose(ExprPtr a);
   static Result<ExprPtr> Add(ExprPtr a, ExprPtr b);
@@ -84,7 +112,8 @@ class ExprNode {
 };
 
 /// \brief Estimated floating-point operations to evaluate `e` naively
-/// (no common-subexpression sharing; multiplications dominate).
+/// (no common-subexpression sharing; multiplications dominate). Nodes with
+/// unknown dimensions contribute zero.
 double EstimateFlops(const ExprPtr& e);
 
 }  // namespace dmml::laopt

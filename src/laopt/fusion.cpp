@@ -1,6 +1,7 @@
 #include "laopt/fusion.h"
 
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "la/kernels.h"
@@ -23,6 +24,18 @@ size_t CountElementwiseOps(const ExprPtr& node) {
   size_t count = 1;
   for (const auto& c : node->children()) count += CountElementwiseOps(c);
   return count;
+}
+
+// Number of distinct non-elementwise boundary nodes feeding the region —
+// each is materialized for the whole fused loop, so each contributes one
+// region-shaped matrix to the working set.
+void CountRegionInputs(const ExprPtr& node,
+                       std::unordered_set<const ExprNode*>* inputs) {
+  if (!IsElementwise(node->kind())) {
+    inputs->insert(node.get());
+    return;
+  }
+  for (const auto& c : node->children()) CountRegionInputs(c, inputs);
 }
 
 // A compiled cell program in postfix form, executed on a small stack.
@@ -127,7 +140,9 @@ namespace {
 
 class FusingEvaluator {
  public:
-  explicit FusingEvaluator(FusionStats* stats) : stats_(stats) {}
+  FusingEvaluator(const FusionOptions& options, FusionStats* stats,
+                  DagAnalysis* analysis)
+      : options_(options), stats_(stats), analysis_(analysis) {}
 
   Result<DenseMatrix> Eval(const ExprPtr& node) {
     auto it = memo_.find(node.get());
@@ -138,8 +153,34 @@ class FusingEvaluator {
   }
 
  private:
+  // Memory guard: estimated bytes live while the fused loop runs — every
+  // distinct boundary input plus the output, each region-shaped. True (fuse)
+  // when no budget is set or the estimate fits.
+  Result<bool> RegionFitsBudget(const ExprPtr& node) {
+    if (options_.memory_budget_bytes == 0) return true;
+    DMML_ASSIGN_OR_RETURN(NodeAnalysis info, analysis_->Ensure(node));
+    if (!info.bytes_known) return true;  // Nothing to reason with.
+    std::unordered_set<const ExprNode*> inputs;
+    CountRegionInputs(node, &inputs);
+    bool saturated = info.bytes_saturated;
+    uint64_t working_set = info.dense_bytes;
+    for (size_t i = 0; i < inputs.size() && !saturated; ++i) {
+      if (__builtin_add_overflow(working_set, info.dense_bytes, &working_set)) {
+        saturated = true;
+      }
+    }
+    if (saturated) working_set = UINT64_MAX;
+    return working_set <= options_.memory_budget_bytes;
+  }
+
   Result<DenseMatrix> EvalUncached(const ExprPtr& node) {
     if (IsFusibleRegion(node)) {
+      DMML_ASSIGN_OR_RETURN(bool fuse, RegionFitsBudget(node));
+      if (!fuse) {
+        if (stats_) stats_->regions_declined++;
+        DMML_COUNTER_INC("laopt.fusion.budget_declines");
+        return EvalOperator(node);
+      }
       if (stats_) {
         stats_->regions_fused++;
         stats_->ops_fused += CountElementwiseOps(node);
@@ -148,7 +189,18 @@ class FusingEvaluator {
       DMML_COUNTER_ADD("laopt.fusion.ops_fused", CountElementwiseOps(node));
       return ExecuteFused(node, [this](const ExprPtr& c) { return Eval(c); });
     }
-    if (node->kind() == OpKind::kInput) return *node->matrix();
+    return EvalOperator(node);
+  }
+
+  Result<DenseMatrix> EvalOperator(const ExprPtr& node) {
+    if (node->kind() == OpKind::kInput) {
+      if (!node->matrix()) {
+        return Status::FailedPrecondition(
+            "cannot execute unbound placeholder '" +
+            (node->name().empty() ? std::string("_") : node->name()) + "'");
+      }
+      return *node->matrix();
+    }
     std::vector<DenseMatrix> kids;
     kids.reserve(node->children().size());
     for (const auto& c : node->children()) {
@@ -183,17 +235,27 @@ class FusingEvaluator {
     return Status::Internal("unknown op kind in fusing executor");
   }
 
+  const FusionOptions options_;
   FusionStats* stats_;
+  DagAnalysis* analysis_;
   std::unordered_map<const ExprNode*, DenseMatrix> memo_;
 };
 
 }  // namespace
 
-Result<DenseMatrix> ExecuteWithFusion(const ExprPtr& root, FusionStats* stats) {
+Result<DenseMatrix> ExecuteWithFusion(const ExprPtr& root,
+                                      const FusionOptions& options,
+                                      FusionStats* stats, DagAnalysis* analysis) {
   if (!root) return Status::InvalidArgument("ExecuteWithFusion: null expression");
   DMML_TRACE_SPAN("laopt.execute_fused");
-  FusingEvaluator evaluator(stats);
+  DagAnalysis local_analysis;
+  FusingEvaluator evaluator(options, stats,
+                            analysis ? analysis : &local_analysis);
   return evaluator.Eval(root);
+}
+
+Result<DenseMatrix> ExecuteWithFusion(const ExprPtr& root, FusionStats* stats) {
+  return ExecuteWithFusion(root, FusionOptions{}, stats);
 }
 
 }  // namespace dmml::laopt

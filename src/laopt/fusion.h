@@ -8,8 +8,10 @@
 #ifndef DMML_LAOPT_FUSION_H_
 #define DMML_LAOPT_FUSION_H_
 
+#include <cstdint>
 #include <functional>
 
+#include "laopt/analysis.h"
 #include "laopt/expr.h"
 #include "util/result.h"
 
@@ -33,10 +35,30 @@ Result<la::DenseMatrix> ExecuteFused(
 struct FusionStats {
   size_t regions_fused = 0;
   size_t ops_fused = 0;  ///< Elementwise operators folded into fused loops.
+  size_t regions_declined = 0;  ///< Fusible regions skipped by the memory guard.
+};
+
+/// \brief Fusion execution knobs.
+struct FusionOptions {
+  /// Maximum estimated working set of one fused region — all distinct
+  /// boundary inputs plus the output, sized by the static analyzer — before
+  /// the region is executed node by node instead. 0 disables the guard.
+  uint64_t memory_budget_bytes = 0;
 };
 
 /// \brief Executes `root` like laopt::Execute but with elementwise fusion;
-/// results are identical, temporaries are fewer.
+/// results are identical, temporaries are fewer. Regions whose estimated
+/// working set exceeds `options.memory_budget_bytes` are declined (counted
+/// in stats->regions_declined and metric laopt.fusion.budget_declines) and
+/// evaluated unfused; their fusible sub-regions are still considered.
+/// `analysis` supplies footprint estimates; a private one is built when
+/// null.
+Result<la::DenseMatrix> ExecuteWithFusion(const ExprPtr& root,
+                                          const FusionOptions& options,
+                                          FusionStats* stats = nullptr,
+                                          DagAnalysis* analysis = nullptr);
+
+/// \brief Back-compat overload: no memory guard.
 Result<la::DenseMatrix> ExecuteWithFusion(const ExprPtr& root,
                                           FusionStats* stats = nullptr);
 

@@ -20,25 +20,38 @@ void FlattenChain(const ExprPtr& node, std::vector<ExprPtr>* factors) {
   }
 }
 
-// Classic O(m^3) matrix-chain DP over the factor shapes. Returns split
+// Estimated flops of the gemm (rows x inner, sparsity s_left) · (inner x
+// cols): sparse-aware kernels skip the left operand's zero cells, so the
+// dense 2·rows·inner·cols is discounted by s_left.
+double GemmCost(size_t rows, size_t inner, size_t cols, double s_left) {
+  return 2.0 * static_cast<double>(rows) * static_cast<double>(inner) *
+         static_cast<double>(cols) * s_left;
+}
+
+// O(m^3) matrix-chain DP over analyzer factor estimates (shape + sparsity);
+// intermediate sparsities are propagated with the analyzer's matmul formula
+// so downstream gemms of a sparse partial product get cheaper. Returns split
 // points; splits[i][j] is the optimal split index for factors [i, j].
-double ChainDp(const std::vector<std::pair<size_t, size_t>>& shapes,
+double ChainDp(const std::vector<ChainFactor>& factors,
                std::vector<std::vector<size_t>>* splits) {
-  const size_t m = shapes.size();
+  const size_t m = factors.size();
   std::vector<std::vector<double>> cost(m, std::vector<double>(m, 0.0));
+  std::vector<std::vector<double>> sparsity(m, std::vector<double>(m, 1.0));
   splits->assign(m, std::vector<size_t>(m, 0));
+  for (size_t i = 0; i < m; ++i) sparsity[i][i] = factors[i].sparsity;
   for (size_t len = 2; len <= m; ++len) {
     for (size_t i = 0; i + len <= m; ++i) {
       size_t j = i + len - 1;
       cost[i][j] = std::numeric_limits<double>::infinity();
       for (size_t k = i; k < j; ++k) {
         double c = cost[i][k] + cost[k + 1][j] +
-                   2.0 * static_cast<double>(shapes[i].first) *
-                       static_cast<double>(shapes[k].second) *
-                       static_cast<double>(shapes[j].second);
+                   GemmCost(factors[i].rows, factors[k].cols, factors[j].cols,
+                            sparsity[i][k]);
         if (c < cost[i][j]) {
           cost[i][j] = c;
           (*splits)[i][j] = k;
+          sparsity[i][j] = MatMulSparsityEstimate(
+              sparsity[i][k], sparsity[k + 1][j], factors[k].cols);
         }
       }
     }
@@ -56,21 +69,24 @@ Result<ExprPtr> RebuildChain(const std::vector<ExprPtr>& factors,
   return ExprNode::MatMul(std::move(left), std::move(right));
 }
 
-// Naive left-to-right chain cost, used to detect whether reordering changed
-// anything (for the report).
-double CurrentChainCost(const ExprPtr& node) {
+// Cost of the chain as currently parenthesized, under the same sparsity-
+// aware model as ChainDp, used to decide whether reordering is profitable.
+Result<double> CurrentChainCost(const ExprPtr& node, DagAnalysis* analysis) {
   if (node->kind() != OpKind::kMatMul) return 0.0;
-  return CurrentChainCost(node->children()[0]) +
-         CurrentChainCost(node->children()[1]) +
-         2.0 * static_cast<double>(node->children()[0]->rows()) *
-             static_cast<double>(node->children()[0]->cols()) *
-             static_cast<double>(node->children()[1]->cols());
+  const ExprPtr& left = node->children()[0];
+  const ExprPtr& right = node->children()[1];
+  DMML_ASSIGN_OR_RETURN(double cl, CurrentChainCost(left, analysis));
+  DMML_ASSIGN_OR_RETURN(double cr, CurrentChainCost(right, analysis));
+  DMML_ASSIGN_OR_RETURN(NodeAnalysis la, analysis->Ensure(left));
+  return cl + cr + GemmCost(left->rows(), left->cols(), right->cols(),
+                            la.sparsity);
 }
 
 class Rewriter {
  public:
-  Rewriter(const OptimizerOptions& options, OptimizerReport* report)
-      : options_(options), report_(report) {}
+  Rewriter(const OptimizerOptions& options, OptimizerReport* report,
+           DagAnalysis* analysis)
+      : options_(options), report_(report), analysis_(analysis) {}
 
   Result<ExprPtr> Rewrite(const ExprPtr& node) {
     auto it = memo_.find(node.get());
@@ -130,13 +146,22 @@ class Rewriter {
         if (options_.reorder_chains) {
           std::vector<ExprPtr> factors;
           FlattenChain(mm, &factors);
-          if (factors.size() > 2) {
-            std::vector<std::pair<size_t, size_t>> shapes;
-            shapes.reserve(factors.size());
-            for (const auto& f : factors) shapes.push_back({f->rows(), f->cols()});
+          bool all_known = true;
+          for (const auto& f : factors) all_known &= f->HasKnownShape();
+          if (factors.size() > 2 && all_known) {
+            // Cost candidate orders with the analyzer's shape and sparsity
+            // estimates instead of raw node dimensions.
+            std::vector<ChainFactor> chain;
+            chain.reserve(factors.size());
+            for (const auto& f : factors) {
+              DMML_ASSIGN_OR_RETURN(NodeAnalysis fa, analysis_->Ensure(f));
+              chain.push_back({f->rows(), f->cols(), fa.sparsity});
+            }
             std::vector<std::vector<size_t>> splits;
-            double optimal = ChainDp(shapes, &splits);
-            double current = CurrentChainCost(mm);
+            double optimal = ChainDp(chain, &splits);
+            DMML_ASSIGN_OR_RETURN(double current, CurrentChainCost(mm, analysis_));
+            if (report_) report_->chains_costed++;
+            DMML_COUNTER_INC("laopt.optimize.chains_costed");
             if (optimal + 0.5 < current) {
               DMML_ASSIGN_OR_RETURN(
                   mm, RebuildChain(factors, splits, 0, factors.size() - 1));
@@ -184,28 +209,37 @@ class Rewriter {
 
   const OptimizerOptions& options_;
   OptimizerReport* report_;
+  DagAnalysis* analysis_;
   std::unordered_map<const ExprNode*, ExprPtr> memo_;
 };
 
 }  // namespace
 
 Result<ExprPtr> Optimize(const ExprPtr& root, const OptimizerOptions& options,
-                         OptimizerReport* report) {
+                         OptimizerReport* report, DagAnalysis* analysis) {
   if (!root) return Status::InvalidArgument("Optimize: null expression");
   DMML_TRACE_SPAN("laopt.optimize");
   if (report) {
     *report = OptimizerReport{};
     report->flops_before = EstimateFlops(root);
   }
-  Rewriter rewriter(options, report);
+  DagAnalysis local_analysis;
+  Rewriter rewriter(options, report, analysis ? analysis : &local_analysis);
   DMML_ASSIGN_OR_RETURN(ExprPtr result, rewriter.Rewrite(root));
   if (report) report->flops_after = EstimateFlops(result);
   return result;
 }
 
 double OptimalChainCost(const std::vector<std::pair<size_t, size_t>>& shapes) {
+  std::vector<ChainFactor> factors;
+  factors.reserve(shapes.size());
+  for (const auto& s : shapes) factors.push_back({s.first, s.second, 1.0});
+  return OptimalSparseChainCost(factors);
+}
+
+double OptimalSparseChainCost(const std::vector<ChainFactor>& factors) {
   std::vector<std::vector<size_t>> splits;
-  return ChainDp(shapes, &splits);
+  return ChainDp(factors, &splits);
 }
 
 }  // namespace dmml::laopt

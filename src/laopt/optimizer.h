@@ -11,6 +11,7 @@
 #ifndef DMML_LAOPT_OPTIMIZER_H_
 #define DMML_LAOPT_OPTIMIZER_H_
 
+#include "laopt/analysis.h"
 #include "laopt/expr.h"
 
 namespace dmml::laopt {
@@ -27,17 +28,37 @@ struct OptimizerReport {
   size_t transposes_eliminated = 0;
   size_t scalars_folded = 0;
   size_t chains_reordered = 0;
+  size_t chains_costed = 0;  ///< Chains run through the analyzer-backed DP.
   double flops_before = 0;
   double flops_after = 0;
 };
 
 /// \brief Applies the enabled rewrites bottom-up; returns the rewritten DAG.
+///
+/// Matrix-chain reordering costs candidate orders with shapes and sparsity
+/// estimates from `analysis` (laopt/analysis.h); when none is supplied a
+/// private one is built on the fly. Chains containing unknown-dimension
+/// factors are left in source order (no sizes to reason with).
 Result<ExprPtr> Optimize(const ExprPtr& root, const OptimizerOptions& options = {},
-                         OptimizerReport* report = nullptr);
+                         OptimizerReport* report = nullptr,
+                         DagAnalysis* analysis = nullptr);
+
+/// \brief One matrix-chain factor as the DP sees it.
+struct ChainFactor {
+  size_t rows = 0;
+  size_t cols = 0;
+  double sparsity = 1.0;
+};
 
 /// \brief Optimal parenthesization cost (flops) of multiplying matrices with
-/// the given (rows, cols) shapes in sequence — exposed for testing the DP.
+/// the given (rows, cols) shapes in sequence, all assumed dense — exposed
+/// for testing the DP.
 double OptimalChainCost(const std::vector<std::pair<size_t, size_t>>& shapes);
+
+/// \brief Sparsity-aware variant: gemm cost is discounted by the estimated
+/// sparsity of the left operand (sparse-aware kernels skip zero cells), and
+/// intermediate sparsities are propagated with the analyzer's matmul formula.
+double OptimalSparseChainCost(const std::vector<ChainFactor>& factors);
 
 }  // namespace dmml::laopt
 

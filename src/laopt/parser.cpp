@@ -94,8 +94,41 @@ struct ParsedValue {
 
 class Parser {
  public:
-  Parser(std::vector<Token> tokens, const Environment& env)
-      : tokens_(std::move(tokens)), env_(env) {}
+  Parser(std::vector<Token> tokens, const Environment& env,
+         const ParseOptions& options)
+      : tokens_(std::move(tokens)), env_(env), options_(options) {}
+
+  // Routes through the checked factories normally, or through MakeUnchecked
+  // when shape checking is deferred to the plan-time analyzer.
+  Result<ExprPtr> Build(OpKind kind, std::vector<ExprPtr> children,
+                        double scalar = 1.0) {
+    if (options_.defer_shape_checks) {
+      return ExprNode::MakeUnchecked(kind, std::move(children), scalar);
+    }
+    switch (kind) {
+      case OpKind::kMatMul:
+        return ExprNode::MatMul(children[0], children[1]);
+      case OpKind::kTranspose:
+        return ExprNode::Transpose(children[0]);
+      case OpKind::kAdd:
+        return ExprNode::Add(children[0], children[1]);
+      case OpKind::kSubtract:
+        return ExprNode::Subtract(children[0], children[1]);
+      case OpKind::kElemMul:
+        return ExprNode::ElemMul(children[0], children[1]);
+      case OpKind::kScalarMul:
+        return ExprNode::ScalarMul(scalar, children[0]);
+      case OpKind::kSum:
+        return ExprNode::Sum(children[0]);
+      case OpKind::kRowSums:
+        return ExprNode::RowSums(children[0]);
+      case OpKind::kColSums:
+        return ExprNode::ColSums(children[0]);
+      case OpKind::kInput:
+        break;
+    }
+    return Status::Internal("parser: unexpected op kind");
+  }
 
   Result<ParsedValue> ParseExpr() {
     DMML_ASSIGN_OR_RETURN(ParsedValue lhs, ParseTerm());
@@ -110,8 +143,9 @@ class Parser {
         return Status::InvalidArgument(
             "cannot add a scalar to a matrix; use elementwise tricks explicitly");
       }
-      DMML_ASSIGN_OR_RETURN(lhs.expr, plus ? ExprNode::Add(lhs.expr, rhs.expr)
-                                           : ExprNode::Subtract(lhs.expr, rhs.expr));
+      DMML_ASSIGN_OR_RETURN(
+          lhs.expr, Build(plus ? OpKind::kAdd : OpKind::kSubtract,
+                          {lhs.expr, rhs.expr}));
     }
     return lhs;
   }
@@ -125,19 +159,23 @@ class Parser {
         if (lhs.is_scalar || rhs.is_scalar) {
           return Status::InvalidArgument("%*% requires matrix operands");
         }
-        DMML_ASSIGN_OR_RETURN(lhs.expr, ExprNode::MatMul(lhs.expr, rhs.expr));
+        DMML_ASSIGN_OR_RETURN(lhs.expr,
+                              Build(OpKind::kMatMul, {lhs.expr, rhs.expr}));
         continue;
       }
       // '*': scalar folding, scalar*matrix, or elementwise matrix product.
       if (lhs.is_scalar && rhs.is_scalar) {
         lhs.scalar *= rhs.scalar;
       } else if (lhs.is_scalar) {
-        DMML_ASSIGN_OR_RETURN(rhs.expr, ExprNode::ScalarMul(lhs.scalar, rhs.expr));
+        DMML_ASSIGN_OR_RETURN(rhs.expr,
+                              Build(OpKind::kScalarMul, {rhs.expr}, lhs.scalar));
         lhs = rhs;
       } else if (rhs.is_scalar) {
-        DMML_ASSIGN_OR_RETURN(lhs.expr, ExprNode::ScalarMul(rhs.scalar, lhs.expr));
+        DMML_ASSIGN_OR_RETURN(lhs.expr,
+                              Build(OpKind::kScalarMul, {lhs.expr}, rhs.scalar));
       } else {
-        DMML_ASSIGN_OR_RETURN(lhs.expr, ExprNode::ElemMul(lhs.expr, rhs.expr));
+        DMML_ASSIGN_OR_RETURN(lhs.expr,
+                              Build(OpKind::kElemMul, {lhs.expr, rhs.expr}));
       }
     }
     return lhs;
@@ -159,7 +197,8 @@ class Parser {
         if (inner.is_scalar) {
           inner.scalar = -inner.scalar;
         } else {
-          DMML_ASSIGN_OR_RETURN(inner.expr, ExprNode::ScalarMul(-1.0, inner.expr));
+          DMML_ASSIGN_OR_RETURN(inner.expr,
+                                Build(OpKind::kScalarMul, {inner.expr}, -1.0));
         }
         return inner;
       }
@@ -176,15 +215,11 @@ class Parser {
             return Status::InvalidArgument(token.text + "() requires a matrix operand");
           }
           ParsedValue value;
-          if (token.text == "t") {
-            DMML_ASSIGN_OR_RETURN(value.expr, ExprNode::Transpose(inner.expr));
-          } else if (token.text == "sum") {
-            DMML_ASSIGN_OR_RETURN(value.expr, ExprNode::Sum(inner.expr));
-          } else if (token.text == "rowSums") {
-            DMML_ASSIGN_OR_RETURN(value.expr, ExprNode::RowSums(inner.expr));
-          } else {
-            DMML_ASSIGN_OR_RETURN(value.expr, ExprNode::ColSums(inner.expr));
-          }
+          OpKind kind = OpKind::kTranspose;
+          if (token.text == "sum") kind = OpKind::kSum;
+          else if (token.text == "rowSums") kind = OpKind::kRowSums;
+          else if (token.text == "colSums") kind = OpKind::kColSums;
+          DMML_ASSIGN_OR_RETURN(value.expr, Build(kind, {inner.expr}));
           return value;
         }
         auto it = env_.find(token.text);
@@ -225,14 +260,20 @@ class Parser {
  private:
   std::vector<Token> tokens_;
   const Environment& env_;
+  ParseOptions options_;
   size_t cursor_ = 0;
 };
 
 }  // namespace
 
 Result<ExprPtr> ParseExpression(const std::string& source, const Environment& env) {
+  return ParseExpression(source, env, ParseOptions{});
+}
+
+Result<ExprPtr> ParseExpression(const std::string& source, const Environment& env,
+                                const ParseOptions& options) {
   DMML_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
-  Parser parser(std::move(tokens), env);
+  Parser parser(std::move(tokens), env, options);
   DMML_ASSIGN_OR_RETURN(ParsedValue value, parser.ParseExpr());
   if (!parser.AtEnd()) {
     return Status::InvalidArgument("trailing input after expression");

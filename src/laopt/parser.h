@@ -34,11 +34,23 @@ namespace dmml::laopt {
 /// \brief Named matrices visible to a parsed expression.
 using Environment = std::map<std::string, std::shared_ptr<const la::DenseMatrix>>;
 
+/// \brief Parser knobs.
+struct ParseOptions {
+  /// Build operator nodes without eager shape validation: the parse always
+  /// succeeds structurally, and shape errors are reported by the plan-time
+  /// analyzer (laopt/analysis.h) with a diagnostic naming the offending node
+  /// and both operand shapes — instead of a terse combinator error here.
+  bool defer_shape_checks = false;
+};
+
 /// \brief Parses `source` into an expression DAG over `env`.
 ///
 /// Errors (syntax, unknown identifiers, shape mismatches) are reported with
-/// the offending position.
+/// the offending position; with ParseOptions::defer_shape_checks the shape
+/// check moves to plan time.
 Result<ExprPtr> ParseExpression(const std::string& source, const Environment& env);
+Result<ExprPtr> ParseExpression(const std::string& source, const Environment& env,
+                                const ParseOptions& options);
 
 /// \brief Parse + optimize + execute in one call.
 Result<la::DenseMatrix> EvalExpression(const std::string& source,

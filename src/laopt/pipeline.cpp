@@ -1,33 +1,86 @@
 #include "laopt/pipeline.h"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "laopt/executor.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
 
 namespace dmml::laopt {
 
-Result<ExprPtr> CompilePlan(const ExprPtr& root, const PipelineOptions& options,
-                            PlanReport* report) {
+namespace {
+
+bool ExplainEnvEnabled() {
+  const char* v = std::getenv("DMML_EXPLAIN");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+// Shared body of CompilePlan / CompileAndExecute: `analysis` (may be null
+// when options.run_analysis is false) outlives the call so the executor's
+// fusion guard can keep consulting it.
+Result<ExprPtr> CompilePlanImpl(const ExprPtr& root, const PipelineOptions& options,
+                                PlanReport* report, DagAnalysis* analysis) {
   if (!root) return Status::InvalidArgument("CompilePlan: null expression");
   if (report) {
     *report = PlanReport{};
     report->estimated_flops_in = EstimateFlops(root);
   }
+  // Validate before rewriting: deferred-checked programs fail here with a
+  // node-level diagnostic instead of inside a rewrite or the executor.
+  if (analysis) {
+    DMML_RETURN_IF_ERROR(analysis->Ensure(root).status());
+    DMML_COUNTER_INC("laopt.analysis.runs");
+    DMML_COUNTER_ADD("laopt.analysis.nodes", analysis->NumAnalyzed());
+  }
+
   DMML_ASSIGN_OR_RETURN(
       ExprPtr plan,
-      Optimize(root, options.rewrites, report ? &report->rewriter : nullptr));
+      Optimize(root, options.rewrites, report ? &report->rewriter : nullptr,
+               analysis));
   if (options.run_cse) {
     DMML_ASSIGN_OR_RETURN(
         plan, EliminateCommonSubexpressions(plan, report ? &report->cse : nullptr));
   }
   if (report) report->estimated_flops_out = EstimateFlops(plan);
+
+  if (analysis) {
+    DMML_ASSIGN_OR_RETURN(NodeAnalysis out, analysis->Ensure(plan));
+    if (report) {
+      report->analysis_nodes = analysis->NumAnalyzed();
+      report->output_sparsity = out.sparsity;
+      report->output_bytes_known = out.bytes_known;
+      report->output_est_bytes = out.est_bytes;
+    }
+    const bool env_explain = ExplainEnvEnabled();
+    if ((report && options.capture_explain) || env_explain) {
+      std::string dump = analysis->Explain(plan);
+      if (env_explain) DMML_LOG(Info) << "DMML_EXPLAIN\n" << dump;
+      if (report && options.capture_explain) report->explain = std::move(dump);
+    }
+  }
   return plan;
+}
+
+}  // namespace
+
+Result<ExprPtr> CompilePlan(const ExprPtr& root, const PipelineOptions& options,
+                            PlanReport* report) {
+  DagAnalysis analysis(options.analysis);
+  return CompilePlanImpl(root, options, report,
+                         options.run_analysis ? &analysis : nullptr);
 }
 
 Result<la::DenseMatrix> CompileAndExecute(const ExprPtr& root,
                                           const PipelineOptions& options,
                                           PlanReport* report) {
-  DMML_ASSIGN_OR_RETURN(ExprPtr plan, CompilePlan(root, options, report));
+  DagAnalysis analysis(options.analysis);
+  DagAnalysis* ap = options.run_analysis ? &analysis : nullptr;
+  DMML_ASSIGN_OR_RETURN(ExprPtr plan, CompilePlanImpl(root, options, report, ap));
   if (options.run_fusion) {
-    return ExecuteWithFusion(plan, report ? &report->fusion : nullptr);
+    FusionStats local_stats;
+    FusionStats* stats = report ? &report->fusion : &local_stats;
+    return ExecuteWithFusion(plan, options.fusion, stats, ap);
   }
   return Execute(plan);
 }

@@ -8,6 +8,10 @@
 #ifndef DMML_LAOPT_PIPELINE_H_
 #define DMML_LAOPT_PIPELINE_H_
 
+#include <cstdint>
+#include <string>
+
+#include "laopt/analysis.h"
 #include "laopt/cse.h"
 #include "laopt/expr.h"
 #include "laopt/fusion.h"
@@ -18,8 +22,15 @@ namespace dmml::laopt {
 /// \brief Pipeline configuration.
 struct PipelineOptions {
   OptimizerOptions rewrites;   ///< Pass selection for the rewriter.
+  AnalysisOptions analysis;    ///< Static-analyzer knobs.
+  FusionOptions fusion;        ///< Fusion memory guard.
+  bool run_analysis = true;    ///< Shape/sparsity/memory inference + validation.
   bool run_cse = true;
   bool run_fusion = true;
+  /// Capture the analyzer's per-node dump of the final plan in
+  /// PlanReport::explain (also printed to the log when the DMML_EXPLAIN
+  /// environment variable is set non-empty).
+  bool capture_explain = false;
 };
 
 /// \brief Everything the compiler did to the plan.
@@ -29,9 +40,22 @@ struct PlanReport {
   FusionStats fusion;
   double estimated_flops_in = 0;
   double estimated_flops_out = 0;
+
+  // Static-analysis summary of the final plan (valid when run_analysis).
+  size_t analysis_nodes = 0;        ///< Nodes the analyzer visited.
+  double output_sparsity = 1.0;     ///< Estimated sparsity of the result.
+  bool output_bytes_known = false;  ///< Shape fully known at plan time.
+  uint64_t output_est_bytes = 0;    ///< Estimated result footprint.
+  std::string explain;              ///< Per-node dump (capture_explain only).
 };
 
 /// \brief Compiles `root` through all enabled passes; returns the final DAG.
+///
+/// The static analyzer runs first: a shape-inconsistent program is rejected
+/// here — before any rewrite or execution — with a diagnostic naming the
+/// offending node and both operand shapes. Analyzer estimates then feed the
+/// optimizer's chain costing and (via CompileAndExecute) the fusion memory
+/// guard.
 Result<ExprPtr> CompilePlan(const ExprPtr& root, const PipelineOptions& options = {},
                             PlanReport* report = nullptr);
 

@@ -285,12 +285,21 @@ void RunHogwild(const DenseMatrix& x, const DenseMatrix& y, const GlmConfig& con
       for (size_t s = 0; s < steps; ++s) {
         size_t i = rng.UniformInt(static_cast<uint64_t>(n));
         double b = intercept.load(std::memory_order_relaxed);
-        double score = la::Dot(x.Row(i), w.data(), d) + b;
-        double g = ScoreGradient(score, y.At(i, 0), config.family);
         const double* xi = x.Row(i);
+        // All shared-weight accesses go through relaxed atomic_ref: no
+        // ordering, no locks (plain loads/stores on x86), but no torn
+        // values and no formal data race — the Hogwild contract.
+        double score = b;
         for (size_t j = 0; j < d; ++j) {
-          // Racy read-modify-write: the Hogwild contract.
-          w[j] -= lr * (g * xi[j] + config.l2 * w[j]);
+          score +=
+              xi[j] * std::atomic_ref<double>(w[j]).load(std::memory_order_relaxed);
+        }
+        double g = ScoreGradient(score, y.At(i, 0), config.family);
+        for (size_t j = 0; j < d; ++j) {
+          std::atomic_ref<double> wj(w[j]);
+          double cur = wj.load(std::memory_order_relaxed);
+          wj.store(cur - lr * (g * xi[j] + config.l2 * cur),
+                   std::memory_order_relaxed);
         }
         if (config.fit_intercept) {
           intercept.store(b - lr * g, std::memory_order_relaxed);

@@ -40,7 +40,9 @@ TEST(GmmTest, RecoversWellSeparatedMixture) {
       total += v;
       best = std::max(best, v);
     }
-    if (total > 0) EXPECT_GT(static_cast<double>(best) / total, 0.95);
+    if (total > 0) {
+      EXPECT_GT(static_cast<double>(best) / total, 0.95);
+    }
   }
   // Mixing weights near the balanced truth.
   for (double w : model->weights) EXPECT_NEAR(w, 1.0 / 3.0, 0.1);

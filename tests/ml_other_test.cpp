@@ -356,7 +356,9 @@ TEST(DecisionTreeTest, MinSamplesLeafRespected) {
   auto model = TrainTreeClassifier(ds.x, ds.y, config);
   ASSERT_TRUE(model.ok());
   for (const auto& node : model->nodes) {
-    if (node.is_leaf) EXPECT_GE(node.num_samples, 20u);
+    if (node.is_leaf) {
+      EXPECT_GE(node.num_samples, 20u);
+    }
   }
 }
 

@@ -30,8 +30,8 @@ Table RandomTable(size_t rows, size_t key_space, double null_prob, uint64_t seed
   Rng rng(seed);
   const char* cats[] = {"a", "b", "c", "d"};
   for (size_t i = 0; i < rows; ++i) {
-    Value v = rng.Bernoulli(null_prob) ? Value(std::monostate{})
-                                       : Value(rng.Normal(0, 10));
+    Value v;  // monostate (NULL) unless overwritten below.
+    if (!rng.Bernoulli(null_prob)) v = rng.Normal(0, 10);
     EXPECT_TRUE(
         t.AppendRow({static_cast<int64_t>(rng.UniformInt(key_space)), v,
                      std::string(cats[rng.UniformInt(uint64_t{4})])})
@@ -146,7 +146,9 @@ TEST_P(RelationalProperty, OrderByIsASortedPermutation) {
       continue;
     }
     double v = sorted->column(v_idx).GetDouble(i);
-    if (seen_value) EXPECT_GE(v, prev);
+    if (seen_value) {
+      EXPECT_GE(v, prev);
+    }
     prev = v;
     seen_value = true;
   }
