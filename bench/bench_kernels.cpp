@@ -1,0 +1,336 @@
+/// \file bench_kernels.cpp
+/// \brief Blocked kernel engine vs the naive reference kernels.
+///
+/// Two jobs in one binary:
+///
+///  1. **Parity.** Every blocked/parallel kernel is checked against its
+///     `la::reference` twin across adversarial shapes (non-tile-multiple,
+///     1xN / Nx1, zero-dim, highly sparse), serial and through a 4-thread
+///     pool, plus a NaN scan. Any mismatch makes the process exit nonzero —
+///     scripts/static_checks.sh runs `--smoke` as a release-build gate.
+///
+///  2. **Throughput.** GEMM / Gram / transpose-multiply timings at fixed
+///     sizes, emitted as a #BENCH-JSON block (name, size, threads, ns/op,
+///     GFLOP/s) that scripts/bench_compare.sh can diff across two captures.
+///
+/// `--smoke` shrinks sizes and time budgets so the whole run fits in a few
+/// seconds; the default mode uses the paper-scale shapes (512^3 GEMM,
+/// 100000x50 Gramian).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "la/kernels.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using dmml::Rng;
+using dmml::ThreadPool;
+using dmml::bench::BenchJsonEmitter;
+using dmml::la::DenseMatrix;
+using dmml::la::SparseMatrix;
+using dmml::la::Triplet;
+namespace la = dmml::la;
+
+bool g_failed = false;
+
+DenseMatrix RandomMatrix(size_t rows, size_t cols, Rng* rng) {
+  DenseMatrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) m.data()[i] = rng->Uniform(-1.0, 1.0);
+  return m;
+}
+
+SparseMatrix RandomSparse(size_t rows, size_t cols, double density, Rng* rng) {
+  std::vector<Triplet> triplets;
+  const size_t target = static_cast<size_t>(
+      density * static_cast<double>(rows) * static_cast<double>(cols));
+  for (size_t e = 0; e < target; ++e) {
+    triplets.push_back({rng->UniformInt(rows), rng->UniformInt(cols),
+                        rng->Uniform(-1.0, 1.0)});
+  }
+  return SparseMatrix::FromTriplets(rows, cols, std::move(triplets));
+}
+
+double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double worst = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return worst;
+}
+
+bool HasNaN(const DenseMatrix& a) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::isnan(a.data()[i])) return true;
+  }
+  return false;
+}
+
+void Check(const std::string& what, const DenseMatrix& got,
+           const DenseMatrix& want, double tol) {
+  if (HasNaN(got)) {
+    std::fprintf(stderr, "FAIL %s: NaN in result\n", what.c_str());
+    g_failed = true;
+    return;
+  }
+  const double diff = MaxAbsDiff(got, want);
+  if (!(diff <= tol)) {
+    std::fprintf(stderr, "FAIL %s: max abs diff %.3e (tol %.3e)\n", what.c_str(),
+                 diff, tol);
+    g_failed = true;
+  }
+}
+
+void CheckScalar(const std::string& what, double got, double want, double tol) {
+  if (std::isnan(got) || !(std::fabs(got - want) <= tol)) {
+    std::fprintf(stderr, "FAIL %s: got %.17g want %.17g (tol %.3e)\n",
+                 what.c_str(), got, want, tol);
+    g_failed = true;
+  }
+}
+
+// Parity of the blocked engine vs the reference kernels on one (m, k, n)
+// shape triple, serial and through `pool`.
+void ParityCase(size_t m, size_t k, size_t n, ThreadPool* pool, Rng* rng) {
+  const std::string shape = std::to_string(m) + "x" + std::to_string(k) + "x" +
+                            std::to_string(n) +
+                            (pool != nullptr ? " pooled" : " serial");
+  // Loose absolute tolerance: operands are U(-1,1) so k-length dot products
+  // carry O(k * eps) reassociation error.
+  const double tol = 1e-9 * static_cast<double>(std::max<size_t>(k, 1) + 16);
+  DenseMatrix a = RandomMatrix(m, k, rng);
+  DenseMatrix b = RandomMatrix(k, n, rng);
+  DenseMatrix bt = RandomMatrix(n, k, rng);
+  DenseMatrix w = RandomMatrix(k, n, rng);
+  DenseMatrix xv = RandomMatrix(k, 1, rng);
+
+  Check("multiply " + shape, la::Multiply(a, b, pool), la::reference::Multiply(a, b), tol);
+  Check("transpose " + shape, la::Transpose(a, pool), la::reference::Transpose(a), 0.0);
+  Check("gram " + shape, la::Gram(b, pool), la::reference::Gram(b), tol);
+  Check("transpose_multiply " + shape, la::TransposeMultiply(b, w, pool),
+        la::reference::TransposeMultiply(b, w), tol);
+  Check("multiply_transpose_b " + shape, la::MultiplyTransposeB(a, bt, pool),
+        la::reference::MultiplyTransposeB(a, bt), tol);
+  Check("gevm " + shape, la::Gevm(xv, b, pool), la::reference::Gevm(xv, b), tol);
+  Check("colsums " + shape, la::ColumnSums(b, pool), la::reference::ColumnSums(b), tol);
+  CheckScalar("sum " + shape, la::Sum(b, pool), la::reference::Sum(b),
+              tol * static_cast<double>(std::max<size_t>(n, 1)));
+  CheckScalar("frobenius " + shape, la::FrobeniusNorm(b, pool),
+              la::reference::FrobeniusNorm(b),
+              tol * static_cast<double>(std::max<size_t>(n, 1)));
+
+  // Dirty-buffer reuse: Into forms must fully overwrite stale contents.
+  DenseMatrix out(std::max<size_t>(m, 1) + 3, std::max<size_t>(n, 1) + 5);
+  out.Fill(7.25);
+  la::MultiplyInto(a, b, &out, pool);
+  Check("multiply_into_dirty " + shape, out, la::reference::Multiply(a, b), tol);
+
+  SparseMatrix sp = RandomSparse(k, n, 0.05, rng);
+  Check("sparse_gevm " + shape, la::SparseGevm(xv, sp, pool),
+        la::reference::SparseGevm(xv, sp), tol);
+  const SparseMatrix spt = la::SparseTranspose(sp);
+  if (!(spt == la::reference::SparseTranspose(sp))) {
+    std::fprintf(stderr, "FAIL sparse_transpose %s: CSR mismatch\n", shape.c_str());
+    g_failed = true;
+  }
+}
+
+void RunParitySuite(ThreadPool* pool4) {
+  Rng rng(1234);
+  // Adversarial shapes: tile multiples, off-by-one around every tile edge,
+  // degenerate vectors, and zero dimensions.
+  const size_t shapes[][3] = {
+      {64, 64, 64},   {65, 129, 67}, {4, 8, 128},  {3, 7, 5},
+      {1, 130, 1},    {130, 1, 130}, {1, 1, 1},    {0, 5, 5},
+      {5, 0, 5},      {5, 5, 0},     {0, 0, 0},    {33, 257, 31},
+      {128, 128, 9},  {9, 128, 128},
+  };
+  for (const auto& s : shapes) {
+    ParityCase(s[0], s[1], s[2], nullptr, &rng);
+    ParityCase(s[0], s[1], s[2], pool4, &rng);
+  }
+  // Highly sparse edge: almost-empty and fully-empty CSR transposes.
+  Rng sparse_rng(99);
+  SparseMatrix nearly_empty = RandomSparse(200, 300, 0.0005, &sparse_rng);
+  if (!(la::SparseTranspose(nearly_empty) ==
+        la::reference::SparseTranspose(nearly_empty))) {
+    std::fprintf(stderr, "FAIL sparse_transpose nearly_empty\n");
+    g_failed = true;
+  }
+  SparseMatrix empty = SparseMatrix::FromTriplets(40, 60, {});
+  if (!(la::SparseTranspose(empty) == la::reference::SparseTranspose(empty))) {
+    std::fprintf(stderr, "FAIL sparse_transpose empty\n");
+    g_failed = true;
+  }
+}
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Times `fn`, scaling repetitions to fill ~`min_seconds`, and returns ns/op.
+template <typename Fn>
+double TimeNsPerOp(double min_seconds, const Fn& fn) {
+  fn();  // Warm-up: faults pages, fills caches, sizes scratch buffers.
+  Clock::time_point t0 = Clock::now();
+  fn();
+  const double once = std::max(SecondsSince(t0), 1e-9);
+  const size_t reps =
+      std::max<size_t>(1, static_cast<size_t>(min_seconds / once));
+  t0 = Clock::now();
+  for (size_t r = 0; r < reps; ++r) fn();
+  return SecondsSince(t0) * 1e9 / static_cast<double>(reps);
+}
+
+std::string Shape3(size_t m, size_t k, size_t n) {
+  return std::to_string(m) + "x" + std::to_string(k) + "x" + std::to_string(n);
+}
+
+void BenchGemm(size_t dim, double min_seconds, ThreadPool* pool4,
+               BenchJsonEmitter* json) {
+  Rng rng(7);
+  DenseMatrix a = RandomMatrix(dim, dim, &rng);
+  DenseMatrix b = RandomMatrix(dim, dim, &rng);
+  DenseMatrix out;
+  const double flops = 2.0 * std::pow(static_cast<double>(dim), 3);
+  const std::string size = Shape3(dim, dim, dim);
+
+  double ns = TimeNsPerOp(min_seconds, [&] {
+    DenseMatrix c = la::reference::Multiply(a, b);
+    if (HasNaN(c)) g_failed = true;
+  });
+  json->Record("gemm.naive_ikj", size, 1, ns, flops / ns);
+
+  ns = TimeNsPerOp(min_seconds, [&] { la::MultiplyInto(a, b, &out, nullptr); });
+  if (HasNaN(out)) g_failed = true;
+  json->Record("gemm.blocked", size, 1, ns, flops / ns);
+
+  ns = TimeNsPerOp(min_seconds, [&] { la::MultiplyInto(a, b, &out, pool4); });
+  if (HasNaN(out)) g_failed = true;
+  json->Record("gemm.blocked", size, 4, ns, flops / ns);
+}
+
+void BenchGram(size_t n, size_t d, double min_seconds, ThreadPool* pool4,
+               BenchJsonEmitter* json) {
+  Rng rng(11);
+  DenseMatrix x = RandomMatrix(n, d, &rng);
+  DenseMatrix out;
+  const double flops = 2.0 * static_cast<double>(n) * static_cast<double>(d) *
+                       static_cast<double>(d);
+  const std::string size = std::to_string(n) + "x" + std::to_string(d);
+
+  // Baseline: materialize Xᵀ, then a full (blocked) GEMM — what callers did
+  // before the dedicated SYRK kernel existed.
+  double ns = TimeNsPerOp(min_seconds, [&] {
+    DenseMatrix g = la::Multiply(la::Transpose(x), x);
+    if (HasNaN(g)) g_failed = true;
+  });
+  json->Record("gram.via_transpose_gemm", size, 1, ns, flops / ns);
+
+  ns = TimeNsPerOp(min_seconds, [&] { la::GramInto(x, &out, nullptr); });
+  if (HasNaN(out)) g_failed = true;
+  json->Record("gram.blocked", size, 1, ns, flops / ns);
+
+  ns = TimeNsPerOp(min_seconds, [&] { la::GramInto(x, &out, pool4); });
+  if (HasNaN(out)) g_failed = true;
+  json->Record("gram.blocked", size, 4, ns, flops / ns);
+
+  ns = TimeNsPerOp(min_seconds, [&] {
+    DenseMatrix g = la::TransposeMultiply(x, x, pool4);
+    if (HasNaN(g)) g_failed = true;
+  });
+  json->Record("transpose_multiply", size, 4, ns, flops / ns);
+}
+
+void BenchReductions(size_t rows, size_t cols, double min_seconds,
+                     ThreadPool* pool4, BenchJsonEmitter* json) {
+  Rng rng(13);
+  DenseMatrix a = RandomMatrix(rows, cols, &rng);
+  DenseMatrix x = RandomMatrix(rows, 1, &rng);
+  DenseMatrix out;
+  const std::string size = std::to_string(rows) + "x" + std::to_string(cols);
+  const double flops = 2.0 * static_cast<double>(rows) * static_cast<double>(cols);
+
+  for (ThreadPool* pool : {static_cast<ThreadPool*>(nullptr), pool4}) {
+    const size_t threads = pool != nullptr ? 4 : 1;
+    double ns = TimeNsPerOp(min_seconds, [&] { la::GevmInto(x, a, &out, pool); });
+    json->Record("gevm", size, threads, ns, flops / ns);
+    ns = TimeNsPerOp(min_seconds, [&] { la::ColumnSumsInto(a, &out, pool); });
+    json->Record("colsums", size, threads, ns, 0.5 * flops / ns);
+    volatile double sink = 0.0;
+    ns = TimeNsPerOp(min_seconds, [&] { sink = la::Sum(a, pool); });
+    json->Record("sum", size, threads, ns, 0.5 * flops / ns);
+    ns = TimeNsPerOp(min_seconds, [&] { sink = la::FrobeniusNorm(a, pool); });
+    json->Record("frobenius", size, threads, ns, flops / ns);
+    (void)sink;
+  }
+}
+
+void BenchSparseTranspose(size_t rows, size_t cols, double density,
+                          double min_seconds, BenchJsonEmitter* json) {
+  Rng rng(17);
+  SparseMatrix sp = RandomSparse(rows, cols, density, &rng);
+  const std::string size = std::to_string(rows) + "x" + std::to_string(cols) +
+                           "@" + std::to_string(sp.nnz());
+  double ns = TimeNsPerOp(min_seconds, [&] {
+    SparseMatrix t = la::reference::SparseTranspose(sp);
+    if (t.nnz() != sp.nnz()) g_failed = true;
+  });
+  json->Record("sparse_transpose.triplet_sort", size, 1, ns, 0.0);
+  ns = TimeNsPerOp(min_seconds, [&] {
+    SparseMatrix t = la::SparseTranspose(sp);
+    if (t.nnz() != sp.nnz()) g_failed = true;
+  });
+  json->Record("sparse_transpose.counting", size, 1, ns, 0.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  ThreadPool pool4(4);
+
+  std::printf("== kernel parity (blocked/parallel vs reference) ==\n");
+  RunParitySuite(&pool4);
+  std::printf("parity: %s\n", g_failed ? "FAIL" : "ok");
+
+  BenchJsonEmitter json;
+  const double min_seconds = smoke ? 0.02 : 0.25;
+  if (smoke) {
+    BenchGemm(128, min_seconds, &pool4, &json);
+    BenchGram(20000, 32, min_seconds, &pool4, &json);
+    BenchReductions(20000, 64, min_seconds, &pool4, &json);
+    BenchSparseTranspose(20000, 5000, 0.002, min_seconds, &json);
+  } else {
+    BenchGemm(256, min_seconds, &pool4, &json);
+    BenchGemm(512, min_seconds, &pool4, &json);
+    BenchGram(100000, 50, min_seconds, &pool4, &json);
+    BenchReductions(200000, 128, min_seconds, &pool4, &json);
+    BenchSparseTranspose(200000, 50000, 0.0005, min_seconds, &json);
+  }
+  json.Emit("bench_kernels");
+  dmml::bench::EmitMetrics("bench_kernels");
+
+  if (g_failed) {
+    std::fprintf(stderr, "bench_kernels: FAILURES DETECTED\n");
+    return 1;
+  }
+  std::printf("bench_kernels: all checks passed\n");
+  return 0;
+}

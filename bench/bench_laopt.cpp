@@ -29,7 +29,8 @@ ExprPtr Leaf(la::DenseMatrix m, const char* name) {
   return *ExprNode::Input(std::make_shared<la::DenseMatrix>(std::move(m)), name);
 }
 
-void RunCase(TablePrinter* table, const char* name, const ExprPtr& expr, int reps) {
+void RunCase(TablePrinter* table, bench::BenchJsonEmitter* json,
+             const char* name, const ExprPtr& expr, int reps) {
   laopt::OptimizerReport report;
   auto optimized = laopt::Optimize(expr, {}, &report);
   if (!optimized.ok()) std::exit(1);
@@ -49,6 +50,10 @@ void RunCase(TablePrinter* table, const char* name, const ExprPtr& expr, int rep
 
   table->Row({name, Fmt(report.flops_before / 1e6, 1), Fmt(report.flops_after / 1e6, 1),
               Fmt(naive_ms, 2), Fmt(opt_ms, 2), Fmt(naive_ms / opt_ms, 2)});
+  json->Record(std::string(name) + ".naive", "4000x60", 1, naive_ms * 1e6,
+               report.flops_before / (naive_ms * 1e6));
+  json->Record(std::string(name) + ".optimized", "4000x60", 1, opt_ms * 1e6,
+               report.flops_after / (opt_ms * 1e6));
 }
 
 }  // namespace
@@ -64,25 +69,28 @@ int main() {
   auto v = Leaf(data::GaussianMatrix(n, 1, 2), "v");
   auto xt = *ExprNode::Transpose(x);
 
+  bench::BenchJsonEmitter json;
+
   // Gram-vector pattern mis-associated: (t(X)*X)*(t(X)*v).
   auto gram_bad = *ExprNode::MatMul(*ExprNode::MatMul(xt, x), *ExprNode::MatMul(xt, v));
-  RunCase(&table, "gram_vector", gram_bad, 5);
+  RunCase(&table, &json, "gram_vector", gram_bad, 5);
 
   // Skewed chain: X(4000x60) B(60x4000) C(4000x1). Left-to-right builds a
   // 4000x4000 intermediate; the optimal order never leaves skinny shapes.
   auto b = Leaf(data::GaussianMatrix(d, n, 4), "B");
   auto c = Leaf(data::GaussianMatrix(n, 1, 5), "C");
   auto chain = *ExprNode::MatMul(*ExprNode::MatMul(x, b), c);
-  RunCase(&table, "skewed_chain", chain, 2);
+  RunCase(&table, &json, "skewed_chain", chain, 2);
 
   // Scalar + transpose clutter: 2*(3*(t(t(X)) * v2)) with v2 (d x 1).
   auto v2 = Leaf(data::GaussianMatrix(d, 1, 6), "v2");
   auto cluttered = *ExprNode::ScalarMul(
       2.0, *ExprNode::ScalarMul(
                3.0, *ExprNode::MatMul(*ExprNode::Transpose(xt), v2)));
-  RunCase(&table, "scalar_clutter", cluttered, 20);
+  RunCase(&table, &json, "scalar_clutter", cluttered, 20);
 
   table.EmitCsv("E3_laopt");
+  json.Emit("E3_laopt");
 
   // Static-analyzer throughput: shape/sparsity/footprint inference over a
   // deep elementwise DAG. Plan-time analysis must stay negligible next to

@@ -59,6 +59,41 @@ class TablePrinter {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// \brief Collects kernel benchmark records and emits them as a JSONL block
+/// (one JSON object per line) between `#BENCH-JSON-BEGIN tag` and
+/// `#BENCH-JSON-END tag` markers — flat and line-oriented on purpose, so
+/// scripts/bench_compare.sh can diff two captures with awk alone.
+class BenchJsonEmitter {
+ public:
+  /// \brief Adds one record. `size` is a free-form shape label ("512x512x512");
+  /// `gflops` may be 0 for ops without a meaningful FLOP count.
+  void Record(const std::string& name, const std::string& size, size_t threads,
+              double ns_per_op, double gflops) {
+    records_.push_back(Rec{name, size, threads, ns_per_op, gflops});
+  }
+
+  void Emit(const std::string& tag) const {
+    std::printf("#BENCH-JSON-BEGIN %s\n", tag.c_str());
+    for (const auto& r : records_) {
+      std::printf(
+          "{\"name\":\"%s\",\"size\":\"%s\",\"threads\":%zu,"
+          "\"ns_per_op\":%.1f,\"gflops\":%.3f}\n",
+          r.name.c_str(), r.size.c_str(), r.threads, r.ns_per_op, r.gflops);
+    }
+    std::printf("#BENCH-JSON-END %s\n", tag.c_str());
+  }
+
+ private:
+  struct Rec {
+    std::string name;
+    std::string size;
+    size_t threads;
+    double ns_per_op;
+    double gflops;
+  };
+  std::vector<Rec> records_;
+};
+
 /// \brief Formats a double with the given precision.
 inline std::string Fmt(double v, int precision = 3) {
   char buf[64];

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Compares two bench captures and fails on throughput regressions.
+#
+#   scripts/bench_compare.sh baseline.txt candidate.txt [threshold_pct]
+#
+# Each input is the stdout of a bench binary (e.g. bench/bench_kernels) —
+# only the JSONL records between "#BENCH-JSON-BEGIN" and "#BENCH-JSON-END"
+# are read, so full logs can be passed as-is. Records join on
+# (name, size, threads); a candidate whose ns_per_op exceeds the baseline by
+# more than threshold_pct (default 10) is flagged.
+#
+# Exit codes: 0 no regressions, 1 regressions found, 2 usage/parse problem.
+set -u -o pipefail
+
+if [ "$#" -lt 2 ] || [ "$#" -gt 3 ]; then
+  echo "usage: $0 baseline.txt candidate.txt [threshold_pct]" >&2
+  exit 2
+fi
+baseline="$1"
+candidate="$2"
+threshold="${3:-10}"
+
+for f in "$baseline" "$candidate"; do
+  if [ ! -r "$f" ]; then
+    echo "bench_compare: cannot read '$f'" >&2
+    exit 2
+  fi
+done
+
+# Extracts "key<TAB>ns_per_op" lines from the #BENCH-JSON block. The records
+# are flat single-line JSON objects emitted by BenchJsonEmitter, so field
+# extraction with sed is reliable here (no nesting, fixed field names).
+extract() {
+  awk '/^#BENCH-JSON-BEGIN/{on=1; next} /^#BENCH-JSON-END/{on=0} on' "$1" |
+    sed -n 's/.*"name":"\([^"]*\)".*"size":"\([^"]*\)".*"threads":\([0-9]*\).*"ns_per_op":\([0-9.eE+-]*\).*/\1|\2|t\3\t\4/p'
+}
+
+base_tsv="$(extract "$baseline")"
+cand_tsv="$(extract "$candidate")"
+if [ -z "$base_tsv" ]; then
+  echo "bench_compare: no #BENCH-JSON records in '$baseline'" >&2
+  exit 2
+fi
+if [ -z "$cand_tsv" ]; then
+  echo "bench_compare: no #BENCH-JSON records in '$candidate'" >&2
+  exit 2
+fi
+
+awk -F'\t' -v thr="$threshold" '
+  NR == FNR { base[$1] = $2; next }
+  {
+    if (!($1 in base)) { missing_base++; next }
+    seen[$1] = 1
+    delta = (base[$1] > 0) ? ($2 - base[$1]) / base[$1] * 100 : 0
+    if (delta > thr) {
+      printf "REGRESSION %-40s %12.1f -> %12.1f ns/op (%+.1f%%)\n",
+             $1, base[$1], $2, delta
+      regressions++
+    } else if (delta < -thr) {
+      printf "improved   %-40s %12.1f -> %12.1f ns/op (%+.1f%%)\n",
+             $1, base[$1], $2, delta
+    }
+    compared++
+  }
+  END {
+    for (k in base) if (!(k in seen)) missing_cand++
+    printf "bench_compare: %d records compared, %d regressions (threshold %s%%)\n",
+           compared + 0, regressions + 0, thr
+    if (missing_base + 0 > 0)
+      printf "bench_compare: note: %d candidate records missing from baseline\n", missing_base
+    if (missing_cand + 0 > 0)
+      printf "bench_compare: note: %d baseline records missing from candidate\n", missing_cand
+    exit (regressions + 0 > 0) ? 1 : 0
+  }
+' <(printf '%s\n' "$base_tsv") <(printf '%s\n' "$cand_tsv")

@@ -1,13 +1,22 @@
 #!/usr/bin/env bash
-# Runs clang-tidy (config: .clang-tidy at the repo root) over every
-# translation unit in src/ and fails on any warning, so new findings cannot
-# land silently. Usage:
+# Two gates in one script:
+#
+#  1. clang-tidy (config: .clang-tidy at the repo root) over every
+#     translation unit in src/, failing on any warning, so new findings
+#     cannot land silently.
+#  2. A Release-build kernel smoke: bench/bench_kernels --smoke runs the
+#     blocked-vs-reference parity suite plus a ~3 second throughput pass and
+#     exits nonzero on any NaN or parity mismatch — catching miscompiled or
+#     numerically broken kernels that an -O0 test run would miss.
+#
+# Usage:
 #
 #   scripts/static_checks.sh [build-dir]
 #
 # A compile_commands.json is generated into the build dir (default
-# build-tidy) if not already present. Exit codes: 0 clean, 1 findings,
-# 2 environment problem (no clang-tidy on PATH).
+# build-tidy) if not already present; the smoke uses a separate Release
+# build dir (build-smoke). Exit codes: 0 clean, 1 findings or smoke
+# failure, 2 environment problem (no clang-tidy on PATH).
 set -u -o pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -40,6 +49,25 @@ done
 if [ "$status" -ne 0 ]; then
   echo "static_checks: FAILED — fix the findings above (policy: .clang-tidy)" >&2
 else
-  echo "static_checks: clean"
+  echo "static_checks: clang-tidy clean"
 fi
+
+# ---------------------------------------------------------------------------
+# Release kernel smoke: parity + NaN scan at full optimization.
+# ---------------------------------------------------------------------------
+smoke_dir="$repo_root/build-smoke"
+echo "static_checks: building bench_kernels (Release) in $smoke_dir..."
+if cmake -B "$smoke_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null \
+    && cmake --build "$smoke_dir" --target bench_kernels -j >/dev/null; then
+  if "$smoke_dir/bench/bench_kernels" --smoke; then
+    echo "static_checks: kernel smoke clean"
+  else
+    echo "static_checks: FAILED — bench_kernels smoke found parity/NaN errors" >&2
+    status=1
+  fi
+else
+  echo "static_checks: FAILED — could not build bench_kernels" >&2
+  status=1
+fi
+
 exit "$status"

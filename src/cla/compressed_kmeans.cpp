@@ -1,5 +1,6 @@
 #include "cla/compressed_kmeans.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -33,12 +34,18 @@ Result<KMeansModel> TrainCompressedKMeans(const CompressedMatrix& x,
   model.labels.assign(n, 0);
 
   DenseMatrix row_norms = x.RowSquaredNorms();
+
+  // Per-iteration scratch, hoisted so the loop reuses its allocations.
+  DenseMatrix ct;
+  DenseMatrix assign(n, k);
+  std::vector<double> center_norms(k);
+  std::vector<size_t> counts(k);
+
   double prev_inertia = std::numeric_limits<double>::infinity();
   for (size_t iter = 0; iter < config.max_iters; ++iter) {
-    DenseMatrix ct = la::Transpose(model.centers);  // d x k.
+    la::TransposeInto(model.centers, &ct);  // d x k.
     DMML_ASSIGN_OR_RETURN(DenseMatrix cross, x.MultiplyMatrix(ct));
 
-    std::vector<double> center_norms(k);
     for (size_t c = 0; c < k; ++c) {
       center_norms[c] = la::Dot(model.centers.Row(c), model.centers.Row(c), d);
     }
@@ -58,8 +65,8 @@ Result<KMeansModel> TrainCompressedKMeans(const CompressedMatrix& x,
       inertia += std::max(0.0, best_d);
     }
 
-    DenseMatrix assign(n, k);
-    std::vector<size_t> counts(k, 0);
+    assign.Fill(0.0);
+    std::fill(counts.begin(), counts.end(), 0);
     for (size_t i = 0; i < n; ++i) {
       assign.At(i, static_cast<size_t>(model.labels[i])) = 1.0;
       counts[static_cast<size_t>(model.labels[i])]++;

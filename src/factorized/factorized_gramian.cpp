@@ -1,5 +1,6 @@
 #include "factorized/factorized_gramian.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "la/kernels.h"
@@ -30,12 +31,11 @@ DenseMatrix FactorizedGramian(const NormalizedMatrix& t) {
     }
   }
 
-  // Block XSᵀXS.
-  for (size_t i = 0; i < n; ++i) {
-    const double* xs = entity.Row(i);
+  // Block XSᵀXS via the blocked SYRK kernel.
+  if (ds > 0) {
+    DenseMatrix gs = la::Gram(entity);
     for (size_t a = 0; a < ds; ++a) {
-      if (xs[a] == 0.0) continue;
-      la::Axpy(xs[a], xs, g.Row(a), ds);
+      std::copy(gs.Row(a), gs.Row(a) + ds, g.Row(a));
     }
   }
 

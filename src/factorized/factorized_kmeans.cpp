@@ -1,5 +1,6 @@
 #include "factorized/factorized_kmeans.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -53,13 +54,18 @@ Result<KMeansModel> TrainFactorizedKMeans(const NormalizedMatrix& t,
   // Row squared norms are join-invariant: compute once, factorized.
   DenseMatrix row_norms = t.RowSquaredNorms();
 
+  // Per-iteration scratch, hoisted so the loop reuses its allocations.
+  DenseMatrix ct;
+  DenseMatrix a(n, k);
+  std::vector<double> center_norms(k);
+  std::vector<size_t> counts(k);
+
   double prev_inertia = std::numeric_limits<double>::infinity();
   for (size_t iter = 0; iter < config.max_iters; ++iter) {
     // Cross terms T · Cᵀ in one factorized multiply (n x k).
-    DenseMatrix ct = la::Transpose(model.centers);
+    la::TransposeInto(model.centers, &ct);
     DMML_ASSIGN_OR_RETURN(DenseMatrix cross, t.Multiply(ct));
 
-    std::vector<double> center_norms(k);
     for (size_t c = 0; c < k; ++c) {
       center_norms[c] = la::Dot(model.centers.Row(c), model.centers.Row(c), d);
     }
@@ -82,8 +88,8 @@ Result<KMeansModel> TrainFactorizedKMeans(const NormalizedMatrix& t,
 
     // Update step: C' = (Aᵀ T)ᵀ scaled by cluster sizes, where A is the
     // assignment indicator — one factorized transpose-multiply.
-    DenseMatrix a(n, k);
-    std::vector<size_t> counts(k, 0);
+    a.Fill(0.0);
+    std::fill(counts.begin(), counts.end(), 0);
     for (size_t i = 0; i < n; ++i) {
       a.At(i, static_cast<size_t>(model.labels[i])) = 1.0;
       counts[static_cast<size_t>(model.labels[i])]++;

@@ -68,6 +68,15 @@ void DenseMatrix::Fill(double v) {
   std::fill(data_.begin(), data_.end(), v);
 }
 
+bool DenseMatrix::Reshape(size_t rows, size_t cols) {
+  const size_t need = rows * cols;
+  const bool reused = need <= data_.capacity();
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(need);
+  return reused;
+}
+
 bool DenseMatrix::operator==(const DenseMatrix& other) const {
   return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
 }

@@ -77,6 +77,13 @@ class DenseMatrix {
   /// \brief Sets every element to `v`.
   void Fill(double v);
 
+  /// \brief Re-shapes to rows x cols for a kernel that will overwrite every
+  /// element. Reuses the existing allocation whenever the new element count
+  /// fits its capacity (contents are then unspecified, not zeroed). Returns
+  /// true iff no allocation occurred — the "Into" kernels use this to count
+  /// buffer reuses vs. fresh allocations.
+  bool Reshape(size_t rows, size_t cols);
+
   /// \brief Exact element-wise equality.
   bool operator==(const DenseMatrix& other) const;
 

@@ -1,112 +1,608 @@
 #include "la/kernels.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace dmml::la {
 
-DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b, ThreadPool* pool) {
-  DMML_CHECK_EQ(a.cols(), b.rows());
-  const size_t m = a.rows(), k = a.cols(), n = b.cols();
-  DenseMatrix c(m, n);
-  ParallelFor(pool, m, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      double* crow = c.Row(i);
-      const double* arow = a.Row(i);
-      for (size_t p = 0; p < k; ++p) {
-        const double aip = arow[p];
-        if (aip == 0.0) continue;
-        const double* brow = b.Row(p);
-        for (size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tiling / scheduling constants
+// ---------------------------------------------------------------------------
+
+// GEMM micro-tile: kMr rows of C by kNr columns held in registers (4 x 8
+// doubles = 8 AVX2 registers of accumulators; kNr doubles = one cache line).
+constexpr size_t kMr = 4;
+constexpr size_t kNr = 8;
+// Packed-panel depth/width: a kKc x kNc B panel is 128 KiB, sized to sit in
+// L2 while it is reused by every row block of the chunk.
+constexpr size_t kKc = 128;
+constexpr size_t kNc = 128;
+// Square tile edge for the blocked transpose (32 x 32 doubles = 8 KiB).
+constexpr size_t kTransposeTile = 32;
+// Minimum FLOPs (or touched elements) a parallel chunk must carry before a
+// kernel fans out — below this, pool submit latency beats the speedup and
+// the kernel runs inline.
+constexpr size_t kMinWorkPerChunk = size_t{1} << 15;
+// Below this FLOP count GEMM skips blocking/packing entirely: the naive
+// loop's lower constant wins on tiny operands.
+constexpr size_t kSmallGemmFlops = size_t{1} << 15;
+
+// Rows (or items) per parallel chunk so each chunk carries at least
+// kMinWorkPerChunk work units.
+size_t GrainFor(size_t work_per_item) {
+  return std::max<size_t>(1, kMinWorkPerChunk / std::max<size_t>(1, work_per_item));
+}
+
+// Reshapes *out to r x c for a kernel that fully overwrites it, counting
+// whether the existing allocation could be reused.
+void EnsureOut(DenseMatrix* out, size_t r, size_t c) {
+  if (out->Reshape(r, c)) {
+    DMML_COUNTER_INC("la.inplace.reuses");
+  } else {
+    DMML_COUNTER_INC("la.inplace.allocs");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked GEMM
+// ---------------------------------------------------------------------------
+
+// Packs B(k0..k0+kc, j0..j0+nc) into kNr-wide slivers: sliver jb holds a
+// kc x kNr column strip laid out row-major, zero-padded past the last valid
+// column so the micro-kernel always runs a full-width inner loop.
+void PackPanelB(const double* b, size_t ldb, size_t k0, size_t kc, size_t j0,
+                size_t nc, double* out) {
+  const size_t slivers = (nc + kNr - 1) / kNr;
+  for (size_t jb = 0; jb < slivers; ++jb) {
+    const size_t jbase = j0 + jb * kNr;
+    const size_t nr = std::min(kNr, j0 + nc - jbase);
+    double* dst = out + jb * kc * kNr;
+    for (size_t kk = 0; kk < kc; ++kk) {
+      const double* src = b + (k0 + kk) * ldb + jbase;
+      for (size_t jj = 0; jj < nr; ++jj) dst[jj] = src[jj];
+      for (size_t jj = nr; jj < kNr; ++jj) dst[jj] = 0.0;
+      dst += kNr;
+    }
+  }
+}
+
+// Computes the MR x nr tile C(i..i+MR, j..j+nr) (+)= A-rows * B-sliver with
+// the accumulators held in registers. `a` points at A(i, k0) with leading
+// dimension lda; `bp` is a packed kc x kNr sliver; `c` points at C(i, j)
+// with leading dimension ldc. When `accumulate` is false the tile is
+// overwritten, which is what lets reused (dirty) output buffers work.
+// 4-lane double vector (GNU vector extension; the compiler legalizes it on
+// any target, one ymm register with AVX). Explicit vectors rather than
+// autovectorization because the accumulator tile must stay in registers
+// across the k loop — GCC's vectorizer reloads a plain double array from the
+// stack every iteration, which costs ~10x throughput on this kernel. Keep the
+// natural 32-byte alignment: an aligned(8) variant makes GCC 12 bounce every
+// LoadV4 through a stack buffer in 16-byte halves. Unaligned sources are
+// still fine — LoadV4/StoreV4 go through memcpy, which the compiler lowers
+// to single unaligned vector moves.
+using V4 = double __attribute__((vector_size(32)));
+
+inline V4 LoadV4(const double* p) {
+  V4 v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void StoreV4(double* p, V4 v) { __builtin_memcpy(p, &v, sizeof(v)); }
+
+template <size_t MR>
+void MicroKernel(size_t kc, const double* __restrict a, size_t lda,
+                 const double* __restrict bp, double* __restrict c, size_t ldc,
+                 size_t nr, bool accumulate) {
+  V4 acc[MR][2] = {};  // MR x kNr accumulator tile: 2 vectors per row.
+  for (size_t k = 0; k < kc; ++k) {
+    const V4 b0 = LoadV4(bp + k * kNr);
+    const V4 b1 = LoadV4(bp + k * kNr + 4);
+    for (size_t r = 0; r < MR; ++r) {
+      const double as = a[r * lda + k];
+      const V4 av = {as, as, as, as};
+      acc[r][0] += av * b0;
+      acc[r][1] += av * b1;
+    }
+  }
+  if (nr == kNr) {
+    for (size_t r = 0; r < MR; ++r) {
+      double* crow = c + r * ldc;
+      if (accumulate) {
+        StoreV4(crow, LoadV4(crow) + acc[r][0]);
+        StoreV4(crow + 4, LoadV4(crow + 4) + acc[r][1]);
+      } else {
+        StoreV4(crow, acc[r][0]);
+        StoreV4(crow + 4, acc[r][1]);
+      }
+    }
+  } else {
+    for (size_t r = 0; r < MR; ++r) {
+      double tmp[kNr];
+      StoreV4(tmp, acc[r][0]);
+      StoreV4(tmp + 4, acc[r][1]);
+      double* crow = c + r * ldc;
+      if (accumulate) {
+        for (size_t j = 0; j < nr; ++j) crow[j] += tmp[j];
+      } else {
+        for (size_t j = 0; j < nr; ++j) crow[j] = tmp[j];
+      }
+    }
+  }
+}
+
+void MicroKernelDispatch(size_t mr, size_t kc, const double* a, size_t lda,
+                         const double* bp, double* c, size_t ldc, size_t nr,
+                         bool accumulate) {
+  switch (mr) {
+    case 4:
+      MicroKernel<4>(kc, a, lda, bp, c, ldc, nr, accumulate);
+      break;
+    case 3:
+      MicroKernel<3>(kc, a, lda, bp, c, ldc, nr, accumulate);
+      break;
+    case 2:
+      MicroKernel<2>(kc, a, lda, bp, c, ldc, nr, accumulate);
+      break;
+    default:
+      MicroKernel<1>(kc, a, lda, bp, c, ldc, nr, accumulate);
+      break;
+  }
+}
+
+// Unblocked ikj loop (the seed kernel), writing rows [rbegin, rend) of C.
+void NaiveGemmRows(const double* a, size_t lda, const double* b, size_t ldb,
+                   double* c, size_t ldc, size_t rbegin, size_t rend,
+                   size_t kdim, size_t n) {
+  for (size_t i = rbegin; i < rend; ++i) {
+    double* crow = c + i * ldc;
+    std::fill(crow, crow + n, 0.0);
+    const double* arow = a + i * lda;
+    for (size_t p = 0; p < kdim; ++p) {
+      const double aip = arow[p];
+      if (aip == 0.0) continue;
+      Axpy(aip, b + p * ldb, crow, n);
+    }
+  }
+}
+
+// Cache-blocked C = A * B over raw row-major buffers. Each parallel chunk
+// owns a disjoint row range of C and packs B panels into a thread-local
+// buffer (packing is redundant across chunks but O(k*n) against the chunk's
+// O(m*k*n / chunks) compute).
+void BlockedGemm(size_t m, size_t n, size_t kdim, const double* a, size_t lda,
+                 const double* b, size_t ldb, double* c, size_t ldc,
+                 ThreadPool* pool) {
+  DMML_COUNTER_INC("la.gemm.blocked_calls");
+  const size_t flops_per_row = 2 * kdim * n;
+  ParallelForChunks(pool, m, GrainFor(flops_per_row),
+                    [&](size_t, size_t ib, size_t ie) {
+    thread_local std::vector<double> pack;
+    for (size_t j0 = 0; j0 < n; j0 += kNc) {
+      const size_t nc = std::min(kNc, n - j0);
+      const size_t slivers = (nc + kNr - 1) / kNr;
+      for (size_t k0 = 0; k0 < kdim; k0 += kKc) {
+        const size_t kc = std::min(kKc, kdim - k0);
+        pack.resize(slivers * kc * kNr);
+        PackPanelB(b, ldb, k0, kc, j0, nc, pack.data());
+        const bool accumulate = k0 != 0;
+        for (size_t i = ib; i < ie; i += kMr) {
+          const size_t mr = std::min(kMr, ie - i);
+          const double* abase = a + i * lda + k0;
+          for (size_t jb = 0; jb < slivers; ++jb) {
+            const size_t nr = std::min(kNr, nc - jb * kNr);
+            MicroKernelDispatch(mr, kc, abase, lda,
+                                pack.data() + jb * kc * kNr,
+                                c + i * ldc + j0 + jb * kNr, ldc, nr,
+                                accumulate);
+          }
+        }
       }
     }
   });
+}
+
+// ---------------------------------------------------------------------------
+// Rank-update accumulators (Gram / TransposeMultiply / Gevm / ColumnSums)
+// ---------------------------------------------------------------------------
+
+// Upper triangle of Xᵀ X over rows [rbegin, rend), accumulated into the
+// d x d row-major buffer g. Rows are consumed four at a time so each loaded
+// g-line amortizes four fused multiply-adds.
+void AccumulateGramUpper(const DenseMatrix& x, size_t rbegin, size_t rend,
+                         double* g) {
+  const size_t d = x.cols();
+  size_t i = rbegin;
+  for (; i + 4 <= rend; i += 4) {
+    const double* r0 = x.Row(i);
+    const double* r1 = x.Row(i + 1);
+    const double* r2 = x.Row(i + 2);
+    const double* r3 = x.Row(i + 3);
+    for (size_t a = 0; a < d; ++a) {
+      const double v0 = r0[a], v1 = r1[a], v2 = r2[a], v3 = r3[a];
+      if (v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0) continue;
+      double* grow = g + a * d;
+      for (size_t bcol = a; bcol < d; ++bcol) {
+        grow[bcol] += v0 * r0[bcol] + v1 * r1[bcol] + v2 * r2[bcol] + v3 * r3[bcol];
+      }
+    }
+  }
+  for (; i < rend; ++i) {
+    const double* row = x.Row(i);
+    for (size_t a = 0; a < d; ++a) {
+      const double v = row[a];
+      if (v == 0.0) continue;
+      Axpy(v, row + a, g + a * d + a, d - a);
+    }
+  }
+}
+
+// out (d x k, row-major, pre-zeroed) += Xᵀ M over rows [rbegin, rend),
+// with the same 4-row bundling as the Gramian accumulator.
+void AccumulateTransposeMultiply(const DenseMatrix& x, const DenseMatrix& m,
+                                 size_t rbegin, size_t rend, double* out) {
+  const size_t d = x.cols(), k = m.cols();
+  size_t i = rbegin;
+  for (; i + 4 <= rend; i += 4) {
+    const double* x0 = x.Row(i);
+    const double* x1 = x.Row(i + 1);
+    const double* x2 = x.Row(i + 2);
+    const double* x3 = x.Row(i + 3);
+    const double* m0 = m.Row(i);
+    const double* m1 = m.Row(i + 1);
+    const double* m2 = m.Row(i + 2);
+    const double* m3 = m.Row(i + 3);
+    for (size_t a = 0; a < d; ++a) {
+      const double v0 = x0[a], v1 = x1[a], v2 = x2[a], v3 = x3[a];
+      if (v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0) continue;
+      double* orow = out + a * k;
+      for (size_t j = 0; j < k; ++j) {
+        orow[j] += v0 * m0[j] + v1 * m1[j] + v2 * m2[j] + v3 * m3[j];
+      }
+    }
+  }
+  for (; i < rend; ++i) {
+    const double* xr = x.Row(i);
+    const double* mr = m.Row(i);
+    for (size_t a = 0; a < d; ++a) {
+      if (xr[a] == 0.0) continue;
+      Axpy(xr[a], mr, out + a * k, k);
+    }
+  }
+}
+
+// y (length n, pre-zeroed) += Σ_i x_i * A_i over rows [rbegin, rend); with
+// `weights == nullptr` every x_i is 1 (the ColumnSums case).
+void AccumulateWeightedRowSum(const DenseMatrix& a, const double* weights,
+                              size_t rbegin, size_t rend, double* y) {
+  const size_t n = a.cols();
+  size_t i = rbegin;
+  for (; i + 4 <= rend; i += 4) {
+    const double w0 = weights ? weights[i] : 1.0;
+    const double w1 = weights ? weights[i + 1] : 1.0;
+    const double w2 = weights ? weights[i + 2] : 1.0;
+    const double w3 = weights ? weights[i + 3] : 1.0;
+    if (w0 == 0.0 && w1 == 0.0 && w2 == 0.0 && w3 == 0.0) continue;
+    const double* a0 = a.Row(i);
+    const double* a1 = a.Row(i + 1);
+    const double* a2 = a.Row(i + 2);
+    const double* a3 = a.Row(i + 3);
+    for (size_t j = 0; j < n; ++j) {
+      y[j] += w0 * a0[j] + w1 * a1[j] + w2 * a2[j] + w3 * a3[j];
+    }
+  }
+  for (; i < rend; ++i) {
+    const double w = weights ? weights[i] : 1.0;
+    if (w == 0.0) continue;
+    Axpy(w, a.Row(i), y, n);
+  }
+}
+
+// Runs a row-partitioned reduction: each chunk accumulates into a private
+// width-sized buffer, partials are then summed into `out` (pre-zeroed).
+// `accumulate(chunk_begin, chunk_end, partial)` must only touch its partial.
+template <typename AccumulateFn>
+void ReduceRows(ThreadPool* pool, size_t rows, size_t grain, size_t width,
+                double* out, const AccumulateFn& accumulate) {
+  const size_t chunks = ParallelChunkCount(pool, rows, grain);
+  if (chunks <= 1) {
+    accumulate(size_t{0}, rows, out);
+    return;
+  }
+  DMML_COUNTER_INC("la.parallel.reductions");
+  std::vector<double> partials(chunks * width, 0.0);
+  ParallelForChunks(pool, rows, grain,
+                    [&](size_t chunk, size_t begin, size_t end) {
+                      accumulate(begin, end, partials.data() + chunk * width);
+                    });
+  for (size_t c = 0; c < chunks; ++c) {
+    Axpy(1.0, partials.data() + c * width, out, width);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Dense kernels
+// ---------------------------------------------------------------------------
+
+void MultiplyInto(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* out,
+                  ThreadPool* pool) {
+  DMML_CHECK_EQ(a.cols(), b.rows());
+  DMML_CHECK(out != &a && out != &b);
+  const size_t m = a.rows(), kdim = a.cols(), n = b.cols();
+  EnsureOut(out, m, n);
+  if (m == 0 || n == 0) return;
+  if (kdim == 0) {
+    out->Fill(0.0);
+    return;
+  }
+  if (2 * m * n * kdim < kSmallGemmFlops) {
+    NaiveGemmRows(a.data(), kdim, b.data(), n, out->data(), n, 0, m, kdim, n);
+    return;
+  }
+  BlockedGemm(m, n, kdim, a.data(), kdim, b.data(), n, out->data(), n, pool);
+}
+
+DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b,
+                     ThreadPool* pool) {
+  DenseMatrix c;
+  MultiplyInto(a, b, &c, pool);
   return c;
 }
 
-DenseMatrix Gemv(const DenseMatrix& a, const DenseMatrix& x, ThreadPool* pool) {
-  DMML_CHECK(x.cols() == 1);
-  DMML_CHECK_EQ(a.cols(), x.rows());
-  DenseMatrix y(a.rows(), 1);
-  const double* xv = x.data();
-  ParallelFor(pool, a.rows(), [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      y.At(i, 0) = Dot(a.Row(i), xv, a.cols());
+void MultiplyTransposeBInto(const DenseMatrix& a, const DenseMatrix& b,
+                            DenseMatrix* out, ThreadPool* pool) {
+  DMML_CHECK_EQ(a.cols(), b.cols());
+  DMML_CHECK(out != &a && out != &b);
+  const size_t m = a.rows(), n = b.rows(), kdim = a.cols();
+  EnsureOut(out, m, n);
+  if (m == 0 || n == 0) return;
+  ParallelForChunks(pool, m, GrainFor(2 * kdim * n),
+                    [&](size_t, size_t ib, size_t ie) {
+    for (size_t i = ib; i < ie; ++i) {
+      const double* arow = a.Row(i);
+      double* crow = out->Row(i);
+      size_t j = 0;
+      // Four B rows per pass: each loaded a-element feeds four dots.
+      for (; j + 4 <= n; j += 4) {
+        const double* b0 = b.Row(j);
+        const double* b1 = b.Row(j + 1);
+        const double* b2 = b.Row(j + 2);
+        const double* b3 = b.Row(j + 3);
+        double d0 = 0.0, d1 = 0.0, d2 = 0.0, d3 = 0.0;
+        for (size_t k = 0; k < kdim; ++k) {
+          const double av = arow[k];
+          d0 += av * b0[k];
+          d1 += av * b1[k];
+          d2 += av * b2[k];
+          d3 += av * b3[k];
+        }
+        crow[j] = d0;
+        crow[j + 1] = d1;
+        crow[j + 2] = d2;
+        crow[j + 3] = d3;
+      }
+      for (; j < n; ++j) crow[j] = Dot(arow, b.Row(j), kdim);
     }
   });
+}
+
+DenseMatrix MultiplyTransposeB(const DenseMatrix& a, const DenseMatrix& b,
+                               ThreadPool* pool) {
+  DenseMatrix c;
+  MultiplyTransposeBInto(a, b, &c, pool);
+  return c;
+}
+
+void GramInto(const DenseMatrix& x, DenseMatrix* out, ThreadPool* pool) {
+  DMML_CHECK(out != &x);
+  const size_t n = x.rows(), d = x.cols();
+  EnsureOut(out, d, d);
+  out->Fill(0.0);
+  DMML_COUNTER_INC("la.gram.calls");
+  ReduceRows(pool, n, GrainFor(d * d), d * d, out->data(),
+             [&x](size_t begin, size_t end, double* g) {
+               AccumulateGramUpper(x, begin, end, g);
+             });
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = a + 1; b < d; ++b) out->At(b, a) = out->At(a, b);
+  }
+}
+
+DenseMatrix Gram(const DenseMatrix& x, ThreadPool* pool) {
+  DenseMatrix g;
+  GramInto(x, &g, pool);
+  return g;
+}
+
+void TransposeMultiplyInto(const DenseMatrix& x, const DenseMatrix& m,
+                           DenseMatrix* out, ThreadPool* pool) {
+  DMML_CHECK_EQ(x.rows(), m.rows());
+  DMML_CHECK(out != &x && out != &m);
+  const size_t n = x.rows(), d = x.cols(), k = m.cols();
+  EnsureOut(out, d, k);
+  out->Fill(0.0);
+  ReduceRows(pool, n, GrainFor(2 * d * k), d * k, out->data(),
+             [&x, &m](size_t begin, size_t end, double* g) {
+               AccumulateTransposeMultiply(x, m, begin, end, g);
+             });
+}
+
+DenseMatrix TransposeMultiply(const DenseMatrix& x, const DenseMatrix& m,
+                              ThreadPool* pool) {
+  DenseMatrix out;
+  TransposeMultiplyInto(x, m, &out, pool);
+  return out;
+}
+
+void GemvInto(const DenseMatrix& a, const DenseMatrix& x, DenseMatrix* out,
+              ThreadPool* pool) {
+  DMML_CHECK(x.cols() == 1);
+  DMML_CHECK_EQ(a.cols(), x.rows());
+  DMML_CHECK(out != &a && out != &x);
+  EnsureOut(out, a.rows(), 1);
+  const double* xv = x.data();
+  ParallelForChunks(pool, a.rows(), GrainFor(2 * a.cols()),
+                    [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      out->At(i, 0) = Dot(a.Row(i), xv, a.cols());
+    }
+  });
+}
+
+DenseMatrix Gemv(const DenseMatrix& a, const DenseMatrix& x, ThreadPool* pool) {
+  DenseMatrix y;
+  GemvInto(a, x, &y, pool);
   return y;
+}
+
+void GevmInto(const DenseMatrix& x, const DenseMatrix& a, DenseMatrix* out,
+              ThreadPool* pool) {
+  DMML_CHECK(x.cols() == 1);
+  DMML_CHECK_EQ(a.rows(), x.rows());
+  DMML_CHECK(out != &a && out != &x);
+  EnsureOut(out, 1, a.cols());
+  out->Fill(0.0);
+  ReduceRows(pool, a.rows(), GrainFor(2 * a.cols()), a.cols(), out->data(),
+             [&a, &x](size_t begin, size_t end, double* y) {
+               AccumulateWeightedRowSum(a, x.data(), begin, end, y);
+             });
 }
 
 DenseMatrix Gevm(const DenseMatrix& x, const DenseMatrix& a, ThreadPool* pool) {
-  (void)pool;  // Row-accumulating; parallel version would need private buffers.
-  DMML_CHECK(x.cols() == 1);
-  DMML_CHECK_EQ(a.rows(), x.rows());
-  DenseMatrix y(1, a.cols());
-  double* yv = y.data();
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const double xi = x.data()[i];
-    if (xi == 0.0) continue;
-    Axpy(xi, a.Row(i), yv, a.cols());
-  }
+  DenseMatrix y;
+  GevmInto(x, a, &y, pool);
   return y;
 }
 
-DenseMatrix Transpose(const DenseMatrix& a) {
-  DenseMatrix t(a.cols(), a.rows());
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const double* row = a.Row(i);
-    for (size_t j = 0; j < a.cols(); ++j) t.At(j, i) = row[j];
-  }
+void TransposeInto(const DenseMatrix& a, DenseMatrix* out, ThreadPool* pool) {
+  DMML_CHECK(out != &a);
+  const size_t m = a.rows(), n = a.cols();
+  EnsureOut(out, n, m);
+  if (m == 0 || n == 0) return;
+  // Chunks own disjoint output-row (input-column) ranges; tiles of
+  // kTransposeTile² keep both the strided reads and contiguous writes within
+  // a few cache lines.
+  ParallelForChunks(pool, n, GrainFor(2 * m),
+                    [&](size_t, size_t jb, size_t je) {
+    for (size_t j0 = jb; j0 < je; j0 += kTransposeTile) {
+      const size_t jlim = std::min(j0 + kTransposeTile, je);
+      for (size_t i0 = 0; i0 < m; i0 += kTransposeTile) {
+        const size_t ilim = std::min(i0 + kTransposeTile, m);
+        for (size_t j = j0; j < jlim; ++j) {
+          double* trow = out->Row(j);
+          for (size_t i = i0; i < ilim; ++i) trow[i] = a.At(i, j);
+        }
+      }
+    }
+  });
+}
+
+DenseMatrix Transpose(const DenseMatrix& a, ThreadPool* pool) {
+  DenseMatrix t;
+  TransposeInto(a, &t, pool);
   return t;
 }
 
 namespace {
-DenseMatrix Zip(const DenseMatrix& a, const DenseMatrix& b,
-                double (*op)(double, double)) {
+void ZipInto(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* out,
+             double (*op)(double, double)) {
   DMML_CHECK_EQ(a.rows(), b.rows());
   DMML_CHECK_EQ(a.cols(), b.cols());
-  DenseMatrix c(a.rows(), a.cols());
+  EnsureOut(out, a.rows(), a.cols());
   const double* pa = a.data();
   const double* pb = b.data();
-  double* pc = c.data();
+  double* pc = out->data();
   for (size_t i = 0; i < a.size(); ++i) pc[i] = op(pa[i], pb[i]);
-  return c;
 }
 }  // namespace
 
+void AddInto(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* out) {
+  ZipInto(a, b, out, [](double x, double y) { return x + y; });
+}
+
+void SubtractInto(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* out) {
+  ZipInto(a, b, out, [](double x, double y) { return x - y; });
+}
+
+void ElementwiseMultiplyInto(const DenseMatrix& a, const DenseMatrix& b,
+                             DenseMatrix* out) {
+  ZipInto(a, b, out, [](double x, double y) { return x * y; });
+}
+
 DenseMatrix Add(const DenseMatrix& a, const DenseMatrix& b) {
-  return Zip(a, b, [](double x, double y) { return x + y; });
+  DenseMatrix c;
+  AddInto(a, b, &c);
+  return c;
 }
 
 DenseMatrix Subtract(const DenseMatrix& a, const DenseMatrix& b) {
-  return Zip(a, b, [](double x, double y) { return x - y; });
+  DenseMatrix c;
+  SubtractInto(a, b, &c);
+  return c;
 }
 
 DenseMatrix ElementwiseMultiply(const DenseMatrix& a, const DenseMatrix& b) {
-  return Zip(a, b, [](double x, double y) { return x * y; });
+  DenseMatrix c;
+  ElementwiseMultiplyInto(a, b, &c);
+  return c;
+}
+
+void ScaleInto(const DenseMatrix& a, double alpha, DenseMatrix* out) {
+  EnsureOut(out, a.rows(), a.cols());
+  const double* pa = a.data();
+  double* pc = out->data();
+  for (size_t i = 0; i < a.size(); ++i) pc[i] = alpha * pa[i];
 }
 
 DenseMatrix Scale(const DenseMatrix& a, double alpha) {
-  DenseMatrix c(a.rows(), a.cols());
-  for (size_t i = 0; i < a.size(); ++i) c.data()[i] = alpha * a.data()[i];
+  DenseMatrix c;
+  ScaleInto(a, alpha, &c);
   return c;
+}
+
+void AddScalarInto(const DenseMatrix& a, double alpha, DenseMatrix* out) {
+  EnsureOut(out, a.rows(), a.cols());
+  const double* pa = a.data();
+  double* pc = out->data();
+  for (size_t i = 0; i < a.size(); ++i) pc[i] = pa[i] + alpha;
 }
 
 DenseMatrix AddScalar(const DenseMatrix& a, double alpha) {
-  DenseMatrix c(a.rows(), a.cols());
-  for (size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] + alpha;
+  DenseMatrix c;
+  AddScalarInto(a, alpha, &c);
   return c;
 }
 
+void MapInto(const DenseMatrix& a, const std::function<double(double)>& fn,
+             DenseMatrix* out) {
+  EnsureOut(out, a.rows(), a.cols());
+  const double* pa = a.data();
+  double* pc = out->data();
+  for (size_t i = 0; i < a.size(); ++i) pc[i] = fn(pa[i]);
+}
+
 DenseMatrix Map(const DenseMatrix& a, const std::function<double(double)>& fn) {
-  DenseMatrix c(a.rows(), a.cols());
-  for (size_t i = 0; i < a.size(); ++i) c.data()[i] = fn(a.data()[i]);
+  DenseMatrix c;
+  MapInto(a, fn, &c);
   return c;
 }
 
 void Axpy(double alpha, const double* x, double* y, size_t n) {
   for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void AxpyInto(double alpha, const DenseMatrix& x, DenseMatrix* y) {
+  DMML_CHECK_EQ(x.rows(), y->rows());
+  DMML_CHECK_EQ(x.cols(), y->cols());
+  Axpy(alpha, x.data(), y->data(), x.size());
 }
 
 double Dot(const double* x, const double* y, size_t n) {
@@ -122,33 +618,76 @@ double Dot(const DenseMatrix& x, const DenseMatrix& y) {
   return Dot(x.data(), y.data(), x.size());
 }
 
-double Sum(const DenseMatrix& a) {
-  double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) acc += a.data()[i];
-  return acc;
+namespace {
+// Scalar reduction over the flat buffer with per-chunk partials.
+template <typename Fn>
+double ReduceScalar(const DenseMatrix& a, ThreadPool* pool, const Fn& fn) {
+  const size_t n = a.size();
+  const size_t chunks = ParallelChunkCount(pool, n, kMinWorkPerChunk);
+  if (chunks <= 1) return fn(a.data(), a.data() + n);
+  DMML_COUNTER_INC("la.parallel.reductions");
+  std::vector<double> partials(chunks, 0.0);
+  ParallelForChunks(pool, n, kMinWorkPerChunk,
+                    [&](size_t chunk, size_t begin, size_t end) {
+                      partials[chunk] = fn(a.data() + begin, a.data() + end);
+                    });
+  double total = 0.0;
+  for (double p : partials) total += p;
+  return total;
 }
+}  // namespace
 
-DenseMatrix ColumnSums(const DenseMatrix& a) {
-  DenseMatrix s(1, a.cols());
-  for (size_t i = 0; i < a.rows(); ++i) Axpy(1.0, a.Row(i), s.data(), a.cols());
-  return s;
-}
-
-DenseMatrix RowSums(const DenseMatrix& a) {
-  DenseMatrix s(a.rows(), 1);
-  for (size_t i = 0; i < a.rows(); ++i) {
+double Sum(const DenseMatrix& a, ThreadPool* pool) {
+  return ReduceScalar(a, pool, [](const double* begin, const double* end) {
     double acc = 0.0;
-    const double* row = a.Row(i);
-    for (size_t j = 0; j < a.cols(); ++j) acc += row[j];
-    s.At(i, 0) = acc;
-  }
+    for (const double* p = begin; p < end; ++p) acc += *p;
+    return acc;
+  });
+}
+
+double FrobeniusNorm(const DenseMatrix& a, ThreadPool* pool) {
+  return std::sqrt(
+      ReduceScalar(a, pool, [](const double* begin, const double* end) {
+        double acc = 0.0;
+        for (const double* p = begin; p < end; ++p) acc += *p * *p;
+        return acc;
+      }));
+}
+
+void ColumnSumsInto(const DenseMatrix& a, DenseMatrix* out, ThreadPool* pool) {
+  DMML_CHECK(out != &a);
+  EnsureOut(out, 1, a.cols());
+  out->Fill(0.0);
+  ReduceRows(pool, a.rows(), GrainFor(a.cols()), a.cols(), out->data(),
+             [&a](size_t begin, size_t end, double* y) {
+               AccumulateWeightedRowSum(a, nullptr, begin, end, y);
+             });
+}
+
+DenseMatrix ColumnSums(const DenseMatrix& a, ThreadPool* pool) {
+  DenseMatrix s;
+  ColumnSumsInto(a, &s, pool);
   return s;
 }
 
-double FrobeniusNorm(const DenseMatrix& a) {
-  double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) acc += a.data()[i] * a.data()[i];
-  return std::sqrt(acc);
+void RowSumsInto(const DenseMatrix& a, DenseMatrix* out, ThreadPool* pool) {
+  DMML_CHECK(out != &a);
+  EnsureOut(out, a.rows(), 1);
+  ParallelForChunks(pool, a.rows(), GrainFor(a.cols()),
+                    [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      double acc = 0.0;
+      const double* row = a.Row(i);
+      for (size_t j = 0; j < a.cols(); ++j) acc += row[j];
+      out->At(i, 0) = acc;
+    }
+  });
+}
+
+DenseMatrix RowSums(const DenseMatrix& a, ThreadPool* pool) {
+  DenseMatrix s;
+  RowSumsInto(a, &s, pool);
+  return s;
 }
 
 double RowSquaredDistance(const DenseMatrix& a, size_t r1, const DenseMatrix& b,
@@ -164,12 +703,25 @@ double RowSquaredDistance(const DenseMatrix& a, size_t r1, const DenseMatrix& b,
   return acc;
 }
 
-DenseMatrix SparseGemv(const SparseMatrix& a, const DenseMatrix& x, ThreadPool* pool) {
+// ---------------------------------------------------------------------------
+// Sparse kernels
+// ---------------------------------------------------------------------------
+
+namespace {
+// Average nnz per row, used as the per-item work estimate for CSR kernels.
+size_t SparseRowWork(const SparseMatrix& a) {
+  return a.rows() ? std::max<size_t>(1, 2 * a.nnz() / a.rows()) : 1;
+}
+}  // namespace
+
+DenseMatrix SparseGemv(const SparseMatrix& a, const DenseMatrix& x,
+                       ThreadPool* pool) {
   DMML_CHECK(x.cols() == 1);
   DMML_CHECK_EQ(a.cols(), x.rows());
   DenseMatrix y(a.rows(), 1);
   const double* xv = x.data();
-  ParallelFor(pool, a.rows(), [&](size_t begin, size_t end) {
+  ParallelForChunks(pool, a.rows(), GrainFor(SparseRowWork(a)),
+                    [&](size_t, size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       double acc = 0.0;
       for (size_t k = a.RowBegin(i); k < a.RowEnd(i); ++k) {
@@ -179,6 +731,130 @@ DenseMatrix SparseGemv(const SparseMatrix& a, const DenseMatrix& x, ThreadPool* 
     }
   });
   return y;
+}
+
+DenseMatrix SparseGevm(const DenseMatrix& x, const SparseMatrix& a,
+                       ThreadPool* pool) {
+  DMML_CHECK(x.cols() == 1);
+  DMML_CHECK_EQ(a.rows(), x.rows());
+  DenseMatrix y(1, a.cols());
+  ReduceRows(pool, a.rows(), GrainFor(SparseRowWork(a)), a.cols(), y.data(),
+             [&a, &x](size_t begin, size_t end, double* yv) {
+               for (size_t i = begin; i < end; ++i) {
+                 const double xi = x.data()[i];
+                 if (xi == 0.0) continue;
+                 for (size_t k = a.RowBegin(i); k < a.RowEnd(i); ++k) {
+                   yv[a.col_idx()[k]] += xi * a.values()[k];
+                 }
+               }
+             });
+  return y;
+}
+
+DenseMatrix SparseMultiplyDense(const SparseMatrix& a, const DenseMatrix& b,
+                                ThreadPool* pool) {
+  DMML_CHECK_EQ(a.cols(), b.rows());
+  DenseMatrix c(a.rows(), b.cols());
+  ParallelForChunks(pool, a.rows(), GrainFor(SparseRowWork(a) * b.cols()),
+                    [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      double* crow = c.Row(i);
+      for (size_t k = a.RowBegin(i); k < a.RowEnd(i); ++k) {
+        Axpy(a.values()[k], b.Row(a.col_idx()[k]), crow, b.cols());
+      }
+    }
+  });
+  return c;
+}
+
+SparseMatrix SparseTranspose(const SparseMatrix& a) {
+  // Two-pass counting transpose (CSR -> CSC reinterpretation): count entries
+  // per output row, prefix-sum into offsets, then scatter. Input rows are
+  // walked in order, so each output row receives its columns already sorted.
+  const size_t nnz = a.nnz();
+  std::vector<size_t> row_ptr(a.cols() + 1, 0);
+  for (size_t k = 0; k < nnz; ++k) row_ptr[a.col_idx()[k] + 1]++;
+  for (size_t c = 0; c < a.cols(); ++c) row_ptr[c + 1] += row_ptr[c];
+
+  std::vector<uint32_t> col_idx(nnz);
+  std::vector<double> values(nnz);
+  std::vector<size_t> next = row_ptr;
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t k = a.RowBegin(r); k < a.RowEnd(r); ++k) {
+      const size_t slot = next[a.col_idx()[k]]++;
+      col_idx[slot] = static_cast<uint32_t>(r);
+      values[slot] = a.values()[k];
+    }
+  }
+  return SparseMatrix::FromCsr(a.cols(), a.rows(), std::move(row_ptr),
+                               std::move(col_idx), std::move(values));
+}
+
+// ---------------------------------------------------------------------------
+// Naive reference kernels
+// ---------------------------------------------------------------------------
+
+namespace reference {
+
+DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b) {
+  DMML_CHECK_EQ(a.cols(), b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  DenseMatrix c(m, n);
+  if (m == 0 || n == 0 || k == 0) return c;
+  NaiveGemmRows(a.data(), k, b.data(), n, c.data(), n, 0, m, k, n);
+  return c;
+}
+
+DenseMatrix Transpose(const DenseMatrix& a) {
+  DenseMatrix t(a.cols(), a.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.Row(i);
+    for (size_t j = 0; j < a.cols(); ++j) t.At(j, i) = row[j];
+  }
+  return t;
+}
+
+DenseMatrix Gram(const DenseMatrix& x) {
+  return reference::Multiply(reference::Transpose(x), x);
+}
+
+DenseMatrix TransposeMultiply(const DenseMatrix& x, const DenseMatrix& m) {
+  return reference::Multiply(reference::Transpose(x), m);
+}
+
+DenseMatrix MultiplyTransposeB(const DenseMatrix& a, const DenseMatrix& b) {
+  return reference::Multiply(a, reference::Transpose(b));
+}
+
+DenseMatrix Gevm(const DenseMatrix& x, const DenseMatrix& a) {
+  DMML_CHECK(x.cols() == 1);
+  DMML_CHECK_EQ(a.rows(), x.rows());
+  DenseMatrix y(1, a.cols());
+  double* yv = y.data();
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double xi = x.data()[i];
+    if (xi == 0.0) continue;
+    Axpy(xi, a.Row(i), yv, a.cols());
+  }
+  return y;
+}
+
+DenseMatrix ColumnSums(const DenseMatrix& a) {
+  DenseMatrix s(1, a.cols());
+  for (size_t i = 0; i < a.rows(); ++i) Axpy(1.0, a.Row(i), s.data(), a.cols());
+  return s;
+}
+
+double Sum(const DenseMatrix& a) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a.data()[i];
+  return acc;
+}
+
+double FrobeniusNorm(const DenseMatrix& a) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a.data()[i] * a.data()[i];
+  return std::sqrt(acc);
 }
 
 DenseMatrix SparseGevm(const DenseMatrix& x, const SparseMatrix& a) {
@@ -196,21 +872,6 @@ DenseMatrix SparseGevm(const DenseMatrix& x, const SparseMatrix& a) {
   return y;
 }
 
-DenseMatrix SparseMultiplyDense(const SparseMatrix& a, const DenseMatrix& b,
-                                ThreadPool* pool) {
-  DMML_CHECK_EQ(a.cols(), b.rows());
-  DenseMatrix c(a.rows(), b.cols());
-  ParallelFor(pool, a.rows(), [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      double* crow = c.Row(i);
-      for (size_t k = a.RowBegin(i); k < a.RowEnd(i); ++k) {
-        Axpy(a.values()[k], b.Row(a.col_idx()[k]), crow, b.cols());
-      }
-    }
-  });
-  return c;
-}
-
 SparseMatrix SparseTranspose(const SparseMatrix& a) {
   std::vector<Triplet> triplets;
   triplets.reserve(a.nnz());
@@ -221,5 +882,7 @@ SparseMatrix SparseTranspose(const SparseMatrix& a) {
   }
   return SparseMatrix::FromTriplets(a.cols(), a.rows(), std::move(triplets));
 }
+
+}  // namespace reference
 
 }  // namespace dmml::la

@@ -1,9 +1,37 @@
 /// \file kernels.h
-/// \brief BLAS-like computational kernels over DenseMatrix / SparseMatrix.
+/// \brief Blocked, multicore BLAS-like kernels over DenseMatrix / SparseMatrix.
 ///
 /// All kernels are free functions; shape mismatches are surfaced as Status
 /// errors by the checked wrappers in ops.h, while the kernels here assume
 /// validated shapes (checked with DMML_CHECK in debug spirit).
+///
+/// The dense engine is organised in three layers:
+///
+///  * **Blocked compute kernels.** `Multiply` is a cache-blocked GEMM: the B
+///    operand is packed per (k, j) panel into register-tile-friendly slivers
+///    and consumed by a kMr x kNr micro-kernel that keeps the C tile in
+///    registers; row blocks fan out across the thread pool. `Gram` (SYRK,
+///    XᵀX), `TransposeMultiply` (XᵀM) and `MultiplyTransposeB` (ABᵀ) never
+///    materialize a transpose. `Transpose` itself is tile-blocked.
+///
+///  * **Parallel reductions.** Accumulating kernels (`Gevm`, `SparseGevm`,
+///    `ColumnSums`, `Sum`, `FrobeniusNorm`, `Gram`, `TransposeMultiply`) give
+///    each chunk a private partial buffer and reduce at the end, so they
+///    parallelize without atomics or locks.
+///
+///  * **Output-reuse ("Into") variants.** Every shape-producing kernel has a
+///    `...Into(args, DenseMatrix* out)` form that reshapes `out` in place,
+///    reusing its allocation when the capacity already fits. Steady-state
+///    iterative callers (laopt executor, GLM/k-means loops) thus allocate
+///    nothing per iteration. Reuse/alloc totals are observable as the
+///    `la.inplace.reuses` / `la.inplace.allocs` counters.
+///
+/// Every parallel kernel takes an optional ThreadPool and applies a grain
+/// heuristic: inputs with too little work for a pool round-trip run inline
+/// (see ParallelChunkCount). Passing a null pool always runs serial.
+///
+/// The `reference` namespace keeps the original naive serial kernels; parity
+/// tests and benches compare the blocked engine against them.
 #ifndef DMML_LA_KERNELS_H_
 #define DMML_LA_KERNELS_H_
 
@@ -16,12 +44,29 @@
 namespace dmml::la {
 
 // ---------------------------------------------------------------------------
-// Dense kernels
+// Dense kernels (allocating forms)
 // ---------------------------------------------------------------------------
 
-/// \brief C = A * B (dense GEMM, ikj loop order). Optionally parallel over rows.
+/// \brief C = A * B (cache-blocked GEMM). Optionally parallel over row blocks.
 DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b,
                      ThreadPool* pool = nullptr);
+
+/// \brief C = A * Bᵀ for row-major A (m x k) and B (n x k); returns (m x n).
+/// Row-dot-product based — both operands stream contiguously, no transpose is
+/// materialized. The k-means assignment kernel.
+DenseMatrix MultiplyTransposeB(const DenseMatrix& a, const DenseMatrix& b,
+                               ThreadPool* pool = nullptr);
+
+/// \brief G = Xᵀ X (SYRK / Gramian) for X (n x d); returns (d x d).
+/// Accumulates 4-row rank-1 update bundles into the upper triangle (per-chunk
+/// partial Gramians reduced at the end when parallel), then mirrors — half
+/// the FLOPs of Multiply(Transpose(X), X) and no materialized transpose.
+DenseMatrix Gram(const DenseMatrix& x, ThreadPool* pool = nullptr);
+
+/// \brief Xᵀ M for X (n x d) and M (n x k); returns (d x k) without
+/// materializing Xᵀ (per-chunk partials + reduction when parallel).
+DenseMatrix TransposeMultiply(const DenseMatrix& x, const DenseMatrix& m,
+                              ThreadPool* pool = nullptr);
 
 /// \brief y = A * x with x an (n x 1) vector; returns (m x 1).
 DenseMatrix Gemv(const DenseMatrix& a, const DenseMatrix& x,
@@ -31,8 +76,8 @@ DenseMatrix Gemv(const DenseMatrix& a, const DenseMatrix& x,
 DenseMatrix Gevm(const DenseMatrix& x, const DenseMatrix& a,
                  ThreadPool* pool = nullptr);
 
-/// \brief A^T.
-DenseMatrix Transpose(const DenseMatrix& a);
+/// \brief A^T (tile-blocked; parallel over output row blocks).
+DenseMatrix Transpose(const DenseMatrix& a, ThreadPool* pool = nullptr);
 
 /// \brief A + B.
 DenseMatrix Add(const DenseMatrix& a, const DenseMatrix& b);
@@ -61,21 +106,58 @@ double Dot(const double* x, const double* y, size_t n);
 /// \brief Dot product of two vectors (either orientation, same length).
 double Dot(const DenseMatrix& x, const DenseMatrix& y);
 
-/// \brief Sum of all elements.
-double Sum(const DenseMatrix& a);
+/// \brief Sum of all elements (parallel tree reduction for large inputs).
+double Sum(const DenseMatrix& a, ThreadPool* pool = nullptr);
 
 /// \brief Per-column sums as a 1 x cols row vector.
-DenseMatrix ColumnSums(const DenseMatrix& a);
+DenseMatrix ColumnSums(const DenseMatrix& a, ThreadPool* pool = nullptr);
 
 /// \brief Per-row sums as a rows x 1 column vector.
-DenseMatrix RowSums(const DenseMatrix& a);
+DenseMatrix RowSums(const DenseMatrix& a, ThreadPool* pool = nullptr);
 
-/// \brief Frobenius norm.
-double FrobeniusNorm(const DenseMatrix& a);
+/// \brief Frobenius norm (parallel reduction for large inputs).
+double FrobeniusNorm(const DenseMatrix& a, ThreadPool* pool = nullptr);
 
 /// \brief Squared L2 distance between row `r1` of a and row `r2` of b.
 double RowSquaredDistance(const DenseMatrix& a, size_t r1, const DenseMatrix& b,
                           size_t r2);
+
+// ---------------------------------------------------------------------------
+// Output-reuse variants
+// ---------------------------------------------------------------------------
+//
+// Each reshapes *out in place (capacity permitting: no allocation) and fully
+// overwrites it. `out` must not alias an input.
+
+void MultiplyInto(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* out,
+                  ThreadPool* pool = nullptr);
+void MultiplyTransposeBInto(const DenseMatrix& a, const DenseMatrix& b,
+                            DenseMatrix* out, ThreadPool* pool = nullptr);
+void GramInto(const DenseMatrix& x, DenseMatrix* out, ThreadPool* pool = nullptr);
+void TransposeMultiplyInto(const DenseMatrix& x, const DenseMatrix& m,
+                           DenseMatrix* out, ThreadPool* pool = nullptr);
+void GemvInto(const DenseMatrix& a, const DenseMatrix& x, DenseMatrix* out,
+              ThreadPool* pool = nullptr);
+void GevmInto(const DenseMatrix& x, const DenseMatrix& a, DenseMatrix* out,
+              ThreadPool* pool = nullptr);
+void TransposeInto(const DenseMatrix& a, DenseMatrix* out,
+                   ThreadPool* pool = nullptr);
+void AddInto(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* out);
+void SubtractInto(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* out);
+void ElementwiseMultiplyInto(const DenseMatrix& a, const DenseMatrix& b,
+                             DenseMatrix* out);
+void ScaleInto(const DenseMatrix& a, double alpha, DenseMatrix* out);
+void AddScalarInto(const DenseMatrix& a, double alpha, DenseMatrix* out);
+void MapInto(const DenseMatrix& a, const std::function<double(double)>& fn,
+             DenseMatrix* out);
+void ColumnSumsInto(const DenseMatrix& a, DenseMatrix* out,
+                    ThreadPool* pool = nullptr);
+void RowSumsInto(const DenseMatrix& a, DenseMatrix* out,
+                 ThreadPool* pool = nullptr);
+
+/// \brief Y += alpha * X for same-shape matrices (no reshape; Y must already
+/// conform).
+void AxpyInto(double alpha, const DenseMatrix& x, DenseMatrix* y);
 
 // ---------------------------------------------------------------------------
 // Sparse kernels
@@ -85,15 +167,41 @@ double RowSquaredDistance(const DenseMatrix& a, size_t r1, const DenseMatrix& b,
 DenseMatrix SparseGemv(const SparseMatrix& a, const DenseMatrix& x,
                        ThreadPool* pool = nullptr);
 
-/// \brief y = x^T * A for CSR A; returns (1 x n).
-DenseMatrix SparseGevm(const DenseMatrix& x, const SparseMatrix& a);
+/// \brief y = x^T * A for CSR A; returns (1 x n). Parallel via per-chunk
+/// private dense accumulators plus a reduction.
+DenseMatrix SparseGevm(const DenseMatrix& x, const SparseMatrix& a,
+                       ThreadPool* pool = nullptr);
 
 /// \brief C = A * B for CSR A and dense B.
 DenseMatrix SparseMultiplyDense(const SparseMatrix& a, const DenseMatrix& b,
                                 ThreadPool* pool = nullptr);
 
-/// \brief A^T for CSR A (returns CSR).
+/// \brief A^T for CSR A (returns CSR). Two-pass counting transpose: O(nnz)
+/// with no sort.
 SparseMatrix SparseTranspose(const SparseMatrix& a);
+
+// ---------------------------------------------------------------------------
+// Naive reference kernels
+// ---------------------------------------------------------------------------
+//
+// The original unblocked serial implementations, kept as the ground truth
+// for parity tests and as the bench baseline the blocked engine is measured
+// against. Not for production call sites.
+namespace reference {
+
+DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b);
+DenseMatrix Transpose(const DenseMatrix& a);
+DenseMatrix Gram(const DenseMatrix& x);
+DenseMatrix TransposeMultiply(const DenseMatrix& x, const DenseMatrix& m);
+DenseMatrix MultiplyTransposeB(const DenseMatrix& a, const DenseMatrix& b);
+DenseMatrix Gevm(const DenseMatrix& x, const DenseMatrix& a);
+DenseMatrix ColumnSums(const DenseMatrix& a);
+double Sum(const DenseMatrix& a);
+double FrobeniusNorm(const DenseMatrix& a);
+DenseMatrix SparseGevm(const DenseMatrix& x, const SparseMatrix& a);
+SparseMatrix SparseTranspose(const SparseMatrix& a);
+
+}  // namespace reference
 
 }  // namespace dmml::la
 

@@ -43,6 +43,29 @@ SparseMatrix SparseMatrix::FromTriplets(size_t rows, size_t cols,
   return m;
 }
 
+SparseMatrix SparseMatrix::FromCsr(size_t rows, size_t cols,
+                                   std::vector<size_t> row_ptr,
+                                   std::vector<uint32_t> col_idx,
+                                   std::vector<double> values) {
+  DMML_CHECK_EQ(row_ptr.size(), rows + 1);
+  DMML_CHECK_EQ(col_idx.size(), values.size());
+  DMML_CHECK_EQ(row_ptr[rows], col_idx.size());
+  for (size_t r = 0; r < rows; ++r) {
+    DMML_CHECK_LE(row_ptr[r], row_ptr[r + 1]);
+    for (size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      DMML_CHECK_LT(col_idx[k], cols);
+      if (k > row_ptr[r]) DMML_CHECK_LT(col_idx[k - 1], col_idx[k]);
+    }
+  }
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  return m;
+}
+
 SparseMatrix SparseMatrix::FromDense(const DenseMatrix& dense, double tol) {
   SparseMatrix m;
   m.rows_ = dense.rows();

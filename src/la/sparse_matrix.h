@@ -39,6 +39,16 @@ class SparseMatrix {
   /// \brief Converts a dense matrix, dropping entries with |v| <= tol.
   static SparseMatrix FromDense(const DenseMatrix& dense, double tol = 0.0);
 
+  /// \brief Adopts ready-made CSR arrays. `row_ptr` must have rows+1
+  /// monotonically non-decreasing offsets ending at col_idx.size(), and
+  /// column indices must be strictly increasing within each row — builders
+  /// that construct CSR directly (e.g. the counting transpose) use this to
+  /// skip the triplet sort.
+  static SparseMatrix FromCsr(size_t rows, size_t cols,
+                              std::vector<size_t> row_ptr,
+                              std::vector<uint32_t> col_idx,
+                              std::vector<double> values);
+
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
 

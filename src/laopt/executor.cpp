@@ -2,7 +2,7 @@
 
 #include <array>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "la/kernels.h"
 #include "laopt/optimizer.h"
@@ -44,85 +44,92 @@ struct OpInstruments {
   }
 };
 
-class Evaluator {
- public:
-  Evaluator(ThreadPool* pool, ExecStats* stats) : pool_(pool), stats_(stats) {}
-
-  Result<DenseMatrix> Eval(const ExprPtr& node) {
-    auto it = memo_.find(node.get());
-    if (it != memo_.end()) {
-      if (stats_) stats_->memo_hits++;
-      DMML_COUNTER_INC("laopt.executor.memo_hits");
-      return it->second;
-    }
-    DMML_ASSIGN_OR_RETURN(DenseMatrix result, EvalUncached(node));
-    memo_.emplace(node.get(), result);
-    return result;
-  }
-
- private:
-  Result<DenseMatrix> EvalUncached(const ExprPtr& node) {
-    if (node->kind() == OpKind::kInput) {
-      if (!node->matrix()) {
-        return Status::FailedPrecondition(
-            "cannot execute unbound placeholder '" +
-            (node->name().empty() ? std::string("_") : node->name()) + "'");
-      }
-      return *node->matrix();
-    }
-    if (stats_) stats_->ops_executed++;
-
-    std::vector<DenseMatrix> kids;
-    kids.reserve(node->children().size());
-    for (const auto& c : node->children()) {
-      DMML_ASSIGN_OR_RETURN(DenseMatrix k, Eval(c));
-      kids.push_back(std::move(k));
-    }
-    const size_t kind_idx = static_cast<size_t>(node->kind());
-    const OpInstruments& instruments = OpInstruments::Get();
-    instruments.count[kind_idx]->Add(1);
-    obs::ScopedTimerUs op_timer(instruments.micros[kind_idx]);
-    DMML_TRACE_SPAN(instruments.span_name[kind_idx].c_str());
-    switch (node->kind()) {
-      case OpKind::kMatMul:
-        return la::Multiply(kids[0], kids[1], pool_);
-      case OpKind::kTranspose:
-        return la::Transpose(kids[0]);
-      case OpKind::kAdd:
-        return la::Add(kids[0], kids[1]);
-      case OpKind::kSubtract:
-        return la::Subtract(kids[0], kids[1]);
-      case OpKind::kElemMul:
-        return la::ElementwiseMultiply(kids[0], kids[1]);
-      case OpKind::kScalarMul:
-        return la::Scale(kids[0], node->scalar());
-      case OpKind::kSum: {
-        DenseMatrix out(1, 1);
-        out.At(0, 0) = la::Sum(kids[0]);
-        return out;
-      }
-      case OpKind::kRowSums:
-        return la::RowSums(kids[0]);
-      case OpKind::kColSums:
-        return la::ColumnSums(kids[0]);
-      case OpKind::kInput:
-        break;  // Handled above.
-    }
-    return Status::Internal("unknown op kind in executor");
-  }
-
-  ThreadPool* pool_;
-  ExecStats* stats_;
-  std::unordered_map<const ExprNode*, DenseMatrix> memo_;
-};
-
 }  // namespace
 
-Result<DenseMatrix> Execute(const ExprPtr& root, ThreadPool* pool, ExecStats* stats) {
+Result<const DenseMatrix*> BufferedExecutor::Run(const ExprPtr& root,
+                                                 ExecStats* stats) {
   if (!root) return Status::InvalidArgument("Execute: null expression");
   DMML_TRACE_SPAN("laopt.execute");
-  Evaluator evaluator(pool, stats);
-  return evaluator.Eval(root);
+  ++epoch_;
+  return Eval(root, stats);
+}
+
+Result<const DenseMatrix*> BufferedExecutor::Eval(const ExprPtr& node,
+                                                  ExecStats* stats) {
+  // unordered_map element references are stable across the recursive inserts
+  // below, so holding `slot` through child evaluation is safe.
+  Slot& slot = slots_[node.get()];
+  if (slot.epoch == epoch_) {
+    if (stats) stats->memo_hits++;
+    DMML_COUNTER_INC("laopt.executor.memo_hits");
+    return slot.out;
+  }
+
+  if (node->kind() == OpKind::kInput) {
+    if (!node->matrix()) {
+      return Status::FailedPrecondition(
+          "cannot execute unbound placeholder '" +
+          (node->name().empty() ? std::string("_") : node->name()) + "'");
+    }
+    slot.epoch = epoch_;
+    slot.out = node->matrix().get();
+    return slot.out;
+  }
+  if (stats) stats->ops_executed++;
+
+  std::vector<const DenseMatrix*> kids;
+  kids.reserve(node->children().size());
+  for (const auto& c : node->children()) {
+    DMML_ASSIGN_OR_RETURN(const DenseMatrix* k, Eval(c, stats));
+    kids.push_back(k);
+  }
+
+  const size_t kind_idx = static_cast<size_t>(node->kind());
+  const OpInstruments& instruments = OpInstruments::Get();
+  instruments.count[kind_idx]->Add(1);
+  obs::ScopedTimerUs op_timer(instruments.micros[kind_idx]);
+  DMML_TRACE_SPAN(instruments.span_name[kind_idx].c_str());
+  switch (node->kind()) {
+    case OpKind::kMatMul:
+      la::MultiplyInto(*kids[0], *kids[1], &slot.buf, pool_);
+      break;
+    case OpKind::kTranspose:
+      la::TransposeInto(*kids[0], &slot.buf, pool_);
+      break;
+    case OpKind::kAdd:
+      la::AddInto(*kids[0], *kids[1], &slot.buf);
+      break;
+    case OpKind::kSubtract:
+      la::SubtractInto(*kids[0], *kids[1], &slot.buf);
+      break;
+    case OpKind::kElemMul:
+      la::ElementwiseMultiplyInto(*kids[0], *kids[1], &slot.buf);
+      break;
+    case OpKind::kScalarMul:
+      la::ScaleInto(*kids[0], node->scalar(), &slot.buf);
+      break;
+    case OpKind::kSum:
+      slot.buf.Reshape(1, 1);
+      slot.buf.At(0, 0) = la::Sum(*kids[0], pool_);
+      break;
+    case OpKind::kRowSums:
+      la::RowSumsInto(*kids[0], &slot.buf, pool_);
+      break;
+    case OpKind::kColSums:
+      la::ColumnSumsInto(*kids[0], &slot.buf, pool_);
+      break;
+    case OpKind::kInput:
+      return Status::Internal("unknown op kind in executor");
+  }
+  slot.epoch = epoch_;
+  slot.out = &slot.buf;
+  return slot.out;
+}
+
+Result<DenseMatrix> Execute(const ExprPtr& root, ThreadPool* pool, ExecStats* stats) {
+  BufferedExecutor executor(pool);
+  DMML_ASSIGN_OR_RETURN(const DenseMatrix* out, executor.Run(root, stats));
+  return *out;  // Copies out of the executor's transient buffers.
 }
 
 Result<DenseMatrix> OptimizeAndExecute(const ExprPtr& root, ThreadPool* pool) {

@@ -3,6 +3,9 @@
 #ifndef DMML_LAOPT_EXECUTOR_H_
 #define DMML_LAOPT_EXECUTOR_H_
 
+#include <cstdint>
+#include <unordered_map>
+
 #include "laopt/expr.h"
 #include "util/thread_pool.h"
 
@@ -14,8 +17,51 @@ struct ExecStats {
   size_t memo_hits = 0;         ///< Shared sub-DAGs reused.
 };
 
+/// \brief DAG evaluator with persistent per-node output buffers.
+///
+/// Every non-leaf node gets a buffer slot that survives across Run() calls;
+/// ops execute through the `...Into` kernels, so re-running a program whose
+/// shapes have not changed performs zero matrix allocations in steady state
+/// (observable via the `la.inplace.reuses` / `la.inplace.allocs` counters).
+/// Within one Run, shared sub-DAGs are evaluated once via an epoch-stamped
+/// memo — same semantics as the one-shot Execute() below.
+///
+/// Not thread-safe; one BufferedExecutor per driving thread. The internal
+/// thread pool (if any) is still used to parallelize individual kernels.
+class BufferedExecutor {
+ public:
+  explicit BufferedExecutor(ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  /// \brief Evaluates `root`. The returned pointer aliases executor-owned
+  /// storage (or a leaf's bound matrix) and remains valid until the next
+  /// Run() on this executor, Clear(), or destruction.
+  Result<const la::DenseMatrix*> Run(const ExprPtr& root,
+                                     ExecStats* stats = nullptr);
+
+  /// \brief Drops all retained buffers (e.g. between unrelated programs).
+  void Clear() { slots_.clear(); }
+
+  /// \brief Number of node buffers currently retained.
+  size_t num_slots() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    la::DenseMatrix buf;                     ///< Output buffer (non-leaf nodes).
+    uint64_t epoch = 0;                      ///< Last Run() that filled it.
+    const la::DenseMatrix* out = nullptr;    ///< &buf, or the leaf's matrix.
+  };
+
+  Result<const la::DenseMatrix*> Eval(const ExprPtr& node, ExecStats* stats);
+
+  ThreadPool* pool_ = nullptr;
+  uint64_t epoch_ = 0;
+  std::unordered_map<const ExprNode*, Slot> slots_;
+};
+
 /// \brief Evaluates `root`, reusing results for shared sub-DAGs (pointer
-/// identity). Thread pool, if given, parallelizes large matmuls.
+/// identity). Thread pool, if given, parallelizes large kernels. One-shot:
+/// buffers die with the call — iterative callers should hold a
+/// BufferedExecutor instead.
 Result<la::DenseMatrix> Execute(const ExprPtr& root, ThreadPool* pool = nullptr,
                                 ExecStats* stats = nullptr);
 

@@ -1,5 +1,6 @@
 #include "ml/glm.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <numeric>
@@ -337,23 +338,31 @@ void RunHogwild(const DenseMatrix& x, const DenseMatrix& y, const GlmConfig& con
 // Closed-form ridge solution (X^T X + n*λI) w = X^T y, with optional
 // intercept handled by augmenting a ones column.
 Status RunNormalEquations(const DenseMatrix& x, const DenseMatrix& y,
-                          const GlmConfig& config, GlmModel* model) {
+                          const GlmConfig& config, ThreadPool* pool,
+                          GlmModel* model) {
   const size_t n = x.rows(), d = x.cols();
   const size_t da = config.fit_intercept ? d + 1 : d;
 
+  // X'X via the SYRK kernel and X'y via the fused transpose-multiply — no
+  // materialized transpose, no augmented copy of X. The implicit ones column
+  // of the intercept contributes the column sums of X, Sum(y) and the row
+  // count, placed in the border of the augmented system directly.
+  DenseMatrix gram = la::Gram(x, pool);
+  DenseMatrix xty_data = la::TransposeMultiply(x, y, pool);
   DenseMatrix xtx(da, da);
   DenseMatrix xty(da, 1);
-  for (size_t i = 0; i < n; ++i) {
-    const double* row = x.Row(i);
-    auto get = [&](size_t j) { return j < d ? row[j] : 1.0; };
-    for (size_t a = 0; a < da; ++a) {
-      double va = get(a);
-      xty.At(a, 0) += va * y.At(i, 0);
-      for (size_t b = a; b < da; ++b) xtx.At(a, b) += va * get(b);
-    }
+  for (size_t a = 0; a < d; ++a) {
+    std::copy(gram.Row(a), gram.Row(a) + d, xtx.Row(a));
+    xty.At(a, 0) = xty_data.At(a, 0);
   }
-  for (size_t a = 0; a < da; ++a) {
-    for (size_t b = 0; b < a; ++b) xtx.At(a, b) = xtx.At(b, a);
+  if (config.fit_intercept) {
+    DenseMatrix colsums = la::ColumnSums(x, pool);
+    for (size_t j = 0; j < d; ++j) {
+      xtx.At(j, d) = colsums.At(0, j);
+      xtx.At(d, j) = colsums.At(0, j);
+    }
+    xtx.At(d, d) = static_cast<double>(n);
+    xty.At(d, 0) = la::Sum(y, pool);
   }
   // L2 penalty (matching the per-example-mean loss convention: λ * n).
   if (config.l2 > 0) {
@@ -417,7 +426,7 @@ Result<GlmModel> TrainGlm(const DenseMatrix& x, const DenseMatrix& y,
       RunHogwild(x, y, config, pool, &model);
       break;
     case GlmSolver::kNormalEquations:
-      DMML_RETURN_IF_ERROR(RunNormalEquations(x, y, config, &model));
+      DMML_RETURN_IF_ERROR(RunNormalEquations(x, y, config, pool, &model));
       break;
     case GlmSolver::kAdagrad:
       RunAdaptive(x, y, config, /*adam=*/false, &model);

@@ -1,5 +1,6 @@
 #include "ml/kmeans.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -28,6 +29,39 @@ std::pair<int, double> Nearest(const DenseMatrix& x, size_t i,
     }
   }
   return {best, best_d};
+}
+
+// Assignment step via the expanded form ‖x−c‖² = ‖x‖² − 2·x·c + ‖c‖²: one
+// blocked X·Cᵀ matmul per iteration instead of n·k row scans. `scores` and
+// `cnorm` are caller-owned so repeated iterations reuse their allocations.
+// Exact when a point coincides with its center: the three dot products are
+// computed in identical order, so the expansion cancels to 0.0 exactly.
+double AssignLabels(const DenseMatrix& x, const DenseMatrix& centers,
+                    const std::vector<double>& xnorm, ThreadPool* pool,
+                    DenseMatrix* scores, std::vector<double>* cnorm,
+                    std::vector<int>* labels) {
+  const size_t n = x.rows(), d = x.cols(), k = centers.rows();
+  cnorm->resize(k);
+  for (size_t c = 0; c < k; ++c) {
+    (*cnorm)[c] = la::Dot(centers.Row(c), centers.Row(c), d);
+  }
+  la::MultiplyTransposeBInto(x, centers, scores, pool);
+  double inertia = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double* srow = scores->Row(i);
+    int best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < k; ++c) {
+      const double dd = xnorm[i] - 2.0 * srow[c] + (*cnorm)[c];
+      if (dd < best_d) {
+        best_d = dd;
+        best = static_cast<int>(c);
+      }
+    }
+    (*labels)[i] = best;
+    inertia += std::max(0.0, best_d);  // Expansion can round slightly below 0.
+  }
+  return inertia;
 }
 
 DenseMatrix InitCenters(const DenseMatrix& x, const KMeansConfig& config, Rng* rng) {
@@ -81,7 +115,8 @@ Result<std::vector<int>> KMeansModel::Predict(const DenseMatrix& x) const {
   return out;
 }
 
-Result<KMeansModel> TrainKMeans(const DenseMatrix& x, const KMeansConfig& config) {
+Result<KMeansModel> TrainKMeans(const DenseMatrix& x, const KMeansConfig& config,
+                                ThreadPool* pool) {
   const size_t n = x.rows(), d = x.cols(), k = config.k;
   if (n == 0 || d == 0) return Status::InvalidArgument("k-means: empty data");
   if (k == 0 || k > n) {
@@ -93,17 +128,19 @@ Result<KMeansModel> TrainKMeans(const DenseMatrix& x, const KMeansConfig& config
   model.centers = InitCenters(x, config, &rng);
   model.labels.assign(n, 0);
 
+  // Per-iteration scratch, hoisted so the loop allocates nothing.
+  std::vector<double> xnorm(n);
+  for (size_t i = 0; i < n; ++i) xnorm[i] = la::Dot(x.Row(i), x.Row(i), d);
+  DenseMatrix scores;
+  std::vector<double> cnorm;
+
   std::vector<size_t> counts(k);
   double prev_inertia = std::numeric_limits<double>::infinity();
   for (size_t iter = 0; iter < config.max_iters; ++iter) {
     const uint64_t iter_start_us = obs::NowMicros();
     // Assignment step.
-    double inertia = 0;
-    for (size_t i = 0; i < n; ++i) {
-      auto [c, dd] = Nearest(x, i, model.centers);
-      model.labels[i] = c;
-      inertia += dd;
-    }
+    double inertia =
+        AssignLabels(x, model.centers, xnorm, pool, &scores, &cnorm, &model.labels);
     // Update step.
     model.centers.Fill(0.0);
     std::fill(counts.begin(), counts.end(), 0);
@@ -145,13 +182,8 @@ Result<KMeansModel> TrainKMeans(const DenseMatrix& x, const KMeansConfig& config
     prev_inertia = inertia;
   }
   // Final assignment against the last centers.
-  double inertia = 0;
-  for (size_t i = 0; i < n; ++i) {
-    auto [c, dd] = Nearest(x, i, model.centers);
-    model.labels[i] = c;
-    inertia += dd;
-  }
-  model.inertia = inertia;
+  model.inertia =
+      AssignLabels(x, model.centers, xnorm, pool, &scores, &cnorm, &model.labels);
   return model;
 }
 

@@ -8,6 +8,7 @@
 
 #include "la/dense_matrix.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace dmml::ml {
 
@@ -34,8 +35,12 @@ struct KMeansModel {
 
 /// \brief Runs Lloyd's algorithm on (n x d) data.
 ///
-/// Empty clusters are re-seeded with the point farthest from its centroid.
-Result<KMeansModel> TrainKMeans(const la::DenseMatrix& x, const KMeansConfig& config);
+/// The assignment step runs through one X·Cᵀ matmul per iteration (blocked,
+/// parallel over the optional pool) with per-iteration buffers hoisted out of
+/// the loop. Empty clusters are re-seeded with the point farthest from its
+/// centroid.
+Result<KMeansModel> TrainKMeans(const la::DenseMatrix& x, const KMeansConfig& config,
+                                ThreadPool* pool = nullptr);
 
 }  // namespace dmml::ml
 

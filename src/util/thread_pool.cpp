@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "obs/metrics.h"
 
@@ -93,24 +94,51 @@ void ThreadPool::WorkerLoop() {
 
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t, size_t)>& fn) {
+  ParallelForChunks(pool, n, /*grain=*/1,
+                    [&fn](size_t, size_t begin, size_t end) { fn(begin, end); });
+}
+
+size_t ParallelChunkCount(const ThreadPool* pool, size_t n, size_t grain) {
+  if (pool == nullptr || n == 0) return 1;
+  const size_t threads = pool->num_threads();
+  if (threads <= 1) return 1;
+  if (grain == 0) grain = 1;
+  // Floor division: a chunk never carries less than `grain` items, so an
+  // input barely above the grain still runs inline instead of splitting
+  // into two undersized tasks.
+  const size_t by_grain = n / grain;
+  if (by_grain <= 1) return 1;
+  return std::min(threads, by_grain);
+}
+
+void ParallelForChunks(ThreadPool* pool, size_t n, size_t grain,
+                       const std::function<void(size_t, size_t, size_t)>& fn) {
   if (n == 0) return;
-  if (pool == nullptr || pool->num_threads() <= 1) {
-    fn(0, n);
+  const size_t chunks = ParallelChunkCount(pool, n, grain);
+  if (chunks <= 1) {
+    fn(0, 0, n);
     return;
   }
-  size_t num_chunks = std::min(n, pool->num_threads());
-  size_t chunk = (n + num_chunks - 1) / num_chunks;
+  const size_t chunk = (n + chunks - 1) / chunks;
   std::vector<std::future<void>> futures;
-  futures.reserve(num_chunks);
-  for (size_t begin = 0; begin < n; begin += chunk) {
-    size_t end = std::min(begin + chunk, n);
-    futures.push_back(pool->Submit([&fn, begin, end] { fn(begin, end); }));
+  futures.reserve(chunks);
+  size_t idx = 0;
+  for (size_t begin = 0; begin < n; begin += chunk, ++idx) {
+    const size_t end = std::min(begin + chunk, n);
+    futures.push_back(pool->Submit([&fn, idx, begin, end] { fn(idx, begin, end); }));
   }
   for (auto& f : futures) f.get();
 }
 
 ThreadPool* GlobalThreadPool() {
-  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("DMML_NUM_THREADS")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && v > 0) return static_cast<size_t>(v);
+    }
+    return static_cast<size_t>(std::max(1u, std::thread::hardware_concurrency()));
+  }());
   return &pool;
 }
 

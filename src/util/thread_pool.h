@@ -57,7 +57,21 @@ class ThreadPool {
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t, size_t)>& fn);
 
-/// \brief Default process-wide pool sized to the hardware concurrency.
+/// \brief Number of chunks ParallelForChunks will split [0, n) into: 1 when
+/// the pool is null/single-threaded or fewer than 2*grain items exist (small
+/// inputs stay inline and never pay pool latency), otherwise
+/// min(num_threads, n / grain) so every chunk carries at least `grain` items.
+size_t ParallelChunkCount(const ThreadPool* pool, size_t n, size_t grain);
+
+/// \brief Grain-aware ParallelFor that also hands each chunk its index
+/// (`fn(chunk, begin, end)`), so reduction kernels can give every chunk a
+/// private partial buffer indexed by `chunk` (< ParallelChunkCount(...)).
+/// Runs inline as `fn(0, 0, n)` when only one chunk is warranted.
+void ParallelForChunks(ThreadPool* pool, size_t n, size_t grain,
+                       const std::function<void(size_t, size_t, size_t)>& fn);
+
+/// \brief Default process-wide pool. Sized by the DMML_NUM_THREADS environment
+/// variable when set to a positive integer, else the hardware concurrency.
 ThreadPool* GlobalThreadPool();
 
 }  // namespace dmml

@@ -1,0 +1,199 @@
+// Parity tests: the blocked/parallel kernel engine vs the naive reference
+// kernels, across adversarial shapes, serial and pooled. Also pins down the
+// allocation behaviour of the Into variants and the BufferedExecutor's
+// steady state (zero matrix allocations on repeated-shape programs).
+//
+// This suite is the sanitizer target for the kernel engine: it must stay
+// green under -DDMML_SANITIZE=thread and -DDMML_SANITIZE=address,undefined.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "la/kernels.h"
+#include "laopt/executor.h"
+#include "laopt/expr.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace dmml::la {
+namespace {
+
+using dmml::Rng;
+using dmml::ThreadPool;
+
+DenseMatrix RandomMatrix(size_t rows, size_t cols, Rng* rng) {
+  DenseMatrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) m.data()[i] = rng->Uniform(-1.0, 1.0);
+  return m;
+}
+
+SparseMatrix RandomSparse(size_t rows, size_t cols, double density, Rng* rng) {
+  std::vector<Triplet> triplets;
+  const size_t target = static_cast<size_t>(
+      density * static_cast<double>(rows) * static_cast<double>(cols));
+  for (size_t e = 0; e < target; ++e) {
+    triplets.push_back({rng->UniformInt(rows), rng->UniformInt(cols),
+                        rng->Uniform(-1.0, 1.0)});
+  }
+  return SparseMatrix::FromTriplets(rows, cols, std::move(triplets));
+}
+
+double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double worst = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return worst;
+}
+
+// Blocked kernels reassociate k-length dot products, so tolerance scales
+// with k; the +16 keeps tiny shapes from demanding exact equality.
+double TolFor(size_t k) { return 1e-9 * static_cast<double>(k + 16); }
+
+// One (m, k, n) shape through every dense + sparse kernel pair.
+void ExpectParity(size_t m, size_t k, size_t n, ThreadPool* pool, Rng* rng) {
+  SCOPED_TRACE(std::to_string(m) + "x" + std::to_string(k) + "x" +
+               std::to_string(n) + (pool != nullptr ? " pooled" : " serial"));
+  const double tol = TolFor(k);
+  const double red_tol = tol * static_cast<double>(std::max<size_t>(n, 1));
+  DenseMatrix a = RandomMatrix(m, k, rng);
+  DenseMatrix b = RandomMatrix(k, n, rng);
+  DenseMatrix bt = RandomMatrix(n, k, rng);
+  DenseMatrix w = RandomMatrix(k, n, rng);
+  DenseMatrix xv = RandomMatrix(k, 1, rng);
+
+  EXPECT_LE(MaxAbsDiff(Multiply(a, b, pool), reference::Multiply(a, b)), tol);
+  EXPECT_EQ(MaxAbsDiff(Transpose(a, pool), reference::Transpose(a)), 0.0);
+  EXPECT_LE(MaxAbsDiff(Gram(b, pool), reference::Gram(b)), tol);
+  EXPECT_LE(MaxAbsDiff(TransposeMultiply(b, w, pool),
+                       reference::TransposeMultiply(b, w)),
+            tol);
+  EXPECT_LE(MaxAbsDiff(MultiplyTransposeB(a, bt, pool),
+                       reference::MultiplyTransposeB(a, bt)),
+            tol);
+  EXPECT_LE(MaxAbsDiff(Gevm(xv, b, pool), reference::Gevm(xv, b)), tol);
+  EXPECT_LE(MaxAbsDiff(ColumnSums(b, pool), reference::ColumnSums(b)), tol);
+  EXPECT_NEAR(Sum(b, pool), reference::Sum(b), red_tol);
+  EXPECT_NEAR(FrobeniusNorm(b, pool), reference::FrobeniusNorm(b), red_tol);
+
+  // Into forms must fully overwrite a dirty, differently-shaped buffer.
+  DenseMatrix out(m + 3, n + 5);
+  out.Fill(7.25);
+  MultiplyInto(a, b, &out, pool);
+  EXPECT_LE(MaxAbsDiff(out, reference::Multiply(a, b)), tol);
+
+  SparseMatrix sp = RandomSparse(k, n, 0.05, rng);
+  EXPECT_LE(
+      MaxAbsDiff(SparseGevm(xv, sp, pool), reference::SparseGevm(xv, sp)), tol);
+  EXPECT_TRUE(SparseTranspose(sp) == reference::SparseTranspose(sp));
+}
+
+TEST(KernelParityTest, AdversarialShapesSerialAndPooled) {
+  // Tile multiples, off-by-one around every tile edge, degenerate vectors
+  // and zero dimensions. Each shape runs serial and through a 4-thread pool.
+  const size_t shapes[][3] = {
+      {64, 64, 64},  {65, 129, 67}, {4, 8, 128},  {3, 7, 5},
+      {1, 130, 1},   {130, 1, 130}, {1, 1, 1},    {0, 5, 5},
+      {5, 0, 5},     {5, 5, 0},     {33, 257, 31}, {9, 128, 128},
+  };
+  ThreadPool pool(4);
+  Rng rng(1234);
+  for (const auto& s : shapes) {
+    ExpectParity(s[0], s[1], s[2], nullptr, &rng);
+    ExpectParity(s[0], s[1], s[2], &pool, &rng);
+  }
+}
+
+TEST(KernelParityTest, SparseTransposeEdgeCases) {
+  Rng rng(99);
+  SparseMatrix nearly_empty = RandomSparse(200, 300, 0.0005, &rng);
+  EXPECT_TRUE(SparseTranspose(nearly_empty) ==
+              reference::SparseTranspose(nearly_empty));
+  SparseMatrix empty = SparseMatrix::FromTriplets(40, 60, {});
+  EXPECT_TRUE(SparseTranspose(empty) == reference::SparseTranspose(empty));
+  // Round trip: (Aᵀ)ᵀ == A.
+  SparseMatrix dense_ish = RandomSparse(37, 53, 0.3, &rng);
+  EXPECT_TRUE(SparseTranspose(SparseTranspose(dense_ish)) == dense_ish);
+}
+
+TEST(KernelParityTest, GevmUsesPoolAndMatchesSerial) {
+  // Regression: Gevm used to silently ignore its pool argument. The pooled
+  // path reduces per-chunk partials, so check it against both the serial
+  // blocked path and the reference.
+  Rng rng(7);
+  DenseMatrix x = RandomMatrix(4096, 1, &rng);
+  DenseMatrix a = RandomMatrix(4096, 17, &rng);
+  ThreadPool pool(4);
+  const uint64_t reductions_before =
+      obs::MetricsRegistry::Global().GetCounter("la.parallel.reductions")->Value();
+  DenseMatrix pooled = Gevm(x, a, &pool);
+  EXPECT_GT(
+      obs::MetricsRegistry::Global().GetCounter("la.parallel.reductions")->Value(),
+      reductions_before);
+  EXPECT_LE(MaxAbsDiff(pooled, Gevm(x, a, nullptr)), TolFor(4096));
+  EXPECT_LE(MaxAbsDiff(pooled, reference::Gevm(x, a)), TolFor(4096));
+}
+
+TEST(KernelParityTest, IntoVariantsReuseFittingBuffers) {
+  Rng rng(11);
+  DenseMatrix a = RandomMatrix(40, 30, &rng);
+  DenseMatrix b = RandomMatrix(30, 20, &rng);
+  DenseMatrix out;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  MultiplyInto(a, b, &out);  // First call sizes the buffer.
+  const uint64_t allocs = reg.GetCounter("la.inplace.allocs")->Value();
+  const uint64_t reuses = reg.GetCounter("la.inplace.reuses")->Value();
+  for (int i = 0; i < 5; ++i) MultiplyInto(a, b, &out);
+  EXPECT_EQ(reg.GetCounter("la.inplace.allocs")->Value(), allocs)
+      << "repeated same-shape MultiplyInto must not allocate";
+  EXPECT_EQ(reg.GetCounter("la.inplace.reuses")->Value(), reuses + 5);
+}
+
+TEST(BufferedExecutorTest, ZeroAllocationsInSteadyState) {
+  Rng rng(21);
+  auto ma = std::make_shared<DenseMatrix>(RandomMatrix(48, 36, &rng));
+  auto mb = std::make_shared<DenseMatrix>(RandomMatrix(36, 24, &rng));
+  using laopt::ExprNode;
+  auto a = *ExprNode::Input(ma, "A");
+  auto b = *ExprNode::Input(mb, "B");
+  auto ab = *ExprNode::MatMul(a, b);                     // A*B
+  auto expr = *ExprNode::Add(ab, *ExprNode::ScalarMul(2.0, ab));
+
+  laopt::BufferedExecutor exec;
+  auto first = exec.Run(expr);
+  ASSERT_TRUE(first.ok());
+  DenseMatrix want = **first;  // Copy before the buffers are rewritten.
+
+  // Steady state: same program, same shapes — the executor's retained slots
+  // and the Into kernels' Reshape reuse must make further runs allocation
+  // free, observable as a frozen la.inplace.allocs counter.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const uint64_t allocs = reg.GetCounter("la.inplace.allocs")->Value();
+  const uint64_t reuses = reg.GetCounter("la.inplace.reuses")->Value();
+  for (int i = 0; i < 10; ++i) {
+    laopt::ExecStats stats;
+    auto again = exec.Run(expr, &stats);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(MaxAbsDiff(**again, want), 0.0);
+    EXPECT_EQ(stats.memo_hits, 1u);  // Shared A*B evaluated once per run.
+  }
+  EXPECT_EQ(reg.GetCounter("la.inplace.allocs")->Value(), allocs)
+      << "steady-state BufferedExecutor::Run must not allocate matrices";
+  EXPECT_GT(reg.GetCounter("la.inplace.reuses")->Value(), reuses);
+  EXPECT_EQ(exec.num_slots(), 5u);  // A, B, A*B, 2*(A*B) and the root sum.
+
+  // Rebinding to new shapes is allowed — buffers regrow once, then freeze.
+  exec.Clear();
+  EXPECT_EQ(exec.num_slots(), 0u);
+}
+
+}  // namespace
+}  // namespace dmml::la
