@@ -1,63 +1,170 @@
 // Experiment E2 — compressed linear algebra (the CLA result).
 //
-// For datasets spanning the compressibility spectrum, reports the chosen
-// encodings, compression ratio, and matrix-vector / vector-matrix multiply
-// time on compressed vs dense data. Expected shape: large ratios and
-// competitive (often faster) ops on low-cardinality / sorted / sparse data;
-// ratio ~1 with UC fallback on incompressible Gaussian data; ratio decays
-// toward 1 as cardinality grows.
+// Three jobs in one binary:
+//
+//  1. **Parity.** Compressed ops are checked against their dense twins and
+//     the pooled engine against its serial self on a mixed-encoding dataset.
+//     Any mismatch makes the process exit nonzero — scripts/static_checks.sh
+//     runs `--smoke` as a release-build gate.
+//
+//  2. **E2 table.** For datasets spanning the compressibility spectrum,
+//     reports the chosen encodings, compression ratio, and matrix-vector /
+//     vector-matrix multiply time on compressed vs dense data. Expected
+//     shape: large ratios and competitive (often faster) ops on
+//     low-cardinality / sorted / sparse data; ratio ~1 with UC fallback on
+//     incompressible Gaussian data; ratio decays toward 1 as cardinality
+//     grows.
+//
+//  3. **Thread sweep.** Compress + mv/vm/mm at 1/2/4/8 threads, emitted as a
+//     #BENCH-JSON block that scripts/bench_compare.sh can diff across two
+//     captures.
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <limits>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "bench/bench_util.h"
 #include "cla/compressed_matrix.h"
 #include "data/generators.h"
 #include "la/kernels.h"
+#include "util/rng.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace {
 
 using namespace dmml;  // NOLINT
+using bench::BenchJsonEmitter;
 using bench::Fmt;
 using bench::TablePrinter;
+using la::DenseMatrix;
 
-constexpr size_t kRows = 50000;
-constexpr size_t kCols = 10;
-constexpr int kReps = 30;
+bool g_failed = false;
 
-struct DatasetSpec {
-  const char* name;
-  la::DenseMatrix matrix;
-};
+DenseMatrix SparseMatrixData(size_t rows, size_t cols, double density,
+                             uint64_t seed) {
+  DenseMatrix m(rows, cols);
+  Rng rng(seed);
+  for (size_t i = 0; i < m.size(); ++i) {
+    if (rng.Bernoulli(density)) m.data()[i] = rng.Normal();
+  }
+  return m;
+}
 
-void RunDataset(TablePrinter* table, const char* name, const la::DenseMatrix& m) {
+double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double worst = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return worst;
+}
+
+void Check(const char* what, const DenseMatrix& got, const DenseMatrix& want,
+           double tol) {
+  double scale = 1.0;
+  for (size_t i = 0; i < want.size(); ++i) {
+    scale = std::max(scale, std::fabs(want.data()[i]));
+  }
+  double diff = MaxAbsDiff(got, want);
+  if (!(diff <= tol * scale)) {
+    std::fprintf(stderr, "PARITY FAIL %s: max |diff| = %g (scale %g)\n", what,
+                 diff, scale);
+    g_failed = true;
+  }
+}
+
+// Compressed vs dense, and pooled vs serial, across a dataset that lands in
+// every encoding (low-card DDC, sorted RLE, sparse OLE, gaussian UC).
+void RunParitySuite(size_t rows) {
+  DenseMatrix m(rows, 6);
+  auto lowcard = data::LowCardinalityMatrix(rows, 2, 6, false, 100);
+  auto sorted = data::LowCardinalityMatrix(rows, 2, 9, true, 101);
+  Rng rng(102);
+  for (size_t i = 0; i < rows; ++i) {
+    m.At(i, 0) = lowcard.At(i, 0);
+    m.At(i, 1) = lowcard.At(i, 1);
+    m.At(i, 2) = sorted.At(i, 0);
+    m.At(i, 3) = sorted.At(i, 1);
+    if (rng.Bernoulli(0.06)) m.At(i, 4) = rng.Normal();
+    m.At(i, 5) = rng.Normal();
+  }
+
+  ThreadPool pool(4);
+  cla::CompressionOptions options;
+  options.enable_cocoding = true;
+  auto serial_cm = cla::CompressedMatrix::Compress(m, options);
+  auto pooled_cm = cla::CompressedMatrix::Compress(m, options, &pool);
+  if (!(serial_cm.Decompress() == m)) {
+    std::fprintf(stderr, "PARITY FAIL serial decompress != input\n");
+    g_failed = true;
+  }
+  if (!(pooled_cm.Decompress(&pool) == m)) {
+    std::fprintf(stderr, "PARITY FAIL pooled decompress != input\n");
+    g_failed = true;
+  }
+  if (serial_cm.SizeInBytes() != pooled_cm.SizeInBytes()) {
+    std::fprintf(stderr, "PARITY FAIL pooled plan differs from serial plan\n");
+    g_failed = true;
+  }
+
+  auto v = data::GaussianMatrix(m.cols(), 1, 103);
+  auto u = data::GaussianMatrix(rows, 1, 104);
+  auto rhs_m = data::GaussianMatrix(m.cols(), 8, 105);
+  auto rhs_t = data::GaussianMatrix(rows, 8, 106);
+
+  Check("mv comp vs dense", *serial_cm.MultiplyVector(v), la::Gemv(m, v), 1e-9);
+  Check("vm comp vs dense", *serial_cm.VectorMultiply(u), la::Gevm(u, m), 1e-9);
+  Check("mm comp vs dense", *serial_cm.MultiplyMatrix(rhs_m),
+        la::Multiply(m, rhs_m), 1e-9);
+  Check("tmm comp vs dense", *serial_cm.TransposeMultiplyMatrix(rhs_t),
+        la::Multiply(la::Transpose(m), rhs_t), 1e-9);
+
+  Check("mv pooled vs serial", *serial_cm.MultiplyVector(v, &pool),
+        *serial_cm.MultiplyVector(v), 1e-12);
+  Check("vm pooled vs serial", *serial_cm.VectorMultiply(u, &pool),
+        *serial_cm.VectorMultiply(u), 1e-12);
+  Check("mm pooled vs serial", *serial_cm.MultiplyMatrix(rhs_m, &pool),
+        *serial_cm.MultiplyMatrix(rhs_m), 1e-12);
+  Check("tmm pooled vs serial", *serial_cm.TransposeMultiplyMatrix(rhs_t, &pool),
+        *serial_cm.TransposeMultiplyMatrix(rhs_t), 1e-12);
+  Check("rownorms pooled vs serial", serial_cm.RowSquaredNorms(&pool),
+        serial_cm.RowSquaredNorms(), 1e-12);
+}
+
+void RunDataset(TablePrinter* table, const char* name, const la::DenseMatrix& m,
+                int reps) {
   Stopwatch wc;
   auto cm = cla::CompressedMatrix::Compress(m);
   double compress_ms = wc.ElapsedMillis();
 
   auto v = data::GaussianMatrix(m.cols(), 1, 1);
   auto u = data::GaussianMatrix(m.rows(), 1, 2);
+  DenseMatrix out;
 
   Stopwatch w1;
-  for (int r = 0; r < kReps; ++r) {
-    auto y = cm.MultiplyVector(v);
-    if (!y.ok()) std::exit(1);
+  for (int r = 0; r < reps; ++r) {
+    if (!cm.MultiplyVectorInto(v, &out).ok()) std::exit(1);
   }
-  double mv_comp = w1.ElapsedMillis() / kReps;
+  double mv_comp = w1.ElapsedMillis() / reps;
   Stopwatch w2;
-  for (int r = 0; r < kReps; ++r) la::Gemv(m, v);
-  double mv_dense = w2.ElapsedMillis() / kReps;
+  for (int r = 0; r < reps; ++r) la::Gemv(m, v);
+  double mv_dense = w2.ElapsedMillis() / reps;
 
   Stopwatch w3;
-  for (int r = 0; r < kReps; ++r) {
-    auto y = cm.VectorMultiply(u);
-    if (!y.ok()) std::exit(1);
+  for (int r = 0; r < reps; ++r) {
+    if (!cm.VectorMultiplyInto(u, &out).ok()) std::exit(1);
   }
-  double vm_comp = w3.ElapsedMillis() / kReps;
+  double vm_comp = w3.ElapsedMillis() / reps;
   Stopwatch w4;
-  for (int r = 0; r < kReps; ++r) la::Gevm(u, m);
-  double vm_dense = w4.ElapsedMillis() / kReps;
+  for (int r = 0; r < reps; ++r) la::Gevm(u, m);
+  double vm_dense = w4.ElapsedMillis() / reps;
 
   // Dominant format for display.
   std::map<std::string, int> counts;
@@ -70,37 +177,105 @@ void RunDataset(TablePrinter* table, const char* name, const la::DenseMatrix& m)
               Fmt(mv_dense, 2), Fmt(mv_comp, 2), Fmt(vm_dense, 2), Fmt(vm_comp, 2)});
 }
 
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Times `fn`, scaling repetitions to fill ~`min_seconds`, and returns ns/op.
+template <typename Fn>
+double TimeNsPerOp(double min_seconds, const Fn& fn) {
+  fn();  // Warm-up: faults pages, fills caches, sizes scratch buffers.
+  Clock::time_point t0 = Clock::now();
+  fn();
+  const double once = std::max(SecondsSince(t0), 1e-9);
+  const size_t reps =
+      std::max<size_t>(1, static_cast<size_t>(min_seconds / once));
+  t0 = Clock::now();
+  for (size_t r = 0; r < reps; ++r) fn();
+  return SecondsSince(t0) * 1e9 / static_cast<double>(reps);
+}
+
+// Compress + mv/vm/mm at 1/2/4/8 threads. threads=1 runs the serial path
+// (null pool), so bench_compare.sh tracks serial regressions too.
+void ThreadSweep(const char* name, const la::DenseMatrix& m, double min_seconds,
+                 BenchJsonEmitter* json) {
+  const size_t rows = m.rows(), cols = m.cols();
+  const size_t k = 8;
+  auto v = data::GaussianMatrix(cols, 1, 3);
+  auto u = data::GaussianMatrix(rows, 1, 4);
+  auto rhs = data::GaussianMatrix(cols, k, 5);
+  const double mv_flops = 2.0 * static_cast<double>(rows) * static_cast<double>(cols);
+  const double mm_flops = mv_flops * static_cast<double>(k);
+
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    std::unique_ptr<ThreadPool> owned;
+    ThreadPool* pool = nullptr;
+    if (threads > 1) {
+      owned = std::make_unique<ThreadPool>(threads);
+      pool = owned.get();
+    }
+
+    double ns = TimeNsPerOp(min_seconds, [&] {
+      auto cm = cla::CompressedMatrix::Compress(m, {}, pool);
+      if (cm.groups().empty()) g_failed = true;
+    });
+    json->Record("cla.compress", name, threads, ns, 0.0);
+
+    auto cm = cla::CompressedMatrix::Compress(m, {}, pool);
+    DenseMatrix out;
+    ns = TimeNsPerOp(min_seconds, [&] {
+      if (!cm.MultiplyVectorInto(v, &out, pool).ok()) g_failed = true;
+    });
+    json->Record("cla.mv", name, threads, ns, mv_flops / ns);
+    ns = TimeNsPerOp(min_seconds, [&] {
+      if (!cm.VectorMultiplyInto(u, &out, pool).ok()) g_failed = true;
+    });
+    json->Record("cla.vm", name, threads, ns, mv_flops / ns);
+    ns = TimeNsPerOp(min_seconds, [&] {
+      if (!cm.MultiplyMatrixInto(rhs, &out, pool).ok()) g_failed = true;
+    });
+    json->Record("cla.mm", name, threads, ns, mm_flops / ns);
+  }
+}
+
 }  // namespace
 
-int main() {
-  std::printf("E2: compressed linear algebra — ratio and op performance\n");
-  std::printf("n = %zu rows, %zu columns, %d-rep averages\n\n", kRows, kCols, kReps);
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const size_t rows = smoke ? 8000 : 50000;
+  const size_t cols = 10;
+  const int reps = smoke ? 5 : 30;
+  const double min_seconds = smoke ? 0.02 : 0.25;
+
+  std::printf("== cla parity (compressed vs dense, pooled vs serial) ==\n");
+  RunParitySuite(smoke ? 6000 : 20000);
+  std::printf("parity: %s\n", g_failed ? "FAIL" : "ok");
+
+  std::printf("\nE2: compressed linear algebra — ratio and op performance\n");
+  std::printf("n = %zu rows, %zu columns, %d-rep averages\n\n", rows, cols, reps);
 
   TablePrinter table({"dataset", "formats", "ratio", "comp_ms", "mv_dense",
                       "mv_comp", "vm_dense", "vm_comp"},
                      12);
   RunDataset(&table, "card4",
-             data::LowCardinalityMatrix(kRows, kCols, 4, false, 10));
+             data::LowCardinalityMatrix(rows, cols, 4, false, 10), reps);
   RunDataset(&table, "card64",
-             data::LowCardinalityMatrix(kRows, kCols, 64, false, 11));
+             data::LowCardinalityMatrix(rows, cols, 64, false, 11), reps);
   RunDataset(&table, "card1k",
-             data::LowCardinalityMatrix(kRows, kCols, 1024, false, 12));
+             data::LowCardinalityMatrix(rows, cols, 1024, false, 12), reps);
   RunDataset(&table, "card64k",
-             data::LowCardinalityMatrix(kRows, kCols, 65000, false, 16));
+             data::LowCardinalityMatrix(rows, cols, 65000, false, 16), reps);
   RunDataset(&table, "sorted8",
-             data::LowCardinalityMatrix(kRows, kCols, 8, true, 13));
+             data::LowCardinalityMatrix(rows, cols, 8, true, 13), reps);
   RunDataset(&table, "zipf1k",
-             data::SkewedCardinalityMatrix(kRows, kCols, 1000, 1.3, 14));
-  {
-    // 5% dense sparse data.
-    la::DenseMatrix m(kRows, kCols);
-    Rng rng(15);
-    for (size_t i = 0; i < m.size(); ++i) {
-      if (rng.Bernoulli(0.05)) m.data()[i] = rng.Normal();
-    }
-    RunDataset(&table, "sparse5pct", m);
-  }
-  RunDataset(&table, "gaussian", data::GaussianMatrix(kRows, kCols, 17));
+             data::SkewedCardinalityMatrix(rows, cols, 1000, 1.3, 14), reps);
+  RunDataset(&table, "sparse5pct", SparseMatrixData(rows, cols, 0.05, 15), reps);
+  RunDataset(&table, "gaussian", data::GaussianMatrix(rows, cols, 17), reps);
   table.EmitCsv("E2_cla");
 
   std::printf(
@@ -108,6 +283,24 @@ int main() {
       "sorted and sparse data with near- or better-than-dense op times;\n"
       "UC fallback and ratio <= 1.01 on Gaussian data; ratio decays toward 1\n"
       "as per-column cardinality grows.\n");
+
+  std::printf("\n== thread sweep (compress + mv/vm/mm at 1/2/4/8 threads) ==\n");
+  BenchJsonEmitter json;
+  ThreadSweep("card64",
+              data::LowCardinalityMatrix(rows, cols, 64, false, 11), min_seconds,
+              &json);
+  ThreadSweep("sorted8",
+              data::LowCardinalityMatrix(rows, cols, 8, true, 13), min_seconds,
+              &json);
+  ThreadSweep("sparse5pct", SparseMatrixData(rows, cols, 0.05, 15), min_seconds,
+              &json);
+  json.Emit("bench_cla");
   dmml::bench::EmitMetrics("cla");
+
+  if (g_failed) {
+    std::fprintf(stderr, "bench_cla: FAILURES DETECTED\n");
+    return 1;
+  }
+  std::printf("bench_cla: all checks passed\n");
   return 0;
 }

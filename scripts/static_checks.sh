@@ -4,10 +4,12 @@
 #  1. clang-tidy (config: .clang-tidy at the repo root) over every
 #     translation unit in src/, failing on any warning, so new findings
 #     cannot land silently.
-#  2. A Release-build kernel smoke: bench/bench_kernels --smoke runs the
-#     blocked-vs-reference parity suite plus a ~3 second throughput pass and
-#     exits nonzero on any NaN or parity mismatch — catching miscompiled or
-#     numerically broken kernels that an -O0 test run would miss.
+#  2. A Release-build smoke: bench/bench_kernels --smoke runs the
+#     blocked-vs-reference parity suite plus a ~3 second throughput pass, and
+#     bench/bench_cla --smoke checks compressed-vs-dense and pooled-vs-serial
+#     parity; both exit nonzero on any NaN or parity mismatch — catching
+#     miscompiled or numerically broken kernels that an -O0 test run would
+#     miss.
 #
 # Usage:
 #
@@ -53,20 +55,26 @@ else
 fi
 
 # ---------------------------------------------------------------------------
-# Release kernel smoke: parity + NaN scan at full optimization.
+# Release smoke: parity + NaN scan at full optimization.
 # ---------------------------------------------------------------------------
 smoke_dir="$repo_root/build-smoke"
-echo "static_checks: building bench_kernels (Release) in $smoke_dir..."
+echo "static_checks: building bench_kernels + bench_cla (Release) in $smoke_dir..."
 if cmake -B "$smoke_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null \
-    && cmake --build "$smoke_dir" --target bench_kernels -j >/dev/null; then
+    && cmake --build "$smoke_dir" --target bench_kernels --target bench_cla -j >/dev/null; then
   if "$smoke_dir/bench/bench_kernels" --smoke; then
     echo "static_checks: kernel smoke clean"
   else
     echo "static_checks: FAILED — bench_kernels smoke found parity/NaN errors" >&2
     status=1
   fi
+  if "$smoke_dir/bench/bench_cla" --smoke >/dev/null; then
+    echo "static_checks: cla smoke clean"
+  else
+    echo "static_checks: FAILED — bench_cla smoke found parity errors" >&2
+    status=1
+  fi
 else
-  echo "static_checks: FAILED — could not build bench_kernels" >&2
+  echo "static_checks: FAILED — could not build bench_kernels/bench_cla" >&2
   status=1
 fi
 

@@ -48,31 +48,89 @@ void CodeArray::Set(size_t i, uint32_t code) {
   }
 }
 
-void ColumnGroup::MultiplyMatrix(const la::DenseMatrix& m, la::DenseMatrix* y) const {
-  const size_t n = y->rows();
-  const size_t k = m.cols();
-  std::vector<double> v(m.rows());
-  std::vector<double> ycol(n);
-  for (size_t c = 0; c < k; ++c) {
-    for (size_t r = 0; r < m.rows(); ++r) v[r] = m.At(r, c);
-    std::fill(ycol.begin(), ycol.end(), 0.0);
-    MultiplyVector(v.data(), ycol.data(), n);
-    for (size_t i = 0; i < n; ++i) y->At(i, c) += ycol[i];
+void ColumnGroup::PreaggregateVector(const double* v, double* preagg) const {
+  const GroupDictionary* dict = dictionary();
+  if (dict == nullptr) return;
+  const size_t w = columns_.size();
+  const size_t entries = dict->num_entries();
+  for (size_t e = 0; e < entries; ++e) {
+    const double* entry = dict->Entry(e);
+    double acc = 0;
+    for (size_t j = 0; j < w; ++j) acc += entry[j] * v[columns_[j]];
+    preagg[e] = acc;
   }
 }
 
-void ColumnGroup::TransposeMultiplyMatrix(const la::DenseMatrix& m,
-                                          la::DenseMatrix* out) const {
-  const size_t n = m.rows();
+void ColumnGroup::PreaggregateMatrix(const la::DenseMatrix& m,
+                                     double* preagg) const {
+  const GroupDictionary* dict = dictionary();
+  if (dict == nullptr) return;
+  const size_t w = columns_.size();
   const size_t k = m.cols();
-  std::vector<double> u(n);
-  std::vector<double> row(out->rows());
-  for (size_t c = 0; c < k; ++c) {
-    for (size_t i = 0; i < n; ++i) u[i] = m.At(i, c);
-    std::fill(row.begin(), row.end(), 0.0);
-    VectorMultiply(u.data(), n, row.data());
-    for (size_t j = 0; j < out->rows(); ++j) out->At(j, c) += row[j];
+  const size_t entries = dict->num_entries();
+  std::fill(preagg, preagg + entries * k, 0.0);
+  for (size_t e = 0; e < entries; ++e) {
+    const double* entry = dict->Entry(e);
+    double* dst = preagg + e * k;
+    for (size_t j = 0; j < w; ++j) {
+      const double ej = entry[j];
+      if (ej == 0.0) continue;
+      const double* src = m.Row(columns_[j]);
+      for (size_t c = 0; c < k; ++c) dst[c] += ej * src[c];
+    }
   }
+}
+
+void ColumnGroup::PreaggregateSquaredNorms(double* preagg) const {
+  const GroupDictionary* dict = dictionary();
+  if (dict == nullptr) return;
+  const size_t w = columns_.size();
+  const size_t entries = dict->num_entries();
+  for (size_t e = 0; e < entries; ++e) {
+    const double* entry = dict->Entry(e);
+    double acc = 0;
+    for (size_t j = 0; j < w; ++j) acc += entry[j] * entry[j];
+    preagg[e] = acc;
+  }
+}
+
+namespace {
+// Fallback scratch for direct (non-pooled) group calls that pass a null
+// preagg. One buffer per kind per thread: within a thread the buffer is
+// consumed before the next group overwrites it, and pool workers each see
+// their own copy, so sharing is race-free.
+thread_local std::vector<double> t_vector_preagg;
+thread_local std::vector<double> t_matrix_preagg;
+thread_local std::vector<double> t_sqnorm_preagg;
+}  // namespace
+
+const double* ColumnGroup::EnsureVectorPreagg(const double* v,
+                                              const double* preagg) const {
+  if (preagg != nullptr) return preagg;
+  const size_t entries = DictionarySize();
+  if (entries == 0) return nullptr;
+  if (t_vector_preagg.size() < entries) t_vector_preagg.resize(entries);
+  PreaggregateVector(v, t_vector_preagg.data());
+  return t_vector_preagg.data();
+}
+
+const double* ColumnGroup::EnsureMatrixPreagg(const la::DenseMatrix& m,
+                                              const double* preagg) const {
+  if (preagg != nullptr) return preagg;
+  const size_t need = DictionarySize() * m.cols();
+  if (need == 0) return nullptr;
+  if (t_matrix_preagg.size() < need) t_matrix_preagg.resize(need);
+  PreaggregateMatrix(m, t_matrix_preagg.data());
+  return t_matrix_preagg.data();
+}
+
+const double* ColumnGroup::EnsureSquaredNormPreagg(const double* preagg) const {
+  if (preagg != nullptr) return preagg;
+  const size_t entries = DictionarySize();
+  if (entries == 0) return nullptr;
+  if (t_sqnorm_preagg.size() < entries) t_sqnorm_preagg.resize(entries);
+  PreaggregateSquaredNorms(t_sqnorm_preagg.data());
+  return t_sqnorm_preagg.data();
 }
 
 void BuildDictionary(const la::DenseMatrix& m, const std::vector<uint32_t>& columns,

@@ -13,7 +13,7 @@ using ml::GlmFamily;
 using ml::GlmModel;
 
 Result<GlmModel> TrainCompressedGlm(const CompressedMatrix& x, const DenseMatrix& y,
-                                    const GlmConfig& config) {
+                                    const GlmConfig& config, ThreadPool* pool) {
   const size_t n = x.rows(), d = x.cols();
   if (n == 0 || d == 0) return Status::InvalidArgument("compressed GLM: empty data");
   if (y.rows() != n || y.cols() != 1) {
@@ -37,8 +37,13 @@ Result<GlmModel> TrainCompressedGlm(const CompressedMatrix& x, const DenseMatrix
   const double inv_n = 1.0 / static_cast<double>(n);
   double prev_loss = std::numeric_limits<double>::infinity();
 
+  // Hoisted op outputs: after the first epoch sizes them, every further
+  // epoch reuses their storage (observable via cla.inplace.allocs).
+  DenseMatrix scores;
+  DenseMatrix grad;
+
   for (size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
-    DMML_ASSIGN_OR_RETURN(DenseMatrix scores, x.MultiplyVector(model.weights));
+    DMML_RETURN_IF_ERROR(x.MultiplyVectorInto(model.weights, &scores, pool));
     double loss = 0;
     double bias_grad = 0;
     for (size_t i = 0; i < n; ++i) {
@@ -65,7 +70,7 @@ Result<GlmModel> TrainCompressedGlm(const CompressedMatrix& x, const DenseMatrix
       loss += 0.5 * config.l2 * w2;
     }
 
-    DMML_ASSIGN_OR_RETURN(DenseMatrix grad, x.VectorMultiply(scores));  // 1 x d.
+    DMML_RETURN_IF_ERROR(x.VectorMultiplyInto(scores, &grad, pool));  // 1 x d.
     double lr =
         config.learning_rate / (1.0 + config.lr_decay * static_cast<double>(epoch));
     for (size_t j = 0; j < d; ++j) {

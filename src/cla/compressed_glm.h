@@ -12,10 +12,13 @@ namespace dmml::cla {
 
 /// \brief Batch-gradient GLM training where every X·w and Xᵀ·g runs on the
 /// compressed representation. Produces results identical (to fp reordering)
-/// to the dense matrix-form trainer.
+/// to the dense matrix-form trainer. The epoch loop uses the `...Into`
+/// compressed kernels with hoisted buffers, so steady-state training
+/// allocates no matrices; a pool parallelizes every compressed op.
 Result<ml::GlmModel> TrainCompressedGlm(const CompressedMatrix& x,
                                         const la::DenseMatrix& y,
-                                        const ml::GlmConfig& config);
+                                        const ml::GlmConfig& config,
+                                        ThreadPool* pool = nullptr);
 
 }  // namespace dmml::cla
 

@@ -14,7 +14,8 @@ using ml::KMeansConfig;
 using ml::KMeansModel;
 
 Result<KMeansModel> TrainCompressedKMeans(const CompressedMatrix& x,
-                                          const KMeansConfig& config) {
+                                          const KMeansConfig& config,
+                                          ThreadPool* pool) {
   const size_t n = x.rows(), d = x.cols(), k = config.k;
   if (k == 0 || k > n) return Status::InvalidArgument("k must be in [1, n]");
 
@@ -28,15 +29,18 @@ Result<KMeansModel> TrainCompressedKMeans(const CompressedMatrix& x,
     for (size_t c = 0; c < k; ++c) {
       onehots.At(rng.UniformInt(static_cast<uint64_t>(n)), c) = 1.0;
     }
-    DMML_ASSIGN_OR_RETURN(DenseMatrix cols, x.TransposeMultiplyMatrix(onehots));
+    DMML_ASSIGN_OR_RETURN(DenseMatrix cols, x.TransposeMultiplyMatrix(onehots, pool));
     model.centers = la::Transpose(cols);  // k x d.
   }
   model.labels.assign(n, 0);
 
-  DenseMatrix row_norms = x.RowSquaredNorms();
+  DenseMatrix row_norms = x.RowSquaredNorms(pool);
 
-  // Per-iteration scratch, hoisted so the loop reuses its allocations.
+  // Per-iteration scratch, hoisted so the loop reuses its allocations — the
+  // compressed ops below all write Into these buffers.
   DenseMatrix ct;
+  DenseMatrix cross;
+  DenseMatrix sums;
   DenseMatrix assign(n, k);
   std::vector<double> center_norms(k);
   std::vector<size_t> counts(k);
@@ -44,7 +48,7 @@ Result<KMeansModel> TrainCompressedKMeans(const CompressedMatrix& x,
   double prev_inertia = std::numeric_limits<double>::infinity();
   for (size_t iter = 0; iter < config.max_iters; ++iter) {
     la::TransposeInto(model.centers, &ct);  // d x k.
-    DMML_ASSIGN_OR_RETURN(DenseMatrix cross, x.MultiplyMatrix(ct));
+    DMML_RETURN_IF_ERROR(x.MultiplyMatrixInto(ct, &cross, pool));
 
     for (size_t c = 0; c < k; ++c) {
       center_norms[c] = la::Dot(model.centers.Row(c), model.centers.Row(c), d);
@@ -71,7 +75,7 @@ Result<KMeansModel> TrainCompressedKMeans(const CompressedMatrix& x,
       assign.At(i, static_cast<size_t>(model.labels[i])) = 1.0;
       counts[static_cast<size_t>(model.labels[i])]++;
     }
-    DMML_ASSIGN_OR_RETURN(DenseMatrix sums, x.TransposeMultiplyMatrix(assign));
+    DMML_RETURN_IF_ERROR(x.TransposeMultiplyMatrixInto(assign, &sums, pool));
     for (size_t c = 0; c < k; ++c) {
       if (counts[c] == 0) continue;  // Keep the stale center.
       double inv = 1.0 / static_cast<double>(counts[c]);

@@ -16,8 +16,12 @@ namespace dmml::cla {
 
 /// \brief Runs Lloyd's k-means on the logical content of `x` using only
 /// compressed operators. Initial centers are decompressed sample rows.
+/// The iteration loop uses the `...Into` compressed kernels with hoisted
+/// buffers (zero steady-state allocations); a pool parallelizes every
+/// compressed op.
 Result<ml::KMeansModel> TrainCompressedKMeans(const CompressedMatrix& x,
-                                              const ml::KMeansConfig& config);
+                                              const ml::KMeansConfig& config,
+                                              ThreadPool* pool = nullptr);
 
 }  // namespace dmml::cla
 

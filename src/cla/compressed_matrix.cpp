@@ -105,6 +105,71 @@ ColumnStats CompressedMatrix::AnalyzeColumnSampled(const DenseMatrix& dense,
 
 namespace {
 
+// Rows per chunk for the row-partitioned ops: small enough to load-balance
+// skewed group costs, large enough that pool dispatch stays negligible.
+constexpr size_t kRowGrain = 2048;
+
+// Sentinel offset for groups without a dictionary (UC, empty OLE).
+constexpr size_t kNoPreagg = static_cast<size_t>(-1);
+
+// Per-op scratch, reused across calls on the calling thread: the hoisted
+// dictionary pre-aggregation buffer (one slice per group) and the flat
+// per-chunk partial buffers for the reduction ops. Workers only read preaggs
+// and write disjoint partial slices, so sharing via raw pointer is race-free.
+struct OpScratch {
+  std::vector<double> preagg;
+  std::vector<size_t> preagg_off;
+  std::vector<double> partials;
+};
+thread_local OpScratch t_scratch;
+
+using GroupVec = std::vector<std::unique_ptr<ColumnGroup>>;
+
+// Lays out one preagg slice per dictionary-bearing group (entry count scaled
+// by `per_entry`) and fills them, fanning per-group computation on the pool.
+// Returns the buffer base; offsets land in t_scratch.preagg_off.
+const double* ComputePreaggs(const GroupVec& groups, size_t per_entry,
+                             ThreadPool* pool,
+                             const std::function<void(const ColumnGroup&, double*)>& fill) {
+  auto& s = t_scratch;
+  s.preagg_off.assign(groups.size(), kNoPreagg);
+  size_t total = 0;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const size_t entries = groups[g]->DictionarySize();
+    if (entries == 0) continue;
+    s.preagg_off[g] = total;
+    total += entries * per_entry;
+  }
+  if (s.preagg.size() < total) s.preagg.resize(total);
+  double* base = s.preagg.data();
+  ParallelFor(pool, groups.size(), [&](size_t begin, size_t end) {
+    for (size_t g = begin; g < end; ++g) {
+      if (s.preagg_off[g] != kNoPreagg) fill(*groups[g], base + s.preagg_off[g]);
+    }
+  });
+  return base;
+}
+
+double* PartialBuffer(size_t need) {
+  auto& s = t_scratch;
+  if (s.partials.size() < need) s.partials.resize(need);
+  return s.partials.data();
+}
+
+// Reshapes `out`, counting buffer reuse the same way la::EnsureOut does for
+// the dense kernels.
+void EnsureClaOut(DenseMatrix* out, size_t rows, size_t cols) {
+  if (out->Reshape(rows, cols)) {
+    DMML_COUNTER_INC("cla.inplace.reuses");
+  } else {
+    DMML_COUNTER_INC("cla.inplace.allocs");
+  }
+}
+
+void CountRangedCalls(size_t chunks, size_t num_groups) {
+  if (chunks > 1) DMML_COUNTER_ADD("cla.ops.ranged_calls", chunks * num_groups);
+}
+
 GroupFormat BestFormat(const ColumnStats& stats, double min_gain, size_t* best_size) {
   GroupFormat fmt = GroupFormat::kUncompressed;
   size_t best = stats.uc_size;
@@ -151,10 +216,6 @@ size_t JointCardinality(const DenseMatrix& dense, uint32_t a, uint32_t b) {
   return distinct.size();
 }
 
-}  // namespace
-
-namespace {
-
 // Records planner outcomes: how many columns landed in each encoding, how
 // many groups were co-coded, and the achieved compression ratio.
 void RecordCompressionMetrics(const CompressedMatrix& cm) {
@@ -176,7 +237,8 @@ void RecordCompressionMetrics(const CompressedMatrix& cm) {
 }  // namespace
 
 CompressedMatrix CompressedMatrix::Compress(const DenseMatrix& dense,
-                                            const CompressionOptions& options) {
+                                            const CompressionOptions& options,
+                                            ThreadPool* pool) {
   DMML_TRACE_SPAN("cla.compress");
   CompressedMatrix cm;
   cm.rows_ = dense.rows();
@@ -189,19 +251,32 @@ CompressedMatrix CompressedMatrix::Compress(const DenseMatrix& dense,
     size_t cardinality;
     bool merged = false;
   };
-  std::vector<Plan> plans;
-  plans.reserve(dense.cols());
-  for (size_t c = 0; c < dense.cols(); ++c) {
-    ColumnStats stats = options.sample_rows > 0
-                            ? AnalyzeColumnSampled(dense, c, options.sample_rows)
-                            : AnalyzeColumn(dense, c);
-    size_t best_size = 0;
-    GroupFormat fmt = BestFormat(stats, options.min_compression_gain, &best_size);
-    plans.push_back({static_cast<uint32_t>(c), fmt, best_size, stats.cardinality});
+
+  // Phase 1 — per-column analysis, one independent O(n) pass per column.
+  std::vector<Plan> plans(dense.cols());
+  const size_t analyze_chunks = ParallelChunkCount(pool, dense.cols(), 1);
+  ParallelForChunks(pool, dense.cols(), 1,
+                    [&](size_t, size_t begin, size_t end) {
+    for (size_t c = begin; c < end; ++c) {
+      ColumnStats stats = options.sample_rows > 0
+                              ? AnalyzeColumnSampled(dense, c, options.sample_rows)
+                              : AnalyzeColumn(dense, c);
+      size_t best_size = 0;
+      GroupFormat fmt = BestFormat(stats, options.min_compression_gain, &best_size);
+      plans[c] = {static_cast<uint32_t>(c), fmt, best_size, stats.cardinality};
+    }
+  });
+  DMML_COUNTER_ADD("cla.compress.columns_analyzed", dense.cols());
+  if (analyze_chunks > 1) {
+    DMML_COUNTER_ADD("cla.compress.parallel_tasks", analyze_chunks);
   }
 
-  // Greedy pairwise co-coding among DDC-compressible columns with small
-  // dictionaries: merge when the joint DDC size undercuts the separate plans.
+  // Phase 2 — greedy pairwise co-coding among DDC-compressible columns with
+  // small dictionaries: merge when the joint DDC size undercuts the separate
+  // plans. Pair scoring (exact joint cardinality, O(n) each) fans out per
+  // candidate; picking the first qualifying partner in candidate order keeps
+  // the outcome identical to the sequential greedy scan.
+  std::vector<std::pair<uint32_t, uint32_t>> merges;
   if (options.enable_cocoding) {
     std::vector<size_t> candidates;
     for (size_t p = 0; p < plans.size(); ++p) {
@@ -211,30 +286,70 @@ CompressedMatrix CompressedMatrix::Compress(const DenseMatrix& dense,
               [&](size_t a, size_t b) {
                 return plans[a].cardinality < plans[b].cardinality;
               });
+    std::vector<size_t> pending;
+    std::vector<char> qualifies;
     for (size_t k = 0; k + 1 < candidates.size(); k += 1) {
       size_t pa = candidates[k];
       if (plans[pa].merged) continue;
+      pending.clear();
       for (size_t l = k + 1; l < candidates.size(); ++l) {
-        size_t pb = candidates[l];
-        if (plans[pb].merged) continue;
-        size_t joint_card = JointCardinality(dense, plans[pa].col, plans[pb].col);
-        size_t joint_size = DdcGroup::EstimateSize(dense.rows(), joint_card, 2);
-        if (static_cast<double>(joint_size) <=
-            options.cocode_threshold *
-                static_cast<double>(plans[pa].size + plans[pb].size)) {
-          cm.groups_.push_back(BuildGroup(dense, {plans[pa].col, plans[pb].col},
-                                          GroupFormat::kDdc));
-          plans[pa].merged = plans[pb].merged = true;
-          break;
+        if (!plans[candidates[l]].merged) pending.push_back(candidates[l]);
+      }
+      if (pending.empty()) continue;
+      qualifies.assign(pending.size(), 0);
+      const size_t score_chunks = ParallelChunkCount(pool, pending.size(), 1);
+      ParallelForChunks(pool, pending.size(), 1,
+                        [&](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          size_t pb = pending[i];
+          size_t joint_card = JointCardinality(dense, plans[pa].col, plans[pb].col);
+          size_t joint_size = DdcGroup::EstimateSize(dense.rows(), joint_card, 2);
+          qualifies[i] = static_cast<double>(joint_size) <=
+                         options.cocode_threshold *
+                             static_cast<double>(plans[pa].size + plans[pb].size);
         }
+      });
+      if (score_chunks > 1) {
+        DMML_COUNTER_ADD("cla.compress.parallel_tasks", score_chunks);
+      }
+      for (size_t i = 0; i < pending.size(); ++i) {
+        if (!qualifies[i]) continue;
+        size_t pb = pending[i];
+        merges.emplace_back(plans[pa].col, plans[pb].col);
+        plans[pa].merged = plans[pb].merged = true;
+        break;
       }
     }
   }
 
+  // Phase 3 — encode groups in a deterministic order (co-coded pairs in merge
+  // order, then unmerged singles by column), each into its own slot.
+  struct GroupSpec {
+    std::vector<uint32_t> cols;
+    GroupFormat fmt;
+  };
+  std::vector<GroupSpec> specs;
+  specs.reserve(merges.size() + plans.size());
+  for (const auto& [a, b] : merges) {
+    specs.push_back({{a, b}, GroupFormat::kDdc});
+  }
   for (const Plan& plan : plans) {
     if (plan.merged) continue;
-    cm.groups_.push_back(BuildGroup(dense, {plan.col}, plan.fmt));
+    specs.push_back({{plan.col}, plan.fmt});
   }
+  cm.groups_.resize(specs.size());
+  const size_t encode_chunks = ParallelChunkCount(pool, specs.size(), 1);
+  ParallelForChunks(pool, specs.size(), 1,
+                    [&](size_t, size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      cm.groups_[s] = BuildGroup(dense, specs[s].cols, specs[s].fmt);
+    }
+  });
+  DMML_COUNTER_ADD("cla.compress.groups_encoded", specs.size());
+  if (encode_chunks > 1) {
+    DMML_COUNTER_ADD("cla.compress.parallel_tasks", encode_chunks);
+  }
+
   RecordCompressionMetrics(cm);
   return cm;
 }
@@ -253,64 +368,216 @@ double CompressedMatrix::CompressionRatio() const {
                     : 0.0;
 }
 
-Result<DenseMatrix> CompressedMatrix::MultiplyVector(const DenseMatrix& v) const {
+Status CompressedMatrix::MultiplyVectorInto(const DenseMatrix& v,
+                                            DenseMatrix* out,
+                                            ThreadPool* pool) const {
   if (v.rows() != cols_ || v.cols() != 1) {
     return Status::InvalidArgument("MultiplyVector expects a (cols x 1) vector");
   }
   DMML_TRACE_SPAN("cla.matvec");
   DMML_COUNTER_INC("cla.matvec_calls");
-  DenseMatrix y(rows_, 1);
-  for (const auto& g : groups_) g->MultiplyVector(v.data(), y.data(), rows_);
-  return y;
+  EnsureClaOut(out, rows_, 1);
+  const double* vd = v.data();
+  double* y = out->data();
+  const double* pre = ComputePreaggs(
+      groups_, 1, pool,
+      [&](const ColumnGroup& g, double* dst) { g.PreaggregateVector(vd, dst); });
+  const auto& off = t_scratch.preagg_off;
+  const size_t chunks = ParallelChunkCount(pool, rows_, kRowGrain);
+  ParallelForChunks(pool, rows_, kRowGrain,
+                    [&](size_t, size_t begin, size_t end) {
+    std::fill(y + begin, y + end, 0.0);
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      groups_[g]->MultiplyVectorRange(
+          vd, off[g] == kNoPreagg ? nullptr : pre + off[g], y, begin, end);
+    }
+  });
+  CountRangedCalls(chunks, groups_.size());
+  return Status::OK();
 }
 
-Result<DenseMatrix> CompressedMatrix::VectorMultiply(const DenseMatrix& u) const {
+Status CompressedMatrix::VectorMultiplyInto(const DenseMatrix& u,
+                                            DenseMatrix* out,
+                                            ThreadPool* pool) const {
   if (u.rows() != rows_ || u.cols() != 1) {
     return Status::InvalidArgument("VectorMultiply expects a (rows x 1) vector");
   }
-  DenseMatrix y(1, cols_);
-  for (const auto& g : groups_) g->VectorMultiply(u.data(), rows_, y.data());
-  return y;
+  EnsureClaOut(out, 1, cols_);
+  const double* ud = u.data();
+  double* y = out->data();
+  const size_t chunks = ParallelChunkCount(pool, rows_, kRowGrain);
+  if (chunks <= 1) {
+    std::fill(y, y + cols_, 0.0);
+    for (const auto& g : groups_) g->VectorMultiplyRange(ud, y, 0, rows_);
+    return Status::OK();
+  }
+  // Per-chunk private partial rows, reduced serially — no atomics.
+  double* partials = PartialBuffer(chunks * cols_);
+  ParallelForChunks(pool, rows_, kRowGrain,
+                    [&](size_t chunk, size_t begin, size_t end) {
+    double* p = partials + chunk * cols_;
+    std::fill(p, p + cols_, 0.0);
+    for (const auto& g : groups_) g->VectorMultiplyRange(ud, p, begin, end);
+  });
+  std::fill(y, y + cols_, 0.0);
+  for (size_t c = 0; c < chunks; ++c) {
+    const double* p = partials + c * cols_;
+    for (size_t j = 0; j < cols_; ++j) y[j] += p[j];
+  }
+  DMML_COUNTER_INC("cla.ops.partial_reductions");
+  CountRangedCalls(chunks, groups_.size());
+  return Status::OK();
 }
 
-Result<DenseMatrix> CompressedMatrix::MultiplyMatrix(const DenseMatrix& m) const {
+Status CompressedMatrix::MultiplyMatrixInto(const DenseMatrix& m,
+                                            DenseMatrix* out,
+                                            ThreadPool* pool) const {
   if (m.rows() != cols_) {
     return Status::InvalidArgument("MultiplyMatrix expects a (cols x k) matrix");
   }
-  DenseMatrix y(rows_, m.cols());
-  for (const auto& g : groups_) g->MultiplyMatrix(m, &y);
+  const size_t k = m.cols();
+  EnsureClaOut(out, rows_, k);
+  const double* pre = ComputePreaggs(
+      groups_, k, pool,
+      [&](const ColumnGroup& g, double* dst) { g.PreaggregateMatrix(m, dst); });
+  const auto& off = t_scratch.preagg_off;
+  const size_t chunks = ParallelChunkCount(pool, rows_, kRowGrain);
+  ParallelForChunks(pool, rows_, kRowGrain,
+                    [&](size_t, size_t begin, size_t end) {
+    std::fill(out->Row(begin), out->Row(begin) + (end - begin) * k, 0.0);
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      groups_[g]->MultiplyMatrixRange(
+          m, off[g] == kNoPreagg ? nullptr : pre + off[g], out, begin, end);
+    }
+  });
+  CountRangedCalls(chunks, groups_.size());
+  return Status::OK();
+}
+
+Status CompressedMatrix::TransposeMultiplyMatrixInto(const DenseMatrix& m,
+                                                     DenseMatrix* out,
+                                                     ThreadPool* pool) const {
+  if (m.rows() != rows_) {
+    return Status::InvalidArgument("TransposeMultiplyMatrix expects a (rows x k) matrix");
+  }
+  const size_t k = m.cols();
+  EnsureClaOut(out, cols_, k);
+  double* y = out->data();
+  const size_t chunks = ParallelChunkCount(pool, rows_, kRowGrain);
+  if (chunks <= 1) {
+    std::fill(y, y + cols_ * k, 0.0);
+    for (const auto& g : groups_) g->TransposeMultiplyMatrixRange(m, y, 0, rows_);
+    return Status::OK();
+  }
+  // Per-chunk private (cols x k) partials, reduced serially — no atomics.
+  double* partials = PartialBuffer(chunks * cols_ * k);
+  ParallelForChunks(pool, rows_, kRowGrain,
+                    [&](size_t chunk, size_t begin, size_t end) {
+    double* p = partials + chunk * cols_ * k;
+    std::fill(p, p + cols_ * k, 0.0);
+    for (const auto& g : groups_) g->TransposeMultiplyMatrixRange(m, p, begin, end);
+  });
+  std::fill(y, y + cols_ * k, 0.0);
+  for (size_t c = 0; c < chunks; ++c) {
+    const double* p = partials + c * cols_ * k;
+    for (size_t j = 0; j < cols_ * k; ++j) y[j] += p[j];
+  }
+  DMML_COUNTER_INC("cla.ops.partial_reductions");
+  CountRangedCalls(chunks, groups_.size());
+  return Status::OK();
+}
+
+Status CompressedMatrix::RowSquaredNormsInto(DenseMatrix* out,
+                                             ThreadPool* pool) const {
+  EnsureClaOut(out, rows_, 1);
+  double* y = out->data();
+  const double* pre = ComputePreaggs(
+      groups_, 1, pool,
+      [&](const ColumnGroup& g, double* dst) { g.PreaggregateSquaredNorms(dst); });
+  const auto& off = t_scratch.preagg_off;
+  const size_t chunks = ParallelChunkCount(pool, rows_, kRowGrain);
+  ParallelForChunks(pool, rows_, kRowGrain,
+                    [&](size_t, size_t begin, size_t end) {
+    std::fill(y + begin, y + end, 0.0);
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      groups_[g]->AddRowSquaredNormsRange(
+          off[g] == kNoPreagg ? nullptr : pre + off[g], y, begin, end);
+    }
+  });
+  CountRangedCalls(chunks, groups_.size());
+  return Status::OK();
+}
+
+Result<DenseMatrix> CompressedMatrix::MultiplyVector(const DenseMatrix& v,
+                                                     ThreadPool* pool) const {
+  DenseMatrix y;
+  DMML_RETURN_IF_ERROR(MultiplyVectorInto(v, &y, pool));
+  return y;
+}
+
+Result<DenseMatrix> CompressedMatrix::VectorMultiply(const DenseMatrix& u,
+                                                     ThreadPool* pool) const {
+  DenseMatrix y;
+  DMML_RETURN_IF_ERROR(VectorMultiplyInto(u, &y, pool));
+  return y;
+}
+
+Result<DenseMatrix> CompressedMatrix::MultiplyMatrix(const DenseMatrix& m,
+                                                     ThreadPool* pool) const {
+  DenseMatrix y;
+  DMML_RETURN_IF_ERROR(MultiplyMatrixInto(m, &y, pool));
   return y;
 }
 
 Result<DenseMatrix> CompressedMatrix::TransposeMultiplyMatrix(
-    const DenseMatrix& m) const {
-  if (m.rows() != rows_) {
-    return Status::InvalidArgument("TransposeMultiplyMatrix expects a (rows x k) matrix");
-  }
-  DenseMatrix y(cols_, m.cols());
-  for (const auto& g : groups_) g->TransposeMultiplyMatrix(m, &y);
+    const DenseMatrix& m, ThreadPool* pool) const {
+  DenseMatrix y;
+  DMML_RETURN_IF_ERROR(TransposeMultiplyMatrixInto(m, &y, pool));
   return y;
 }
 
-DenseMatrix CompressedMatrix::RowSquaredNorms() const {
-  DenseMatrix out(rows_, 1);
-  for (const auto& g : groups_) g->AddRowSquaredNorms(out.data(), rows_);
+DenseMatrix CompressedMatrix::RowSquaredNorms(ThreadPool* pool) const {
+  DenseMatrix out;
+  (void)RowSquaredNormsInto(&out, pool);  // Cannot fail: no operand shapes.
   return out;
 }
 
-double CompressedMatrix::Sum() const {
+double CompressedMatrix::Sum(ThreadPool* pool) const {
+  const size_t chunks = ParallelChunkCount(pool, rows_, kRowGrain);
+  if (chunks <= 1) {
+    double acc = 0;
+    for (const auto& g : groups_) acc += g->SumRange(0, rows_);
+    return acc;
+  }
+  double* partials = PartialBuffer(chunks);
+  ParallelForChunks(pool, rows_, kRowGrain,
+                    [&](size_t chunk, size_t begin, size_t end) {
+    double acc = 0;
+    for (const auto& g : groups_) acc += g->SumRange(begin, end);
+    partials[chunk] = acc;
+  });
   double acc = 0;
-  for (const auto& g : groups_) acc += g->Sum();
+  for (size_t c = 0; c < chunks; ++c) acc += partials[c];
+  DMML_COUNTER_INC("cla.ops.partial_reductions");
+  CountRangedCalls(chunks, groups_.size());
   return acc;
 }
 
-DenseMatrix CompressedMatrix::Decompress() const {
+DenseMatrix CompressedMatrix::Decompress(ThreadPool* pool) const {
   // Falling back to the dense form forfeits the compressed-ops win; worth
   // watching in production workloads.
   DMML_COUNTER_INC("cla.decompress_fallback");
   DMML_TRACE_SPAN("cla.decompress");
   DenseMatrix out(rows_, cols_);
-  for (const auto& g : groups_) g->Decompress(&out);
+  const size_t chunks = ParallelChunkCount(pool, rows_, kRowGrain);
+  ParallelForChunks(pool, rows_, kRowGrain,
+                    [&](size_t, size_t begin, size_t end) {
+    // Zero-suppressed encodings only scatter non-zero rows, so clear the
+    // slice first (fresh matrices are already zero; reused ones may not be).
+    std::fill(out.Row(begin), out.Row(begin) + (end - begin) * cols_, 0.0);
+    for (const auto& g : groups_) g->DecompressRange(&out, begin, end);
+  });
+  CountRangedCalls(chunks, groups_.size());
   return out;
 }
 

@@ -1,5 +1,13 @@
 /// \file compressed_matrix.h
 /// \brief Column-compressed matrix with a size-based compression planner.
+///
+/// Compression and every op accept an optional `ThreadPool*`: analysis and
+/// group encoding fan out per column / per group, and ops partition the row
+/// space into chunks that run the groups' ranged kernels. Accumulating ops
+/// reduce per-chunk private partials without atomics — the same flat-buffer
+/// strategy as la::kernels. `...Into` variants reuse caller buffers so
+/// steady-state training loops allocate nothing (tracked by the
+/// `cla.inplace.{reuses,allocs}` counters).
 #ifndef DMML_CLA_COMPRESSED_MATRIX_H_
 #define DMML_CLA_COMPRESSED_MATRIX_H_
 
@@ -10,6 +18,7 @@
 #include "cla/column_group.h"
 #include "la/dense_matrix.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace dmml::cla {
 
@@ -46,9 +55,12 @@ class CompressedMatrix {
  public:
   /// \brief Compresses `dense` according to `options` (exact, single-pass
   /// statistics; the sampling estimators of the original CLA system are
-  /// unnecessary at single-node scale).
+  /// unnecessary at single-node scale). With a pool, column analysis,
+  /// co-coding pair scoring and group encoding run in parallel; the resulting
+  /// plan and group order are identical to the serial ones.
   static CompressedMatrix Compress(const la::DenseMatrix& dense,
-                                   const CompressionOptions& options = {});
+                                   const CompressionOptions& options = {},
+                                   ThreadPool* pool = nullptr);
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
@@ -61,27 +73,61 @@ class CompressedMatrix {
   /// \brief Dense footprint (rows*cols*8) over SizeInBytes().
   double CompressionRatio() const;
 
+  // ---------------------------------------------------------------------
+  // Allocation-free ops: `out` is reshaped in place (reuse counted in
+  // cla.inplace.reuses / allocs) and fully overwritten.
+  // ---------------------------------------------------------------------
+
+  /// \brief out = X · v for v of shape (cols x 1); out becomes (rows x 1).
+  Status MultiplyVectorInto(const la::DenseMatrix& v, la::DenseMatrix* out,
+                            ThreadPool* pool = nullptr) const;
+
+  /// \brief out = uᵀ · X for u of shape (rows x 1); out becomes (1 x cols).
+  Status VectorMultiplyInto(const la::DenseMatrix& u, la::DenseMatrix* out,
+                            ThreadPool* pool = nullptr) const;
+
+  /// \brief out = X · M for M of shape (cols x k); out becomes (rows x k).
+  Status MultiplyMatrixInto(const la::DenseMatrix& m, la::DenseMatrix* out,
+                            ThreadPool* pool = nullptr) const;
+
+  /// \brief out = Xᵀ · M for M of shape (rows x k); out becomes (cols x k).
+  Status TransposeMultiplyMatrixInto(const la::DenseMatrix& m,
+                                     la::DenseMatrix* out,
+                                     ThreadPool* pool = nullptr) const;
+
+  /// \brief out = per-row sums of squared entries; out becomes (rows x 1).
+  Status RowSquaredNormsInto(la::DenseMatrix* out,
+                             ThreadPool* pool = nullptr) const;
+
+  // ---------------------------------------------------------------------
+  // Allocating convenience forms (forward to the Into variants).
+  // ---------------------------------------------------------------------
+
   /// \brief y = X · v for v of shape (cols x 1).
-  Result<la::DenseMatrix> MultiplyVector(const la::DenseMatrix& v) const;
+  Result<la::DenseMatrix> MultiplyVector(const la::DenseMatrix& v,
+                                         ThreadPool* pool = nullptr) const;
 
   /// \brief yᵀ = uᵀ · X for u of shape (rows x 1); returns (1 x cols).
-  Result<la::DenseMatrix> VectorMultiply(const la::DenseMatrix& u) const;
+  Result<la::DenseMatrix> VectorMultiply(const la::DenseMatrix& u,
+                                         ThreadPool* pool = nullptr) const;
 
   /// \brief Y = X · M for M of shape (cols x k); returns (rows x k).
-  Result<la::DenseMatrix> MultiplyMatrix(const la::DenseMatrix& m) const;
+  Result<la::DenseMatrix> MultiplyMatrix(const la::DenseMatrix& m,
+                                         ThreadPool* pool = nullptr) const;
 
   /// \brief Y = Xᵀ · M for M of shape (rows x k); returns (cols x k).
-  Result<la::DenseMatrix> TransposeMultiplyMatrix(const la::DenseMatrix& m) const;
+  Result<la::DenseMatrix> TransposeMultiplyMatrix(
+      const la::DenseMatrix& m, ThreadPool* pool = nullptr) const;
 
   /// \brief Per-row sums of squared entries (rows x 1), computed on the
   /// compressed data via per-dictionary-entry squared norms.
-  la::DenseMatrix RowSquaredNorms() const;
+  la::DenseMatrix RowSquaredNorms(ThreadPool* pool = nullptr) const;
 
   /// \brief Sum of all matrix elements.
-  double Sum() const;
+  double Sum(ThreadPool* pool = nullptr) const;
 
   /// \brief Reconstructs the dense matrix.
-  la::DenseMatrix Decompress() const;
+  la::DenseMatrix Decompress(ThreadPool* pool = nullptr) const;
 
   /// \brief Per-group "[cols...]:FORMAT(bytes)" summary, for diagnostics.
   std::string FormatSummary() const;

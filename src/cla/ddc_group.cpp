@@ -1,9 +1,24 @@
 #include "cla/ddc_group.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace dmml::cla {
 
+namespace {
+// Per-worker scratch for the code-grouped accumulation paths. Each pool
+// worker (or the calling thread) owns its copy; a buffer is always consumed
+// before the next ranged call overwrites it.
+thread_local std::vector<double> t_code_acc;
+
+double* CodeScratch(size_t need) {
+  if (t_code_acc.size() < need) t_code_acc.resize(need);
+  return t_code_acc.data();
+}
+}  // namespace
+
 DdcGroup::DdcGroup(const la::DenseMatrix& m, std::vector<uint32_t> columns)
-    : ColumnGroup(std::move(columns)), n_(m.rows()) {
+    : ColumnGroup(std::move(columns), m.rows()) {
   std::vector<uint32_t> raw_codes;
   BuildDictionary(m, columns_, &dict_, &raw_codes);
   codes_ = CodeArray(n_, dict_.num_entries());
@@ -21,110 +36,149 @@ size_t DdcGroup::EstimateSize(size_t n, size_t cardinality, size_t width) {
          width * sizeof(uint32_t);
 }
 
-void DdcGroup::Decompress(la::DenseMatrix* out) const {
+void DdcGroup::DecompressRange(la::DenseMatrix* out, size_t row_begin,
+                               size_t row_end) const {
   const size_t w = columns_.size();
-  for (size_t i = 0; i < n_; ++i) {
-    const double* entry = dict_.Entry(codes_.Get(i));
+  codes_.ForEach(row_begin, row_end, [&](size_t i, uint32_t code) {
+    const double* entry = dict_.Entry(code);
     for (size_t j = 0; j < w; ++j) out->At(i, columns_[j]) = entry[j];
-  }
+  });
 }
 
-void DdcGroup::MultiplyVector(const double* v, double* y, size_t n) const {
-  (void)n;
-  // Pre-aggregate the dictionary against v once: O(card * w), then one
-  // table lookup per row.
-  const size_t w = columns_.size();
-  std::vector<double> precomp(dict_.num_entries());
-  for (size_t e = 0; e < precomp.size(); ++e) {
-    const double* entry = dict_.Entry(e);
-    double acc = 0;
-    for (size_t j = 0; j < w; ++j) acc += entry[j] * v[columns_[j]];
-    precomp[e] = acc;
-  }
-  for (size_t i = 0; i < n_; ++i) y[i] += precomp[codes_.Get(i)];
+void DdcGroup::MultiplyVectorRange(const double* v, const double* preagg,
+                                   double* y, size_t row_begin,
+                                   size_t row_end) const {
+  // Dictionary pre-aggregated against v once (O(card * w)), then one table
+  // lookup per row.
+  const double* p = EnsureVectorPreagg(v, preagg);
+  codes_.ForEach(row_begin, row_end,
+                 [&](size_t i, uint32_t code) { y[i] += p[code]; });
 }
 
-void DdcGroup::VectorMultiply(const double* u, size_t n, double* out) const {
-  (void)n;
-  // Group-accumulate u per dictionary entry, then expand once: O(n + card*w).
-  std::vector<double> acc(dict_.num_entries(), 0.0);
-  for (size_t i = 0; i < n_; ++i) acc[codes_.Get(i)] += u[i];
+void DdcGroup::VectorMultiplyRange(const double* u, double* out,
+                                   size_t row_begin, size_t row_end) const {
   const size_t w = columns_.size();
-  for (size_t e = 0; e < acc.size(); ++e) {
+  const size_t entries = dict_.num_entries();
+  const size_t range = row_end - row_begin;
+  if (entries > range / 2) {
+    // Huge dictionaries (cardinality near n): zeroing + expanding a
+    // dictionary-sized accumulator costs more than the rows themselves.
+    codes_.ForEach(row_begin, row_end, [&](size_t i, uint32_t code) {
+      const double ui = u[i];
+      if (ui == 0.0) return;
+      const double* entry = dict_.Entry(code);
+      for (size_t j = 0; j < w; ++j) out[columns_[j]] += ui * entry[j];
+    });
+    return;
+  }
+  // Group-accumulate u per dictionary entry, then expand once: a single pass
+  // over the codes with no per-row indirection into `out`.
+  double* acc = CodeScratch(entries);
+  std::fill(acc, acc + entries, 0.0);
+  codes_.ForEach(row_begin, row_end,
+                 [&](size_t i, uint32_t code) { acc[code] += u[i]; });
+  if (w == 1) {
+    // Single-column fast path: one dot product dictionary ⋅ partials.
+    const double* dict = dict_.values.data();
+    double total = 0;
+    for (size_t e = 0; e < entries; ++e) total += acc[e] * dict[e];
+    out[columns_[0]] += total;
+    return;
+  }
+  for (size_t e = 0; e < entries; ++e) {
     if (acc[e] == 0.0) continue;
     const double* entry = dict_.Entry(e);
     for (size_t j = 0; j < w; ++j) out[columns_[j]] += acc[e] * entry[j];
   }
 }
 
-void DdcGroup::MultiplyMatrix(const la::DenseMatrix& m, la::DenseMatrix* y) const {
+void DdcGroup::MultiplyMatrixRange(const la::DenseMatrix& m,
+                                   const double* preagg, la::DenseMatrix* y,
+                                   size_t row_begin, size_t row_end) const {
   // Pre-aggregate the dictionary against all k columns of m at once, then a
   // single k-wide AXPY per row — the matrix generalization of the MV kernel.
-  const size_t w = columns_.size();
   const size_t k = m.cols();
-  la::DenseMatrix precomp(dict_.num_entries(), k);
-  for (size_t e = 0; e < dict_.num_entries(); ++e) {
-    const double* entry = dict_.Entry(e);
-    for (size_t j = 0; j < w; ++j) {
-      if (entry[j] == 0.0) continue;
-      for (size_t c = 0; c < k; ++c) {
-        precomp.At(e, c) += entry[j] * m.At(columns_[j], c);
-      }
-    }
-  }
-  for (size_t i = 0; i < n_; ++i) {
-    const double* src = precomp.Row(codes_.Get(i));
+  const double* p = EnsureMatrixPreagg(m, preagg);
+  codes_.ForEach(row_begin, row_end, [&](size_t i, uint32_t code) {
+    const double* src = p + code * k;
     double* dst = y->Row(i);
     for (size_t c = 0; c < k; ++c) dst[c] += src[c];
-  }
+  });
 }
 
-void DdcGroup::TransposeMultiplyMatrix(const la::DenseMatrix& m,
-                                       la::DenseMatrix* out) const {
+void DdcGroup::TransposeMultiplyMatrixRange(const la::DenseMatrix& m,
+                                            double* out, size_t row_begin,
+                                            size_t row_end) const {
   const size_t w = columns_.size();
   const size_t k = m.cols();
-  la::DenseMatrix acc(dict_.num_entries(), k);
-  for (size_t i = 0; i < n_; ++i) {
-    const double* src = m.Row(i);
-    double* dst = acc.Row(codes_.Get(i));
-    for (size_t c = 0; c < k; ++c) dst[c] += src[c];
+  const size_t entries = dict_.num_entries();
+  const size_t range = row_end - row_begin;
+  if (entries > range / 2) {
+    codes_.ForEach(row_begin, row_end, [&](size_t i, uint32_t code) {
+      const double* entry = dict_.Entry(code);
+      const double* src = m.Row(i);
+      for (size_t j = 0; j < w; ++j) {
+        const double ej = entry[j];
+        if (ej == 0.0) continue;
+        double* dst = out + columns_[j] * k;
+        for (size_t c = 0; c < k; ++c) dst[c] += ej * src[c];
+      }
+    });
+    return;
   }
-  for (size_t e = 0; e < dict_.num_entries(); ++e) {
+  // Accumulate rows of m per dictionary entry, then expand through the
+  // dictionary once.
+  double* acc = CodeScratch(entries * k);
+  std::fill(acc, acc + entries * k, 0.0);
+  codes_.ForEach(row_begin, row_end, [&](size_t i, uint32_t code) {
+    const double* src = m.Row(i);
+    double* dst = acc + code * k;
+    for (size_t c = 0; c < k; ++c) dst[c] += src[c];
+  });
+  for (size_t e = 0; e < entries; ++e) {
     const double* entry = dict_.Entry(e);
-    const double* a = acc.Row(e);
+    const double* a = acc + e * k;
     for (size_t j = 0; j < w; ++j) {
-      if (entry[j] == 0.0) continue;
-      double* dst = out->Row(columns_[j]);
-      for (size_t c = 0; c < k; ++c) dst[c] += entry[j] * a[c];
+      const double ej = entry[j];
+      if (ej == 0.0) continue;
+      double* dst = out + columns_[j] * k;
+      for (size_t c = 0; c < k; ++c) dst[c] += ej * a[c];
     }
   }
 }
 
-double DdcGroup::Sum() const {
-  std::vector<size_t> counts(dict_.num_entries(), 0);
-  for (size_t i = 0; i < n_; ++i) counts[codes_.Get(i)]++;
+double DdcGroup::SumRange(size_t row_begin, size_t row_end) const {
   const size_t w = columns_.size();
+  const size_t entries = dict_.num_entries();
+  const size_t range = row_end - row_begin;
   double acc = 0;
-  for (size_t e = 0; e < counts.size(); ++e) {
+  if (entries > range / 2) {
+    codes_.ForEach(row_begin, row_end, [&](size_t, uint32_t code) {
+      const double* entry = dict_.Entry(code);
+      for (size_t j = 0; j < w; ++j) acc += entry[j];
+    });
+    return acc;
+  }
+  // Count per code, then weight by per-entry tuple sums.
+  double* counts = CodeScratch(entries);
+  std::fill(counts, counts + entries, 0.0);
+  codes_.ForEach(row_begin, row_end,
+                 [&](size_t, uint32_t code) { counts[code] += 1.0; });
+  for (size_t e = 0; e < entries; ++e) {
+    if (counts[e] == 0.0) continue;
     const double* entry = dict_.Entry(e);
     double tuple_sum = 0;
     for (size_t j = 0; j < w; ++j) tuple_sum += entry[j];
-    acc += tuple_sum * static_cast<double>(counts[e]);
+    acc += tuple_sum * counts[e];
   }
   return acc;
 }
 
-void DdcGroup::AddRowSquaredNorms(double* out, size_t n) const {
-  (void)n;
-  const size_t w = columns_.size();
-  std::vector<double> norms(dict_.num_entries());
-  for (size_t e = 0; e < norms.size(); ++e) {
-    const double* entry = dict_.Entry(e);
-    double acc = 0;
-    for (size_t j = 0; j < w; ++j) acc += entry[j] * entry[j];
-    norms[e] = acc;
-  }
-  for (size_t i = 0; i < n_; ++i) out[i] += norms[codes_.Get(i)];
+void DdcGroup::AddRowSquaredNormsRange(const double* preagg, double* out,
+                                       size_t row_begin, size_t row_end) const {
+  const double* p = EnsureSquaredNormPreagg(preagg);
+  codes_.ForEach(row_begin, row_end,
+                 [&](size_t i, uint32_t code) { out[i] += p[code]; });
 }
 
 }  // namespace dmml::cla

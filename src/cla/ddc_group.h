@@ -9,6 +9,13 @@
 namespace dmml::cla {
 
 /// \brief DDC column group: dictionary + fixed-width per-row codes.
+///
+/// Ranged kernels slice the code array directly (codes are positional), so a
+/// row partition needs no auxiliary index. Accumulating kernels
+/// (VectorMultiply / XᵀM / Sum) group per-code partials into dictionary-sized
+/// scratch and expand through the dictionary once — one pass over the codes
+/// with no per-row indirection into the output — unless the dictionary is
+/// larger than the row range, where the direct per-row form is cheaper.
 class DdcGroup : public ColumnGroup {
  public:
   /// \brief Encodes `columns` of `m`.
@@ -16,21 +23,31 @@ class DdcGroup : public ColumnGroup {
 
   GroupFormat format() const override { return GroupFormat::kDdc; }
   size_t SizeInBytes() const override;
-  void Decompress(la::DenseMatrix* out) const override;
-  void MultiplyVector(const double* v, double* y, size_t n) const override;
-  void VectorMultiply(const double* u, size_t n, double* out) const override;
-  void MultiplyMatrix(const la::DenseMatrix& m, la::DenseMatrix* y) const override;
-  void TransposeMultiplyMatrix(const la::DenseMatrix& m,
-                               la::DenseMatrix* out) const override;
-  double Sum() const override;
-  void AddRowSquaredNorms(double* out, size_t n) const override;
   size_t DictionarySize() const override { return dict_.num_entries(); }
+
+  void DecompressRange(la::DenseMatrix* out, size_t row_begin,
+                       size_t row_end) const override;
+  void MultiplyVectorRange(const double* v, const double* preagg, double* y,
+                           size_t row_begin, size_t row_end) const override;
+  void VectorMultiplyRange(const double* u, double* out, size_t row_begin,
+                           size_t row_end) const override;
+  void MultiplyMatrixRange(const la::DenseMatrix& m, const double* preagg,
+                           la::DenseMatrix* y, size_t row_begin,
+                           size_t row_end) const override;
+  void TransposeMultiplyMatrixRange(const la::DenseMatrix& m, double* out,
+                                    size_t row_begin,
+                                    size_t row_end) const override;
+  double SumRange(size_t row_begin, size_t row_end) const override;
+  void AddRowSquaredNormsRange(const double* preagg, double* out,
+                               size_t row_begin, size_t row_end) const override;
 
   /// \brief Exact size this encoding would use for the given stats, in bytes.
   static size_t EstimateSize(size_t n, size_t cardinality, size_t width);
 
+ protected:
+  const GroupDictionary* dictionary() const override { return &dict_; }
+
  private:
-  size_t n_ = 0;
   GroupDictionary dict_;
   CodeArray codes_;
 };

@@ -1,5 +1,8 @@
 #include "cla/rle_group.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace dmml::cla {
 
 namespace {
@@ -9,10 +12,17 @@ bool EntryIsZero(const double* entry, size_t w) {
   }
   return true;
 }
+
+thread_local std::vector<double> t_rle_acc;
+
+double* RleScratch(size_t need) {
+  if (t_rle_acc.size() < need) t_rle_acc.resize(need);
+  return t_rle_acc.data();
+}
 }  // namespace
 
 RleGroup::RleGroup(const la::DenseMatrix& m, std::vector<uint32_t> columns)
-    : ColumnGroup(std::move(columns)), n_(m.rows()) {
+    : ColumnGroup(std::move(columns), m.rows()) {
   std::vector<uint32_t> codes;
   BuildDictionary(m, columns_, &dict_, &codes);
 
@@ -33,11 +43,31 @@ RleGroup::RleGroup(const la::DenseMatrix& m, std::vector<uint32_t> columns)
     }
     i = j + 1;
   }
+
+  // Skip index: for each kSkipBlock-aligned block, the first run whose span
+  // reaches the block start. Single sweep over the (sorted) run list.
+  const size_t num_blocks = n_ / kSkipBlock + 1;
+  skip_.resize(num_blocks);
+  size_t run = 0;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t row = b * kSkipBlock;
+    while (run < runs_.size() &&
+           runs_[run].start + runs_[run].length <= row) {
+      ++run;
+    }
+    skip_[b] = static_cast<uint32_t>(run);
+  }
+}
+
+size_t RleGroup::FirstRunReaching(size_t row) const {
+  size_t r = skip_[row / kSkipBlock];
+  while (r < runs_.size() && runs_[r].start + runs_[r].length <= row) ++r;
+  return r;
 }
 
 size_t RleGroup::SizeInBytes() const {
   return dict_.SizeInBytes() + runs_.size() * sizeof(Run) +
-         columns_.size() * sizeof(uint32_t);
+         skip_.size() * sizeof(uint32_t) + columns_.size() * sizeof(uint32_t);
 }
 
 size_t RleGroup::EstimateSize(size_t num_nonzero_runs, size_t cardinality,
@@ -46,79 +76,137 @@ size_t RleGroup::EstimateSize(size_t num_nonzero_runs, size_t cardinality,
          width * sizeof(uint32_t);
 }
 
-void RleGroup::Decompress(la::DenseMatrix* out) const {
+void RleGroup::DecompressRange(la::DenseMatrix* out, size_t row_begin,
+                               size_t row_end) const {
   const size_t w = columns_.size();
-  for (const Run& run : runs_) {
+  for (size_t r = FirstRunReaching(row_begin); r < runs_.size(); ++r) {
+    const Run& run = runs_[r];
+    if (run.start >= row_end) break;
+    const size_t lo = std::max<size_t>(run.start, row_begin);
+    const size_t hi = std::min<size_t>(run.start + run.length, row_end);
     const double* entry = dict_.Entry(run.code);
-    for (uint32_t i = run.start; i < run.start + run.length; ++i) {
+    for (size_t i = lo; i < hi; ++i) {
       for (size_t j = 0; j < w; ++j) out->At(i, columns_[j]) = entry[j];
     }
   }
 }
 
-void RleGroup::MultiplyVector(const double* v, double* y, size_t n) const {
-  (void)n;
-  const size_t w = columns_.size();
-  std::vector<double> precomp(dict_.num_entries());
-  for (size_t e = 0; e < precomp.size(); ++e) {
-    const double* entry = dict_.Entry(e);
-    double acc = 0;
-    for (size_t j = 0; j < w; ++j) acc += entry[j] * v[columns_[j]];
-    precomp[e] = acc;
-  }
-  for (const Run& run : runs_) {
-    const double add = precomp[run.code];
+void RleGroup::MultiplyVectorRange(const double* v, const double* preagg,
+                                   double* y, size_t row_begin,
+                                   size_t row_end) const {
+  const double* p = EnsureVectorPreagg(v, preagg);
+  for (size_t r = FirstRunReaching(row_begin); r < runs_.size(); ++r) {
+    const Run& run = runs_[r];
+    if (run.start >= row_end) break;
+    const double add = p[run.code];
     if (add == 0.0) continue;
-    double* dst = y + run.start;
-    for (uint32_t k = 0; k < run.length; ++k) dst[k] += add;
+    const size_t lo = std::max<size_t>(run.start, row_begin);
+    const size_t hi = std::min<size_t>(run.start + run.length, row_end);
+    for (size_t i = lo; i < hi; ++i) y[i] += add;
   }
 }
 
-void RleGroup::VectorMultiply(const double* u, size_t n, double* out) const {
-  (void)n;
-  // Per-entry accumulation of u over each run, then one dictionary expand.
-  std::vector<double> acc(dict_.num_entries(), 0.0);
-  for (const Run& run : runs_) {
+void RleGroup::VectorMultiplyRange(const double* u, double* out,
+                                   size_t row_begin, size_t row_end) const {
+  // Per-entry accumulation of u over each clipped run, then one expand.
+  const size_t entries = dict_.num_entries();
+  double* acc = RleScratch(entries);
+  std::fill(acc, acc + entries, 0.0);
+  for (size_t r = FirstRunReaching(row_begin); r < runs_.size(); ++r) {
+    const Run& run = runs_[r];
+    if (run.start >= row_end) break;
+    const size_t lo = std::max<size_t>(run.start, row_begin);
+    const size_t hi = std::min<size_t>(run.start + run.length, row_end);
     double s = 0;
-    const double* src = u + run.start;
-    for (uint32_t k = 0; k < run.length; ++k) s += src[k];
+    for (size_t i = lo; i < hi; ++i) s += u[i];
     acc[run.code] += s;
   }
   const size_t w = columns_.size();
-  for (size_t e = 0; e < acc.size(); ++e) {
+  for (size_t e = 0; e < entries; ++e) {
     if (acc[e] == 0.0) continue;
     const double* entry = dict_.Entry(e);
     for (size_t j = 0; j < w; ++j) out[columns_[j]] += acc[e] * entry[j];
   }
 }
 
-double RleGroup::Sum() const {
+void RleGroup::MultiplyMatrixRange(const la::DenseMatrix& m,
+                                   const double* preagg, la::DenseMatrix* y,
+                                   size_t row_begin, size_t row_end) const {
+  const size_t k = m.cols();
+  const double* p = EnsureMatrixPreagg(m, preagg);
+  for (size_t r = FirstRunReaching(row_begin); r < runs_.size(); ++r) {
+    const Run& run = runs_[r];
+    if (run.start >= row_end) break;
+    const size_t lo = std::max<size_t>(run.start, row_begin);
+    const size_t hi = std::min<size_t>(run.start + run.length, row_end);
+    const double* src = p + run.code * k;
+    for (size_t i = lo; i < hi; ++i) {
+      double* dst = y->Row(i);
+      for (size_t c = 0; c < k; ++c) dst[c] += src[c];
+    }
+  }
+}
+
+void RleGroup::TransposeMultiplyMatrixRange(const la::DenseMatrix& m,
+                                            double* out, size_t row_begin,
+                                            size_t row_end) const {
+  // Accumulate rows of m per dictionary entry across clipped runs, then
+  // expand through the dictionary once.
+  const size_t k = m.cols();
+  const size_t entries = dict_.num_entries();
+  double* acc = RleScratch(entries * k);
+  std::fill(acc, acc + entries * k, 0.0);
+  for (size_t r = FirstRunReaching(row_begin); r < runs_.size(); ++r) {
+    const Run& run = runs_[r];
+    if (run.start >= row_end) break;
+    const size_t lo = std::max<size_t>(run.start, row_begin);
+    const size_t hi = std::min<size_t>(run.start + run.length, row_end);
+    double* dst = acc + run.code * k;
+    for (size_t i = lo; i < hi; ++i) {
+      const double* src = m.Row(i);
+      for (size_t c = 0; c < k; ++c) dst[c] += src[c];
+    }
+  }
+  const size_t w = columns_.size();
+  for (size_t e = 0; e < entries; ++e) {
+    const double* entry = dict_.Entry(e);
+    const double* a = acc + e * k;
+    for (size_t j = 0; j < w; ++j) {
+      const double ej = entry[j];
+      if (ej == 0.0) continue;
+      double* dst = out + columns_[j] * k;
+      for (size_t c = 0; c < k; ++c) dst[c] += ej * a[c];
+    }
+  }
+}
+
+double RleGroup::SumRange(size_t row_begin, size_t row_end) const {
   const size_t w = columns_.size();
   double acc = 0;
-  for (const Run& run : runs_) {
+  for (size_t r = FirstRunReaching(row_begin); r < runs_.size(); ++r) {
+    const Run& run = runs_[r];
+    if (run.start >= row_end) break;
+    const size_t lo = std::max<size_t>(run.start, row_begin);
+    const size_t hi = std::min<size_t>(run.start + run.length, row_end);
     const double* entry = dict_.Entry(run.code);
     double tuple_sum = 0;
     for (size_t j = 0; j < w; ++j) tuple_sum += entry[j];
-    acc += tuple_sum * static_cast<double>(run.length);
+    acc += tuple_sum * static_cast<double>(hi - lo);
   }
   return acc;
 }
 
-void RleGroup::AddRowSquaredNorms(double* out, size_t n) const {
-  (void)n;
-  const size_t w = columns_.size();
-  std::vector<double> norms(dict_.num_entries());
-  for (size_t e = 0; e < norms.size(); ++e) {
-    const double* entry = dict_.Entry(e);
-    double acc = 0;
-    for (size_t j = 0; j < w; ++j) acc += entry[j] * entry[j];
-    norms[e] = acc;
-  }
-  for (const Run& run : runs_) {
-    const double add = norms[run.code];
+void RleGroup::AddRowSquaredNormsRange(const double* preagg, double* out,
+                                       size_t row_begin, size_t row_end) const {
+  const double* p = EnsureSquaredNormPreagg(preagg);
+  for (size_t r = FirstRunReaching(row_begin); r < runs_.size(); ++r) {
+    const Run& run = runs_[r];
+    if (run.start >= row_end) break;
+    const double add = p[run.code];
     if (add == 0.0) continue;
-    double* dst = out + run.start;
-    for (uint32_t k = 0; k < run.length; ++k) dst[k] += add;
+    const size_t lo = std::max<size_t>(run.start, row_begin);
+    const size_t hi = std::min<size_t>(run.start + run.length, row_end);
+    for (size_t i = lo; i < hi; ++i) out[i] += add;
   }
 }
 

@@ -4,7 +4,7 @@ namespace dmml::cla {
 
 UncompressedGroup::UncompressedGroup(const la::DenseMatrix& m,
                                      std::vector<uint32_t> columns)
-    : ColumnGroup(std::move(columns)), n_(m.rows()) {
+    : ColumnGroup(std::move(columns), m.rows()) {
   const size_t w = columns_.size();
   data_.resize(n_ * w);
   for (size_t i = 0; i < n_; ++i) {
@@ -16,43 +16,89 @@ size_t UncompressedGroup::SizeInBytes() const {
   return data_.size() * sizeof(double) + columns_.size() * sizeof(uint32_t);
 }
 
-void UncompressedGroup::Decompress(la::DenseMatrix* out) const {
+void UncompressedGroup::DecompressRange(la::DenseMatrix* out, size_t row_begin,
+                                        size_t row_end) const {
   const size_t w = columns_.size();
-  for (size_t i = 0; i < n_; ++i) {
+  for (size_t i = row_begin; i < row_end; ++i) {
     for (size_t j = 0; j < w; ++j) out->At(i, columns_[j]) = data_[i * w + j];
   }
 }
 
-void UncompressedGroup::MultiplyVector(const double* v, double* y, size_t n) const {
-  (void)n;
+void UncompressedGroup::MultiplyVectorRange(const double* v,
+                                            const double* preagg, double* y,
+                                            size_t row_begin,
+                                            size_t row_end) const {
+  (void)preagg;  // No dictionary to pre-aggregate.
   const size_t w = columns_.size();
-  for (size_t i = 0; i < n_; ++i) {
+  for (size_t i = row_begin; i < row_end; ++i) {
     double acc = 0;
     for (size_t j = 0; j < w; ++j) acc += data_[i * w + j] * v[columns_[j]];
     y[i] += acc;
   }
 }
 
-void UncompressedGroup::VectorMultiply(const double* u, size_t n, double* out) const {
-  (void)n;
+void UncompressedGroup::VectorMultiplyRange(const double* u, double* out,
+                                            size_t row_begin,
+                                            size_t row_end) const {
   const size_t w = columns_.size();
-  for (size_t i = 0; i < n_; ++i) {
+  for (size_t i = row_begin; i < row_end; ++i) {
     const double ui = u[i];
     if (ui == 0.0) continue;
     for (size_t j = 0; j < w; ++j) out[columns_[j]] += ui * data_[i * w + j];
   }
 }
 
-double UncompressedGroup::Sum() const {
+void UncompressedGroup::MultiplyMatrixRange(const la::DenseMatrix& m,
+                                            const double* preagg,
+                                            la::DenseMatrix* y,
+                                            size_t row_begin,
+                                            size_t row_end) const {
+  (void)preagg;
+  const size_t w = columns_.size();
+  const size_t k = m.cols();
+  for (size_t i = row_begin; i < row_end; ++i) {
+    double* dst = y->Row(i);
+    for (size_t j = 0; j < w; ++j) {
+      const double val = data_[i * w + j];
+      if (val == 0.0) continue;
+      const double* src = m.Row(columns_[j]);
+      for (size_t c = 0; c < k; ++c) dst[c] += val * src[c];
+    }
+  }
+}
+
+void UncompressedGroup::TransposeMultiplyMatrixRange(const la::DenseMatrix& m,
+                                                     double* out,
+                                                     size_t row_begin,
+                                                     size_t row_end) const {
+  const size_t w = columns_.size();
+  const size_t k = m.cols();
+  for (size_t i = row_begin; i < row_end; ++i) {
+    const double* src = m.Row(i);
+    for (size_t j = 0; j < w; ++j) {
+      const double val = data_[i * w + j];
+      if (val == 0.0) continue;
+      double* dst = out + columns_[j] * k;
+      for (size_t c = 0; c < k; ++c) dst[c] += val * src[c];
+    }
+  }
+}
+
+double UncompressedGroup::SumRange(size_t row_begin, size_t row_end) const {
+  const size_t w = columns_.size();
   double acc = 0;
-  for (double v : data_) acc += v;
+  const double* p = data_.data() + row_begin * w;
+  const double* end = data_.data() + row_end * w;
+  for (; p < end; ++p) acc += *p;
   return acc;
 }
 
-void UncompressedGroup::AddRowSquaredNorms(double* out, size_t n) const {
-  (void)n;
+void UncompressedGroup::AddRowSquaredNormsRange(const double* preagg,
+                                                double* out, size_t row_begin,
+                                                size_t row_end) const {
+  (void)preagg;
   const size_t w = columns_.size();
-  for (size_t i = 0; i < n_; ++i) {
+  for (size_t i = row_begin; i < row_end; ++i) {
     double acc = 0;
     for (size_t j = 0; j < w; ++j) acc += data_[i * w + j] * data_[i * w + j];
     out[i] += acc;

@@ -8,7 +8,8 @@
 namespace dmml::cla {
 
 /// \brief Plain dense storage (row-major over the group's columns) used when
-/// no encoding beats 8 bytes/value.
+/// no encoding beats 8 bytes/value. Ranged kernels are plain row loops over
+/// the contiguous slab; with no dictionary, preagg buffers are unused.
 class UncompressedGroup : public ColumnGroup {
  public:
   /// \brief Copies `columns` of `m` into the group.
@@ -16,15 +17,25 @@ class UncompressedGroup : public ColumnGroup {
 
   GroupFormat format() const override { return GroupFormat::kUncompressed; }
   size_t SizeInBytes() const override;
-  void Decompress(la::DenseMatrix* out) const override;
-  void MultiplyVector(const double* v, double* y, size_t n) const override;
-  void VectorMultiply(const double* u, size_t n, double* out) const override;
-  double Sum() const override;
-  void AddRowSquaredNorms(double* out, size_t n) const override;
   size_t DictionarySize() const override { return 0; }
 
+  void DecompressRange(la::DenseMatrix* out, size_t row_begin,
+                       size_t row_end) const override;
+  void MultiplyVectorRange(const double* v, const double* preagg, double* y,
+                           size_t row_begin, size_t row_end) const override;
+  void VectorMultiplyRange(const double* u, double* out, size_t row_begin,
+                           size_t row_end) const override;
+  void MultiplyMatrixRange(const la::DenseMatrix& m, const double* preagg,
+                           la::DenseMatrix* y, size_t row_begin,
+                           size_t row_end) const override;
+  void TransposeMultiplyMatrixRange(const la::DenseMatrix& m, double* out,
+                                    size_t row_begin,
+                                    size_t row_end) const override;
+  double SumRange(size_t row_begin, size_t row_end) const override;
+  void AddRowSquaredNormsRange(const double* preagg, double* out,
+                               size_t row_begin, size_t row_end) const override;
+
  private:
-  size_t n_ = 0;
   std::vector<double> data_;  // n_ rows x columns_.size(), row-major.
 };
 
