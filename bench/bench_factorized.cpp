@@ -7,7 +7,12 @@
 // Both training paths run the identical batch-gradient iteration; the
 // materialized path additionally pays for (and then scans) the join output.
 // Expected shape: speedup ~1 at ratio <= 1, growing with both ratios.
+//
+// `--smoke` shrinks the sweeps for CI; either way every cell lands in the
+// #BENCH-JSON block (one record per training path) for bench_compare.sh.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "data/generators.h"
@@ -18,6 +23,7 @@
 namespace {
 
 using namespace dmml;  // NOLINT
+using bench::BenchJsonEmitter;
 using bench::Fmt;
 using bench::TablePrinter;
 
@@ -27,7 +33,8 @@ struct CellResult {
   double redundancy;
 };
 
-CellResult RunCell(size_t ns, size_t nr, size_t ds_cols, size_t dr, uint64_t seed) {
+CellResult RunCell(size_t ns, size_t nr, size_t ds_cols, size_t dr, size_t epochs,
+                   uint64_t seed, BenchJsonEmitter* json) {
   data::StarSchemaOptions options;
   options.ns = ns;
   options.nr = nr;
@@ -39,7 +46,7 @@ CellResult RunCell(size_t ns, size_t nr, size_t ds_cols, size_t dr, uint64_t see
   ml::GlmConfig config;
   config.family = ml::GlmFamily::kGaussian;
   config.learning_rate = 0.01;
-  config.max_epochs = 20;
+  config.max_epochs = epochs;
   config.tolerance = 0;  // Fixed work per cell.
 
   Stopwatch w1;
@@ -53,23 +60,41 @@ CellResult RunCell(size_t ns, size_t nr, size_t ds_cols, size_t dr, uint64_t see
                  fact.status().ToString().c_str(), mat.status().ToString().c_str());
     std::exit(1);
   }
+  std::string size = "ns" + std::to_string(ns) + "_nr" + std::to_string(nr) +
+                     "_ds" + std::to_string(ds_cols) + "_dr" + std::to_string(dr);
+  double inv_epochs = 1.0 / static_cast<double>(epochs);
+  json->Record("factorized_glm_epoch", size, 1, fact_ms * 1e6 * inv_epochs, 0.0);
+  json->Record("materialized_glm_epoch", size, 1, mat_ms * 1e6 * inv_epochs, 0.0);
   return {fact_ms, mat_ms, nm.RedundancyRatio()};
 }
 
 }  // namespace
 
-int main() {
-  std::printf("E1: factorized vs materialized GLM over a PK-FK join\n");
-  std::printf("Both paths: identical 20-epoch batch-gradient linear regression.\n\n");
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
 
-  std::printf("Sweep A: tuple ratio (nR = 2000, dS = 2, dR = 20 fixed)\n");
+  const size_t epochs = smoke ? 5 : 20;
+  const size_t base_nr = smoke ? 400 : 2000;
+  std::printf("E1: factorized vs materialized GLM over a PK-FK join%s\n",
+              smoke ? " (smoke)" : "");
+  std::printf("Both paths: identical %zu-epoch batch-gradient linear regression.\n\n",
+              epochs);
+
+  BenchJsonEmitter json;
+
+  std::printf("Sweep A: tuple ratio (nR = %zu, dS = 2, dR = 20 fixed)\n", base_nr);
   {
     TablePrinter table(
         {"tuple_ratio", "nS", "redundancy", "fact_ms", "mat_ms", "speedup"});
-    for (size_t ratio : {1, 2, 5, 10, 20}) {
-      size_t nr = 2000;
+    const std::vector<size_t> ratios =
+        smoke ? std::vector<size_t>{1, 5} : std::vector<size_t>{1, 2, 5, 10, 20};
+    for (size_t ratio : ratios) {
+      size_t nr = base_nr;
       size_t ns = nr * ratio;
-      auto r = RunCell(ns, nr, 2, 20, 100 + ratio);
+      auto r = RunCell(ns, nr, 2, 20, epochs, 100 + ratio, &json);
       table.Row({Fmt(ratio, 0), bench::FmtInt(static_cast<long long>(ns)),
                  Fmt(r.redundancy, 2), Fmt(r.fact_ms, 1), Fmt(r.mat_ms, 1),
                  Fmt(r.mat_ms / r.fact_ms, 2)});
@@ -77,13 +102,17 @@ int main() {
     table.EmitCsv("E1A_tuple_ratio");
   }
 
-  std::printf("\nSweep B: feature ratio (nS = 20000, nR = 2000, dS = 4 fixed)\n");
+  const size_t b_ns = smoke ? 4000 : 20000;
+  std::printf("\nSweep B: feature ratio (nS = %zu, nR = %zu, dS = 4 fixed)\n", b_ns,
+              base_nr);
   {
     TablePrinter table(
         {"feat_ratio", "dR", "redundancy", "fact_ms", "mat_ms", "speedup"});
-    for (size_t ratio : {1, 2, 5, 10, 25}) {
+    const std::vector<size_t> ratios =
+        smoke ? std::vector<size_t>{1, 5} : std::vector<size_t>{1, 2, 5, 10, 25};
+    for (size_t ratio : ratios) {
       size_t dr = 4 * ratio;
-      auto r = RunCell(20000, 2000, 4, dr, 200 + ratio);
+      auto r = RunCell(b_ns, base_nr, 4, dr, epochs, 200 + ratio, &json);
       table.Row({Fmt(ratio, 0), bench::FmtInt(static_cast<long long>(dr)),
                  Fmt(r.redundancy, 2), Fmt(r.fact_ms, 1), Fmt(r.mat_ms, 1),
                  Fmt(r.mat_ms / r.fact_ms, 2)});
@@ -94,6 +123,7 @@ int main() {
   std::printf(
       "\nExpected shape (Orion/Morpheus): speedup ~1 at low ratios, growing\n"
       "with tuple ratio and feature ratio as join redundancy grows.\n");
+  json.Emit("factorized");
   dmml::bench::EmitMetrics("factorized");
   return 0;
 }

@@ -6,7 +6,11 @@
 // highest push throughput but staler updates; BSP has zero inter-round
 // staleness and the best per-epoch convergence; SSP interpolates, with
 // observed staleness capped by its bound.
+//
+// `--smoke` shrinks the dataset and epoch count for CI; every mode lands in
+// the #BENCH-JSON block (per-epoch wall time) for bench_compare.sh.
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "bench/bench_util.h"
@@ -18,10 +22,12 @@
 namespace {
 
 using namespace dmml;  // NOLINT
+using bench::BenchJsonEmitter;
 using bench::Fmt;
 using bench::TablePrinter;
 
-void RunMode(TablePrinter* table, const std::string& name, ps::PsConfig config,
+void RunMode(TablePrinter* table, BenchJsonEmitter* json, const std::string& size,
+             const std::string& name, ps::PsConfig config,
              const la::DenseMatrix& x, const la::DenseMatrix& y) {
   auto result = ps::TrainGlmParameterServer(x, y, config);
   if (!result.ok()) {
@@ -37,23 +43,38 @@ void RunMode(TablePrinter* table, const std::string& name, ps::PsConfig config,
               bench::FmtInt(static_cast<long long>(result->max_observed_staleness)),
               Fmt(result->loss_per_epoch[4], 4), Fmt(result->loss_per_epoch.back(), 4),
               Fmt(acc, 4)});
+  json->Record("ps_" + name + "_epoch", size, config.num_workers,
+               result->wall_seconds * 1e9 / static_cast<double>(config.epochs),
+               0.0);
 }
 
 }  // namespace
 
-int main() {
-  std::printf("E5: parameter-server consistency — BSP vs ASP vs SSP\n");
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const size_t n = smoke ? 1500 : 8000;
+  const size_t d = smoke ? 10 : 20;
+  const size_t epochs = smoke ? 6 : 12;  // RunMode reads loss_per_epoch[4].
+  std::printf("E5: parameter-server consistency — BSP vs ASP vs SSP%s\n",
+              smoke ? " (smoke)" : "");
   std::printf("4 workers, logistic regression, straggler jitter 0.2 ms/batch\n\n");
 
-  auto ds = data::MakeClassification(8000, 20, 0.05, 11);
+  auto ds = data::MakeClassification(n, d, 0.05, 11);
 
   ps::PsConfig base;
   base.num_workers = 4;
-  base.epochs = 12;
+  base.epochs = epochs;
   base.batch_size = 64;
   base.learning_rate = 0.3;
   base.family = ml::GlmFamily::kBinomial;
   base.straggler_jitter = 0.0002;
+
+  BenchJsonEmitter json;
+  const std::string size = "n" + std::to_string(n) + "_d" + std::to_string(d);
 
   TablePrinter table({"mode", "wall_ms", "pushes_per_s", "max_stale",
                       "loss_ep5", "loss_final", "accuracy"},
@@ -61,18 +82,19 @@ int main() {
   {
     ps::PsConfig config = base;
     config.mode = ps::ConsistencyMode::kBsp;
-    RunMode(&table, "BSP", config, ds.x, ds.y);
+    RunMode(&table, &json, size, "BSP", config, ds.x, ds.y);
   }
   {
     ps::PsConfig config = base;
     config.mode = ps::ConsistencyMode::kAsync;
-    RunMode(&table, "ASP", config, ds.x, ds.y);
+    RunMode(&table, &json, size, "ASP", config, ds.x, ds.y);
   }
   for (size_t bound : {1, 3}) {
     ps::PsConfig config = base;
     config.mode = ps::ConsistencyMode::kSsp;
     config.staleness_bound = bound;
-    RunMode(&table, "SSP_s" + std::to_string(bound), config, ds.x, ds.y);
+    RunMode(&table, &json, size, "SSP_s" + std::to_string(bound), config, ds.x,
+            ds.y);
   }
   table.EmitCsv("E5_ps");
 
@@ -81,6 +103,7 @@ int main() {
       "push throughput and the loosest staleness; BSP bounds staleness at 1\n"
       "with the most consistent per-epoch convergence; SSP interpolates and\n"
       "its observed staleness never exceeds bound+1.\n");
+  json.Emit("ps");
   dmml::bench::EmitMetrics("ps");
   return 0;
 }

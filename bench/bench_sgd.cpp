@@ -7,7 +7,11 @@
 // epochs than batch GD to reach a loss target; Hogwild matches serial SGD
 // accuracy; Hogwild thread-scaling is flat on this 1-CPU host (noted in
 // EXPERIMENTS.md).
+//
+// `--smoke` shrinks the problem and epoch budget for CI; every variant lands
+// in the #BENCH-JSON block (per-epoch wall time) for bench_compare.sh.
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "bench/bench_util.h"
@@ -19,14 +23,14 @@
 namespace {
 
 using namespace dmml;  // NOLINT
+using bench::BenchJsonEmitter;
 using bench::Fmt;
 using bench::TablePrinter;
 
-constexpr size_t kN = 20000;
-constexpr size_t kD = 50;
 constexpr double kLossTarget = 0.36;
 
-void RunVariant(TablePrinter* table, const char* name, ml::GlmConfig config,
+void RunVariant(TablePrinter* table, BenchJsonEmitter* json,
+                const std::string& size, const char* name, ml::GlmConfig config,
                 const la::DenseMatrix& x, const la::DenseMatrix& y) {
   Stopwatch watch;
   auto model = ml::TrainGlm(x, y, config);
@@ -45,19 +49,35 @@ void RunVariant(TablePrinter* table, const char* name, ml::GlmConfig config,
   }
   auto labels = model->PredictLabels(x);
   double acc = labels.ok() ? *ml::Accuracy(y, *labels) : 0.0;
+  double ms_per_epoch = ms / static_cast<double>(model->epochs_run);
   table->Row({name, bench::FmtInt(static_cast<long long>(model->epochs_run)),
               epochs_to_target, Fmt(model->loss_history.back(), 4), Fmt(acc, 4),
-              Fmt(ms, 0), Fmt(ms / static_cast<double>(model->epochs_run), 2)});
+              Fmt(ms, 0), Fmt(ms_per_epoch, 2)});
+  size_t threads = config.num_threads > 0 ? config.num_threads : 1;
+  json->Record(std::string("sgd_") + name + "_epoch", size, threads,
+               ms_per_epoch * 1e6, 0.0);
 }
 
 }  // namespace
 
-int main() {
-  std::printf("E4: SGD variants — statistical vs hardware efficiency\n");
-  std::printf("logistic regression, n = %zu, d = %zu, loss target %.2f\n\n", kN, kD,
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const size_t n = smoke ? 4000 : 20000;
+  const size_t d = smoke ? 20 : 50;
+  const size_t max_epochs = smoke ? 10 : 30;
+  std::printf("E4: SGD variants — statistical vs hardware efficiency%s\n",
+              smoke ? " (smoke)" : "");
+  std::printf("logistic regression, n = %zu, d = %zu, loss target %.2f\n\n", n, d,
               kLossTarget);
 
-  auto ds = data::MakeClassification(kN, kD, 0.05, 7);
+  auto ds = data::MakeClassification(n, d, 0.05, 7);
+
+  BenchJsonEmitter json;
+  const std::string size = "n" + std::to_string(n) + "_d" + std::to_string(d);
 
   TablePrinter table({"variant", "epochs", "to_target", "final_loss", "accuracy",
                       "total_ms", "ms_per_epoch"},
@@ -65,19 +85,19 @@ int main() {
 
   ml::GlmConfig base;
   base.family = ml::GlmFamily::kBinomial;
-  base.max_epochs = 30;
+  base.max_epochs = max_epochs;
   base.tolerance = 0;
   base.learning_rate = 0.5;
 
   ml::GlmConfig bgd = base;
   bgd.solver = ml::GlmSolver::kBatchGd;
-  RunVariant(&table, "batch_gd", bgd, ds.x, ds.y);
+  RunVariant(&table, &json, size, "batch_gd", bgd, ds.x, ds.y);
 
   ml::GlmConfig sgd = base;
   sgd.solver = ml::GlmSolver::kSgd;
   sgd.learning_rate = 0.05;
   sgd.lr_decay = 0.05;
-  RunVariant(&table, "sgd", sgd, ds.x, ds.y);
+  RunVariant(&table, &json, size, "sgd", sgd, ds.x, ds.y);
 
   for (size_t bs : {8, 64, 512}) {
     ml::GlmConfig mb = base;
@@ -85,7 +105,8 @@ int main() {
     mb.batch_size = bs;
     mb.learning_rate = 0.1;
     mb.lr_decay = 0.05;
-    RunVariant(&table, ("minibatch_" + std::to_string(bs)).c_str(), mb, ds.x, ds.y);
+    RunVariant(&table, &json, size, ("minibatch_" + std::to_string(bs)).c_str(), mb,
+               ds.x, ds.y);
   }
 
   for (size_t threads : {1, 2, 4}) {
@@ -94,8 +115,8 @@ int main() {
     hw.num_threads = threads;
     hw.learning_rate = 0.05;
     hw.lr_decay = 0.05;
-    RunVariant(&table, ("hogwild_t" + std::to_string(threads)).c_str(), hw, ds.x,
-               ds.y);
+    RunVariant(&table, &json, size, ("hogwild_t" + std::to_string(threads)).c_str(),
+               hw, ds.x, ds.y);
   }
 
   table.EmitCsv("E4_sgd");
@@ -105,6 +126,7 @@ int main() {
       "reach the loss target in far fewer epochs than batch GD; Hogwild\n"
       "matches serial SGD accuracy; with >1 hardware thread, Hogwild\n"
       "ms_per_epoch would drop near-linearly (flat on this 1-CPU host).\n");
+  json.Emit("sgd");
   dmml::bench::EmitMetrics("sgd");
   return 0;
 }

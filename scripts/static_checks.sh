@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Two gates in one script:
+# Three gates in one script:
 #
 #  1. clang-tidy (config: .clang-tidy at the repo root) over every
 #     translation unit in src/, failing on any warning, so new findings
@@ -10,6 +10,11 @@
 #     parity; both exit nonzero on any NaN or parity mismatch — catching
 #     miscompiled or numerically broken kernels that an -O0 test run would
 #     miss.
+#  3. A mixed-representation parity gate: tests/laopt_repr_test (one laopt
+#     plan executed under dense, sparse and compressed leaf bindings, plus
+#     the unified GLM/k-means trainers) built and run under TSan and under
+#     ASan+UBSan, so the representation-dispatch and slot-reuse paths of the
+#     buffered executor are exercised with threads under both sanitizers.
 #
 # Usage:
 #
@@ -77,5 +82,30 @@ else
   echo "static_checks: FAILED — could not build bench_kernels/bench_cla" >&2
   status=1
 fi
+
+# ---------------------------------------------------------------------------
+# Mixed-representation parity under sanitizers: the same laopt plan bound to
+# dense, sparse and compressed leaves must agree, with the executor's
+# slot-reuse and thread-pool paths clean under TSan and ASan+UBSan.
+# ---------------------------------------------------------------------------
+run_sanitized_repr_gate() {
+  local san="$1" dir="$2"
+  echo "static_checks: building laopt_repr_test (DMML_SANITIZE=$san) in $dir..."
+  if cmake -B "$dir" -S "$repo_root" -DDMML_SANITIZE="$san" >/dev/null \
+      && cmake --build "$dir" --target laopt_repr_test -j >/dev/null; then
+    if "$dir/tests/laopt_repr_test" >/dev/null; then
+      echo "static_checks: repr parity clean under $san"
+    else
+      echo "static_checks: FAILED — laopt_repr_test under $san" >&2
+      status=1
+    fi
+  else
+    echo "static_checks: FAILED — could not build laopt_repr_test under $san" >&2
+    status=1
+  fi
+}
+
+run_sanitized_repr_gate "thread" "$repo_root/build-tsan"
+run_sanitized_repr_gate "address,undefined" "$repo_root/build-asan"
 
 exit "$status"

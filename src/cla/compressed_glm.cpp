@@ -1,93 +1,25 @@
 #include "cla/compressed_glm.h"
 
-#include <cmath>
-#include <limits>
+#include <memory>
 
-#include "la/kernels.h"
+#include "ml/unified_trainers.h"
 
 namespace dmml::cla {
 
-using la::DenseMatrix;
-using ml::GlmConfig;
-using ml::GlmFamily;
-using ml::GlmModel;
-
-Result<GlmModel> TrainCompressedGlm(const CompressedMatrix& x, const DenseMatrix& y,
-                                    const GlmConfig& config, ThreadPool* pool) {
-  const size_t n = x.rows(), d = x.cols();
-  if (n == 0 || d == 0) return Status::InvalidArgument("compressed GLM: empty data");
-  if (y.rows() != n || y.cols() != 1) {
-    return Status::InvalidArgument("compressed GLM: y must be n x 1");
-  }
-  if (config.learning_rate <= 0) {
-    return Status::InvalidArgument("learning_rate must be positive");
-  }
-  if (config.family == GlmFamily::kBinomial) {
-    for (size_t i = 0; i < n; ++i) {
-      double v = y.At(i, 0);
-      if (v != 0.0 && v != 1.0) {
-        return Status::InvalidArgument("Binomial family requires 0/1 labels");
-      }
-    }
-  }
-
-  GlmModel model;
-  model.family = config.family;
-  model.weights = DenseMatrix(d, 1);
-  const double inv_n = 1.0 / static_cast<double>(n);
-  double prev_loss = std::numeric_limits<double>::infinity();
-
-  // Hoisted op outputs: after the first epoch sizes them, every further
-  // epoch reuses their storage (observable via cla.inplace.allocs).
-  DenseMatrix scores;
-  DenseMatrix grad;
-
-  for (size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
-    DMML_RETURN_IF_ERROR(x.MultiplyVectorInto(model.weights, &scores, pool));
-    double loss = 0;
-    double bias_grad = 0;
-    for (size_t i = 0; i < n; ++i) {
-      double s = scores.At(i, 0) + model.intercept;
-      double yi = y.At(i, 0);
-      if (config.family == GlmFamily::kGaussian) {
-        double r = s - yi;
-        loss += 0.5 * r * r;
-        scores.At(i, 0) = r;
-      } else {
-        double sign_y = yi > 0.5 ? 1.0 : -1.0;
-        double m = sign_y * s;
-        loss += m > 0 ? std::log1p(std::exp(-m)) : -m + std::log1p(std::exp(m));
-        scores.At(i, 0) = ml::GlmInverseLink(s, config.family) - yi;
-      }
-      bias_grad += scores.At(i, 0);
-    }
-    loss *= inv_n;
-    if (config.l2 > 0) {
-      double w2 = 0;
-      for (size_t j = 0; j < d; ++j) {
-        w2 += model.weights.At(j, 0) * model.weights.At(j, 0);
-      }
-      loss += 0.5 * config.l2 * w2;
-    }
-
-    DMML_RETURN_IF_ERROR(x.VectorMultiplyInto(scores, &grad, pool));  // 1 x d.
-    double lr =
-        config.learning_rate / (1.0 + config.lr_decay * static_cast<double>(epoch));
-    for (size_t j = 0; j < d; ++j) {
-      model.weights.At(j, 0) -=
-          lr * (grad.At(0, j) * inv_n + config.l2 * model.weights.At(j, 0));
-    }
-    if (config.fit_intercept) model.intercept -= lr * bias_grad * inv_n;
-
-    model.loss_history.push_back(loss);
-    model.epochs_run = epoch + 1;
-    if (std::isfinite(prev_loss) &&
-        std::fabs(prev_loss - loss) <= config.tolerance * std::max(1.0, prev_loss)) {
-      break;
-    }
-    prev_loss = loss;
-  }
-  return model;
+// Thin representation binding: wrap the compressed matrix in a non-owning
+// laopt::Operand and run the unified operand trainer. The executor
+// dispatches every X·w to MultiplyVector and every Xᵀ·r to the
+// dictionary-pre-aggregating VectorMultiply — the same kernels (and epoch
+// math, and steady-state zero-allocation behavior) as the hand-written
+// compressed loop this replaced.
+Result<ml::GlmModel> TrainCompressedGlm(const CompressedMatrix& x,
+                                        const la::DenseMatrix& y,
+                                        const ml::GlmConfig& config,
+                                        ThreadPool* pool) {
+  return ml::TrainGlmOnOperand(
+      laopt::Operand(std::shared_ptr<const CompressedMatrix>(
+          std::shared_ptr<void>(), &x)),
+      y, config, pool);
 }
 
 }  // namespace dmml::cla

@@ -1,98 +1,23 @@
 #include "cla/compressed_kmeans.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
+#include <memory>
 
-#include "la/kernels.h"
-#include "util/rng.h"
+#include "ml/unified_trainers.h"
 
 namespace dmml::cla {
 
-using la::DenseMatrix;
-using ml::KMeansConfig;
-using ml::KMeansModel;
-
-Result<KMeansModel> TrainCompressedKMeans(const CompressedMatrix& x,
-                                          const KMeansConfig& config,
-                                          ThreadPool* pool) {
-  const size_t n = x.rows(), d = x.cols(), k = config.k;
-  if (k == 0 || k > n) return Status::InvalidArgument("k must be in [1, n]");
-
-  // Initial centers: k sampled rows, extracted via a one-hot
-  // transpose-multiply so no decompression is needed.
-  KMeansModel model;
-  model.centers = DenseMatrix(k, d);
-  {
-    Rng rng(config.seed);
-    DenseMatrix onehots(n, k);
-    for (size_t c = 0; c < k; ++c) {
-      onehots.At(rng.UniformInt(static_cast<uint64_t>(n)), c) = 1.0;
-    }
-    DMML_ASSIGN_OR_RETURN(DenseMatrix cols, x.TransposeMultiplyMatrix(onehots, pool));
-    model.centers = la::Transpose(cols);  // k x d.
-  }
-  model.labels.assign(n, 0);
-
-  DenseMatrix row_norms = x.RowSquaredNorms(pool);
-
-  // Per-iteration scratch, hoisted so the loop reuses its allocations — the
-  // compressed ops below all write Into these buffers.
-  DenseMatrix ct;
-  DenseMatrix cross;
-  DenseMatrix sums;
-  DenseMatrix assign(n, k);
-  std::vector<double> center_norms(k);
-  std::vector<size_t> counts(k);
-
-  double prev_inertia = std::numeric_limits<double>::infinity();
-  for (size_t iter = 0; iter < config.max_iters; ++iter) {
-    la::TransposeInto(model.centers, &ct);  // d x k.
-    DMML_RETURN_IF_ERROR(x.MultiplyMatrixInto(ct, &cross, pool));
-
-    for (size_t c = 0; c < k; ++c) {
-      center_norms[c] = la::Dot(model.centers.Row(c), model.centers.Row(c), d);
-    }
-
-    double inertia = 0;
-    for (size_t i = 0; i < n; ++i) {
-      size_t best = 0;
-      double best_d = std::numeric_limits<double>::infinity();
-      for (size_t c = 0; c < k; ++c) {
-        double dist = row_norms.At(i, 0) - 2.0 * cross.At(i, c) + center_norms[c];
-        if (dist < best_d) {
-          best_d = dist;
-          best = c;
-        }
-      }
-      model.labels[i] = static_cast<int>(best);
-      inertia += std::max(0.0, best_d);
-    }
-
-    assign.Fill(0.0);
-    std::fill(counts.begin(), counts.end(), 0);
-    for (size_t i = 0; i < n; ++i) {
-      assign.At(i, static_cast<size_t>(model.labels[i])) = 1.0;
-      counts[static_cast<size_t>(model.labels[i])]++;
-    }
-    DMML_RETURN_IF_ERROR(x.TransposeMultiplyMatrixInto(assign, &sums, pool));
-    for (size_t c = 0; c < k; ++c) {
-      if (counts[c] == 0) continue;  // Keep the stale center.
-      double inv = 1.0 / static_cast<double>(counts[c]);
-      for (size_t j = 0; j < d; ++j) model.centers.At(c, j) = sums.At(j, c) * inv;
-    }
-
-    model.inertia = inertia;
-    model.inertia_history.push_back(inertia);
-    model.iters_run = iter + 1;
-    if (std::isfinite(prev_inertia) &&
-        std::fabs(prev_inertia - inertia) <=
-            config.tolerance * std::max(1.0, prev_inertia)) {
-      break;
-    }
-    prev_inertia = inertia;
-  }
-  return model;
+// Thin representation binding over the unified operand trainer: the
+// executor routes X·Cᵀ to MultiplyMatrix, Xᵀ·A to TransposeMultiplyMatrix
+// and rowSums(X ⊙ X) to the fused RowSquaredNorms kernel, so the iteration
+// never decompresses X — identical to the hand-written compressed loop
+// this replaced.
+Result<ml::KMeansModel> TrainCompressedKMeans(const CompressedMatrix& x,
+                                              const ml::KMeansConfig& config,
+                                              ThreadPool* pool) {
+  return ml::TrainKMeansOnOperand(
+      laopt::Operand(std::shared_ptr<const CompressedMatrix>(
+          std::shared_ptr<void>(), &x)),
+      config, pool);
 }
 
 }  // namespace dmml::cla

@@ -714,11 +714,12 @@ size_t SparseRowWork(const SparseMatrix& a) {
 }
 }  // namespace
 
-DenseMatrix SparseGemv(const SparseMatrix& a, const DenseMatrix& x,
-                       ThreadPool* pool) {
+void SparseGemvInto(const SparseMatrix& a, const DenseMatrix& x,
+                    DenseMatrix* out, ThreadPool* pool) {
   DMML_CHECK(x.cols() == 1);
   DMML_CHECK_EQ(a.cols(), x.rows());
-  DenseMatrix y(a.rows(), 1);
+  EnsureOut(out, a.rows(), 1);
+  DenseMatrix& y = *out;
   const double* xv = x.data();
   ParallelForChunks(pool, a.rows(), GrainFor(SparseRowWork(a)),
                     [&](size_t, size_t begin, size_t end) {
@@ -730,15 +731,22 @@ DenseMatrix SparseGemv(const SparseMatrix& a, const DenseMatrix& x,
       y.At(i, 0) = acc;
     }
   });
+}
+
+DenseMatrix SparseGemv(const SparseMatrix& a, const DenseMatrix& x,
+                       ThreadPool* pool) {
+  DenseMatrix y;
+  SparseGemvInto(a, x, &y, pool);
   return y;
 }
 
-DenseMatrix SparseGevm(const DenseMatrix& x, const SparseMatrix& a,
-                       ThreadPool* pool) {
+void SparseGevmInto(const DenseMatrix& x, const SparseMatrix& a,
+                    DenseMatrix* out, ThreadPool* pool) {
   DMML_CHECK(x.cols() == 1);
   DMML_CHECK_EQ(a.rows(), x.rows());
-  DenseMatrix y(1, a.cols());
-  ReduceRows(pool, a.rows(), GrainFor(SparseRowWork(a)), a.cols(), y.data(),
+  EnsureOut(out, 1, a.cols());
+  out->Fill(0.0);  // ReduceRows accumulates into a pre-zeroed output.
+  ReduceRows(pool, a.rows(), GrainFor(SparseRowWork(a)), a.cols(), out->data(),
              [&a, &x](size_t begin, size_t end, double* yv) {
                for (size_t i = begin; i < end; ++i) {
                  const double xi = x.data()[i];
@@ -748,13 +756,21 @@ DenseMatrix SparseGevm(const DenseMatrix& x, const SparseMatrix& a,
                  }
                }
              });
+}
+
+DenseMatrix SparseGevm(const DenseMatrix& x, const SparseMatrix& a,
+                       ThreadPool* pool) {
+  DenseMatrix y;
+  SparseGevmInto(x, a, &y, pool);
   return y;
 }
 
-DenseMatrix SparseMultiplyDense(const SparseMatrix& a, const DenseMatrix& b,
-                                ThreadPool* pool) {
+void SparseMultiplyDenseInto(const SparseMatrix& a, const DenseMatrix& b,
+                             DenseMatrix* out, ThreadPool* pool) {
   DMML_CHECK_EQ(a.cols(), b.rows());
-  DenseMatrix c(a.rows(), b.cols());
+  EnsureOut(out, a.rows(), b.cols());
+  out->Fill(0.0);
+  DenseMatrix& c = *out;
   ParallelForChunks(pool, a.rows(), GrainFor(SparseRowWork(a) * b.cols()),
                     [&](size_t, size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
@@ -764,7 +780,46 @@ DenseMatrix SparseMultiplyDense(const SparseMatrix& a, const DenseMatrix& b,
       }
     }
   });
+}
+
+DenseMatrix SparseMultiplyDense(const SparseMatrix& a, const DenseMatrix& b,
+                                ThreadPool* pool) {
+  DenseMatrix c;
+  SparseMultiplyDenseInto(a, b, &c, pool);
   return c;
+}
+
+double SparseSum(const SparseMatrix& a) {
+  double acc = 0.0;
+  for (double v : a.values()) acc += v;
+  return acc;
+}
+
+void SparseRowSumsInto(const SparseMatrix& a, DenseMatrix* out) {
+  EnsureOut(out, a.rows(), 1);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    double acc = 0.0;
+    for (size_t k = a.RowBegin(r); k < a.RowEnd(r); ++k) acc += a.values()[k];
+    out->At(r, 0) = acc;
+  }
+}
+
+void SparseColumnSumsInto(const SparseMatrix& a, DenseMatrix* out) {
+  EnsureOut(out, 1, a.cols());
+  out->Fill(0.0);
+  double* acc = out->data();
+  for (size_t k = 0; k < a.nnz(); ++k) acc[a.col_idx()[k]] += a.values()[k];
+}
+
+void SparseRowSquaredNormsInto(const SparseMatrix& a, DenseMatrix* out) {
+  EnsureOut(out, a.rows(), 1);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    double acc = 0.0;
+    for (size_t k = a.RowBegin(r); k < a.RowEnd(r); ++k) {
+      acc += a.values()[k] * a.values()[k];
+    }
+    out->At(r, 0) = acc;
+  }
 }
 
 SparseMatrix SparseTranspose(const SparseMatrix& a) {

@@ -180,6 +180,35 @@ DenseMatrix SparseMultiplyDense(const SparseMatrix& a, const DenseMatrix& b,
 /// with no sort.
 SparseMatrix SparseTranspose(const SparseMatrix& a);
 
+// Output-reuse variants and CSR reductions, consumed by the laopt executor's
+// representation dispatch. The Into forms reshape `*out` (counting
+// la.inplace.reuses / la.inplace.allocs) and fully overwrite it.
+
+/// \brief y = A * x into `*out` for CSR A and dense (n x 1) x.
+void SparseGemvInto(const SparseMatrix& a, const DenseMatrix& x,
+                    DenseMatrix* out, ThreadPool* pool = nullptr);
+
+/// \brief y = x^T * A into `*out` (1 x n) for CSR A.
+void SparseGevmInto(const DenseMatrix& x, const SparseMatrix& a,
+                    DenseMatrix* out, ThreadPool* pool = nullptr);
+
+/// \brief C = A * B into `*out` for CSR A and dense B.
+void SparseMultiplyDenseInto(const SparseMatrix& a, const DenseMatrix& b,
+                             DenseMatrix* out, ThreadPool* pool = nullptr);
+
+/// \brief Sum of all stored values (== full sum; zeros contribute nothing).
+double SparseSum(const SparseMatrix& a);
+
+/// \brief Per-row sums into `*out` (rows x 1). O(nnz).
+void SparseRowSumsInto(const SparseMatrix& a, DenseMatrix* out);
+
+/// \brief Per-column sums into `*out` (1 x cols). O(nnz).
+void SparseColumnSumsInto(const SparseMatrix& a, DenseMatrix* out);
+
+/// \brief Per-row squared L2 norms into `*out` (rows x 1) — the fused
+/// rowSums(A ⊙ A) the k-means distance expansion needs. O(nnz).
+void SparseRowSquaredNormsInto(const SparseMatrix& a, DenseMatrix* out);
+
 // ---------------------------------------------------------------------------
 // Naive reference kernels
 // ---------------------------------------------------------------------------

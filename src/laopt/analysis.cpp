@@ -163,9 +163,24 @@ Result<NodeAnalysis> DagAnalysis::Ensure(const ExprPtr& node) {
 
   switch (node->kind()) {
     case OpKind::kInput: {
-      if (node->matrix()) {
-        info.sparsity = options_.exact_input_nnz ? ExactSparsity(*node->matrix())
-                                                 : 1.0;
+      const Operand& op = node->operand();
+      if (op.bound()) {
+        switch (op.repr()) {
+          case Repr::kDense:
+            info.sparsity = options_.exact_input_nnz
+                                ? ExactSparsity(*op.dense())
+                                : 1.0;
+            break;
+          case Repr::kSparse:
+            // CSR carries its nnz — exact sparsity for free, no scan.
+            info.sparsity = op.Sparsity();
+            break;
+          case Repr::kCompressed:
+            // Compressed groups don't expose nnz cheaply; cost it as dense
+            // cells but with its actual (compressed) footprint below.
+            info.sparsity = 1.0;
+            break;
+        }
       } else {
         info.sparsity = ClampSparsity(options_.default_placeholder_sparsity);
         DMML_COUNTER_INC("laopt.analysis.placeholders");
@@ -225,6 +240,31 @@ Result<NodeAnalysis> DagAnalysis::Ensure(const ExprPtr& node) {
   }
 
   FillFootprint(&info);
+
+  // Representation choice. Bound leaves keep the representation they carry
+  // (re-encoding an input is not this planner's call); everything else picks
+  // CSR exactly when the estimated CSR footprint beats dense.
+  if (node->kind() == OpKind::kInput && node->operand().bound()) {
+    info.chosen_repr = node->operand().repr();
+    if (info.chosen_repr == Repr::kCompressed && info.bytes_known) {
+      // The actual compressed size is known — report it instead of the
+      // dense/CSR estimate.
+      info.est_bytes = std::min<uint64_t>(node->operand().SizeInBytes(),
+                                          info.dense_bytes);
+    }
+  } else {
+    info.chosen_repr = (info.bytes_known && info.est_bytes < info.dense_bytes)
+                           ? Repr::kSparse
+                           : Repr::kDense;
+  }
+  switch (info.chosen_repr) {
+    case Repr::kDense: DMML_COUNTER_INC("laopt.repr.chosen_dense"); break;
+    case Repr::kSparse: DMML_COUNTER_INC("laopt.repr.chosen_sparse"); break;
+    case Repr::kCompressed:
+      DMML_COUNTER_INC("laopt.repr.chosen_compressed");
+      break;
+  }
+
   if (!info.shape.FullyKnown()) DMML_COUNTER_INC("laopt.analysis.unknown_shapes");
   info_.emplace(node.get(), info);
   return info;
@@ -258,7 +298,7 @@ std::string DagAnalysis::Explain(const ExprPtr& root) {
     os << "  [" << ids[node.get()] << "] " << OpKindName(node->kind());
     if (node->kind() == OpKind::kInput) {
       os << " " << (node->name().empty() ? "_" : node->name());
-      if (!node->matrix()) os << " (placeholder)";
+      if (!node->operand().bound()) os << " (placeholder)";
     } else {
       os << "(";
       for (size_t i = 0; i < node->children().size(); ++i) {
@@ -273,7 +313,8 @@ std::string DagAnalysis::Explain(const ExprPtr& root) {
       break;  // Everything above this node is equally unanalyzable.
     }
     const NodeAnalysis& a = *analyzed;
-    os << ": " << a.shape.ToString() << ", sparsity " << a.sparsity;
+    os << ": " << a.shape.ToString() << ", sparsity " << a.sparsity
+       << ", repr " << ReprName(a.chosen_repr);
     if (a.bytes_known) {
       os << ", est " << HumanBytes(a.est_bytes) << " (dense "
          << HumanBytes(a.dense_bytes) << ")";

@@ -32,6 +32,7 @@
 #include <unordered_map>
 
 #include "laopt/expr.h"
+#include "laopt/operand.h"
 #include "util/result.h"
 
 namespace dmml::laopt {
@@ -85,6 +86,15 @@ struct NodeAnalysis {
   /// CSR-style sparse layout (~16 bytes per estimated nonzero) when the
   /// sparsity estimate makes that smaller.
   uint64_t est_bytes = 0;
+
+  /// The physical representation the planner would pick for this node's
+  /// value. Bound leaves report the representation they actually carry
+  /// (dense / CSR / CLA-compressed); derived nodes and placeholders pick
+  /// CSR when the estimated CSR footprint undercuts dense, else dense.
+  /// Surfaced in Explain() and the laopt.repr.chosen_* counters; the
+  /// optimizer's chain costing uses it to gate sparsity discounts to nodes
+  /// that actually execute on a zero-skipping representation.
+  Repr chosen_repr = Repr::kDense;
 };
 
 /// \brief Analyzer knobs.

@@ -14,11 +14,11 @@ std::string NodeKey(const ExprNode& node, const std::vector<size_t>& child_ids) 
   std::ostringstream os;
   os << static_cast<int>(node.kind());
   if (node.kind() == OpKind::kInput) {
-    // Payload identity; placeholders have no payload, so each one is keyed
-    // by its own node address and never merges with another.
-    os << ":"
-       << (node.matrix() ? static_cast<const void*>(node.matrix().get())
-                         : static_cast<const void*>(&node));
+    // Payload identity (dense, sparse, or compressed alike); placeholders
+    // have no payload, so each one is keyed by its own node address and
+    // never merges with another.
+    const void* payload = node.operand().payload();
+    os << ":" << (payload ? payload : static_cast<const void*>(&node));
   }
   if (node.kind() == OpKind::kScalarMul) os << ":" << node.scalar();
   for (size_t id : child_ids) os << "," << id;

@@ -12,6 +12,7 @@
 namespace dmml::laopt {
 
 using la::DenseMatrix;
+using la::SparseMatrix;
 
 namespace {
 
@@ -44,6 +45,21 @@ struct OpInstruments {
   }
 };
 
+// Which kernel family executed a node — the laopt.repr.* dispatch counters.
+void CountDispatch(Repr repr) {
+  switch (repr) {
+    case Repr::kDense:
+      DMML_COUNTER_INC("laopt.repr.dense_ops");
+      break;
+    case Repr::kSparse:
+      DMML_COUNTER_INC("laopt.repr.sparse_ops");
+      break;
+    case Repr::kCompressed:
+      DMML_COUNTER_INC("laopt.repr.compressed_ops");
+      break;
+  }
+}
+
 }  // namespace
 
 Result<const DenseMatrix*> BufferedExecutor::Run(const ExprPtr& root,
@@ -51,11 +67,163 @@ Result<const DenseMatrix*> BufferedExecutor::Run(const ExprPtr& root,
   if (!root) return Status::InvalidArgument("Execute: null expression");
   DMML_TRACE_SPAN("laopt.execute");
   ++epoch_;
-  return Eval(root, stats);
+  DMML_ASSIGN_OR_RETURN(Value out, Eval(root, stats));
+  // Callers receive dense results; a non-dense root (e.g. a bare sparse
+  // leaf, or a transpose of one) is densified into executor storage.
+  return Densify(root, out, stats);
 }
 
-Result<const DenseMatrix*> BufferedExecutor::Eval(const ExprPtr& node,
-                                                  ExecStats* stats) {
+Status BufferedExecutor::Bind(const ExprPtr& leaf, Operand operand) {
+  if (!leaf || leaf->kind() != OpKind::kInput) {
+    return Status::InvalidArgument("Bind: not an input leaf");
+  }
+  if (!operand.bound()) return Status::InvalidArgument("Bind: unbound operand");
+  const bool rows_ok = leaf->rows() == ExprNode::kUnknownDim ||
+                       leaf->rows() == operand.rows();
+  const bool cols_ok = leaf->cols() == ExprNode::kUnknownDim ||
+                       leaf->cols() == operand.cols();
+  if (!rows_ok || !cols_ok) {
+    return Status::InvalidArgument(
+        "Bind: operand shape " + std::to_string(operand.rows()) + "x" +
+        std::to_string(operand.cols()) + " contradicts leaf '" +
+        (leaf->name().empty() ? std::string("_") : leaf->name()) + "'");
+  }
+  binds_[leaf.get()] = std::move(operand);
+  return Status::OK();
+}
+
+Result<const DenseMatrix*> BufferedExecutor::Densify(const ExprPtr& owner,
+                                                     const Value& v,
+                                                     ExecStats* stats) {
+  if (v.repr == Repr::kDense) return v.d;
+  Slot& slot = slots_[owner.get()];
+  const void* src = v.repr == Repr::kSparse ? static_cast<const void*>(v.s)
+                                            : static_cast<const void*>(v.c);
+  // One densified copy per node per run, shared by all consumers. The buffer
+  // itself persists across runs; only the fill is repeated (leaf payloads
+  // may be mutated in place between runs).
+  if (slot.aux_epoch != epoch_ || slot.aux_src != src) {
+    if (stats) stats->densify_fallbacks++;
+    DMML_COUNTER_INC("laopt.repr.densify_fallbacks");
+    if (v.repr == Repr::kSparse) {
+      slot.aux.Reshape(v.s->rows(), v.s->cols());
+      slot.aux.Fill(0.0);
+      for (size_t r = 0; r < v.s->rows(); ++r) {
+        for (size_t k = v.s->RowBegin(r); k < v.s->RowEnd(r); ++k) {
+          slot.aux.At(r, v.s->col_idx()[k]) = v.s->values()[k];
+        }
+      }
+    } else {
+      slot.aux = v.c->Decompress(pool_);
+    }
+    slot.aux_src = src;
+    slot.aux_epoch = epoch_;
+  }
+  return &slot.aux;
+}
+
+// Matmul is where representation dispatch earns its keep: beyond picking the
+// kernel family from the operand representations, the transpose patterns
+// t(U)·V, t(U)·U and U·t(V) are recognized structurally and routed to fused
+// kernels that never materialize the transpose (SystemML-style physical
+// operator selection).
+Result<BufferedExecutor::Value> BufferedExecutor::EvalMatMul(
+    const ExprPtr& node, Slot& slot, ExecStats* stats) {
+  const ExprPtr& lc = node->children()[0];
+  const ExprPtr& rc = node->children()[1];
+
+  if (lc->kind() == OpKind::kTranspose) {
+    const ExprPtr& u = lc->children()[0];
+    DMML_ASSIGN_OR_RETURN(Value uv, Eval(u, stats));
+    if (uv.repr == Repr::kDense) {
+      if (rc.get() == u.get()) {
+        // t(U) %*% U — the SYRK/Gram kernel, exactly as la::Gram computes it.
+        la::GramInto(*uv.d, &slot.buf, pool_);
+        CountDispatch(Repr::kDense);
+        return Value{Repr::kDense, &slot.buf, nullptr, nullptr};
+      }
+      DMML_ASSIGN_OR_RETURN(Value vv, Eval(rc, stats));
+      DMML_ASSIGN_OR_RETURN(const DenseMatrix* vd, Densify(rc, vv, stats));
+      la::TransposeMultiplyInto(*uv.d, *vd, &slot.buf, pool_);
+      CountDispatch(Repr::kDense);
+      return Value{Repr::kDense, &slot.buf, nullptr, nullptr};
+    }
+    if (uv.repr == Repr::kCompressed) {
+      DMML_ASSIGN_OR_RETURN(Value vv, Eval(rc, stats));
+      DMML_ASSIGN_OR_RETURN(const DenseMatrix* vd, Densify(rc, vv, stats));
+      if (vd->cols() == 1) {
+        // t(X) %*% v == (v^T X)^T: the dictionary-pre-aggregating
+        // VectorMultiply produces 1 x d; reinterpret as d x 1 (identical
+        // contiguous storage).
+        DMML_RETURN_IF_ERROR(uv.c->VectorMultiplyInto(*vd, &slot.buf, pool_));
+        slot.buf.Reshape(slot.buf.cols(), 1);
+      } else {
+        DMML_RETURN_IF_ERROR(
+            uv.c->TransposeMultiplyMatrixInto(*vd, &slot.buf, pool_));
+      }
+      CountDispatch(Repr::kCompressed);
+      return Value{Repr::kDense, &slot.buf, nullptr, nullptr};
+    }
+    if (uv.repr == Repr::kSparse) {
+      DMML_ASSIGN_OR_RETURN(Value vv, Eval(rc, stats));
+      if (vv.repr == Repr::kDense && vv.d->cols() == 1) {
+        // t(S) %*% v == (v^T S)^T via the CSR Gevm reduction — no
+        // materialized transpose; 1 x d reinterpreted as d x 1.
+        la::SparseGevmInto(*vv.d, *uv.s, &slot.buf, pool_);
+        slot.buf.Reshape(slot.buf.cols(), 1);
+        CountDispatch(Repr::kSparse);
+        return Value{Repr::kDense, &slot.buf, nullptr, nullptr};
+      }
+      // General t(S) %*% M: fall through — the generic path evaluates the
+      // transpose node (materialized once as CSR) and dispatches on it.
+    }
+  } else if (rc->kind() == OpKind::kTranspose) {
+    DMML_ASSIGN_OR_RETURN(Value av, Eval(lc, stats));
+    DMML_ASSIGN_OR_RETURN(Value bv, Eval(rc->children()[0], stats));
+    if (av.repr == Repr::kDense && bv.repr == Repr::kDense) {
+      la::MultiplyTransposeBInto(*av.d, *bv.d, &slot.buf, pool_);
+      CountDispatch(Repr::kDense);
+      return Value{Repr::kDense, &slot.buf, nullptr, nullptr};
+    }
+    // Non-dense operands: fall through to the generic path (the transpose
+    // node evaluates against the memoized grandchild).
+  }
+
+  DMML_ASSIGN_OR_RETURN(Value a, Eval(lc, stats));
+  DMML_ASSIGN_OR_RETURN(Value b, Eval(rc, stats));
+  switch (a.repr) {
+    case Repr::kSparse: {
+      DMML_ASSIGN_OR_RETURN(const DenseMatrix* bd, Densify(rc, b, stats));
+      if (bd->cols() == 1) {
+        la::SparseGemvInto(*a.s, *bd, &slot.buf, pool_);
+      } else {
+        la::SparseMultiplyDenseInto(*a.s, *bd, &slot.buf, pool_);
+      }
+      CountDispatch(Repr::kSparse);
+      break;
+    }
+    case Repr::kCompressed: {
+      DMML_ASSIGN_OR_RETURN(const DenseMatrix* bd, Densify(rc, b, stats));
+      if (bd->cols() == 1) {
+        DMML_RETURN_IF_ERROR(a.c->MultiplyVectorInto(*bd, &slot.buf, pool_));
+      } else {
+        DMML_RETURN_IF_ERROR(a.c->MultiplyMatrixInto(*bd, &slot.buf, pool_));
+      }
+      CountDispatch(Repr::kCompressed);
+      break;
+    }
+    case Repr::kDense: {
+      DMML_ASSIGN_OR_RETURN(const DenseMatrix* bd, Densify(rc, b, stats));
+      la::MultiplyInto(*a.d, *bd, &slot.buf, pool_);
+      CountDispatch(Repr::kDense);
+      break;
+    }
+  }
+  return Value{Repr::kDense, &slot.buf, nullptr, nullptr};
+}
+
+Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node,
+                                                       ExecStats* stats) {
   // unordered_map element references are stable across the recursive inserts
   // below, so holding `slot` through child evaluation is safe.
   Slot& slot = slots_[node.get()];
@@ -66,63 +234,158 @@ Result<const DenseMatrix*> BufferedExecutor::Eval(const ExprPtr& node,
   }
 
   if (node->kind() == OpKind::kInput) {
-    if (!node->matrix()) {
+    auto bound = binds_.find(node.get());
+    const Operand& operand =
+        bound != binds_.end() ? bound->second : node->operand();
+    if (!operand.bound()) {
       return Status::FailedPrecondition(
           "cannot execute unbound placeholder '" +
           (node->name().empty() ? std::string("_") : node->name()) + "'");
     }
     slot.epoch = epoch_;
-    slot.out = node->matrix().get();
+    switch (operand.repr()) {
+      case Repr::kDense:
+        slot.out = {Repr::kDense, operand.dense(), nullptr, nullptr};
+        break;
+      case Repr::kSparse:
+        slot.out = {Repr::kSparse, nullptr, operand.sparse(), nullptr};
+        break;
+      case Repr::kCompressed:
+        slot.out = {Repr::kCompressed, nullptr, nullptr, operand.compressed()};
+        break;
+    }
     return slot.out;
   }
   if (stats) stats->ops_executed++;
-
-  std::vector<const DenseMatrix*> kids;
-  kids.reserve(node->children().size());
-  for (const auto& c : node->children()) {
-    DMML_ASSIGN_OR_RETURN(const DenseMatrix* k, Eval(c, stats));
-    kids.push_back(k);
-  }
 
   const size_t kind_idx = static_cast<size_t>(node->kind());
   const OpInstruments& instruments = OpInstruments::Get();
   instruments.count[kind_idx]->Add(1);
   obs::ScopedTimerUs op_timer(instruments.micros[kind_idx]);
   DMML_TRACE_SPAN(instruments.span_name[kind_idx].c_str());
+
+  slot.out = {Repr::kDense, &slot.buf, nullptr, nullptr};
   switch (node->kind()) {
-    case OpKind::kMatMul:
-      la::MultiplyInto(*kids[0], *kids[1], &slot.buf, pool_);
+    case OpKind::kMatMul: {
+      DMML_ASSIGN_OR_RETURN(slot.out, EvalMatMul(node, slot, stats));
       break;
-    case OpKind::kTranspose:
-      la::TransposeInto(*kids[0], &slot.buf, pool_);
+    }
+    case OpKind::kTranspose: {
+      DMML_ASSIGN_OR_RETURN(Value a, Eval(node->children()[0], stats));
+      if (a.repr == Repr::kSparse) {
+        // Transposes of sparse values stay CSR (O(nnz) counting transpose),
+        // so t(S) %*% M downstream still runs sparse kernels.
+        slot.sbuf = la::SparseTranspose(*a.s);
+        slot.out = {Repr::kSparse, nullptr, &slot.sbuf, nullptr};
+        CountDispatch(Repr::kSparse);
+      } else {
+        DMML_ASSIGN_OR_RETURN(const DenseMatrix* ad,
+                              Densify(node->children()[0], a, stats));
+        la::TransposeInto(*ad, &slot.buf, pool_);
+        CountDispatch(Repr::kDense);
+      }
       break;
+    }
     case OpKind::kAdd:
-      la::AddInto(*kids[0], *kids[1], &slot.buf);
-      break;
     case OpKind::kSubtract:
-      la::SubtractInto(*kids[0], *kids[1], &slot.buf);
+    case OpKind::kElemMul: {
+      DMML_ASSIGN_OR_RETURN(Value a, Eval(node->children()[0], stats));
+      DMML_ASSIGN_OR_RETURN(Value b, Eval(node->children()[1], stats));
+      DMML_ASSIGN_OR_RETURN(const DenseMatrix* ad,
+                            Densify(node->children()[0], a, stats));
+      DMML_ASSIGN_OR_RETURN(const DenseMatrix* bd,
+                            Densify(node->children()[1], b, stats));
+      if (node->kind() == OpKind::kAdd) {
+        la::AddInto(*ad, *bd, &slot.buf);
+      } else if (node->kind() == OpKind::kSubtract) {
+        la::SubtractInto(*ad, *bd, &slot.buf);
+      } else {
+        la::ElementwiseMultiplyInto(*ad, *bd, &slot.buf);
+      }
+      CountDispatch(Repr::kDense);
       break;
-    case OpKind::kElemMul:
-      la::ElementwiseMultiplyInto(*kids[0], *kids[1], &slot.buf);
+    }
+    case OpKind::kScalarMul: {
+      DMML_ASSIGN_OR_RETURN(Value a, Eval(node->children()[0], stats));
+      DMML_ASSIGN_OR_RETURN(const DenseMatrix* ad,
+                            Densify(node->children()[0], a, stats));
+      la::ScaleInto(*ad, node->scalar(), &slot.buf);
+      CountDispatch(Repr::kDense);
       break;
-    case OpKind::kScalarMul:
-      la::ScaleInto(*kids[0], node->scalar(), &slot.buf);
-      break;
-    case OpKind::kSum:
+    }
+    case OpKind::kSum: {
+      DMML_ASSIGN_OR_RETURN(Value a, Eval(node->children()[0], stats));
       slot.buf.Reshape(1, 1);
-      slot.buf.At(0, 0) = la::Sum(*kids[0], pool_);
+      if (a.repr == Repr::kSparse) {
+        slot.buf.At(0, 0) = la::SparseSum(*a.s);
+        CountDispatch(Repr::kSparse);
+      } else if (a.repr == Repr::kCompressed) {
+        slot.buf.At(0, 0) = a.c->Sum(pool_);
+        CountDispatch(Repr::kCompressed);
+      } else {
+        slot.buf.At(0, 0) = la::Sum(*a.d, pool_);
+        CountDispatch(Repr::kDense);
+      }
       break;
-    case OpKind::kRowSums:
-      la::RowSumsInto(*kids[0], &slot.buf, pool_);
+    }
+    case OpKind::kRowSums: {
+      const ExprPtr& ch = node->children()[0];
+      // Fused squared-norms pattern: rowSums(G ⊙ G) over a non-dense G maps
+      // to the representation's native row-squared-norms kernel — the k-means
+      // distance expansion never decompresses X.
+      if (ch->kind() == OpKind::kElemMul &&
+          ch->children()[0].get() == ch->children()[1].get()) {
+        DMML_ASSIGN_OR_RETURN(Value g, Eval(ch->children()[0], stats));
+        if (g.repr == Repr::kCompressed) {
+          DMML_RETURN_IF_ERROR(g.c->RowSquaredNormsInto(&slot.buf, pool_));
+          CountDispatch(Repr::kCompressed);
+          break;
+        }
+        if (g.repr == Repr::kSparse) {
+          la::SparseRowSquaredNormsInto(*g.s, &slot.buf);
+          CountDispatch(Repr::kSparse);
+          break;
+        }
+        // Dense G: the generic path below is already one fused pass short of
+        // optimal but keeps op accounting unchanged.
+      }
+      DMML_ASSIGN_OR_RETURN(Value a, Eval(ch, stats));
+      if (a.repr == Repr::kSparse) {
+        la::SparseRowSumsInto(*a.s, &slot.buf);
+        CountDispatch(Repr::kSparse);
+      } else if (a.repr == Repr::kCompressed) {
+        // rowSums(X) == X %*% 1: reuse this node's aux as the ones vector.
+        slot.aux.Reshape(a.c->cols(), 1);
+        slot.aux.Fill(1.0);
+        DMML_RETURN_IF_ERROR(a.c->MultiplyVectorInto(slot.aux, &slot.buf, pool_));
+        CountDispatch(Repr::kCompressed);
+      } else {
+        la::RowSumsInto(*a.d, &slot.buf, pool_);
+        CountDispatch(Repr::kDense);
+      }
       break;
-    case OpKind::kColSums:
-      la::ColumnSumsInto(*kids[0], &slot.buf, pool_);
+    }
+    case OpKind::kColSums: {
+      DMML_ASSIGN_OR_RETURN(Value a, Eval(node->children()[0], stats));
+      if (a.repr == Repr::kSparse) {
+        la::SparseColumnSumsInto(*a.s, &slot.buf);
+        CountDispatch(Repr::kSparse);
+      } else if (a.repr == Repr::kCompressed) {
+        // colSums(X) == 1^T X via the pre-aggregating VectorMultiply.
+        slot.aux.Reshape(a.c->rows(), 1);
+        slot.aux.Fill(1.0);
+        DMML_RETURN_IF_ERROR(a.c->VectorMultiplyInto(slot.aux, &slot.buf, pool_));
+        CountDispatch(Repr::kCompressed);
+      } else {
+        la::ColumnSumsInto(*a.d, &slot.buf, pool_);
+        CountDispatch(Repr::kDense);
+      }
       break;
+    }
     case OpKind::kInput:
       return Status::Internal("unknown op kind in executor");
   }
   slot.epoch = epoch_;
-  slot.out = &slot.buf;
   return slot.out;
 }
 

@@ -1,20 +1,45 @@
 /// \file executor.h
-/// \brief Evaluates LA expression DAGs with common-subexpression memoization.
+/// \brief Evaluates LA expression DAGs with common-subexpression memoization
+/// and representation-polymorphic kernel dispatch.
+///
+/// Leaves may be bound (via ExprNode::InputOperand or BufferedExecutor::Bind)
+/// to any of the three physical representations — dense, CSR sparse, or
+/// CLA-compressed. Each DAG node is dispatched to the best physical kernel
+/// for its operands:
+///
+///  * dense·dense matmul       → blocked GEMM; t(U)·V → TransposeMultiply,
+///    t(U)·U → Gram (SYRK), U·t(V) → MultiplyTransposeB — never
+///    materializing the transpose;
+///  * sparse·dense matmul      → SparseGemv / SparseMultiplyDense; t(S) is
+///    materialized once per run as CSR via the counting transpose;
+///  * compressed·dense matmul  → the ranged cla::CompressedMatrix operators
+///    (MultiplyVector / MultiplyMatrix / TransposeMultiplyMatrix), including
+///    the fused rowSums(X ⊙ X) → RowSquaredNorms pattern;
+///  * everything else          → densify-on-mismatch fallback: the non-dense
+///    operand is materialized into an executor-owned buffer (cached per
+///    node, reused across runs) and the dense kernel runs. Every fallback
+///    increments `laopt.repr.densify_fallbacks`.
+///
+/// Per-op dispatch outcomes are observable via the `laopt.repr.dense_ops`,
+/// `laopt.repr.sparse_ops`, and `laopt.repr.compressed_ops` counters.
 #ifndef DMML_LAOPT_EXECUTOR_H_
 #define DMML_LAOPT_EXECUTOR_H_
 
 #include <cstdint>
 #include <unordered_map>
 
+#include "la/sparse_matrix.h"
 #include "laopt/expr.h"
+#include "laopt/operand.h"
 #include "util/thread_pool.h"
 
 namespace dmml::laopt {
 
 /// \brief Execution statistics.
 struct ExecStats {
-  size_t ops_executed = 0;      ///< Non-leaf nodes evaluated.
-  size_t memo_hits = 0;         ///< Shared sub-DAGs reused.
+  size_t ops_executed = 0;       ///< Non-leaf nodes evaluated.
+  size_t memo_hits = 0;          ///< Shared sub-DAGs reused.
+  size_t densify_fallbacks = 0;  ///< Operands materialized dense for dispatch.
 };
 
 /// \brief DAG evaluator with persistent per-node output buffers.
@@ -34,28 +59,69 @@ class BufferedExecutor {
 
   /// \brief Evaluates `root`. The returned pointer aliases executor-owned
   /// storage (or a leaf's bound matrix) and remains valid until the next
-  /// Run() on this executor, Clear(), or destruction.
+  /// Run() on this executor, Clear(), or destruction. Non-dense root values
+  /// (e.g. a bare sparse leaf) are densified into executor storage.
   Result<const la::DenseMatrix*> Run(const ExprPtr& root,
                                      ExecStats* stats = nullptr);
 
-  /// \brief Drops all retained buffers (e.g. between unrelated programs).
-  void Clear() { slots_.clear(); }
+  /// \brief Binds (or rebinds) `leaf` to `operand` for subsequent Run()s on
+  /// this executor, overriding any payload carried by the node itself. The
+  /// standard way to execute one compiled plan against changing data — or
+  /// against a different physical representation. Rebinding to a different
+  /// shape or representation is safe: node buffers are reshaped by the
+  /// `...Into` kernels and densify caches are keyed by payload identity, so
+  /// stale buffer contents are never observed.
+  ///
+  /// Fails if `leaf` is not a kInput node, `operand` is unbound, or the
+  /// operand's shape contradicts the leaf's plan-time dimensions (unknown
+  /// plan dims accept anything).
+  Status Bind(const ExprPtr& leaf, Operand operand);
+
+  /// \brief Drops all retained buffers and bindings (e.g. between unrelated
+  /// programs).
+  void Clear() {
+    slots_.clear();
+    binds_.clear();
+  }
 
   /// \brief Number of node buffers currently retained.
   size_t num_slots() const { return slots_.size(); }
 
  private:
-  struct Slot {
-    la::DenseMatrix buf;                     ///< Output buffer (non-leaf nodes).
-    uint64_t epoch = 0;                      ///< Last Run() that filled it.
-    const la::DenseMatrix* out = nullptr;    ///< &buf, or the leaf's matrix.
+  /// A node's evaluated result: exactly one pointer is set. Leaves surface
+  /// their bound representation; non-leaf results are dense (except
+  /// transpose-of-sparse, which stays CSR).
+  struct Value {
+    Repr repr = Repr::kDense;
+    const la::DenseMatrix* d = nullptr;
+    const la::SparseMatrix* s = nullptr;
+    const cla::CompressedMatrix* c = nullptr;
   };
 
-  Result<const la::DenseMatrix*> Eval(const ExprPtr& node, ExecStats* stats);
+  struct Slot {
+    la::DenseMatrix buf;          ///< Dense output buffer (non-leaf nodes).
+    la::SparseMatrix sbuf;        ///< CSR output (transpose-of-sparse only).
+    la::DenseMatrix aux;          ///< Densified copy of this node's value, or
+                                  ///< kernel scratch (ones vector).
+    const void* aux_src = nullptr;  ///< Payload the aux densify came from.
+    uint64_t aux_epoch = 0;       ///< Last Run() that refreshed aux.
+    uint64_t epoch = 0;           ///< Last Run() that filled the slot.
+    Value out;
+  };
+
+  Result<Value> Eval(const ExprPtr& node, ExecStats* stats);
+  Result<Value> EvalMatMul(const ExprPtr& node, Slot& slot, ExecStats* stats);
+
+  /// Dense view of `v` (the value of `owner`): returns it directly when
+  /// dense, otherwise materializes into `owner`'s aux buffer (cached per
+  /// payload per run) and counts a `laopt.repr.densify_fallbacks`.
+  Result<const la::DenseMatrix*> Densify(const ExprPtr& owner, const Value& v,
+                                         ExecStats* stats);
 
   ThreadPool* pool_ = nullptr;
   uint64_t epoch_ = 0;
   std::unordered_map<const ExprNode*, Slot> slots_;
+  std::unordered_map<const ExprNode*, Operand> binds_;
 };
 
 /// \brief Evaluates `root`, reusing results for shared sub-DAGs (pointer

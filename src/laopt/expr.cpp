@@ -103,11 +103,18 @@ std::string ExprNode::ToString() const {
 Result<ExprPtr> ExprNode::Input(std::shared_ptr<const la::DenseMatrix> m,
                                 std::string name) {
   if (!m) return Status::InvalidArgument("Input: null matrix");
+  return InputOperand(Operand(std::move(m)), std::move(name));
+}
+
+Result<ExprPtr> ExprNode::InputOperand(Operand operand, std::string name) {
+  if (!operand.bound()) {
+    return Status::InvalidArgument("InputOperand: unbound operand");
+  }
   auto node = NewNode();
   node->kind_ = OpKind::kInput;
-  node->rows_ = m->rows();
-  node->cols_ = m->cols();
-  node->matrix_ = std::move(m);
+  node->rows_ = operand.rows();
+  node->cols_ = operand.cols();
+  node->operand_ = std::move(operand);
   node->name_ = std::move(name);
   return ExprPtr(node);
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "la/dense_matrix.h"
+#include "laopt/operand.h"
 #include "util/result.h"
 
 namespace dmml::laopt {
@@ -61,8 +62,16 @@ class ExprNode {
     return rows_ != kUnknownDim && cols_ != kUnknownDim;
   }
 
-  /// \brief Leaf payload (kInput only; null for Placeholder leaves).
-  const std::shared_ptr<const la::DenseMatrix>& matrix() const { return matrix_; }
+  /// \brief Leaf payload in any representation (kInput only; unbound for
+  /// Placeholder leaves). Non-leaf nodes carry an unbound operand.
+  const Operand& operand() const { return operand_; }
+
+  /// \brief Dense leaf payload (kInput only; null for Placeholder leaves and
+  /// for leaves bound to a sparse or compressed operand — use operand() for
+  /// representation-polymorphic access).
+  const std::shared_ptr<const la::DenseMatrix>& matrix() const {
+    return operand_.dense_ptr();
+  }
 
   /// \brief Total node count of the sub-DAG (duplicates counted once).
   size_t NumNodes() const;
@@ -73,6 +82,11 @@ class ExprNode {
   // Factories (validated).
   static Result<ExprPtr> Input(std::shared_ptr<const la::DenseMatrix> m,
                                std::string name = "");
+
+  /// \brief Leaf bound to an operand in any representation (dense, CSR, or
+  /// CLA-compressed). The executor dispatches to representation-specific
+  /// kernels; the plan itself is representation-agnostic.
+  static Result<ExprPtr> InputOperand(Operand operand, std::string name = "");
 
   /// \brief Data-less leaf with a declared (possibly kUnknownDim) shape —
   /// plans can be compiled and costed before the matrix exists. Executing a
@@ -107,7 +121,7 @@ class ExprNode {
   size_t rows_ = 0, cols_ = 0;
   double scalar_ = 1.0;
   std::string name_;
-  std::shared_ptr<const la::DenseMatrix> matrix_;
+  Operand operand_;
   std::vector<ExprPtr> children_;
 };
 

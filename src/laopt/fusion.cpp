@@ -194,12 +194,18 @@ class FusingEvaluator {
 
   Result<DenseMatrix> EvalOperator(const ExprPtr& node) {
     if (node->kind() == OpKind::kInput) {
-      if (!node->matrix()) {
+      const Operand& op = node->operand();
+      if (!op.bound()) {
         return Status::FailedPrecondition(
             "cannot execute unbound placeholder '" +
             (node->name().empty() ? std::string("_") : node->name()) + "'");
       }
-      return *node->matrix();
+      if (op.repr() == Repr::kDense) return *op.dense();
+      // The fusion interpreter is a dense-value engine; non-dense leaves are
+      // densified on entry (the buffered executor is the representation-
+      // native path).
+      DMML_COUNTER_INC("laopt.repr.densify_fallbacks");
+      return op.ToDense(nullptr);
     }
     std::vector<DenseMatrix> kids;
     kids.reserve(node->children().size());

@@ -1,0 +1,62 @@
+#include "laopt/operand.h"
+
+namespace dmml::laopt {
+
+const char* ReprName(Repr repr) {
+  switch (repr) {
+    case Repr::kDense: return "dense";
+    case Repr::kSparse: return "sparse";
+    case Repr::kCompressed: return "compressed";
+  }
+  return "unknown";
+}
+
+size_t Operand::rows() const {
+  if (dense_) return dense_->rows();
+  if (sparse_) return sparse_->rows();
+  if (compressed_) return compressed_->rows();
+  return 0;
+}
+
+size_t Operand::cols() const {
+  if (dense_) return dense_->cols();
+  if (sparse_) return sparse_->cols();
+  if (compressed_) return compressed_->cols();
+  return 0;
+}
+
+const void* Operand::payload() const {
+  if (dense_) return dense_.get();
+  if (sparse_) return sparse_.get();
+  if (compressed_) return compressed_.get();
+  return nullptr;
+}
+
+double Operand::Sparsity() const {
+  if (sparse_) return sparse_->Density();
+  return 1.0;
+}
+
+uint64_t Operand::SizeInBytes() const {
+  if (dense_) {
+    return static_cast<uint64_t>(dense_->rows()) * dense_->cols() *
+           sizeof(double);
+  }
+  if (sparse_) {
+    // CSR: value + column index per nonzero, plus the row-pointer array.
+    return static_cast<uint64_t>(sparse_->nnz()) *
+               (sizeof(double) + sizeof(uint32_t)) +
+           static_cast<uint64_t>(sparse_->rows() + 1) * sizeof(size_t);
+  }
+  if (compressed_) return compressed_->SizeInBytes();
+  return 0;
+}
+
+la::DenseMatrix Operand::ToDense(ThreadPool* pool) const {
+  if (dense_) return *dense_;
+  if (sparse_) return sparse_->ToDense();
+  if (compressed_) return compressed_->Decompress(pool);
+  return {};
+}
+
+}  // namespace dmml::laopt

@@ -1,0 +1,113 @@
+/// \file operand.h
+/// \brief Representation-polymorphic leaf values for laopt plans.
+///
+/// An Operand is a tagged handle over one of the three physical matrix
+/// representations the engine knows how to execute against:
+///
+///  * la::DenseMatrix      — row-major dense (the default),
+///  * la::SparseMatrix     — CSR,
+///  * cla::CompressedMatrix — column-compressed (DDC/RLE/OLE/UC groups).
+///
+/// Plans are written once against logical matrices; the binding — an
+/// Environment entry or an ExprNode::InputOperand leaf — decides which
+/// physical kernels the executor dispatches to (SystemML/CLA-style
+/// representation transparency, Elgohary et al., VLDB'16). Operands are
+/// cheap shared handles: copying one never copies matrix data.
+#ifndef DMML_LAOPT_OPERAND_H_
+#define DMML_LAOPT_OPERAND_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "cla/compressed_matrix.h"
+#include "la/dense_matrix.h"
+#include "la/sparse_matrix.h"
+#include "util/thread_pool.h"
+
+namespace dmml::laopt {
+
+/// \brief Physical representation of a bound operand (or the analyzer's
+/// per-node choice of one).
+enum class Repr {
+  kDense,       ///< Row-major la::DenseMatrix.
+  kSparse,      ///< CSR la::SparseMatrix.
+  kCompressed,  ///< cla::CompressedMatrix column groups.
+};
+
+/// \brief Stable identifier ("dense", "sparse", "compressed") usable as a
+/// metric-name suffix and in EXPLAIN dumps.
+const char* ReprName(Repr repr);
+
+/// \brief A bound leaf value in any representation, or unbound (placeholder).
+///
+/// Implicitly constructible from a shared_ptr to any of the three matrix
+/// types (const or mutable), so existing call sites that build parser
+/// environments from `std::shared_ptr<la::DenseMatrix>` keep compiling
+/// unchanged.
+class Operand {
+ public:
+  /// Unbound operand (placeholder leaf).
+  Operand() = default;
+
+  // NOLINTBEGIN(google-explicit-constructor): implicit by design — an
+  // Operand *is* a matrix handle, and environments/leaves accept any of the
+  // three representations interchangeably.
+  Operand(std::shared_ptr<const la::DenseMatrix> m) : dense_(std::move(m)) {}
+  Operand(std::shared_ptr<la::DenseMatrix> m) : dense_(std::move(m)) {}
+  Operand(std::shared_ptr<const la::SparseMatrix> m) : sparse_(std::move(m)) {}
+  Operand(std::shared_ptr<la::SparseMatrix> m) : sparse_(std::move(m)) {}
+  Operand(std::shared_ptr<const cla::CompressedMatrix> m)
+      : compressed_(std::move(m)) {}
+  Operand(std::shared_ptr<cla::CompressedMatrix> m) : compressed_(std::move(m)) {}
+  // NOLINTEND(google-explicit-constructor)
+
+  /// \brief True iff a matrix is bound (in any representation).
+  bool bound() const { return dense_ || sparse_ || compressed_; }
+
+  /// \brief Representation of the bound matrix; kDense when unbound.
+  Repr repr() const {
+    if (sparse_) return Repr::kSparse;
+    if (compressed_) return Repr::kCompressed;
+    return Repr::kDense;
+  }
+
+  size_t rows() const;
+  size_t cols() const;
+
+  /// Typed accessors: non-null only for the matching representation.
+  const la::DenseMatrix* dense() const { return dense_.get(); }
+  const la::SparseMatrix* sparse() const { return sparse_.get(); }
+  const cla::CompressedMatrix* compressed() const { return compressed_.get(); }
+
+  /// \brief The dense handle (empty unless repr() == kDense). Kept as a
+  /// shared_ptr so dense-only call sites (ExprNode::matrix()) can share
+  /// ownership without a copy.
+  const std::shared_ptr<const la::DenseMatrix>& dense_ptr() const {
+    return dense_;
+  }
+
+  /// \brief Identity of the bound payload (for CSE/memo keys); null when
+  /// unbound.
+  const void* payload() const;
+
+  /// \brief Nonzero fraction: exact for sparse (nnz-based), 1.0 for dense
+  /// and compressed (no cheap count; the analyzer scans dense leaves itself).
+  double Sparsity() const;
+
+  /// \brief Estimated resident bytes of the bound matrix in its own
+  /// representation (dense: rows*cols*8, sparse: CSR cells, compressed:
+  /// exact group sizes). 0 when unbound.
+  uint64_t SizeInBytes() const;
+
+  /// \brief Materializes a dense copy (the densify-on-mismatch fallback).
+  la::DenseMatrix ToDense(ThreadPool* pool = nullptr) const;
+
+ private:
+  std::shared_ptr<const la::DenseMatrix> dense_;
+  std::shared_ptr<const la::SparseMatrix> sparse_;
+  std::shared_ptr<const cla::CompressedMatrix> compressed_;
+};
+
+}  // namespace dmml::laopt
+
+#endif  // DMML_LAOPT_OPERAND_H_

@@ -69,6 +69,14 @@ Result<ExprPtr> RebuildChain(const std::vector<ExprPtr>& factors,
   return ExprNode::MatMul(std::move(left), std::move(right));
 }
 
+// Sparsity a factor contributes to chain costing. A zero-skipping kernel
+// only runs when the planner keeps the factor on a sparse representation;
+// a dense kernel multiplies the zeros too, so a dense-chosen factor costs
+// as fully dense regardless of its nnz.
+double EffectiveChainSparsity(const NodeAnalysis& a) {
+  return a.chosen_repr == Repr::kDense ? 1.0 : a.sparsity;
+}
+
 // Cost of the chain as currently parenthesized, under the same sparsity-
 // aware model as ChainDp, used to decide whether reordering is profitable.
 Result<double> CurrentChainCost(const ExprPtr& node, DagAnalysis* analysis) {
@@ -79,7 +87,7 @@ Result<double> CurrentChainCost(const ExprPtr& node, DagAnalysis* analysis) {
   DMML_ASSIGN_OR_RETURN(double cr, CurrentChainCost(right, analysis));
   DMML_ASSIGN_OR_RETURN(NodeAnalysis la, analysis->Ensure(left));
   return cl + cr + GemmCost(left->rows(), left->cols(), right->cols(),
-                            la.sparsity);
+                            EffectiveChainSparsity(la));
 }
 
 class Rewriter {
@@ -155,7 +163,7 @@ class Rewriter {
             chain.reserve(factors.size());
             for (const auto& f : factors) {
               DMML_ASSIGN_OR_RETURN(NodeAnalysis fa, analysis_->Ensure(f));
-              chain.push_back({f->rows(), f->cols(), fa.sparsity});
+              chain.push_back({f->rows(), f->cols(), EffectiveChainSparsity(fa)});
             }
             std::vector<std::vector<size_t>> splits;
             double optimal = ChainDp(chain, &splits);

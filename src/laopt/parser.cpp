@@ -228,7 +228,8 @@ class Parser {
                                   "' at position " + std::to_string(token.pos));
         }
         ParsedValue value;
-        DMML_ASSIGN_OR_RETURN(value.expr, ExprNode::Input(it->second, token.text));
+        DMML_ASSIGN_OR_RETURN(value.expr,
+                              ExprNode::InputOperand(it->second, token.text));
         return value;
       }
       case TokenKind::kLParen: {
@@ -285,9 +286,9 @@ Result<ExprPtr> ParseExpression(const std::string& source, const Environment& en
 }
 
 Result<la::DenseMatrix> EvalExpression(const std::string& source,
-                                       const Environment& env) {
+                                       const Environment& env, ThreadPool* pool) {
   DMML_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpression(source, env));
-  return OptimizeAndExecute(expr);
+  return OptimizeAndExecute(expr, pool);
 }
 
 }  // namespace dmml::laopt

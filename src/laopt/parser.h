@@ -27,12 +27,20 @@
 
 #include "la/dense_matrix.h"
 #include "laopt/expr.h"
+#include "laopt/operand.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace dmml::laopt {
 
-/// \brief Named matrices visible to a parsed expression.
-using Environment = std::map<std::string, std::shared_ptr<const la::DenseMatrix>>;
+/// \brief Named matrices visible to a parsed expression. Each entry may be
+/// bound to any physical representation — dense, CSR sparse, or
+/// CLA-compressed (laopt/operand.h); the same program source executes
+/// against whichever representation the environment supplies, and the
+/// executor picks matching kernels. Plain
+/// `std::shared_ptr<la::DenseMatrix>` values keep working unchanged
+/// (Operand converts implicitly).
+using Environment = std::map<std::string, Operand>;
 
 /// \brief Parser knobs.
 struct ParseOptions {
@@ -52,9 +60,13 @@ Result<ExprPtr> ParseExpression(const std::string& source, const Environment& en
 Result<ExprPtr> ParseExpression(const std::string& source, const Environment& env,
                                 const ParseOptions& options);
 
-/// \brief Parse + optimize + execute in one call.
+/// \brief Parse + optimize + execute in one call. The thread pool, if
+/// given, parallelizes the executed kernels (it is threaded through to
+/// OptimizeAndExecute — programs evaluated through the parser run on the
+/// caller's pool, not serially).
 Result<la::DenseMatrix> EvalExpression(const std::string& source,
-                                       const Environment& env);
+                                       const Environment& env,
+                                       ThreadPool* pool = nullptr);
 
 }  // namespace dmml::laopt
 

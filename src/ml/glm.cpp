@@ -7,6 +7,7 @@
 
 #include "la/kernels.h"
 #include "la/ops.h"
+#include "ml/unified_trainers.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -335,50 +336,19 @@ void RunHogwild(const DenseMatrix& x, const DenseMatrix& y, const GlmConfig& con
   }
 }
 
-// Closed-form ridge solution (X^T X + n*λI) w = X^T y, with optional
-// intercept handled by augmenting a ones column.
+// Closed-form ridge solution (X^T X + n*lambda*I) w = X^T y, with optional
+// intercept handled by augmenting a ones column. Delegates to the
+// representation-polymorphic normal-equations path (ml/unified_trainers.h):
+// a dense binding routes t(X)%*%X to the SYRK kernel, t(X)%*%y to the fused
+// transpose-multiply and colSums to the column reduction -- the exact
+// kernels (and bit pattern) this function used to call directly.
 Status RunNormalEquations(const DenseMatrix& x, const DenseMatrix& y,
                           const GlmConfig& config, ThreadPool* pool,
                           GlmModel* model) {
-  const size_t n = x.rows(), d = x.cols();
-  const size_t da = config.fit_intercept ? d + 1 : d;
-
-  // X'X via the SYRK kernel and X'y via the fused transpose-multiply — no
-  // materialized transpose, no augmented copy of X. The implicit ones column
-  // of the intercept contributes the column sums of X, Sum(y) and the row
-  // count, placed in the border of the augmented system directly.
-  DenseMatrix gram = la::Gram(x, pool);
-  DenseMatrix xty_data = la::TransposeMultiply(x, y, pool);
-  DenseMatrix xtx(da, da);
-  DenseMatrix xty(da, 1);
-  for (size_t a = 0; a < d; ++a) {
-    std::copy(gram.Row(a), gram.Row(a) + d, xtx.Row(a));
-    xty.At(a, 0) = xty_data.At(a, 0);
-  }
-  if (config.fit_intercept) {
-    DenseMatrix colsums = la::ColumnSums(x, pool);
-    for (size_t j = 0; j < d; ++j) {
-      xtx.At(j, d) = colsums.At(0, j);
-      xtx.At(d, j) = colsums.At(0, j);
-    }
-    xtx.At(d, d) = static_cast<double>(n);
-    xty.At(d, 0) = la::Sum(y, pool);
-  }
-  // L2 penalty (matching the per-example-mean loss convention: λ * n).
-  if (config.l2 > 0) {
-    for (size_t j = 0; j < d; ++j) {
-      xtx.At(j, j) += config.l2 * static_cast<double>(n);
-    }
-  }
-  DMML_ASSIGN_OR_RETURN(DenseMatrix sol, la::Solve(xtx, xty));
-  for (size_t j = 0; j < d; ++j) model->weights.At(j, 0) = sol.At(j, 0);
-  model->intercept = config.fit_intercept ? sol.At(d, 0) : 0.0;
-  model->epochs_run = 1;
-  DMML_ASSIGN_OR_RETURN(
-      double loss,
-      GlmLoss(x, y, model->weights, model->intercept, config.family, config.l2));
-  model->loss_history.push_back(loss);
-  return Status::OK();
+  return RunNormalEquationsOnOperand(
+      laopt::Operand(
+          std::shared_ptr<const DenseMatrix>(std::shared_ptr<void>(), &x)),
+      y, config, pool, model);
 }
 
 }  // namespace

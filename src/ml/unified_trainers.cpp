@@ -1,0 +1,325 @@
+#include "ml/unified_trainers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "la/kernels.h"
+#include "la/ops.h"
+#include "laopt/executor.h"
+#include "laopt/expr.h"
+#include "obs/trace.h"
+#include "util/rng.h"
+
+namespace dmml::ml {
+
+using la::DenseMatrix;
+using laopt::BufferedExecutor;
+using laopt::ExprNode;
+using laopt::ExprPtr;
+using laopt::Operand;
+
+namespace {
+
+// Non-owning Operand over a caller-held matrix (the trainer outlives every
+// executor run that reads it).
+Operand Borrow(const DenseMatrix& m) {
+  return Operand(
+      std::shared_ptr<const DenseMatrix>(std::shared_ptr<void>(), &m));
+}
+
+}  // namespace
+
+Result<GlmModel> TrainGlmOnOperand(const Operand& x, const DenseMatrix& y,
+                                   const GlmConfig& config, ThreadPool* pool) {
+  if (!x.bound()) return Status::InvalidArgument("GLM: unbound design operand");
+  const size_t n = x.rows(), d = x.cols();
+  if (n == 0 || d == 0) return Status::InvalidArgument("GLM: empty data");
+  if (y.rows() != n || y.cols() != 1) {
+    return Status::InvalidArgument("GLM: y must be n x 1");
+  }
+  if (config.learning_rate <= 0) {
+    return Status::InvalidArgument("learning_rate must be positive");
+  }
+  if (config.family == GlmFamily::kBinomial) {
+    for (size_t i = 0; i < n; ++i) {
+      double v = y.At(i, 0);
+      if (v != 0.0 && v != 1.0) {
+        return Status::InvalidArgument("Binomial family requires 0/1 labels");
+      }
+    }
+  }
+  DMML_TRACE_SPAN("ml.glm.train_operand");
+
+  // The whole epoch's linear algebra is two executor programs over shared
+  // leaves: scores = X %*% w and grad = t(X) %*% r. Representation dispatch
+  // picks the kernels; w and r are payloads this loop mutates in place.
+  auto w = std::make_shared<DenseMatrix>(d, 1);
+  auto r = std::make_shared<DenseMatrix>(n, 1);
+  DMML_ASSIGN_OR_RETURN(ExprPtr xleaf, ExprNode::InputOperand(x, "X"));
+  DMML_ASSIGN_OR_RETURN(ExprPtr wleaf, ExprNode::InputOperand(Operand(w), "w"));
+  DMML_ASSIGN_OR_RETURN(ExprPtr rleaf, ExprNode::InputOperand(Operand(r), "r"));
+  DMML_ASSIGN_OR_RETURN(ExprPtr xt, ExprNode::Transpose(xleaf));
+  DMML_ASSIGN_OR_RETURN(ExprPtr scores_expr, ExprNode::MatMul(xleaf, wleaf));
+  DMML_ASSIGN_OR_RETURN(ExprPtr grad_expr, ExprNode::MatMul(xt, rleaf));
+  BufferedExecutor executor(pool);
+
+  GlmModel model;
+  model.family = config.family;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  double prev_loss = std::numeric_limits<double>::infinity();
+
+  for (size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    DMML_ASSIGN_OR_RETURN(const DenseMatrix* scores,
+                          executor.Run(scores_expr));
+    double loss = 0;
+    double bias_grad = 0;
+    for (size_t i = 0; i < n; ++i) {
+      double s = scores->At(i, 0) + model.intercept;
+      double yi = y.At(i, 0);
+      if (config.family == GlmFamily::kGaussian) {
+        double resid = s - yi;
+        loss += 0.5 * resid * resid;
+        r->At(i, 0) = resid;
+      } else {
+        double sign_y = yi > 0.5 ? 1.0 : -1.0;
+        double m = sign_y * s;
+        loss += m > 0 ? std::log1p(std::exp(-m)) : -m + std::log1p(std::exp(m));
+        r->At(i, 0) = GlmInverseLink(s, config.family) - yi;
+      }
+      bias_grad += r->At(i, 0);
+    }
+    loss *= inv_n;
+    if (config.l2 > 0) {
+      double w2 = 0;
+      for (size_t j = 0; j < d; ++j) w2 += w->At(j, 0) * w->At(j, 0);
+      loss += 0.5 * config.l2 * w2;
+    }
+
+    DMML_ASSIGN_OR_RETURN(const DenseMatrix* grad, executor.Run(grad_expr));
+    double lr = config.learning_rate /
+                (1.0 + config.lr_decay * static_cast<double>(epoch));
+    for (size_t j = 0; j < d; ++j) {
+      // grad is d x 1 in every dispatch (the 1 x d gevm outputs are
+      // reinterpreted by the executor); same contiguous values either way.
+      w->At(j, 0) -= lr * (grad->At(j, 0) * inv_n + config.l2 * w->At(j, 0));
+    }
+    if (config.fit_intercept) model.intercept -= lr * bias_grad * inv_n;
+
+    model.loss_history.push_back(loss);
+    model.epochs_run = epoch + 1;
+    if (std::isfinite(prev_loss) &&
+        std::fabs(prev_loss - loss) <=
+            config.tolerance * std::max(1.0, prev_loss)) {
+      break;
+    }
+    prev_loss = loss;
+  }
+  model.weights = *w;
+  return model;
+}
+
+Status RunNormalEquationsOnOperand(const Operand& x, const DenseMatrix& y,
+                                   const GlmConfig& config, ThreadPool* pool,
+                                   GlmModel* model) {
+  if (!x.bound()) return Status::InvalidArgument("GLM: unbound design operand");
+  const size_t n = x.rows(), d = x.cols();
+  if (n == 0 || d == 0) return Status::InvalidArgument("GLM: empty data");
+  if (y.rows() != n || y.cols() != 1) {
+    return Status::InvalidArgument("GLM: y must be n x 1");
+  }
+  if (config.family != GlmFamily::kGaussian) {
+    return Status::InvalidArgument("normal equations require the Gaussian family");
+  }
+  const size_t da = config.fit_intercept ? d + 1 : d;
+
+  // One program per product of the augmented system. On a dense binding
+  // t(X)%*%X routes to the SYRK kernel, t(X)%*%y to the fused transpose-
+  // multiply and colSums to the column reduction — the exact kernels (and
+  // bit pattern) of the historical dense-only path. Sparse and compressed
+  // bindings swap in their native operators per laopt/executor.h.
+  DMML_ASSIGN_OR_RETURN(ExprPtr xleaf, ExprNode::InputOperand(x, "X"));
+  DMML_ASSIGN_OR_RETURN(ExprPtr yleaf, ExprNode::InputOperand(Borrow(y), "y"));
+  DMML_ASSIGN_OR_RETURN(ExprPtr xt, ExprNode::Transpose(xleaf));
+  DMML_ASSIGN_OR_RETURN(ExprPtr gram_expr, ExprNode::MatMul(xt, xleaf));
+  DMML_ASSIGN_OR_RETURN(ExprPtr xty_expr, ExprNode::MatMul(xt, yleaf));
+  BufferedExecutor executor(pool);
+
+  DenseMatrix xtx(da, da);
+  DenseMatrix xty(da, 1);
+  {
+    DMML_ASSIGN_OR_RETURN(const DenseMatrix* gram, executor.Run(gram_expr));
+    for (size_t a = 0; a < d; ++a) {
+      std::copy(gram->Row(a), gram->Row(a) + d, xtx.Row(a));
+    }
+  }
+  {
+    DMML_ASSIGN_OR_RETURN(const DenseMatrix* xty_data, executor.Run(xty_expr));
+    for (size_t a = 0; a < d; ++a) xty.At(a, 0) = xty_data->At(a, 0);
+  }
+  if (config.fit_intercept) {
+    DMML_ASSIGN_OR_RETURN(ExprPtr colsums_expr, ExprNode::ColSums(xleaf));
+    DMML_ASSIGN_OR_RETURN(const DenseMatrix* colsums,
+                          executor.Run(colsums_expr));
+    for (size_t j = 0; j < d; ++j) {
+      xtx.At(j, d) = colsums->At(0, j);
+      xtx.At(d, j) = colsums->At(0, j);
+    }
+    xtx.At(d, d) = static_cast<double>(n);
+    xty.At(d, 0) = la::Sum(y, pool);
+  }
+  // L2 penalty (matching the per-example-mean loss convention: λ * n).
+  if (config.l2 > 0) {
+    for (size_t j = 0; j < d; ++j) {
+      xtx.At(j, j) += config.l2 * static_cast<double>(n);
+    }
+  }
+  DMML_ASSIGN_OR_RETURN(DenseMatrix sol, la::Solve(xtx, xty));
+  model->family = config.family;
+  model->weights = DenseMatrix(d, 1);
+  for (size_t j = 0; j < d; ++j) model->weights.At(j, 0) = sol.At(j, 0);
+  model->intercept = config.fit_intercept ? sol.At(d, 0) : 0.0;
+  model->epochs_run = 1;
+
+  double loss = 0;
+  if (x.repr() == laopt::Repr::kDense) {
+    DMML_ASSIGN_OR_RETURN(loss,
+                          GlmLoss(*x.dense(), y, model->weights,
+                                  model->intercept, config.family, config.l2));
+  } else {
+    // Non-dense X: score through the executor instead of row dot products.
+    DMML_ASSIGN_OR_RETURN(ExprPtr wleaf,
+                          ExprNode::InputOperand(Borrow(model->weights), "w"));
+    DMML_ASSIGN_OR_RETURN(ExprPtr scores_expr, ExprNode::MatMul(xleaf, wleaf));
+    DMML_ASSIGN_OR_RETURN(const DenseMatrix* scores,
+                          executor.Run(scores_expr));
+    for (size_t i = 0; i < n; ++i) {
+      double resid = scores->At(i, 0) + model->intercept - y.At(i, 0);
+      loss += 0.5 * resid * resid;
+    }
+    loss /= static_cast<double>(n);
+    if (config.l2 > 0) {
+      double w2 = 0;
+      for (size_t j = 0; j < d; ++j) {
+        w2 += model->weights.At(j, 0) * model->weights.At(j, 0);
+      }
+      loss += 0.5 * config.l2 * w2;
+    }
+  }
+  model->loss_history.push_back(loss);
+  return Status::OK();
+}
+
+Result<KMeansModel> TrainKMeansOnOperand(const Operand& x,
+                                         const KMeansConfig& config,
+                                         ThreadPool* pool) {
+  if (!x.bound()) {
+    return Status::InvalidArgument("k-means: unbound design operand");
+  }
+  const size_t n = x.rows(), d = x.cols(), k = config.k;
+  if (k == 0 || k > n) return Status::InvalidArgument("k must be in [1, n]");
+  DMML_TRACE_SPAN("ml.kmeans.train_operand");
+
+  DMML_ASSIGN_OR_RETURN(ExprPtr xleaf, ExprNode::InputOperand(x, "X"));
+  DMML_ASSIGN_OR_RETURN(ExprPtr xt, ExprNode::Transpose(xleaf));
+  BufferedExecutor executor(pool);
+
+  // Initial centers: k sampled rows, extracted via a one-hot
+  // transpose-multiply so no representation needs decompressing.
+  KMeansModel model;
+  {
+    Rng rng(config.seed);
+    auto onehots = std::make_shared<DenseMatrix>(n, k);
+    for (size_t c = 0; c < k; ++c) {
+      onehots->At(rng.UniformInt(static_cast<uint64_t>(n)), c) = 1.0;
+    }
+    DMML_ASSIGN_OR_RETURN(ExprPtr oleaf,
+                          ExprNode::InputOperand(Operand(onehots), "onehots"));
+    DMML_ASSIGN_OR_RETURN(ExprPtr cols_expr, ExprNode::MatMul(xt, oleaf));
+    DMML_ASSIGN_OR_RETURN(const DenseMatrix* cols, executor.Run(cols_expr));
+    model.centers = la::Transpose(*cols);  // k x d.
+  }
+  model.labels.assign(n, 0);
+
+  // rowSums(X ⊙ X): the executor fuses this into the representation's
+  // row-squared-norms kernel. Copied out, since the slot buffer is only
+  // stable until the next Run().
+  DenseMatrix row_norms;
+  {
+    DMML_ASSIGN_OR_RETURN(ExprPtr xx, ExprNode::ElemMul(xleaf, xleaf));
+    DMML_ASSIGN_OR_RETURN(ExprPtr norms_expr, ExprNode::RowSums(xx));
+    DMML_ASSIGN_OR_RETURN(const DenseMatrix* norms, executor.Run(norms_expr));
+    row_norms = *norms;
+  }
+
+  // Per-iteration programs over payloads mutated in place: the assignment's
+  // cross products X·Cᵀ and the update's Xᵀ·A.
+  auto centers = std::make_shared<DenseMatrix>();
+  auto assign = std::make_shared<DenseMatrix>(n, k);
+  *centers = model.centers;
+  DMML_ASSIGN_OR_RETURN(ExprPtr cleaf,
+                        ExprNode::InputOperand(Operand(centers), "centers"));
+  DMML_ASSIGN_OR_RETURN(ExprPtr aleaf,
+                        ExprNode::InputOperand(Operand(assign), "assign"));
+  DMML_ASSIGN_OR_RETURN(ExprPtr ct, ExprNode::Transpose(cleaf));
+  DMML_ASSIGN_OR_RETURN(ExprPtr cross_expr, ExprNode::MatMul(xleaf, ct));
+  DMML_ASSIGN_OR_RETURN(ExprPtr sums_expr, ExprNode::MatMul(xt, aleaf));
+
+  std::vector<double> center_norms(k);
+  std::vector<size_t> counts(k);
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  for (size_t iter = 0; iter < config.max_iters; ++iter) {
+    DMML_ASSIGN_OR_RETURN(const DenseMatrix* cross, executor.Run(cross_expr));
+
+    for (size_t c = 0; c < k; ++c) {
+      center_norms[c] = la::Dot(centers->Row(c), centers->Row(c), d);
+    }
+
+    double inertia = 0;
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < k; ++c) {
+        double dist =
+            row_norms.At(i, 0) - 2.0 * cross->At(i, c) + center_norms[c];
+        if (dist < best_d) {
+          best_d = dist;
+          best = c;
+        }
+      }
+      model.labels[i] = static_cast<int>(best);
+      inertia += std::max(0.0, best_d);
+    }
+
+    assign->Fill(0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      assign->At(i, static_cast<size_t>(model.labels[i])) = 1.0;
+      counts[static_cast<size_t>(model.labels[i])]++;
+    }
+    DMML_ASSIGN_OR_RETURN(const DenseMatrix* sums, executor.Run(sums_expr));
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // Keep the stale center.
+      double inv = 1.0 / static_cast<double>(counts[c]);
+      for (size_t j = 0; j < d; ++j) {
+        centers->At(c, j) = sums->At(j, c) * inv;
+      }
+    }
+
+    model.inertia = inertia;
+    model.inertia_history.push_back(inertia);
+    model.iters_run = iter + 1;
+    if (std::isfinite(prev_inertia) &&
+        std::fabs(prev_inertia - inertia) <=
+            config.tolerance * std::max(1.0, prev_inertia)) {
+      break;
+    }
+    prev_inertia = inertia;
+  }
+  model.centers = *centers;
+  return model;
+}
+
+}  // namespace dmml::ml

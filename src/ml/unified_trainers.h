@@ -1,0 +1,60 @@
+/// \file unified_trainers.h
+/// \brief Representation-polymorphic trainers: GLM and k-means expressed
+/// once against a laopt::Operand and executed by the buffered executor's
+/// representation dispatch.
+///
+/// These are the unified path the representation-specific front doors sit
+/// on: `ml::TrainGlm` (normal equations) routes its dense design matrix
+/// here, and `cla::TrainCompressedGlm` / `cla::TrainCompressedKMeans` are
+/// thin bindings that wrap a CompressedMatrix in an Operand and call these
+/// functions. The matrix products of every epoch — X·w, Xᵀ·g, X·Cᵀ, Xᵀ·A,
+/// XᵀX, rowSums(X ⊙ X) — run through one BufferedExecutor, which dispatches
+/// each to the dense, CSR, or compressed kernel matching the binding
+/// (laopt/executor.h). The scalar epoch bookkeeping (residuals, losses,
+/// argmin assignment, center/weight updates) is representation-independent
+/// and identical to the hand-written trainers it replaces.
+#ifndef DMML_ML_UNIFIED_TRAINERS_H_
+#define DMML_ML_UNIFIED_TRAINERS_H_
+
+#include "la/dense_matrix.h"
+#include "laopt/operand.h"
+#include "ml/glm.h"
+#include "ml/kmeans.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace dmml::ml {
+
+/// \brief Full-batch gradient-descent GLM training on a design matrix in
+/// any physical representation. The per-epoch X·w and Xᵀ·r products run on
+/// the representation's native kernels (dense GEMM, CSR gemv/gevm, or the
+/// compressed dictionary-pre-aggregating operators); buffers are executor
+/// slots reused across epochs, so steady-state epochs allocate nothing.
+Result<GlmModel> TrainGlmOnOperand(const laopt::Operand& x,
+                                   const la::DenseMatrix& y,
+                                   const GlmConfig& config,
+                                   ThreadPool* pool = nullptr);
+
+/// \brief Closed-form ridge solve (XᵀX + nλI) w = Xᵀy over any
+/// representation of X (Gaussian family). XᵀX, Xᵀy and the intercept
+/// border's colSums(X) are evaluated through the executor: dense bindings
+/// hit the SYRK/fused-transpose kernels bit-identically to the historical
+/// dense path; sparse and compressed bindings use their native operators
+/// where they exist and the densify fallback where they do not. Fills
+/// `model` (weights, intercept, one loss_history entry, epochs_run = 1).
+Status RunNormalEquationsOnOperand(const laopt::Operand& x,
+                                   const la::DenseMatrix& y,
+                                   const GlmConfig& config, ThreadPool* pool,
+                                   GlmModel* model);
+
+/// \brief Lloyd's k-means on a design matrix in any representation
+/// (uniform random-row init, expanded-distance assignment). Per-iteration
+/// X·Cᵀ and Xᵀ·A products and the one-off rowSums(X ⊙ X) run on the
+/// binding's native kernels; the compressed binding never decompresses X.
+Result<KMeansModel> TrainKMeansOnOperand(const laopt::Operand& x,
+                                         const KMeansConfig& config,
+                                         ThreadPool* pool = nullptr);
+
+}  // namespace dmml::ml
+
+#endif  // DMML_ML_UNIFIED_TRAINERS_H_

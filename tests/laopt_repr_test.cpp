@@ -1,0 +1,282 @@
+// Representation-polymorphic execution: one laopt program over dense, CSR
+// sparse, and CLA-compressed operands.
+//
+//  * The same program source (and the same compiled plan) must produce the
+//    same values under every leaf representation, while dispatching to the
+//    representation's native kernels (laopt.repr.* counters).
+//  * The GLM normal-equations products run end to end under all three
+//    bindings with zero program-source changes.
+//  * BufferedExecutor::Bind rebinding — different data, different shape,
+//    different representation — must never surface stale buffer contents.
+//  * EvalExpression threads the caller's pool through to the kernels
+//    (regression: it used to drop the pool on the floor).
+//
+// This suite is the sanitizer target for representation dispatch: it must
+// stay green under -DDMML_SANITIZE=thread and address,undefined.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cla/compressed_matrix.h"
+#include "data/generators.h"
+#include "la/kernels.h"
+#include "laopt/analysis.h"
+#include "laopt/executor.h"
+#include "laopt/expr.h"
+#include "laopt/parser.h"
+#include "ml/unified_trainers.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace dmml::laopt {
+namespace {
+
+using cla::CompressedMatrix;
+using la::DenseMatrix;
+using la::SparseMatrix;
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->Value();
+}
+
+double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b) {
+  EXPECT_EQ(a.rows(), b.rows());
+  EXPECT_EQ(a.cols(), b.cols());
+  double worst = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return worst;
+}
+
+// Low-cardinality design matrix with ~60% zeros: compresses well, sparse
+// enough for CSR to matter, and exactly representable in all three forms.
+DenseMatrix MixedReprDesign(size_t n, size_t d, uint64_t seed) {
+  DenseMatrix x = data::LowCardinalityMatrix(n, d, 4, /*run_sorted=*/false, seed);
+  Rng rng(seed + 99);
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (rng.Uniform(0.0, 1.0) < 0.6) x.data()[i] = 0.0;
+  }
+  return x;
+}
+
+SparseMatrix ToCsr(const DenseMatrix& x) {
+  std::vector<la::Triplet> triplets;
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t c = 0; c < x.cols(); ++c) {
+      if (x.At(r, c) != 0.0) triplets.push_back({r, c, x.At(r, c)});
+    }
+  }
+  return SparseMatrix::FromTriplets(x.rows(), x.cols(), triplets);
+}
+
+class ReprParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dense_ = std::make_shared<DenseMatrix>(MixedReprDesign(120, 6, 5));
+    sparse_ = std::make_shared<SparseMatrix>(ToCsr(*dense_));
+    compressed_ =
+        std::make_shared<CompressedMatrix>(CompressedMatrix::Compress(*dense_));
+    y_ = std::make_shared<DenseMatrix>(data::GaussianMatrix(120, 1, 6));
+    w_ = std::make_shared<DenseMatrix>(data::GaussianMatrix(6, 1, 7));
+  }
+
+  Environment EnvWith(Operand x) const {
+    return {{"X", std::move(x)}, {"y", y_}, {"w", w_}};
+  }
+
+  std::shared_ptr<DenseMatrix> dense_;
+  std::shared_ptr<SparseMatrix> sparse_;
+  std::shared_ptr<CompressedMatrix> compressed_;
+  std::shared_ptr<DenseMatrix> y_, w_;
+};
+
+TEST_F(ReprParityTest, SameProgramSourceUnderAllThreeBindings) {
+  // The normal-equations products plus the reductions, one source each. The
+  // program text never changes; only the environment binding does.
+  const std::vector<std::string> programs = {
+      "t(X) %*% X",  "t(X) %*% y",      "X %*% w",     "colSums(X)",
+      "rowSums(X)",  "sum(X)",          "t(X) %*% (X %*% w)",
+  };
+  for (const std::string& src : programs) {
+    auto dense_result = EvalExpression(src, EnvWith(dense_));
+    ASSERT_TRUE(dense_result.ok()) << src << ": " << dense_result.status().message();
+
+    const uint64_t sparse_before = CounterValue("laopt.repr.sparse_ops");
+    auto sparse_result = EvalExpression(src, EnvWith(sparse_));
+    ASSERT_TRUE(sparse_result.ok()) << src;
+    EXPECT_GT(CounterValue("laopt.repr.sparse_ops"), sparse_before)
+        << src << ": sparse binding must dispatch at least one sparse kernel";
+
+    const uint64_t compressed_before = CounterValue("laopt.repr.compressed_ops");
+    auto compressed_result = EvalExpression(src, EnvWith(compressed_));
+    ASSERT_TRUE(compressed_result.ok()) << src;
+    EXPECT_GT(CounterValue("laopt.repr.compressed_ops"), compressed_before)
+        << src << ": compressed binding must dispatch at least one compressed kernel";
+
+    EXPECT_LE(MaxAbsDiff(*sparse_result, *dense_result), 1e-9) << src;
+    EXPECT_LE(MaxAbsDiff(*compressed_result, *dense_result), 1e-9) << src;
+  }
+}
+
+TEST_F(ReprParityTest, ElementwiseOpsDensifyWithFallbackCounter) {
+  const uint64_t before = CounterValue("laopt.repr.densify_fallbacks");
+  auto sparse_result = EvalExpression("X + X", EnvWith(sparse_));
+  ASSERT_TRUE(sparse_result.ok());
+  EXPECT_GT(CounterValue("laopt.repr.densify_fallbacks"), before)
+      << "sparse operand of a dense-only op must be densified (and counted)";
+  auto dense_result = EvalExpression("X + X", EnvWith(dense_));
+  ASSERT_TRUE(dense_result.ok());
+  EXPECT_LE(MaxAbsDiff(*sparse_result, *dense_result), 1e-12);
+}
+
+TEST_F(ReprParityTest, ExplainShowsRepresentationChoices) {
+  auto sparse_plan = ParseExpression("t(X) %*% y", EnvWith(sparse_));
+  ASSERT_TRUE(sparse_plan.ok());
+  DagAnalysis analysis;
+  std::string dump = analysis.Explain(*sparse_plan);
+  EXPECT_NE(dump.find("repr sparse"), std::string::npos) << dump;
+
+  auto compressed_plan = ParseExpression("X %*% w", EnvWith(compressed_));
+  ASSERT_TRUE(compressed_plan.ok());
+  DagAnalysis canalysis;
+  std::string cdump = canalysis.Explain(*compressed_plan);
+  EXPECT_NE(cdump.find("repr compressed"), std::string::npos) << cdump;
+  EXPECT_NE(cdump.find("repr dense"), std::string::npos) << cdump;
+}
+
+TEST_F(ReprParityTest, NormalEquationsGlmAllThreeRepresentations) {
+  ml::GlmConfig config;
+  config.solver = ml::GlmSolver::kNormalEquations;
+  config.l2 = 0.05;
+  ThreadPool pool(3);
+
+  ml::GlmModel dense_model, sparse_model, compressed_model;
+  ASSERT_TRUE(ml::RunNormalEquationsOnOperand(Operand(dense_), *y_, config,
+                                              &pool, &dense_model)
+                  .ok());
+  ASSERT_TRUE(ml::RunNormalEquationsOnOperand(Operand(sparse_), *y_, config,
+                                              &pool, &sparse_model)
+                  .ok());
+  ASSERT_TRUE(ml::RunNormalEquationsOnOperand(Operand(compressed_), *y_,
+                                              config, &pool, &compressed_model)
+                  .ok());
+
+  EXPECT_LE(MaxAbsDiff(sparse_model.weights, dense_model.weights), 1e-9);
+  EXPECT_LE(MaxAbsDiff(compressed_model.weights, dense_model.weights), 1e-9);
+  EXPECT_NEAR(sparse_model.intercept, dense_model.intercept, 1e-9);
+  EXPECT_NEAR(compressed_model.intercept, dense_model.intercept, 1e-9);
+
+  // The dense operand path is the ml::TrainGlm normal-equations solver.
+  auto front_door = ml::TrainGlm(*dense_, *y_, config, &pool);
+  ASSERT_TRUE(front_door.ok());
+  EXPECT_LE(MaxAbsDiff(front_door->weights, dense_model.weights), 1e-12);
+}
+
+TEST_F(ReprParityTest, UnifiedKMeansTracksRepresentations) {
+  ml::KMeansConfig config;
+  config.k = 3;
+  config.max_iters = 15;
+  config.seed = 11;
+
+  auto dense_model = ml::TrainKMeansOnOperand(Operand(dense_), config);
+  auto sparse_model = ml::TrainKMeansOnOperand(Operand(sparse_), config);
+  auto compressed_model = ml::TrainKMeansOnOperand(Operand(compressed_), config);
+  ASSERT_TRUE(dense_model.ok());
+  ASSERT_TRUE(sparse_model.ok());
+  ASSERT_TRUE(compressed_model.ok());
+
+  // Same seed, same math: the inertia trajectories must agree to fp noise.
+  EXPECT_NEAR(sparse_model->inertia, dense_model->inertia,
+              1e-6 * std::max(1.0, dense_model->inertia));
+  EXPECT_NEAR(compressed_model->inertia, dense_model->inertia,
+              1e-6 * std::max(1.0, dense_model->inertia));
+}
+
+TEST(BufferedExecutorBindTest, RebindAcrossShapesAndRepresentations) {
+  // A shape-polymorphic plan: colSums over a leaf with unknown rows.
+  auto leaf = *ExprNode::Placeholder(ExprNode::kUnknownDim, 4, "X");
+  auto expr = *ExprNode::ColSums(leaf);
+  BufferedExecutor executor;
+
+  auto small = std::make_shared<DenseMatrix>(data::GaussianMatrix(10, 4, 21));
+  auto big = std::make_shared<DenseMatrix>(data::GaussianMatrix(64, 4, 22));
+
+  ASSERT_TRUE(executor.Bind(leaf, Operand(small)).ok());
+  auto r1 = executor.Run(expr);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_LE(MaxAbsDiff(**r1, la::ColumnSums(*small)), 1e-12);
+
+  // Rebind to a different shape: buffers must be reshaped, not reused stale.
+  ASSERT_TRUE(executor.Bind(leaf, Operand(big)).ok());
+  auto r2 = executor.Run(expr);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_LE(MaxAbsDiff(**r2, la::ColumnSums(*big)), 1e-12);
+
+  // Rebind to a different representation (of partially-zeroed data).
+  DenseMatrix zeroed = *big;
+  for (size_t i = 0; i < zeroed.size(); i += 3) zeroed.data()[i] = 0.0;
+  auto sparse = std::make_shared<SparseMatrix>(ToCsr(zeroed));
+  ASSERT_TRUE(executor.Bind(leaf, Operand(sparse)).ok());
+  auto r3 = executor.Run(expr);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_LE(MaxAbsDiff(**r3, la::ColumnSums(sparse->ToDense())), 1e-12);
+
+  // Steady state on a stable binding: repeated runs allocate nothing new.
+  (void)executor.Run(expr);
+  const uint64_t allocs = CounterValue("la.inplace.allocs");
+  const uint64_t reuses = CounterValue("la.inplace.reuses");
+  for (int i = 0; i < 4; ++i) {
+    auto rerun = executor.Run(expr);
+    ASSERT_TRUE(rerun.ok());
+  }
+  EXPECT_EQ(CounterValue("la.inplace.allocs"), allocs)
+      << "repeated Run() on an unchanged binding must not allocate";
+  EXPECT_GT(CounterValue("la.inplace.reuses"), reuses);
+}
+
+TEST(BufferedExecutorBindTest, BindValidatesLeafAndShape) {
+  auto leaf = *ExprNode::Placeholder(8, 3, "X");
+  auto expr = *ExprNode::ColSums(leaf);
+  BufferedExecutor executor;
+  auto m = std::make_shared<DenseMatrix>(8, 3);
+
+  EXPECT_FALSE(executor.Bind(expr, Operand(m)).ok()) << "non-leaf bind";
+  EXPECT_FALSE(executor.Bind(leaf, Operand()).ok()) << "unbound operand";
+  auto wrong = std::make_shared<DenseMatrix>(9, 3);
+  EXPECT_FALSE(executor.Bind(leaf, Operand(wrong)).ok()) << "shape mismatch";
+  EXPECT_TRUE(executor.Bind(leaf, Operand(m)).ok());
+
+  // An unbound placeholder without a Bind must fail, not crash.
+  BufferedExecutor fresh;
+  EXPECT_FALSE(fresh.Run(expr).ok());
+}
+
+TEST(ParserPoolRegressionTest, EvalExpressionRunsKernelsOnCallersPool) {
+  // Regression: EvalExpression used to call OptimizeAndExecute without the
+  // pool, silently serializing every parsed program. A pooled Gram over
+  // enough rows must go through the parallel partial-reduction path.
+  auto x = std::make_shared<DenseMatrix>(data::GaussianMatrix(4096, 8, 31));
+  Environment env = {{"X", x}};
+  ThreadPool pool(4);
+
+  const uint64_t serial_before = CounterValue("la.parallel.reductions");
+  auto serial = EvalExpression("t(X) %*% X", env);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(CounterValue("la.parallel.reductions"), serial_before)
+      << "no pool, no parallel reduction";
+
+  const uint64_t pooled_before = CounterValue("la.parallel.reductions");
+  auto pooled = EvalExpression("t(X) %*% X", env, &pool);
+  ASSERT_TRUE(pooled.ok());
+  EXPECT_GT(CounterValue("la.parallel.reductions"), pooled_before)
+      << "EvalExpression must thread the caller's pool to the kernels";
+  EXPECT_LE(MaxAbsDiff(*pooled, *serial), 1e-9);
+}
+
+}  // namespace
+}  // namespace dmml::laopt
