@@ -331,6 +331,7 @@ void FusionAblation() {
 }  // namespace
 
 int main() {
+  dmml::bench::ObsServerScope obs_server;  // DMML_OBS_PORT exposition
   std::printf("Ablation experiments over dmml design choices\n\n");
   JoinAblation();
   PlannerAblation();

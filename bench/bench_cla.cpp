@@ -243,6 +243,7 @@ void ThreadSweep(const char* name, const la::DenseMatrix& m, double min_seconds,
 }  // namespace
 
 int main(int argc, char** argv) {
+  dmml::bench::ObsServerScope obs_server;  // DMML_OBS_PORT exposition
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;

@@ -71,6 +71,7 @@ CellResult RunCell(size_t ns, size_t nr, size_t ds_cols, size_t dr, size_t epoch
 }  // namespace
 
 int main(int argc, char** argv) {
+  dmml::bench::ObsServerScope obs_server;  // DMML_OBS_PORT exposition
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;

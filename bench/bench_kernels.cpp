@@ -300,6 +300,7 @@ void BenchSparseTranspose(size_t rows, size_t cols, double density,
 }  // namespace
 
 int main(int argc, char** argv) {
+  dmml::bench::ObsServerScope obs_server;  // DMML_OBS_PORT exposition
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;

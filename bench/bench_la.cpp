@@ -96,6 +96,7 @@ BENCHMARK(BM_Dot);
 
 // Expanded BENCHMARK_MAIN() so the metrics snapshot lands after the run.
 int main(int argc, char** argv) {
+  dmml::bench::ObsServerScope obs_server;  // DMML_OBS_PORT exposition
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -12,8 +12,11 @@
 // hand-coded loop over the same compressed kernels (it dispatches to the
 // identical MultiplyVector / VectorMultiply ops, so the delta is pure
 // executor overhead). `--smoke` shrinks every section for CI.
+#include <algorithm>
+#include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <memory>
@@ -26,8 +29,11 @@
 #include "laopt/analysis.h"
 #include "laopt/executor.h"
 #include "laopt/expr.h"
+#include "laopt/operand.h"
 #include "laopt/optimizer.h"
+#include "laopt/profile.h"
 #include "ml/glm.h"
+#include "ml/unified_trainers.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -114,6 +120,13 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
 
+  // The demo EXPLAIN ANALYZE profile outlives the exposition-server scope
+  // below (destruction is reverse order), so a scraper arriving during the
+  // DMML_OBS_HOLD_SECS window still sees `/profiles` → "bench.glm_epoch".
+  auto epoch_profile = std::make_shared<laopt::PlanProfile>();
+  obs::ScopedProfileRegistration epoch_profile_reg;
+  bench::ObsServerScope obs_server;  // no-op unless DMML_OBS_PORT is set
+
   std::printf("E3: LA expression rewrites — naive plan vs optimized plan%s\n\n",
               smoke ? " (smoke)" : "");
   TablePrinter table({"expression", "mflops_pre", "mflops_post", "naive_ms",
@@ -163,22 +176,70 @@ int main(int argc, char** argv) {
     config.max_epochs = epochs;
     config.tolerance = 0;  // Fixed work: every run does `epochs` epochs.
 
-    double hand_ms = HandCodedCompressedGlmMsPerEpoch(compressed, y, config);
-    Stopwatch watch;
-    auto unified = cla::TrainCompressedGlm(compressed, y, config);
-    if (!unified.ok()) std::exit(1);
-    double unified_ms =
-        watch.ElapsedMillis() / static_cast<double>(unified->epochs_run);
+    // Best-of-3 per variant: single 5-epoch timings are too noisy for the
+    // smoke gate below, and "best" is the right estimator for pure-overhead
+    // comparisons (noise only ever adds time).
+    const int trials = 3;
+    double hand_ms = std::numeric_limits<double>::infinity();
+    double unified_ms = std::numeric_limits<double>::infinity();
+    double profiled_ms = std::numeric_limits<double>::infinity();
+    laopt::Operand operand(std::shared_ptr<const cla::CompressedMatrix>(
+        std::shared_ptr<void>(), &compressed));
+    for (int t = 0; t < trials; ++t) {
+      hand_ms = std::min(hand_ms,
+                         HandCodedCompressedGlmMsPerEpoch(compressed, y, config));
+
+      Stopwatch watch;
+      auto unified = cla::TrainCompressedGlm(compressed, y, config);
+      if (!unified.ok()) std::exit(1);
+      unified_ms = std::min(
+          unified_ms, watch.ElapsedMillis() / static_cast<double>(unified->epochs_run));
+
+      Stopwatch pwatch;
+      auto profiled =
+          ml::TrainGlmOnOperand(operand, y, config, nullptr, epoch_profile.get());
+      if (!profiled.ok()) std::exit(1);
+      profiled_ms = std::min(
+          pwatch.ElapsedMillis() / static_cast<double>(profiled->epochs_run),
+          profiled_ms);
+    }
+    epoch_profile_reg = laopt::RegisterProfile("bench.glm_epoch", epoch_profile);
 
     const std::string gsize = std::to_string(gn) + "x" + std::to_string(gd);
     json.Record("compressed_glm_epoch.handcoded", gsize, 1, hand_ms * 1e6, 0.0);
     json.Record("compressed_glm_epoch.unified", gsize, 1, unified_ms * 1e6, 0.0);
+    json.Record("compressed_glm_epoch.profiled", gsize, 1, profiled_ms * 1e6, 0.0);
     std::printf(
         "\ncompressed GLM (%s, %zu epochs): hand-coded %.2f ms/epoch, unified\n"
         "operand path %.2f ms/epoch (overhead %+.1f%%; same MultiplyVector /\n"
-        "VectorMultiply kernels, delta is executor dispatch)\n",
+        "VectorMultiply kernels, delta is executor dispatch), with EXPLAIN\n"
+        "ANALYZE profiling attached %.2f ms/epoch (%+.1f%% over unified)\n",
         gsize.c_str(), epochs, hand_ms, unified_ms,
-        (unified_ms / hand_ms - 1.0) * 100.0);
+        (unified_ms / hand_ms - 1.0) * 100.0, profiled_ms,
+        (profiled_ms / unified_ms - 1.0) * 100.0);
+
+    if (smoke) {
+      // CI gate: with no profile attached, the executor's per-node cost is a
+      // single pointer test. The unified path carries ~10% dispatch overhead
+      // over the hand-coded loop by construction (measured before the
+      // profiler existed), so the bound leaves noise headroom above that and
+      // trips on any real profiler-off regression stacked on top.
+      const char* env = std::getenv("DMML_SMOKE_PROFILER_BOUND");
+      double bound = (env != nullptr && env[0] != '\0') ? std::atof(env) : 1.25;
+      double ratio = unified_ms / hand_ms;
+      if (ratio > bound) {
+        std::fprintf(stderr,
+                     "SMOKE FAIL: profiler-disabled unified epoch %.3f ms vs "
+                     "hand-coded %.3f ms (ratio %.3f > bound %.3f)\n",
+                     unified_ms, hand_ms, ratio, bound);
+        return 1;
+      }
+      std::printf("smoke: profiler-off overhead ratio %.3f within bound %.3f\n",
+                  ratio, bound);
+    }
+
+    std::printf("\nEXPLAIN ANALYZE (GLM epoch plans, %" PRIu64 " profiled runs):\n%s\n",
+                epoch_profile->runs(), epoch_profile->ExplainAnalyzeText().c_str());
   }
 
   table.EmitCsv("E3_laopt");

@@ -20,6 +20,7 @@ using bench::TablePrinter;
 }  // namespace
 
 int main() {
+  dmml::bench::ObsServerScope obs_server;  // DMML_OBS_PORT exposition
   std::printf("E6: model selection — sequential vs batched grid search\n");
   std::printf("linear regression, n = 30000, d = 80, 2-fold CV, 15 epochs/config\n\n");
 

@@ -51,6 +51,7 @@ void RunMode(TablePrinter* table, BenchJsonEmitter* json, const std::string& siz
 }  // namespace
 
 int main(int argc, char** argv) {
+  dmml::bench::ObsServerScope obs_server;  // DMML_OBS_PORT exposition
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;

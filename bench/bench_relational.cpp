@@ -25,6 +25,7 @@ using bench::TablePrinter;
 }  // namespace
 
 int main() {
+  dmml::bench::ObsServerScope obs_server;  // DMML_OBS_PORT exposition
   std::printf("E7: relational substrate throughput and in-engine ML pipeline\n\n");
 
   data::StarSchemaOptions options;

@@ -61,6 +61,7 @@ void RunVariant(TablePrinter* table, BenchJsonEmitter* json,
 }  // namespace
 
 int main(int argc, char** argv) {
+  dmml::bench::ObsServerScope obs_server;  // DMML_OBS_PORT exposition
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;

@@ -7,12 +7,16 @@
 #ifndef DMML_BENCH_BENCH_UTIL_H_
 #define DMML_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/server.h"
 #include "obs/trace.h"
 
 namespace dmml::bench {
@@ -92,6 +96,45 @@ class BenchJsonEmitter {
     double gflops;
   };
   std::vector<Rec> records_;
+};
+
+/// \brief Starts the obs exposition endpoint for the lifetime of a bench run
+/// when DMML_OBS_PORT is set (see obs/server.h). Declare early in main():
+/// `/metrics`, `/metrics.json`, `/trace`, and `/profiles` then serve live
+/// snapshots while the experiment executes. On teardown the scope can hold
+/// the server open for DMML_OBS_HOLD_SECS seconds so a scraper launched
+/// alongside the bench (e.g. the static_checks curl smoke) can fetch the
+/// final state before the process exits.
+class ObsServerScope {
+ public:
+  ObsServerScope() : server_(obs::ExpositionServer::StartFromEnv()) {
+    if (server_) {
+      std::printf("#OBS-SERVER port=%u\n",
+                  static_cast<unsigned>(server_->port()));
+      std::fflush(stdout);  // scrapers poll stdout for this marker
+    }
+  }
+
+  ~ObsServerScope() {
+    if (!server_) return;
+    const char* env = std::getenv("DMML_OBS_HOLD_SECS");
+    long hold = (env != nullptr && env[0] != '\0') ? std::atol(env) : 0;
+    if (hold > 0) {
+      std::printf("#OBS-SERVER holding %ld s on port %u\n", hold,
+                  static_cast<unsigned>(server_->port()));
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::seconds(hold));
+    }
+    server_->Stop();
+  }
+
+  ObsServerScope(const ObsServerScope&) = delete;
+  ObsServerScope& operator=(const ObsServerScope&) = delete;
+
+  bool running() const { return server_ != nullptr && server_->running(); }
+
+ private:
+  std::unique_ptr<obs::ExpositionServer> server_;
 };
 
 /// \brief Formats a double with the given precision.

@@ -15,6 +15,16 @@
 #     the unified GLM/k-means trainers) built and run under TSan and under
 #     ASan+UBSan, so the representation-dispatch and slot-reuse paths of the
 #     buffered executor are exercised with threads under both sanitizers.
+#     The TSan build additionally runs obs_test (concurrent endpoint scrapes
+#     against the exposition server) and laopt_profile_test (profile writes
+#     racing registry reads).
+#
+# The Release smoke also covers the profiler: bench_laopt --smoke asserts
+# that the profiler-disabled unified GLM epoch loop stays within
+# DMML_SMOKE_PROFILER_BOUND (default 1.10) of the hand-coded baseline, and a
+# curl pass starts bench_laopt with DMML_OBS_PORT=0, scrapes /metrics and
+# /profiles from the advertised port, and validates the JSON (skipped
+# gracefully when curl is absent).
 #
 # Usage:
 #
@@ -63,9 +73,10 @@ fi
 # Release smoke: parity + NaN scan at full optimization.
 # ---------------------------------------------------------------------------
 smoke_dir="$repo_root/build-smoke"
-echo "static_checks: building bench_kernels + bench_cla (Release) in $smoke_dir..."
+echo "static_checks: building bench_kernels + bench_cla + bench_laopt (Release) in $smoke_dir..."
 if cmake -B "$smoke_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null \
-    && cmake --build "$smoke_dir" --target bench_kernels --target bench_cla -j >/dev/null; then
+    && cmake --build "$smoke_dir" --target bench_kernels --target bench_cla \
+         --target bench_laopt -j >/dev/null; then
   if "$smoke_dir/bench/bench_kernels" --smoke; then
     echo "static_checks: kernel smoke clean"
   else
@@ -78,8 +89,66 @@ if cmake -B "$smoke_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null \
     echo "static_checks: FAILED — bench_cla smoke found parity errors" >&2
     status=1
   fi
+  # Profiler-disabled overhead gate: the unified GLM epoch loop with no
+  # profile attached must stay within the bound of the hand-coded baseline
+  # (the executor adds one pointer test per node when profiling is off).
+  if "$smoke_dir/bench/bench_laopt" --smoke >/dev/null; then
+    echo "static_checks: laopt profiler-overhead smoke clean"
+  else
+    echo "static_checks: FAILED — bench_laopt smoke (profiler overhead bound)" >&2
+    status=1
+  fi
+
+  # Exposition-endpoint smoke: run the bench with the obs server held open,
+  # scrape /metrics and /profiles from the advertised ephemeral port, and
+  # validate the JSON payload.
+  if command -v curl >/dev/null 2>&1; then
+    obs_log="$smoke_dir/obs_smoke.log"
+    DMML_OBS_PORT=0 DMML_OBS_HOLD_SECS=20 \
+      "$smoke_dir/bench/bench_laopt" --smoke >"$obs_log" 2>&1 &
+    obs_pid=$!
+    obs_port=""
+    for _ in $(seq 1 100); do
+      obs_port="$(sed -n 's/^#OBS-SERVER port=\([0-9][0-9]*\)$/\1/p' "$obs_log" | head -n1)"
+      [ -n "$obs_port" ] && break
+      kill -0 "$obs_pid" 2>/dev/null || break
+      sleep 0.1
+    done
+    obs_ok=1
+    if [ -z "$obs_port" ]; then
+      echo "static_checks: FAILED — bench_laopt never advertised #OBS-SERVER port" >&2
+      obs_ok=0
+    else
+      # The bench holds the server open for DMML_OBS_HOLD_SECS after its
+      # last section, so the endpoints stay scrapeable here.
+      if ! curl -fsS --max-time 10 "http://127.0.0.1:$obs_port/metrics" | grep -q '^counter '; then
+        echo "static_checks: FAILED — /metrics scrape on port $obs_port" >&2
+        obs_ok=0
+      fi
+      profiles_json="$(curl -fsS --max-time 10 "http://127.0.0.1:$obs_port/profiles")" || profiles_json=""
+      case "$profiles_json" in
+        '{"profiles":'*) : ;;
+        *) echo "static_checks: FAILED — /profiles scrape on port $obs_port" >&2; obs_ok=0 ;;
+      esac
+      if [ "$obs_ok" -eq 1 ] && command -v python3 >/dev/null 2>&1; then
+        if ! printf '%s' "$profiles_json" | python3 -c 'import json,sys; json.load(sys.stdin)'; then
+          echo "static_checks: FAILED — /profiles payload is not valid JSON" >&2
+          obs_ok=0
+        fi
+      fi
+    fi
+    kill "$obs_pid" 2>/dev/null
+    wait "$obs_pid" 2>/dev/null
+    if [ "$obs_ok" -eq 1 ]; then
+      echo "static_checks: obs endpoint smoke clean (port $obs_port)"
+    else
+      status=1
+    fi
+  else
+    echo "static_checks: skipping obs endpoint smoke (curl not found)"
+  fi
 else
-  echo "static_checks: FAILED — could not build bench_kernels/bench_cla" >&2
+  echo "static_checks: FAILED — could not build bench_kernels/bench_cla/bench_laopt" >&2
   status=1
 fi
 
@@ -107,5 +176,20 @@ run_sanitized_repr_gate() {
 
 run_sanitized_repr_gate "thread" "$repo_root/build-tsan"
 run_sanitized_repr_gate "address,undefined" "$repo_root/build-asan"
+
+# Observability under TSan: concurrent endpoint scrapes against the
+# exposition server (obs_test) and profile writes racing registry snapshot
+# reads (laopt_profile_test) reuse the TSan build dir from the gate above.
+tsan_dir="$repo_root/build-tsan"
+for t in obs_test laopt_profile_test; do
+  echo "static_checks: building $t (DMML_SANITIZE=thread)..."
+  if cmake --build "$tsan_dir" --target "$t" -j >/dev/null \
+      && "$tsan_dir/tests/$t" >/dev/null; then
+    echo "static_checks: $t clean under thread sanitizer"
+  else
+    echo "static_checks: FAILED — $t under thread sanitizer" >&2
+    status=1
+  fi
+done
 
 exit "$status"

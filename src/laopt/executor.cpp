@@ -6,6 +6,7 @@
 
 #include "la/kernels.h"
 #include "laopt/optimizer.h"
+#include "laopt/profile.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -45,8 +46,20 @@ struct OpInstruments {
   }
 };
 
+// Nonzeros actually materialized in a dense buffer — the ground truth the
+// analyzer's sparsity estimate is calibrated against.
+uint64_t CountDenseNnz(const DenseMatrix& m) {
+  uint64_t nnz = 0;
+  const double* data = m.data();
+  for (size_t i = 0; i < m.size(); ++i) nnz += data[i] != 0.0;
+  return nnz;
+}
+
+}  // namespace
+
 // Which kernel family executed a node — the laopt.repr.* dispatch counters.
-void CountDispatch(Repr repr) {
+void BufferedExecutor::CountDispatch(Slot& slot, Repr repr) {
+  slot.last_dispatch = repr;
   switch (repr) {
     case Repr::kDense:
       DMML_COUNTER_INC("laopt.repr.dense_ops");
@@ -60,17 +73,56 @@ void CountDispatch(Repr repr) {
   }
 }
 
-}  // namespace
+void BufferedExecutor::RecordNodeProfile(const ExprPtr& node, const Slot& slot,
+                                         uint64_t incl_us, uint64_t self_us) {
+  const Value& v = slot.out;
+  size_t rows = 0;
+  size_t cols = 0;
+  uint64_t nnz = 0;
+  switch (v.repr) {
+    case Repr::kDense:
+      rows = v.d->rows();
+      cols = v.d->cols();
+      nnz = CountDenseNnz(*v.d);
+      break;
+    case Repr::kSparse:
+      rows = v.s->rows();
+      cols = v.s->cols();
+      nnz = v.s->nnz();
+      break;
+    case Repr::kCompressed:
+      // Compressed values never carry an exact nnz without decompressing;
+      // report dense (the conservative assumption, matching the analyzer).
+      rows = v.c->rows();
+      cols = v.c->cols();
+      nnz = static_cast<uint64_t>(rows) * cols;
+      break;
+  }
+  profile_->AddNodeSample(node.get(), incl_us, self_us, slot.last_dispatch,
+                          v.repr, rows, cols, nnz);
+}
 
 Result<const DenseMatrix*> BufferedExecutor::Run(const ExprPtr& root,
                                                  ExecStats* stats) {
   if (!root) return Status::InvalidArgument("Execute: null expression");
   DMML_TRACE_SPAN("laopt.execute");
   ++epoch_;
-  DMML_ASSIGN_OR_RETURN(Value out, Eval(root, stats));
+  run_tally_ = ExecStats{};
+  if (profile_ != nullptr) {
+    profile_->BeginRun(root);
+    prof_child_us_ = 0;
+  }
+  DMML_ASSIGN_OR_RETURN(Value out, Eval(root));
   // Callers receive dense results; a non-dense root (e.g. a bare sparse
   // leaf, or a transpose of one) is densified into executor storage.
-  return Densify(root, out, stats);
+  DMML_ASSIGN_OR_RETURN(const DenseMatrix* dense, Densify(root, out));
+  if (stats != nullptr) {
+    stats->ops_executed += run_tally_.ops_executed;
+    stats->memo_hits += run_tally_.memo_hits;
+    stats->densify_fallbacks += run_tally_.densify_fallbacks;
+  }
+  if (profile_ != nullptr) profile_->EndRun(run_tally_);
+  return dense;
 }
 
 Status BufferedExecutor::Bind(const ExprPtr& leaf, Operand operand) {
@@ -93,8 +145,7 @@ Status BufferedExecutor::Bind(const ExprPtr& leaf, Operand operand) {
 }
 
 Result<const DenseMatrix*> BufferedExecutor::Densify(const ExprPtr& owner,
-                                                     const Value& v,
-                                                     ExecStats* stats) {
+                                                     const Value& v) {
   if (v.repr == Repr::kDense) return v.d;
   Slot& slot = slots_[owner.get()];
   const void* src = v.repr == Repr::kSparse ? static_cast<const void*>(v.s)
@@ -103,8 +154,9 @@ Result<const DenseMatrix*> BufferedExecutor::Densify(const ExprPtr& owner,
   // itself persists across runs; only the fill is repeated (leaf payloads
   // may be mutated in place between runs).
   if (slot.aux_epoch != epoch_ || slot.aux_src != src) {
-    if (stats) stats->densify_fallbacks++;
+    run_tally_.densify_fallbacks++;
     DMML_COUNTER_INC("laopt.repr.densify_fallbacks");
+    if (profile_ != nullptr) profile_->AddDensify(owner.get());
     if (v.repr == Repr::kSparse) {
       slot.aux.Reshape(v.s->rows(), v.s->cols());
       slot.aux.Fill(0.0);
@@ -128,29 +180,32 @@ Result<const DenseMatrix*> BufferedExecutor::Densify(const ExprPtr& owner,
 // kernels that never materialize the transpose (SystemML-style physical
 // operator selection).
 Result<BufferedExecutor::Value> BufferedExecutor::EvalMatMul(
-    const ExprPtr& node, Slot& slot, ExecStats* stats) {
+    const ExprPtr& node, Slot& slot) {
   const ExprPtr& lc = node->children()[0];
   const ExprPtr& rc = node->children()[1];
 
   if (lc->kind() == OpKind::kTranspose) {
     const ExprPtr& u = lc->children()[0];
-    DMML_ASSIGN_OR_RETURN(Value uv, Eval(u, stats));
+    DMML_ASSIGN_OR_RETURN(Value uv, Eval(u));
     if (uv.repr == Repr::kDense) {
       if (rc.get() == u.get()) {
         // t(U) %*% U — the SYRK/Gram kernel, exactly as la::Gram computes it.
+        if (profile_ != nullptr) profile_->AddFusedUse(lc.get());
         la::GramInto(*uv.d, &slot.buf, pool_);
-        CountDispatch(Repr::kDense);
+        CountDispatch(slot, Repr::kDense);
         return Value{Repr::kDense, &slot.buf, nullptr, nullptr};
       }
-      DMML_ASSIGN_OR_RETURN(Value vv, Eval(rc, stats));
-      DMML_ASSIGN_OR_RETURN(const DenseMatrix* vd, Densify(rc, vv, stats));
+      DMML_ASSIGN_OR_RETURN(Value vv, Eval(rc));
+      DMML_ASSIGN_OR_RETURN(const DenseMatrix* vd, Densify(rc, vv));
+      if (profile_ != nullptr) profile_->AddFusedUse(lc.get());
       la::TransposeMultiplyInto(*uv.d, *vd, &slot.buf, pool_);
-      CountDispatch(Repr::kDense);
+      CountDispatch(slot, Repr::kDense);
       return Value{Repr::kDense, &slot.buf, nullptr, nullptr};
     }
     if (uv.repr == Repr::kCompressed) {
-      DMML_ASSIGN_OR_RETURN(Value vv, Eval(rc, stats));
-      DMML_ASSIGN_OR_RETURN(const DenseMatrix* vd, Densify(rc, vv, stats));
+      DMML_ASSIGN_OR_RETURN(Value vv, Eval(rc));
+      DMML_ASSIGN_OR_RETURN(const DenseMatrix* vd, Densify(rc, vv));
+      if (profile_ != nullptr) profile_->AddFusedUse(lc.get());
       if (vd->cols() == 1) {
         // t(X) %*% v == (v^T X)^T: the dictionary-pre-aggregating
         // VectorMultiply produces 1 x d; reinterpret as d x 1 (identical
@@ -161,75 +216,79 @@ Result<BufferedExecutor::Value> BufferedExecutor::EvalMatMul(
         DMML_RETURN_IF_ERROR(
             uv.c->TransposeMultiplyMatrixInto(*vd, &slot.buf, pool_));
       }
-      CountDispatch(Repr::kCompressed);
+      CountDispatch(slot, Repr::kCompressed);
       return Value{Repr::kDense, &slot.buf, nullptr, nullptr};
     }
     if (uv.repr == Repr::kSparse) {
-      DMML_ASSIGN_OR_RETURN(Value vv, Eval(rc, stats));
+      DMML_ASSIGN_OR_RETURN(Value vv, Eval(rc));
       if (vv.repr == Repr::kDense && vv.d->cols() == 1) {
         // t(S) %*% v == (v^T S)^T via the CSR Gevm reduction — no
         // materialized transpose; 1 x d reinterpreted as d x 1.
+        if (profile_ != nullptr) profile_->AddFusedUse(lc.get());
         la::SparseGevmInto(*vv.d, *uv.s, &slot.buf, pool_);
         slot.buf.Reshape(slot.buf.cols(), 1);
-        CountDispatch(Repr::kSparse);
+        CountDispatch(slot, Repr::kSparse);
         return Value{Repr::kDense, &slot.buf, nullptr, nullptr};
       }
       // General t(S) %*% M: fall through — the generic path evaluates the
       // transpose node (materialized once as CSR) and dispatches on it.
     }
   } else if (rc->kind() == OpKind::kTranspose) {
-    DMML_ASSIGN_OR_RETURN(Value av, Eval(lc, stats));
-    DMML_ASSIGN_OR_RETURN(Value bv, Eval(rc->children()[0], stats));
+    DMML_ASSIGN_OR_RETURN(Value av, Eval(lc));
+    DMML_ASSIGN_OR_RETURN(Value bv, Eval(rc->children()[0]));
     if (av.repr == Repr::kDense && bv.repr == Repr::kDense) {
+      if (profile_ != nullptr) profile_->AddFusedUse(rc.get());
       la::MultiplyTransposeBInto(*av.d, *bv.d, &slot.buf, pool_);
-      CountDispatch(Repr::kDense);
+      CountDispatch(slot, Repr::kDense);
       return Value{Repr::kDense, &slot.buf, nullptr, nullptr};
     }
     // Non-dense operands: fall through to the generic path (the transpose
     // node evaluates against the memoized grandchild).
   }
 
-  DMML_ASSIGN_OR_RETURN(Value a, Eval(lc, stats));
-  DMML_ASSIGN_OR_RETURN(Value b, Eval(rc, stats));
+  DMML_ASSIGN_OR_RETURN(Value a, Eval(lc));
+  DMML_ASSIGN_OR_RETURN(Value b, Eval(rc));
   switch (a.repr) {
     case Repr::kSparse: {
-      DMML_ASSIGN_OR_RETURN(const DenseMatrix* bd, Densify(rc, b, stats));
+      DMML_ASSIGN_OR_RETURN(const DenseMatrix* bd, Densify(rc, b));
       if (bd->cols() == 1) {
         la::SparseGemvInto(*a.s, *bd, &slot.buf, pool_);
       } else {
         la::SparseMultiplyDenseInto(*a.s, *bd, &slot.buf, pool_);
       }
-      CountDispatch(Repr::kSparse);
+      CountDispatch(slot, Repr::kSparse);
       break;
     }
     case Repr::kCompressed: {
-      DMML_ASSIGN_OR_RETURN(const DenseMatrix* bd, Densify(rc, b, stats));
+      DMML_ASSIGN_OR_RETURN(const DenseMatrix* bd, Densify(rc, b));
       if (bd->cols() == 1) {
         DMML_RETURN_IF_ERROR(a.c->MultiplyVectorInto(*bd, &slot.buf, pool_));
       } else {
         DMML_RETURN_IF_ERROR(a.c->MultiplyMatrixInto(*bd, &slot.buf, pool_));
       }
-      CountDispatch(Repr::kCompressed);
+      CountDispatch(slot, Repr::kCompressed);
       break;
     }
     case Repr::kDense: {
-      DMML_ASSIGN_OR_RETURN(const DenseMatrix* bd, Densify(rc, b, stats));
+      DMML_ASSIGN_OR_RETURN(const DenseMatrix* bd, Densify(rc, b));
       la::MultiplyInto(*a.d, *bd, &slot.buf, pool_);
-      CountDispatch(Repr::kDense);
+      CountDispatch(slot, Repr::kDense);
       break;
     }
   }
   return Value{Repr::kDense, &slot.buf, nullptr, nullptr};
 }
 
-Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node,
-                                                       ExecStats* stats) {
+Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
   // unordered_map element references are stable across the recursive inserts
   // below, so holding `slot` through child evaluation is safe.
   Slot& slot = slots_[node.get()];
   if (slot.epoch == epoch_) {
-    if (stats) stats->memo_hits++;
+    run_tally_.memo_hits++;
     DMML_COUNTER_INC("laopt.executor.memo_hits");
+    if (profile_ != nullptr && node->kind() != OpKind::kInput) {
+      profile_->AddMemoHit(node.get());
+    }
     return slot.out;
   }
 
@@ -256,7 +315,7 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node,
     }
     return slot.out;
   }
-  if (stats) stats->ops_executed++;
+  run_tally_.ops_executed++;
 
   const size_t kind_idx = static_cast<size_t>(node->kind());
   const OpInstruments& instruments = OpInstruments::Get();
@@ -264,37 +323,48 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node,
   obs::ScopedTimerUs op_timer(instruments.micros[kind_idx]);
   DMML_TRACE_SPAN(instruments.span_name[kind_idx].c_str());
 
+  // Profiling prologue: note the wall clock and open a fresh child-time
+  // scope, so inclusive minus accumulated-child time yields self time.
+  const bool profiled = profile_ != nullptr;
+  uint64_t prof_start_us = 0;
+  uint64_t saved_child_us = 0;
+  if (profiled) {
+    prof_start_us = obs::NowMicros();
+    saved_child_us = prof_child_us_;
+    prof_child_us_ = 0;
+  }
+
   slot.out = {Repr::kDense, &slot.buf, nullptr, nullptr};
   switch (node->kind()) {
     case OpKind::kMatMul: {
-      DMML_ASSIGN_OR_RETURN(slot.out, EvalMatMul(node, slot, stats));
+      DMML_ASSIGN_OR_RETURN(slot.out, EvalMatMul(node, slot));
       break;
     }
     case OpKind::kTranspose: {
-      DMML_ASSIGN_OR_RETURN(Value a, Eval(node->children()[0], stats));
+      DMML_ASSIGN_OR_RETURN(Value a, Eval(node->children()[0]));
       if (a.repr == Repr::kSparse) {
         // Transposes of sparse values stay CSR (O(nnz) counting transpose),
         // so t(S) %*% M downstream still runs sparse kernels.
         slot.sbuf = la::SparseTranspose(*a.s);
         slot.out = {Repr::kSparse, nullptr, &slot.sbuf, nullptr};
-        CountDispatch(Repr::kSparse);
+        CountDispatch(slot, Repr::kSparse);
       } else {
         DMML_ASSIGN_OR_RETURN(const DenseMatrix* ad,
-                              Densify(node->children()[0], a, stats));
+                              Densify(node->children()[0], a));
         la::TransposeInto(*ad, &slot.buf, pool_);
-        CountDispatch(Repr::kDense);
+        CountDispatch(slot, Repr::kDense);
       }
       break;
     }
     case OpKind::kAdd:
     case OpKind::kSubtract:
     case OpKind::kElemMul: {
-      DMML_ASSIGN_OR_RETURN(Value a, Eval(node->children()[0], stats));
-      DMML_ASSIGN_OR_RETURN(Value b, Eval(node->children()[1], stats));
+      DMML_ASSIGN_OR_RETURN(Value a, Eval(node->children()[0]));
+      DMML_ASSIGN_OR_RETURN(Value b, Eval(node->children()[1]));
       DMML_ASSIGN_OR_RETURN(const DenseMatrix* ad,
-                            Densify(node->children()[0], a, stats));
+                            Densify(node->children()[0], a));
       DMML_ASSIGN_OR_RETURN(const DenseMatrix* bd,
-                            Densify(node->children()[1], b, stats));
+                            Densify(node->children()[1], b));
       if (node->kind() == OpKind::kAdd) {
         la::AddInto(*ad, *bd, &slot.buf);
       } else if (node->kind() == OpKind::kSubtract) {
@@ -302,29 +372,29 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node,
       } else {
         la::ElementwiseMultiplyInto(*ad, *bd, &slot.buf);
       }
-      CountDispatch(Repr::kDense);
+      CountDispatch(slot, Repr::kDense);
       break;
     }
     case OpKind::kScalarMul: {
-      DMML_ASSIGN_OR_RETURN(Value a, Eval(node->children()[0], stats));
+      DMML_ASSIGN_OR_RETURN(Value a, Eval(node->children()[0]));
       DMML_ASSIGN_OR_RETURN(const DenseMatrix* ad,
-                            Densify(node->children()[0], a, stats));
+                            Densify(node->children()[0], a));
       la::ScaleInto(*ad, node->scalar(), &slot.buf);
-      CountDispatch(Repr::kDense);
+      CountDispatch(slot, Repr::kDense);
       break;
     }
     case OpKind::kSum: {
-      DMML_ASSIGN_OR_RETURN(Value a, Eval(node->children()[0], stats));
+      DMML_ASSIGN_OR_RETURN(Value a, Eval(node->children()[0]));
       slot.buf.Reshape(1, 1);
       if (a.repr == Repr::kSparse) {
         slot.buf.At(0, 0) = la::SparseSum(*a.s);
-        CountDispatch(Repr::kSparse);
+        CountDispatch(slot, Repr::kSparse);
       } else if (a.repr == Repr::kCompressed) {
         slot.buf.At(0, 0) = a.c->Sum(pool_);
-        CountDispatch(Repr::kCompressed);
+        CountDispatch(slot, Repr::kCompressed);
       } else {
         slot.buf.At(0, 0) = la::Sum(*a.d, pool_);
-        CountDispatch(Repr::kDense);
+        CountDispatch(slot, Repr::kDense);
       }
       break;
     }
@@ -335,50 +405,52 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node,
       // distance expansion never decompresses X.
       if (ch->kind() == OpKind::kElemMul &&
           ch->children()[0].get() == ch->children()[1].get()) {
-        DMML_ASSIGN_OR_RETURN(Value g, Eval(ch->children()[0], stats));
+        DMML_ASSIGN_OR_RETURN(Value g, Eval(ch->children()[0]));
         if (g.repr == Repr::kCompressed) {
+          if (profile_ != nullptr) profile_->AddFusedUse(ch.get());
           DMML_RETURN_IF_ERROR(g.c->RowSquaredNormsInto(&slot.buf, pool_));
-          CountDispatch(Repr::kCompressed);
+          CountDispatch(slot, Repr::kCompressed);
           break;
         }
         if (g.repr == Repr::kSparse) {
+          if (profile_ != nullptr) profile_->AddFusedUse(ch.get());
           la::SparseRowSquaredNormsInto(*g.s, &slot.buf);
-          CountDispatch(Repr::kSparse);
+          CountDispatch(slot, Repr::kSparse);
           break;
         }
         // Dense G: the generic path below is already one fused pass short of
         // optimal but keeps op accounting unchanged.
       }
-      DMML_ASSIGN_OR_RETURN(Value a, Eval(ch, stats));
+      DMML_ASSIGN_OR_RETURN(Value a, Eval(ch));
       if (a.repr == Repr::kSparse) {
         la::SparseRowSumsInto(*a.s, &slot.buf);
-        CountDispatch(Repr::kSparse);
+        CountDispatch(slot, Repr::kSparse);
       } else if (a.repr == Repr::kCompressed) {
         // rowSums(X) == X %*% 1: reuse this node's aux as the ones vector.
         slot.aux.Reshape(a.c->cols(), 1);
         slot.aux.Fill(1.0);
         DMML_RETURN_IF_ERROR(a.c->MultiplyVectorInto(slot.aux, &slot.buf, pool_));
-        CountDispatch(Repr::kCompressed);
+        CountDispatch(slot, Repr::kCompressed);
       } else {
         la::RowSumsInto(*a.d, &slot.buf, pool_);
-        CountDispatch(Repr::kDense);
+        CountDispatch(slot, Repr::kDense);
       }
       break;
     }
     case OpKind::kColSums: {
-      DMML_ASSIGN_OR_RETURN(Value a, Eval(node->children()[0], stats));
+      DMML_ASSIGN_OR_RETURN(Value a, Eval(node->children()[0]));
       if (a.repr == Repr::kSparse) {
         la::SparseColumnSumsInto(*a.s, &slot.buf);
-        CountDispatch(Repr::kSparse);
+        CountDispatch(slot, Repr::kSparse);
       } else if (a.repr == Repr::kCompressed) {
         // colSums(X) == 1^T X via the pre-aggregating VectorMultiply.
         slot.aux.Reshape(a.c->rows(), 1);
         slot.aux.Fill(1.0);
         DMML_RETURN_IF_ERROR(a.c->VectorMultiplyInto(slot.aux, &slot.buf, pool_));
-        CountDispatch(Repr::kCompressed);
+        CountDispatch(slot, Repr::kCompressed);
       } else {
         la::ColumnSumsInto(*a.d, &slot.buf, pool_);
-        CountDispatch(Repr::kDense);
+        CountDispatch(slot, Repr::kDense);
       }
       break;
     }
@@ -386,6 +458,14 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node,
       return Status::Internal("unknown op kind in executor");
   }
   slot.epoch = epoch_;
+  if (profiled) {
+    const uint64_t incl_us = obs::NowMicros() - prof_start_us;
+    const uint64_t child_us = prof_child_us_;
+    RecordNodeProfile(node, slot, incl_us,
+                      incl_us > child_us ? incl_us - child_us : 0);
+    // This node's inclusive time is child time from the parent's viewpoint.
+    prof_child_us_ = saved_child_us + incl_us;
+  }
   return slot.out;
 }
 

@@ -35,7 +35,14 @@
 
 namespace dmml::laopt {
 
+class PlanProfile;
+
 /// \brief Execution statistics.
+///
+/// Backed by the executor's per-run tally: Run() counts into one internal
+/// tally and folds it into both the caller's ExecStats (accumulating across
+/// runs, as before) and the attached PlanProfile's totals — the two views
+/// are projections of the same counts and can never disagree.
 struct ExecStats {
   size_t ops_executed = 0;       ///< Non-leaf nodes evaluated.
   size_t memo_hits = 0;          ///< Shared sub-DAGs reused.
@@ -87,6 +94,15 @@ class BufferedExecutor {
   /// \brief Number of node buffers currently retained.
   size_t num_slots() const { return slots_.size(); }
 
+  /// \brief Attaches (or detaches, with nullptr) a runtime profile: every
+  /// subsequent Run() records per-node wall time, dispatch representation,
+  /// and output nnz into it (see laopt/profile.h). `profile` must outlive
+  /// the executor or a later set_profile(nullptr). With no profile attached
+  /// the executor takes the exact pre-profiler code path — one pointer test
+  /// per node, zero profile allocations.
+  void set_profile(PlanProfile* profile) { profile_ = profile; }
+  PlanProfile* profile() const { return profile_; }
+
  private:
   /// A node's evaluated result: exactly one pointer is set. Leaves surface
   /// their bound representation; non-leaf results are dense (except
@@ -106,22 +122,41 @@ class BufferedExecutor {
     const void* aux_src = nullptr;  ///< Payload the aux densify came from.
     uint64_t aux_epoch = 0;       ///< Last Run() that refreshed aux.
     uint64_t epoch = 0;           ///< Last Run() that filled the slot.
+    Repr last_dispatch = Repr::kDense;  ///< Kernel family that last filled it.
     Value out;
   };
 
-  Result<Value> Eval(const ExprPtr& node, ExecStats* stats);
-  Result<Value> EvalMatMul(const ExprPtr& node, Slot& slot, ExecStats* stats);
+  Result<Value> Eval(const ExprPtr& node);
+  Result<Value> EvalMatMul(const ExprPtr& node, Slot& slot);
 
   /// Dense view of `v` (the value of `owner`): returns it directly when
   /// dense, otherwise materializes into `owner`'s aux buffer (cached per
   /// payload per run) and counts a `laopt.repr.densify_fallbacks`.
-  Result<const la::DenseMatrix*> Densify(const ExprPtr& owner, const Value& v,
-                                         ExecStats* stats);
+  Result<const la::DenseMatrix*> Densify(const ExprPtr& owner, const Value& v);
+
+  /// Bumps the laopt.repr.* dispatch counter and notes the kernel family in
+  /// `slot` so the profiler can report the chosen representation.
+  static void CountDispatch(Slot& slot, Repr repr);
+
+  /// Folds one node execution (inclusive/self wall micros plus the slot's
+  /// materialized output) into the attached profile.
+  void RecordNodeProfile(const ExprPtr& node, const Slot& slot,
+                         uint64_t incl_us, uint64_t self_us);
 
   ThreadPool* pool_ = nullptr;
   uint64_t epoch_ = 0;
   std::unordered_map<const ExprNode*, Slot> slots_;
   std::unordered_map<const ExprNode*, Operand> binds_;
+
+  /// Counts for the Run() in flight; folded into caller stats and the
+  /// profile at Run() end (see ExecStats doc).
+  ExecStats run_tally_;
+
+  PlanProfile* profile_ = nullptr;
+  /// Inclusive micros of already-profiled children of the node currently
+  /// evaluating — subtracted from the parent's inclusive time to get self
+  /// time (saved/restored around each recursion level).
+  uint64_t prof_child_us_ = 0;
 };
 
 /// \brief Evaluates `root`, reusing results for shared sub-DAGs (pointer

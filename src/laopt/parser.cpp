@@ -287,8 +287,19 @@ Result<ExprPtr> ParseExpression(const std::string& source, const Environment& en
 
 Result<la::DenseMatrix> EvalExpression(const std::string& source,
                                        const Environment& env, ThreadPool* pool) {
+  return EvalExpression(source, env, pool, nullptr);
+}
+
+Result<la::DenseMatrix> EvalExpression(const std::string& source,
+                                       const Environment& env, ThreadPool* pool,
+                                       PlanProfile* profile) {
   DMML_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpression(source, env));
-  return OptimizeAndExecute(expr, pool);
+  if (profile == nullptr) return OptimizeAndExecute(expr, pool);
+  DMML_ASSIGN_OR_RETURN(ExprPtr optimized, Optimize(expr));
+  BufferedExecutor executor(pool);
+  executor.set_profile(profile);
+  DMML_ASSIGN_OR_RETURN(const la::DenseMatrix* out, executor.Run(optimized));
+  return *out;  // Copies out of the executor's transient buffers.
 }
 
 }  // namespace dmml::laopt

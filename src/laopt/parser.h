@@ -68,6 +68,17 @@ Result<la::DenseMatrix> EvalExpression(const std::string& source,
                                        const Environment& env,
                                        ThreadPool* pool = nullptr);
 
+class PlanProfile;
+
+/// \brief EvalExpression with EXPLAIN ANALYZE instrumentation: the optimized
+/// plan executes with `profile` attached (laopt/profile.h), so the caller
+/// can render per-node actual time and estimate-vs-actual calibration for
+/// the parsed program. A null `profile` behaves exactly like the overload
+/// above.
+Result<la::DenseMatrix> EvalExpression(const std::string& source,
+                                       const Environment& env, ThreadPool* pool,
+                                       PlanProfile* profile);
+
 }  // namespace dmml::laopt
 
 #endif  // DMML_LAOPT_PARSER_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <memory>
 #include <vector>
@@ -10,7 +12,9 @@
 #include "la/ops.h"
 #include "laopt/executor.h"
 #include "laopt/expr.h"
+#include "laopt/profile.h"
 #include "obs/trace.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace dmml::ml {
@@ -30,10 +34,60 @@ Operand Borrow(const DenseMatrix& m) {
       std::shared_ptr<const DenseMatrix>(std::shared_ptr<void>(), &m));
 }
 
+bool ExplainAnalyzeEnvEnabled() {
+  const char* v = std::getenv("DMML_EXPLAIN_ANALYZE");
+  if (v == nullptr || *v == '\0') return false;
+  return std::strcmp(v, "0") != 0 && std::strcmp(v, "false") != 0 &&
+         std::strcmp(v, "FALSE") != 0 && std::strcmp(v, "off") != 0;
+}
+
+// Resolves the profile a trainer invocation records into: the caller's, or —
+// when DMML_EXPLAIN_ANALYZE asks for a report and the caller passed none — a
+// trainer-local PlanProfile whose calibration report is logged on scope
+// exit. Whichever is active gets published on the obs `/profiles` endpoint
+// under the trainer's span name for the duration of training.
+class ScopedTrainerProfile {
+ public:
+  ScopedTrainerProfile(laopt::PlanProfile* caller_profile, const char* name)
+      : caller_profile_(caller_profile), name_(name) {
+    if (caller_profile_ == nullptr && ExplainAnalyzeEnvEnabled()) {
+      local_ = std::make_unique<laopt::PlanProfile>();
+    }
+    if (active() != nullptr) {
+      // Non-owning shared_ptr: the registration never outlives this scope,
+      // and the provider only runs while the endpoint can still scrape us.
+      registration_ = laopt::RegisterProfile(
+          name_, std::shared_ptr<const laopt::PlanProfile>(
+                     std::shared_ptr<void>(), active()));
+    }
+  }
+
+  ~ScopedTrainerProfile() {
+    if (local_) {
+      DMML_LOG(Info) << "DMML_EXPLAIN_ANALYZE " << name_ << "\n"
+                     << local_->ExplainAnalyzeText();
+    }
+  }
+
+  ScopedTrainerProfile(const ScopedTrainerProfile&) = delete;
+  ScopedTrainerProfile& operator=(const ScopedTrainerProfile&) = delete;
+
+  laopt::PlanProfile* active() const {
+    return local_ ? local_.get() : caller_profile_;
+  }
+
+ private:
+  laopt::PlanProfile* caller_profile_;
+  const char* name_;
+  std::unique_ptr<laopt::PlanProfile> local_;
+  obs::ScopedProfileRegistration registration_;
+};
+
 }  // namespace
 
 Result<GlmModel> TrainGlmOnOperand(const Operand& x, const DenseMatrix& y,
-                                   const GlmConfig& config, ThreadPool* pool) {
+                                   const GlmConfig& config, ThreadPool* pool,
+                                   laopt::PlanProfile* profile) {
   if (!x.bound()) return Status::InvalidArgument("GLM: unbound design operand");
   const size_t n = x.rows(), d = x.cols();
   if (n == 0 || d == 0) return Status::InvalidArgument("GLM: empty data");
@@ -64,7 +118,9 @@ Result<GlmModel> TrainGlmOnOperand(const Operand& x, const DenseMatrix& y,
   DMML_ASSIGN_OR_RETURN(ExprPtr xt, ExprNode::Transpose(xleaf));
   DMML_ASSIGN_OR_RETURN(ExprPtr scores_expr, ExprNode::MatMul(xleaf, wleaf));
   DMML_ASSIGN_OR_RETURN(ExprPtr grad_expr, ExprNode::MatMul(xt, rleaf));
+  ScopedTrainerProfile prof(profile, "ml.glm.train_operand");
   BufferedExecutor executor(pool);
+  executor.set_profile(prof.active());
 
   GlmModel model;
   model.family = config.family;
@@ -123,7 +179,7 @@ Result<GlmModel> TrainGlmOnOperand(const Operand& x, const DenseMatrix& y,
 
 Status RunNormalEquationsOnOperand(const Operand& x, const DenseMatrix& y,
                                    const GlmConfig& config, ThreadPool* pool,
-                                   GlmModel* model) {
+                                   GlmModel* model, laopt::PlanProfile* profile) {
   if (!x.bound()) return Status::InvalidArgument("GLM: unbound design operand");
   const size_t n = x.rows(), d = x.cols();
   if (n == 0 || d == 0) return Status::InvalidArgument("GLM: empty data");
@@ -145,7 +201,9 @@ Status RunNormalEquationsOnOperand(const Operand& x, const DenseMatrix& y,
   DMML_ASSIGN_OR_RETURN(ExprPtr xt, ExprNode::Transpose(xleaf));
   DMML_ASSIGN_OR_RETURN(ExprPtr gram_expr, ExprNode::MatMul(xt, xleaf));
   DMML_ASSIGN_OR_RETURN(ExprPtr xty_expr, ExprNode::MatMul(xt, yleaf));
+  ScopedTrainerProfile prof(profile, "ml.glm.normal_equations");
   BufferedExecutor executor(pool);
+  executor.set_profile(prof.active());
 
   DenseMatrix xtx(da, da);
   DenseMatrix xty(da, 1);
@@ -214,7 +272,8 @@ Status RunNormalEquationsOnOperand(const Operand& x, const DenseMatrix& y,
 
 Result<KMeansModel> TrainKMeansOnOperand(const Operand& x,
                                          const KMeansConfig& config,
-                                         ThreadPool* pool) {
+                                         ThreadPool* pool,
+                                         laopt::PlanProfile* profile) {
   if (!x.bound()) {
     return Status::InvalidArgument("k-means: unbound design operand");
   }
@@ -224,7 +283,9 @@ Result<KMeansModel> TrainKMeansOnOperand(const Operand& x,
 
   DMML_ASSIGN_OR_RETURN(ExprPtr xleaf, ExprNode::InputOperand(x, "X"));
   DMML_ASSIGN_OR_RETURN(ExprPtr xt, ExprNode::Transpose(xleaf));
+  ScopedTrainerProfile prof(profile, "ml.kmeans.train_operand");
   BufferedExecutor executor(pool);
+  executor.set_profile(prof.active());
 
   // Initial centers: k sampled rows, extracted via a one-hot
   // transpose-multiply so no representation needs decompressing.

@@ -23,6 +23,10 @@
 #include "util/result.h"
 #include "util/thread_pool.h"
 
+namespace dmml::laopt {
+class PlanProfile;
+}  // namespace dmml::laopt
+
 namespace dmml::ml {
 
 /// \brief Full-batch gradient-descent GLM training on a design matrix in
@@ -30,10 +34,20 @@ namespace dmml::ml {
 /// the representation's native kernels (dense GEMM, CSR gemv/gevm, or the
 /// compressed dictionary-pre-aggregating operators); buffers are executor
 /// slots reused across epochs, so steady-state epochs allocate nothing.
+///
+/// Profiling (all three trainers): pass a `profile` to accumulate per-node
+/// EXPLAIN ANALYZE evidence across every epoch's executor runs
+/// (laopt/profile.h). With a null `profile`, setting the
+/// DMML_EXPLAIN_ANALYZE environment variable to a truthy value makes the
+/// trainer profile into a local PlanProfile and log the calibration report
+/// at the end of training. While training runs, the active profile is
+/// published on the obs `/profiles` endpoint under the trainer's span name
+/// (e.g. "ml.glm.train_operand").
 Result<GlmModel> TrainGlmOnOperand(const laopt::Operand& x,
                                    const la::DenseMatrix& y,
                                    const GlmConfig& config,
-                                   ThreadPool* pool = nullptr);
+                                   ThreadPool* pool = nullptr,
+                                   laopt::PlanProfile* profile = nullptr);
 
 /// \brief Closed-form ridge solve (XᵀX + nλI) w = Xᵀy over any
 /// representation of X (Gaussian family). XᵀX, Xᵀy and the intercept
@@ -45,7 +59,8 @@ Result<GlmModel> TrainGlmOnOperand(const laopt::Operand& x,
 Status RunNormalEquationsOnOperand(const laopt::Operand& x,
                                    const la::DenseMatrix& y,
                                    const GlmConfig& config, ThreadPool* pool,
-                                   GlmModel* model);
+                                   GlmModel* model,
+                                   laopt::PlanProfile* profile = nullptr);
 
 /// \brief Lloyd's k-means on a design matrix in any representation
 /// (uniform random-row init, expanded-distance assignment). Per-iteration
@@ -53,7 +68,8 @@ Status RunNormalEquationsOnOperand(const laopt::Operand& x,
 /// binding's native kernels; the compressed binding never decompresses X.
 Result<KMeansModel> TrainKMeansOnOperand(const laopt::Operand& x,
                                          const KMeansConfig& config,
-                                         ThreadPool* pool = nullptr);
+                                         ThreadPool* pool = nullptr,
+                                         laopt::PlanProfile* profile = nullptr);
 
 }  // namespace dmml::ml
 

@@ -8,10 +8,6 @@
 
 namespace dmml::obs {
 
-namespace {
-
-// Escapes a metric name for JSON embedding (names are dotted identifiers in
-// practice, but snapshots must stay valid JSON for arbitrary strings).
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
@@ -34,6 +30,8 @@ std::string JsonEscape(const std::string& s) {
   }
   return out;
 }
+
+namespace {
 
 std::string FormatDouble(double v) {
   char buf[64];
@@ -195,6 +193,7 @@ std::string MetricsRegistry::TextSnapshot() const {
     os << "histogram " << name << " count=" << n << " sum="
        << FormatDouble(h->Sum()) << " mean=" << FormatDouble(h->Mean())
        << " p50=" << FormatDouble(h->Percentile(50))
+       << " p95=" << FormatDouble(h->Percentile(95))
        << " p99=" << FormatDouble(h->Percentile(99)) << " buckets=[";
     for (size_t i = 0; i < h->num_buckets(); ++i) {
       if (i) os << " ";
@@ -233,7 +232,11 @@ std::string MetricsRegistry::JsonSnapshot() const {
     if (!first) os << ",";
     first = false;
     os << "\"" << JsonEscape(name) << "\":{\"count\":" << h->TotalCount()
-       << ",\"sum\":" << FormatDouble(h->Sum()) << ",\"bounds\":[";
+       << ",\"sum\":" << FormatDouble(h->Sum())
+       << ",\"mean\":" << FormatDouble(h->Mean())
+       << ",\"p50\":" << FormatDouble(h->Percentile(50))
+       << ",\"p95\":" << FormatDouble(h->Percentile(95))
+       << ",\"p99\":" << FormatDouble(h->Percentile(99)) << ",\"bounds\":[";
     for (size_t i = 0; i < h->bounds().size(); ++i) {
       if (i) os << ",";
       os << FormatDouble(h->bounds()[i]);

@@ -30,6 +30,11 @@ size_t ThisThreadShard();
 /// \brief Monotonic microseconds since process start (trace timebase).
 uint64_t NowMicros();
 
+/// \brief Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters). Shared by every obs JSON exporter —
+/// metric names, trace span names, profile payloads.
+std::string JsonEscape(const std::string& s);
+
 /// \brief A monotonically increasing sum, sharded to keep concurrent
 /// increments off each other's cache lines.
 class Counter {

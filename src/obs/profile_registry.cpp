@@ -1,0 +1,52 @@
+#include "obs/profile_registry.h"
+
+#include <sstream>
+#include <vector>
+
+#include "obs/metrics.h"  // JsonEscape
+
+namespace dmml::obs {
+
+ProfileRegistry& ProfileRegistry::Global() {
+  // Leaked on purpose: scoped registrations may unregister during static
+  // destruction, after a function-local static would already be gone.
+  static ProfileRegistry* registry = new ProfileRegistry();
+  return *registry;
+}
+
+void ProfileRegistry::Register(const std::string& name, Provider provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  providers_[name] = std::move(provider);
+}
+
+void ProfileRegistry::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  providers_.erase(name);
+}
+
+size_t ProfileRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return providers_.size();
+}
+
+std::string ProfileRegistry::JsonSnapshot() const {
+  std::vector<std::pair<std::string, Provider>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.assign(providers_.begin(), providers_.end());
+  }
+  std::ostringstream os;
+  os << "{\"profiles\":{";
+  bool first = true;
+  for (const auto& [name, provider] : snapshot) {
+    if (!first) os << ",";
+    first = false;
+    std::string value = provider ? provider() : std::string();
+    if (value.empty()) value = "null";
+    os << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace dmml::obs

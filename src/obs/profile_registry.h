@@ -1,0 +1,93 @@
+/// \file profile_registry.h
+/// \brief Named JSON-profile providers for the exposition endpoint.
+///
+/// Higher layers (laopt plan profiles, future serving stats) register a
+/// closure that renders their current state as a JSON value; the obs layer
+/// never sees their types, so the dependency arrow stays pointing down.
+/// `ExpositionServer` snapshots the registry on every `/profiles` request,
+/// invoking each provider outside the registry lock so a slow renderer
+/// cannot block registration or other scrapes.
+#ifndef DMML_OBS_PROFILE_REGISTRY_H_
+#define DMML_OBS_PROFILE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace dmml::obs {
+
+/// \brief Process-wide map from profile name to a JSON-rendering closure.
+class ProfileRegistry {
+ public:
+  /// Renders the provider's current state as one JSON *value* (object,
+  /// array, ...). Must be callable from any thread; an empty result is
+  /// exported as JSON null.
+  using Provider = std::function<std::string()>;
+
+  /// \brief Process-wide registry (never destroyed, safe during exit).
+  static ProfileRegistry& Global();
+
+  /// \brief Registers `provider` under `name`, replacing any previous entry.
+  void Register(const std::string& name, Provider provider);
+
+  /// \brief Removes `name`; no-op when absent.
+  void Unregister(const std::string& name);
+
+  size_t size() const;
+
+  /// \brief {"profiles":{"name":<value>,...}} over all registered providers.
+  /// Providers run outside the registry lock.
+  std::string JsonSnapshot() const;
+
+ private:
+  ProfileRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Provider> providers_;
+};
+
+/// \brief RAII registration in ProfileRegistry::Global(); movable so callers
+/// can stash it in scopes that outlive the registering statement. A
+/// default-constructed instance owns nothing.
+class ScopedProfileRegistration {
+ public:
+  ScopedProfileRegistration() = default;
+  ScopedProfileRegistration(std::string name, ProfileRegistry::Provider provider)
+      : name_(std::move(name)) {
+    ProfileRegistry::Global().Register(name_, std::move(provider));
+  }
+  ~ScopedProfileRegistration() { Release(); }
+
+  ScopedProfileRegistration(ScopedProfileRegistration&& other) noexcept
+      : name_(std::move(other.name_)) {
+    other.name_.clear();
+  }
+  ScopedProfileRegistration& operator=(ScopedProfileRegistration&& other) noexcept {
+    if (this != &other) {
+      Release();
+      name_ = std::move(other.name_);
+      other.name_.clear();
+    }
+    return *this;
+  }
+  ScopedProfileRegistration(const ScopedProfileRegistration&) = delete;
+  ScopedProfileRegistration& operator=(const ScopedProfileRegistration&) = delete;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  void Release() {
+    if (!name_.empty()) {
+      ProfileRegistry::Global().Unregister(name_);
+      name_.clear();
+    }
+  }
+
+  std::string name_;
+};
+
+}  // namespace dmml::obs
+
+#endif  // DMML_OBS_PROFILE_REGISTRY_H_

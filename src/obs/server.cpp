@@ -1,0 +1,232 @@
+#include "obs/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "obs/profile_registry.h"
+#include "obs/trace.h"
+
+namespace dmml::obs {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8192;
+
+void CloseFd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Writes the whole buffer, riding out EINTR and short writes. The socket
+/// stays blocking, so this only fails when the peer goes away.
+bool WriteAll(int fd, const char* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void SendResponse(int fd, const char* status_line, const char* content_type,
+                  const std::string& body) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << status_line << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n";
+  std::string head = os.str();
+  if (WriteAll(fd, head.data(), head.size())) {
+    WriteAll(fd, body.data(), body.size());
+  }
+}
+
+/// Reads until the end of the request headers ("\r\n\r\n") or the size cap.
+/// Returns false on socket error, timeout, or an oversized request.
+bool ReadRequestHead(int fd, std::string* head) {
+  char buf[1024];
+  while (head->size() < kMaxRequestBytes) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // peer closed before finishing headers
+    head->append(buf, static_cast<size_t>(n));
+    if (head->find("\r\n\r\n") != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ExpositionServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    error_ = "already running";
+    return false;
+  }
+  error_.clear();
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    error_ = "invalid bind address: " + options_.bind_address;
+    CloseFd(listen_fd_);
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    error_ = std::string("bind: ") + std::strerror(errno);
+    CloseFd(listen_fd_);
+    return false;
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    error_ = std::string("listen: ") + std::strerror(errno);
+    CloseFd(listen_fd_);
+    return false;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+
+  if (::pipe(wake_pipe_) < 0) {
+    error_ = std::string("pipe: ") + std::strerror(errno);
+    CloseFd(listen_fd_);
+    return false;
+  }
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread(&ExpositionServer::Serve, this);
+  return true;
+}
+
+void ExpositionServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Wake the poll in Serve(); the loop re-checks running_ and exits.
+  char byte = 'q';
+  ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+  (void)ignored;
+  if (thread_.joinable()) thread_.join();
+  CloseFd(listen_fd_);
+  CloseFd(wake_pipe_[0]);
+  CloseFd(wake_pipe_[1]);
+  bound_port_ = 0;
+}
+
+void ExpositionServer::Serve() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (!running_.load(std::memory_order_acquire)) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    // Bound how long one dead client can stall the serial loop.
+    timeval tv{/*tv_sec=*/2, /*tv_usec=*/0};
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    HandleConnection(client);
+    ::close(client);
+  }
+}
+
+void ExpositionServer::HandleConnection(int fd) {
+  DMML_COUNTER_INC("obs.server.requests");
+  std::string head;
+  if (!ReadRequestHead(fd, &head)) {
+    DMML_COUNTER_INC("obs.server.errors");
+    return;
+  }
+  std::istringstream request_line(head.substr(0, head.find("\r\n")));
+  std::string method, path;
+  request_line >> method >> path;
+  if (method != "GET") {
+    SendResponse(fd, "405 Method Not Allowed", "text/plain; charset=utf-8",
+                 "only GET is supported\n");
+    return;
+  }
+  // Scrapers commonly append query strings (?t=...); routing ignores them.
+  size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  if (path == "/metrics") {
+    SendResponse(fd, "200 OK", "text/plain; charset=utf-8",
+                 MetricsRegistry::Global().TextSnapshot());
+  } else if (path == "/metrics.json") {
+    SendResponse(fd, "200 OK", "application/json",
+                 MetricsRegistry::Global().JsonSnapshot());
+  } else if (path == "/trace") {
+    SendResponse(fd, "200 OK", "application/json", ChromeTraceJson());
+  } else if (path == "/profiles") {
+    SendResponse(fd, "200 OK", "application/json",
+                 ProfileRegistry::Global().JsonSnapshot());
+  } else if (path == "/" || path == "/index.html") {
+    SendResponse(fd, "200 OK", "text/plain; charset=utf-8",
+                 "dmml observability endpoints:\n"
+                 "  /metrics       counters/gauges/histograms (text)\n"
+                 "  /metrics.json  same, as JSON\n"
+                 "  /trace         Chrome trace-event JSON\n"
+                 "  /profiles      registered plan profiles (JSON)\n");
+  } else {
+    DMML_COUNTER_INC("obs.server.errors");
+    SendResponse(fd, "404 Not Found", "text/plain; charset=utf-8",
+                 "unknown path: " + path + "\n");
+  }
+}
+
+std::unique_ptr<ExpositionServer> ExpositionServer::StartFromEnv() {
+  const char* v = std::getenv("DMML_OBS_PORT");
+  if (v == nullptr || *v == '\0') return nullptr;
+  char* end = nullptr;
+  long port = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || port < 0 || port > 65535) {
+    std::fprintf(stderr, "dmml: ignoring malformed DMML_OBS_PORT=%s\n", v);
+    return nullptr;
+  }
+  Options options;
+  options.port = static_cast<uint16_t>(port);
+  auto server = std::make_unique<ExpositionServer>(std::move(options));
+  if (!server->Start()) {
+    std::fprintf(stderr, "dmml: DMML_OBS_PORT=%s: %s\n", v,
+                 server->error().c_str());
+    return nullptr;
+  }
+  return server;
+}
+
+}  // namespace dmml::obs

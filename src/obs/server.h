@@ -1,0 +1,87 @@
+/// \file server.h
+/// \brief Minimal HTTP/1.1 exposition server for metrics, traces, profiles.
+///
+/// One background thread runs a blocking accept loop and serves each request
+/// to completion before accepting the next — deliberately single-threaded:
+/// scrape traffic is one Prometheus-style poller every few seconds, and a
+/// serial loop cannot have handler races. Endpoints:
+///
+///   /metrics       text/plain   MetricsRegistry::TextSnapshot()
+///   /metrics.json  JSON         MetricsRegistry::JsonSnapshot()
+///   /trace         JSON         ChromeTraceJson() (load in Perfetto)
+///   /profiles      JSON         ProfileRegistry::JsonSnapshot()
+///
+/// Lifecycle: `Start()` binds and spawns the thread; `Stop()` (or the
+/// destructor) wakes the accept loop through a self-pipe and joins. Binding
+/// port 0 picks an ephemeral port, readable via `port()` — tests use this to
+/// avoid collisions. `StartFromEnv()` is the production entry: it reads
+/// DMML_OBS_PORT and returns nullptr when unset so callers can
+/// unconditionally hold the unique_ptr.
+#ifndef DMML_OBS_SERVER_H_
+#define DMML_OBS_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+namespace dmml::obs {
+
+/// \brief Serves the process's observability state over HTTP.
+class ExpositionServer {
+ public:
+  struct Options {
+    /// TCP port to bind; 0 picks an ephemeral port (see port()).
+    uint16_t port = 0;
+    /// Loopback by default: the endpoint exposes internal state and is not
+    /// meant to face anything but a local scraper or an ssh tunnel.
+    std::string bind_address = "127.0.0.1";
+  };
+
+  explicit ExpositionServer(Options options) : options_(std::move(options)) {}
+  ~ExpositionServer() { Stop(); }
+
+  ExpositionServer(const ExpositionServer&) = delete;
+  ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+  /// \brief Binds, listens, and spawns the serving thread. Returns false
+  /// (with the reason in error()) on bind/listen failure or double start.
+  bool Start();
+
+  /// \brief Signals the accept loop, joins the thread, closes the socket.
+  /// Idempotent; safe to call on a never-started server.
+  void Stop();
+
+  /// \brief True between a successful Start() and Stop().
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// \brief The bound port (the chosen one when Options::port was 0).
+  /// Valid after a successful Start().
+  uint16_t port() const { return bound_port_; }
+
+  /// \brief Why the last Start() failed; empty on success.
+  const std::string& error() const { return error_; }
+
+  /// \brief Starts a server on DMML_OBS_PORT. Returns nullptr when the
+  /// variable is unset/empty; "0" binds an ephemeral port. On malformed
+  /// values or bind failure, reports to stderr and returns nullptr — an
+  /// observability endpoint must never take down the training process.
+  static std::unique_ptr<ExpositionServer> StartFromEnv();
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  Options options_;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // [0] read end polled by Serve, [1] Stop writes
+  uint16_t bound_port_ = 0;
+  std::string error_;
+};
+
+}  // namespace dmml::obs
+
+#endif  // DMML_OBS_SERVER_H_

@@ -104,6 +104,8 @@ void RecordSpan(const char* name, uint64_t start_us, uint64_t end_us) {
   ThisThreadRing().Record(name, start_us, end_us);
 }
 
+size_t TraceRingCapacity() { return kRingCapacity; }
+
 std::vector<TraceEvent> CollectTraceEvents() {
   std::vector<TraceEvent> out;
   RingDirectory& dir = Directory();
@@ -129,7 +131,7 @@ std::string ChromeTraceJson() {
   for (size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
     if (i) os << ",";
-    os << "{\"name\":\"" << e.name << "\",\"cat\":\"dmml\",\"ph\":\"X\",\"ts\":"
+    os << "{\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\"dmml\",\"ph\":\"X\",\"ts\":"
        << e.start_us << ",\"dur\":" << e.dur_us << ",\"pid\":0,\"tid\":" << e.tid
        << "}";
   }

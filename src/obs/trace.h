@@ -48,6 +48,9 @@ struct TraceEvent {
 /// Rings hold a fixed number of events and overwrite the oldest.
 void RecordSpan(const char* name, uint64_t start_us, uint64_t end_us);
 
+/// \brief Max events retained per thread before the oldest are overwritten.
+size_t TraceRingCapacity();
+
 /// \brief Snapshot of every thread's ring, ordered by (tid, start time).
 /// Includes events from threads that have already exited.
 std::vector<TraceEvent> CollectTraceEvents();

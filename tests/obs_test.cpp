@@ -1,13 +1,22 @@
-// Tests for the dmml::obs metrics registry and scoped tracing.
+// Tests for the dmml::obs metrics registry, scoped tracing, the profile
+// registry, and the HTTP exposition server.
 #include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cctype>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/profile_registry.h"
+#include "obs/server.h"
 #include "obs/trace.h"
 
 namespace dmml::obs {
@@ -318,6 +327,275 @@ TEST_F(TracingTest, ThreadIdsAreDenseAndStable) {
   std::atomic<uint32_t> other{0};
   std::thread([&] { other = ThisThreadId(); }).join();
   EXPECT_NE(other.load(), id1);
+}
+
+TEST(SnapshotTest, ExportsCarryQuantiles) {
+  auto& reg = MetricsRegistry::Global();
+  Histogram* h = reg.GetHistogram("obs_test.quantile_hist", {1.0, 2.0, 4.0, 8.0});
+  h->Reset();
+  for (int i = 0; i < 95; ++i) h->Observe(1.5);
+  for (int i = 0; i < 5; ++i) h->Observe(7.0);
+
+  std::string text = reg.TextSnapshot();
+  size_t line = text.find("histogram obs_test.quantile_hist");
+  ASSERT_NE(line, std::string::npos);
+  std::string row = text.substr(line, text.find('\n', line) - line);
+  for (const char* field : {"mean=", "p50=", "p95=", "p99="}) {
+    EXPECT_NE(row.find(field), std::string::npos) << field << " in: " << row;
+  }
+
+  std::string json = reg.JsonSnapshot();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  size_t obj = json.find("\"obs_test.quantile_hist\"");
+  ASSERT_NE(obj, std::string::npos);
+  std::string hist_obj = json.substr(obj, json.find('}', obj) - obj);
+  for (const char* field : {"\"mean\":", "\"p50\":", "\"p95\":", "\"p99\":"}) {
+    EXPECT_NE(hist_obj.find(field), std::string::npos)
+        << field << " in: " << hist_obj;
+  }
+
+  // The quantiles must bracket the data: p50 within the 1–2 bucket, p99 in
+  // the 4–8 bucket (both bucket-interpolated).
+  EXPECT_GT(h->Percentile(50), 1.0);
+  EXPECT_LE(h->Percentile(50), 2.0);
+  EXPECT_GT(h->Percentile(99), 4.0);
+  EXPECT_LE(h->Percentile(99), 8.0);
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+// ---------------------------------------------------------------------------
+// Trace-ring semantics
+
+TEST_F(TracingTest, RingOverflowKeepsTheNewestCapacityEvents) {
+  const size_t cap = TraceRingCapacity();
+  const size_t extra = 100;
+  // Record straight into this thread's ring: start times are the sequence
+  // number, so the retained window is directly checkable.
+  for (size_t i = 0; i < cap + extra; ++i) {
+    RecordSpan("obs_test.ring", /*start_us=*/i, /*end_us=*/i + 1);
+  }
+  auto events = CollectTraceEvents();
+  size_t ours = 0;
+  uint64_t min_start = UINT64_MAX;
+  uint64_t max_start = 0;
+  for (const auto& e : events) {
+    if (std::string(e.name) != "obs_test.ring") continue;
+    ++ours;
+    min_start = std::min(min_start, e.start_us);
+    max_start = std::max(max_start, e.start_us);
+  }
+  // Exactly one ring of events survives; the `extra` oldest were overwritten.
+  EXPECT_EQ(ours, cap);
+  EXPECT_EQ(min_start, extra);
+  EXPECT_EQ(max_start, cap + extra - 1);
+}
+
+TEST_F(TracingTest, ChromeTraceJsonEscapesHostileSpanNames) {
+  // Span names flow into JSON string literals; quotes, backslashes, and
+  // control characters must come out escaped (static storage: names must
+  // outlive the ring).
+  static const char kHostile[] = "obs_test.\"quoted\\back\nnewline\x02";
+  RecordSpan(kHostile, 1, 2);
+  std::string json = ChromeTraceJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\\\"quoted"), std::string::npos);
+  EXPECT_NE(json.find("\\\\back"), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\u0002"), std::string::npos);
+  // No raw newline may survive inside the document.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Profile registry
+
+TEST(ProfileRegistryTest, RegisterSnapshotUnregister) {
+  auto& reg = ProfileRegistry::Global();
+  const size_t before = reg.size();
+  reg.Register("obs_test.profile", [] { return std::string("{\"x\":1}"); });
+  reg.Register("obs_test.empty", [] { return std::string(); });  // → null
+  EXPECT_EQ(reg.size(), before + 2);
+
+  std::string json = reg.JsonSnapshot();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"obs_test.profile\":{\"x\":1}"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.empty\":null"), std::string::npos);
+
+  reg.Unregister("obs_test.profile");
+  reg.Unregister("obs_test.empty");
+  EXPECT_EQ(reg.size(), before);
+}
+
+TEST(ProfileRegistryTest, ScopedRegistrationIsRaiiAndMovable) {
+  auto& reg = ProfileRegistry::Global();
+  const size_t before = reg.size();
+  {
+    ScopedProfileRegistration outer;
+    {
+      ScopedProfileRegistration inner("obs_test.scoped",
+                                      [] { return std::string("[]"); });
+      EXPECT_EQ(reg.size(), before + 1);
+      outer = std::move(inner);  // ownership moves; no double unregister
+    }
+    EXPECT_EQ(reg.size(), before + 1);
+  }
+  EXPECT_EQ(reg.size(), before);
+}
+
+// ---------------------------------------------------------------------------
+// Exposition server
+
+namespace {
+
+// Minimal raw-socket HTTP/1.1 GET against 127.0.0.1:`port`; returns the full
+// response (headers + body), or "" on connection failure.
+std::string HttpGet(uint16_t port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string req = "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  size_t sent = 0;
+  while (sent < req.size()) {
+    ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string HttpBody(const std::string& response) {
+  size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? std::string() : response.substr(pos + 4);
+}
+
+}  // namespace
+
+TEST(ExpositionServerTest, ServesAllFourEndpointsWithValidPayloads) {
+  MetricsRegistry::Global().GetCounter("obs_test.server_counter")->Add(3);
+  ScopedProfileRegistration profile_reg("obs_test.server_profile",
+                                        [] { return std::string("{\"ok\":true}"); });
+  ExpositionServer server({/*port=*/0});
+  ASSERT_TRUE(server.Start()) << server.error();
+  ASSERT_GT(server.port(), 0);
+
+  std::string metrics = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain"), std::string::npos);
+  EXPECT_NE(HttpBody(metrics).find("obs_test.server_counter"), std::string::npos);
+
+  for (const char* path : {"/metrics.json", "/trace", "/profiles"}) {
+    std::string response = HttpGet(server.port(), path);
+    EXPECT_NE(response.find("200 OK"), std::string::npos) << path;
+    EXPECT_NE(response.find("application/json"), std::string::npos) << path;
+    EXPECT_TRUE(JsonChecker(HttpBody(response)).Valid())
+        << path << ": " << HttpBody(response);
+  }
+  EXPECT_NE(HttpBody(HttpGet(server.port(), "/profiles"))
+                .find("\"obs_test.server_profile\":{\"ok\":true}"),
+            std::string::npos);
+
+  EXPECT_NE(HttpGet(server.port(), "/nope").find("404"), std::string::npos);
+  EXPECT_NE(HttpGet(server.port(), "/").find("200 OK"), std::string::npos);
+  // Query strings are routing noise, not a different resource.
+  EXPECT_NE(HttpGet(server.port(), "/metrics?ts=1").find("200 OK"),
+            std::string::npos);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ExpositionServerTest, StopIsIdempotentAndServerRestartable) {
+  ExpositionServer server({/*port=*/0});
+  ASSERT_TRUE(server.Start());
+  uint16_t first_port = server.port();
+  EXPECT_FALSE(server.Start());  // double start refused
+  server.Stop();
+  server.Stop();  // idempotent
+  ASSERT_TRUE(server.Start()) << server.error();
+  EXPECT_GT(server.port(), 0);
+  EXPECT_NE(HttpGet(server.port(), "/metrics").find("200 OK"), std::string::npos);
+  server.Stop();
+  (void)first_port;
+}
+
+TEST(ExpositionServerTest, ConcurrentScrapesWhileInstrumentsAdvance) {
+  ExpositionServer server({/*port=*/0});
+  ASSERT_TRUE(server.Start());
+  const uint16_t port = server.port();
+
+  // Writers hammer the instruments the endpoints snapshot while several
+  // scrapers fetch every endpoint — the TSan gate runs this test.
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t t = 0;
+    while (!stop.load()) {
+      DMML_COUNTER_INC("obs_test.scrape_counter");
+      RecordSpan("obs_test.scrape_span", t, t + 1);
+      ++t;
+    }
+  });
+
+  constexpr int kScrapers = 4;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> scrapers;
+  scrapers.reserve(kScrapers);
+  for (int t = 0; t < kScrapers; ++t) {
+    scrapers.emplace_back([&, t] {
+      const char* paths[] = {"/metrics", "/metrics.json", "/trace", "/profiles"};
+      for (int i = 0; i < 8; ++i) {
+        std::string response = HttpGet(port, paths[(t + i) % 4]);
+        if (response.find("200 OK") != std::string::npos) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : scrapers) t.join();
+  stop.store(true);
+  writer.join();
+  server.Stop();
+  EXPECT_EQ(ok.load(), kScrapers * 8);
+}
+
+TEST(ExpositionServerTest, StartFromEnvHonorsTheVariable) {
+  // Unset → no server.
+  ::unsetenv("DMML_OBS_PORT");
+  EXPECT_EQ(ExpositionServer::StartFromEnv(), nullptr);
+
+  // Malformed → no server (and no crash).
+  ::setenv("DMML_OBS_PORT", "not_a_port", 1);
+  EXPECT_EQ(ExpositionServer::StartFromEnv(), nullptr);
+  ::setenv("DMML_OBS_PORT", "70000", 1);
+  EXPECT_EQ(ExpositionServer::StartFromEnv(), nullptr);
+
+  // "0" → ephemeral port, serving.
+  ::setenv("DMML_OBS_PORT", "0", 1);
+  auto server = ExpositionServer::StartFromEnv();
+  ASSERT_NE(server, nullptr);
+  EXPECT_GT(server->port(), 0);
+  EXPECT_NE(HttpGet(server->port(), "/metrics").find("200 OK"),
+            std::string::npos);
+  server->Stop();
+  ::unsetenv("DMML_OBS_PORT");
 }
 
 // ---------------------------------------------------------------------------
