@@ -21,7 +21,8 @@
 #
 # The Release smoke also covers the profiler: bench_laopt --smoke asserts
 # that the profiler-disabled unified GLM epoch loop stays within
-# DMML_SMOKE_PROFILER_BOUND (default 1.10) of the hand-coded baseline, and a
+# DMML_SMOKE_PROFILER_BOUND (default 1.25, see bench_laopt.cpp) of the
+# hand-coded baseline, and a
 # curl pass starts bench_laopt with DMML_OBS_PORT=0, scrapes /metrics and
 # /profiles from the advertised port, and validates the JSON (skipped
 # gracefully when curl is absent).

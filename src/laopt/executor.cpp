@@ -112,16 +112,26 @@ Result<const DenseMatrix*> BufferedExecutor::Run(const ExprPtr& root,
     profile_->BeginRun(root);
     prof_child_us_ = 0;
   }
+  // The tally folds into caller stats and the profile on every exit path: a
+  // failed Eval/Densify still executed real ops, and BeginRun has already
+  // recorded the root, so skipping EndRun on error would leave runs() and
+  // the totals inconsistent with the per-node samples.
+  struct RunFinalizer {
+    BufferedExecutor* ex;
+    ExecStats* stats;
+    ~RunFinalizer() {
+      if (stats != nullptr) {
+        stats->ops_executed += ex->run_tally_.ops_executed;
+        stats->memo_hits += ex->run_tally_.memo_hits;
+        stats->densify_fallbacks += ex->run_tally_.densify_fallbacks;
+      }
+      if (ex->profile_ != nullptr) ex->profile_->EndRun(ex->run_tally_);
+    }
+  } finalizer{this, stats};
   DMML_ASSIGN_OR_RETURN(Value out, Eval(root));
   // Callers receive dense results; a non-dense root (e.g. a bare sparse
   // leaf, or a transpose of one) is densified into executor storage.
   DMML_ASSIGN_OR_RETURN(const DenseMatrix* dense, Densify(root, out));
-  if (stats != nullptr) {
-    stats->ops_executed += run_tally_.ops_executed;
-    stats->memo_hits += run_tally_.memo_hits;
-    stats->densify_fallbacks += run_tally_.densify_fallbacks;
-  }
-  if (profile_ != nullptr) profile_->EndRun(run_tally_);
   return dense;
 }
 

@@ -51,14 +51,21 @@ class ScopedTrainerProfile {
   ScopedTrainerProfile(laopt::PlanProfile* caller_profile, const char* name)
       : caller_profile_(caller_profile), name_(name) {
     if (caller_profile_ == nullptr && ExplainAnalyzeEnvEnabled()) {
-      local_ = std::make_unique<laopt::PlanProfile>();
+      local_ = std::make_shared<laopt::PlanProfile>();
     }
-    if (active() != nullptr) {
-      // Non-owning shared_ptr: the registration never outlives this scope,
-      // and the provider only runs while the endpoint can still scrape us.
+    if (local_ != nullptr) {
+      // The provider takes shared ownership, so a /profiles scrape racing
+      // this scope's teardown can never see a destroyed profile.
+      registration_ = laopt::RegisterProfile(name_, local_);
+    } else if (caller_profile_ != nullptr) {
+      // The caller owns this profile, so shared ownership is unavailable;
+      // the non-owning alias is still safe because unregistration (the
+      // registration_ member destructs before anything else here, and
+      // before the trainer returns) blocks until in-flight scrapes of this
+      // provider return — see ProfileRegistry::Unregister.
       registration_ = laopt::RegisterProfile(
           name_, std::shared_ptr<const laopt::PlanProfile>(
-                     std::shared_ptr<void>(), active()));
+                     std::shared_ptr<void>(), caller_profile_));
     }
   }
 
@@ -79,7 +86,9 @@ class ScopedTrainerProfile {
  private:
   laopt::PlanProfile* caller_profile_;
   const char* name_;
-  std::unique_ptr<laopt::PlanProfile> local_;
+  std::shared_ptr<laopt::PlanProfile> local_;
+  // Declared last: destructs first, draining in-flight scrapes before the
+  // profile they read (local_ or the caller's) can go away.
   obs::ScopedProfileRegistration registration_;
 };
 

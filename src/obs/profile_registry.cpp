@@ -7,6 +7,16 @@
 
 namespace dmml::obs {
 
+/// One live registration. `in_flight` counts JsonSnapshot invocations of the
+/// provider currently running; Unregister waits for it to reach zero (both
+/// guarded by the registry mutex) before letting the registrant tear down
+/// whatever the provider references.
+class ProfileRegistry::Entry {
+ public:
+  Provider provider;
+  int in_flight = 0;
+};
+
 ProfileRegistry& ProfileRegistry::Global() {
   // Leaked on purpose: scoped registrations may unregister during static
   // destruction, after a function-local static would already be gone.
@@ -14,14 +24,27 @@ ProfileRegistry& ProfileRegistry::Global() {
   return *registry;
 }
 
-void ProfileRegistry::Register(const std::string& name, Provider provider) {
+ProfileRegistry::Registration ProfileRegistry::Register(const std::string& name,
+                                                        Provider provider) {
+  auto entry = std::make_shared<Entry>();
+  entry->provider = std::move(provider);
   std::lock_guard<std::mutex> lock(mu_);
-  providers_[name] = std::move(provider);
+  providers_[name] = entry;
+  return entry;
 }
 
-void ProfileRegistry::Unregister(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  providers_.erase(name);
+void ProfileRegistry::Unregister(const std::string& name,
+                                 const Registration& registration) {
+  if (registration == nullptr) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = providers_.find(name);
+  if (it != providers_.end() && it->second == registration) {
+    providers_.erase(it);
+  }
+  // Even when the name was already replaced (or never present), a scrape may
+  // still be inside *this* entry's provider — wait it out so the caller can
+  // safely destroy the provider's referents.
+  cv_.wait(lock, [&] { return registration->in_flight == 0; });
 }
 
 size_t ProfileRegistry::size() const {
@@ -30,18 +53,27 @@ size_t ProfileRegistry::size() const {
 }
 
 std::string ProfileRegistry::JsonSnapshot() const {
-  std::vector<std::pair<std::string, Provider>> snapshot;
+  std::vector<std::pair<std::string, Registration>> snapshot;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    snapshot.assign(providers_.begin(), providers_.end());
+    snapshot.reserve(providers_.size());
+    for (const auto& [name, entry] : providers_) {
+      entry->in_flight++;  // Pins the entry against Unregister until invoked.
+      snapshot.emplace_back(name, entry);
+    }
   }
   std::ostringstream os;
   os << "{\"profiles\":{";
   bool first = true;
-  for (const auto& [name, provider] : snapshot) {
+  for (const auto& [name, entry] : snapshot) {
     if (!first) os << ",";
     first = false;
-    std::string value = provider ? provider() : std::string();
+    std::string value = entry->provider ? entry->provider() : std::string();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      entry->in_flight--;
+    }
+    cv_.notify_all();
     if (value.empty()) value = "null";
     os << "\"" << JsonEscape(name) << "\":" << value;
   }

@@ -6,12 +6,17 @@
 /// never sees their types, so the dependency arrow stays pointing down.
 /// `ExpositionServer` snapshots the registry on every `/profiles` request,
 /// invoking each provider outside the registry lock so a slow renderer
-/// cannot block registration or other scrapes.
+/// cannot block registration or other scrapes. Teardown is safe in both
+/// directions: `Unregister` blocks until every in-flight invocation of that
+/// provider has returned, so after it the registrant may destroy whatever
+/// the provider references.
 #ifndef DMML_OBS_PROFILE_REGISTRY_H_
 #define DMML_OBS_PROFILE_REGISTRY_H_
 
+#include <condition_variable>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -26,48 +31,65 @@ class ProfileRegistry {
   /// exported as JSON null.
   using Provider = std::function<std::string()>;
 
+  /// Token identifying one Register() call. Opaque to callers; pass it back
+  /// to Unregister so a stale scope can never remove a newer registration
+  /// that reused its name.
+  class Entry;
+  using Registration = std::shared_ptr<Entry>;
+
   /// \brief Process-wide registry (never destroyed, safe during exit).
   static ProfileRegistry& Global();
 
-  /// \brief Registers `provider` under `name`, replacing any previous entry.
-  void Register(const std::string& name, Provider provider);
+  /// \brief Registers `provider` under `name`, replacing any previous entry
+  /// (the replaced registrant's token stays valid to pass to Unregister).
+  Registration Register(const std::string& name, Provider provider);
 
-  /// \brief Removes `name`; no-op when absent.
-  void Unregister(const std::string& name);
+  /// \brief Removes `name` if it still holds `registration` (a newer entry
+  /// under the same name is left alone), then BLOCKS until every in-flight
+  /// JsonSnapshot invocation of this provider has returned — after this call
+  /// the registrant may destroy anything the provider references. Must not
+  /// be called from inside a provider (it would deadlock on itself). No-op
+  /// for a null token.
+  void Unregister(const std::string& name, const Registration& registration);
 
   size_t size() const;
 
   /// \brief {"profiles":{"name":<value>,...}} over all registered providers.
-  /// Providers run outside the registry lock.
+  /// Providers run outside the registry lock; each entry is pinned against
+  /// Unregister for exactly the duration of its own invocation.
   std::string JsonSnapshot() const;
 
  private:
   ProfileRegistry() = default;
 
   mutable std::mutex mu_;
-  std::map<std::string, Provider> providers_;
+  mutable std::condition_variable cv_;  ///< Signals in-flight count drops.
+  std::map<std::string, Registration> providers_;
 };
 
 /// \brief RAII registration in ProfileRegistry::Global(); movable so callers
 /// can stash it in scopes that outlive the registering statement. A
-/// default-constructed instance owns nothing.
+/// default-constructed instance owns nothing. Destruction blocks until any
+/// scrape currently invoking the provider returns (see Unregister).
 class ScopedProfileRegistration {
  public:
   ScopedProfileRegistration() = default;
   ScopedProfileRegistration(std::string name, ProfileRegistry::Provider provider)
-      : name_(std::move(name)) {
-    ProfileRegistry::Global().Register(name_, std::move(provider));
-  }
+      : name_(std::move(name)),
+        registration_(
+            ProfileRegistry::Global().Register(name_, std::move(provider))) {}
   ~ScopedProfileRegistration() { Release(); }
 
   ScopedProfileRegistration(ScopedProfileRegistration&& other) noexcept
-      : name_(std::move(other.name_)) {
+      : name_(std::move(other.name_)),
+        registration_(std::move(other.registration_)) {
     other.name_.clear();
   }
   ScopedProfileRegistration& operator=(ScopedProfileRegistration&& other) noexcept {
     if (this != &other) {
       Release();
       name_ = std::move(other.name_);
+      registration_ = std::move(other.registration_);
       other.name_.clear();
     }
     return *this;
@@ -79,13 +101,15 @@ class ScopedProfileRegistration {
 
  private:
   void Release() {
-    if (!name_.empty()) {
-      ProfileRegistry::Global().Unregister(name_);
-      name_.clear();
+    if (registration_ != nullptr) {
+      ProfileRegistry::Global().Unregister(name_, registration_);
+      registration_.reset();
     }
+    name_.clear();
   }
 
   std::string name_;
+  ProfileRegistry::Registration registration_;
 };
 
 }  // namespace dmml::obs

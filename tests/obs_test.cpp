@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -419,18 +420,66 @@ TEST_F(TracingTest, ChromeTraceJsonEscapesHostileSpanNames) {
 TEST(ProfileRegistryTest, RegisterSnapshotUnregister) {
   auto& reg = ProfileRegistry::Global();
   const size_t before = reg.size();
-  reg.Register("obs_test.profile", [] { return std::string("{\"x\":1}"); });
-  reg.Register("obs_test.empty", [] { return std::string(); });  // → null
+  auto full = reg.Register("obs_test.profile",
+                           [] { return std::string("{\"x\":1}"); });
+  auto empty = reg.Register("obs_test.empty", [] { return std::string(); });
   EXPECT_EQ(reg.size(), before + 2);
 
   std::string json = reg.JsonSnapshot();
   EXPECT_TRUE(JsonChecker(json).Valid()) << json;
   EXPECT_NE(json.find("\"obs_test.profile\":{\"x\":1}"), std::string::npos);
-  EXPECT_NE(json.find("\"obs_test.empty\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.empty\":null"), std::string::npos);  // → null
 
-  reg.Unregister("obs_test.profile");
-  reg.Unregister("obs_test.empty");
+  reg.Unregister("obs_test.profile", full);
+  reg.Unregister("obs_test.empty", empty);
   EXPECT_EQ(reg.size(), before);
+}
+
+TEST(ProfileRegistryTest, StaleTokenCannotRemoveNewerSameNameRegistration) {
+  auto& reg = ProfileRegistry::Global();
+  const size_t before = reg.size();
+  // Two concurrent trainers of the same kind register under one span name;
+  // the first scope's teardown must not take down the second's entry.
+  auto first = reg.Register("obs_test.dup", [] { return std::string("1"); });
+  auto second = reg.Register("obs_test.dup", [] { return std::string("2"); });
+  EXPECT_EQ(reg.size(), before + 1);
+
+  reg.Unregister("obs_test.dup", first);  // stale token: leaves `second` live
+  EXPECT_EQ(reg.size(), before + 1);
+  EXPECT_NE(reg.JsonSnapshot().find("\"obs_test.dup\":2"), std::string::npos);
+
+  reg.Unregister("obs_test.dup", second);
+  EXPECT_EQ(reg.size(), before);
+  reg.Unregister("obs_test.dup", second);  // double unregister: no-op
+  EXPECT_EQ(reg.size(), before);
+}
+
+TEST(ProfileRegistryTest, UnregisterBlocksUntilInFlightInvocationReturns) {
+  auto& reg = ProfileRegistry::Global();
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  std::atomic<bool> provider_done{false};
+  auto token = reg.Register("obs_test.slow", [&] {
+    entered = true;
+    while (!release) std::this_thread::yield();
+    provider_done = true;
+    return std::string("{}");
+  });
+
+  std::thread scraper([&] { (void)reg.JsonSnapshot(); });
+  while (!entered) std::this_thread::yield();
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    release = true;
+  });
+
+  // The scrape is inside the provider right now; Unregister must not return
+  // until it does — the registrant destroys the provider's referents next.
+  reg.Unregister("obs_test.slow", token);
+  EXPECT_TRUE(provider_done.load());
+
+  scraper.join();
+  releaser.join();
 }
 
 TEST(ProfileRegistryTest, ScopedRegistrationIsRaiiAndMovable) {
