@@ -6,8 +6,15 @@
 //       factorized vs materialized
 //   A5  LA executor: common-subexpression elimination on vs off
 //   A6  model search: batched grid vs successive halving
+//   A7  PS gradient sparsification, A8 dense-vs-CSR training, A9 fusion
+//
+// `--smoke` shrinks every section for CI; all principal timings are emitted
+// as #BENCH-JSON records (joinable by scripts/bench_compare.sh) in addition
+// to the human tables.
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "cla/compressed_matrix.h"
@@ -32,12 +39,23 @@ using namespace dmml;  // NOLINT
 using bench::Fmt;
 using bench::TablePrinter;
 
-void JoinAblation() {
-  std::printf("A1: hash join vs sort-merge join (nS = 30000, dS = 2, dR = 4)\n");
+struct BenchContext {
+  bool smoke = false;
+  bench::BenchJsonEmitter* json = nullptr;
+};
+
+std::string SizeLabel(size_t rows, size_t cols) {
+  return std::to_string(rows) + "x" + std::to_string(cols);
+}
+
+void JoinAblation(const BenchContext& ctx) {
+  const size_t ns = ctx.smoke ? 5000 : 30000;
+  std::printf("A1: hash join vs sort-merge join (nS = %zu, dS = 2, dR = 4)\n", ns);
   TablePrinter table({"nR", "hash_ms", "sortmerge_ms", "rows_out"});
   for (size_t nr : {100, 1000, 10000}) {
+    if (ctx.smoke && nr > 1000) continue;
     data::StarSchemaOptions options;
-    options.ns = 30000;
+    options.ns = ns;
     options.nr = nr;
     options.ds = 2;
     options.dr = 4;
@@ -51,15 +69,20 @@ void JoinAblation() {
     if (!hj.ok() || !smj.ok()) std::exit(1);
     table.Row({bench::FmtInt(static_cast<long long>(nr)), Fmt(hash_ms, 1),
                Fmt(smj_ms, 1), bench::FmtInt(static_cast<long long>(hj->num_rows()))});
+    const std::string size = std::to_string(ns) + "x" + std::to_string(nr);
+    ctx.json->Record("ablation.join.hash", size, 1, hash_ms * 1e6, 0.0);
+    ctx.json->Record("ablation.join.sortmerge", size, 1, smj_ms * 1e6, 0.0);
   }
   table.EmitCsv("A1_join");
   std::printf("\n");
 }
 
-void PlannerAblation() {
-  std::printf("A2: CLA planner — exact vs sampling estimators (n = 100000, 8 cols)\n");
+void PlannerAblation(const BenchContext& ctx) {
+  const size_t n = ctx.smoke ? 20000 : 100000;
+  std::printf("A2: CLA planner — exact vs sampling estimators (n = %zu, 8 cols)\n",
+              n);
   TablePrinter table({"planner", "plan+comp_ms", "ratio", "formats_match"});
-  auto m = data::LowCardinalityMatrix(100000, 8, 40, false, 7);
+  auto m = data::LowCardinalityMatrix(n, 8, 40, false, 7);
   Stopwatch w1;
   auto exact = cla::CompressedMatrix::Compress(m);
   double exact_ms = w1.ElapsedMillis();
@@ -76,14 +99,18 @@ void PlannerAblation() {
   table.Row({"sampled2k", Fmt(sampled_ms, 1), Fmt(sampled.CompressionRatio(), 2),
              match ? "yes" : "no"});
   table.EmitCsv("A2_planner");
+  ctx.json->Record("ablation.planner.exact", SizeLabel(n, 8), 1, exact_ms * 1e6, 0.0);
+  ctx.json->Record("ablation.planner.sampled2k", SizeLabel(n, 8), 1,
+                   sampled_ms * 1e6, 0.0);
   std::printf("\n");
 }
 
-void CocodingAblation() {
-  std::printf("A3: CLA co-coding — correlated column pairs (n = 50000)\n");
+void CocodingAblation(const BenchContext& ctx) {
+  const size_t n = ctx.smoke ? 10000 : 50000;
+  std::printf("A3: CLA co-coding — correlated column pairs (n = %zu)\n", n);
   // Columns come in perfectly correlated pairs.
-  auto base = data::LowCardinalityMatrix(50000, 3, 6, false, 9);
-  la::DenseMatrix m(50000, 6);
+  auto base = data::LowCardinalityMatrix(n, 3, 6, false, 9);
+  la::DenseMatrix m(n, 6);
   for (size_t i = 0; i < m.rows(); ++i) {
     for (size_t p = 0; p < 3; ++p) {
       m.At(i, 2 * p) = base.At(i, p);
@@ -91,10 +118,14 @@ void CocodingAblation() {
     }
   }
   TablePrinter table({"cocoding", "groups", "bytes", "ratio"});
+  Stopwatch w1;
   auto plain = cla::CompressedMatrix::Compress(m);
+  double plain_ms = w1.ElapsedMillis();
   cla::CompressionOptions co;
   co.enable_cocoding = true;
+  Stopwatch w2;
   auto coded = cla::CompressedMatrix::Compress(m, co);
+  double coded_ms = w2.ElapsedMillis();
   table.Row({"off", bench::FmtInt(static_cast<long long>(plain.groups().size())),
              bench::FmtInt(static_cast<long long>(plain.SizeInBytes())),
              Fmt(plain.CompressionRatio(), 2)});
@@ -102,22 +133,29 @@ void CocodingAblation() {
              bench::FmtInt(static_cast<long long>(coded.SizeInBytes())),
              Fmt(coded.CompressionRatio(), 2)});
   table.EmitCsv("A3_cocoding");
+  ctx.json->Record("ablation.cocoding.off", SizeLabel(n, 6), 1, plain_ms * 1e6,
+                   0.0);
+  ctx.json->Record("ablation.cocoding.on", SizeLabel(n, 6), 1, coded_ms * 1e6,
+                   0.0);
   std::printf("\n");
 }
 
-void SolverAblation() {
-  std::printf("A4: GLM over a join — solver/representation matrix (nS = 40000)\n");
+void SolverAblation(const BenchContext& ctx) {
+  const size_t ns = ctx.smoke ? 8000 : 40000;
+  std::printf("A4: GLM over a join — solver/representation matrix (nS = %zu)\n",
+              ns);
   data::StarSchemaOptions options;
-  options.ns = 40000;
+  options.ns = ns;
   options.nr = 2000;
   options.ds = 2;
   options.dr = 20;
   auto ds = data::MakeStarSchema(options, 11);
   auto nm = *factorized::NormalizedMatrix::Make(ds.xs, {{ds.xr, ds.fk}});
+  const std::string size = SizeLabel(ns, 22);
 
   ml::GlmConfig gd;
   gd.learning_rate = 0.01;
-  gd.max_epochs = 20;
+  gd.max_epochs = ctx.smoke ? 5 : 20;
   gd.tolerance = 0;
 
   TablePrinter table({"method", "ms", "loss"});
@@ -126,14 +164,16 @@ void SolverAblation() {
     auto model = factorized::TrainFactorizedGlm(nm, ds.y, gd);
     double ms = w.ElapsedMillis();
     if (!model.ok()) std::exit(1);
-    table.Row({"fact_bgd20", Fmt(ms, 1), Fmt(model->loss_history.back(), 4)});
+    table.Row({"fact_bgd", Fmt(ms, 1), Fmt(model->loss_history.back(), 4)});
+    ctx.json->Record("ablation.solver.fact_bgd", size, 1, ms * 1e6, 0.0);
   }
   {
     Stopwatch w;
     auto model = factorized::TrainMaterializedGlm(nm, ds.y, gd);
     double ms = w.ElapsedMillis();
     if (!model.ok()) std::exit(1);
-    table.Row({"mat_bgd20", Fmt(ms, 1), Fmt(model->loss_history.back(), 4)});
+    table.Row({"mat_bgd", Fmt(ms, 1), Fmt(model->loss_history.back(), 4)});
+    ctx.json->Record("ablation.solver.mat_bgd", size, 1, ms * 1e6, 0.0);
   }
   {
     Stopwatch w;
@@ -143,6 +183,7 @@ void SolverAblation() {
     auto loss = ml::GlmLoss(nm.Materialize(), ds.y, model->weights, model->intercept,
                             ml::GlmFamily::kGaussian, 0.0);
     table.Row({"fact_gramian", Fmt(ms, 1), Fmt(*loss, 4)});
+    ctx.json->Record("ablation.solver.fact_gramian", size, 1, ms * 1e6, 0.0);
   }
   {
     Stopwatch w;
@@ -153,14 +194,17 @@ void SolverAblation() {
     double ms = w.ElapsedMillis();
     if (!model.ok()) std::exit(1);
     table.Row({"mat_gramian", Fmt(ms, 1), Fmt(model->loss_history.back(), 4)});
+    ctx.json->Record("ablation.solver.mat_gramian", size, 1, ms * 1e6, 0.0);
   }
   table.EmitCsv("A4_solvers");
   std::printf("\n");
 }
 
-void CseAblation() {
+void CseAblation(const BenchContext& ctx) {
   std::printf("A5: executor — structural CSE on vs off\n");
-  auto xm = std::make_shared<la::DenseMatrix>(data::GaussianMatrix(1500, 80, 13));
+  const size_t n = ctx.smoke ? 500 : 1500;
+  const size_t d = ctx.smoke ? 40 : 80;
+  auto xm = std::make_shared<la::DenseMatrix>(data::GaussianMatrix(n, d, 13));
   // Build t(X)*X three times independently inside one expression.
   auto make_gram = [&] {
     auto x = *laopt::ExprNode::Input(xm, "X");
@@ -175,8 +219,10 @@ void CseAblation() {
     Stopwatch w;
     auto result = laopt::Execute(expr, nullptr, &stats);
     if (!result.ok()) std::exit(1);
+    double ms = w.ElapsedMillis();
     table.Row({"off", bench::FmtInt(static_cast<long long>(stats.ops_executed)),
-               Fmt(w.ElapsedMillis(), 1)});
+               Fmt(ms, 1)});
+    ctx.json->Record("ablation.cse.off", SizeLabel(n, d), 1, ms * 1e6, 0.0);
   }
   {
     auto deduped = laopt::EliminateCommonSubexpressions(expr);
@@ -185,32 +231,38 @@ void CseAblation() {
     Stopwatch w;
     auto result = laopt::Execute(*deduped, nullptr, &stats);
     if (!result.ok()) std::exit(1);
+    double ms = w.ElapsedMillis();
     table.Row({"on", bench::FmtInt(static_cast<long long>(stats.ops_executed)),
-               Fmt(w.ElapsedMillis(), 1)});
+               Fmt(ms, 1)});
+    ctx.json->Record("ablation.cse.on", SizeLabel(n, d), 1, ms * 1e6, 0.0);
   }
   table.EmitCsv("A5_cse");
   std::printf("\n");
 }
 
-void HalvingAblation() {
+void HalvingAblation(const BenchContext& ctx) {
+  const size_t n = ctx.smoke ? 1500 : 8000;
+  const size_t epochs = ctx.smoke ? 16 : 64;
   std::printf("A6: model search — batched grid vs successive halving (16 configs)\n");
-  auto ds = data::MakeClassification(8000, 20, 0.05, 15);
+  auto ds = data::MakeClassification(n, 20, 0.05, 15);
   std::vector<ml::GlmConfig> configs;
   for (size_t i = 0; i < 16; ++i) {
     ml::GlmConfig c;
     c.family = ml::GlmFamily::kBinomial;
     c.learning_rate = 0.001 * static_cast<double>(1 << (i % 8));
     c.l2 = (i < 8) ? 0.0 : 0.01;
-    c.max_epochs = 64;
+    c.max_epochs = epochs;
     c.tolerance = 0;
     configs.push_back(c);
   }
+  const std::string size = SizeLabel(n, 20);
 
   TablePrinter table({"strategy", "wall_ms", "epoch_equiv", "winner_lr"});
   {
     Stopwatch w;
     auto models = modelsel::BatchedTrainGlm(ds.x, ds.y, configs);
     if (!models.ok()) std::exit(1);
+    double ms = w.ElapsedMillis();
     // Pick by final loss.
     size_t best = 0;
     for (size_t c = 1; c < models->size(); ++c) {
@@ -218,53 +270,64 @@ void HalvingAblation() {
         best = c;
       }
     }
-    table.Row({"grid_batched", Fmt(w.ElapsedMillis(), 0),
-               bench::FmtInt(static_cast<long long>(16 * 64)),
+    table.Row({"grid_batched", Fmt(ms, 0),
+               bench::FmtInt(static_cast<long long>(16 * epochs)),
                Fmt(configs[best].learning_rate, 3)});
+    ctx.json->Record("ablation.search.grid_batched", size, 1, ms * 1e6, 0.0);
   }
   {
     modelsel::HalvingConfig hc;
-    hc.min_epochs = 8;
+    hc.min_epochs = ctx.smoke ? 4 : 8;
     hc.eta = 2.0;
     Stopwatch w;
     auto result = modelsel::SuccessiveHalving(ds.x, ds.y, configs, hc);
     if (!result.ok()) std::exit(1);
-    table.Row({"halving", Fmt(w.ElapsedMillis(), 0),
+    double ms = w.ElapsedMillis();
+    table.Row({"halving", Fmt(ms, 0),
                bench::FmtInt(static_cast<long long>(result->total_epoch_equivalents)),
                Fmt(configs[result->best_index].learning_rate, 3)});
+    ctx.json->Record("ablation.search.halving", size, 1, ms * 1e6, 0.0);
   }
   table.EmitCsv("A6_halving");
 }
 
-void SparsePushAblation() {
+void SparsePushAblation(const BenchContext& ctx) {
   std::printf(
       "\nA7: PS gradient sparsification — top-k pushes with error feedback\n");
-  auto ds = data::MakeClassification(6000, 100, 0.05, 17);
+  const size_t n = ctx.smoke ? 1500 : 6000;
+  auto ds = data::MakeClassification(n, 100, 0.05, 17);
   TablePrinter table({"topk_frac", "coords_pushed", "final_loss", "accuracy"});
   for (double frac : {1.0, 0.25, 0.05, 0.01}) {
+    if (ctx.smoke && frac != 1.0 && frac != 0.05) continue;
     ps::PsConfig config;
     config.num_workers = 2;
-    config.epochs = 20;
+    config.epochs = ctx.smoke ? 5 : 20;
     config.batch_size = 64;
     config.learning_rate = 0.3;
     config.family = ml::GlmFamily::kBinomial;
     config.topk_fraction = frac;
+    Stopwatch w;
     auto result = ps::TrainGlmParameterServer(ds.x, ds.y, config);
     if (!result.ok()) std::exit(1);
+    double ms = w.ElapsedMillis();
     auto labels = result->model.PredictLabels(ds.x);
     double acc = labels.ok() ? *ml::Accuracy(ds.y, *labels) : 0.0;
     table.Row({Fmt(frac, 2),
                bench::FmtInt(static_cast<long long>(result->total_coordinates_pushed)),
                Fmt(result->loss_per_epoch.back(), 4), Fmt(acc, 4)});
+    ctx.json->Record("ablation.ps.topk_" + Fmt(frac, 2), SizeLabel(n, 100), 2,
+                     ms * 1e6, 0.0);
   }
   table.EmitCsv("A7_sparse_push");
 }
 
-void SparseTrainingAblation() {
+void SparseTrainingAblation(const BenchContext& ctx) {
   std::printf("\nA8: GLM training — dense kernels vs CSR kernels by density\n");
-  const size_t n = 10000, d = 200;
+  const size_t n = ctx.smoke ? 2000 : 10000;
+  const size_t d = ctx.smoke ? 80 : 200;
   TablePrinter table({"density", "dense_ms", "sparse_ms", "speedup"});
   for (double density : {0.01, 0.05, 0.2, 0.5}) {
+    if (ctx.smoke && density > 0.05) continue;
     auto sparse = data::SparseGaussianMatrix(n, d, density, 19);
     auto dense = sparse.ToDense();
     Rng rng(20);
@@ -274,7 +337,7 @@ void SparseTrainingAblation() {
 
     ml::GlmConfig config;
     config.learning_rate = 0.2;
-    config.max_epochs = 15;
+    config.max_epochs = ctx.smoke ? 5 : 15;
     config.tolerance = 0;
     Stopwatch w1;
     auto dense_model = ml::TrainGlm(dense, y, config);
@@ -285,13 +348,17 @@ void SparseTrainingAblation() {
     if (!dense_model.ok() || !sparse_model.ok()) std::exit(1);
     table.Row({Fmt(density, 2), Fmt(dense_ms, 1), Fmt(sparse_ms, 1),
                Fmt(dense_ms / sparse_ms, 2)});
+    const std::string size = SizeLabel(n, d) + "@" + Fmt(density, 2);
+    ctx.json->Record("ablation.glm.dense", size, 1, dense_ms * 1e6, 0.0);
+    ctx.json->Record("ablation.glm.sparse", size, 1, sparse_ms * 1e6, 0.0);
   }
   table.EmitCsv("A8_sparse_training");
 }
 
-void FusionAblation() {
+void FusionAblation(const BenchContext& ctx) {
   std::printf("\nA9: executor — elementwise fusion on vs off (5-op chain)\n");
-  const size_t n = 2000, d = 500;
+  const size_t n = ctx.smoke ? 500 : 2000;
+  const size_t d = ctx.smoke ? 200 : 500;
   auto a = std::make_shared<la::DenseMatrix>(data::GaussianMatrix(n, d, 21));
   auto b = std::make_shared<la::DenseMatrix>(data::GaussianMatrix(n, d, 22));
   auto c = std::make_shared<la::DenseMatrix>(data::GaussianMatrix(n, d, 23));
@@ -306,42 +373,55 @@ void FusionAblation() {
           *laopt::ExprNode::ScalarMul(0.5, eb)),
       *laopt::ExprNode::ElemMul(ea, ea));
 
-  constexpr int kReps = 20;
+  const int reps = ctx.smoke ? 5 : 20;
   TablePrinter table({"fusion", "ms_per_eval", "temporaries"});
   {
     Stopwatch w;
-    for (int r = 0; r < kReps; ++r) {
+    for (int r = 0; r < reps; ++r) {
       auto result = laopt::Execute(expr);
       if (!result.ok()) std::exit(1);
     }
-    table.Row({"off", Fmt(w.ElapsedMillis() / kReps, 2), "5"});
+    double ms = w.ElapsedMillis() / reps;
+    table.Row({"off", Fmt(ms, 2), "5"});
+    ctx.json->Record("ablation.fusion.off", SizeLabel(n, d), 1, ms * 1e6, 0.0);
   }
   {
     laopt::FusionStats stats;
     Stopwatch w;
-    for (int r = 0; r < kReps; ++r) {
+    for (int r = 0; r < reps; ++r) {
       auto result = laopt::ExecuteWithFusion(expr, &stats);
       if (!result.ok()) std::exit(1);
     }
-    table.Row({"on", Fmt(w.ElapsedMillis() / kReps, 2), "0"});
+    double ms = w.ElapsedMillis() / reps;
+    table.Row({"on", Fmt(ms, 2), "0"});
+    ctx.json->Record("ablation.fusion.on", SizeLabel(n, d), 1, ms * 1e6, 0.0);
   }
   table.EmitCsv("A9_fusion");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchContext ctx;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) ctx.smoke = true;
+  }
+  bench::BenchJsonEmitter json;
+  ctx.json = &json;
+
   dmml::bench::ObsServerScope obs_server;  // DMML_OBS_PORT exposition
-  std::printf("Ablation experiments over dmml design choices\n\n");
-  JoinAblation();
-  PlannerAblation();
-  CocodingAblation();
-  SolverAblation();
-  CseAblation();
-  HalvingAblation();
-  SparsePushAblation();
-  SparseTrainingAblation();
-  FusionAblation();
+  std::printf("Ablation experiments over dmml design choices%s\n\n",
+              ctx.smoke ? " (smoke)" : "");
+  JoinAblation(ctx);
+  PlannerAblation(ctx);
+  CocodingAblation(ctx);
+  SolverAblation(ctx);
+  CseAblation(ctx);
+  HalvingAblation(ctx);
+  SparsePushAblation(ctx);
+  SparseTrainingAblation(ctx);
+  FusionAblation(ctx);
+  json.Emit("ablations");
   dmml::bench::EmitMetrics("ablations");
   return 0;
 }

@@ -21,6 +21,7 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "cla/compressed_glm.h"
@@ -240,6 +241,84 @@ int main(int argc, char** argv) {
 
     std::printf("\nEXPLAIN ANALYZE (GLM epoch plans, %" PRIu64 " profiled runs):\n%s\n",
                 epoch_profile->runs(), epoch_profile->ExplainAnalyzeText().c_str());
+  }
+
+  // Liveness-driven buffer sharing: a wide add-tree over independent X*w_i
+  // products has many short-lived intermediates. The static schedule
+  // (laopt::ComputeSchedule) packs them into ~max_live buffers; results must
+  // stay bit-identical to the dedicated-buffer executor.
+  {
+    const size_t bn = smoke ? 512 : 2048;
+    const size_t bd = smoke ? 16 : 32;
+    const int fan = 16;
+    auto xm = std::make_shared<la::DenseMatrix>(data::GaussianMatrix(bn, bd, 40));
+    auto xleaf = *ExprNode::Input(xm, "X");
+    std::vector<ExprPtr> layer;
+    std::vector<std::shared_ptr<la::DenseMatrix>> keep;
+    for (int i = 0; i < fan; ++i) {
+      auto w =
+          std::make_shared<la::DenseMatrix>(data::GaussianMatrix(bd, 1, 41 + i));
+      keep.push_back(w);
+      layer.push_back(*ExprNode::MatMul(xleaf, *ExprNode::Input(w, "w")));
+    }
+    while (layer.size() > 1) {
+      std::vector<ExprPtr> next;
+      for (size_t i = 0; i + 1 < layer.size(); i += 2) {
+        next.push_back(*ExprNode::Add(layer[i], layer[i + 1]));
+      }
+      layer = std::move(next);
+    }
+    ExprPtr wide = layer[0];
+
+    laopt::BufferedExecutor dedicated;
+    dedicated.set_buffer_sharing(false);
+    laopt::BufferedExecutor pooled;
+    auto baseline = dedicated.Run(wide);
+    if (!baseline.ok()) std::exit(1);
+    la::DenseMatrix expected = **baseline;
+    auto pooled_out = pooled.Run(wide);
+    if (!pooled_out.ok()) std::exit(1);
+    for (size_t i = 0; i < expected.size(); ++i) {
+      if ((*pooled_out)->data()[i] != expected.data()[i]) {
+        std::fprintf(stderr,
+                     "FAIL: buffer sharing changed results at element %zu\n", i);
+        return 1;
+      }
+    }
+
+    const int reps = smoke ? 10 : 50;
+    Stopwatch wd;
+    for (int r = 0; r < reps; ++r) {
+      if (!dedicated.Run(wide).ok()) std::exit(1);
+    }
+    double dedicated_ms = wd.ElapsedMillis() / reps;
+    Stopwatch ws;
+    for (int r = 0; r < reps; ++r) {
+      if (!pooled.Run(wide).ok()) std::exit(1);
+    }
+    double pooled_ms = ws.ElapsedMillis() / reps;
+
+    auto schedule = laopt::ComputeSchedule(wide);
+    if (!schedule.ok()) std::exit(1);
+    const std::string bsize = std::to_string(bn) + "x" + std::to_string(bd) +
+                              "x" + std::to_string(fan);
+    std::printf(
+        "\nbuffer sharing (wide DAG %s): dedicated %zu buffers %.3f ms/run, "
+        "shared %zu buffers %.3f ms/run (levels %zu, max_live %zu)\n",
+        bsize.c_str(), dedicated.num_buffers(), dedicated_ms,
+        pooled.num_buffers(), pooled_ms, schedule->num_levels(),
+        schedule->max_live());
+    json.Record("buffer_sharing.dedicated", bsize, 1, dedicated_ms * 1e6, 0.0);
+    json.Record("buffer_sharing.shared", bsize, 1, pooled_ms * 1e6, 0.0);
+
+    // Counter-asserted acceptance gate: liveness sharing must actually reduce
+    // the number of distinct buffers behind this plan.
+    if (pooled.num_buffers() >= dedicated.num_buffers()) {
+      std::fprintf(stderr,
+                   "FAIL: buffer sharing did not reduce buffers (%zu vs %zu)\n",
+                   pooled.num_buffers(), dedicated.num_buffers());
+      return 1;
+    }
   }
 
   table.EmitCsv("E3_laopt");

@@ -4,7 +4,11 @@
 // at a time and (b) as one batch sharing every data scan (one GEMM per epoch
 // feeds all configurations). Expected shape: batched wins grow with the
 // number of configurations, because the data-access cost is amortized.
+//
+// `--smoke` shrinks the dataset and grid for CI; principal timings are
+// emitted as #BENCH-JSON records in addition to the human table.
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "bench/bench_util.h"
@@ -19,19 +23,32 @@ using bench::TablePrinter;
 
 }  // namespace
 
-int main() {
-  dmml::bench::ObsServerScope obs_server;  // DMML_OBS_PORT exposition
-  std::printf("E6: model selection — sequential vs batched grid search\n");
-  std::printf("linear regression, n = 30000, d = 80, 2-fold CV, 15 epochs/config\n\n");
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const size_t n = smoke ? 4000 : 30000;
+  const size_t d = smoke ? 30 : 80;
+  const size_t epochs = smoke ? 5 : 15;
 
-  auto ds = data::MakeRegression(30000, 80, 0.1, 13);
+  dmml::bench::ObsServerScope obs_server;  // DMML_OBS_PORT exposition
+  bench::BenchJsonEmitter json;
+  std::printf("E6: model selection — sequential vs batched grid search%s\n",
+              smoke ? " (smoke)" : "");
+  std::printf("linear regression, n = %zu, d = %zu, 2-fold CV, %zu epochs/config\n\n",
+              n, d, epochs);
+
+  auto ds = data::MakeRegression(n, d, 0.1, 13);
+  const std::string size = std::to_string(n) + "x" + std::to_string(d);
 
   TablePrinter table(
       {"num_configs", "seq_ms", "batched_ms", "speedup", "same_best"});
   for (size_t grid_side : {1, 2, 3, 4, 6}) {
+    if (smoke && grid_side > 3) continue;
     modelsel::GridSpec grid;
     grid.base.family = ml::GlmFamily::kGaussian;
-    grid.base.max_epochs = 15;
+    grid.base.max_epochs = epochs;
     grid.base.tolerance = 0;
     grid.base.learning_rate = 0.01;
     for (size_t i = 0; i < grid_side; ++i) {
@@ -50,8 +67,12 @@ int main() {
     table.Row({bench::FmtInt(static_cast<long long>(num_configs)),
                Fmt(seq->seconds * 1e3, 0), Fmt(bat->seconds * 1e3, 0),
                Fmt(seq->seconds / bat->seconds, 2), same_best ? "yes" : "no"});
+    const std::string cfg = std::to_string(num_configs) + "cfg";
+    json.Record("modelsel.sequential." + cfg, size, 1, seq->seconds * 1e9, 0.0);
+    json.Record("modelsel.batched." + cfg, size, 1, bat->seconds * 1e9, 0.0);
   }
   table.EmitCsv("E6_modelsel");
+  json.Emit("modelsel");
 
   std::printf(
       "\nExpected shape (Columbus/MSMS): speedup ~1 with a single\n"

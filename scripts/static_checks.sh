@@ -17,7 +17,14 @@
 #     buffered executor are exercised with threads under both sanitizers.
 #     The TSan build additionally runs obs_test (concurrent endpoint scrapes
 #     against the exposition server) and laopt_profile_test (profile writes
-#     racing registry reads).
+#     racing registry reads). Both sanitizer builds also run
+#     laopt_verify_test, so the verifier, the lint rules, and the
+#     liveness-driven buffer sharing are exercised under TSan and ASan+UBSan.
+#  4. A plan-verifier gate: every laopt test binary plus the laopt benches
+#     re-run in the Release build with DMML_VERIFY=1 DMML_LINT=1, so the
+#     structural verifier checks every optimizer pass output at -O2 (Release
+#     defines NDEBUG, which otherwise leaves the verifier off). Any
+#     diagnostic of severity error fails the plan and hence the binary.
 #
 # The Release smoke also covers the profiler: bench_laopt --smoke asserts
 # that the profiler-disabled unified GLM epoch loop stays within
@@ -74,10 +81,11 @@ fi
 # Release smoke: parity + NaN scan at full optimization.
 # ---------------------------------------------------------------------------
 smoke_dir="$repo_root/build-smoke"
-echo "static_checks: building bench_kernels + bench_cla + bench_laopt (Release) in $smoke_dir..."
+echo "static_checks: building smoke benches (Release) in $smoke_dir..."
 if cmake -B "$smoke_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null \
     && cmake --build "$smoke_dir" --target bench_kernels --target bench_cla \
-         --target bench_laopt -j >/dev/null; then
+         --target bench_laopt --target bench_ablations --target bench_modelsel \
+         -j >/dev/null; then
   if "$smoke_dir/bench/bench_kernels" --smoke; then
     echo "static_checks: kernel smoke clean"
   else
@@ -99,6 +107,16 @@ if cmake -B "$smoke_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null \
     echo "static_checks: FAILED — bench_laopt smoke (profiler overhead bound)" >&2
     status=1
   fi
+  # The ablation and model-selection benches exit nonzero on any parity or
+  # training failure; --smoke keeps each section to seconds.
+  for b in bench_ablations bench_modelsel; do
+    if "$smoke_dir/bench/$b" --smoke >/dev/null; then
+      echo "static_checks: $b smoke clean"
+    else
+      echo "static_checks: FAILED — $b --smoke" >&2
+      status=1
+    fi
+  done
 
   # Exposition-endpoint smoke: run the bench with the obs server held open,
   # scrape /metrics and /profiles from the advertised ephemeral port, and
@@ -154,23 +172,63 @@ else
 fi
 
 # ---------------------------------------------------------------------------
+# Plan-verifier gate: re-run every laopt test binary and the laopt benches in
+# the Release build with the structural verifier and linter forced on
+# (Release defines NDEBUG, so DMML_VERIFY defaults off there). The verifier
+# runs after every optimizer pass; a diagnostic of severity error turns into
+# a failed Status, which every test and bench propagates as a nonzero exit.
+# ---------------------------------------------------------------------------
+verifier_tests="laopt_test laopt_cse_test laopt_analysis_test \
+laopt_aggregates_test laopt_repr_test laopt_profile_test laopt_verify_test"
+echo "static_checks: verifier gate — laopt tests + benches with DMML_VERIFY=1 DMML_LINT=1..."
+# shellcheck disable=SC2086
+if cmake --build "$smoke_dir" --target $verifier_tests -j >/dev/null; then
+  for t in $verifier_tests; do
+    if DMML_VERIFY=1 DMML_LINT=1 "$smoke_dir/tests/$t" >/dev/null; then
+      echo "static_checks: $t clean under checked verifier"
+    else
+      echo "static_checks: FAILED — $t with DMML_VERIFY=1 DMML_LINT=1" >&2
+      status=1
+    fi
+  done
+  if DMML_VERIFY=1 DMML_LINT=1 "$smoke_dir/bench/bench_laopt" --smoke >/dev/null; then
+    echo "static_checks: bench_laopt clean under checked verifier"
+  else
+    echo "static_checks: FAILED — bench_laopt --smoke with DMML_VERIFY=1 DMML_LINT=1" >&2
+    status=1
+  fi
+else
+  echo "static_checks: FAILED — could not build laopt tests for the verifier gate" >&2
+  status=1
+fi
+
+# ---------------------------------------------------------------------------
 # Mixed-representation parity under sanitizers: the same laopt plan bound to
 # dense, sparse and compressed leaves must agree, with the executor's
-# slot-reuse and thread-pool paths clean under TSan and ASan+UBSan.
+# slot-reuse and thread-pool paths clean under TSan and ASan+UBSan. The
+# verifier suite rides along so the corrupt-DAG paths and liveness-driven
+# buffer sharing are sanitizer-clean too.
 # ---------------------------------------------------------------------------
 run_sanitized_repr_gate() {
   local san="$1" dir="$2"
-  echo "static_checks: building laopt_repr_test (DMML_SANITIZE=$san) in $dir..."
+  echo "static_checks: building laopt_repr_test + laopt_verify_test (DMML_SANITIZE=$san) in $dir..."
   if cmake -B "$dir" -S "$repo_root" -DDMML_SANITIZE="$san" >/dev/null \
-      && cmake --build "$dir" --target laopt_repr_test -j >/dev/null; then
+      && cmake --build "$dir" --target laopt_repr_test --target laopt_verify_test \
+           -j >/dev/null; then
     if "$dir/tests/laopt_repr_test" >/dev/null; then
       echo "static_checks: repr parity clean under $san"
     else
       echo "static_checks: FAILED — laopt_repr_test under $san" >&2
       status=1
     fi
+    if "$dir/tests/laopt_verify_test" >/dev/null; then
+      echo "static_checks: verifier + buffer sharing clean under $san"
+    else
+      echo "static_checks: FAILED — laopt_verify_test under $san" >&2
+      status=1
+    fi
   else
-    echo "static_checks: FAILED — could not build laopt_repr_test under $san" >&2
+    echo "static_checks: FAILED — could not build laopt tests under $san" >&2
     status=1
   fi
 }

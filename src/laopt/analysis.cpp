@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <unordered_set>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -336,6 +337,174 @@ Result<DagAnalysis> AnalyzeDag(const ExprPtr& root, const AnalysisOptions& optio
   DMML_COUNTER_INC("laopt.analysis.runs");
   DMML_COUNTER_ADD("laopt.analysis.nodes", analysis.NumAnalyzed());
   return analysis;
+}
+
+// ---------------------------------------------------------------------------
+// Static concurrency + liveness analysis.
+// ---------------------------------------------------------------------------
+
+std::vector<const ExprNode*> OperandReads(const ExprNode* node) {
+  std::vector<const ExprNode*> reads;
+  if (node == nullptr) return reads;
+  for (const auto& c : node->children()) {
+    if (c) reads.push_back(c.get());
+  }
+  // Fused kernels read *through* a child: report the grandchild as well so
+  // liveness covers both the fused and the generic dispatch.
+  if (node->kind() == OpKind::kMatMul && node->children().size() == 2) {
+    for (const auto& c : node->children()) {
+      if (c && c->kind() == OpKind::kTranspose && !c->children().empty() &&
+          c->children()[0]) {
+        reads.push_back(c->children()[0].get());
+      }
+    }
+  }
+  if (node->kind() == OpKind::kRowSums && !node->children().empty()) {
+    const auto& c = node->children()[0];
+    if (c && c->kind() == OpKind::kElemMul && c->children().size() == 2 &&
+        c->children()[0] && c->children()[0].get() == c->children()[1].get()) {
+      reads.push_back(c->children()[0].get());
+    }
+  }
+  return reads;
+}
+
+namespace {
+
+// Recursive builder mirroring BufferedExecutor's evaluation order. The one
+// deviation from plain post-order: a matmul whose left child is a transpose
+// evaluates the transpose's *source* first, then the right operand, and only
+// then (if the fused kernel declined) the transpose itself — so the
+// transpose completes after the right operand here, never before.
+struct ScheduleBuilder {
+  std::vector<ScheduleEntry> order;
+  std::unordered_map<const ExprNode*, size_t> index;
+  std::unordered_set<const ExprNode*> visiting;
+
+  bool Done(const ExprNode* n) const { return index.count(n) != 0; }
+
+  void Complete(const ExprNode* n) {
+    if (Done(n)) return;
+    size_t level = 0;
+    for (const auto& c : n->children()) {
+      const auto it = index.find(c.get());
+      const size_t child_level = it == index.end() ? 0 : order[it->second].level;
+      level = std::max(level, child_level + 1);
+    }
+    index.emplace(n, order.size());
+    order.push_back({n, level, order.size(), order.size()});
+  }
+
+  Status Visit(const ExprPtr& n) {  // NOLINT(misc-no-recursion)
+    if (!n) return Status::InvalidArgument("schedule: null child in plan");
+    if (Done(n.get())) return Status::OK();
+    if (!visiting.insert(n.get()).second) {
+      return Status::InvalidArgument("schedule: plan is not a DAG (cycle)");
+    }
+    const auto& kids = n->children();
+    const ExprPtr* lc = kids.size() == 2 ? &kids[0] : nullptr;
+    if (n->kind() == OpKind::kMatMul && lc != nullptr && *lc &&
+        (*lc)->kind() == OpKind::kTranspose && !Done(lc->get()) &&
+        (*lc)->children().size() == 1) {
+      if (!visiting.insert(lc->get()).second) {
+        visiting.erase(n.get());
+        return Status::InvalidArgument("schedule: plan is not a DAG (cycle)");
+      }
+      DMML_RETURN_IF_ERROR(Visit((*lc)->children()[0]));
+      DMML_RETURN_IF_ERROR(Visit(kids[1]));
+      Complete(lc->get());
+      visiting.erase(lc->get());
+    } else {
+      for (const auto& c : kids) DMML_RETURN_IF_ERROR(Visit(c));
+    }
+    Complete(n.get());
+    visiting.erase(n.get());
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+const ScheduleEntry* PlanSchedule::Find(const ExprNode* node) const {
+  const auto it = index_.find(node);
+  return it == index_.end() ? nullptr : &order_[it->second];
+}
+
+bool PlanSchedule::Interferes(const ExprNode* a, const ExprNode* b) const {
+  const ScheduleEntry* ea = Find(a);
+  const ScheduleEntry* eb = Find(b);
+  if (ea == nullptr || eb == nullptr) return false;
+  return ea->def <= eb->last_use && eb->def <= ea->last_use;
+}
+
+bool PlanSchedule::MayRunConcurrently(const ExprNode* a, const ExprNode* b) const {
+  if (a == nullptr || b == nullptr || a == b) return false;
+  if (Find(a) == nullptr || Find(b) == nullptr) return false;
+  // Neither may be a (transitive) operand of the other. On-demand DFS: plans
+  // are small and this is a planning-time query, not an executor hot path.
+  const auto reaches = [](const ExprNode* from, const ExprNode* to) {
+    std::vector<const ExprNode*> stack{from};
+    std::unordered_set<const ExprNode*> seen;
+    while (!stack.empty()) {
+      const ExprNode* n = stack.back();
+      stack.pop_back();
+      if (n == to) return true;
+      if (!seen.insert(n).second) continue;
+      for (const auto& c : n->children()) {
+        if (c) stack.push_back(c.get());
+      }
+    }
+    return false;
+  };
+  return !reaches(a, b) && !reaches(b, a);
+}
+
+Result<PlanSchedule> ComputeSchedule(const ExprPtr& root) {
+  if (!root) return Status::InvalidArgument("ComputeSchedule: null plan");
+  ScheduleBuilder builder;
+  DMML_RETURN_IF_ERROR(builder.Visit(root));
+
+  PlanSchedule schedule;
+  schedule.root_ = root;
+  schedule.order_ = std::move(builder.order);
+  schedule.index_ = std::move(builder.index);
+  for (const ScheduleEntry& e : schedule.order_) {
+    schedule.num_levels_ = std::max(schedule.num_levels_, e.level + 1);
+  }
+
+  // last_use: the latest completion position that still reads the value.
+  for (const ScheduleEntry& e : schedule.order_) {
+    for (const ExprNode* read : OperandReads(e.node)) {
+      const auto it = schedule.index_.find(read);
+      if (it != schedule.index_.end()) {
+        ScheduleEntry& src = schedule.order_[it->second];
+        src.last_use = std::max(src.last_use, e.def);
+      }
+    }
+  }
+  // The root's value is the Run() result: live until the next Run().
+  schedule.order_.back().last_use = SIZE_MAX;
+
+  // Peak simultaneous liveness of non-leaf values (the buffer lower bound),
+  // by line sweep over [def, last_use] intervals.
+  std::vector<int64_t> delta(schedule.order_.size() + 1, 0);
+  for (const ScheduleEntry& e : schedule.order_) {
+    if (e.node->kind() == OpKind::kInput) continue;
+    ++delta[e.def];
+    const size_t end = e.last_use == SIZE_MAX ? schedule.order_.size()
+                                              : e.last_use + 1;
+    if (end < delta.size()) --delta[end];
+  }
+  int64_t live = 0;
+  for (const int64_t d : delta) {
+    live += d;
+    schedule.max_live_ =
+        std::max(schedule.max_live_, static_cast<size_t>(std::max<int64_t>(live, 0)));
+  }
+
+  DMML_COUNTER_INC("laopt.analysis.schedules");
+  DMML_COUNTER_ADD("laopt.analysis.schedule_nodes", schedule.order_.size());
+  return schedule;
 }
 
 }  // namespace dmml::laopt

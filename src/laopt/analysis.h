@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "laopt/expr.h"
 #include "laopt/operand.h"
@@ -154,6 +155,89 @@ uint64_t DenseFootprintBytes(uint64_t rows, uint64_t cols, bool* saturated);
 /// \brief Independence-model sparsity of A·B: 1 − (1 − sa·sb)^inner. Used by
 /// the analyzer and by the optimizer's sparsity-aware chain costing.
 double MatMulSparsityEstimate(double sa, double sb, size_t inner);
+
+// ---------------------------------------------------------------------------
+// Static concurrency + liveness analysis.
+//
+// ComputeSchedule derives, per node, the position at which the sequential
+// executor completes it (`def`), the last position at which any consumer
+// still reads its value (`last_use`), and its topological wavefront level
+// (leaves are level 0; a node is one past its deepest child). Two facts
+// follow statically:
+//
+//  * nodes whose wavefront levels are independent — neither reachable from
+//    the other — may run concurrently (MayRunConcurrently), which is what a
+//    parallel node scheduler (ROADMAP item 5) needs;
+//  * two values whose [def, last_use] live ranges do not overlap can share
+//    one output buffer (Interferes is the register-allocation interference
+//    relation), which BufferedExecutor uses to reuse buffers across
+//    non-overlapping live ranges.
+//
+// The completion order deliberately mirrors BufferedExecutor's evaluation
+// order — including its one deviation from plain post-order: the transpose
+// left child of a matmul is completed *after* the right operand, because the
+// fused t(U)·V kernels evaluate it late or absorb it entirely. Liveness
+// derived from this order is therefore conservative for the executor's real
+// buffer writes.
+// ---------------------------------------------------------------------------
+
+/// \brief One node's static schedule facts.
+struct ScheduleEntry {
+  const ExprNode* node = nullptr;
+  size_t level = 0;     ///< Wavefront level: 0 for leaves, 1 + max child level.
+  size_t def = 0;       ///< Completion position in the executor's order.
+  size_t last_use = 0;  ///< Last position reading the value; SIZE_MAX for the
+                        ///< root (its buffer survives until the next Run()).
+};
+
+/// \brief Static schedule + liveness for one plan. Built by ComputeSchedule;
+/// immutable afterwards. Holds shared ownership of the root so the node
+/// pointers inside stay valid.
+class PlanSchedule {
+ public:
+  /// Entries in executor completion order (leaves included).
+  const std::vector<ScheduleEntry>& order() const { return order_; }
+
+  /// Entry for `node`, or nullptr if it is not part of this plan.
+  const ScheduleEntry* Find(const ExprNode* node) const;
+
+  /// Number of wavefront levels (max level + 1); 0 for an empty schedule.
+  size_t num_levels() const { return num_levels_; }
+
+  /// Peak number of simultaneously-live non-leaf values — a lower bound on
+  /// the buffers any executor needs, and the slot-sharing target.
+  size_t max_live() const { return max_live_; }
+
+  /// \brief True iff the live ranges of `a` and `b` overlap (they touch
+  /// buffers at the same time, so they must not share one).
+  bool Interferes(const ExprNode* a, const ExprNode* b) const;
+
+  /// \brief True iff neither node is reachable from the other, so a parallel
+  /// scheduler may dispatch them concurrently.
+  bool MayRunConcurrently(const ExprNode* a, const ExprNode* b) const;
+
+ private:
+  friend Result<PlanSchedule> ComputeSchedule(const ExprPtr& root);
+
+  std::vector<ScheduleEntry> order_;
+  std::unordered_map<const ExprNode*, size_t> index_;  ///< node → order_ pos.
+  size_t num_levels_ = 0;
+  size_t max_live_ = 0;
+  ExprPtr root_;
+};
+
+/// \brief The operands whose *values* `node` reads when it executes,
+/// mirroring the executor's fused kernels: a matmul with a transpose child
+/// reads the grandchild directly (t(U)·V never materializes t(U)), and
+/// rowSums(G ⊙ G) reads G. Conservative superset: both the fused-through
+/// node and its source are reported.
+std::vector<const ExprNode*> OperandReads(const ExprNode* node);
+
+/// \brief Builds the schedule for the plan under `root`. Fails on a cyclic
+/// or structurally broken plan (null/missing children) instead of crashing.
+///
+/// Metrics: increments laopt.analysis.schedules on success.
+Result<PlanSchedule> ComputeSchedule(const ExprPtr& root);
 
 }  // namespace dmml::laopt
 

@@ -119,6 +119,12 @@ Result<ExprPtr> EliminateCommonSubexpressions(const ExprPtr& root, CseReport* re
   }
   HashConser conser(report);
   DMML_ASSIGN_OR_RETURN(ExprPtr result, conser.Intern(root));
+  // Checked-build soundness gate, with the hash-consing value-coverage
+  // check: every structural value of the input must survive, produced by
+  // exactly one node (the CSE invariant this pass exists to establish).
+  DMML_RETURN_IF_ERROR(VerifyPassOutput("cse", root, result,
+                                        /*expect_hash_consed=*/true,
+                                        report ? &report->verify : nullptr));
   if (report) report->nodes_after = result->NumNodes();
   return result;
 }

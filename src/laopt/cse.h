@@ -8,7 +8,10 @@
 #ifndef DMML_LAOPT_CSE_H_
 #define DMML_LAOPT_CSE_H_
 
+#include <vector>
+
 #include "laopt/expr.h"
+#include "laopt/verify.h"
 
 namespace dmml::laopt {
 
@@ -17,6 +20,11 @@ struct CseReport {
   size_t nodes_before = 0;
   size_t nodes_after = 0;
   size_t merges = 0;  ///< Structurally duplicate subtrees unified.
+
+  /// Non-fatal verifier diagnostics from the post-pass soundness check —
+  /// including the hash-consing value-coverage check (every input value
+  /// class produced by exactly one survivor). Error findings abort the pass.
+  std::vector<Diagnostic> verify;
 };
 
 /// \brief Rewrites the DAG so equal subtrees share one node. Leaves are

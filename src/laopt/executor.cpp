@@ -1,12 +1,17 @@
 #include "laopt/executor.h"
 
+#include <algorithm>
 #include <array>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "la/kernels.h"
+#include "laopt/analysis.h"
 #include "laopt/optimizer.h"
 #include "laopt/profile.h"
+#include "laopt/verify.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -102,10 +107,88 @@ void BufferedExecutor::RecordNodeProfile(const ExprPtr& node, const Slot& slot,
                           v.repr, rows, cols, nnz);
 }
 
+la::DenseMatrix* BufferedExecutor::BufferFor(const ExprNode* node) {
+  if (current_assign_ != nullptr) {
+    const auto it = current_assign_->find(node);
+    if (it != current_assign_->end()) {
+      if (it->second >= pool_buffers_.size()) {
+        pool_buffers_.resize(it->second + 1);
+      }
+      auto& buf = pool_buffers_[it->second];
+      if (!buf) {
+        buf = std::make_unique<DenseMatrix>();
+        DMML_COUNTER_INC("laopt.executor.pool_buffers");
+      }
+      return buf.get();
+    }
+  }
+  return &dedicated_[node];
+}
+
+Status BufferedExecutor::PreparePlan(const ExprPtr& root) {
+  if (VerifyEnabled()) {
+    // Covers plans that never went through the optimizer pipeline (e.g. the
+    // trainers build DAGs directly): a structurally broken plan is rejected
+    // here, before any kernel touches a buffer.
+    DMML_RETURN_IF_ERROR(DiagnosticsToStatus("executor", VerifyPlan(root)));
+  }
+  BufferAssignment assign;
+  if (buffer_sharing_) {
+    // A schedule failure (e.g. in release builds with the verifier off) is
+    // not an execution error — fall back to dedicated per-node buffers.
+    Result<PlanSchedule> schedule = ComputeSchedule(root);
+    if (schedule.ok()) {
+      // Linear-scan allocation over [def, last_use] live ranges in schedule
+      // order. Expiry is strict (< def): a value read *at* this position is
+      // still live, so an operand can never share with its consumer. The
+      // root keeps a dedicated buffer (its value outlives the Run), and
+      // leaves write no buffers at all.
+      struct Active {
+        size_t last_use;
+        size_t id;
+      };
+      const auto later = [](const Active& a, const Active& b) {
+        return a.last_use > b.last_use;  // Min-heap on last_use.
+      };
+      std::vector<Active> active;
+      std::vector<size_t> free_ids;
+      for (const ScheduleEntry& e : schedule->order()) {
+        if (e.node->kind() == OpKind::kInput) continue;
+        if (e.last_use == SIZE_MAX) continue;
+        while (!active.empty() && active.front().last_use < e.def) {
+          free_ids.push_back(active.front().id);
+          std::pop_heap(active.begin(), active.end(), later);
+          active.pop_back();
+        }
+        size_t id = 0;
+        if (free_ids.empty()) {
+          id = next_buffer_id_++;
+        } else {
+          id = free_ids.back();
+          free_ids.pop_back();
+          DMML_COUNTER_INC("laopt.executor.buffers_shared");
+        }
+        assign.emplace(e.node, id);
+        active.push_back({e.last_use, id});
+        std::push_heap(active.begin(), active.end(), later);
+      }
+      DMML_COUNTER_ADD("laopt.executor.pooled_nodes", assign.size());
+    }
+  }
+  assignments_.emplace(root.get(), std::move(assign));
+  return Status::OK();
+}
+
 Result<const DenseMatrix*> BufferedExecutor::Run(const ExprPtr& root,
                                                  ExecStats* stats) {
   if (!root) return Status::InvalidArgument("Execute: null expression");
   DMML_TRACE_SPAN("laopt.execute");
+  auto prepared = assignments_.find(root.get());
+  if (prepared == assignments_.end()) {
+    DMML_RETURN_IF_ERROR(PreparePlan(root));
+    prepared = assignments_.find(root.get());
+  }
+  current_assign_ = &prepared->second;
   ++epoch_;
   run_tally_ = ExecStats{};
   if (profile_ != nullptr) {
@@ -201,16 +284,16 @@ Result<BufferedExecutor::Value> BufferedExecutor::EvalMatMul(
       if (rc.get() == u.get()) {
         // t(U) %*% U — the SYRK/Gram kernel, exactly as la::Gram computes it.
         if (profile_ != nullptr) profile_->AddFusedUse(lc.get());
-        la::GramInto(*uv.d, &slot.buf, pool_);
+        la::GramInto(*uv.d, slot.buf, pool_);
         CountDispatch(slot, Repr::kDense);
-        return Value{Repr::kDense, &slot.buf, nullptr, nullptr};
+        return Value{Repr::kDense, slot.buf, nullptr, nullptr};
       }
       DMML_ASSIGN_OR_RETURN(Value vv, Eval(rc));
       DMML_ASSIGN_OR_RETURN(const DenseMatrix* vd, Densify(rc, vv));
       if (profile_ != nullptr) profile_->AddFusedUse(lc.get());
-      la::TransposeMultiplyInto(*uv.d, *vd, &slot.buf, pool_);
+      la::TransposeMultiplyInto(*uv.d, *vd, slot.buf, pool_);
       CountDispatch(slot, Repr::kDense);
-      return Value{Repr::kDense, &slot.buf, nullptr, nullptr};
+      return Value{Repr::kDense, slot.buf, nullptr, nullptr};
     }
     if (uv.repr == Repr::kCompressed) {
       DMML_ASSIGN_OR_RETURN(Value vv, Eval(rc));
@@ -220,14 +303,14 @@ Result<BufferedExecutor::Value> BufferedExecutor::EvalMatMul(
         // t(X) %*% v == (v^T X)^T: the dictionary-pre-aggregating
         // VectorMultiply produces 1 x d; reinterpret as d x 1 (identical
         // contiguous storage).
-        DMML_RETURN_IF_ERROR(uv.c->VectorMultiplyInto(*vd, &slot.buf, pool_));
-        slot.buf.Reshape(slot.buf.cols(), 1);
+        DMML_RETURN_IF_ERROR(uv.c->VectorMultiplyInto(*vd, slot.buf, pool_));
+        slot.buf->Reshape(slot.buf->cols(), 1);
       } else {
         DMML_RETURN_IF_ERROR(
-            uv.c->TransposeMultiplyMatrixInto(*vd, &slot.buf, pool_));
+            uv.c->TransposeMultiplyMatrixInto(*vd, slot.buf, pool_));
       }
       CountDispatch(slot, Repr::kCompressed);
-      return Value{Repr::kDense, &slot.buf, nullptr, nullptr};
+      return Value{Repr::kDense, slot.buf, nullptr, nullptr};
     }
     if (uv.repr == Repr::kSparse) {
       DMML_ASSIGN_OR_RETURN(Value vv, Eval(rc));
@@ -235,10 +318,10 @@ Result<BufferedExecutor::Value> BufferedExecutor::EvalMatMul(
         // t(S) %*% v == (v^T S)^T via the CSR Gevm reduction — no
         // materialized transpose; 1 x d reinterpreted as d x 1.
         if (profile_ != nullptr) profile_->AddFusedUse(lc.get());
-        la::SparseGevmInto(*vv.d, *uv.s, &slot.buf, pool_);
-        slot.buf.Reshape(slot.buf.cols(), 1);
+        la::SparseGevmInto(*vv.d, *uv.s, slot.buf, pool_);
+        slot.buf->Reshape(slot.buf->cols(), 1);
         CountDispatch(slot, Repr::kSparse);
-        return Value{Repr::kDense, &slot.buf, nullptr, nullptr};
+        return Value{Repr::kDense, slot.buf, nullptr, nullptr};
       }
       // General t(S) %*% M: fall through — the generic path evaluates the
       // transpose node (materialized once as CSR) and dispatches on it.
@@ -248,9 +331,9 @@ Result<BufferedExecutor::Value> BufferedExecutor::EvalMatMul(
     DMML_ASSIGN_OR_RETURN(Value bv, Eval(rc->children()[0]));
     if (av.repr == Repr::kDense && bv.repr == Repr::kDense) {
       if (profile_ != nullptr) profile_->AddFusedUse(rc.get());
-      la::MultiplyTransposeBInto(*av.d, *bv.d, &slot.buf, pool_);
+      la::MultiplyTransposeBInto(*av.d, *bv.d, slot.buf, pool_);
       CountDispatch(slot, Repr::kDense);
-      return Value{Repr::kDense, &slot.buf, nullptr, nullptr};
+      return Value{Repr::kDense, slot.buf, nullptr, nullptr};
     }
     // Non-dense operands: fall through to the generic path (the transpose
     // node evaluates against the memoized grandchild).
@@ -262,9 +345,9 @@ Result<BufferedExecutor::Value> BufferedExecutor::EvalMatMul(
     case Repr::kSparse: {
       DMML_ASSIGN_OR_RETURN(const DenseMatrix* bd, Densify(rc, b));
       if (bd->cols() == 1) {
-        la::SparseGemvInto(*a.s, *bd, &slot.buf, pool_);
+        la::SparseGemvInto(*a.s, *bd, slot.buf, pool_);
       } else {
-        la::SparseMultiplyDenseInto(*a.s, *bd, &slot.buf, pool_);
+        la::SparseMultiplyDenseInto(*a.s, *bd, slot.buf, pool_);
       }
       CountDispatch(slot, Repr::kSparse);
       break;
@@ -272,21 +355,21 @@ Result<BufferedExecutor::Value> BufferedExecutor::EvalMatMul(
     case Repr::kCompressed: {
       DMML_ASSIGN_OR_RETURN(const DenseMatrix* bd, Densify(rc, b));
       if (bd->cols() == 1) {
-        DMML_RETURN_IF_ERROR(a.c->MultiplyVectorInto(*bd, &slot.buf, pool_));
+        DMML_RETURN_IF_ERROR(a.c->MultiplyVectorInto(*bd, slot.buf, pool_));
       } else {
-        DMML_RETURN_IF_ERROR(a.c->MultiplyMatrixInto(*bd, &slot.buf, pool_));
+        DMML_RETURN_IF_ERROR(a.c->MultiplyMatrixInto(*bd, slot.buf, pool_));
       }
       CountDispatch(slot, Repr::kCompressed);
       break;
     }
     case Repr::kDense: {
       DMML_ASSIGN_OR_RETURN(const DenseMatrix* bd, Densify(rc, b));
-      la::MultiplyInto(*a.d, *bd, &slot.buf, pool_);
+      la::MultiplyInto(*a.d, *bd, slot.buf, pool_);
       CountDispatch(slot, Repr::kDense);
       break;
     }
   }
-  return Value{Repr::kDense, &slot.buf, nullptr, nullptr};
+  return Value{Repr::kDense, slot.buf, nullptr, nullptr};
 }
 
 Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
@@ -344,7 +427,11 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
     prof_child_us_ = 0;
   }
 
-  slot.out = {Repr::kDense, &slot.buf, nullptr, nullptr};
+  // Resolve the node's output buffer for this Run: assignments are
+  // per-root, so a node shared between plans may write different storage
+  // under each.
+  slot.buf = BufferFor(node.get());
+  slot.out = {Repr::kDense, slot.buf, nullptr, nullptr};
   switch (node->kind()) {
     case OpKind::kMatMul: {
       DMML_ASSIGN_OR_RETURN(slot.out, EvalMatMul(node, slot));
@@ -361,7 +448,7 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
       } else {
         DMML_ASSIGN_OR_RETURN(const DenseMatrix* ad,
                               Densify(node->children()[0], a));
-        la::TransposeInto(*ad, &slot.buf, pool_);
+        la::TransposeInto(*ad, slot.buf, pool_);
         CountDispatch(slot, Repr::kDense);
       }
       break;
@@ -376,11 +463,11 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
       DMML_ASSIGN_OR_RETURN(const DenseMatrix* bd,
                             Densify(node->children()[1], b));
       if (node->kind() == OpKind::kAdd) {
-        la::AddInto(*ad, *bd, &slot.buf);
+        la::AddInto(*ad, *bd, slot.buf);
       } else if (node->kind() == OpKind::kSubtract) {
-        la::SubtractInto(*ad, *bd, &slot.buf);
+        la::SubtractInto(*ad, *bd, slot.buf);
       } else {
-        la::ElementwiseMultiplyInto(*ad, *bd, &slot.buf);
+        la::ElementwiseMultiplyInto(*ad, *bd, slot.buf);
       }
       CountDispatch(slot, Repr::kDense);
       break;
@@ -389,21 +476,21 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
       DMML_ASSIGN_OR_RETURN(Value a, Eval(node->children()[0]));
       DMML_ASSIGN_OR_RETURN(const DenseMatrix* ad,
                             Densify(node->children()[0], a));
-      la::ScaleInto(*ad, node->scalar(), &slot.buf);
+      la::ScaleInto(*ad, node->scalar(), slot.buf);
       CountDispatch(slot, Repr::kDense);
       break;
     }
     case OpKind::kSum: {
       DMML_ASSIGN_OR_RETURN(Value a, Eval(node->children()[0]));
-      slot.buf.Reshape(1, 1);
+      slot.buf->Reshape(1, 1);
       if (a.repr == Repr::kSparse) {
-        slot.buf.At(0, 0) = la::SparseSum(*a.s);
+        slot.buf->At(0, 0) = la::SparseSum(*a.s);
         CountDispatch(slot, Repr::kSparse);
       } else if (a.repr == Repr::kCompressed) {
-        slot.buf.At(0, 0) = a.c->Sum(pool_);
+        slot.buf->At(0, 0) = a.c->Sum(pool_);
         CountDispatch(slot, Repr::kCompressed);
       } else {
-        slot.buf.At(0, 0) = la::Sum(*a.d, pool_);
+        slot.buf->At(0, 0) = la::Sum(*a.d, pool_);
         CountDispatch(slot, Repr::kDense);
       }
       break;
@@ -418,13 +505,13 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
         DMML_ASSIGN_OR_RETURN(Value g, Eval(ch->children()[0]));
         if (g.repr == Repr::kCompressed) {
           if (profile_ != nullptr) profile_->AddFusedUse(ch.get());
-          DMML_RETURN_IF_ERROR(g.c->RowSquaredNormsInto(&slot.buf, pool_));
+          DMML_RETURN_IF_ERROR(g.c->RowSquaredNormsInto(slot.buf, pool_));
           CountDispatch(slot, Repr::kCompressed);
           break;
         }
         if (g.repr == Repr::kSparse) {
           if (profile_ != nullptr) profile_->AddFusedUse(ch.get());
-          la::SparseRowSquaredNormsInto(*g.s, &slot.buf);
+          la::SparseRowSquaredNormsInto(*g.s, slot.buf);
           CountDispatch(slot, Repr::kSparse);
           break;
         }
@@ -433,16 +520,16 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
       }
       DMML_ASSIGN_OR_RETURN(Value a, Eval(ch));
       if (a.repr == Repr::kSparse) {
-        la::SparseRowSumsInto(*a.s, &slot.buf);
+        la::SparseRowSumsInto(*a.s, slot.buf);
         CountDispatch(slot, Repr::kSparse);
       } else if (a.repr == Repr::kCompressed) {
         // rowSums(X) == X %*% 1: reuse this node's aux as the ones vector.
         slot.aux.Reshape(a.c->cols(), 1);
         slot.aux.Fill(1.0);
-        DMML_RETURN_IF_ERROR(a.c->MultiplyVectorInto(slot.aux, &slot.buf, pool_));
+        DMML_RETURN_IF_ERROR(a.c->MultiplyVectorInto(slot.aux, slot.buf, pool_));
         CountDispatch(slot, Repr::kCompressed);
       } else {
-        la::RowSumsInto(*a.d, &slot.buf, pool_);
+        la::RowSumsInto(*a.d, slot.buf, pool_);
         CountDispatch(slot, Repr::kDense);
       }
       break;
@@ -450,16 +537,16 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
     case OpKind::kColSums: {
       DMML_ASSIGN_OR_RETURN(Value a, Eval(node->children()[0]));
       if (a.repr == Repr::kSparse) {
-        la::SparseColumnSumsInto(*a.s, &slot.buf);
+        la::SparseColumnSumsInto(*a.s, slot.buf);
         CountDispatch(slot, Repr::kSparse);
       } else if (a.repr == Repr::kCompressed) {
         // colSums(X) == 1^T X via the pre-aggregating VectorMultiply.
         slot.aux.Reshape(a.c->rows(), 1);
         slot.aux.Fill(1.0);
-        DMML_RETURN_IF_ERROR(a.c->VectorMultiplyInto(slot.aux, &slot.buf, pool_));
+        DMML_RETURN_IF_ERROR(a.c->VectorMultiplyInto(slot.aux, slot.buf, pool_));
         CountDispatch(slot, Repr::kCompressed);
       } else {
-        la::ColumnSumsInto(*a.d, &slot.buf, pool_);
+        la::ColumnSumsInto(*a.d, slot.buf, pool_);
         CountDispatch(slot, Repr::kDense);
       }
       break;

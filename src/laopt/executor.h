@@ -26,7 +26,9 @@
 #define DMML_LAOPT_EXECUTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "la/sparse_matrix.h"
 #include "laopt/expr.h"
@@ -58,6 +60,17 @@ struct ExecStats {
 /// Within one Run, shared sub-DAGs are evaluated once via an epoch-stamped
 /// memo — same semantics as the one-shot Execute() below.
 ///
+/// The first Run() of each distinct root prepares the plan: in checked
+/// builds (see VerifyEnabled in laopt/verify.h) it is structurally verified,
+/// and — unless set_buffer_sharing(false) — the static liveness analysis
+/// (ComputeSchedule in laopt/analysis.h) assigns dense output buffers
+/// register-allocation-style, so nodes whose live ranges do not overlap
+/// share one buffer instead of each owning a dedicated one. The number of
+/// distinct buffers backing the plan is observable via num_buffers() and the
+/// laopt.executor.pool_buffers / laopt.executor.buffers_shared counters;
+/// results are bit-identical to the dedicated-buffer mode because a buffer
+/// is only reused after its previous value's last reader has completed.
+///
 /// Not thread-safe; one BufferedExecutor per driving thread. The internal
 /// thread pool (if any) is still used to parallelize individual kernels.
 class BufferedExecutor {
@@ -84,15 +97,37 @@ class BufferedExecutor {
   /// plan dims accept anything).
   Status Bind(const ExprPtr& leaf, Operand operand);
 
-  /// \brief Drops all retained buffers and bindings (e.g. between unrelated
-  /// programs).
+  /// \brief Drops all retained buffers, bindings, and prepared plan state
+  /// (e.g. between unrelated programs).
   void Clear() {
     slots_.clear();
     binds_.clear();
+    assignments_.clear();
+    pool_buffers_.clear();
+    dedicated_.clear();
+    current_assign_ = nullptr;
+    next_buffer_id_ = 0;
   }
 
   /// \brief Number of node buffers currently retained.
   size_t num_slots() const { return slots_.size(); }
+
+  /// \brief Enables/disables liveness-driven buffer sharing for plans
+  /// prepared *after* the call (already-prepared roots keep their
+  /// assignment). On by default; turn off to give every node a dedicated
+  /// buffer (e.g. to bisect a suspected aliasing bug).
+  void set_buffer_sharing(bool on) { buffer_sharing_ = on; }
+  bool buffer_sharing() const { return buffer_sharing_; }
+
+  /// \brief Number of distinct dense output buffers materialized so far:
+  /// shared pool buffers plus dedicated (per-node) ones. With sharing on,
+  /// this approaches the schedule's max_live() instead of the non-leaf node
+  /// count.
+  size_t num_buffers() const {
+    size_t n = dedicated_.size();
+    for (const auto& b : pool_buffers_) n += b != nullptr ? 1 : 0;
+    return n;
+  }
 
   /// \brief Attaches (or detaches, with nullptr) a runtime profile: every
   /// subsequent Run() records per-node wall time, dispatch representation,
@@ -115,7 +150,12 @@ class BufferedExecutor {
   };
 
   struct Slot {
-    la::DenseMatrix buf;          ///< Dense output buffer (non-leaf nodes).
+    la::DenseMatrix* buf = nullptr;  ///< Dense output buffer (non-leaf nodes):
+                                     ///< a shared pool buffer when the plan's
+                                     ///< liveness assignment granted one, else
+                                     ///< this node's dedicated buffer.
+                                     ///< Refreshed per Run (per-root
+                                     ///< assignments may differ).
     la::SparseMatrix sbuf;        ///< CSR output (transpose-of-sparse only).
     la::DenseMatrix aux;          ///< Densified copy of this node's value, or
                                   ///< kernel scratch (ones vector).
@@ -128,6 +168,17 @@ class BufferedExecutor {
 
   Result<Value> Eval(const ExprPtr& node);
   Result<Value> EvalMatMul(const ExprPtr& node, Slot& slot);
+
+  /// First-sighting plan preparation: structural verification (checked
+  /// builds) and the liveness-driven buffer assignment for `root`. Inserts
+  /// the root's (possibly empty) assignment only on success, so a rejected
+  /// plan is re-verified — and re-rejected — on the next Run.
+  Status PreparePlan(const ExprPtr& root);
+
+  /// The dense output buffer `node` writes this Run: its pool buffer under
+  /// the current root's assignment (materialized lazily, so fused-absorbed
+  /// nodes never allocate one), else its dedicated buffer.
+  la::DenseMatrix* BufferFor(const ExprNode* node);
 
   /// Dense view of `v` (the value of `owner`): returns it directly when
   /// dense, otherwise materializes into `owner`'s aux buffer (cached per
@@ -147,6 +198,18 @@ class BufferedExecutor {
   uint64_t epoch_ = 0;
   std::unordered_map<const ExprNode*, Slot> slots_;
   std::unordered_map<const ExprNode*, Operand> binds_;
+
+  /// node → pool buffer id, per prepared root. Presence of a root's entry
+  /// marks it prepared (an empty map = verified, dedicated buffers only).
+  using BufferAssignment = std::unordered_map<const ExprNode*, size_t>;
+  std::unordered_map<const ExprNode*, BufferAssignment> assignments_;
+  const BufferAssignment* current_assign_ = nullptr;  ///< Run() in flight.
+  std::vector<std::unique_ptr<la::DenseMatrix>> pool_buffers_;
+  std::unordered_map<const ExprNode*, la::DenseMatrix> dedicated_;
+  size_t next_buffer_id_ = 0;  ///< Pool ids are globally fresh across roots:
+                               ///< a node shared by two plans never collides
+                               ///< with either plan's other assignments.
+  bool buffer_sharing_ = true;
 
   /// Counts for the Run() in flight; folded into caller stats and the
   /// profile at Run() end (see ExecStats doc).

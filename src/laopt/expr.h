@@ -117,6 +117,11 @@ class ExprNode {
   ExprNode() = default;
 
  private:
+  // Test-only corruption hook: the plan-verifier tests (laopt_verify_test)
+  // need to manufacture ill-formed DAGs — cycles, wrong arity, stale cached
+  // shapes — that the public factories correctly refuse to build.
+  friend struct ExprNodeTestAccess;
+
   OpKind kind_ = OpKind::kInput;
   size_t rows_ = 0, cols_ = 0;
   double scalar_ = 1.0;

@@ -234,6 +234,11 @@ Result<ExprPtr> Optimize(const ExprPtr& root, const OptimizerOptions& options,
   DagAnalysis local_analysis;
   Rewriter rewriter(options, report, analysis ? analysis : &local_analysis);
   DMML_ASSIGN_OR_RETURN(ExprPtr result, rewriter.Rewrite(root));
+  // Checked-build soundness gate: the rewritten DAG must verify and preserve
+  // the root's value shape; a failure names this pass and the node.
+  DMML_RETURN_IF_ERROR(VerifyPassOutput("optimizer", root, result,
+                                        /*expect_hash_consed=*/false,
+                                        report ? &report->verify : nullptr));
   if (report) report->flops_after = EstimateFlops(result);
   return result;
 }

@@ -11,8 +11,11 @@
 #ifndef DMML_LAOPT_OPTIMIZER_H_
 #define DMML_LAOPT_OPTIMIZER_H_
 
+#include <vector>
+
 #include "laopt/analysis.h"
 #include "laopt/expr.h"
+#include "laopt/verify.h"
 
 namespace dmml::laopt {
 
@@ -31,6 +34,11 @@ struct OptimizerReport {
   size_t chains_costed = 0;  ///< Chains run through the analyzer-backed DP.
   double flops_before = 0;
   double flops_after = 0;
+
+  /// Non-fatal verifier diagnostics from the post-pass soundness check
+  /// (checked builds; see laopt/verify.h). Error-severity findings abort
+  /// Optimize with a Status instead of landing here.
+  std::vector<Diagnostic> verify;
 };
 
 /// \brief Applies the enabled rewrites bottom-up; returns the rewritten DAG.

@@ -6,6 +6,8 @@
 
 #include "laopt/executor.h"
 #include "laopt/optimizer.h"
+#include "laopt/verify.h"
+#include "util/logging.h"
 #include "util/string_utils.h"
 
 namespace dmml::laopt {
@@ -281,6 +283,18 @@ Result<ExprPtr> ParseExpression(const std::string& source, const Environment& en
   }
   if (value.is_scalar) {
     return Status::InvalidArgument("expression evaluates to a scalar, not a matrix");
+  }
+  // Under DMML_LINT=1 the parser is where binding names are known, so this
+  // is the one place lint.unused_binding can fire: environment entries the
+  // expression never references.
+  if (LintEnabled()) {
+    std::vector<std::string> bound_names;
+    bound_names.reserve(env.size());
+    for (const auto& kv : env) bound_names.push_back(kv.first);
+    std::vector<Diagnostic> lint = LintPlan(value.expr, bound_names);
+    if (!lint.empty()) {
+      DMML_LOG(Info) << "DMML_LINT (parser)\n" << RenderDiagnostics(lint);
+    }
   }
   return value.expr;
 }

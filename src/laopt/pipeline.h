@@ -10,12 +10,14 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "laopt/analysis.h"
 #include "laopt/cse.h"
 #include "laopt/expr.h"
 #include "laopt/fusion.h"
 #include "laopt/optimizer.h"
+#include "laopt/verify.h"
 
 namespace dmml::laopt {
 
@@ -47,6 +49,13 @@ struct PlanReport {
   bool output_bytes_known = false;  ///< Shape fully known at plan time.
   uint64_t output_est_bytes = 0;    ///< Estimated result footprint.
   std::string explain;              ///< Per-node dump (capture_explain only).
+
+  /// Consolidated non-fatal verifier diagnostics (input plan + every pass)
+  /// and — under DMML_LINT=1 — lint findings on the final plan. Also
+  /// appended to `explain` and the DMML_EXPLAIN log dump, so diagnostics are
+  /// never silently dropped. Error-severity verifier findings abort
+  /// CompilePlan with a Status naming the pass and node instead.
+  std::vector<Diagnostic> diagnostics;
 };
 
 /// \brief Compiles `root` through all enabled passes; returns the final DAG.

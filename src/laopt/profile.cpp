@@ -127,12 +127,26 @@ void PlanProfile::BeginRun(const ExprPtr& root) {
     error = analysis.status().ToString();
   }
 
+  // Static diagnostics ride along with the runtime evidence: verifier
+  // findings always matter when verification is on, lint findings only when
+  // the user opted in.
+  std::vector<Diagnostic> diags;
+  if (VerifyEnabled()) {
+    std::vector<Diagnostic> v = VerifyPlan(root);
+    diags.insert(diags.end(), v.begin(), v.end());
+  }
+  if (LintEnabled()) {
+    std::vector<Diagnostic> l = LintPlan(root);
+    diags.insert(diags.end(), l.begin(), l.end());
+  }
+
   std::lock_guard<std::mutex> lock(mu_);
   for (const ExprPtr& r : roots_) {
     if (r.get() == root.get()) return;  // lost a race with another executor
   }
   roots_.push_back(root);
   root_errors_.push_back(std::move(error));
+  root_diags_.push_back(std::move(diags));
   for (auto& [node, est] : captured) est_.insert_or_assign(node, std::move(est));
 }
 
@@ -218,6 +232,7 @@ void PlanProfile::Reset() {
   nodes_.clear();
   roots_.clear();
   root_errors_.clear();
+  root_diags_.clear();
   est_.clear();
 }
 
@@ -339,6 +354,7 @@ std::string PlanProfile::ExplainAnalyzeText() const {
   std::unordered_map<const ExprNode*, PlanEstimate> est;
   std::vector<ExprPtr> roots;
   std::vector<std::string> root_errors;
+  std::vector<std::vector<Diagnostic>> root_diags;
   Totals totals;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -346,6 +362,7 @@ std::string PlanProfile::ExplainAnalyzeText() const {
     est = est_;
     roots = roots_;
     root_errors = root_errors_;
+    root_diags = root_diags_;
     totals = totals_;
   }
 
@@ -364,6 +381,12 @@ std::string PlanProfile::ExplainAnalyzeText() const {
     if (i < root_errors.size() && !root_errors[i].empty()) {
       os << "  (analysis failed: " << root_errors[i] << ")\n";
     }
+    if (i < root_diags.size() && !root_diags[i].empty()) {
+      for (const Diagnostic& d : root_diags[i]) {
+        os << "  diag: " << SeverityName(d.severity) << " [" << d.rule << "] "
+           << d.node << ": " << d.message << "\n";
+      }
+    }
     std::vector<CalibratedNode> cal = Calibrate(root, nodes, est);
     std::unordered_map<const ExprNode*, CalibratedNode> by_node;
     for (const CalibratedNode& row : cal) by_node[row.node] = row;
@@ -377,12 +400,14 @@ std::string PlanProfile::ExplainAnalyzeJson() const {
   std::unordered_map<const ExprNode*, NodeProfile> nodes;
   std::unordered_map<const ExprNode*, PlanEstimate> est;
   std::vector<ExprPtr> roots;
+  std::vector<std::vector<Diagnostic>> root_diags;
   Totals totals;
   {
     std::lock_guard<std::mutex> lock(mu_);
     nodes = nodes_;
     est = est_;
     roots = roots_;
+    root_diags = root_diags_;
     totals = totals_;
   }
 
@@ -398,7 +423,18 @@ std::string PlanProfile::ExplainAnalyzeJson() const {
     // Stable per-root ids so "children" can reference rows.
     std::unordered_map<const ExprNode*, size_t> ids;
     for (const CalibratedNode& row : cal) ids.emplace(row.node, ids.size());
-    os << "{\"nodes\":[";
+    os << "{\"diagnostics\":[";
+    if (i < root_diags.size()) {
+      for (size_t d = 0; d < root_diags[i].size(); ++d) {
+        const Diagnostic& diag = root_diags[i][d];
+        if (d) os << ",";
+        os << "{\"severity\":\"" << SeverityName(diag.severity)
+           << "\",\"rule\":\"" << obs::JsonEscape(diag.rule) << "\",\"node\":\""
+           << obs::JsonEscape(diag.node) << "\",\"message\":\""
+           << obs::JsonEscape(diag.message) << "\"}";
+      }
+    }
+    os << "],\"nodes\":[";
     for (size_t j = 0; j < cal.size(); ++j) {
       const CalibratedNode& row = cal[j];
       if (j) os << ",";

@@ -38,6 +38,7 @@
 
 #include "laopt/expr.h"
 #include "laopt/operand.h"
+#include "laopt/verify.h"
 #include "obs/profile_registry.h"
 
 namespace dmml::laopt {
@@ -170,6 +171,11 @@ class PlanProfile {
   std::unordered_map<const ExprNode*, NodeProfile> nodes_;
   std::vector<ExprPtr> roots_;  ///< Distinct profiled roots, insertion order.
   std::vector<std::string> root_errors_;  ///< Parallel: analysis failure text.
+  /// Parallel: verifier + lint findings captured at first sighting (only
+  /// when DMML_VERIFY / DMML_LINT are active), rendered into both
+  /// ExplainAnalyze reports so static diagnostics ride along with the
+  /// runtime evidence.
+  std::vector<std::vector<Diagnostic>> root_diags_;
   std::unordered_map<const ExprNode*, PlanEstimate> est_;  ///< Capture cache.
 };
 

@@ -35,7 +35,7 @@ Operand Borrow(const DenseMatrix& m) {
 }
 
 bool ExplainAnalyzeEnvEnabled() {
-  const char* v = std::getenv("DMML_EXPLAIN_ANALYZE");
+  const char* v = std::getenv("DMML_EXPLAIN_ANALYZE");  // NOLINT(concurrency-mt-unsafe)
   if (v == nullptr || *v == '\0') return false;
   return std::strcmp(v, "0") != 0 && std::strcmp(v, "false") != 0 &&
          std::strcmp(v, "FALSE") != 0 && std::strcmp(v, "off") != 0;

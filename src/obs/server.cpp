@@ -86,7 +86,7 @@ bool ExpositionServer::Start() {
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
-    error_ = std::string("socket: ") + std::strerror(errno);
+    error_ = std::string("socket: ") + std::strerror(errno);  // NOLINT(concurrency-mt-unsafe)
     return false;
   }
   int one = 1;
@@ -101,12 +101,12 @@ bool ExpositionServer::Start() {
     return false;
   }
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    error_ = std::string("bind: ") + std::strerror(errno);
+    error_ = std::string("bind: ") + std::strerror(errno);  // NOLINT(concurrency-mt-unsafe)
     CloseFd(listen_fd_);
     return false;
   }
   if (::listen(listen_fd_, 16) < 0) {
-    error_ = std::string("listen: ") + std::strerror(errno);
+    error_ = std::string("listen: ") + std::strerror(errno);  // NOLINT(concurrency-mt-unsafe)
     CloseFd(listen_fd_);
     return false;
   }
@@ -118,7 +118,7 @@ bool ExpositionServer::Start() {
   }
 
   if (::pipe(wake_pipe_) < 0) {
-    error_ = std::string("pipe: ") + std::strerror(errno);
+    error_ = std::string("pipe: ") + std::strerror(errno);  // NOLINT(concurrency-mt-unsafe)
     CloseFd(listen_fd_);
     return false;
   }
@@ -210,7 +210,7 @@ void ExpositionServer::HandleConnection(int fd) {
 }
 
 std::unique_ptr<ExpositionServer> ExpositionServer::StartFromEnv() {
-  const char* v = std::getenv("DMML_OBS_PORT");
+  const char* v = std::getenv("DMML_OBS_PORT");  // NOLINT(concurrency-mt-unsafe)
   if (v == nullptr || *v == '\0') return nullptr;
   char* end = nullptr;
   long port = std::strtol(v, &end, 10);

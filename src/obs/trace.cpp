@@ -78,7 +78,7 @@ TraceRing& ThisThreadRing() {
 }
 
 bool EnvTruthy(const char* name) {
-  const char* v = std::getenv(name);
+  const char* v = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
   if (v == nullptr || *v == '\0') return false;
   return std::strcmp(v, "0") != 0 && std::strcmp(v, "false") != 0 &&
          std::strcmp(v, "FALSE") != 0 && std::strcmp(v, "off") != 0;

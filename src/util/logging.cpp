@@ -27,7 +27,7 @@ const char* LevelName(LogLevel level) {
 // DMML_LOG_LEVEL accepts a level name (debug|info|warn|warning|error|fatal,
 // any case) or the numeric enum value; unset or unparsable means kInfo.
 int LevelFromEnv() {
-  const char* v = std::getenv("DMML_LOG_LEVEL");
+  const char* v = std::getenv("DMML_LOG_LEVEL");  // NOLINT(concurrency-mt-unsafe)
   if (v == nullptr || *v == '\0') return static_cast<int>(LogLevel::kInfo);
   char lower[16] = {0};
   for (size_t i = 0; v[i] != '\0' && i + 1 < sizeof(lower); ++i) {

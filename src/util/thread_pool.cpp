@@ -132,7 +132,7 @@ void ParallelForChunks(ThreadPool* pool, size_t n, size_t grain,
 
 ThreadPool* GlobalThreadPool() {
   static ThreadPool pool([] {
-    if (const char* env = std::getenv("DMML_NUM_THREADS")) {
+    if (const char* env = std::getenv("DMML_NUM_THREADS")) {  // NOLINT(concurrency-mt-unsafe)
       char* end = nullptr;
       const long v = std::strtol(env, &end, 10);
       if (end != env && v > 0) return static_cast<size_t>(v);
