@@ -1,8 +1,15 @@
-// Experiment E8 — linear-algebra kernel microbenchmarks (google-benchmark).
+// Experiment E8 — linear-algebra kernel microbenchmarks.
 //
 // The baseline everything else stands on: dense GEMM/GEMV, sparse GEMV
-// across densities, transpose, reductions, and the dense solver.
-#include <benchmark/benchmark.h>
+// across densities, transpose, reductions, and the dense solver. Emits a
+// #BENCH-JSON block (name, size, threads, ns/op, GFLOP/s) so
+// scripts/bench_compare.sh can diff two captures; `--smoke` shrinks sizes
+// and time budgets for CI.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "data/generators.h"
@@ -12,95 +19,145 @@
 namespace {
 
 using namespace dmml;  // NOLINT
+using bench::BenchJsonEmitter;
 
-void BM_DenseGemm(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  auto a = data::GaussianMatrix(n, n, 1);
-  auto b = data::GaussianMatrix(n, n, 2);
-  for (auto _ : state) {
-    auto c = la::Multiply(a, b);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n * n * n * 2);
-}
-BENCHMARK(BM_DenseGemm)->Arg(64)->Arg(128)->Arg(256);
+using Clock = std::chrono::steady_clock;
 
-void BM_DenseGemv(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  auto a = data::GaussianMatrix(n, n, 3);
-  auto x = data::GaussianMatrix(n, 1, 4);
-  for (auto _ : state) {
-    auto y = la::Gemv(a, x);
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n * n * 2);
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
 }
-BENCHMARK(BM_DenseGemv)->Arg(256)->Arg(1024);
 
-void BM_SparseGemv(benchmark::State& state) {
-  const size_t n = 2048;
-  const double density = static_cast<double>(state.range(0)) / 1000.0;
-  auto a = data::SparseGaussianMatrix(n, n, density, 5);
-  auto x = data::GaussianMatrix(n, 1, 6);
-  for (auto _ : state) {
-    auto y = la::SparseGemv(a, x);
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(a.nnz()) * 2);
+// Self-calibrating timing loop: one warm-up, one measured rep to size the
+// batch, then the timed batch (same estimator bench_kernels uses).
+template <typename Fn>
+double TimeNsPerOp(double min_seconds, const Fn& fn) {
+  fn();
+  Clock::time_point t0 = Clock::now();
+  fn();
+  const double once = std::max(SecondsSince(t0), 1e-9);
+  const size_t reps =
+      std::max<size_t>(1, static_cast<size_t>(min_seconds / once));
+  t0 = Clock::now();
+  for (size_t r = 0; r < reps; ++r) fn();
+  return SecondsSince(t0) * 1e9 / static_cast<double>(reps);
 }
-BENCHMARK(BM_SparseGemv)->Arg(10)->Arg(100)->Arg(500);  // 1%, 10%, 50%.
 
-void BM_Transpose(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  auto a = data::GaussianMatrix(n, n, 7);
-  for (auto _ : state) {
-    auto t = la::Transpose(a);
-    benchmark::DoNotOptimize(t.data());
-  }
+std::string Dim2(size_t rows, size_t cols) {
+  return std::to_string(rows) + "x" + std::to_string(cols);
 }
-BENCHMARK(BM_Transpose)->Arg(256)->Arg(1024);
 
-void BM_ColumnSums(benchmark::State& state) {
-  auto a = data::GaussianMatrix(4096, 256, 8);
-  for (auto _ : state) {
-    auto s = la::ColumnSums(a);
-    benchmark::DoNotOptimize(s.data());
-  }
-}
-BENCHMARK(BM_ColumnSums);
-
-void BM_Solve(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  auto a = data::GaussianMatrix(n, n, 9);
-  for (size_t i = 0; i < n; ++i) a.At(i, i) += static_cast<double>(n);
-  auto b = data::GaussianMatrix(n, 1, 10);
-  for (auto _ : state) {
-    auto x = la::Solve(a, b);
-    benchmark::DoNotOptimize(x);
-  }
-}
-BENCHMARK(BM_Solve)->Arg(64)->Arg(128);
-
-void BM_Dot(benchmark::State& state) {
-  auto x = data::GaussianMatrix(1 << 16, 1, 11);
-  auto y = data::GaussianMatrix(1 << 16, 1, 12);
-  for (auto _ : state) {
-    double d = la::Dot(x, y);
-    benchmark::DoNotOptimize(d);
-  }
-}
-BENCHMARK(BM_Dot);
+// Keeps results observable so the kernel calls cannot be optimized away.
+volatile double g_sink = 0.0;
 
 }  // namespace
 
-// Expanded BENCHMARK_MAIN() so the metrics snapshot lands after the run.
 int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
   dmml::bench::ObsServerScope obs_server;  // DMML_OBS_PORT exposition
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  const double min_seconds = smoke ? 0.02 : 0.25;
+  std::printf("E8: linear-algebra kernel microbenchmarks%s\n\n",
+              smoke ? " (smoke)" : "");
+
+  BenchJsonEmitter json;
+
+  for (size_t n : {size_t{64}, size_t{128}, smoke ? size_t{0} : size_t{256}}) {
+    if (n == 0) continue;
+    auto a = data::GaussianMatrix(n, n, 1);
+    auto b = data::GaussianMatrix(n, n, 2);
+    const double ns = TimeNsPerOp(min_seconds, [&] {
+      auto c = la::Multiply(a, b);
+      g_sink = c.data()[0];
+    });
+    const double flops = 2.0 * static_cast<double>(n) * n * n;
+    json.Record("la.dense_gemm", Dim2(n, n), 1, ns, flops / ns);
+    std::printf("dense_gemm %4zu: %10.0f ns/op  %.2f GFLOP/s\n", n, ns,
+                flops / ns);
+  }
+
+  for (size_t n : {size_t{256}, smoke ? size_t{0} : size_t{1024}}) {
+    if (n == 0) continue;
+    auto a = data::GaussianMatrix(n, n, 3);
+    auto x = data::GaussianMatrix(n, 1, 4);
+    const double ns = TimeNsPerOp(min_seconds, [&] {
+      auto y = la::Gemv(a, x);
+      g_sink = y.data()[0];
+    });
+    const double flops = 2.0 * static_cast<double>(n) * n;
+    json.Record("la.dense_gemv", Dim2(n, n), 1, ns, flops / ns);
+    std::printf("dense_gemv %4zu: %10.0f ns/op  %.2f GFLOP/s\n", n, ns,
+                flops / ns);
+  }
+
+  {
+    const size_t n = smoke ? 512 : 2048;
+    for (int permille : {10, 100, 500}) {  // 1%, 10%, 50% nonzeros.
+      const double density = permille / 1000.0;
+      auto a = data::SparseGaussianMatrix(n, n, density, 5);
+      auto x = data::GaussianMatrix(n, 1, 6);
+      const double ns = TimeNsPerOp(min_seconds, [&] {
+        auto y = la::SparseGemv(a, x);
+        g_sink = y.data()[0];
+      });
+      const double flops = 2.0 * static_cast<double>(a.nnz());
+      json.Record("la.sparse_gemv.d" + std::to_string(permille), Dim2(n, n), 1,
+                  ns, flops / ns);
+      std::printf("sparse_gemv %4zu @%4.1f%%: %10.0f ns/op  %.2f GFLOP/s\n", n,
+                  density * 100.0, ns, flops / ns);
+    }
+  }
+
+  for (size_t n : {size_t{256}, smoke ? size_t{0} : size_t{1024}}) {
+    if (n == 0) continue;
+    auto a = data::GaussianMatrix(n, n, 7);
+    const double ns = TimeNsPerOp(min_seconds, [&] {
+      auto t = la::Transpose(a);
+      g_sink = t.data()[0];
+    });
+    json.Record("la.transpose", Dim2(n, n), 1, ns, 0.0);
+    std::printf("transpose  %4zu: %10.0f ns/op\n", n, ns);
+  }
+
+  {
+    const size_t rows = smoke ? 1024 : 4096;
+    const size_t cols = 256;
+    auto a = data::GaussianMatrix(rows, cols, 8);
+    const double ns = TimeNsPerOp(min_seconds, [&] {
+      auto s = la::ColumnSums(a);
+      g_sink = s.data()[0];
+    });
+    json.Record("la.column_sums", Dim2(rows, cols), 1, ns, 0.0);
+    std::printf("column_sums %s: %10.0f ns/op\n", Dim2(rows, cols).c_str(), ns);
+  }
+
+  for (size_t n : {size_t{64}, smoke ? size_t{0} : size_t{128}}) {
+    if (n == 0) continue;
+    auto a = data::GaussianMatrix(n, n, 9);
+    for (size_t i = 0; i < n; ++i) a.At(i, i) += static_cast<double>(n);
+    auto b = data::GaussianMatrix(n, 1, 10);
+    const double ns = TimeNsPerOp(min_seconds, [&] {
+      auto x = la::Solve(a, b);
+      if (x.ok()) g_sink = x->data()[0];
+    });
+    json.Record("la.solve", Dim2(n, n), 1, ns, 0.0);
+    std::printf("solve      %4zu: %10.0f ns/op\n", n, ns);
+  }
+
+  {
+    const size_t n = smoke ? (1u << 14) : (1u << 16);
+    auto x = data::GaussianMatrix(n, 1, 11);
+    auto y = data::GaussianMatrix(n, 1, 12);
+    const double ns =
+        TimeNsPerOp(min_seconds, [&] { g_sink = la::Dot(x, y); });
+    const double flops = 2.0 * static_cast<double>(n);
+    json.Record("la.dot", Dim2(n, 1), 1, ns, flops / ns);
+    std::printf("dot        %zu: %10.0f ns/op  %.2f GFLOP/s\n", n, ns,
+                flops / ns);
+  }
+
+  json.Emit("E8_la");
   dmml::bench::EmitMetrics("la");
   return 0;
 }

@@ -7,7 +7,10 @@
 // export and train; (b) matrix-native factorized path. Expected shape: the
 // relational path pays a tuple-at-a-time materialization tax; the factorized
 // path avoids it entirely — the motivation for in-DB ML the tutorial covers.
+// Emits a #BENCH-JSON block covering both parts so bench_compare.sh can diff
+// captures; `--smoke` shrinks the star schema for CI.
 #include <cstdio>
+#include <cstring>
 
 #include "bench/bench_util.h"
 #include "data/generators.h"
@@ -24,13 +27,19 @@ using bench::TablePrinter;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
   dmml::bench::ObsServerScope obs_server;  // DMML_OBS_PORT exposition
-  std::printf("E7: relational substrate throughput and in-engine ML pipeline\n\n");
+  std::printf("E7: relational substrate throughput and in-engine ML pipeline%s\n\n",
+              smoke ? " (smoke)" : "");
 
+  bench::BenchJsonEmitter json;
   data::StarSchemaOptions options;
-  options.ns = 40000;
-  options.nr = 2000;
+  options.ns = smoke ? 8000 : 40000;
+  options.nr = smoke ? 500 : 2000;
   options.ds = 4;
   options.dr = 8;
   auto ds = data::MakeStarSchema(options, 19);
@@ -46,6 +55,8 @@ int main() {
       double ms = w.ElapsedMillis();
       table.Row({"filter", bench::FmtInt(static_cast<long long>(filtered->num_rows())),
                  Fmt(ms, 1), Fmt(static_cast<double>(options.ns) / ms / 1e3, 2)});
+      json.Record("relational.filter", std::to_string(options.ns), 1, ms * 1e6,
+                  0.0);
     }
     relational::Predicate* keep_alive = nullptr;
     (void)keep_alive;
@@ -58,6 +69,8 @@ int main() {
       joined = std::move(*result);
       table.Row({"hash_join", bench::FmtInt(static_cast<long long>(joined.num_rows())),
                  Fmt(ms, 1), Fmt(static_cast<double>(options.ns) / ms / 1e3, 2)});
+      json.Record("relational.hash_join", std::to_string(options.ns), 1,
+                  ms * 1e6, 0.0);
     }
     {
       Stopwatch w;
@@ -69,6 +82,8 @@ int main() {
       if (!grouped.ok()) return 1;
       table.Row({"group_by", bench::FmtInt(static_cast<long long>(grouped->num_rows())),
                  Fmt(ms, 1), Fmt(static_cast<double>(options.ns) / ms / 1e3, 2)});
+      json.Record("relational.group_by", std::to_string(options.ns), 1,
+                  ms * 1e6, 0.0);
     }
     {
       std::vector<std::string> cols;
@@ -80,6 +95,8 @@ int main() {
       if (!m.ok()) return 1;
       table.Row({"to_matrix", bench::FmtInt(static_cast<long long>(m->rows())),
                  Fmt(ms, 1), Fmt(static_cast<double>(options.ns) / ms / 1e3, 2)});
+      json.Record("relational.to_matrix", std::to_string(options.ns), 1,
+                  ms * 1e6, 0.0);
     }
     table.EmitCsv("E7A_operators");
   }
@@ -110,6 +127,9 @@ int main() {
       double train_ms = wt.ElapsedMillis();
       table.Row({"sql_join_export", Fmt(prep_ms, 1), Fmt(train_ms, 1),
                  Fmt(prep_ms + train_ms, 1)});
+      json.Record("relational.pipeline.sql_join_export",
+                  std::to_string(options.ns), 1, (prep_ms + train_ms) * 1e6,
+                  0.0);
     }
     // (b) Factorized: no join at all.
     {
@@ -123,6 +143,8 @@ int main() {
       double train_ms = wt.ElapsedMillis();
       table.Row({"factorized", Fmt(prep_ms, 1), Fmt(train_ms, 1),
                  Fmt(prep_ms + train_ms, 1)});
+      json.Record("relational.pipeline.factorized", std::to_string(options.ns),
+                  1, (prep_ms + train_ms) * 1e6, 0.0);
     }
     table.EmitCsv("E7B_pipeline");
   }
@@ -131,6 +153,7 @@ int main() {
       "\nExpected shape: the tuple-at-a-time join/export dominates the\n"
       "relational pipeline's cost; the factorized path trains over the same\n"
       "logical join with near-zero preparation.\n");
+  json.Emit("E7_relational");
   dmml::bench::EmitMetrics("relational");
   return 0;
 }

@@ -25,6 +25,9 @@
 #     structural verifier checks every optimizer pass output at -O2 (Release
 #     defines NDEBUG, which otherwise leaves the verifier off). Any
 #     diagnostic of severity error fails the plan and hence the binary.
+#     The same suite then re-runs with DMML_INTER_NODE=1, forcing the
+#     dependency-counter dataflow scheduler onto every pooled executor —
+#     results must stay bit-identical and laopt.sched.buffer_conflicts zero.
 #
 # The Release smoke also covers the profiler: bench_laopt --smoke asserts
 # that the profiler-disabled unified GLM epoch loop stays within
@@ -179,7 +182,8 @@ fi
 # a failed Status, which every test and bench propagates as a nonzero exit.
 # ---------------------------------------------------------------------------
 verifier_tests="laopt_test laopt_cse_test laopt_analysis_test \
-laopt_aggregates_test laopt_repr_test laopt_profile_test laopt_verify_test"
+laopt_aggregates_test laopt_repr_test laopt_profile_test laopt_verify_test \
+laopt_sched_test"
 echo "static_checks: verifier gate — laopt tests + benches with DMML_VERIFY=1 DMML_LINT=1..."
 # shellcheck disable=SC2086
 if cmake --build "$smoke_dir" --target $verifier_tests -j >/dev/null; then
@@ -197,6 +201,26 @@ if cmake --build "$smoke_dir" --target $verifier_tests -j >/dev/null; then
     echo "static_checks: FAILED — bench_laopt --smoke with DMML_VERIFY=1 DMML_LINT=1" >&2
     status=1
   fi
+
+  # Inter-node scheduler gate: the same laopt suite plus bench_laopt --smoke
+  # with dataflow scheduling forced on, so every executor-driven test runs
+  # its plans through dependency-counter dispatch (results must stay
+  # bit-identical and the sched counters sane).
+  echo "static_checks: inter-node gate — laopt tests + bench_laopt with DMML_INTER_NODE=1..."
+  for t in $verifier_tests; do
+    if DMML_INTER_NODE=1 "$smoke_dir/tests/$t" >/dev/null; then
+      echo "static_checks: $t clean under forced inter-node scheduling"
+    else
+      echo "static_checks: FAILED — $t with DMML_INTER_NODE=1" >&2
+      status=1
+    fi
+  done
+  if DMML_INTER_NODE=1 "$smoke_dir/bench/bench_laopt" --smoke >/dev/null; then
+    echo "static_checks: bench_laopt clean under forced inter-node scheduling"
+  else
+    echo "static_checks: FAILED — bench_laopt --smoke with DMML_INTER_NODE=1" >&2
+    status=1
+  fi
 else
   echo "static_checks: FAILED — could not build laopt tests for the verifier gate" >&2
   status=1
@@ -211,10 +235,10 @@ fi
 # ---------------------------------------------------------------------------
 run_sanitized_repr_gate() {
   local san="$1" dir="$2"
-  echo "static_checks: building laopt_repr_test + laopt_verify_test (DMML_SANITIZE=$san) in $dir..."
+  echo "static_checks: building laopt_repr_test + laopt_verify_test + laopt_sched_test (DMML_SANITIZE=$san) in $dir..."
   if cmake -B "$dir" -S "$repo_root" -DDMML_SANITIZE="$san" >/dev/null \
       && cmake --build "$dir" --target laopt_repr_test --target laopt_verify_test \
-           -j >/dev/null; then
+           --target laopt_sched_test -j >/dev/null; then
     if "$dir/tests/laopt_repr_test" >/dev/null; then
       echo "static_checks: repr parity clean under $san"
     else
@@ -225,6 +249,16 @@ run_sanitized_repr_gate() {
       echo "static_checks: verifier + buffer sharing clean under $san"
     else
       echo "static_checks: FAILED — laopt_verify_test under $san" >&2
+      status=1
+    fi
+    # The scheduler suite runs twice: dataflow default, then with inter-node
+    # forced on for every executor in the binary (including the serial
+    # baselines, which keep inter_node off via set_inter_node(false)).
+    if "$dir/tests/laopt_sched_test" >/dev/null \
+        && DMML_INTER_NODE=1 "$dir/tests/laopt_sched_test" >/dev/null; then
+      echo "static_checks: inter-node scheduler clean under $san"
+    else
+      echo "static_checks: FAILED — laopt_sched_test under $san" >&2
       status=1
     fi
   else

@@ -437,26 +437,30 @@ bool PlanSchedule::Interferes(const ExprNode* a, const ExprNode* b) const {
   return ea->def <= eb->last_use && eb->def <= ea->last_use;
 }
 
+bool PlanSchedule::DependsOnPos(size_t consumer_pos, size_t producer_pos) const {
+  if (consumer_pos >= order_.size() || producer_pos >= order_.size()) {
+    return false;
+  }
+  const uint64_t word =
+      closure_[consumer_pos * closure_words_ + producer_pos / 64];
+  return (word >> (producer_pos % 64) & 1) != 0;
+}
+
+bool PlanSchedule::DependsOn(const ExprNode* consumer,
+                             const ExprNode* producer) const {
+  const auto ci = index_.find(consumer);
+  const auto pi = index_.find(producer);
+  if (ci == index_.end() || pi == index_.end()) return false;
+  return DependsOnPos(ci->second, pi->second);
+}
+
 bool PlanSchedule::MayRunConcurrently(const ExprNode* a, const ExprNode* b) const {
   if (a == nullptr || b == nullptr || a == b) return false;
   if (Find(a) == nullptr || Find(b) == nullptr) return false;
-  // Neither may be a (transitive) operand of the other. On-demand DFS: plans
-  // are small and this is a planning-time query, not an executor hot path.
-  const auto reaches = [](const ExprNode* from, const ExprNode* to) {
-    std::vector<const ExprNode*> stack{from};
-    std::unordered_set<const ExprNode*> seen;
-    while (!stack.empty()) {
-      const ExprNode* n = stack.back();
-      stack.pop_back();
-      if (n == to) return true;
-      if (!seen.insert(n).second) continue;
-      for (const auto& c : n->children()) {
-        if (c) stack.push_back(c.get());
-      }
-    }
-    return false;
-  };
-  return !reaches(a, b) && !reaches(b, a);
+  // Neither may be a (transitive) operand of the other. The OperandReads
+  // closure subsumes plain child reachability: every child edge is a read
+  // edge, and the fused-through extras are transitively implied.
+  return !DependsOn(a, b) && !DependsOn(b, a);
 }
 
 Result<PlanSchedule> ComputeSchedule(const ExprPtr& root) {
@@ -470,6 +474,26 @@ Result<PlanSchedule> ComputeSchedule(const ExprPtr& root) {
   schedule.index_ = std::move(builder.index);
   for (const ScheduleEntry& e : schedule.order_) {
     schedule.num_levels_ = std::max(schedule.num_levels_, e.level + 1);
+  }
+
+  // Transitive-dependency closure over OperandReads edges. The schedule is a
+  // valid completion order (every read precedes its reader), so one
+  // front-to-back pass OR-ing each read's row into the reader's row closes
+  // the relation.
+  const size_t n = schedule.order_.size();
+  schedule.closure_words_ = (n + 63) / 64;
+  schedule.closure_.assign(n * schedule.closure_words_, 0);
+  for (const ScheduleEntry& e : schedule.order_) {
+    uint64_t* bits = schedule.closure_.data() + e.def * schedule.closure_words_;
+    for (const ExprNode* read : OperandReads(e.node)) {
+      const auto it = schedule.index_.find(read);
+      if (it == schedule.index_.end()) continue;
+      const size_t src = it->second;
+      bits[src / 64] |= uint64_t{1} << (src % 64);
+      const uint64_t* src_bits =
+          schedule.closure_.data() + src * schedule.closure_words_;
+      for (size_t w = 0; w < schedule.closure_words_; ++w) bits[w] |= src_bits[w];
+    }
   }
 
   // last_use: the latest completion position that still reads the value.

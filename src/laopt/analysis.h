@@ -216,6 +216,19 @@ class PlanSchedule {
   /// scheduler may dispatch them concurrently.
   bool MayRunConcurrently(const ExprNode* a, const ExprNode* b) const;
 
+  /// \brief True iff `consumer` transitively depends on `producer`'s value
+  /// through the executor's real read edges (OperandReads — children plus
+  /// fused-through grandchildren). In a dataflow scheduler this is the
+  /// happens-after relation: `producer` is guaranteed complete before
+  /// `consumer` launches. O(1) per query from bitsets precomputed by
+  /// ComputeSchedule. False when either node is outside the plan or when
+  /// consumer == producer.
+  bool DependsOn(const ExprNode* consumer, const ExprNode* producer) const;
+
+  /// \brief DependsOn by schedule position (order() indices), for callers
+  /// that iterate the schedule and already hold positions.
+  bool DependsOnPos(size_t consumer_pos, size_t producer_pos) const;
+
  private:
   friend Result<PlanSchedule> ComputeSchedule(const ExprPtr& root);
 
@@ -224,6 +237,12 @@ class PlanSchedule {
   size_t num_levels_ = 0;
   size_t max_live_ = 0;
   ExprPtr root_;
+
+  /// Transitive-dependency closure over OperandReads edges: row i holds one
+  /// bit per schedule position j with "node i depends on node j". N²/8 bytes
+  /// for an N-node plan — plans are compiler-sized, not data-sized.
+  size_t closure_words_ = 0;
+  std::vector<uint64_t> closure_;
 };
 
 /// \brief The operands whose *values* `node` reads when it executes,

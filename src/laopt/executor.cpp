@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdlib>
+#include <functional>
 #include <memory>
+#include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -51,6 +55,32 @@ struct OpInstruments {
   }
 };
 
+// Inter-node scheduler instruments.
+struct SchedInstruments {
+  obs::Counter* runs;              ///< Inter-node Run()s started.
+  obs::Counter* nodes_launched;    ///< Dataflow tasks submitted to the pool.
+  obs::Counter* pool_shared_runs;  ///< Inter-node runs on GlobalThreadPool().
+  obs::Counter* buffer_conflicts;  ///< Failed pool-buffer write claims (== 0).
+  obs::Gauge* max_ready_width;     ///< Peak in-flight tasks of any run so far.
+  obs::Histogram* ready_width;     ///< In-flight width sampled at each launch.
+
+  static const SchedInstruments& Get() {
+    static const SchedInstruments inst = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      return SchedInstruments{
+          reg.GetCounter("laopt.sched.runs"),
+          reg.GetCounter("laopt.sched.nodes_launched"),
+          reg.GetCounter("laopt.sched.pool_shared_runs"),
+          reg.GetCounter("laopt.sched.buffer_conflicts"),
+          reg.GetGauge("laopt.sched.max_ready_width"),
+          reg.GetHistogram("laopt.sched.ready_width",
+                           obs::ExponentialBuckets(1, 2, 8)),
+      };
+    }();
+    return inst;
+  }
+};
+
 // Nonzeros actually materialized in a dense buffer — the ground truth the
 // analyzer's sparsity estimate is calibrated against.
 uint64_t CountDenseNnz(const DenseMatrix& m) {
@@ -58,6 +88,41 @@ uint64_t CountDenseNnz(const DenseMatrix& m) {
   const double* data = m.data();
   for (size_t i = 0; i < m.size(); ++i) nnz += data[i] != 0.0;
   return nnz;
+}
+
+// Accumulated-child-time cell for inter-node runs: tasks on pool threads
+// each fold their own recursion, so the serial member cell cannot be shared.
+thread_local uint64_t t_child_us = 0;  // NOLINT(misc-use-internal-linkage)
+
+// Nodes the serial executor may absorb into a consumer's fused kernel
+// instead of executing: the transpose operand of a matmul (t(U)·V, t(U)·U,
+// U·t(V)) and the G⊙G under rowSums. These get no dataflow task of their
+// own — whichever consumer needs the materialized value evaluates them
+// inline, exactly as the serial repr-dependent fall-through does.
+std::unordered_set<const ExprNode*> AbsorbablePositions(
+    const PlanSchedule& schedule) {
+  std::unordered_set<const ExprNode*> absorbable;
+  for (const ScheduleEntry& e : schedule.order()) {
+    const ExprNode* n = e.node;
+    if (n->kind() == OpKind::kMatMul && n->children().size() == 2) {
+      const ExprPtr& lc = n->children()[0];
+      const ExprPtr& rc = n->children()[1];
+      if (lc && lc->kind() == OpKind::kTranspose && lc->children().size() == 1) {
+        absorbable.insert(lc.get());
+      } else if (rc && rc->kind() == OpKind::kTranspose &&
+                 rc->children().size() == 1) {
+        absorbable.insert(rc.get());
+      }
+    }
+    if (n->kind() == OpKind::kRowSums && !n->children().empty()) {
+      const ExprPtr& c = n->children()[0];
+      if (c && c->kind() == OpKind::kElemMul && c->children().size() == 2 &&
+          c->children()[0] && c->children()[0].get() == c->children()[1].get()) {
+        absorbable.insert(c.get());
+      }
+    }
+  }
+  return absorbable;
 }
 
 }  // namespace
@@ -107,7 +172,24 @@ void BufferedExecutor::RecordNodeProfile(const ExprPtr& node, const Slot& slot,
                           v.repr, rows, cols, nnz);
 }
 
-la::DenseMatrix* BufferedExecutor::BufferFor(const ExprNode* node) {
+uint64_t& BufferedExecutor::child_us_accum() {
+  return par_run_ ? t_child_us : prof_child_us_;
+}
+
+bool BufferedExecutor::inter_node() const {
+  if (inter_node_ >= 0) return inter_node_ != 0;
+  static const int env_default = [] {
+    const char* e = std::getenv("DMML_INTER_NODE");  // NOLINT(concurrency-mt-unsafe)
+    if (e == nullptr || e[0] == '\0') return -1;
+    return (e[0] == '0' && e[1] == '\0') ? 0 : 1;
+  }();
+  if (env_default >= 0) return env_default != 0;
+  return true;
+}
+
+la::DenseMatrix* BufferedExecutor::BufferFor(const ExprNode* node,
+                                             size_t* pool_id) {
+  *pool_id = SIZE_MAX;
   if (current_assign_ != nullptr) {
     const auto it = current_assign_->find(node);
     if (it != current_assign_->end()) {
@@ -119,6 +201,7 @@ la::DenseMatrix* BufferedExecutor::BufferFor(const ExprNode* node) {
         buf = std::make_unique<DenseMatrix>();
         DMML_COUNTER_INC("laopt.executor.pool_buffers");
       }
+      *pool_id = it->second;
       return buf.get();
     }
   }
@@ -132,51 +215,199 @@ Status BufferedExecutor::PreparePlan(const ExprPtr& root) {
     // here, before any kernel touches a buffer.
     DMML_RETURN_IF_ERROR(DiagnosticsToStatus("executor", VerifyPlan(root)));
   }
-  BufferAssignment assign;
-  if (buffer_sharing_) {
+  PreparedPlan plan;
+  const bool want_par = pool_ != nullptr && inter_node();
+  if (buffer_sharing_ || want_par) {
     // A schedule failure (e.g. in release builds with the verifier off) is
-    // not an execution error — fall back to dedicated per-node buffers.
+    // not an execution error — fall back to serial, dedicated buffers.
     Result<PlanSchedule> schedule = ComputeSchedule(root);
     if (schedule.ok()) {
-      // Linear-scan allocation over [def, last_use] live ranges in schedule
-      // order. Expiry is strict (< def): a value read *at* this position is
-      // still live, so an operand can never share with its consumer. The
-      // root keeps a dedicated buffer (its value outlives the Run), and
-      // leaves write no buffers at all.
-      struct Active {
-        size_t last_use;
-        size_t id;
-      };
-      const auto later = [](const Active& a, const Active& b) {
-        return a.last_use > b.last_use;  // Min-heap on last_use.
-      };
-      std::vector<Active> active;
-      std::vector<size_t> free_ids;
-      for (const ScheduleEntry& e : schedule->order()) {
-        if (e.node->kind() == OpKind::kInput) continue;
-        if (e.last_use == SIZE_MAX) continue;
-        while (!active.empty() && active.front().last_use < e.def) {
-          free_ids.push_back(active.front().id);
-          std::pop_heap(active.begin(), active.end(), later);
-          active.pop_back();
+      std::unordered_set<const ExprNode*> absorbable;
+      if (want_par) absorbable = AbsorbablePositions(*schedule);
+      if (buffer_sharing_) {
+        // Linear-scan allocation over [def, last_use] live ranges in schedule
+        // order. Expiry is strict (< def): a value read *at* this position is
+        // still live, so an operand can never share with its consumer. The
+        // root keeps a dedicated buffer (its value outlives the Run), and
+        // leaves write no buffers at all.
+        //
+        // Inter-node plans strengthen the interference test: serial order no
+        // longer implies temporal order, so a candidate may take over a
+        // retired buffer only when the dependency closure proves it launches
+        // after every task that can still read the previous value — "live
+        // ranges overlap or the nodes may run concurrently" both veto
+        // sharing. Absorbable nodes (executed inside a consumer's window, if
+        // at all) keep dedicated buffers under inter-node plans.
+        const size_t n = schedule->order().size();
+        std::vector<std::vector<size_t>> eff_readers;
+        if (want_par) {
+          std::vector<std::vector<size_t>> readers(n);
+          for (const ScheduleEntry& e : schedule->order()) {
+            for (const ExprNode* read : OperandReads(e.node)) {
+              const ScheduleEntry* src = schedule->Find(read);
+              if (src != nullptr) readers[src->def].push_back(e.def);
+            }
+          }
+          // Task-level readers: an absorbable reader executes inside *its*
+          // readers' windows, so it expands (in reverse schedule order, as
+          // readers always sit later) to the scheduled tasks above it.
+          eff_readers.resize(n);
+          for (size_t p = n; p-- > 0;) {
+            for (const size_t d : readers[p]) {
+              const ExprNode* dn = schedule->order()[d].node;
+              if (dn->kind() != OpKind::kInput && absorbable.count(dn) == 0) {
+                eff_readers[p].push_back(d);
+              } else {
+                eff_readers[p].insert(eff_readers[p].end(),
+                                      eff_readers[d].begin(),
+                                      eff_readers[d].end());
+              }
+            }
+            std::sort(eff_readers[p].begin(), eff_readers[p].end());
+            eff_readers[p].erase(
+                std::unique(eff_readers[p].begin(), eff_readers[p].end()),
+                eff_readers[p].end());
+          }
         }
-        size_t id = 0;
-        if (free_ids.empty()) {
-          id = next_buffer_id_++;
-        } else {
-          id = free_ids.back();
-          free_ids.pop_back();
-          DMML_COUNTER_INC("laopt.executor.buffers_shared");
+        struct Active {
+          size_t last_use;
+          size_t id;
+          size_t holder;  ///< Schedule position of the buffer's last writer.
+        };
+        const auto later = [](const Active& a, const Active& b) {
+          return a.last_use > b.last_use;  // Min-heap on last_use.
+        };
+        std::vector<Active> active;
+        struct FreeBuf {
+          size_t id;
+          size_t holder;
+        };
+        std::vector<FreeBuf> free_bufs;
+        for (const ScheduleEntry& e : schedule->order()) {
+          if (e.node->kind() == OpKind::kInput) continue;
+          if (e.last_use == SIZE_MAX) continue;
+          if (want_par && absorbable.count(e.node) != 0) continue;
+          while (!active.empty() && active.front().last_use < e.def) {
+            free_bufs.push_back({active.front().id, active.front().holder});
+            std::pop_heap(active.begin(), active.end(), later);
+            active.pop_back();
+          }
+          size_t id = SIZE_MAX;
+          if (!want_par) {
+            if (!free_bufs.empty()) {
+              id = free_bufs.back().id;
+              free_bufs.pop_back();
+            }
+          } else {
+            for (size_t f = 0; f < free_bufs.size(); ++f) {
+              const std::vector<size_t>& readers = eff_readers[free_bufs[f].holder];
+              const bool ordered = std::all_of(
+                  readers.begin(), readers.end(), [&](size_t t) {
+                    return t == e.def || schedule->DependsOnPos(e.def, t);
+                  });
+              if (ordered) {
+                id = free_bufs[f].id;
+                free_bufs[f] = free_bufs.back();
+                free_bufs.pop_back();
+                break;
+              }
+            }
+          }
+          if (id == SIZE_MAX) {
+            id = next_buffer_id_++;
+          } else {
+            DMML_COUNTER_INC("laopt.executor.buffers_shared");
+          }
+          plan.assign.emplace(e.node, id);
+          active.push_back({e.last_use, id, e.def});
+          std::push_heap(active.begin(), active.end(), later);
         }
-        assign.emplace(e.node, id);
-        active.push_back({e.last_use, id});
-        std::push_heap(active.begin(), active.end(), later);
+        DMML_COUNTER_ADD("laopt.executor.pooled_nodes", plan.assign.size());
       }
-      DMML_COUNTER_ADD("laopt.executor.pooled_nodes", assign.size());
+      if (want_par) {
+        plan.par = BuildParallelPlan(root, *schedule, absorbable, plan.assign);
+      }
     }
   }
-  assignments_.emplace(root.get(), std::move(assign));
+  assignments_.emplace(root.get(), std::move(plan));
   return Status::OK();
+}
+
+std::unique_ptr<BufferedExecutor::ParallelPlan>
+BufferedExecutor::BuildParallelPlan(
+    const ExprPtr& root, const PlanSchedule& schedule,
+    const std::unordered_set<const ExprNode*>& absorbable,
+    const BufferAssignment& assign) {
+  auto par = std::make_unique<ParallelPlan>();
+
+  // Shared-pointer handles for every plan node: tasks outlive the caller's
+  // root reference, and Eval takes ExprPtr.
+  std::unordered_map<const ExprNode*, ExprPtr> ptrs;
+  std::function<void(const ExprPtr&)> collect =
+      [&](const ExprPtr& n) {  // NOLINT(misc-no-recursion)
+        if (!n || !ptrs.emplace(n.get(), n).second) return;
+        for (const auto& c : n->children()) collect(c);
+      };
+  collect(root);
+
+  std::unordered_map<const ExprNode*, uint32_t> task_index;
+  for (const ScheduleEntry& e : schedule.order()) {
+    Slot& slot = slots_[e.node];  // Pre-create: no rehash during the run.
+    par->all_slots.push_back(&slot);
+    if (e.node->kind() == OpKind::kInput) {
+      par->leaves.emplace_back(ptrs.at(e.node), &slot);
+      continue;
+    }
+    // Pre-create the dedicated entry for every node the pool did not cover
+    // (including absorbable ones — a repr fall-through may execute them), so
+    // BufferFor never mutates the map from a task thread.
+    if (assign.count(e.node) == 0) dedicated_[e.node];
+    if (absorbable.count(e.node) != 0) continue;
+    task_index.emplace(e.node, static_cast<uint32_t>(par->tasks.size()));
+    ParallelTask task;
+    task.node = ptrs.at(e.node);
+    task.slot = &slot;
+    par->tasks.push_back(std::move(task));
+  }
+  par->root_slot = &slots_[root.get()];
+
+  // Task-level dependencies: every read resolves to the task producing it —
+  // leaves are prefilled (no dependency), absorbable reads dissolve into
+  // their own reads (the consumer evaluates them inline, so it must wait for
+  // their operands, not for them).
+  par->deps_remaining =
+      std::make_unique<std::atomic<uint32_t>[]>(par->tasks.size());
+  for (uint32_t i = 0; i < par->tasks.size(); ++i) {
+    std::set<uint32_t> deps;
+    std::function<void(const ExprNode*)> add =
+        [&](const ExprNode* r) {  // NOLINT(misc-no-recursion)
+          if (r == nullptr || r->kind() == OpKind::kInput) return;
+          const auto it = task_index.find(r);
+          if (it != task_index.end()) {
+            if (it->second != i) deps.insert(it->second);
+            return;
+          }
+          for (const ExprNode* rr : OperandReads(r)) add(rr);
+        };
+    for (const ExprNode* r : OperandReads(par->tasks[i].node.get())) add(r);
+    par->tasks[i].num_deps = static_cast<uint32_t>(deps.size());
+    for (const uint32_t d : deps) par->tasks[d].consumers.push_back(i);
+  }
+
+  // Pre-size shared-buffer storage so task threads never grow containers.
+  if (pool_buffers_.size() < next_buffer_id_) {
+    pool_buffers_.resize(next_buffer_id_);
+  }
+  if (pool_writer_size_ < next_buffer_id_) {
+    auto grown =
+        std::make_unique<std::atomic<const ExprNode*>[]>(next_buffer_id_);
+    for (size_t i = 0; i < next_buffer_id_; ++i) {
+      grown[i].store(nullptr, std::memory_order_relaxed);
+    }
+    pool_writer_ = std::move(grown);
+    pool_writer_size_ = next_buffer_id_;
+  }
+  return par;
 }
 
 Result<const DenseMatrix*> BufferedExecutor::Run(const ExprPtr& root,
@@ -188,9 +419,10 @@ Result<const DenseMatrix*> BufferedExecutor::Run(const ExprPtr& root,
     DMML_RETURN_IF_ERROR(PreparePlan(root));
     prepared = assignments_.find(root.get());
   }
-  current_assign_ = &prepared->second;
+  PreparedPlan& plan = prepared->second;
+  current_assign_ = &plan.assign;
   ++epoch_;
-  run_tally_ = ExecStats{};
+  run_tally_.Reset();
   if (profile_ != nullptr) {
     profile_->BeginRun(root);
     prof_child_us_ = 0;
@@ -203,19 +435,146 @@ Result<const DenseMatrix*> BufferedExecutor::Run(const ExprPtr& root,
     BufferedExecutor* ex;
     ExecStats* stats;
     ~RunFinalizer() {
+      const ExecStats run = ex->run_tally_.Snapshot();
       if (stats != nullptr) {
-        stats->ops_executed += ex->run_tally_.ops_executed;
-        stats->memo_hits += ex->run_tally_.memo_hits;
-        stats->densify_fallbacks += ex->run_tally_.densify_fallbacks;
+        stats->ops_executed += run.ops_executed;
+        stats->memo_hits += run.memo_hits;
+        stats->densify_fallbacks += run.densify_fallbacks;
       }
-      if (ex->profile_ != nullptr) ex->profile_->EndRun(ex->run_tally_);
+      if (ex->profile_ != nullptr) ex->profile_->EndRun(run);
     }
   } finalizer{this, stats};
-  DMML_ASSIGN_OR_RETURN(Value out, Eval(root));
+  Value out;
+  if (plan.par != nullptr && pool_ != nullptr && plan.par->tasks.size() > 1) {
+    DMML_ASSIGN_OR_RETURN(out, RunInterNode(root, *plan.par));
+  } else {
+    DMML_ASSIGN_OR_RETURN(out, Eval(root));
+  }
   // Callers receive dense results; a non-dense root (e.g. a bare sparse
   // leaf, or a transpose of one) is densified into executor storage.
   DMML_ASSIGN_OR_RETURN(const DenseMatrix* dense, Densify(root, out));
   return dense;
+}
+
+Result<BufferedExecutor::Value> BufferedExecutor::RunInterNode(
+    const ExprPtr& /*root*/, ParallelPlan& par) {
+  // Per-run resets happen on the driving thread, before any task exists;
+  // the task launches below publish them.
+  for (Slot* s : par.all_slots) {
+    s->exec_state.store(0, std::memory_order_relaxed);
+    s->aux_state.store(0, std::memory_order_relaxed);
+    s->first_pending.store(false, std::memory_order_relaxed);
+  }
+  for (size_t i = 0; i < par.tasks.size(); ++i) {
+    par.deps_remaining[i].store(par.tasks[i].num_deps,
+                                std::memory_order_relaxed);
+  }
+  // Prefill every leaf (the serial kInput path, hoisted): bind errors
+  // surface here, before any task launches.
+  for (auto& [leaf, slot] : par.leaves) {
+    const auto bound = binds_.find(leaf.get());
+    const Operand& operand =
+        bound != binds_.end() ? bound->second : leaf->operand();
+    if (!operand.bound()) {
+      return Status::FailedPrecondition(
+          "cannot execute unbound placeholder '" +
+          (leaf->name().empty() ? std::string("_") : leaf->name()) + "'");
+    }
+    switch (operand.repr()) {
+      case Repr::kDense:
+        slot->out = {Repr::kDense, operand.dense(), nullptr, nullptr};
+        break;
+      case Repr::kSparse:
+        slot->out = {Repr::kSparse, nullptr, operand.sparse(), nullptr};
+        break;
+      case Repr::kCompressed:
+        slot->out = {Repr::kCompressed, nullptr, nullptr, operand.compressed()};
+        break;
+    }
+    slot->first_pending.store(true, std::memory_order_relaxed);
+    slot->epoch.store(epoch_, std::memory_order_release);
+  }
+  run_failed_.store(false, std::memory_order_relaxed);
+  first_error_ = Status::OK();
+  sched_inflight_.store(0, std::memory_order_relaxed);
+  sched_run_max_.store(0, std::memory_order_relaxed);
+
+  const SchedInstruments& si = SchedInstruments::Get();
+  si.runs->Add(1);
+  if (pool_ == GlobalThreadPool()) si.pool_shared_runs->Add(1);
+
+  WaitGroup wg;
+  run_wg_ = &wg;
+  par_run_ = true;
+  for (uint32_t i = 0; i < par.tasks.size(); ++i) {
+    if (par.tasks[i].num_deps == 0) LaunchTask(par, i);
+  }
+  pool_->Wait(wg);
+  par_run_ = false;
+  run_wg_ = nullptr;
+
+  const auto width = static_cast<double>(
+      sched_run_max_.load(std::memory_order_relaxed));
+  if (width > si.max_ready_width->Value()) si.max_ready_width->Set(width);
+
+  if (run_failed_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(err_mu_);
+    return first_error_;
+  }
+  return par.root_slot->out;
+}
+
+void BufferedExecutor::LaunchTask(ParallelPlan& par, uint32_t idx) {
+  const SchedInstruments& si = SchedInstruments::Get();
+  si.nodes_launched->Add(1);
+  const uint32_t width =
+      sched_inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint32_t cur = sched_run_max_.load(std::memory_order_relaxed);
+  while (width > cur && !sched_run_max_.compare_exchange_weak(
+                            cur, width, std::memory_order_relaxed)) {
+  }
+  si.ready_width->Observe(static_cast<double>(width));
+  pool_->Submit(*run_wg_, [this, &par, idx] { RunTaskBody(par, idx); });
+}
+
+void BufferedExecutor::RunTaskBody(ParallelPlan& par, uint32_t idx) {
+  ParallelTask& task = par.tasks[idx];
+  if (!run_failed_.load(std::memory_order_acquire)) {
+    const bool profiled = profile_ != nullptr;
+    uint64_t saved_child_us = 0;
+    uint64_t start_us = 0;
+    if (profiled) {
+      saved_child_us = t_child_us;
+      t_child_us = 0;
+      start_us = obs::NowMicros();
+    }
+    const Result<Value> r = Eval(task.node);
+    if (profiled) {
+      // A cooperatively-run task is child time from the viewpoint of
+      // whatever profiled evaluation this thread was blocked in.
+      t_child_us = saved_child_us + (obs::NowMicros() - start_us);
+    }
+    if (r.ok()) {
+      // The serial executor's first consumer call is the one that executes
+      // the node; here the task did, so the first post-completion read must
+      // stay uncounted (see Slot::first_pending).
+      task.slot->first_pending.store(true, std::memory_order_release);
+    } else {
+      std::lock_guard<std::mutex> lock(err_mu_);
+      if (!run_failed_.load(std::memory_order_relaxed)) {
+        first_error_ = r.status();
+        run_failed_.store(true, std::memory_order_release);
+      }
+    }
+  }
+  sched_inflight_.fetch_sub(1, std::memory_order_relaxed);
+  // Even after a failure the counters must drain so every consumer launches
+  // (as a no-op) and the run's WaitGroup completes.
+  for (const uint32_t c : task.consumers) {
+    if (par.deps_remaining[c].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      LaunchTask(par, c);
+    }
+  }
 }
 
 Status BufferedExecutor::Bind(const ExprPtr& leaf, Operand operand) {
@@ -243,11 +602,28 @@ Result<const DenseMatrix*> BufferedExecutor::Densify(const ExprPtr& owner,
   Slot& slot = slots_[owner.get()];
   const void* src = v.repr == Repr::kSparse ? static_cast<const void*>(v.s)
                                             : static_cast<const void*>(v.c);
+  if (par_run_) {
+    // Claim the fill so concurrent consumers get one fully-published copy
+    // (and one fallback count). Claim waits never steal pool tasks — see
+    // AwaitConcurrentEval.
+    for (;;) {
+      if (slot.aux_state.load(std::memory_order_acquire) == 2) {
+        return &slot.aux;
+      }
+      uint8_t expected = 0;
+      if (slot.aux_state.compare_exchange_weak(expected, 1,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+        break;
+      }
+      std::this_thread::yield();
+    }
+  }
   // One densified copy per node per run, shared by all consumers. The buffer
   // itself persists across runs; only the fill is repeated (leaf payloads
   // may be mutated in place between runs).
   if (slot.aux_epoch != epoch_ || slot.aux_src != src) {
-    run_tally_.densify_fallbacks++;
+    run_tally_.densify_fallbacks.fetch_add(1, std::memory_order_relaxed);
     DMML_COUNTER_INC("laopt.repr.densify_fallbacks");
     if (profile_ != nullptr) profile_->AddDensify(owner.get());
     if (v.repr == Repr::kSparse) {
@@ -264,6 +640,7 @@ Result<const DenseMatrix*> BufferedExecutor::Densify(const ExprPtr& owner,
     slot.aux_src = src;
     slot.aux_epoch = epoch_;
   }
+  if (par_run_) slot.aux_state.store(2, std::memory_order_release);
   return &slot.aux;
 }
 
@@ -372,17 +749,44 @@ Result<BufferedExecutor::Value> BufferedExecutor::EvalMatMul(
   return Value{Repr::kDense, slot.buf, nullptr, nullptr};
 }
 
+Result<BufferedExecutor::Value> BufferedExecutor::MemoReturn(
+    const ExprPtr& node, Slot& slot) {
+  if (par_run_ && slot.first_pending.exchange(false, std::memory_order_relaxed)) {
+    // The read standing in for the serial executor's first consumer call —
+    // the call that executes the node and counts nothing.
+    return slot.out;
+  }
+  run_tally_.memo_hits.fetch_add(1, std::memory_order_relaxed);
+  DMML_COUNTER_INC("laopt.executor.memo_hits");
+  if (profile_ != nullptr && node->kind() != OpKind::kInput) {
+    profile_->AddMemoHit(node.get());
+  }
+  return slot.out;
+}
+
+Result<BufferedExecutor::Value> BufferedExecutor::AwaitConcurrentEval(
+    const ExprPtr& node, Slot& slot) {
+  for (;;) {
+    const uint8_t s = slot.exec_state.load(std::memory_order_acquire);
+    if (s == 2) return MemoReturn(node, slot);
+    if (s == 3) {
+      return Status::Internal(
+          "laopt: operand evaluation failed on another thread");
+    }
+    // Never run pool tasks here: a stolen task could itself wait on a claim
+    // held lower in this very stack. Pure yielding is deadlock-free — claim
+    // waits follow DAG edges, so some claim holder is always executing.
+    std::this_thread::yield();
+  }
+}
+
 Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
   // unordered_map element references are stable across the recursive inserts
-  // below, so holding `slot` through child evaluation is safe.
+  // below, so holding `slot` through child evaluation is safe. (Inter-node
+  // plans pre-create every slot, so task threads never insert.)
   Slot& slot = slots_[node.get()];
-  if (slot.epoch == epoch_) {
-    run_tally_.memo_hits++;
-    DMML_COUNTER_INC("laopt.executor.memo_hits");
-    if (profile_ != nullptr && node->kind() != OpKind::kInput) {
-      profile_->AddMemoHit(node.get());
-    }
-    return slot.out;
+  if (slot.epoch.load(std::memory_order_acquire) == epoch_) {
+    return MemoReturn(node, slot);
   }
 
   if (node->kind() == OpKind::kInput) {
@@ -394,7 +798,6 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
           "cannot execute unbound placeholder '" +
           (node->name().empty() ? std::string("_") : node->name()) + "'");
     }
-    slot.epoch = epoch_;
     switch (operand.repr()) {
       case Repr::kDense:
         slot.out = {Repr::kDense, operand.dense(), nullptr, nullptr};
@@ -406,9 +809,34 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
         slot.out = {Repr::kCompressed, nullptr, nullptr, operand.compressed()};
         break;
     }
+    slot.epoch.store(epoch_, std::memory_order_release);
     return slot.out;
   }
-  run_tally_.ops_executed++;
+
+  // Publishes the slot's final execution state on every exit path: done on
+  // commit, failed otherwise (so concurrent waiters never hang on an
+  // error), releasing the pool-buffer write claim either way.
+  struct ExecClaim {
+    Slot* slot = nullptr;
+    std::atomic<const ExprNode*>* writer = nullptr;
+    bool committed = false;
+    ~ExecClaim() {
+      if (slot == nullptr) return;
+      if (writer != nullptr) writer->store(nullptr, std::memory_order_release);
+      slot->exec_state.store(committed ? 2 : 3, std::memory_order_release);
+    }
+  };
+  ExecClaim claim;
+  if (par_run_) {
+    uint8_t expected = 0;
+    if (!slot.exec_state.compare_exchange_strong(expected, 1,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_acquire)) {
+      return AwaitConcurrentEval(node, slot);
+    }
+    claim.slot = &slot;
+  }
+  run_tally_.ops_executed.fetch_add(1, std::memory_order_relaxed);
 
   const size_t kind_idx = static_cast<size_t>(node->kind());
   const OpInstruments& instruments = OpInstruments::Get();
@@ -423,14 +851,27 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
   uint64_t saved_child_us = 0;
   if (profiled) {
     prof_start_us = obs::NowMicros();
-    saved_child_us = prof_child_us_;
-    prof_child_us_ = 0;
+    saved_child_us = child_us_accum();
+    child_us_accum() = 0;
   }
 
   // Resolve the node's output buffer for this Run: assignments are
   // per-root, so a node shared between plans may write different storage
   // under each.
-  slot.buf = BufferFor(node.get());
+  size_t pool_id = SIZE_MAX;
+  slot.buf = BufferFor(node.get(), &pool_id);
+  if (par_run_ && pool_id != SIZE_MAX && pool_id < pool_writer_size_) {
+    // Runtime check of the concurrency-aware assignment: exactly one
+    // in-flight writer per pool buffer, or the conflict counter moves.
+    const ExprNode* expected = nullptr;
+    if (pool_writer_[pool_id].compare_exchange_strong(
+            expected, node.get(), std::memory_order_acq_rel,
+            std::memory_order_relaxed)) {
+      claim.writer = &pool_writer_[pool_id];
+    } else {
+      SchedInstruments::Get().buffer_conflicts->Add(1);
+    }
+  }
   slot.out = {Repr::kDense, slot.buf, nullptr, nullptr};
   switch (node->kind()) {
     case OpKind::kMatMul: {
@@ -554,14 +995,15 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
     case OpKind::kInput:
       return Status::Internal("unknown op kind in executor");
   }
-  slot.epoch = epoch_;
+  slot.epoch.store(epoch_, std::memory_order_release);
+  claim.committed = true;
   if (profiled) {
     const uint64_t incl_us = obs::NowMicros() - prof_start_us;
-    const uint64_t child_us = prof_child_us_;
+    const uint64_t child_us = child_us_accum();
     RecordNodeProfile(node, slot, incl_us,
                       incl_us > child_us ? incl_us - child_us : 0);
     // This node's inclusive time is child time from the parent's viewpoint.
-    prof_child_us_ = saved_child_us + incl_us;
+    child_us_accum() = saved_child_us + incl_us;
   }
   return slot.out;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <memory>
+#include <utility>
 
 #include "obs/metrics.h"
 
@@ -31,6 +33,12 @@ struct PoolMetrics {
   }
 };
 
+// How long a cooperative waiter sleeps when the queue is momentarily empty
+// but its WaitGroup has not drained. Running tasks wake it via Done(); the
+// timeout only bounds the window where a running task enqueues *new* work
+// without touching the waited-on group.
+constexpr std::chrono::microseconds kCooperativeNapUs{200};
+
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -50,16 +58,66 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-std::future<void> ThreadPool::Submit(std::function<void()> task) {
-  std::packaged_task<void()> pt(std::move(task));
-  std::future<void> fut = pt.get_future();
+void ThreadPool::Enqueue(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push({std::move(pt), obs::NowMicros()});
+    tasks_.push({std::move(fn), obs::NowMicros()});
     PoolMetrics::Get().queue_depth->Set(static_cast<double>(tasks_.size()));
   }
   cv_.notify_one();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  auto pt = std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> fut = pt->get_future();
+  Enqueue([pt] { (*pt)(); });
   return fut;
+}
+
+void ThreadPool::Submit(WaitGroup& wg, std::function<void()> task) {
+  wg.Add(1);
+  Enqueue([&wg, t = std::move(task)] {
+    t();
+    wg.Done();
+  });
+}
+
+void ThreadPool::RunTask(QueuedTask& item) {
+  PoolMetrics& metrics = PoolMetrics::Get();
+  const uint64_t start_us = obs::NowMicros();
+  metrics.wait_us->Observe(static_cast<double>(start_us - item.enqueue_us));
+  item.fn();
+  metrics.run_us->Observe(static_cast<double>(obs::NowMicros() - start_us));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+  }
+  idle_cv_.notify_all();
+}
+
+bool ThreadPool::TryRunOneTask() {
+  QueuedTask item;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tasks_.empty()) return false;
+    item = std::move(tasks_.front());
+    tasks_.pop();
+    PoolMetrics::Get().queue_depth->Set(static_cast<double>(tasks_.size()));
+    ++in_flight_;
+  }
+  RunTask(item);
+  return true;
+}
+
+void ThreadPool::Wait(WaitGroup& wg) {
+  // Cooperative wait: drain pending tasks on this thread; nap only when the
+  // queue is empty and the group still holds. Tasks in flight on workers
+  // wake us through wg.Done().
+  while (!wg.TryWait()) {
+    if (!TryRunOneTask()) {
+      if (wg.WaitFor(kCooperativeNapUs)) return;
+    }
+  }
 }
 
 void ThreadPool::WaitAll() {
@@ -68,7 +126,6 @@ void ThreadPool::WaitAll() {
 }
 
 void ThreadPool::WorkerLoop() {
-  PoolMetrics& metrics = PoolMetrics::Get();
   for (;;) {
     QueuedTask item;
     {
@@ -77,18 +134,10 @@ void ThreadPool::WorkerLoop() {
       if (stop_ && tasks_.empty()) return;
       item = std::move(tasks_.front());
       tasks_.pop();
-      metrics.queue_depth->Set(static_cast<double>(tasks_.size()));
+      PoolMetrics::Get().queue_depth->Set(static_cast<double>(tasks_.size()));
       ++in_flight_;
     }
-    uint64_t start_us = obs::NowMicros();
-    metrics.wait_us->Observe(static_cast<double>(start_us - item.enqueue_us));
-    item.task();
-    metrics.run_us->Observe(static_cast<double>(obs::NowMicros() - start_us));
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --in_flight_;
-    }
-    idle_cv_.notify_all();
+    RunTask(item);
   }
 }
 
@@ -120,25 +169,28 @@ void ParallelForChunks(ThreadPool* pool, size_t n, size_t grain,
     return;
   }
   const size_t chunk = (n + chunks - 1) / chunks;
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
+  WaitGroup wg;
   size_t idx = 0;
   for (size_t begin = 0; begin < n; begin += chunk, ++idx) {
     const size_t end = std::min(begin + chunk, n);
-    futures.push_back(pool->Submit([&fn, idx, begin, end] { fn(idx, begin, end); }));
+    pool->Submit(wg, [&fn, idx, begin, end] { fn(idx, begin, end); });
   }
-  for (auto& f : futures) f.get();
+  pool->Wait(wg);
 }
 
-ThreadPool* GlobalThreadPool() {
-  static ThreadPool pool([] {
-    if (const char* env = std::getenv("DMML_NUM_THREADS")) {  // NOLINT(concurrency-mt-unsafe)
+size_t DefaultThreadPoolSize() {
+  for (const char* name : {"DMML_THREADS", "DMML_NUM_THREADS"}) {
+    if (const char* env = std::getenv(name)) {  // NOLINT(concurrency-mt-unsafe)
       char* end = nullptr;
       const long v = std::strtol(env, &end, 10);
       if (end != env && v > 0) return static_cast<size_t>(v);
     }
-    return static_cast<size_t>(std::max(1u, std::thread::hardware_concurrency()));
-  }());
+  }
+  return static_cast<size_t>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+ThreadPool* GlobalThreadPool() {
+  static ThreadPool pool(DefaultThreadPoolSize());
   return &pool;
 }
 

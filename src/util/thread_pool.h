@@ -1,8 +1,17 @@
 /// \file thread_pool.h
-/// \brief Fixed-size worker pool with a ParallelFor convenience.
+/// \brief Fixed-size worker pool with a ParallelFor convenience, a
+/// WaitGroup completion primitive, and cooperative waiting.
+///
+/// Cooperative waiting is what lets nested submission share one pool: a
+/// thread blocked in ThreadPool::Wait(WaitGroup&) drains pending pool tasks
+/// instead of sleeping, so a task that itself submits subtasks (an executor
+/// node whose kernel fans out morsel chunks, say) can never deadlock — even
+/// on a single-thread pool — and multiple executors can share
+/// GlobalThreadPool() without exclusive ownership.
 #ifndef DMML_UTIL_THREAD_POOL_H_
 #define DMML_UTIL_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -14,6 +23,54 @@
 #include <vector>
 
 namespace dmml {
+
+/// \brief Counts outstanding tasks; waiters block until the count drains to
+/// zero. The Go-style alternative to collecting one std::future per task:
+/// a fan-out of N tasks pays one Add/Done pair each instead of N
+/// packaged_task + future allocations. Add before (or while) the count is
+/// still nonzero from the waiter's perspective; Done strictly after the
+/// matching Add.
+class WaitGroup {
+ public:
+  /// \brief Registers `n` tasks that Wait must outlast.
+  void Add(size_t n = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    count_ += n;
+  }
+
+  /// \brief Marks one task complete; wakes waiters when the count drains.
+  void Done() {
+    // Notify while still holding the lock: the moment a waiter can observe
+    // count_ == 0 it may return and destroy this WaitGroup (it often lives
+    // on the waiter's stack), so the broadcast must complete before the
+    // decrement becomes visible.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--count_ == 0) cv_.notify_all();
+  }
+
+  /// \brief Blocks until every Add has been matched by a Done.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+  /// \brief True iff the count is currently zero (no blocking).
+  bool TryWait() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0;
+  }
+
+  /// \brief Waits up to `timeout` for the count to drain; true on drain.
+  bool WaitFor(std::chrono::microseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, timeout, [this] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t count_ = 0;
+};
 
 /// \brief A fixed pool of worker threads executing submitted closures.
 class ThreadPool {
@@ -28,6 +85,21 @@ class ThreadPool {
   /// \brief Enqueues a task; the returned future resolves on completion.
   std::future<void> Submit(std::function<void()> task);
 
+  /// \brief Enqueues a task tracked by `wg` (Add before enqueue, Done after
+  /// the task body returns). No future is allocated — the hot-path fan-out
+  /// primitive. `wg` must outlive the task; pair with Wait(wg).
+  void Submit(WaitGroup& wg, std::function<void()> task);
+
+  /// \brief Runs one pending task on the calling thread, if any. Returns
+  /// false when the queue was empty. The building block of cooperative
+  /// waiting: a blocked submitter makes progress instead of sleeping.
+  bool TryRunOneTask();
+
+  /// \brief Blocks until `wg` drains, cooperatively running pending pool
+  /// tasks on this thread while it waits. Safe to call from inside a pool
+  /// task (nested submission), including on a single-thread pool.
+  void Wait(WaitGroup& wg);
+
   /// \brief Number of worker threads.
   size_t num_threads() const { return workers_.size(); }
 
@@ -36,10 +108,12 @@ class ThreadPool {
 
  private:
   struct QueuedTask {
-    std::packaged_task<void()> task;
+    std::function<void()> fn;
     uint64_t enqueue_us = 0;  ///< For the task_wait_us latency histogram.
   };
 
+  void Enqueue(std::function<void()> fn);
+  void RunTask(QueuedTask& item);
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
@@ -66,12 +140,19 @@ size_t ParallelChunkCount(const ThreadPool* pool, size_t n, size_t grain);
 /// \brief Grain-aware ParallelFor that also hands each chunk its index
 /// (`fn(chunk, begin, end)`), so reduction kernels can give every chunk a
 /// private partial buffer indexed by `chunk` (< ParallelChunkCount(...)).
-/// Runs inline as `fn(0, 0, n)` when only one chunk is warranted.
+/// Runs inline as `fn(0, 0, n)` when only one chunk is warranted. The wait
+/// is cooperative (see ThreadPool::Wait), so kernels may call this from
+/// inside a pool task without deadlocking.
 void ParallelForChunks(ThreadPool* pool, size_t n, size_t grain,
                        const std::function<void(size_t, size_t, size_t)>& fn);
 
-/// \brief Default process-wide pool. Sized by the DMML_NUM_THREADS environment
-/// variable when set to a positive integer, else the hardware concurrency.
+/// \brief Pool size GlobalThreadPool() will use: the first of DMML_THREADS
+/// and DMML_NUM_THREADS set to a positive integer, else the hardware
+/// concurrency. Re-read on every call (the global pool samples it once).
+size_t DefaultThreadPoolSize();
+
+/// \brief Default process-wide pool, sized by DefaultThreadPoolSize() at
+/// first use.
 ThreadPool* GlobalThreadPool();
 
 }  // namespace dmml

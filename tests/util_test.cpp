@@ -386,6 +386,104 @@ TEST(ThreadPoolTest, WaitAllBlocksUntilDrained) {
   EXPECT_EQ(done.load(), 20);
 }
 
+TEST(ThreadPoolTest, WaitGroupTracksFanOutWithoutFutures) {
+  ThreadPool pool(4);
+  WaitGroup wg;
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit(wg, [&counter] { counter++; });
+  }
+  pool.Wait(wg);
+  EXPECT_EQ(counter.load(), 200);
+  EXPECT_TRUE(wg.TryWait());
+}
+
+TEST(ThreadPoolTest, WaitGroupStandaloneWait) {
+  WaitGroup wg;
+  EXPECT_TRUE(wg.TryWait());
+  wg.Add(2);
+  EXPECT_FALSE(wg.TryWait());
+  std::thread t([&wg] {
+    wg.Done();
+    wg.Done();
+  });
+  wg.Wait();
+  EXPECT_TRUE(wg.TryWait());
+  t.join();
+}
+
+// The deadlock regression the cooperative wait exists for: a pool task that
+// itself fans out subtasks and waits for them, on a pool with one worker.
+// With a sleeping wait the worker would block forever inside the outer task;
+// cooperative waiting drains the subtasks on the blocked thread instead.
+TEST(ThreadPoolTest, NestedSubmissionOnSingleThreadPoolDoesNotDeadlock) {
+  ThreadPool pool(1);
+  std::atomic<int> inner{0};
+  WaitGroup outer;
+  pool.Submit(outer, [&pool, &inner] {
+    WaitGroup wg;
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit(wg, [&inner] { inner++; });
+    }
+    pool.Wait(wg);
+  });
+  pool.Wait(outer);
+  EXPECT_EQ(inner.load(), 8);
+}
+
+TEST(ThreadPoolTest, NestedParallelForChunksSharesOnePool) {
+  ThreadPool pool(2);
+  std::atomic<int> cells{0};
+  ParallelForChunks(&pool, 4, /*grain=*/1, [&pool, &cells](size_t, size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      ParallelForChunks(&pool, 4, /*grain=*/1,
+                        [&cells](size_t, size_t b2, size_t e2) {
+                          cells += static_cast<int>(e2 - b2);
+                        });
+    }
+  });
+  EXPECT_EQ(cells.load(), 16);
+}
+
+TEST(ThreadPoolTest, TryRunOneTaskDrainsQueue) {
+  ThreadPool pool(1);
+  // Park the single worker so submissions stay queued; wait for the park to
+  // start so the main thread cannot pick it up itself below.
+  std::atomic<bool> parked_started{false};
+  std::atomic<bool> release{false};
+  WaitGroup parked;
+  pool.Submit(parked, [&parked_started, &release] {
+    parked_started = true;
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!parked_started.load()) std::this_thread::yield();
+  std::atomic<int> ran{0};
+  WaitGroup wg;
+  for (int i = 0; i < 4; ++i) pool.Submit(wg, [&ran] { ran++; });
+  while (pool.TryRunOneTask()) {
+  }
+  EXPECT_EQ(ran.load(), 4);
+  EXPECT_FALSE(pool.TryRunOneTask());
+  release = true;
+  pool.Wait(parked);
+  pool.Wait(wg);
+}
+
+TEST(ThreadPoolTest, DefaultThreadPoolSizeHonorsEnvOverrides) {
+  // DMML_THREADS wins over DMML_NUM_THREADS; both fall back to hardware
+  // concurrency when absent or non-positive.
+  setenv("DMML_NUM_THREADS", "3", 1);
+  unsetenv("DMML_THREADS");
+  EXPECT_EQ(DefaultThreadPoolSize(), 3u);
+  setenv("DMML_THREADS", "5", 1);
+  EXPECT_EQ(DefaultThreadPoolSize(), 5u);
+  setenv("DMML_THREADS", "garbage", 1);
+  EXPECT_EQ(DefaultThreadPoolSize(), 3u);
+  unsetenv("DMML_THREADS");
+  unsetenv("DMML_NUM_THREADS");
+  EXPECT_GE(DefaultThreadPoolSize(), 1u);
+}
+
 // --------------------------------------------------------------------------
 // Logging
 // --------------------------------------------------------------------------
