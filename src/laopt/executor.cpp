@@ -504,18 +504,28 @@ Result<BufferedExecutor::Value> BufferedExecutor::RunInterNode(
   if (pool_ == GlobalThreadPool()) si.pool_shared_runs->Add(1);
 
   WaitGroup wg;
+  // Reset on every exit path: Wait rethrows the first exception a task body
+  // raised (after the group has fully drained), and stale par-run state
+  // would corrupt the next — serial — Run.
+  struct ParRunGuard {
+    BufferedExecutor* ex;
+    ~ParRunGuard() {
+      ex->par_run_ = false;
+      ex->run_wg_ = nullptr;
+    }
+  } par_guard{this};
   run_wg_ = &wg;
   par_run_ = true;
   for (uint32_t i = 0; i < par.tasks.size(); ++i) {
     if (par.tasks[i].num_deps == 0) LaunchTask(par, i);
   }
   pool_->Wait(wg);
-  par_run_ = false;
-  run_wg_ = nullptr;
 
-  const auto width = static_cast<double>(
-      sched_run_max_.load(std::memory_order_relaxed));
-  if (width > si.max_ready_width->Value()) si.max_ready_width->Set(width);
+  // CAS-max: concurrent executors sharing GlobalThreadPool() finish runs
+  // concurrently, and a read-then-set pair here could move the peak
+  // backwards.
+  si.max_ready_width->SetMax(
+      static_cast<double>(sched_run_max_.load(std::memory_order_relaxed)));
 
   if (run_failed_.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> lock(err_mu_);
@@ -602,10 +612,11 @@ Result<const DenseMatrix*> BufferedExecutor::Densify(const ExprPtr& owner,
   Slot& slot = slots_[owner.get()];
   const void* src = v.repr == Repr::kSparse ? static_cast<const void*>(v.s)
                                             : static_cast<const void*>(v.c);
+  PoolClaimScope steal_guard;
   if (par_run_) {
     // Claim the fill so concurrent consumers get one fully-published copy
-    // (and one fallback count). Claim waits never steal pool tasks — see
-    // AwaitConcurrentEval.
+    // (and one fallback count). Losing claimants spin-yield, never stealing
+    // pool tasks — see AwaitConcurrentEval.
     for (;;) {
       if (slot.aux_state.load(std::memory_order_acquire) == 2) {
         return &slot.aux;
@@ -618,7 +629,24 @@ Result<const DenseMatrix*> BufferedExecutor::Densify(const ExprPtr& owner,
       }
       std::this_thread::yield();
     }
+    // The fill below may fan out on the pool (Decompress morsels); while
+    // this claim is held its cooperative waits must not steal sibling node
+    // tasks, which could spin on this very fill (see PoolClaimScope).
+    steal_guard.Acquire();
   }
+  // Publishes the claim's outcome on every exit path: valid on commit, back
+  // to unchecked if the fill threw (a chunk exception rethrown by the
+  // cooperative wait), so a spinning consumer retries instead of hanging.
+  struct AuxClaim {
+    Slot* slot = nullptr;
+    bool committed = false;
+    ~AuxClaim() {
+      if (slot != nullptr) {
+        slot->aux_state.store(committed ? 2 : 0, std::memory_order_release);
+      }
+    }
+  } aux_claim;
+  if (par_run_) aux_claim.slot = &slot;
   // One densified copy per node per run, shared by all consumers. The buffer
   // itself persists across runs; only the fill is repeated (leaf payloads
   // may be mutated in place between runs).
@@ -640,7 +668,7 @@ Result<const DenseMatrix*> BufferedExecutor::Densify(const ExprPtr& owner,
     slot.aux_src = src;
     slot.aux_epoch = epoch_;
   }
-  if (par_run_) slot.aux_state.store(2, std::memory_order_release);
+  aux_claim.committed = true;
   return &slot.aux;
 }
 
@@ -774,8 +802,10 @@ Result<BufferedExecutor::Value> BufferedExecutor::AwaitConcurrentEval(
           "laopt: operand evaluation failed on another thread");
     }
     // Never run pool tasks here: a stolen task could itself wait on a claim
-    // held lower in this very stack. Pure yielding is deadlock-free — claim
-    // waits follow DAG edges, so some claim holder is always executing.
+    // held lower in this very stack. Pure yielding is deadlock-free: claim
+    // waits follow DAG edges and claim holders' own cooperative waits are
+    // steal-restricted (PoolClaimScope), so the holder of the awaited claim
+    // is always making real progress.
     std::this_thread::yield();
   }
 }
@@ -827,6 +857,7 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
     }
   };
   ExecClaim claim;
+  PoolClaimScope steal_guard;
   if (par_run_) {
     uint8_t expected = 0;
     if (!slot.exec_state.compare_exchange_strong(expected, 1,
@@ -835,6 +866,11 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
       return AwaitConcurrentEval(node, slot);
     }
     claim.slot = &slot;
+    // While this claim is held, cooperative waits inside the node's kernel
+    // (ParallelForChunks morsels) may only run the kernel's own chunk tasks:
+    // a stolen sibling node task could wait on this very claim, and the
+    // frame holding it — below the thief on this stack — could never resume.
+    steal_guard.Acquire();
   }
   run_tally_.ops_executed.fetch_add(1, std::memory_order_relaxed);
 

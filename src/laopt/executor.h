@@ -253,7 +253,9 @@ class BufferedExecutor {
   /// Another thread holds `slot`'s execution claim: spin-yield until it
   /// publishes done (→ memo semantics) or failed. Never runs pool tasks —
   /// stealing here could nest a task that waits on a claim this very stack
-  /// holds. Progress is guaranteed because claim waits follow DAG edges.
+  /// holds. Progress is guaranteed because claim waits follow DAG edges and
+  /// claim holders mark themselves with PoolClaimScope, which keeps their
+  /// nested kernel waits from stealing tasks that could block on the claim.
   Result<Value> AwaitConcurrentEval(const ExprPtr& node, Slot& slot);
 
   /// First-sighting plan preparation: structural verification (checked

@@ -82,6 +82,17 @@ class Gauge {
     }
   }
 
+  /// Monotonic max update: raises the gauge to `v` unless it already holds a
+  /// larger value. The CAS loop makes concurrent peak recording safe — a
+  /// Value()-compare-Set() pair in the caller can move the peak backwards.
+  void SetMax(double v) {
+    uint64_t cur = bits_.load(std::memory_order_relaxed);
+    while (internal::BitsDouble(cur) < v &&
+           !bits_.compare_exchange_weak(cur, internal::DoubleBits(v),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
   double Value() const {
     return internal::BitsDouble(bits_.load(std::memory_order_relaxed));
   }

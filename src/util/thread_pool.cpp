@@ -39,7 +39,25 @@ struct PoolMetrics {
 // without touching the waited-on group.
 constexpr std::chrono::microseconds kCooperativeNapUs{200};
 
+// Claims held by the calling thread (PoolClaimScope nesting depth). While
+// nonzero, cooperative waits must not steal tasks outside their own group.
+thread_local size_t t_claim_depth = 0;  // NOLINT(misc-use-internal-linkage)
+
 }  // namespace
+
+void PoolClaimScope::Acquire() {
+  if (held_) return;
+  held_ = true;
+  ++t_claim_depth;
+}
+
+void PoolClaimScope::Release() {
+  if (!held_) return;
+  held_ = false;
+  --t_claim_depth;
+}
+
+bool PoolClaimScope::Held() { return t_claim_depth > 0; }
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -58,10 +76,10 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::Enqueue(std::function<void()> fn) {
+void ThreadPool::Enqueue(std::function<void()> fn, WaitGroup* wg) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push({std::move(fn), obs::NowMicros()});
+    tasks_.push_back({std::move(fn), obs::NowMicros(), wg});
     PoolMetrics::Get().queue_depth->Set(static_cast<double>(tasks_.size()));
   }
   cv_.notify_one();
@@ -76,10 +94,23 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
 
 void ThreadPool::Submit(WaitGroup& wg, std::function<void()> task) {
   wg.Add(1);
-  Enqueue([&wg, t = std::move(task)] {
-    t();
-    wg.Done();
-  });
+  // Done() must run even when the body throws — a surviving waiter would
+  // otherwise hang forever — and the exception must reach that waiter
+  // instead of unwinding WorkerLoop into std::terminate: stash it in the
+  // group; ThreadPool::Wait rethrows after the drain.
+  Enqueue(
+      [&wg, t = std::move(task)] {
+        struct DoneGuard {
+          WaitGroup& wg;
+          ~DoneGuard() { wg.Done(); }
+        } guard{wg};
+        try {
+          t();
+        } catch (...) {
+          wg.SetError(std::current_exception());
+        }
+      },
+      &wg);
 }
 
 void ThreadPool::RunTask(QueuedTask& item) {
@@ -95,13 +126,17 @@ void ThreadPool::RunTask(QueuedTask& item) {
   idle_cv_.notify_all();
 }
 
-bool ThreadPool::TryRunOneTask() {
+bool ThreadPool::TryRunOneTask(const WaitGroup* only) {
   QueuedTask item;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (tasks_.empty()) return false;
-    item = std::move(tasks_.front());
-    tasks_.pop();
+    auto it = tasks_.begin();
+    if (only != nullptr) {
+      while (it != tasks_.end() && it->wg != only) ++it;
+    }
+    if (it == tasks_.end()) return false;
+    item = std::move(*it);
+    tasks_.erase(it);
     PoolMetrics::Get().queue_depth->Set(static_cast<double>(tasks_.size()));
     ++in_flight_;
   }
@@ -110,14 +145,19 @@ bool ThreadPool::TryRunOneTask() {
 }
 
 void ThreadPool::Wait(WaitGroup& wg) {
-  // Cooperative wait: drain pending tasks on this thread; nap only when the
-  // queue is empty and the group still holds. Tasks in flight on workers
-  // wake us through wg.Done().
+  // Cooperative wait: drain pending tasks on this thread; nap only when
+  // nothing eligible is queued and the group still holds. Tasks in flight on
+  // workers wake us through wg.Done(). A thread holding a claim other tasks
+  // may block on (PoolClaimScope) must not steal arbitrary work — a stolen
+  // task could wait on the very claim held lower on this stack and spin
+  // forever — so it runs only tasks of `wg` itself (its own fan-out chunks).
+  const WaitGroup* only = PoolClaimScope::Held() ? &wg : nullptr;
   while (!wg.TryWait()) {
-    if (!TryRunOneTask()) {
-      if (wg.WaitFor(kCooperativeNapUs)) return;
+    if (!TryRunOneTask(only)) {
+      if (wg.WaitFor(kCooperativeNapUs)) break;
     }
   }
+  wg.RethrowIfError();
 }
 
 void ThreadPool::WaitAll() {
@@ -133,7 +173,7 @@ void ThreadPool::WorkerLoop() {
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
       if (stop_ && tasks_.empty()) return;
       item = std::move(tasks_.front());
-      tasks_.pop();
+      tasks_.pop_front();
       PoolMetrics::Get().queue_depth->Set(static_cast<double>(tasks_.size()));
       ++in_flight_;
     }

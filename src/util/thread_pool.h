@@ -7,7 +7,9 @@
 /// instead of sleeping, so a task that itself submits subtasks (an executor
 /// node whose kernel fans out morsel chunks, say) can never deadlock — even
 /// on a single-thread pool — and multiple executors can share
-/// GlobalThreadPool() without exclusive ownership.
+/// GlobalThreadPool() without exclusive ownership. A waiter that holds a
+/// claim other tasks may block on declares it via PoolClaimScope, which
+/// restricts its stealing to the waited-on group's own tasks.
 #ifndef DMML_UTIL_THREAD_POOL_H_
 #define DMML_UTIL_THREAD_POOL_H_
 
@@ -15,11 +17,13 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
-#include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace dmml {
@@ -66,10 +70,61 @@ class WaitGroup {
     return cv_.wait_for(lock, timeout, [this] { return count_ == 0; });
   }
 
+  /// \brief Records a task-body failure; the first error wins. Called by the
+  /// pool when a task tracked by this group throws (see ThreadPool::Submit).
+  void SetError(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!error_) error_ = std::move(e);
+  }
+
+  /// \brief Rethrows (and clears) the recorded error, if any. Call only
+  /// after the group has drained; ThreadPool::Wait does this so a kernel
+  /// chunk that threw surfaces in the ParallelForChunks caller instead of
+  /// unwinding a worker into std::terminate.
+  void RethrowIfError() {
+    std::exception_ptr e;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      e = std::exchange(error_, nullptr);
+    }
+    if (e) std::rethrow_exception(e);
+  }
+
  private:
   std::mutex mu_;
   std::condition_variable cv_;
   size_t count_ = 0;
+  std::exception_ptr error_;  ///< First task-body exception; guarded by mu_.
+};
+
+/// \brief RAII marker: while engaged (Acquire), the calling thread holds a
+/// claim that *other pool tasks may block on* — e.g. the executor's per-node
+/// execution claim or a densify-fill claim. Cooperative waits on this thread
+/// then run only tasks of the waited-on WaitGroup (the claim holder's own
+/// kernel chunks) instead of stealing arbitrary queued tasks: a stolen
+/// sibling task could block on the very claim held lower on this stack, and
+/// since the lower frame can never resume while the thief runs above it, the
+/// run would hang permanently (self-steal deadlock). Scopes nest; the claim
+/// restriction lifts when the last scope on the thread releases.
+class PoolClaimScope {
+ public:
+  PoolClaimScope() = default;
+  ~PoolClaimScope() { Release(); }
+
+  PoolClaimScope(const PoolClaimScope&) = delete;
+  PoolClaimScope& operator=(const PoolClaimScope&) = delete;
+
+  /// \brief Marks the claim held. At most once per scope.
+  void Acquire();
+
+  /// \brief Releases the claim if held (the destructor also does).
+  void Release();
+
+  /// \brief True when any scope on the calling thread holds a claim.
+  static bool Held();
+
+ private:
+  bool held_ = false;
 };
 
 /// \brief A fixed pool of worker threads executing submitted closures.
@@ -86,18 +141,25 @@ class ThreadPool {
   std::future<void> Submit(std::function<void()> task);
 
   /// \brief Enqueues a task tracked by `wg` (Add before enqueue, Done after
-  /// the task body returns). No future is allocated — the hot-path fan-out
-  /// primitive. `wg` must outlive the task; pair with Wait(wg).
+  /// the task body returns — guaranteed even if the body throws; the first
+  /// exception is stashed in `wg` and rethrown by Wait(wg) after the drain).
+  /// No future is allocated — the hot-path fan-out primitive. `wg` must
+  /// outlive the task; pair with Wait(wg).
   void Submit(WaitGroup& wg, std::function<void()> task);
 
-  /// \brief Runs one pending task on the calling thread, if any. Returns
-  /// false when the queue was empty. The building block of cooperative
-  /// waiting: a blocked submitter makes progress instead of sleeping.
-  bool TryRunOneTask();
+  /// \brief Runs one pending task on the calling thread, if any. With `only`
+  /// set, runs only a task tracked by that WaitGroup (skipping unrelated
+  /// queued work). Returns false when nothing eligible was queued. The
+  /// building block of cooperative waiting: a blocked submitter makes
+  /// progress instead of sleeping.
+  bool TryRunOneTask(const WaitGroup* only = nullptr);
 
   /// \brief Blocks until `wg` drains, cooperatively running pending pool
   /// tasks on this thread while it waits. Safe to call from inside a pool
-  /// task (nested submission), including on a single-thread pool.
+  /// task (nested submission), including on a single-thread pool. When the
+  /// calling thread holds a PoolClaimScope claim, only tasks tracked by `wg`
+  /// itself are run (see PoolClaimScope). Rethrows the first exception any
+  /// of `wg`'s task bodies raised, after all of them have completed.
   void Wait(WaitGroup& wg);
 
   /// \brief Number of worker threads.
@@ -110,14 +172,15 @@ class ThreadPool {
   struct QueuedTask {
     std::function<void()> fn;
     uint64_t enqueue_us = 0;  ///< For the task_wait_us latency histogram.
+    WaitGroup* wg = nullptr;  ///< Tracking group, for claim-restricted waits.
   };
 
-  void Enqueue(std::function<void()> fn);
+  void Enqueue(std::function<void()> fn, WaitGroup* wg = nullptr);
   void RunTask(QueuedTask& item);
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<QueuedTask> tasks_;
+  std::deque<QueuedTask> tasks_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;

@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "cla/compressed_matrix.h"
 #include "la/dense_matrix.h"
 #include "la/sparse_matrix.h"
 #include "laopt/analysis.h"
@@ -345,6 +346,47 @@ TEST(LaoptSchedTest, ProfileAndStatsMatchSerialExactly) {
     EXPECT_LE(prow->self_us, prow->total_us) << OpKindName(n->kind());
   }
   EXPECT_EQ(par_profile.NumNodes(), serial_profile.NumNodes());
+}
+
+TEST(LaoptSchedTest, ConcurrentDensifyConsumersDoNotSelfStealDeadlock) {
+  // Regression: a consumer task that wins a compressed operand's densify
+  // fill blocks in Decompress's nested morsel wait. Before claim-aware
+  // cooperative waiting that wait could steal a queued sibling consumer of
+  // the same value, which then spun forever in the densify claim loop on the
+  // claim held lower on the thief's own stack — a permanent 100% CPU hang.
+  // The shape forces the race: rows >= 2 * the CLA row grain (2048) so the
+  // fill really fans out chunk tasks, and more ready consumers than workers
+  // so a stealable sibling is always queued during the fill.
+  constexpr size_t kRows = 4608;
+  auto dense = MakeDense(kRows, 3, 0.5);
+  auto comp = std::make_shared<cla::CompressedMatrix>(
+      cla::CompressedMatrix::Compress(*dense));
+  ExprPtr c = *ExprNode::InputOperand(Operand(comp), "C");
+  std::vector<ExprPtr> parts;
+  for (int i = 0; i < 6; ++i) {
+    ExprPtr d = *ExprNode::Input(MakeDense(kRows, 3, 0.1 * (i + 1)),
+                                 "D" + std::to_string(i));
+    // Add densifies the compressed operand: six independent consumers race
+    // on one fill.
+    parts.push_back(*ExprNode::Sum(*ExprNode::Add(c, d)));
+  }
+  ExprPtr root = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) {
+    root = *ExprNode::Add(root, parts[i]);
+  }
+
+  ThreadPool pool(2);
+  BufferedExecutor serial(&pool);
+  serial.set_inter_node(false);
+  const DenseMatrix expect = **serial.Run(root);
+
+  BufferedExecutor exec(&pool);
+  exec.set_inter_node(true);
+  for (int run = 0; run < 5; ++run) {
+    const auto r = exec.Run(root);
+    ASSERT_TRUE(r.ok()) << r.status().message();
+    ExpectBitIdentical(expect, **r, "densify run " + std::to_string(run));
+  }
 }
 
 TEST(LaoptSchedTest, ErrorsPropagateWithoutHanging) {

@@ -160,6 +160,27 @@ TEST(MetricsRegistryTest, CountersAndGaugesRoundTrip) {
   EXPECT_DOUBLE_EQ(g->Value(), 1.5);
 }
 
+TEST(MetricsRegistryTest, GaugeSetMaxIsMonotonic) {
+  Gauge* g = MetricsRegistry::Global().GetGauge("obs_test.gauge_setmax");
+  g->Set(0.0);
+  g->SetMax(4.0);
+  EXPECT_DOUBLE_EQ(g->Value(), 4.0);
+  g->SetMax(2.0);  // A smaller peak never lowers the recorded maximum.
+  EXPECT_DOUBLE_EQ(g->Value(), 4.0);
+  g->SetMax(7.5);
+  EXPECT_DOUBLE_EQ(g->Value(), 7.5);
+
+  // Concurrent recorders: the surviving value is the true global peak.
+  std::vector<std::thread> threads;
+  for (int t = 1; t <= 8; ++t) {
+    threads.emplace_back([g, t] {
+      for (int i = 0; i < 2000; ++i) g->SetMax(static_cast<double>(t * i));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(g->Value(), 8.0 * 1999.0);
+}
+
 TEST(MetricsRegistryTest, ConcurrentIncrementsSumExactly) {
   Counter* c = MetricsRegistry::Global().GetCounter("obs_test.concurrent");
   c->Reset();

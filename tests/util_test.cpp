@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -467,6 +469,99 @@ TEST(ThreadPoolTest, TryRunOneTaskDrainsQueue) {
   release = true;
   pool.Wait(parked);
   pool.Wait(wg);
+}
+
+// The self-steal deadlock regression: a task holding a claim (PoolClaimScope)
+// waits on its own fan-out; cooperative stealing there must be restricted to
+// that fan-out's tasks. Deterministic setup on a 1-thread pool: an unrelated
+// task B sits ahead of the claim holder's chunk in the queue, and B blocks on
+// a flag only the claim holder sets after its wait returns. An unrestricted
+// wait steals B first and hangs forever (B spins above the frame that must
+// resume to unblock it); a claim-aware wait skips B, runs the chunk, and
+// completes.
+TEST(ThreadPoolTest, ClaimHolderWaitStealsOnlyItsOwnGroup) {
+  ThreadPool pool(1);
+  std::atomic<bool> claim_released{false};
+  std::atomic<bool> chunk_ran{false};
+  std::atomic<bool> would_deadlock{false};
+  WaitGroup run;
+  pool.Submit(run, [&] {
+    PoolClaimScope claim;
+    claim.Acquire();
+    WaitGroup chunks;
+    pool.Submit(chunks, [&chunk_ran] { chunk_ran = true; });
+    pool.Wait(chunks);  // Must run only `chunks` tasks, never task B below.
+    claim_released = true;
+  });
+  pool.Submit(run, [&] {  // Task B: ordered behind A, ahead of A's chunk.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!claim_released.load()) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        would_deadlock = true;
+        return;
+      }
+      std::this_thread::yield();
+    }
+  });
+  pool.Wait(run);
+  EXPECT_TRUE(chunk_ran.load());
+  EXPECT_FALSE(would_deadlock.load())
+      << "claim holder stole a task that blocks on its claim";
+}
+
+TEST(ThreadPoolTest, WithoutClaimWaitStillStealsAnyTask) {
+  // The restriction is opt-in: a claimless waiter keeps draining the whole
+  // queue (the run-level driver in the executor depends on this).
+  ThreadPool pool(1);
+  std::atomic<bool> parked_started{false};
+  std::atomic<bool> release{false};
+  WaitGroup parked;
+  pool.Submit(parked, [&] {
+    parked_started = true;
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!parked_started.load()) std::this_thread::yield();
+  std::atomic<int> ran{0};
+  WaitGroup other;
+  for (int i = 0; i < 3; ++i) pool.Submit(other, [&ran] { ran++; });
+  WaitGroup mine;
+  pool.Submit(mine, [&ran] { ran++; });
+  pool.Wait(mine);  // Drains `other`'s queued tasks en route to its own.
+  EXPECT_EQ(ran.load(), 4);
+  release = true;
+  pool.Wait(parked);
+  pool.Wait(other);
+}
+
+TEST(ThreadPoolTest, TaskBodyExceptionRethrownInWaitAfterDrain) {
+  // A throwing task body must not unwind a worker (std::terminate) or strand
+  // the WaitGroup; the first exception surfaces in the waiter once every
+  // task of the group has finished, and the pool stays usable.
+  ThreadPool pool(2);
+  std::atomic<int> survivors{0};
+  WaitGroup wg;
+  pool.Submit(wg, [] { throw std::runtime_error("chunk failed"); });
+  for (int i = 0; i < 4; ++i) pool.Submit(wg, [&survivors] { survivors++; });
+  EXPECT_THROW(pool.Wait(wg), std::runtime_error);
+  EXPECT_TRUE(wg.TryWait()) << "group must be fully drained before rethrow";
+  EXPECT_EQ(survivors.load(), 4);
+
+  std::atomic<bool> after{false};
+  WaitGroup ok;
+  pool.Submit(ok, [&after] { after = true; });
+  pool.Wait(ok);
+  EXPECT_TRUE(after.load());
+}
+
+TEST(ThreadPoolTest, ParallelForChunksPropagatesChunkException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      ParallelForChunks(&pool, 8, /*grain=*/1,
+                        [](size_t chunk, size_t, size_t) {
+                          if (chunk == 1) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
 }
 
 TEST(ThreadPoolTest, DefaultThreadPoolSizeHonorsEnvOverrides) {
