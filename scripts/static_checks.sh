@@ -19,7 +19,9 @@
 #     against the exposition server) and laopt_profile_test (profile writes
 #     racing registry reads). Both sanitizer builds also run
 #     laopt_verify_test, so the verifier, the lint rules, and the
-#     liveness-driven buffer sharing are exercised under TSan and ASan+UBSan.
+#     liveness-driven buffer sharing are exercised under TSan and ASan+UBSan,
+#     and modelsel_shared_test (the shared-scan rung engine's wide multi-root
+#     plans), each twice: default scheduling and DMML_INTER_NODE=1.
 #  4. A plan-verifier gate: every laopt test binary plus the laopt benches
 #     re-run in the Release build with DMML_VERIFY=1 DMML_LINT=1, so the
 #     structural verifier checks every optimizer pass output at -O2 (Release
@@ -235,10 +237,10 @@ fi
 # ---------------------------------------------------------------------------
 run_sanitized_repr_gate() {
   local san="$1" dir="$2"
-  echo "static_checks: building laopt_repr_test + laopt_verify_test + laopt_sched_test (DMML_SANITIZE=$san) in $dir..."
+  echo "static_checks: building laopt_repr_test + laopt_verify_test + laopt_sched_test + modelsel_shared_test (DMML_SANITIZE=$san) in $dir..."
   if cmake -B "$dir" -S "$repo_root" -DDMML_SANITIZE="$san" >/dev/null \
       && cmake --build "$dir" --target laopt_repr_test --target laopt_verify_test \
-           --target laopt_sched_test -j >/dev/null; then
+           --target laopt_sched_test --target modelsel_shared_test -j >/dev/null; then
     if "$dir/tests/laopt_repr_test" >/dev/null; then
       echo "static_checks: repr parity clean under $san"
     else
@@ -259,6 +261,16 @@ run_sanitized_repr_gate() {
       echo "static_checks: inter-node scheduler clean under $san"
     else
       echo "static_checks: FAILED — laopt_sched_test under $san" >&2
+      status=1
+    fi
+    # The shared-scan rung engine also runs twice (default dataflow, then
+    # inter-node forced on), so the wide multi-root plans and in-place leaf
+    # mutation between executor runs are sanitizer-clean both ways.
+    if "$dir/tests/modelsel_shared_test" >/dev/null \
+        && DMML_INTER_NODE=1 "$dir/tests/modelsel_shared_test" >/dev/null; then
+      echo "static_checks: shared-scan rung engine clean under $san"
+    else
+      echo "static_checks: FAILED — modelsel_shared_test under $san" >&2
       status=1
     fi
   else

@@ -78,7 +78,7 @@ class ColumnGroup {
 
   /// \brief Scatters this group's values into a dense matrix (which must be
   /// zero-initialized in this group's columns).
-  void Decompress(la::DenseMatrix* out) const { DecompressRange(out, 0, n_); }
+  void Decompress(la::DenseMatrix* out) const { DecompressRange(out, 0, n_, 0); }
 
   /// \brief y += (group block) · v, reading v at this group's columns.
   /// `v` is the full-length (cols) vector, `y` has length `n` rows.
@@ -96,14 +96,14 @@ class ColumnGroup {
   /// \brief y += (group block) · M for M of shape (total_cols x k); y is
   /// (n x k) row-major.
   void MultiplyMatrix(const la::DenseMatrix& m, la::DenseMatrix* y) const {
-    MultiplyMatrixRange(m, nullptr, y, 0, n_);
+    MultiplyMatrixRange(m, nullptr, y, 0, n_, 0);
   }
 
   /// \brief out(col, c) += Σ_i m(i, c) * value(i, col): the (d x k) block of
   /// (group block)ᵀ · M for M of shape (n x k).
   void TransposeMultiplyMatrix(const la::DenseMatrix& m,
                                la::DenseMatrix* out) const {
-    TransposeMultiplyMatrixRange(m, out->data(), 0, n_);
+    TransposeMultiplyMatrixRange(m, out->data(), 0, n_, 0);
   }
 
   /// \brief Sum of all values in the group.
@@ -138,10 +138,19 @@ class ColumnGroup {
   //
   // `preagg` arguments accept the matching Preaggregate*() buffer, or
   // nullptr to have the group compute it into thread-local scratch.
+  //
+  // The row-addressed kernels take an additional `row_offset`
+  // (<= row_begin): matrix row i maps to buffer row i - row_offset of the
+  // row-indexed output (DecompressRange, MultiplyMatrixRange) or of the
+  // row-indexed M operand (TransposeMultiplyMatrixRange). Passing 0 keeps
+  // the classic full-height addressing; passing the window start lets a
+  // (row_begin, row_end) window operate on window-sized buffers — the
+  // contiguous-fold cross-validation hot path.
 
-  /// \brief Decompress() restricted to rows [row_begin, row_end).
+  /// \brief Decompress() restricted to rows [row_begin, row_end), written at
+  /// out rows (i - row_offset).
   virtual void DecompressRange(la::DenseMatrix* out, size_t row_begin,
-                               size_t row_end) const = 0;
+                               size_t row_end, size_t row_offset) const = 0;
 
   /// \brief y[i] += (row i of the group block) · v for i in range.
   virtual void MultiplyVectorRange(const double* v, const double* preagg,
@@ -153,17 +162,20 @@ class ColumnGroup {
   virtual void VectorMultiplyRange(const double* u, double* out,
                                    size_t row_begin, size_t row_end) const = 0;
 
-  /// \brief y->Row(i) += (row i of the group block) · M for i in range.
+  /// \brief y->Row(i - row_offset) += (row i of the group block) · M for i in
+  /// range.
   virtual void MultiplyMatrixRange(const la::DenseMatrix& m,
                                    const double* preagg, la::DenseMatrix* y,
-                                   size_t row_begin, size_t row_end) const = 0;
+                                   size_t row_begin, size_t row_end,
+                                   size_t row_offset) const = 0;
 
-  /// \brief out[col*k + c] += Σ_{i in range} m(i, c) * value(i, col), with
-  /// `out` a row-major (total cols x k) buffer — typically a per-chunk
-  /// partial.
+  /// \brief out[col*k + c] += Σ_{i in range} m(i - row_offset, c)
+  /// * value(i, col), with `out` a row-major (total cols x k) buffer —
+  /// typically a per-chunk partial.
   virtual void TransposeMultiplyMatrixRange(const la::DenseMatrix& m,
                                             double* out, size_t row_begin,
-                                            size_t row_end) const = 0;
+                                            size_t row_end,
+                                            size_t row_offset) const = 0;
 
   /// \brief Sum of the group's values over rows [row_begin, row_end).
   virtual double SumRange(size_t row_begin, size_t row_end) const = 0;

@@ -109,6 +109,14 @@ namespace {
 // skewed group costs, large enough that pool dispatch stays negligible.
 constexpr size_t kRowGrain = 2048;
 
+// Row sub-block for the k-wide forward multiply: all groups scatter into the
+// same (block x k) output window before moving on, so the window stays cache
+// resident instead of the whole (chunk x k) output streaming once per group.
+// Per output element the group accumulation order is unchanged, so blocking
+// is bit-exact; the size is fixed (k-independent) so wide and width-1 runs
+// chunk identically.
+constexpr size_t kMatrixRowBlock = 256;
+
 // Sentinel offset for groups without a dictionary (UC, empty OLE).
 constexpr size_t kNoPreagg = static_cast<size_t>(-1);
 
@@ -444,10 +452,48 @@ Status CompressedMatrix::MultiplyMatrixInto(const DenseMatrix& m,
   const size_t chunks = ParallelChunkCount(pool, rows_, kRowGrain);
   ParallelForChunks(pool, rows_, kRowGrain,
                     [&](size_t, size_t begin, size_t end) {
-    std::fill(out->Row(begin), out->Row(begin) + (end - begin) * k, 0.0);
-    for (size_t g = 0; g < groups_.size(); ++g) {
-      groups_[g]->MultiplyMatrixRange(
-          m, off[g] == kNoPreagg ? nullptr : pre + off[g], out, begin, end);
+    for (size_t b = begin; b < end; b += kMatrixRowBlock) {
+      const size_t e = std::min(end, b + kMatrixRowBlock);
+      std::fill(out->Row(b), out->Row(b) + (e - b) * k, 0.0);
+      for (size_t g = 0; g < groups_.size(); ++g) {
+        groups_[g]->MultiplyMatrixRange(
+            m, off[g] == kNoPreagg ? nullptr : pre + off[g], out, b, e, 0);
+      }
+    }
+  });
+  CountRangedCalls(chunks, groups_.size());
+  return Status::OK();
+}
+
+Status CompressedMatrix::MultiplyMatrixRangeInto(const DenseMatrix& m,
+                                                 size_t row_begin,
+                                                 size_t row_end,
+                                                 DenseMatrix* out,
+                                                 ThreadPool* pool) const {
+  if (m.rows() != cols_) {
+    return Status::InvalidArgument("MultiplyMatrixRange expects a (cols x k) matrix");
+  }
+  if (row_begin > row_end || row_end > rows_) {
+    return Status::InvalidArgument("MultiplyMatrixRange: bad row window");
+  }
+  const size_t k = m.cols();
+  const size_t range = row_end - row_begin;
+  EnsureClaOut(out, range, k);
+  const double* pre = ComputePreaggs(
+      groups_, k, pool,
+      [&](const ColumnGroup& g, double* dst) { g.PreaggregateMatrix(m, dst); });
+  const auto& off = t_scratch.preagg_off;
+  const size_t chunks = ParallelChunkCount(pool, range, kRowGrain);
+  ParallelForChunks(pool, range, kRowGrain,
+                    [&](size_t, size_t begin, size_t end) {
+    for (size_t b = begin; b < end; b += kMatrixRowBlock) {
+      const size_t e = std::min(end, b + kMatrixRowBlock);
+      std::fill(out->Row(b), out->Row(b) + (e - b) * k, 0.0);
+      for (size_t g = 0; g < groups_.size(); ++g) {
+        groups_[g]->MultiplyMatrixRange(
+            m, off[g] == kNoPreagg ? nullptr : pre + off[g], out,
+            row_begin + b, row_begin + e, row_begin);
+      }
     }
   });
   CountRangedCalls(chunks, groups_.size());
@@ -464,9 +510,20 @@ Status CompressedMatrix::TransposeMultiplyMatrixInto(const DenseMatrix& m,
   EnsureClaOut(out, cols_, k);
   double* y = out->data();
   const size_t chunks = ParallelChunkCount(pool, rows_, kRowGrain);
+  // Row sub-blocks with the groups loop inner: every group reads the same
+  // (block x k) window of m while it is cache resident, instead of each group
+  // streaming the whole operand. The accumulator is expanded per block rather
+  // than per chunk — a bracketing change within the usual FP tolerance — and
+  // the block size is fixed (k-independent), so k-wide and width-1 runs sum
+  // in identical order.
   if (chunks <= 1) {
     std::fill(y, y + cols_ * k, 0.0);
-    for (const auto& g : groups_) g->TransposeMultiplyMatrixRange(m, y, 0, rows_);
+    for (size_t b = 0; b < rows_; b += kMatrixRowBlock) {
+      const size_t e = std::min(rows_, b + kMatrixRowBlock);
+      for (const auto& g : groups_) {
+        g->TransposeMultiplyMatrixRange(m, y, b, e, 0);
+      }
+    }
     return Status::OK();
   }
   // Per-chunk private (cols x k) partials, reduced serially — no atomics.
@@ -475,7 +532,63 @@ Status CompressedMatrix::TransposeMultiplyMatrixInto(const DenseMatrix& m,
                     [&](size_t chunk, size_t begin, size_t end) {
     double* p = partials + chunk * cols_ * k;
     std::fill(p, p + cols_ * k, 0.0);
-    for (const auto& g : groups_) g->TransposeMultiplyMatrixRange(m, p, begin, end);
+    for (size_t b = begin; b < end; b += kMatrixRowBlock) {
+      const size_t e = std::min(end, b + kMatrixRowBlock);
+      for (const auto& g : groups_) {
+        g->TransposeMultiplyMatrixRange(m, p, b, e, 0);
+      }
+    }
+  });
+  std::fill(y, y + cols_ * k, 0.0);
+  for (size_t c = 0; c < chunks; ++c) {
+    const double* p = partials + c * cols_ * k;
+    for (size_t j = 0; j < cols_ * k; ++j) y[j] += p[j];
+  }
+  DMML_COUNTER_INC("cla.ops.partial_reductions");
+  CountRangedCalls(chunks, groups_.size());
+  return Status::OK();
+}
+
+Status CompressedMatrix::TransposeMultiplyMatrixRangeInto(const DenseMatrix& m,
+                                                          size_t row_begin,
+                                                          size_t row_end,
+                                                          DenseMatrix* out,
+                                                          ThreadPool* pool) const {
+  if (row_begin > row_end || row_end > rows_) {
+    return Status::InvalidArgument("TransposeMultiplyMatrixRange: bad row window");
+  }
+  const size_t range = row_end - row_begin;
+  if (m.rows() != range) {
+    return Status::InvalidArgument(
+        "TransposeMultiplyMatrixRange expects a window-relative (range x k) matrix");
+  }
+  const size_t k = m.cols();
+  EnsureClaOut(out, cols_, k);
+  double* y = out->data();
+  const size_t chunks = ParallelChunkCount(pool, range, kRowGrain);
+  if (chunks <= 1) {
+    std::fill(y, y + cols_ * k, 0.0);
+    for (size_t b = 0; b < range; b += kMatrixRowBlock) {
+      const size_t e = std::min(range, b + kMatrixRowBlock);
+      for (const auto& g : groups_) {
+        g->TransposeMultiplyMatrixRange(m, y, row_begin + b, row_begin + e,
+                                        row_begin);
+      }
+    }
+    return Status::OK();
+  }
+  double* partials = PartialBuffer(chunks * cols_ * k);
+  ParallelForChunks(pool, range, kRowGrain,
+                    [&](size_t chunk, size_t begin, size_t end) {
+    double* p = partials + chunk * cols_ * k;
+    std::fill(p, p + cols_ * k, 0.0);
+    for (size_t b = begin; b < end; b += kMatrixRowBlock) {
+      const size_t e = std::min(end, b + kMatrixRowBlock);
+      for (const auto& g : groups_) {
+        g->TransposeMultiplyMatrixRange(m, p, row_begin + b, row_begin + e,
+                                        row_begin);
+      }
+    }
   });
   std::fill(y, y + cols_ * k, 0.0);
   for (size_t c = 0; c < chunks; ++c) {
@@ -575,10 +688,30 @@ DenseMatrix CompressedMatrix::Decompress(ThreadPool* pool) const {
     // Zero-suppressed encodings only scatter non-zero rows, so clear the
     // slice first (fresh matrices are already zero; reused ones may not be).
     std::fill(out.Row(begin), out.Row(begin) + (end - begin) * cols_, 0.0);
-    for (const auto& g : groups_) g->DecompressRange(&out, begin, end);
+    for (const auto& g : groups_) g->DecompressRange(&out, begin, end, 0);
   });
   CountRangedCalls(chunks, groups_.size());
   return out;
+}
+
+Status CompressedMatrix::DecompressRangeInto(size_t row_begin, size_t row_end,
+                                             DenseMatrix* out,
+                                             ThreadPool* pool) const {
+  if (row_begin > row_end || row_end > rows_) {
+    return Status::InvalidArgument("DecompressRange: bad row window");
+  }
+  const size_t range = row_end - row_begin;
+  EnsureClaOut(out, range, cols_);
+  const size_t chunks = ParallelChunkCount(pool, range, kRowGrain);
+  ParallelForChunks(pool, range, kRowGrain,
+                    [&](size_t, size_t begin, size_t end) {
+    std::fill(out->Row(begin), out->Row(begin) + (end - begin) * cols_, 0.0);
+    for (const auto& g : groups_) {
+      g->DecompressRange(out, row_begin + begin, row_begin + end, row_begin);
+    }
+  });
+  CountRangedCalls(chunks, groups_.size());
+  return Status::OK();
 }
 
 std::string CompressedMatrix::FormatSummary() const {

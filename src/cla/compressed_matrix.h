@@ -100,6 +100,32 @@ class CompressedMatrix {
                              ThreadPool* pool = nullptr) const;
 
   // ---------------------------------------------------------------------
+  // Row-windowed ops: operate on rows [row_begin, row_end) only, with
+  // window-relative buffers. The groups' skip-index / binary-search /
+  // positional seeks make a window pass cost O(window), so contiguous-fold
+  // cross-validation trains leave-one-fold-out with no gather copies.
+  // ---------------------------------------------------------------------
+
+  /// \brief out = X[row_begin:row_end) · M for M of shape (cols x k); out
+  /// becomes ((row_end-row_begin) x k).
+  Status MultiplyMatrixRangeInto(const la::DenseMatrix& m, size_t row_begin,
+                                 size_t row_end, la::DenseMatrix* out,
+                                 ThreadPool* pool = nullptr) const;
+
+  /// \brief out = X[row_begin:row_end)ᵀ · M for window-relative M of shape
+  /// ((row_end-row_begin) x k); out becomes (cols x k).
+  Status TransposeMultiplyMatrixRangeInto(const la::DenseMatrix& m,
+                                          size_t row_begin, size_t row_end,
+                                          la::DenseMatrix* out,
+                                          ThreadPool* pool = nullptr) const;
+
+  /// \brief Reconstructs rows [row_begin, row_end) as a window-relative
+  /// ((row_end-row_begin) x cols) dense matrix.
+  Status DecompressRangeInto(size_t row_begin, size_t row_end,
+                             la::DenseMatrix* out,
+                             ThreadPool* pool = nullptr) const;
+
+  // ---------------------------------------------------------------------
   // Allocating convenience forms (forward to the Into variants).
   // ---------------------------------------------------------------------
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "cla/kwide.h"
+
 namespace dmml::cla {
 
 namespace {
@@ -37,11 +39,13 @@ size_t DdcGroup::EstimateSize(size_t n, size_t cardinality, size_t width) {
 }
 
 void DdcGroup::DecompressRange(la::DenseMatrix* out, size_t row_begin,
-                               size_t row_end) const {
+                               size_t row_end, size_t row_offset) const {
   const size_t w = columns_.size();
   codes_.ForEach(row_begin, row_end, [&](size_t i, uint32_t code) {
     const double* entry = dict_.Entry(code);
-    for (size_t j = 0; j < w; ++j) out->At(i, columns_[j]) = entry[j];
+    for (size_t j = 0; j < w; ++j) {
+      out->At(i - row_offset, columns_[j]) = entry[j];
+    }
   });
 }
 
@@ -94,21 +98,21 @@ void DdcGroup::VectorMultiplyRange(const double* u, double* out,
 
 void DdcGroup::MultiplyMatrixRange(const la::DenseMatrix& m,
                                    const double* preagg, la::DenseMatrix* y,
-                                   size_t row_begin, size_t row_end) const {
+                                   size_t row_begin, size_t row_end,
+                                   size_t row_offset) const {
   // Pre-aggregate the dictionary against all k columns of m at once, then a
   // single k-wide AXPY per row — the matrix generalization of the MV kernel.
   const size_t k = m.cols();
   const double* p = EnsureMatrixPreagg(m, preagg);
   codes_.ForEach(row_begin, row_end, [&](size_t i, uint32_t code) {
-    const double* src = p + code * k;
-    double* dst = y->Row(i);
-    for (size_t c = 0; c < k; ++c) dst[c] += src[c];
+    KWideAdd(y->Row(i - row_offset), p + code * k, k);
   });
 }
 
 void DdcGroup::TransposeMultiplyMatrixRange(const la::DenseMatrix& m,
                                             double* out, size_t row_begin,
-                                            size_t row_end) const {
+                                            size_t row_end,
+                                            size_t row_offset) const {
   const size_t w = columns_.size();
   const size_t k = m.cols();
   const size_t entries = dict_.num_entries();
@@ -116,12 +120,11 @@ void DdcGroup::TransposeMultiplyMatrixRange(const la::DenseMatrix& m,
   if (entries > range / 2) {
     codes_.ForEach(row_begin, row_end, [&](size_t i, uint32_t code) {
       const double* entry = dict_.Entry(code);
-      const double* src = m.Row(i);
+      const double* src = m.Row(i - row_offset);
       for (size_t j = 0; j < w; ++j) {
         const double ej = entry[j];
         if (ej == 0.0) continue;
-        double* dst = out + columns_[j] * k;
-        for (size_t c = 0; c < k; ++c) dst[c] += ej * src[c];
+        KWideAxpy(out + columns_[j] * k, ej, src, k);
       }
     });
     return;
@@ -131,9 +134,7 @@ void DdcGroup::TransposeMultiplyMatrixRange(const la::DenseMatrix& m,
   double* acc = CodeScratch(entries * k);
   std::fill(acc, acc + entries * k, 0.0);
   codes_.ForEach(row_begin, row_end, [&](size_t i, uint32_t code) {
-    const double* src = m.Row(i);
-    double* dst = acc + code * k;
-    for (size_t c = 0; c < k; ++c) dst[c] += src[c];
+    KWideAdd(acc + code * k, m.Row(i - row_offset), k);
   });
   for (size_t e = 0; e < entries; ++e) {
     const double* entry = dict_.Entry(e);
@@ -141,8 +142,7 @@ void DdcGroup::TransposeMultiplyMatrixRange(const la::DenseMatrix& m,
     for (size_t j = 0; j < w; ++j) {
       const double ej = entry[j];
       if (ej == 0.0) continue;
-      double* dst = out + columns_[j] * k;
-      for (size_t c = 0; c < k; ++c) dst[c] += ej * a[c];
+      KWideAxpy(out + columns_[j] * k, ej, a, k);
     }
   }
 }

@@ -25,18 +25,18 @@ class DdcGroup : public ColumnGroup {
   size_t SizeInBytes() const override;
   size_t DictionarySize() const override { return dict_.num_entries(); }
 
-  void DecompressRange(la::DenseMatrix* out, size_t row_begin,
-                       size_t row_end) const override;
+  void DecompressRange(la::DenseMatrix* out, size_t row_begin, size_t row_end,
+                       size_t row_offset) const override;
   void MultiplyVectorRange(const double* v, const double* preagg, double* y,
                            size_t row_begin, size_t row_end) const override;
   void VectorMultiplyRange(const double* u, double* out, size_t row_begin,
                            size_t row_end) const override;
   void MultiplyMatrixRange(const la::DenseMatrix& m, const double* preagg,
                            la::DenseMatrix* y, size_t row_begin,
-                           size_t row_end) const override;
+                           size_t row_end, size_t row_offset) const override;
   void TransposeMultiplyMatrixRange(const la::DenseMatrix& m, double* out,
-                                    size_t row_begin,
-                                    size_t row_end) const override;
+                                    size_t row_begin, size_t row_end,
+                                    size_t row_offset) const override;
   double SumRange(size_t row_begin, size_t row_end) const override;
   void AddRowSquaredNormsRange(const double* preagg, double* out,
                                size_t row_begin, size_t row_end) const override;

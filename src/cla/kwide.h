@@ -1,0 +1,44 @@
+/// \file kwide.h
+/// \brief k-wide row primitives shared by the column-group matrix kernels.
+///
+/// Every ranged matrix kernel spends its time in one of two element-wise
+/// loops over the k output columns: dst[c] += src[c] (code scatter /
+/// accumulate) and dst[c] += a * src[c] (dictionary expansion). The trip
+/// count k is only known at run time, which keeps the compiler's cheap
+/// vectorizer out of the plain loop; the fixed 4-wide bodies below give it
+/// a vectorizable kernel without changing any FP result — each dst[c] is an
+/// independent accumulation, so unrolling reassociates nothing.
+#ifndef DMML_CLA_KWIDE_H_
+#define DMML_CLA_KWIDE_H_
+
+#include <cstddef>
+
+namespace dmml::cla {
+
+/// dst[c] += src[c] for c in [0, k).
+inline void KWideAdd(double* dst, const double* src, size_t k) {
+  size_t c = 0;
+  for (; c + 4 <= k; c += 4) {
+    dst[c] += src[c];
+    dst[c + 1] += src[c + 1];
+    dst[c + 2] += src[c + 2];
+    dst[c + 3] += src[c + 3];
+  }
+  for (; c < k; ++c) dst[c] += src[c];
+}
+
+/// dst[c] += a * src[c] for c in [0, k).
+inline void KWideAxpy(double* dst, double a, const double* src, size_t k) {
+  size_t c = 0;
+  for (; c + 4 <= k; c += 4) {
+    dst[c] += a * src[c];
+    dst[c + 1] += a * src[c + 1];
+    dst[c + 2] += a * src[c + 2];
+    dst[c + 3] += a * src[c + 3];
+  }
+  for (; c < k; ++c) dst[c] += a * src[c];
+}
+
+}  // namespace dmml::cla
+
+#endif  // DMML_CLA_KWIDE_H_

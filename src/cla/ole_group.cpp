@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "cla/kwide.h"
+
 namespace dmml::cla {
 
 namespace {
@@ -92,14 +94,14 @@ size_t OleGroup::EstimateSize(size_t num_nonzero_rows, size_t cardinality,
 }
 
 void OleGroup::DecompressRange(la::DenseMatrix* out, size_t row_begin,
-                               size_t row_end) const {
+                               size_t row_end, size_t row_offset) const {
   const size_t w = columns_.size();
   for (size_t e = 0; e < dict_.num_entries(); ++e) {
     const double* entry = dict_.Entry(e);
     size_t begin, end;
     EntrySlice(e, row_begin, row_end, &begin, &end);
     for (size_t p = begin; p < end; ++p) {
-      const uint32_t i = offset_data_[p];
+      const size_t i = offset_data_[p] - row_offset;
       for (size_t j = 0; j < w; ++j) out->At(i, columns_[j]) = entry[j];
     }
   }
@@ -134,7 +136,8 @@ void OleGroup::VectorMultiplyRange(const double* u, double* out,
 
 void OleGroup::MultiplyMatrixRange(const la::DenseMatrix& m,
                                    const double* preagg, la::DenseMatrix* y,
-                                   size_t row_begin, size_t row_end) const {
+                                   size_t row_begin, size_t row_end,
+                                   size_t row_offset) const {
   const size_t k = m.cols();
   const double* p = EnsureMatrixPreagg(m, preagg);
   for (size_t e = 0; e < dict_.num_entries(); ++e) {
@@ -142,15 +145,15 @@ void OleGroup::MultiplyMatrixRange(const la::DenseMatrix& m,
     size_t begin, end;
     EntrySlice(e, row_begin, row_end, &begin, &end);
     for (size_t q = begin; q < end; ++q) {
-      double* dst = y->Row(offset_data_[q]);
-      for (size_t c = 0; c < k; ++c) dst[c] += src[c];
+      KWideAdd(y->Row(offset_data_[q] - row_offset), src, k);
     }
   }
 }
 
 void OleGroup::TransposeMultiplyMatrixRange(const la::DenseMatrix& m,
                                             double* out, size_t row_begin,
-                                            size_t row_end) const {
+                                            size_t row_end,
+                                            size_t row_offset) const {
   // Accumulate rows of m per dictionary entry, then expand through the
   // dictionary once.
   const size_t w = columns_.size();
@@ -162,15 +165,13 @@ void OleGroup::TransposeMultiplyMatrixRange(const la::DenseMatrix& m,
     if (begin == end) continue;
     std::fill(acc, acc + k, 0.0);
     for (size_t q = begin; q < end; ++q) {
-      const double* src = m.Row(offset_data_[q]);
-      for (size_t c = 0; c < k; ++c) acc[c] += src[c];
+      KWideAdd(acc, m.Row(offset_data_[q] - row_offset), k);
     }
     const double* entry = dict_.Entry(e);
     for (size_t j = 0; j < w; ++j) {
       const double ej = entry[j];
       if (ej == 0.0) continue;
-      double* dst = out + columns_[j] * k;
-      for (size_t c = 0; c < k; ++c) dst[c] += ej * acc[c];
+      KWideAxpy(out + columns_[j] * k, ej, acc, k);
     }
   }
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "cla/kwide.h"
+
 namespace dmml::cla {
 
 namespace {
@@ -77,7 +79,7 @@ size_t RleGroup::EstimateSize(size_t num_nonzero_runs, size_t cardinality,
 }
 
 void RleGroup::DecompressRange(la::DenseMatrix* out, size_t row_begin,
-                               size_t row_end) const {
+                               size_t row_end, size_t row_offset) const {
   const size_t w = columns_.size();
   for (size_t r = FirstRunReaching(row_begin); r < runs_.size(); ++r) {
     const Run& run = runs_[r];
@@ -86,7 +88,9 @@ void RleGroup::DecompressRange(la::DenseMatrix* out, size_t row_begin,
     const size_t hi = std::min<size_t>(run.start + run.length, row_end);
     const double* entry = dict_.Entry(run.code);
     for (size_t i = lo; i < hi; ++i) {
-      for (size_t j = 0; j < w; ++j) out->At(i, columns_[j]) = entry[j];
+      for (size_t j = 0; j < w; ++j) {
+        out->At(i - row_offset, columns_[j]) = entry[j];
+      }
     }
   }
 }
@@ -131,7 +135,8 @@ void RleGroup::VectorMultiplyRange(const double* u, double* out,
 
 void RleGroup::MultiplyMatrixRange(const la::DenseMatrix& m,
                                    const double* preagg, la::DenseMatrix* y,
-                                   size_t row_begin, size_t row_end) const {
+                                   size_t row_begin, size_t row_end,
+                                   size_t row_offset) const {
   const size_t k = m.cols();
   const double* p = EnsureMatrixPreagg(m, preagg);
   for (size_t r = FirstRunReaching(row_begin); r < runs_.size(); ++r) {
@@ -141,15 +146,15 @@ void RleGroup::MultiplyMatrixRange(const la::DenseMatrix& m,
     const size_t hi = std::min<size_t>(run.start + run.length, row_end);
     const double* src = p + run.code * k;
     for (size_t i = lo; i < hi; ++i) {
-      double* dst = y->Row(i);
-      for (size_t c = 0; c < k; ++c) dst[c] += src[c];
+      KWideAdd(y->Row(i - row_offset), src, k);
     }
   }
 }
 
 void RleGroup::TransposeMultiplyMatrixRange(const la::DenseMatrix& m,
                                             double* out, size_t row_begin,
-                                            size_t row_end) const {
+                                            size_t row_end,
+                                            size_t row_offset) const {
   // Accumulate rows of m per dictionary entry across clipped runs, then
   // expand through the dictionary once.
   const size_t k = m.cols();
@@ -163,8 +168,7 @@ void RleGroup::TransposeMultiplyMatrixRange(const la::DenseMatrix& m,
     const size_t hi = std::min<size_t>(run.start + run.length, row_end);
     double* dst = acc + run.code * k;
     for (size_t i = lo; i < hi; ++i) {
-      const double* src = m.Row(i);
-      for (size_t c = 0; c < k; ++c) dst[c] += src[c];
+      KWideAdd(dst, m.Row(i - row_offset), k);
     }
   }
   const size_t w = columns_.size();
@@ -174,8 +178,7 @@ void RleGroup::TransposeMultiplyMatrixRange(const la::DenseMatrix& m,
     for (size_t j = 0; j < w; ++j) {
       const double ej = entry[j];
       if (ej == 0.0) continue;
-      double* dst = out + columns_[j] * k;
-      for (size_t c = 0; c < k; ++c) dst[c] += ej * a[c];
+      KWideAxpy(out + columns_[j] * k, ej, a, k);
     }
   }
 }

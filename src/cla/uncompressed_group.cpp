@@ -1,5 +1,7 @@
 #include "cla/uncompressed_group.h"
 
+#include "cla/kwide.h"
+
 namespace dmml::cla {
 
 UncompressedGroup::UncompressedGroup(const la::DenseMatrix& m,
@@ -17,10 +19,13 @@ size_t UncompressedGroup::SizeInBytes() const {
 }
 
 void UncompressedGroup::DecompressRange(la::DenseMatrix* out, size_t row_begin,
-                                        size_t row_end) const {
+                                        size_t row_end,
+                                        size_t row_offset) const {
   const size_t w = columns_.size();
   for (size_t i = row_begin; i < row_end; ++i) {
-    for (size_t j = 0; j < w; ++j) out->At(i, columns_[j]) = data_[i * w + j];
+    for (size_t j = 0; j < w; ++j) {
+      out->At(i - row_offset, columns_[j]) = data_[i * w + j];
+    }
   }
 }
 
@@ -51,18 +56,17 @@ void UncompressedGroup::VectorMultiplyRange(const double* u, double* out,
 void UncompressedGroup::MultiplyMatrixRange(const la::DenseMatrix& m,
                                             const double* preagg,
                                             la::DenseMatrix* y,
-                                            size_t row_begin,
-                                            size_t row_end) const {
+                                            size_t row_begin, size_t row_end,
+                                            size_t row_offset) const {
   (void)preagg;
   const size_t w = columns_.size();
   const size_t k = m.cols();
   for (size_t i = row_begin; i < row_end; ++i) {
-    double* dst = y->Row(i);
+    double* dst = y->Row(i - row_offset);
     for (size_t j = 0; j < w; ++j) {
       const double val = data_[i * w + j];
       if (val == 0.0) continue;
-      const double* src = m.Row(columns_[j]);
-      for (size_t c = 0; c < k; ++c) dst[c] += val * src[c];
+      KWideAxpy(dst, val, m.Row(columns_[j]), k);
     }
   }
 }
@@ -70,16 +74,16 @@ void UncompressedGroup::MultiplyMatrixRange(const la::DenseMatrix& m,
 void UncompressedGroup::TransposeMultiplyMatrixRange(const la::DenseMatrix& m,
                                                      double* out,
                                                      size_t row_begin,
-                                                     size_t row_end) const {
+                                                     size_t row_end,
+                                                     size_t row_offset) const {
   const size_t w = columns_.size();
   const size_t k = m.cols();
   for (size_t i = row_begin; i < row_end; ++i) {
-    const double* src = m.Row(i);
+    const double* src = m.Row(i - row_offset);
     for (size_t j = 0; j < w; ++j) {
       const double val = data_[i * w + j];
       if (val == 0.0) continue;
-      double* dst = out + columns_[j] * k;
-      for (size_t c = 0; c < k; ++c) dst[c] += val * src[c];
+      KWideAxpy(out + columns_[j] * k, val, src, k);
     }
   }
 }

@@ -243,17 +243,19 @@ void AccumulateGramUpper(const DenseMatrix& x, size_t rbegin, size_t rend,
   }
 }
 
-// out (d x k, row-major, pre-zeroed) += Xᵀ M over rows [rbegin, rend),
-// with the same 4-row bundling as the Gramian accumulator.
-void AccumulateTransposeMultiply(const DenseMatrix& x, const DenseMatrix& m,
-                                 size_t rbegin, size_t rend, double* out) {
+// out (d x k, row-major, pre-zeroed) += X[x_offset + i]ᵀ M[i] over window
+// rows i in [rbegin, rend), with the same 4-row bundling as the Gramian
+// accumulator. `x_offset == 0` with a full range is the classic XᵀM.
+void AccumulateTransposeMultiply(const DenseMatrix& x, size_t x_offset,
+                                 const DenseMatrix& m, size_t rbegin,
+                                 size_t rend, double* out) {
   const size_t d = x.cols(), k = m.cols();
   size_t i = rbegin;
   for (; i + 4 <= rend; i += 4) {
-    const double* x0 = x.Row(i);
-    const double* x1 = x.Row(i + 1);
-    const double* x2 = x.Row(i + 2);
-    const double* x3 = x.Row(i + 3);
+    const double* x0 = x.Row(x_offset + i);
+    const double* x1 = x.Row(x_offset + i + 1);
+    const double* x2 = x.Row(x_offset + i + 2);
+    const double* x3 = x.Row(x_offset + i + 3);
     const double* m0 = m.Row(i);
     const double* m1 = m.Row(i + 1);
     const double* m2 = m.Row(i + 2);
@@ -268,7 +270,7 @@ void AccumulateTransposeMultiply(const DenseMatrix& x, const DenseMatrix& m,
     }
   }
   for (; i < rend; ++i) {
-    const double* xr = x.Row(i);
+    const double* xr = x.Row(x_offset + i);
     const double* mr = m.Row(i);
     for (size_t a = 0; a < d; ++a) {
       if (xr[a] == 0.0) continue;
@@ -431,7 +433,7 @@ void TransposeMultiplyInto(const DenseMatrix& x, const DenseMatrix& m,
   out->Fill(0.0);
   ReduceRows(pool, n, GrainFor(2 * d * k), d * k, out->data(),
              [&x, &m](size_t begin, size_t end, double* g) {
-               AccumulateTransposeMultiply(x, m, begin, end, g);
+               AccumulateTransposeMultiply(x, 0, m, begin, end, g);
              });
 }
 
@@ -440,6 +442,48 @@ DenseMatrix TransposeMultiply(const DenseMatrix& x, const DenseMatrix& m,
   DenseMatrix out;
   TransposeMultiplyInto(x, m, &out, pool);
   return out;
+}
+
+void MultiplyRangeInto(const DenseMatrix& a, size_t row_begin, size_t row_end,
+                       const DenseMatrix& b, DenseMatrix* out,
+                       ThreadPool* pool) {
+  DMML_CHECK_EQ(a.cols(), b.rows());
+  DMML_CHECK(out != &a && out != &b);
+  DMML_CHECK(row_begin <= row_end && row_end <= a.rows());
+  const size_t m = row_end - row_begin, kdim = a.cols(), n = b.cols();
+  EnsureOut(out, m, n);
+  if (m == 0 || n == 0) return;
+  if (kdim == 0) {
+    out->Fill(0.0);
+    return;
+  }
+  const double* abase = a.data() + row_begin * kdim;
+  // Width-independent small-input cutoff (unlike MultiplyInto's): the kernel
+  // choice — and with it the per-column floating-point bracketing — must not
+  // depend on n, so a k-wide shared-scan epoch stays bit-equal per column to
+  // k separate 1-wide epochs over the same window.
+  if (2 * m * kdim < kSmallGemmFlops) {
+    NaiveGemmRows(abase, kdim, b.data(), n, out->data(), n, 0, m, kdim, n);
+    return;
+  }
+  BlockedGemm(m, n, kdim, abase, kdim, b.data(), n, out->data(), n, pool);
+}
+
+void TransposeMultiplyRangeInto(const DenseMatrix& x, size_t row_begin,
+                                size_t row_end, const DenseMatrix& m,
+                                DenseMatrix* out, ThreadPool* pool) {
+  DMML_CHECK(row_begin <= row_end && row_end <= x.rows());
+  DMML_CHECK_EQ(row_end - row_begin, m.rows());
+  DMML_CHECK(out != &x && out != &m);
+  const size_t range = row_end - row_begin, d = x.cols(), k = m.cols();
+  EnsureOut(out, d, k);
+  out->Fill(0.0);
+  // Width-independent grain: chunk boundaries (summation bracketing of the
+  // partial reduction) match across output widths.
+  ReduceRows(pool, range, GrainFor(2 * d), d * k, out->data(),
+             [&x, &m, row_begin](size_t begin, size_t end, double* g) {
+               AccumulateTransposeMultiply(x, row_begin, m, begin, end, g);
+             });
 }
 
 void GemvInto(const DenseMatrix& a, const DenseMatrix& x, DenseMatrix* out,
@@ -552,6 +596,26 @@ DenseMatrix Subtract(const DenseMatrix& a, const DenseMatrix& b) {
 DenseMatrix ElementwiseMultiply(const DenseMatrix& a, const DenseMatrix& b) {
   DenseMatrix c;
   ElementwiseMultiplyInto(a, b, &c);
+  return c;
+}
+
+void ScaleColumnsInto(const DenseMatrix& a, const DenseMatrix& s,
+                      DenseMatrix* out) {
+  DMML_CHECK_EQ(s.rows(), size_t{1});
+  DMML_CHECK_EQ(s.cols(), a.cols());
+  EnsureOut(out, a.rows(), a.cols());
+  const size_t n = a.cols();
+  const double* sv = s.data();
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.Row(i);
+    double* crow = out->Row(i);
+    for (size_t j = 0; j < n; ++j) crow[j] = arow[j] * sv[j];
+  }
+}
+
+DenseMatrix ScaleColumns(const DenseMatrix& a, const DenseMatrix& s) {
+  DenseMatrix c;
+  ScaleColumnsInto(a, s, &c);
   return c;
 }
 
@@ -787,6 +851,49 @@ DenseMatrix SparseMultiplyDense(const SparseMatrix& a, const DenseMatrix& b,
   DenseMatrix c;
   SparseMultiplyDenseInto(a, b, &c, pool);
   return c;
+}
+
+void SparseMultiplyDenseRangeInto(const SparseMatrix& a, size_t row_begin,
+                                  size_t row_end, const DenseMatrix& b,
+                                  DenseMatrix* out, ThreadPool* pool) {
+  DMML_CHECK_EQ(a.cols(), b.rows());
+  DMML_CHECK(row_begin <= row_end && row_end <= a.rows());
+  const size_t range = row_end - row_begin;
+  EnsureOut(out, range, b.cols());
+  out->Fill(0.0);
+  DenseMatrix& c = *out;
+  // Width-independent grain, matching the ranged dense kernels; chunks own
+  // disjoint output rows so chunking never affects the summation order.
+  ParallelForChunks(pool, range, GrainFor(SparseRowWork(a)),
+                    [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      double* crow = c.Row(i);
+      const size_t src = row_begin + i;
+      for (size_t k = a.RowBegin(src); k < a.RowEnd(src); ++k) {
+        Axpy(a.values()[k], b.Row(a.col_idx()[k]), crow, b.cols());
+      }
+    }
+  });
+}
+
+void SparseTransposeMultiplyRangeInto(const SparseMatrix& a, size_t row_begin,
+                                      size_t row_end, const DenseMatrix& m,
+                                      DenseMatrix* out, ThreadPool* pool) {
+  DMML_CHECK(row_begin <= row_end && row_end <= a.rows());
+  DMML_CHECK_EQ(row_end - row_begin, m.rows());
+  const size_t range = row_end - row_begin, d = a.cols(), k = m.cols();
+  EnsureOut(out, d, k);
+  out->Fill(0.0);
+  ReduceRows(pool, range, GrainFor(SparseRowWork(a)), d * k, out->data(),
+             [&a, &m, row_begin, k](size_t begin, size_t end, double* g) {
+               for (size_t i = begin; i < end; ++i) {
+                 const double* mr = m.Row(i);
+                 const size_t src = row_begin + i;
+                 for (size_t p = a.RowBegin(src); p < a.RowEnd(src); ++p) {
+                   Axpy(a.values()[p], mr, g + a.col_idx()[p] * k, k);
+                 }
+               }
+             });
 }
 
 double SparseSum(const SparseMatrix& a) {

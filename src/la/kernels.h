@@ -159,6 +159,38 @@ void RowSumsInto(const DenseMatrix& a, DenseMatrix* out,
 /// conform).
 void AxpyInto(double alpha, const DenseMatrix& x, DenseMatrix* y);
 
+/// \brief out(i, j) = a(i, j) * s(0, j): scales every column of A by the
+/// matching entry of the 1 x cols row vector `s`. The shared-scan trainer
+/// uses this to apply per-configuration learning rates / L2 strengths to a
+/// stacked gradient matrix in one pass.
+void ScaleColumnsInto(const DenseMatrix& a, const DenseMatrix& s,
+                      DenseMatrix* out);
+
+/// \brief Allocating form of ScaleColumnsInto.
+DenseMatrix ScaleColumns(const DenseMatrix& a, const DenseMatrix& s);
+
+// ---------------------------------------------------------------------------
+// Row-windowed variants
+// ---------------------------------------------------------------------------
+//
+// Operate on rows [row_begin, row_end) of the *left* operand without copying
+// them out; outputs (and the M operand of the transpose forms) are
+// window-relative. These back contiguous-fold cross-validation: a fold is a
+// row range, not a gathered copy. Kernel choice and chunk grain are
+// independent of the output width so a k-wide pass is bit-equal per column
+// to k separate 1-wide passes over the same window.
+
+/// \brief out = A[row_begin:row_end) * B; out becomes (row_end-row_begin) x n.
+void MultiplyRangeInto(const DenseMatrix& a, size_t row_begin, size_t row_end,
+                       const DenseMatrix& b, DenseMatrix* out,
+                       ThreadPool* pool = nullptr);
+
+/// \brief out = X[row_begin:row_end)ᵀ * M with M window-relative
+/// ((row_end-row_begin) x k); out becomes (d x k).
+void TransposeMultiplyRangeInto(const DenseMatrix& x, size_t row_begin,
+                                size_t row_end, const DenseMatrix& m,
+                                DenseMatrix* out, ThreadPool* pool = nullptr);
+
 // ---------------------------------------------------------------------------
 // Sparse kernels
 // ---------------------------------------------------------------------------
@@ -208,6 +240,21 @@ void SparseColumnSumsInto(const SparseMatrix& a, DenseMatrix* out);
 /// \brief Per-row squared L2 norms into `*out` (rows x 1) — the fused
 /// rowSums(A ⊙ A) the k-means distance expansion needs. O(nnz).
 void SparseRowSquaredNormsInto(const SparseMatrix& a, DenseMatrix* out);
+
+/// \brief out = A[row_begin:row_end) * B for CSR A; out is window-relative
+/// ((row_end-row_begin) x b.cols()). CSR row offsets make the row window a
+/// positional slice — no scan from row 0.
+void SparseMultiplyDenseRangeInto(const SparseMatrix& a, size_t row_begin,
+                                  size_t row_end, const DenseMatrix& b,
+                                  DenseMatrix* out, ThreadPool* pool = nullptr);
+
+/// \brief out = A[row_begin:row_end)ᵀ * M for CSR A with M window-relative
+/// ((row_end-row_begin) x k); out becomes (cols x k). Per-chunk private
+/// partials + reduction, like SparseGevm.
+void SparseTransposeMultiplyRangeInto(const SparseMatrix& a, size_t row_begin,
+                                      size_t row_end, const DenseMatrix& m,
+                                      DenseMatrix* out,
+                                      ThreadPool* pool = nullptr);
 
 // ---------------------------------------------------------------------------
 // Naive reference kernels

@@ -19,6 +19,12 @@ std::string NodeKey(const ExprNode& node, const std::vector<size_t>& child_ids) 
     // never merges with another.
     const void* payload = node.operand().payload();
     os << ":" << (payload ? payload : static_cast<const void*>(&node));
+    // Distinct row windows over one payload are distinct values — never
+    // merge a fold slice with the full matrix (or another fold).
+    if (node.operand().windowed()) {
+      os << "[" << node.operand().window_begin() << ","
+         << node.operand().window_end() << ")";
+    }
   }
   if (node.kind() == OpKind::kScalarMul) os << ":" << node.scalar();
   for (size_t id : child_ids) os << "," << id;
@@ -92,6 +98,11 @@ class HashConser {
       }
       case OpKind::kColSums: {
         DMML_ASSIGN_OR_RETURN(rebuilt, ExprNode::ColSums(kids[0]));
+        break;
+      }
+      case OpKind::kScaleColumns: {
+        DMML_ASSIGN_OR_RETURN(rebuilt,
+                              ExprNode::ScaleColumns(kids[0], kids[1]));
         break;
       }
     }

@@ -26,7 +26,7 @@ using la::SparseMatrix;
 
 namespace {
 
-constexpr size_t kNumOpKinds = static_cast<size_t>(OpKind::kColSums) + 1;
+constexpr size_t kNumOpKinds = static_cast<size_t>(OpKind::kScaleColumns) + 1;
 
 // Per-op-kind instruments, resolved once. The names double as span labels so
 // metrics and trace rows line up (e.g. counter laopt.executor.ops.matmul and
@@ -99,28 +99,32 @@ thread_local uint64_t t_child_us = 0;  // NOLINT(misc-use-internal-linkage)
 // U·t(V)) and the G⊙G under rowSums. These get no dataflow task of their
 // own — whichever consumer needs the materialized value evaluates them
 // inline, exactly as the serial repr-dependent fall-through does.
+void AddAbsorbable(const ExprNode* n,
+                   std::unordered_set<const ExprNode*>* absorbable) {
+  if (n->kind() == OpKind::kMatMul && n->children().size() == 2) {
+    const ExprPtr& lc = n->children()[0];
+    const ExprPtr& rc = n->children()[1];
+    if (lc && lc->kind() == OpKind::kTranspose && lc->children().size() == 1) {
+      absorbable->insert(lc.get());
+    } else if (rc && rc->kind() == OpKind::kTranspose &&
+               rc->children().size() == 1) {
+      absorbable->insert(rc.get());
+    }
+  }
+  if (n->kind() == OpKind::kRowSums && !n->children().empty()) {
+    const ExprPtr& c = n->children()[0];
+    if (c && c->kind() == OpKind::kElemMul && c->children().size() == 2 &&
+        c->children()[0] && c->children()[0].get() == c->children()[1].get()) {
+      absorbable->insert(c.get());
+    }
+  }
+}
+
 std::unordered_set<const ExprNode*> AbsorbablePositions(
     const PlanSchedule& schedule) {
   std::unordered_set<const ExprNode*> absorbable;
   for (const ScheduleEntry& e : schedule.order()) {
-    const ExprNode* n = e.node;
-    if (n->kind() == OpKind::kMatMul && n->children().size() == 2) {
-      const ExprPtr& lc = n->children()[0];
-      const ExprPtr& rc = n->children()[1];
-      if (lc && lc->kind() == OpKind::kTranspose && lc->children().size() == 1) {
-        absorbable.insert(lc.get());
-      } else if (rc && rc->kind() == OpKind::kTranspose &&
-                 rc->children().size() == 1) {
-        absorbable.insert(rc.get());
-      }
-    }
-    if (n->kind() == OpKind::kRowSums && !n->children().empty()) {
-      const ExprPtr& c = n->children()[0];
-      if (c && c->kind() == OpKind::kElemMul && c->children().size() == 2 &&
-          c->children()[0] && c->children()[0].get() == c->children()[1].get()) {
-        absorbable.insert(c.get());
-      }
-    }
+    AddAbsorbable(e.node, &absorbable);
   }
   return absorbable;
 }
@@ -333,43 +337,87 @@ Status BufferedExecutor::PreparePlan(const ExprPtr& root) {
   return Status::OK();
 }
 
+Result<BufferedExecutor::PreparedPlan> BufferedExecutor::PrepareMultiPlan(
+    const std::vector<ExprPtr>& roots) {
+  if (VerifyEnabled()) {
+    for (const ExprPtr& r : roots) {
+      DMML_RETURN_IF_ERROR(DiagnosticsToStatus("executor", VerifyPlan(r)));
+    }
+  }
+  PreparedPlan plan;
+  if (pool_ != nullptr && inter_node()) {
+    // Children-first postorder over the union of roots; shared sub-DAGs
+    // (e.g. the bound X leaf every fold branch reads) appear once.
+    std::vector<const ExprNode*> order;
+    std::unordered_set<const ExprNode*> seen;
+    std::function<void(const ExprNode*)> post =
+        [&](const ExprNode* n) {  // NOLINT(misc-no-recursion)
+          if (n == nullptr || !seen.insert(n).second) return;
+          for (const auto& c : n->children()) post(c.get());
+          order.push_back(n);
+        };
+    for (const ExprPtr& r : roots) post(r.get());
+    std::unordered_set<const ExprNode*> absorbable;
+    for (const ExprNode* n : order) AddAbsorbable(n, &absorbable);
+    // A root absorbed into another root's consumer would never publish its
+    // own value — roots always get a task.
+    for (const ExprPtr& r : roots) absorbable.erase(r.get());
+    plan.par = BuildParallelPlanFromOrder(roots, order, absorbable, plan.assign);
+  }
+  return plan;
+}
+
 std::unique_ptr<BufferedExecutor::ParallelPlan>
 BufferedExecutor::BuildParallelPlan(
     const ExprPtr& root, const PlanSchedule& schedule,
     const std::unordered_set<const ExprNode*>& absorbable,
     const BufferAssignment& assign) {
+  std::vector<const ExprNode*> order;
+  order.reserve(schedule.order().size());
+  for (const ScheduleEntry& e : schedule.order()) order.push_back(e.node);
+  return BuildParallelPlanFromOrder({root}, order, absorbable, assign);
+}
+
+std::unique_ptr<BufferedExecutor::ParallelPlan>
+BufferedExecutor::BuildParallelPlanFromOrder(
+    const std::vector<ExprPtr>& roots,
+    const std::vector<const ExprNode*>& order,
+    const std::unordered_set<const ExprNode*>& absorbable,
+    const BufferAssignment& assign) {
   auto par = std::make_unique<ParallelPlan>();
 
   // Shared-pointer handles for every plan node: tasks outlive the caller's
-  // root reference, and Eval takes ExprPtr.
+  // root references, and Eval takes ExprPtr.
   std::unordered_map<const ExprNode*, ExprPtr> ptrs;
   std::function<void(const ExprPtr&)> collect =
       [&](const ExprPtr& n) {  // NOLINT(misc-no-recursion)
         if (!n || !ptrs.emplace(n.get(), n).second) return;
         for (const auto& c : n->children()) collect(c);
       };
-  collect(root);
+  for (const ExprPtr& r : roots) collect(r);
 
   std::unordered_map<const ExprNode*, uint32_t> task_index;
-  for (const ScheduleEntry& e : schedule.order()) {
-    Slot& slot = slots_[e.node];  // Pre-create: no rehash during the run.
+  for (const ExprNode* node : order) {
+    Slot& slot = slots_[node];  // Pre-create: no rehash during the run.
     par->all_slots.push_back(&slot);
-    if (e.node->kind() == OpKind::kInput) {
-      par->leaves.emplace_back(ptrs.at(e.node), &slot);
+    if (node->kind() == OpKind::kInput) {
+      par->leaves.emplace_back(ptrs.at(node), &slot);
       continue;
     }
     // Pre-create the dedicated entry for every node the pool did not cover
     // (including absorbable ones — a repr fall-through may execute them), so
     // BufferFor never mutates the map from a task thread.
-    if (assign.count(e.node) == 0) dedicated_[e.node];
-    if (absorbable.count(e.node) != 0) continue;
-    task_index.emplace(e.node, static_cast<uint32_t>(par->tasks.size()));
+    if (assign.count(node) == 0) dedicated_[node];
+    if (absorbable.count(node) != 0) continue;
+    task_index.emplace(node, static_cast<uint32_t>(par->tasks.size()));
     ParallelTask task;
-    task.node = ptrs.at(e.node);
+    task.node = ptrs.at(node);
     task.slot = &slot;
     par->tasks.push_back(std::move(task));
   }
-  par->root_slot = &slots_[root.get()];
+  par->root_slot = &slots_[roots.front().get()];
+  par->root_slots.reserve(roots.size());
+  for (const ExprPtr& r : roots) par->root_slots.push_back(&slots_[r.get()]);
 
   // Task-level dependencies: every read resolves to the task producing it —
   // leaves are prefilled (no dependency), absorbable reads dissolve into
@@ -456,8 +504,80 @@ Result<const DenseMatrix*> BufferedExecutor::Run(const ExprPtr& root,
   return dense;
 }
 
+Result<std::vector<const DenseMatrix*>> BufferedExecutor::RunMany(
+    const std::vector<ExprPtr>& roots, ExecStats* stats) {
+  if (roots.empty()) return std::vector<const DenseMatrix*>{};
+  if (roots.size() == 1) {
+    DMML_ASSIGN_OR_RETURN(const DenseMatrix* out, Run(roots[0], stats));
+    return std::vector<const DenseMatrix*>{out};
+  }
+  for (const ExprPtr& r : roots) {
+    if (!r) return Status::InvalidArgument("RunMany: null expression");
+  }
+  DMML_TRACE_SPAN("laopt.execute_many");
+  // The profiler's run model is per-root; suspend it for the fused run
+  // rather than mis-attributing every node to roots[0].
+  PlanProfile* saved_profile = profile_;
+  profile_ = nullptr;
+  struct ProfileRestore {
+    BufferedExecutor* ex;
+    PlanProfile* saved;
+    ~ProfileRestore() { ex->profile_ = saved; }
+  } restore{this, saved_profile};
+
+  std::vector<const ExprNode*> key;
+  key.reserve(roots.size());
+  for (const ExprPtr& r : roots) key.push_back(r.get());
+  auto prepared = multi_plans_.find(key);
+  if (prepared == multi_plans_.end()) {
+    DMML_ASSIGN_OR_RETURN(PreparedPlan plan, PrepareMultiPlan(roots));
+    prepared = multi_plans_.emplace(std::move(key), std::move(plan)).first;
+  }
+  PreparedPlan& plan = prepared->second;
+  current_assign_ = &plan.assign;
+  ++epoch_;
+  run_tally_.Reset();
+  struct RunFinalizer {
+    BufferedExecutor* ex;
+    ExecStats* stats;
+    ~RunFinalizer() {
+      if (stats != nullptr) {
+        const ExecStats run = ex->run_tally_.Snapshot();
+        stats->ops_executed += run.ops_executed;
+        stats->memo_hits += run.memo_hits;
+        stats->densify_fallbacks += run.densify_fallbacks;
+      }
+    }
+  } finalizer{this, stats};
+
+  std::vector<const DenseMatrix*> outs;
+  outs.reserve(roots.size());
+  if (plan.par != nullptr && pool_ != nullptr && plan.par->tasks.size() > 1) {
+    DMML_RETURN_IF_ERROR(DriveInterNode(*plan.par));
+    for (size_t i = 0; i < roots.size(); ++i) {
+      DMML_ASSIGN_OR_RETURN(const DenseMatrix* d,
+                            Densify(roots[i], plan.par->root_slots[i]->out));
+      outs.push_back(d);
+    }
+    return outs;
+  }
+  // Serial fallback: every root under ONE memo epoch, so shared sub-DAGs
+  // still evaluate once across roots.
+  for (const ExprPtr& r : roots) {
+    DMML_ASSIGN_OR_RETURN(Value v, Eval(r));
+    DMML_ASSIGN_OR_RETURN(const DenseMatrix* d, Densify(r, v));
+    outs.push_back(d);
+  }
+  return outs;
+}
+
 Result<BufferedExecutor::Value> BufferedExecutor::RunInterNode(
     const ExprPtr& /*root*/, ParallelPlan& par) {
+  DMML_RETURN_IF_ERROR(DriveInterNode(par));
+  return par.root_slot->out;
+}
+
+Status BufferedExecutor::DriveInterNode(ParallelPlan& par) {
   // Per-run resets happen on the driving thread, before any task exists;
   // the task launches below publish them.
   for (Slot* s : par.all_slots) {
@@ -491,6 +611,9 @@ Result<BufferedExecutor::Value> BufferedExecutor::RunInterNode(
         slot->out = {Repr::kCompressed, nullptr, nullptr, operand.compressed()};
         break;
     }
+    slot->out.windowed = operand.windowed();
+    slot->out.win_begin = operand.window_begin();
+    slot->out.win_end = operand.window_end();
     slot->first_pending.store(true, std::memory_order_relaxed);
     slot->epoch.store(epoch_, std::memory_order_release);
   }
@@ -531,7 +654,7 @@ Result<BufferedExecutor::Value> BufferedExecutor::RunInterNode(
     std::lock_guard<std::mutex> lock(err_mu_);
     return first_error_;
   }
-  return par.root_slot->out;
+  return Status::OK();
 }
 
 void BufferedExecutor::LaunchTask(ParallelPlan& par, uint32_t idx) {
@@ -608,10 +731,11 @@ Status BufferedExecutor::Bind(const ExprPtr& leaf, Operand operand) {
 
 Result<const DenseMatrix*> BufferedExecutor::Densify(const ExprPtr& owner,
                                                      const Value& v) {
-  if (v.repr == Repr::kDense) return v.d;
+  if (v.repr == Repr::kDense && !v.windowed) return v.d;
   Slot& slot = slots_[owner.get()];
-  const void* src = v.repr == Repr::kSparse ? static_cast<const void*>(v.s)
-                                            : static_cast<const void*>(v.c);
+  const void* src = v.repr == Repr::kDense    ? static_cast<const void*>(v.d)
+                    : v.repr == Repr::kSparse ? static_cast<const void*>(v.s)
+                                              : static_cast<const void*>(v.c);
   PoolClaimScope steal_guard;
   if (par_run_) {
     // Claim the fill so concurrent consumers get one fully-published copy
@@ -654,7 +778,32 @@ Result<const DenseMatrix*> BufferedExecutor::Densify(const ExprPtr& owner,
     run_tally_.densify_fallbacks.fetch_add(1, std::memory_order_relaxed);
     DMML_COUNTER_INC("laopt.repr.densify_fallbacks");
     if (profile_ != nullptr) profile_->AddDensify(owner.get());
-    if (v.repr == Repr::kSparse) {
+    if (v.windowed) {
+      // Materialize only the window, window-relative. (The hot paths —
+      // ranged matmuls — never come through here; this covers reductions
+      // and elementwise consumers of a windowed leaf.)
+      const size_t range = v.win_end - v.win_begin;
+      switch (v.repr) {
+        case Repr::kDense:
+          slot.aux.Reshape(range, v.d->cols());
+          std::copy(v.d->Row(v.win_begin), v.d->Row(v.win_begin) + range * v.d->cols(),
+                    slot.aux.data());
+          break;
+        case Repr::kSparse:
+          slot.aux.Reshape(range, v.s->cols());
+          slot.aux.Fill(0.0);
+          for (size_t r = v.win_begin; r < v.win_end; ++r) {
+            for (size_t k = v.s->RowBegin(r); k < v.s->RowEnd(r); ++k) {
+              slot.aux.At(r - v.win_begin, v.s->col_idx()[k]) = v.s->values()[k];
+            }
+          }
+          break;
+        case Repr::kCompressed:
+          DMML_RETURN_IF_ERROR(
+              v.c->DecompressRangeInto(v.win_begin, v.win_end, &slot.aux, pool_));
+          break;
+      }
+    } else if (v.repr == Repr::kSparse) {
       slot.aux.Reshape(v.s->rows(), v.s->cols());
       slot.aux.Fill(0.0);
       for (size_t r = 0; r < v.s->rows(); ++r) {
@@ -686,7 +835,7 @@ Result<BufferedExecutor::Value> BufferedExecutor::EvalMatMul(
     const ExprPtr& u = lc->children()[0];
     DMML_ASSIGN_OR_RETURN(Value uv, Eval(u));
     if (uv.repr == Repr::kDense) {
-      if (rc.get() == u.get()) {
+      if (rc.get() == u.get() && !uv.windowed) {
         // t(U) %*% U — the SYRK/Gram kernel, exactly as la::Gram computes it.
         if (profile_ != nullptr) profile_->AddFusedUse(lc.get());
         la::GramInto(*uv.d, slot.buf, pool_);
@@ -696,7 +845,14 @@ Result<BufferedExecutor::Value> BufferedExecutor::EvalMatMul(
       DMML_ASSIGN_OR_RETURN(Value vv, Eval(rc));
       DMML_ASSIGN_OR_RETURN(const DenseMatrix* vd, Densify(rc, vv));
       if (profile_ != nullptr) profile_->AddFusedUse(lc.get());
-      la::TransposeMultiplyInto(*uv.d, *vd, slot.buf, pool_);
+      if (uv.windowed) {
+        // t(X[b:e)) %*% M with a window-relative M: the ranged fused kernel
+        // reads X rows in place — the fold-training gradient path.
+        la::TransposeMultiplyRangeInto(*uv.d, uv.win_begin, uv.win_end, *vd,
+                                       slot.buf, pool_);
+      } else {
+        la::TransposeMultiplyInto(*uv.d, *vd, slot.buf, pool_);
+      }
       CountDispatch(slot, Repr::kDense);
       return Value{Repr::kDense, slot.buf, nullptr, nullptr};
     }
@@ -704,7 +860,12 @@ Result<BufferedExecutor::Value> BufferedExecutor::EvalMatMul(
       DMML_ASSIGN_OR_RETURN(Value vv, Eval(rc));
       DMML_ASSIGN_OR_RETURN(const DenseMatrix* vd, Densify(rc, vv));
       if (profile_ != nullptr) profile_->AddFusedUse(lc.get());
-      if (vd->cols() == 1) {
+      if (uv.windowed) {
+        // Windowed t(X) %*% M (any k, including k = 1): the ranged group
+        // kernels seek into [win_begin, win_end) positionally.
+        DMML_RETURN_IF_ERROR(uv.c->TransposeMultiplyMatrixRangeInto(
+            *vd, uv.win_begin, uv.win_end, slot.buf, pool_));
+      } else if (vd->cols() == 1) {
         // t(X) %*% v == (v^T X)^T: the dictionary-pre-aggregating
         // VectorMultiply produces 1 x d; reinterpret as d x 1 (identical
         // contiguous storage).
@@ -719,7 +880,15 @@ Result<BufferedExecutor::Value> BufferedExecutor::EvalMatMul(
     }
     if (uv.repr == Repr::kSparse) {
       DMML_ASSIGN_OR_RETURN(Value vv, Eval(rc));
-      if (vv.repr == Repr::kDense && vv.d->cols() == 1) {
+      if (uv.windowed) {
+        DMML_ASSIGN_OR_RETURN(const DenseMatrix* vd, Densify(rc, vv));
+        if (profile_ != nullptr) profile_->AddFusedUse(lc.get());
+        la::SparseTransposeMultiplyRangeInto(*uv.s, uv.win_begin, uv.win_end,
+                                             *vd, slot.buf, pool_);
+        CountDispatch(slot, Repr::kSparse);
+        return Value{Repr::kDense, slot.buf, nullptr, nullptr};
+      }
+      if (vv.repr == Repr::kDense && !vv.windowed && vv.d->cols() == 1) {
         // t(S) %*% v == (v^T S)^T via the CSR Gevm reduction — no
         // materialized transpose; 1 x d reinterpreted as d x 1.
         if (profile_ != nullptr) profile_->AddFusedUse(lc.get());
@@ -734,7 +903,8 @@ Result<BufferedExecutor::Value> BufferedExecutor::EvalMatMul(
   } else if (rc->kind() == OpKind::kTranspose) {
     DMML_ASSIGN_OR_RETURN(Value av, Eval(lc));
     DMML_ASSIGN_OR_RETURN(Value bv, Eval(rc->children()[0]));
-    if (av.repr == Repr::kDense && bv.repr == Repr::kDense) {
+    if (av.repr == Repr::kDense && bv.repr == Repr::kDense && !av.windowed &&
+        !bv.windowed) {
       if (profile_ != nullptr) profile_->AddFusedUse(rc.get());
       la::MultiplyTransposeBInto(*av.d, *bv.d, slot.buf, pool_);
       CountDispatch(slot, Repr::kDense);
@@ -746,6 +916,29 @@ Result<BufferedExecutor::Value> BufferedExecutor::EvalMatMul(
 
   DMML_ASSIGN_OR_RETURN(Value a, Eval(lc));
   DMML_ASSIGN_OR_RETURN(Value b, Eval(rc));
+  if (a.windowed) {
+    // X[b:e) %*% M — the ranged kernels touch only the window's rows; the
+    // shared-scan score pass over a fold's training window.
+    DMML_ASSIGN_OR_RETURN(const DenseMatrix* bd, Densify(rc, b));
+    switch (a.repr) {
+      case Repr::kDense:
+        la::MultiplyRangeInto(*a.d, a.win_begin, a.win_end, *bd, slot.buf,
+                              pool_);
+        CountDispatch(slot, Repr::kDense);
+        break;
+      case Repr::kSparse:
+        la::SparseMultiplyDenseRangeInto(*a.s, a.win_begin, a.win_end, *bd,
+                                         slot.buf, pool_);
+        CountDispatch(slot, Repr::kSparse);
+        break;
+      case Repr::kCompressed:
+        DMML_RETURN_IF_ERROR(a.c->MultiplyMatrixRangeInto(
+            *bd, a.win_begin, a.win_end, slot.buf, pool_));
+        CountDispatch(slot, Repr::kCompressed);
+        break;
+    }
+    return Value{Repr::kDense, slot.buf, nullptr, nullptr};
+  }
   switch (a.repr) {
     case Repr::kSparse: {
       DMML_ASSIGN_OR_RETURN(const DenseMatrix* bd, Densify(rc, b));
@@ -839,6 +1032,9 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
         slot.out = {Repr::kCompressed, nullptr, nullptr, operand.compressed()};
         break;
     }
+    slot.out.windowed = operand.windowed();
+    slot.out.win_begin = operand.window_begin();
+    slot.out.win_end = operand.window_end();
     slot.epoch.store(epoch_, std::memory_order_release);
     return slot.out;
   }
@@ -916,9 +1112,10 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
     }
     case OpKind::kTranspose: {
       DMML_ASSIGN_OR_RETURN(Value a, Eval(node->children()[0]));
-      if (a.repr == Repr::kSparse) {
+      if (a.repr == Repr::kSparse && !a.windowed) {
         // Transposes of sparse values stay CSR (O(nnz) counting transpose),
-        // so t(S) %*% M downstream still runs sparse kernels.
+        // so t(S) %*% M downstream still runs sparse kernels. Windowed CSR
+        // densifies instead (window-relative) before the dense transpose.
         slot.sbuf = la::SparseTranspose(*a.s);
         slot.out = {Repr::kSparse, nullptr, &slot.sbuf, nullptr};
         CountDispatch(slot, Repr::kSparse);
@@ -960,7 +1157,14 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
     case OpKind::kSum: {
       DMML_ASSIGN_OR_RETURN(Value a, Eval(node->children()[0]));
       slot.buf->Reshape(1, 1);
-      if (a.repr == Repr::kSparse) {
+      if (a.windowed) {
+        // Window-relative reductions run over the densified window copy; the
+        // repr-native kernels below sum the full payload.
+        DMML_ASSIGN_OR_RETURN(const DenseMatrix* ad,
+                              Densify(node->children()[0], a));
+        slot.buf->At(0, 0) = la::Sum(*ad, pool_);
+        CountDispatch(slot, Repr::kDense);
+      } else if (a.repr == Repr::kSparse) {
         slot.buf->At(0, 0) = la::SparseSum(*a.s);
         CountDispatch(slot, Repr::kSparse);
       } else if (a.repr == Repr::kCompressed) {
@@ -980,7 +1184,10 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
       if (ch->kind() == OpKind::kElemMul &&
           ch->children()[0].get() == ch->children()[1].get()) {
         DMML_ASSIGN_OR_RETURN(Value g, Eval(ch->children()[0]));
-        if (g.repr == Repr::kCompressed) {
+        if (g.windowed) {
+          // Windowed G: the native row-squared-norms kernels read the full
+          // payload; take the generic (densifying) path instead.
+        } else if (g.repr == Repr::kCompressed) {
           if (profile_ != nullptr) profile_->AddFusedUse(ch.get());
           DMML_RETURN_IF_ERROR(g.c->RowSquaredNormsInto(slot.buf, pool_));
           CountDispatch(slot, Repr::kCompressed);
@@ -996,7 +1203,11 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
         // optimal but keeps op accounting unchanged.
       }
       DMML_ASSIGN_OR_RETURN(Value a, Eval(ch));
-      if (a.repr == Repr::kSparse) {
+      if (a.windowed) {
+        DMML_ASSIGN_OR_RETURN(const DenseMatrix* ad, Densify(ch, a));
+        la::RowSumsInto(*ad, slot.buf, pool_);
+        CountDispatch(slot, Repr::kDense);
+      } else if (a.repr == Repr::kSparse) {
         la::SparseRowSumsInto(*a.s, slot.buf);
         CountDispatch(slot, Repr::kSparse);
       } else if (a.repr == Repr::kCompressed) {
@@ -1013,7 +1224,12 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
     }
     case OpKind::kColSums: {
       DMML_ASSIGN_OR_RETURN(Value a, Eval(node->children()[0]));
-      if (a.repr == Repr::kSparse) {
+      if (a.windowed) {
+        DMML_ASSIGN_OR_RETURN(const DenseMatrix* ad,
+                              Densify(node->children()[0], a));
+        la::ColumnSumsInto(*ad, slot.buf, pool_);
+        CountDispatch(slot, Repr::kDense);
+      } else if (a.repr == Repr::kSparse) {
         la::SparseColumnSumsInto(*a.s, slot.buf);
         CountDispatch(slot, Repr::kSparse);
       } else if (a.repr == Repr::kCompressed) {
@@ -1026,6 +1242,20 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
         la::ColumnSumsInto(*a.d, slot.buf, pool_);
         CountDispatch(slot, Repr::kDense);
       }
+      break;
+    }
+    case OpKind::kScaleColumns: {
+      // out(i, j) = a(i, j) * s(0, j): per-column scaling of a dense value
+      // by a 1 x cols row vector — the per-config step-size kernel of the
+      // shared-scan trainer (column c carries config c's learning rate).
+      DMML_ASSIGN_OR_RETURN(Value a, Eval(node->children()[0]));
+      DMML_ASSIGN_OR_RETURN(Value s, Eval(node->children()[1]));
+      DMML_ASSIGN_OR_RETURN(const DenseMatrix* ad,
+                            Densify(node->children()[0], a));
+      DMML_ASSIGN_OR_RETURN(const DenseMatrix* sd,
+                            Densify(node->children()[1], s));
+      la::ScaleColumnsInto(*ad, *sd, slot.buf);
+      CountDispatch(slot, Repr::kDense);
       break;
     }
     case OpKind::kInput:

@@ -38,6 +38,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -108,6 +109,17 @@ class BufferedExecutor {
   Result<const la::DenseMatrix*> Run(const ExprPtr& root,
                                      ExecStats* stats = nullptr);
 
+  /// \brief Evaluates several roots as ONE fused plan: shared sub-DAGs are
+  /// evaluated once (one memo epoch spans all roots), and with a pool
+  /// attached the inter-node scheduler interleaves independent branches of
+  /// *different* roots — the wide-rung execution shape of shared-scan model
+  /// selection, where per-fold branches share the bound X operand. Returned
+  /// pointers alias executor storage exactly like Run()'s, one per root, and
+  /// stay valid until the next Run()/RunMany()/Clear(). The attached
+  /// profiler (per-root by construction) is suspended for the fused run.
+  Result<std::vector<const la::DenseMatrix*>> RunMany(
+      const std::vector<ExprPtr>& roots, ExecStats* stats = nullptr);
+
   /// \brief Binds (or rebinds) `leaf` to `operand` for subsequent Run()s on
   /// this executor, overriding any payload carried by the node itself. The
   /// standard way to execute one compiled plan against changing data — or
@@ -127,6 +139,7 @@ class BufferedExecutor {
     slots_.clear();
     binds_.clear();
     assignments_.clear();
+    multi_plans_.clear();
     pool_buffers_.clear();
     dedicated_.clear();
     current_assign_ = nullptr;
@@ -185,6 +198,12 @@ class BufferedExecutor {
     const la::DenseMatrix* d = nullptr;
     const la::SparseMatrix* s = nullptr;
     const cla::CompressedMatrix* c = nullptr;
+    /// Row-windowed leaf values (Operand::Slice): the pointer above is the
+    /// full payload and only rows [win_begin, win_end) belong to the value.
+    /// Consumers dispatch ranged kernels; Densify materializes the window.
+    bool windowed = false;
+    size_t win_begin = 0;
+    size_t win_end = 0;
   };
 
   struct Slot {
@@ -233,6 +252,7 @@ class BufferedExecutor {
     std::vector<std::pair<ExprPtr, Slot*>> leaves;  ///< Prefilled per run.
     std::vector<Slot*> all_slots;     ///< Every plan node, for state resets.
     Slot* root_slot = nullptr;
+    std::vector<Slot*> root_slots;    ///< Multi-root plans: one per root.
     std::unique_ptr<std::atomic<uint32_t>[]> deps_remaining;  ///< Per task.
   };
 
@@ -265,6 +285,12 @@ class BufferedExecutor {
   /// and re-rejected — on the next Run.
   Status PreparePlan(const ExprPtr& root);
 
+  /// Multi-root preparation: verifies each root, merges the roots' sub-DAGs
+  /// into one DFS postorder (shared nodes once), and builds the fused
+  /// dataflow graph with dedicated buffers (liveness-driven sharing is a
+  /// per-schedule analysis and is skipped for fused plans).
+  Result<PreparedPlan> PrepareMultiPlan(const std::vector<ExprPtr>& roots);
+
   /// Builds the dataflow task graph mirroring the serial evaluation:
   /// absorbable-position nodes (a matmul's transpose operand, the G⊙G under
   /// rowSums) get no task of their own — consumers evaluate them inline
@@ -274,10 +300,23 @@ class BufferedExecutor {
       const std::unordered_set<const ExprNode*>& absorbable,
       const BufferAssignment& assign);
 
+  /// Shared core of single- and multi-root plan building: `order` is any
+  /// topological (children-first) order over the union of the roots'
+  /// sub-DAGs.
+  std::unique_ptr<ParallelPlan> BuildParallelPlanFromOrder(
+      const std::vector<ExprPtr>& roots,
+      const std::vector<const ExprNode*>& order,
+      const std::unordered_set<const ExprNode*>& absorbable,
+      const BufferAssignment& assign);
+
   /// Executes one prepared plan as a dataflow: prefills leaves, launches
   /// zero-dependency tasks, cooperatively waits the run out, and returns the
   /// root's value (or the first task error).
   Result<Value> RunInterNode(const ExprPtr& root, ParallelPlan& par);
+
+  /// The dataflow drive loop shared by Run and RunMany: per-run resets, leaf
+  /// prefill, task launches, cooperative wait, first-error return.
+  Status DriveInterNode(ParallelPlan& par);
 
   void LaunchTask(ParallelPlan& par, uint32_t idx);
   void RunTaskBody(ParallelPlan& par, uint32_t idx);
@@ -317,6 +356,8 @@ class BufferedExecutor {
 
   /// Prepared per-root plans. Presence of a root's entry marks it prepared.
   std::unordered_map<const ExprNode*, PreparedPlan> assignments_;
+  /// Prepared fused plans, keyed by the exact root list (order-sensitive).
+  std::map<std::vector<const ExprNode*>, PreparedPlan> multi_plans_;
   const BufferAssignment* current_assign_ = nullptr;  ///< Run() in flight.
   std::vector<std::unique_ptr<la::DenseMatrix>> pool_buffers_;
   std::unordered_map<const ExprNode*, la::DenseMatrix> dedicated_;

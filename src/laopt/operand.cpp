@@ -11,11 +11,32 @@ const char* ReprName(Repr repr) {
   return "unknown";
 }
 
-size_t Operand::rows() const {
+size_t Operand::PayloadRows() const {
   if (dense_) return dense_->rows();
   if (sparse_) return sparse_->rows();
   if (compressed_) return compressed_->rows();
   return 0;
+}
+
+size_t Operand::rows() const {
+  if (windowed_) return win_end_ - win_begin_;
+  return PayloadRows();
+}
+
+size_t Operand::window_end() const {
+  return windowed_ ? win_end_ : PayloadRows();
+}
+
+Operand Operand::Slice(size_t row_begin, size_t row_end) const {
+  Operand view = *this;
+  const size_t base = windowed_ ? win_begin_ : 0;
+  const size_t limit = window_end();
+  view.win_begin_ = base + row_begin;
+  view.win_end_ = base + row_end;
+  if (view.win_end_ > limit) view.win_end_ = limit;
+  if (view.win_begin_ > view.win_end_) view.win_begin_ = view.win_end_;
+  view.windowed_ = true;
+  return view;
 }
 
 size_t Operand::cols() const {
@@ -53,6 +74,16 @@ uint64_t Operand::SizeInBytes() const {
 }
 
 la::DenseMatrix Operand::ToDense(ThreadPool* pool) const {
+  if (windowed_) {
+    if (dense_) return dense_->SliceRows(win_begin_, win_end_);
+    if (sparse_) return sparse_->ToDense().SliceRows(win_begin_, win_end_);
+    if (compressed_) {
+      la::DenseMatrix out;
+      (void)compressed_->DecompressRangeInto(win_begin_, win_end_, &out, pool);
+      return out;
+    }
+    return {};
+  }
   if (dense_) return *dense_;
   if (sparse_) return sparse_->ToDense();
   if (compressed_) return compressed_->Decompress(pool);

@@ -71,8 +71,30 @@ class Operand {
     return Repr::kDense;
   }
 
+  /// Logical rows: the window height when windowed, else the full height.
   size_t rows() const;
   size_t cols() const;
+
+  // ---------------------------------------------------------------------
+  // Row windows. A windowed operand is a zero-copy view of rows
+  // [window_begin, window_end) of the bound matrix — the payload is shared
+  // with the parent handle and the executor dispatches ranged kernels
+  // (dense pointer-offset GEMM, sparse CSR slices, CLA positional seeks)
+  // instead of materialising the slice. Contiguous-fold cross-validation
+  // trains leave-one-fold-out through two such views per fold.
+  // ---------------------------------------------------------------------
+
+  /// \brief Zero-copy view of rows [row_begin, row_end) of *this* operand's
+  /// window (offsets compose: slicing a slice re-slices the base matrix).
+  Operand Slice(size_t row_begin, size_t row_end) const;
+
+  /// \brief True iff this handle views a proper row range of its payload.
+  bool windowed() const { return windowed_; }
+  /// \brief First payload row of the view (0 when not windowed).
+  size_t window_begin() const { return win_begin_; }
+  /// \brief One past the last payload row of the view (payload rows when
+  /// not windowed).
+  size_t window_end() const;
 
   /// Typed accessors: non-null only for the matching representation.
   const la::DenseMatrix* dense() const { return dense_.get(); }
@@ -103,9 +125,14 @@ class Operand {
   la::DenseMatrix ToDense(ThreadPool* pool = nullptr) const;
 
  private:
+  size_t PayloadRows() const;
+
   std::shared_ptr<const la::DenseMatrix> dense_;
   std::shared_ptr<const la::SparseMatrix> sparse_;
   std::shared_ptr<const cla::CompressedMatrix> compressed_;
+  bool windowed_ = false;
+  size_t win_begin_ = 0;
+  size_t win_end_ = 0;
 };
 
 }  // namespace dmml::laopt

@@ -116,6 +116,7 @@ size_t ExpectedArity(OpKind kind) {
     case OpKind::kAdd:
     case OpKind::kSubtract:
     case OpKind::kElemMul:
+    case OpKind::kScaleColumns:
       return 2;
     default:
       return 1;
@@ -205,6 +206,22 @@ void CheckNode(const ExprNode* node, std::vector<Diagnostic>* diags) {
       want_rows = 1;
       want_cols = kids[0]->cols();
       break;
+    case OpKind::kScaleColumns:
+      if (Known(kids[1]->rows()) && kids[1]->rows() != 1) {
+        AddDiag(diags, Severity::kError, "verify.shape_mismatch", node,
+                "scale_columns scale operand is " +
+                    ShapeStr(kids[1]->rows(), kids[1]->cols()) +
+                    ", expected a row vector");
+      }
+      if (!DimsCompatible(kids[0]->cols(), kids[1]->cols())) {
+        AddDiag(diags, Severity::kError, "verify.shape_mismatch", node,
+                "scale_columns column counts disagree: " +
+                    std::to_string(kids[0]->cols()) + " vs " +
+                    std::to_string(kids[1]->cols()));
+      }
+      want_rows = kids[0]->rows();
+      want_cols = MergeDims(kids[0]->cols(), kids[1]->cols());
+      break;
   }
   if (node->rows() != want_rows || node->cols() != want_cols) {
     AddDiag(diags, Severity::kError, "verify.stale_shape", node,
@@ -264,6 +281,11 @@ class ValueIdTable {
                                  ? node->operand().payload()
                                  : static_cast<const void*>(node);
       key << "@" << identity;
+      // Row-windowed views of one payload are distinct values per window.
+      if (node->operand().windowed()) {
+        key << "[" << node->operand().window_begin() << ","
+            << node->operand().window_end() << ")";
+      }
     } else if (node->kind() == OpKind::kScalarMul) {
       key << "#" << std::hexfloat << node->scalar();
     }

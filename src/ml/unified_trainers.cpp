@@ -94,6 +94,8 @@ class ScopedTrainerProfile {
 
 }  // namespace
 
+Operand BorrowOperand(const DenseMatrix& m) { return Borrow(m); }
+
 Result<GlmModel> TrainGlmOnOperand(const Operand& x, const DenseMatrix& y,
                                    const GlmConfig& config, ThreadPool* pool,
                                    laopt::PlanProfile* profile) {

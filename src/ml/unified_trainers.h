@@ -29,6 +29,12 @@ class PlanProfile;
 
 namespace dmml::ml {
 
+/// \brief Non-owning Operand over a caller-held dense matrix — the standard
+/// way to run an existing `DenseMatrix` through the operand-based trainers
+/// (and the modelsel shared-scan engine) without copying or transferring
+/// ownership. The caller must outlive every executor run that reads it.
+laopt::Operand BorrowOperand(const la::DenseMatrix& m);
+
 /// \brief Full-batch gradient-descent GLM training on a design matrix in
 /// any physical representation. The per-epoch X·w and Xᵀ·r products run on
 /// the representation's native kernels (dense GEMM, CSR gemv/gevm, or the

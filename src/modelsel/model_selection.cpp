@@ -6,6 +6,8 @@
 
 #include "la/kernels.h"
 #include "ml/metrics.h"
+#include "ml/unified_trainers.h"
+#include "modelsel/shared_scan.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/rng.h"
@@ -103,7 +105,8 @@ size_t ArgBest(const std::vector<CvScore>& scores) {
 }  // namespace
 
 Result<CvScore> CrossValidate(const DenseMatrix& x, const DenseMatrix& y,
-                              const GlmConfig& config, size_t k, uint64_t seed) {
+                              const GlmConfig& config, size_t k, uint64_t seed,
+                              ThreadPool* pool) {
   DMML_ASSIGN_OR_RETURN(KFold kf, KFold::Make(x.rows(), k, seed));
   std::vector<double> fold_scores;
   fold_scores.reserve(k);
@@ -113,7 +116,7 @@ Result<CvScore> CrossValidate(const DenseMatrix& x, const DenseMatrix& y,
     DenseMatrix yt = GatherRows(y, train_idx);
     DenseMatrix xv = GatherRows(x, kf.ValidationIndices(f));
     DenseMatrix yv = GatherRows(y, kf.ValidationIndices(f));
-    DMML_ASSIGN_OR_RETURN(GlmModel model, ml::TrainGlm(xt, yt, config));
+    DMML_ASSIGN_OR_RETURN(GlmModel model, ml::TrainGlm(xt, yt, config, pool));
     DMML_ASSIGN_OR_RETURN(double score, ScoreModel(model, xv, yv));
     fold_scores.push_back(score);
   }
@@ -123,12 +126,13 @@ Result<CvScore> CrossValidate(const DenseMatrix& x, const DenseMatrix& y,
 Result<GridSearchResult> GridSearchSequential(const DenseMatrix& x,
                                               const DenseMatrix& y,
                                               const GridSpec& grid, size_t k,
-                                              uint64_t seed) {
+                                              uint64_t seed, ThreadPool* pool) {
   DMML_TRACE_SPAN("modelsel.grid_search");
   Stopwatch watch;
   GridSearchResult result;
   for (const GlmConfig& config : grid.Expand()) {
-    DMML_ASSIGN_OR_RETURN(CvScore score, CrossValidate(x, y, config, k, seed));
+    DMML_ASSIGN_OR_RETURN(CvScore score,
+                          CrossValidate(x, y, config, k, seed, pool));
     DMML_COUNTER_INC("modelsel.configs_evaluated");
     result.scores.push_back(std::move(score));
   }
@@ -142,122 +146,71 @@ Result<GridSearchResult> GridSearchSequential(const DenseMatrix& x,
 
 Result<std::vector<GlmModel>> BatchedTrainGlm(const DenseMatrix& x,
                                               const DenseMatrix& y,
-                                              const std::vector<GlmConfig>& configs) {
+                                              const std::vector<GlmConfig>& configs,
+                                              ThreadPool* pool) {
+  return BatchedTrainGlm(ml::BorrowOperand(x), y, configs, pool);
+}
+
+Result<std::vector<GlmModel>> BatchedTrainGlm(const laopt::Operand& x,
+                                              const DenseMatrix& y,
+                                              const std::vector<GlmConfig>& configs,
+                                              ThreadPool* pool) {
   if (configs.empty()) return Status::InvalidArgument("batched train: no configs");
   DMML_TRACE_SPAN("modelsel.batched_train");
   DMML_COUNTER_ADD("modelsel.configs_evaluated", configs.size());
-  const size_t n = x.rows(), d = x.cols(), m = configs.size();
-  if (n == 0 || d == 0) return Status::InvalidArgument("batched train: empty data");
-  if (y.rows() != n || y.cols() != 1) {
-    return Status::InvalidArgument("batched train: y must be n x 1");
-  }
-  const GlmConfig& base = configs.front();
-  for (const auto& c : configs) {
-    if (c.family != base.family || c.max_epochs != base.max_epochs ||
-        c.fit_intercept != base.fit_intercept) {
-      return Status::InvalidArgument(
-          "batched train: configs must share family, epochs and intercept");
-    }
-    if (c.learning_rate <= 0) {
-      return Status::InvalidArgument("learning_rate must be positive");
-    }
-  }
-  if (base.family == GlmFamily::kBinomial) {
-    for (size_t i = 0; i < n; ++i) {
-      double v = y.At(i, 0);
-      if (v != 0.0 && v != 1.0) {
-        return Status::InvalidArgument("Binomial family requires 0/1 labels");
-      }
-    }
-  }
-
-  // One weight column per configuration; shared scans via GEMM.
-  DenseMatrix w(d, m);
-  std::vector<double> intercepts(m, 0.0);
-  std::vector<std::vector<double>> loss_histories(m);
-  const double inv_n = 1.0 / static_cast<double>(n);
-
-  for (size_t epoch = 0; epoch < base.max_epochs; ++epoch) {
-    DenseMatrix scores = la::Multiply(x, w);  // n x m — one scan for all models.
-    // Residuals and losses per model.
-    std::vector<double> losses(m, 0.0);
-    std::vector<double> bias_grads(m, 0.0);
-    for (size_t i = 0; i < n; ++i) {
-      double* srow = scores.Row(i);
-      const double yi = y.At(i, 0);
-      for (size_t c = 0; c < m; ++c) {
-        double s = srow[c] + intercepts[c];
-        if (base.family == GlmFamily::kGaussian) {
-          double r = s - yi;
-          losses[c] += 0.5 * r * r;
-          srow[c] = r;
-        } else {
-          double sign_y = yi > 0.5 ? 1.0 : -1.0;
-          double margin = sign_y * s;
-          losses[c] += margin > 0 ? std::log1p(std::exp(-margin))
-                                  : -margin + std::log1p(std::exp(margin));
-          srow[c] = ml::GlmInverseLink(s, base.family) - yi;
-        }
-        bias_grads[c] += srow[c];
-      }
-    }
-    // Gradients for all models in one GEMM: G = Xᵀ R (d x m).
-    DenseMatrix grads(d, m);
-    for (size_t i = 0; i < n; ++i) {
-      const double* xi = x.Row(i);
-      const double* ri = scores.Row(i);
-      for (size_t j = 0; j < d; ++j) la::Axpy(xi[j], ri, grads.Row(j), m);
-    }
-    for (size_t c = 0; c < m; ++c) {
-      const GlmConfig& cfg = configs[c];
-      double lr = cfg.learning_rate /
-                  (1.0 + cfg.lr_decay * static_cast<double>(epoch));
-      for (size_t j = 0; j < d; ++j) {
-        w.At(j, c) -= lr * (grads.At(j, c) * inv_n + cfg.l2 * w.At(j, c));
-      }
-      if (cfg.fit_intercept) intercepts[c] -= lr * bias_grads[c] * inv_n;
-      double loss = losses[c] * inv_n;
-      if (cfg.l2 > 0) {
-        double w2 = 0;
-        for (size_t j = 0; j < d; ++j) w2 += w.At(j, c) * w.At(j, c);
-        loss += 0.5 * cfg.l2 * w2;
-      }
-      loss_histories[c].push_back(loss);
-    }
-  }
-
+  // One degenerate "fold" whose validation range is empty: every row is a
+  // training row, and the shared-scan engine runs one X·W and one Xᵀ·R per
+  // epoch for all configurations (one weight column each).
+  const std::vector<FoldRange> all_rows = {{x.rows(), x.rows()}};
+  DMML_ASSIGN_OR_RETURN(SharedScanResult trained,
+                        SharedScanTrain(x, y, all_rows, configs, pool));
+  SharedScanFold& fold = trained.folds.front();
+  const size_t m = configs.size();
   std::vector<GlmModel> models(m);
   for (size_t c = 0; c < m; ++c) {
-    models[c].family = base.family;
-    models[c].weights = w.Column(c);
-    models[c].intercept = intercepts[c];
-    models[c].loss_history = std::move(loss_histories[c]);
-    models[c].epochs_run = base.max_epochs;
+    models[c].family = configs.front().family;
+    models[c].weights = fold.weights.Column(c);
+    models[c].intercept = fold.intercepts[c];
+    models[c].loss_history = std::move(fold.loss_histories[c]);
+    models[c].epochs_run = trained.epochs_run;
   }
   return models;
 }
 
 Result<GridSearchResult> GridSearchBatched(const DenseMatrix& x, const DenseMatrix& y,
                                            const GridSpec& grid, size_t k,
-                                           uint64_t seed) {
+                                           uint64_t seed, ThreadPool* pool) {
   DMML_TRACE_SPAN("modelsel.grid_search_batched");
   Stopwatch watch;
   std::vector<GlmConfig> configs = grid.Expand();
   if (configs.empty()) return Status::InvalidArgument("grid search: empty grid");
   DMML_ASSIGN_OR_RETURN(KFold kf, KFold::Make(x.rows(), k, seed));
+  DMML_COUNTER_ADD("modelsel.configs_evaluated", configs.size() * k);
 
+  // Permute once so every fold is a contiguous row range, then train all
+  // folds × all configs as one shared-scan rung: leave-one-fold-out training
+  // reads X through zero-copy row windows — the per-fold GatherRows of the
+  // historical implementation is gone from the hot path.
+  const ContiguousFolds cf = MakeContiguousFolds(kf);
+  const DenseMatrix xp = GatherRows(x, cf.order);
+  const DenseMatrix yp = GatherRows(y, cf.order);
+  const laopt::Operand xp_op = ml::BorrowOperand(xp);
+  DMML_ASSIGN_OR_RETURN(SharedScanResult trained,
+                        SharedScanTrain(xp_op, yp, cf.folds, configs, pool));
+
+  const bool binomial = grid.base.family == GlmFamily::kBinomial;
+  const FoldMetric metric =
+      binomial ? FoldMetric::kAccuracy : FoldMetric::kNegRmse;
   std::vector<std::vector<double>> fold_scores(configs.size());
   for (size_t f = 0; f < k; ++f) {
-    auto train_idx = kf.TrainingIndices(f);
-    DenseMatrix xt = GatherRows(x, train_idx);
-    DenseMatrix yt = GatherRows(y, train_idx);
-    DenseMatrix xv = GatherRows(x, kf.ValidationIndices(f));
-    DenseMatrix yv = GatherRows(y, kf.ValidationIndices(f));
-    DMML_ASSIGN_OR_RETURN(std::vector<GlmModel> models,
-                          BatchedTrainGlm(xt, yt, configs));
+    const SharedScanFold& fold = trained.folds[f];
+    DMML_ASSIGN_OR_RETURN(
+        std::vector<double> scores,
+        ScoreConfigsOnWindow(xp_op, yp, cf.folds[f].begin, cf.folds[f].end,
+                             fold.weights, fold.intercepts, grid.base.family,
+                             metric, pool));
     for (size_t c = 0; c < configs.size(); ++c) {
-      DMML_ASSIGN_OR_RETURN(double score, ScoreModel(models[c], xv, yv));
-      fold_scores[c].push_back(score);
+      fold_scores[c].push_back(scores[c]);
     }
   }
 

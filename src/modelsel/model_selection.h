@@ -8,6 +8,12 @@
 /// X·W GEMM (W holding one weight column per configuration) instead of k
 /// separate GEMVs, and gradients from one Xᵀ·R GEMM. The speedup over
 /// sequential exploration grows with k.
+///
+/// Batched training and batched grid search run on the shared-scan rung
+/// engine (modelsel/shared_scan.h): X may be bound to any physical
+/// representation via a laopt::Operand, folds are contiguous row ranges of a
+/// once-permuted copy (no per-fold GatherRows), and every epoch's linear
+/// algebra executes as wide multi-root laopt plans on a shared thread pool.
 #ifndef DMML_MODELSEL_MODEL_SELECTION_H_
 #define DMML_MODELSEL_MODEL_SELECTION_H_
 
@@ -16,8 +22,10 @@
 #include <vector>
 
 #include "la/dense_matrix.h"
+#include "laopt/operand.h"
 #include "ml/glm.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace dmml::modelsel {
 
@@ -60,9 +68,10 @@ struct CvScore {
 };
 
 /// \brief k-fold CV of one config. Score = accuracy (Binomial) or -RMSE
-/// (Gaussian), so that higher is always better.
+/// (Gaussian), so that higher is always better. Fold models train on `pool`.
 Result<CvScore> CrossValidate(const la::DenseMatrix& x, const la::DenseMatrix& y,
-                              const ml::GlmConfig& config, size_t k, uint64_t seed);
+                              const ml::GlmConfig& config, size_t k, uint64_t seed,
+                              ThreadPool* pool = GlobalThreadPool());
 
 /// \brief Result of a grid search.
 struct GridSearchResult {
@@ -75,21 +84,34 @@ struct GridSearchResult {
 Result<GridSearchResult> GridSearchSequential(const la::DenseMatrix& x,
                                               const la::DenseMatrix& y,
                                               const GridSpec& grid, size_t k,
-                                              uint64_t seed);
+                                              uint64_t seed,
+                                              ThreadPool* pool = GlobalThreadPool());
 
 /// \brief Trains many GLM configurations *simultaneously* with shared data
 /// scans (one GEMM per epoch for all models). All configs must share family,
-/// max_epochs and fit_intercept; lr and l2 may differ per config.
+/// max_epochs and fit_intercept; lr, l2 and lr_decay may differ per config.
 Result<std::vector<ml::GlmModel>> BatchedTrainGlm(
     const la::DenseMatrix& x, const la::DenseMatrix& y,
-    const std::vector<ml::GlmConfig>& configs);
+    const std::vector<ml::GlmConfig>& configs,
+    ThreadPool* pool = GlobalThreadPool());
 
-/// \brief Batched grid search: per fold, one batched training run covers
-/// every configuration.
+/// \brief Representation-polymorphic batched training: X may be bound
+/// dense, CSR-sparse, or CLA-compressed; the shared scans run on the
+/// binding's native kernels through the laopt executor.
+Result<std::vector<ml::GlmModel>> BatchedTrainGlm(
+    const laopt::Operand& x, const la::DenseMatrix& y,
+    const std::vector<ml::GlmConfig>& configs,
+    ThreadPool* pool = GlobalThreadPool());
+
+/// \brief Batched grid search on the shared-scan engine: X and y are
+/// permuted once so every fold is a contiguous row range, then each epoch
+/// trains every configuration of every fold through wide multi-root laopt
+/// plans — one shared scan per epoch per fold, no per-fold row gathers.
 Result<GridSearchResult> GridSearchBatched(const la::DenseMatrix& x,
                                            const la::DenseMatrix& y,
                                            const GridSpec& grid, size_t k,
-                                           uint64_t seed);
+                                           uint64_t seed,
+                                           ThreadPool* pool = GlobalThreadPool());
 
 }  // namespace dmml::modelsel
 

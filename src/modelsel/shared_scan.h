@@ -1,0 +1,113 @@
+/// \file shared_scan.h
+/// \brief The shared-scan rung engine: one pass over X trains every
+/// configuration in the rung, over any physical representation of X.
+///
+/// This is the Columbus/MSMS observation taken to its laopt conclusion. A
+/// rung of k GLM configurations (shared family / epoch budget / intercept
+/// flag; heterogeneous learning rate, L2 and lr-decay) trains as ONE
+/// d x k weight matrix W: an epoch costs one X·W product and one Xᵀ·R
+/// product per fold — dense GEMM, CSR, or CLA ranged kernels, picked by the
+/// representation X is bound to — instead of k separate passes. Per-config
+/// hyperparameter heterogeneity is column-wise scaling (laopt's
+/// kScaleColumns node), so W stays dense and the update is pure linear
+/// algebra:
+///
+///   W' = W − ( G · diag(lr ∘ 1/n)  +  W · diag(lr ∘ λ) )
+///
+/// Cross-validation folds are contiguous row ranges of a once-permuted X:
+/// fold f's validation rows are [begin, end), its training rows the two
+/// windows [0, begin) and [end, n). Leave-one-fold-out training binds those
+/// windows as zero-copy laopt::Operand row slices — the executor's ranged
+/// kernels read X in place; no GatherRows on the hot path. Each rung is a
+/// wide multi-root laopt plan (per-fold score and update roots sharing the
+/// bound X payload) executed by BufferedExecutor::RunMany, so the
+/// inter-node scheduler overlaps fold branches on one thread pool.
+///
+/// Observability: `modelsel.shared.rungs`, `modelsel.shared.configs_per_scan`
+/// and `modelsel.shared.epochs_saved` counters, plus the
+/// `modelsel.rung_width` histogram.
+#ifndef DMML_MODELSEL_SHARED_SCAN_H_
+#define DMML_MODELSEL_SHARED_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/dense_matrix.h"
+#include "laopt/operand.h"
+#include "ml/glm.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace dmml::modelsel {
+
+struct KFold;
+
+/// \brief One fold's validation rows as a contiguous range [begin, end) of
+/// the (pre-permuted) data. Training rows are the complement windows
+/// [0, begin) and [end, n). An empty range (begin == end) means "no held-out
+/// rows": the fold trains on all n rows (the train-everything degenerate
+/// case BatchedTrainGlm uses).
+struct FoldRange {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// \brief Per-fold output of a shared-scan rung: one weight column, one
+/// intercept and one loss history per configuration.
+struct SharedScanFold {
+  la::DenseMatrix weights;                          ///< d x k, column c = config c.
+  std::vector<double> intercepts;                   ///< k entries.
+  std::vector<std::vector<double>> loss_histories;  ///< k histories.
+};
+
+/// \brief Result of one shared-scan rung over every fold.
+struct SharedScanResult {
+  std::vector<SharedScanFold> folds;  ///< One per input FoldRange, in order.
+  size_t epochs_run = 0;              ///< == configs' shared max_epochs.
+};
+
+/// \brief Trains every configuration of the rung simultaneously on each
+/// fold's training windows (full-batch gradient descent, exactly the
+/// BatchedTrainGlm recurrence). All configs must share family, max_epochs
+/// and fit_intercept; learning_rate, l2 and lr_decay may differ per config.
+/// `x` may be bound to any representation; `y` is n x 1 in the same (already
+/// permuted) row order. Steady-state epochs are allocation-free: leaf
+/// payloads are mutated in place and executor buffers persist across epochs.
+Result<SharedScanResult> SharedScanTrain(const laopt::Operand& x,
+                                         const la::DenseMatrix& y,
+                                         const std::vector<FoldRange>& folds,
+                                         const std::vector<ml::GlmConfig>& configs,
+                                         ThreadPool* pool = GlobalThreadPool());
+
+/// \brief Higher-is-better validation metric for rung/fold scoring.
+enum class FoldMetric {
+  kAccuracy,    ///< Binomial label accuracy at threshold 0.5 (CV scoring).
+  kNegLogLoss,  ///< Negated binary log loss (halving rung scoring).
+  kNegRmse,     ///< Negated RMSE (Gaussian scoring).
+};
+
+/// \brief Scores all k configurations on validation rows [row_begin,
+/// row_end) of `x` without gathering: one ranged X·W product feeds every
+/// config's predictions. Returns one score per config (weights column).
+Result<std::vector<double>> ScoreConfigsOnWindow(
+    const laopt::Operand& x, const la::DenseMatrix& y, size_t row_begin,
+    size_t row_end, const la::DenseMatrix& weights,
+    const std::vector<double>& intercepts, ml::GlmFamily family,
+    FoldMetric metric, ThreadPool* pool = GlobalThreadPool());
+
+/// \brief The once-up-front permutation that makes a KFold's folds
+/// contiguous: `order` concatenates the validation index lists of folds
+/// 0..k-1, so after gathering rows in `order`, fold f's validation rows are
+/// exactly `folds[f]` and its training rows — the windows around them — are
+/// the same rows, in the same order, as KFold::TrainingIndices(f).
+struct ContiguousFolds {
+  std::vector<size_t> order;     ///< Permuted row i holds original row order[i].
+  std::vector<FoldRange> folds;  ///< Validation ranges, one per fold.
+};
+
+/// \brief Builds the contiguous-fold permutation of `kf`.
+ContiguousFolds MakeContiguousFolds(const KFold& kf);
+
+}  // namespace dmml::modelsel
+
+#endif  // DMML_MODELSEL_SHARED_SCAN_H_

@@ -4,8 +4,9 @@
 #include <cmath>
 #include <numeric>
 
-#include "ml/metrics.h"
+#include "ml/unified_trainers.h"
 #include "modelsel/model_selection.h"
+#include "modelsel/shared_scan.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/rng.h"
@@ -17,30 +18,10 @@ using ml::GlmConfig;
 using ml::GlmFamily;
 using ml::GlmModel;
 
-namespace {
-
-// Rung score (higher is better). Binomial uses negative log-loss rather
-// than accuracy: early-rung models trained with different learning rates
-// often share the same decision *direction* (and thus the same accuracy),
-// while their probability calibration — which log-loss sees — already
-// separates them.
-Result<double> ScoreModel(const GlmModel& model, const DenseMatrix& x,
-                          const DenseMatrix& y) {
-  if (model.family == GlmFamily::kBinomial) {
-    DMML_ASSIGN_OR_RETURN(DenseMatrix probs, model.Predict(x));
-    DMML_ASSIGN_OR_RETURN(double loss, ml::LogLoss(y, probs));
-    return -loss;
-  }
-  DMML_ASSIGN_OR_RETURN(DenseMatrix pred, model.Predict(x));
-  DMML_ASSIGN_OR_RETURN(double rmse, ml::Rmse(y, pred));
-  return -rmse;
-}
-
-}  // namespace
-
 Result<HalvingResult> SuccessiveHalving(const DenseMatrix& x, const DenseMatrix& y,
                                         std::vector<GlmConfig> configs,
-                                        const HalvingConfig& config) {
+                                        const HalvingConfig& config,
+                                        ThreadPool* pool) {
   if (configs.empty()) {
     return Status::InvalidArgument("successive halving: no configurations");
   }
@@ -57,19 +38,28 @@ Result<HalvingResult> SuccessiveHalving(const DenseMatrix& x, const DenseMatrix&
   const size_t n = x.rows();
   if (n < 4) return Status::InvalidArgument("successive halving: too few rows");
 
-  // Shuffled train/validation split.
+  // Shuffled split, laid out as one permuted copy: validation rows first as
+  // the contiguous range [0, val_size), training rows after it. Every rung
+  // then trains through the [val_size, n) window and scores through the
+  // [0, val_size) window of the same operand — no per-rung row gathers.
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
   Rng rng(config.seed);
   rng.Shuffle(&order);
   size_t val_size = std::max<size_t>(
       1, static_cast<size_t>(config.validation_fraction * static_cast<double>(n)));
-  std::vector<size_t> val_idx(order.begin(), order.begin() + val_size);
-  std::vector<size_t> train_idx(order.begin() + val_size, order.end());
-  DenseMatrix xt = GatherRows(x, train_idx);
-  DenseMatrix yt = GatherRows(y, train_idx);
-  DenseMatrix xv = GatherRows(x, val_idx);
-  DenseMatrix yv = GatherRows(y, val_idx);
+  DenseMatrix xp = GatherRows(x, order);
+  DenseMatrix yp = GatherRows(y, order);
+  const laopt::Operand xp_op = ml::BorrowOperand(xp);
+  const std::vector<FoldRange> split = {{0, val_size}};
+  // Binomial rungs score by negative log-loss rather than accuracy:
+  // early-rung models trained with different learning rates often share the
+  // same decision *direction* (and thus the same accuracy), while their
+  // probability calibration — which log-loss sees — already separates them.
+  const GlmFamily family = configs.front().family;
+  const FoldMetric metric = family == GlmFamily::kBinomial
+                                ? FoldMetric::kNegLogLoss
+                                : FoldMetric::kNegRmse;
 
   HalvingResult result;
   std::vector<size_t> alive(configs.size());
@@ -77,7 +67,8 @@ Result<HalvingResult> SuccessiveHalving(const DenseMatrix& x, const DenseMatrix&
 
   size_t epochs = config.min_epochs;
   while (true) {
-    // Batched training of all survivors from scratch at this rung's budget.
+    // Shared-scan training of all survivors from scratch at this rung's
+    // budget: one wide plan per epoch covers every survivor.
     std::vector<GlmConfig> rung_configs;
     rung_configs.reserve(alive.size());
     for (size_t idx : alive) {
@@ -86,17 +77,18 @@ Result<HalvingResult> SuccessiveHalving(const DenseMatrix& x, const DenseMatrix&
       c.tolerance = 0;
       rung_configs.push_back(c);
     }
-    DMML_ASSIGN_OR_RETURN(std::vector<GlmModel> models,
-                          BatchedTrainGlm(xt, yt, rung_configs));
+    DMML_ASSIGN_OR_RETURN(SharedScanResult trained,
+                          SharedScanTrain(xp_op, yp, split, rung_configs, pool));
     result.total_epoch_equivalents += alive.size() * epochs;
 
     HalvingRung rung;
     rung.epochs = epochs;
     rung.survivors = alive;
-    for (const auto& model : models) {
-      DMML_ASSIGN_OR_RETURN(double score, ScoreModel(model, xv, yv));
-      rung.scores.push_back(score);
-    }
+    const SharedScanFold& fold = trained.folds.front();
+    DMML_ASSIGN_OR_RETURN(
+        rung.scores,
+        ScoreConfigsOnWindow(xp_op, yp, 0, val_size, fold.weights,
+                             fold.intercepts, family, metric, pool));
     result.rungs.push_back(rung);
 
     if (alive.size() == 1) break;
@@ -124,7 +116,7 @@ Result<HalvingResult> SuccessiveHalving(const DenseMatrix& x, const DenseMatrix&
   final_config.max_epochs = epochs;
   final_config.tolerance = 0;
   DMML_ASSIGN_OR_RETURN(std::vector<GlmModel> final_models,
-                        BatchedTrainGlm(x, y, {final_config}));
+                        BatchedTrainGlm(x, y, {final_config}, pool));
   result.best_model = std::move(final_models.front());
   return result;
 }

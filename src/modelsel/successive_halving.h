@@ -4,8 +4,11 @@
 /// Instead of giving every configuration the full epoch budget (grid
 /// search), successive halving trains all survivors for a small budget,
 /// keeps the best 1/eta fraction, multiplies the budget by eta and repeats.
-/// Each rung trains its survivors *as one batch* (shared scans), compounding
-/// the Columbus-style win with the bandit-style win.
+/// Each rung trains its survivors *as one batch* on the shared-scan engine
+/// (modelsel/shared_scan.h): the data is permuted once so the validation
+/// split is a contiguous row range, and every rung epoch is one X·W plus one
+/// Xᵀ·R over the training window — compounding the Columbus-style win with
+/// the bandit-style win.
 #ifndef DMML_MODELSEL_SUCCESSIVE_HALVING_H_
 #define DMML_MODELSEL_SUCCESSIVE_HALVING_H_
 
@@ -14,6 +17,7 @@
 #include "la/dense_matrix.h"
 #include "ml/glm.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace dmml::modelsel {
 
@@ -42,10 +46,12 @@ struct HalvingResult {
 
 /// \brief Runs successive halving over GLM configurations (all must share
 /// family and fit_intercept; max_epochs is overridden by the schedule).
+/// Rung training and scoring run on `pool` via the shared-scan engine.
 Result<HalvingResult> SuccessiveHalving(const la::DenseMatrix& x,
                                         const la::DenseMatrix& y,
                                         std::vector<ml::GlmConfig> configs,
-                                        const HalvingConfig& config = {});
+                                        const HalvingConfig& config = {},
+                                        ThreadPool* pool = GlobalThreadPool());
 
 }  // namespace dmml::modelsel
 

@@ -214,17 +214,18 @@ TEST(ClaRangedKernelTest, SubRangesComposeToFullRange) {
 
     // MultiplyMatrix.
     DenseMatrix mm_full(n, k), mm_split(n, k);
-    g->MultiplyMatrixRange(rhs_m, nullptr, &mm_full, 0, n);
+    g->MultiplyMatrixRange(rhs_m, nullptr, &mm_full, 0, n, 0);
     for (size_t c = 0; c + 1 < cuts.size(); ++c) {
-      g->MultiplyMatrixRange(rhs_m, nullptr, &mm_split, cuts[c], cuts[c + 1]);
+      g->MultiplyMatrixRange(rhs_m, nullptr, &mm_split, cuts[c], cuts[c + 1], 0);
     }
     ExpectMatricesNear(mm_full, mm_split, 1e-12);
 
     // TransposeMultiplyMatrix.
     DenseMatrix tm_full(d, k), tm_split(d, k);
-    g->TransposeMultiplyMatrixRange(rhs_t, tm_full.data(), 0, n);
+    g->TransposeMultiplyMatrixRange(rhs_t, tm_full.data(), 0, n, 0);
     for (size_t c = 0; c + 1 < cuts.size(); ++c) {
-      g->TransposeMultiplyMatrixRange(rhs_t, tm_split.data(), cuts[c], cuts[c + 1]);
+      g->TransposeMultiplyMatrixRange(rhs_t, tm_split.data(), cuts[c],
+                                      cuts[c + 1], 0);
     }
     ExpectMatricesNear(tm_full, tm_split, 1e-12);
 
@@ -244,9 +245,9 @@ TEST(ClaRangedKernelTest, SubRangesComposeToFullRange) {
 
     // Decompress.
     DenseMatrix dc_full(n, d), dc_split(n, d);
-    g->DecompressRange(&dc_full, 0, n);
+    g->DecompressRange(&dc_full, 0, n, 0);
     for (size_t c = 0; c + 1 < cuts.size(); ++c) {
-      g->DecompressRange(&dc_split, cuts[c], cuts[c + 1]);
+      g->DecompressRange(&dc_split, cuts[c], cuts[c + 1], 0);
     }
     EXPECT_TRUE(dc_full == dc_split);
   }

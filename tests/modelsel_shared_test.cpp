@@ -1,0 +1,325 @@
+// Shared-scan model selection: one pass trains every config in the rung.
+//
+//  * A k-wide shared-scan epoch must be bit-equal per column to k separate
+//    1-wide epochs over the same window on the dense path (the ranged
+//    kernels' FP bracketing is width-independent by construction), and
+//    within 1e-9 under the CSR and CLA-compressed bindings.
+//  * Contiguous-fold training (two zero-copy row windows per fold) must
+//    match training on a gathered copy of the same rows.
+//  * Per-config lr / l2 / lr-decay heterogeneity enters as column scaling
+//    and must neither leak across columns nor drift from the 1-wide path.
+//  * Steady-state rung epochs are allocation-free; scans and reductions run
+//    on the caller's pool.
+//
+// This suite is the sanitizer target for the shared-scan engine: it must
+// stay green under -DDMML_SANITIZE=thread and address,undefined, with and
+// without DMML_INTER_NODE=1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "cla/compressed_matrix.h"
+#include "data/generators.h"
+#include "la/dense_matrix.h"
+#include "la/sparse_matrix.h"
+#include "laopt/operand.h"
+#include "ml/glm.h"
+#include "ml/metrics.h"
+#include "ml/unified_trainers.h"
+#include "modelsel/model_selection.h"
+#include "modelsel/shared_scan.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace dmml::modelsel {
+namespace {
+
+using cla::CompressedMatrix;
+using la::DenseMatrix;
+using la::SparseMatrix;
+using laopt::Operand;
+using ml::GlmConfig;
+using ml::GlmFamily;
+using ml::GlmModel;
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->Value();
+}
+
+double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b) {
+  EXPECT_EQ(a.rows(), b.rows());
+  EXPECT_EQ(a.cols(), b.cols());
+  double worst = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return worst;
+}
+
+// Low-cardinality design with ~60% zeros: representable in all three
+// physical forms and worth compressing.
+DenseMatrix MixedReprDesign(size_t n, size_t d, uint64_t seed) {
+  DenseMatrix x = data::LowCardinalityMatrix(n, d, 4, /*run_sorted=*/false, seed);
+  Rng rng(seed + 99);
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (rng.Uniform(0.0, 1.0) < 0.6) x.data()[i] = 0.0;
+  }
+  return x;
+}
+
+SparseMatrix ToCsr(const DenseMatrix& x) {
+  std::vector<la::Triplet> triplets;
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t c = 0; c < x.cols(); ++c) {
+      if (x.At(r, c) != 0.0) triplets.push_back({r, c, x.At(r, c)});
+    }
+  }
+  return SparseMatrix::FromTriplets(x.rows(), x.cols(), triplets);
+}
+
+// A heterogeneous rung: every config differs in learning rate, L2 and decay.
+std::vector<GlmConfig> HeterogeneousRung(GlmFamily family, size_t epochs) {
+  const double lrs[] = {0.1, 0.05, 0.2, 0.15};
+  const double l2s[] = {0.0, 0.01, 0.1, 0.001};
+  const double decays[] = {0.0, 0.1, 0.05, 0.2};
+  std::vector<GlmConfig> configs(4);
+  for (size_t c = 0; c < 4; ++c) {
+    configs[c].family = family;
+    configs[c].learning_rate = lrs[c];
+    configs[c].l2 = l2s[c];
+    configs[c].lr_decay = decays[c];
+    configs[c].max_epochs = epochs;
+    configs[c].fit_intercept = true;
+    configs[c].tolerance = 0;
+  }
+  return configs;
+}
+
+TEST(SharedScanTest, KWideEpochBitEqualToOneWideEpochsOnDense) {
+  DenseMatrix x = data::GaussianMatrix(96, 5, 11);
+  DenseMatrix y = data::GaussianMatrix(96, 1, 12);
+  const std::vector<GlmConfig> configs = HeterogeneousRung(GlmFamily::kGaussian, 6);
+
+  auto shared = BatchedTrainGlm(x, y, configs);
+  ASSERT_TRUE(shared.ok()) << shared.status().message();
+  for (size_t c = 0; c < configs.size(); ++c) {
+    auto seq = BatchedTrainGlm(x, y, {configs[c]});
+    ASSERT_TRUE(seq.ok()) << seq.status().message();
+    const GlmModel& wide = (*shared)[c];
+    const GlmModel& narrow = (*seq)[0];
+    ASSERT_EQ(wide.weights.rows(), narrow.weights.rows());
+    for (size_t j = 0; j < wide.weights.rows(); ++j) {
+      EXPECT_EQ(wide.weights.At(j, 0), narrow.weights.At(j, 0))
+          << "config " << c << " weight " << j << " must be bit-equal";
+    }
+    EXPECT_EQ(wide.intercept, narrow.intercept) << "config " << c;
+    ASSERT_EQ(wide.loss_history.size(), narrow.loss_history.size());
+    for (size_t e = 0; e < wide.loss_history.size(); ++e) {
+      EXPECT_EQ(wide.loss_history[e], narrow.loss_history[e])
+          << "config " << c << " epoch " << e;
+    }
+  }
+}
+
+TEST(SharedScanTest, ParityAcrossSparseAndCompressedBindings) {
+  auto dense = std::make_shared<DenseMatrix>(MixedReprDesign(120, 6, 5));
+  auto sparse = std::make_shared<SparseMatrix>(ToCsr(*dense));
+  auto compressed =
+      std::make_shared<CompressedMatrix>(CompressedMatrix::Compress(*dense));
+  DenseMatrix y = data::GaussianMatrix(120, 1, 6);
+  // The low-cardinality design has larger feature magnitudes than the
+  // Gaussian designs; shrink the step sizes so every config converges (an
+  // absolute 1e-9 parity bound is only meaningful on O(1) weights).
+  std::vector<GlmConfig> configs = HeterogeneousRung(GlmFamily::kGaussian, 5);
+  for (GlmConfig& c : configs) c.learning_rate *= 0.05;
+
+  auto dense_models = BatchedTrainGlm(*dense, y, configs);
+  ASSERT_TRUE(dense_models.ok());
+  const Operand bindings[] = {Operand(sparse), Operand(compressed)};
+  for (const Operand& op : bindings) {
+    auto shared = BatchedTrainGlm(op, y, configs);
+    ASSERT_TRUE(shared.ok()) << shared.status().message();
+    for (size_t c = 0; c < configs.size(); ++c) {
+      // Shared k-wide vs sequential 1-wide under the same binding.
+      auto seq = BatchedTrainGlm(op, y, {configs[c]});
+      ASSERT_TRUE(seq.ok());
+      EXPECT_LE(MaxAbsDiff((*shared)[c].weights, (*seq)[0].weights), 1e-9);
+      EXPECT_NEAR((*shared)[c].intercept, (*seq)[0].intercept, 1e-9);
+      // Native kernels vs the dense reference.
+      EXPECT_LE(MaxAbsDiff((*shared)[c].weights, (*dense_models)[c].weights),
+                1e-9);
+      EXPECT_NEAR((*shared)[c].intercept, (*dense_models)[c].intercept, 1e-9);
+    }
+  }
+}
+
+TEST(SharedScanTest, FoldWindowsMatchGatheredCopyTraining) {
+  DenseMatrix x = data::GaussianMatrix(90, 4, 21);
+  DenseMatrix y = data::GaussianMatrix(90, 1, 22);
+  const std::vector<GlmConfig> configs = HeterogeneousRung(GlmFamily::kGaussian, 6);
+
+  auto kf = KFold::Make(x.rows(), 3, 7);
+  ASSERT_TRUE(kf.ok());
+  const ContiguousFolds cf = MakeContiguousFolds(*kf);
+  const DenseMatrix xp = GatherRows(x, cf.order);
+  const DenseMatrix yp = GatherRows(y, cf.order);
+  auto shared = SharedScanTrain(ml::BorrowOperand(xp), yp, cf.folds, configs);
+  ASSERT_TRUE(shared.ok()) << shared.status().message();
+  ASSERT_EQ(shared->folds.size(), 3u);
+
+  for (size_t f = 0; f < 3; ++f) {
+    // The reference trains on a *gathered copy* of the same training rows in
+    // the same order; the shared scan reads them through two zero-copy
+    // windows around the validation range.
+    DenseMatrix xt = GatherRows(x, kf->TrainingIndices(f));
+    DenseMatrix yt = GatherRows(y, kf->TrainingIndices(f));
+    auto gathered = BatchedTrainGlm(xt, yt, configs);
+    ASSERT_TRUE(gathered.ok());
+    for (size_t c = 0; c < configs.size(); ++c) {
+      const DenseMatrix col = shared->folds[f].weights.Column(c);
+      EXPECT_LE(MaxAbsDiff(col, (*gathered)[c].weights), 1e-9)
+          << "fold " << f << " config " << c;
+      EXPECT_NEAR(shared->folds[f].intercepts[c], (*gathered)[c].intercept,
+                  1e-9);
+    }
+  }
+}
+
+TEST(SharedScanTest, HeterogeneityStaysColumnLocal) {
+  DenseMatrix x = data::GaussianMatrix(64, 3, 31);
+  DenseMatrix y = data::GaussianMatrix(64, 1, 32);
+  GlmConfig a;
+  a.family = GlmFamily::kGaussian;
+  a.learning_rate = 0.1;
+  a.l2 = 0.01;
+  a.lr_decay = 0.05;
+  a.max_epochs = 5;
+  GlmConfig b = a;
+  b.learning_rate = 0.03;
+  b.l2 = 0.2;
+  b.lr_decay = 0.0;
+
+  // Duplicated configs must produce bit-identical columns; a different
+  // config in the middle must not perturb them.
+  auto models = BatchedTrainGlm(x, y, {a, b, a});
+  ASSERT_TRUE(models.ok());
+  EXPECT_EQ(MaxAbsDiff((*models)[0].weights, (*models)[2].weights), 0.0);
+  EXPECT_EQ((*models)[0].intercept, (*models)[2].intercept);
+  EXPECT_GT(MaxAbsDiff((*models)[0].weights, (*models)[1].weights), 0.0);
+}
+
+TEST(SharedScanTest, ScoreWindowMatchesPerModelScoring) {
+  data::ClassificationDataset ds = data::MakeClassification(100, 4, 0.1, 41);
+  const std::vector<GlmConfig> configs = HeterogeneousRung(GlmFamily::kBinomial, 6);
+  auto models = BatchedTrainGlm(ds.x, ds.y, configs);
+  ASSERT_TRUE(models.ok());
+
+  DenseMatrix weights(ds.x.cols(), configs.size());
+  std::vector<double> intercepts(configs.size());
+  for (size_t c = 0; c < configs.size(); ++c) {
+    for (size_t j = 0; j < ds.x.cols(); ++j) {
+      weights.At(j, c) = (*models)[c].weights.At(j, 0);
+    }
+    intercepts[c] = (*models)[c].intercept;
+  }
+
+  const size_t vb = 10, ve = 40;
+  std::vector<size_t> val_rows;
+  for (size_t i = vb; i < ve; ++i) val_rows.push_back(i);
+  DenseMatrix xv = GatherRows(ds.x, val_rows);
+  DenseMatrix yv = GatherRows(ds.y, val_rows);
+
+  const Operand op = ml::BorrowOperand(ds.x);
+  auto acc = ScoreConfigsOnWindow(op, ds.y, vb, ve, weights, intercepts,
+                                  GlmFamily::kBinomial, FoldMetric::kAccuracy);
+  auto nll = ScoreConfigsOnWindow(op, ds.y, vb, ve, weights, intercepts,
+                                  GlmFamily::kBinomial, FoldMetric::kNegLogLoss);
+  ASSERT_TRUE(acc.ok());
+  ASSERT_TRUE(nll.ok());
+  for (size_t c = 0; c < configs.size(); ++c) {
+    auto labels = (*models)[c].PredictLabels(xv);
+    ASSERT_TRUE(labels.ok());
+    auto ref_acc = ml::Accuracy(yv, *labels);
+    ASSERT_TRUE(ref_acc.ok());
+    EXPECT_NEAR((*acc)[c], *ref_acc, 1e-12) << "config " << c;
+
+    auto probs = (*models)[c].Predict(xv);
+    ASSERT_TRUE(probs.ok());
+    auto ref_loss = ml::LogLoss(yv, *probs);
+    ASSERT_TRUE(ref_loss.ok());
+    EXPECT_NEAR((*nll)[c], -*ref_loss, 1e-9) << "config " << c;
+  }
+}
+
+TEST(SharedScanTest, RungCountersAndWidthHistogram) {
+  DenseMatrix x = data::GaussianMatrix(60, 3, 51);
+  DenseMatrix y = data::GaussianMatrix(60, 1, 52);
+  const std::vector<GlmConfig> configs = HeterogeneousRung(GlmFamily::kGaussian, 3);
+  const std::vector<FoldRange> folds = {{0, 20}, {20, 40}};
+
+  const uint64_t rungs = CounterValue("modelsel.shared.rungs");
+  const uint64_t per_scan = CounterValue("modelsel.shared.configs_per_scan");
+  const uint64_t saved = CounterValue("modelsel.shared.epochs_saved");
+  obs::Histogram* width = obs::MetricsRegistry::Global().GetHistogram(
+      "modelsel.rung_width", obs::ExponentialBuckets(1, 2, 9));
+  const uint64_t width_count = width->TotalCount();
+
+  auto trained = SharedScanTrain(ml::BorrowOperand(x), y, folds, configs);
+  ASSERT_TRUE(trained.ok());
+  EXPECT_EQ(trained->epochs_run, 3u);
+
+  EXPECT_EQ(CounterValue("modelsel.shared.rungs"), rungs + 1);
+  EXPECT_EQ(CounterValue("modelsel.shared.configs_per_scan"), per_scan + 4);
+  // A sequential explorer would spend k*epochs*folds training passes; the
+  // shared rung spends epochs*folds. The counter records the difference.
+  EXPECT_EQ(CounterValue("modelsel.shared.epochs_saved"),
+            saved + (4 - 1) * 3 * 2);
+  EXPECT_EQ(width->TotalCount(), width_count + 1);
+}
+
+TEST(SharedScanTest, ScansRunOnCallerPool) {
+  // Large enough that the ranged Xᵀ·R reduction crosses the parallel-chunk
+  // threshold on a multi-worker pool.
+  DenseMatrix x = data::GaussianMatrix(4096, 16, 61);
+  DenseMatrix y = data::GaussianMatrix(4096, 1, 62);
+  const std::vector<GlmConfig> configs = HeterogeneousRung(GlmFamily::kGaussian, 2);
+
+  ThreadPool pool(4);
+  const uint64_t before = CounterValue("la.parallel.reductions");
+  auto models = BatchedTrainGlm(x, y, configs, &pool);
+  ASSERT_TRUE(models.ok());
+  EXPECT_GT(CounterValue("la.parallel.reductions"), before)
+      << "shared-scan epochs must run their reductions on the caller's pool";
+}
+
+TEST(SharedScanTest, SteadyStateEpochsAreAllocationFree) {
+  DenseMatrix x = data::GaussianMatrix(512, 8, 71);
+  DenseMatrix y = data::GaussianMatrix(512, 1, 72);
+  const std::vector<FoldRange> folds = {{0, 128}, {128, 256}};
+
+  auto allocs_for = [&](size_t epochs) {
+    std::vector<GlmConfig> configs = HeterogeneousRung(GlmFamily::kGaussian, epochs);
+    const uint64_t before = CounterValue("la.inplace.allocs");
+    auto trained = SharedScanTrain(ml::BorrowOperand(x), y, folds, configs);
+    EXPECT_TRUE(trained.ok());
+    return CounterValue("la.inplace.allocs") - before;
+  };
+  auto reuses_for = [&](size_t epochs) {
+    std::vector<GlmConfig> configs = HeterogeneousRung(GlmFamily::kGaussian, epochs);
+    const uint64_t before = CounterValue("la.inplace.reuses");
+    auto trained = SharedScanTrain(ml::BorrowOperand(x), y, folds, configs);
+    EXPECT_TRUE(trained.ok());
+    return CounterValue("la.inplace.reuses") - before;
+  };
+
+  // Buffers are set up during the first epoch; extra epochs must add zero
+  // allocations (they only re-fill executor slots, which counts as reuses).
+  EXPECT_EQ(allocs_for(3), allocs_for(10));
+  EXPECT_GT(reuses_for(10), reuses_for(3));
+}
+
+}  // namespace
+}  // namespace dmml::modelsel
