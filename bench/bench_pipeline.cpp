@@ -1,0 +1,190 @@
+// Experiment E9 — declarative pipeline route choice (the Orion/Morpheus
+// result through the front-end).
+//
+// One pipeline program — orders |><| products -> GLM — timed under both
+// forced physical routes across a sweep of tuple ratios (fact rows per
+// dimension row). The factorized route should win when the join is
+// redundancy-heavy (tall fact table, wide dimension features) and lose when
+// the dimension table dominates; the kAuto chooser should flip accordingly.
+// Arms are interleaved per round and each cell is the per-arm minimum over
+// the rounds, following the host protocol of EXPERIMENTS.md.
+//
+// `--smoke` shrinks the sweep for CI and turns on the gates: on the skewed
+// workload kAuto must pick the factorized route AND factorized wall-clock
+// must beat materialization; on the inverted workload kAuto must pick
+// materialization; both routes must produce the same model.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/generators.h"
+#include "pipeline/pipeline.h"
+#include "storage/catalog.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace dmml;  // NOLINT
+using bench::Fmt;
+using bench::TablePrinter;
+
+struct Workload {
+  size_t ns;  ///< fact (orders) rows
+  size_t nr;  ///< dimension (products) rows
+  size_t ds;  ///< fact-side features
+  size_t dr;  ///< dimension-side features
+};
+
+storage::Catalog MakeCatalog(const Workload& w, uint64_t seed) {
+  data::StarSchemaOptions options;
+  options.ns = w.ns;
+  options.nr = w.nr;
+  options.ds = w.ds;
+  options.dr = w.dr;
+  options.noise_sigma = 0.1;
+  auto ds = data::MakeStarSchema(options, seed);
+  storage::Catalog catalog;
+  catalog.PutTable("orders", std::move(ds.s));
+  catalog.PutTable("products", std::move(ds.r));
+  return catalog;
+}
+
+std::vector<std::string> StarFeatures(size_t ds, size_t dr) {
+  std::vector<std::string> f;
+  for (size_t j = 0; j < ds; ++j) f.push_back("xs" + std::to_string(j));
+  for (size_t j = 0; j < dr; ++j) f.push_back("xr" + std::to_string(j));
+  return f;
+}
+
+Result<pipeline::GlmFit> RunRoute(storage::Catalog* catalog, const Workload& w,
+                                  pipeline::Route route, size_t epochs) {
+  ml::GlmConfig config;
+  config.family = ml::GlmFamily::kGaussian;
+  config.learning_rate = 0.01;
+  config.max_epochs = epochs;
+  pipeline::PipelineOptions popts;
+  popts.route = route;
+  return pipeline::Pipeline::From(catalog, "orders")
+      .Join("products", "fk", "rid")
+      .Features(StarFeatures(w.ds, w.dr))
+      .Label("y")
+      .WithOptions(popts)
+      .TrainGlm(config);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const size_t epochs = smoke ? 8 : 30;
+  const size_t rounds = smoke ? 2 : 3;
+
+  std::printf("== E9: pipeline route choice, factorized vs materialized%s ==\n",
+              smoke ? " (smoke)" : "");
+  std::printf("GLM over orders |><| products, %zu epochs; times are per-arm "
+              "minima over %zu interleaved rounds\n\n",
+              epochs, rounds);
+
+  // Sweep the tuple ratio ns/nr at fixed feature split. The last row inverts
+  // the workload (dimension table taller than the fact table) so the
+  // crossover is visible inside one table.
+  std::vector<Workload> sweep;
+  if (smoke) {
+    sweep = {{6000, 50, 2, 30}, {2000, 100, 2, 20}, {100, 400, 2, 3}};
+  } else {
+    sweep = {{50000, 100, 2, 40},
+             {20000, 200, 2, 40},
+             {8000, 400, 2, 40},
+             {2000, 1000, 2, 40},
+             {100, 400, 2, 3}};
+  }
+
+  TablePrinter table({"ns", "nr", "dr", "ratio", "mat_ms", "fact_ms",
+                      "speedup", "auto_route"});
+  bench::BenchJsonEmitter json;
+  bool gates_ok = true;
+
+  for (size_t wi = 0; wi < sweep.size(); ++wi) {
+    const Workload& w = sweep[wi];
+    auto catalog = MakeCatalog(w, /*seed=*/7 + wi);
+
+    double mat_ms = 1e300, fact_ms = 1e300;
+    Result<pipeline::GlmFit> mat =
+        Status::Internal("not run");  // filled below
+    Result<pipeline::GlmFit> fact = Status::Internal("not run");
+    for (size_t round = 0; round < rounds; ++round) {
+      Stopwatch wm;
+      mat = RunRoute(&catalog, w, pipeline::Route::kMaterialize, epochs);
+      mat_ms = std::min(mat_ms, wm.ElapsedMillis());
+      Stopwatch wf;
+      fact = RunRoute(&catalog, w, pipeline::Route::kFactorized, epochs);
+      fact_ms = std::min(fact_ms, wf.ElapsedMillis());
+    }
+    auto chosen = RunRoute(&catalog, w, pipeline::Route::kAuto, epochs);
+    if (!mat.ok() || !fact.ok() || !chosen.ok()) {
+      std::printf("pipeline failed: %s\n",
+                  (!mat.ok() ? mat.status()
+                             : !fact.ok() ? fact.status() : chosen.status())
+                      .ToString()
+                      .c_str());
+      return 1;
+    }
+
+    const std::string route_name =
+        pipeline::RouteName(chosen->report.chosen_route);
+    const double ratio = static_cast<double>(w.ns) / static_cast<double>(w.nr);
+    table.Row({std::to_string(w.ns), std::to_string(w.nr),
+               std::to_string(w.dr), Fmt(ratio, 1), Fmt(mat_ms, 1),
+               Fmt(fact_ms, 1), Fmt(mat_ms / fact_ms, 2), route_name});
+
+    const std::string size = "ns=" + std::to_string(w.ns) +
+                             ",nr=" + std::to_string(w.nr) +
+                             ",dr=" + std::to_string(w.dr);
+    json.Record("pipeline_glm_materialized", size, 1,
+                mat_ms * 1e6 / static_cast<double>(epochs), 0.0);
+    json.Record("pipeline_glm_factorized", size, 1,
+                fact_ms * 1e6 / static_cast<double>(epochs), 0.0);
+
+    // Gates (always checked; fatal only under --smoke so full runs on busy
+    // machines still produce a table).
+    if (!mat->model.weights.ApproxEquals(fact->model.weights, 1e-7)) {
+      std::printf("GATE FAIL: routes disagree on weights at %s\n",
+                  size.c_str());
+      gates_ok = false;
+    }
+    const bool skewed = wi == 0;            // tallest tuple ratio in sweep
+    const bool inverted = wi + 1 == sweep.size();  // dim taller than fact
+    if (skewed) {
+      if (chosen->report.chosen_route != pipeline::Route::kFactorized) {
+        std::printf("GATE FAIL: chooser picked %s on the skewed workload\n",
+                    route_name.c_str());
+        gates_ok = false;
+      }
+      if (fact_ms >= mat_ms) {
+        std::printf("GATE FAIL: factorized (%.1f ms) did not beat "
+                    "materialized (%.1f ms) on the skewed workload\n",
+                    fact_ms, mat_ms);
+        gates_ok = false;
+      }
+    }
+    if (inverted &&
+        chosen->report.chosen_route != pipeline::Route::kMaterialize) {
+      std::printf("GATE FAIL: chooser picked %s on the inverted workload\n",
+                  route_name.c_str());
+      gates_ok = false;
+    }
+  }
+
+  table.EmitCsv("pipeline_route");
+  json.Emit("pipeline");
+  bench::EmitMetrics("pipeline");
+  if (smoke && !gates_ok) return 1;
+  std::printf("\nroute gates: %s\n", gates_ok ? "ok" : "FAILED (non-fatal outside --smoke)");
+  return 0;
+}

@@ -1,15 +1,14 @@
-// A full in-engine pipeline: catalog -> filter -> join -> aggregate ->
-// feature matrix -> two classifiers (decision tree and naive Bayes).
-//
-// Everything happens inside the dmml relational substrate, the MADlib-style
-// usage the target tutorial surveys: the analyst never leaves the engine.
+// A full in-engine pipeline: catalog -> filter -> join -> feature matrix ->
+// trained model, written as ONE declarative program. The pipeline front-end
+// replaces the hand-wired Filter/HashJoin/ToMatrix glue this example used to
+// carry: the optimizer validates the plan, estimates cardinalities, picks the
+// physical route, and trains — the analyst never leaves the engine.
 #include <cstdio>
+#include <cstdlib>
 
 #include "data/generators.h"
-#include "ml/decision_tree.h"
-#include "ml/metrics.h"
-#include "ml/naive_bayes.h"
-#include "relational/operators.h"
+#include "pipeline/pipeline.h"
+#include "relational/predicate.h"
 #include "storage/catalog.h"
 
 using namespace dmml;  // NOLINT
@@ -31,65 +30,41 @@ int main() {
   catalog.PutTable("devices", std::move(ds.r));
   std::printf("catalog tables:");
   for (const auto& name : catalog.TableNames()) std::printf(" %s", name.c_str());
-  std::printf("\n");
+  std::printf("\n\n");
 
-  auto events = *catalog.GetTable("events");
-  auto devices = *catalog.GetTable("devices");
+  // SQL-ish: SELECT ... FROM events JOIN devices ON fk = rid WHERE xs0 > -2,
+  // feeding logistic regression — stated once, as a single program.
+  ml::GlmConfig config;
+  config.family = ml::GlmFamily::kBinomial;
+  config.learning_rate = 0.05;
+  config.max_epochs = 40;
 
-  // SQL-ish: SELECT ... FROM events JOIN devices ON fk = rid WHERE xs0 > -2.
-  auto filtered = relational::Filter(
-      *events, relational::Compare("xs0", relational::CompareOp::kGt, -2.0));
-  if (!filtered.ok()) return 1;
-  std::printf("filter kept %zu / %zu events\n", filtered->num_rows(),
-              events->num_rows());
-
-  auto joined = relational::HashJoin(*filtered, *devices, "fk", "rid");
-  if (!joined.ok()) return 1;
-  std::printf("join produced %zu rows x %zu columns\n", joined->num_rows(),
-              joined->schema().num_fields());
-
-  // A quick aggregate for sanity: label rate per device decile.
-  auto by_device = relational::GroupBy(
-      *joined, {"fk"},
-      {{relational::AggFunc::kCount, "", "n"},
-       {relational::AggFunc::kAvg, "y", "label_rate"}});
-  if (!by_device.ok()) return 1;
-  std::printf("per-device label rates computed for %zu devices\n\n",
-              by_device->num_rows());
-
-  // Feature matrix straight out of the join output.
-  std::vector<std::string> features = {"xs0", "xs1", "xs2",
-                                       "xr0", "xr1", "xr2", "xr3", "xr4"};
-  auto x = *joined->ToMatrix(features);
-  auto y = *joined->ToMatrix({"y"});
-  size_t split = x.rows() * 8 / 10;
-  auto x_train = x.SliceRows(0, split);
-  auto y_train = y.SliceRows(0, split);
-  auto x_test = x.SliceRows(split, x.rows());
-  auto y_test = y.SliceRows(split, x.rows());
-
-  // Classifier 1: CART decision tree.
-  ml::TreeConfig tree_config;
-  tree_config.max_depth = 6;
-  auto tree = ml::TrainTreeClassifier(x_train, y_train, tree_config);
-  if (!tree.ok()) return 1;
-  auto tree_pred = *tree->Predict(x_test);
-  std::printf("decision tree: depth %zu, %zu leaves, test accuracy %.3f\n",
-              tree->Depth(), tree->NumLeaves(),
-              *ml::Accuracy(y_test, tree_pred));
-
-  // Classifier 2: Gaussian naive Bayes.
-  std::vector<int> labels_int(x_train.rows());
-  for (size_t i = 0; i < x_train.rows(); ++i) {
-    labels_int[i] = static_cast<int>(y_train.At(i, 0));
+  auto fit = pipeline::Pipeline::From(&catalog, "events")
+                 .Filter(relational::Compare("xs0", relational::CompareOp::kGt,
+                                             -2.0))
+                 .Join("devices", "fk", "rid")
+                 .Features({"xs0", "xs1", "xs2", "xr0", "xr1", "xr2", "xr3",
+                            "xr4"})
+                 .Label("y")
+                 .TrainGlm(config);
+  if (!fit.ok()) {
+    std::printf("pipeline failed: %s\n", fit.status().ToString().c_str());
+    return 1;
   }
-  auto nb = ml::TrainNaiveBayes(x_train, labels_int);
-  if (!nb.ok()) return 1;
-  auto nb_pred_int = *nb->Predict(x_test);
-  la::DenseMatrix nb_pred(x_test.rows(), 1);
-  for (size_t i = 0; i < x_test.rows(); ++i) {
-    nb_pred.At(i, 0) = static_cast<double>(nb_pred_int[i]);
-  }
-  std::printf("naive Bayes:   test accuracy %.3f\n", *ml::Accuracy(y_test, nb_pred));
+
+  // The optimizer's report: relational prefix with est-vs-actual
+  // cardinalities, the chosen physical route, and the laopt epoch program.
+  std::printf("%s\n", fit->report.ExplainText().c_str());
+  std::printf("logistic regression: %zu epochs, final loss %.5f\n",
+              fit->model.epochs_run, fit->model.loss_history.back());
+
+  // The same front-end rejects malformed programs with the offending stage.
+  auto bad = pipeline::Pipeline::From(&catalog, "events")
+                 .Join("devices", "fk", "rid")
+                 .Features({"xs0", "no_such_column"})
+                 .Label("y")
+                 .TrainGlm(config);
+  std::printf("\nmalformed plan rejected as expected:\n  %s\n",
+              bad.status().ToString().c_str());
   return 0;
 }

@@ -1,19 +1,26 @@
-// Learning over normalized data without materializing the join.
-//
-// Models a retail scenario: an orders (fact) table holding a few
-// order-level features and a foreign key into a products (dimension) table
-// holding many product-level features. Trains the same regression both ways
-// and shows the factorized path is equivalent but avoids the join blow-up.
+// Learning over normalized data without materializing the join — now
+// through the declarative pipeline front-end: the analyst states the
+// feature query (orders |><| products) and the trainer once; the chooser
+// decides whether the join is ever materialized.
 #include <cstdio>
 
 #include "data/generators.h"
-#include "factorized/factorized_glm.h"
-#include "factorized/factorized_kmeans.h"
-#include "factorized/normalized_matrix.h"
-#include "ml/metrics.h"
+#include "pipeline/pipeline.h"
+#include "storage/catalog.h"
 #include "util/stopwatch.h"
 
 using namespace dmml;  // NOLINT
+
+namespace {
+
+std::vector<std::string> StarFeatures(size_t ds, size_t dr) {
+  std::vector<std::string> f;
+  for (size_t j = 0; j < ds; ++j) f.push_back("xs" + std::to_string(j));
+  for (size_t j = 0; j < dr; ++j) f.push_back("xr" + std::to_string(j));
+  return f;
+}
+
+}  // namespace
 
 int main() {
   std::printf("== learning over normalized data (orders |><| products) ==\n\n");
@@ -27,48 +34,72 @@ int main() {
   options.noise_sigma = 0.1;
   auto ds = data::MakeStarSchema(options, 42);
 
-  auto nm = *factorized::NormalizedMatrix::Make(ds.xs, {{ds.xr, ds.fk}});
-  std::printf("orders: %zu rows x %zu features\n", ds.ns, ds.ds);
-  std::printf("products: %zu rows x %zu features\n", ds.nr, ds.dr);
-  std::printf("logical join output: %zu x %zu (%.1f MB dense)\n", nm.rows(),
-              nm.cols(),
-              static_cast<double>(nm.rows() * nm.cols() * 8) / (1024.0 * 1024.0));
-  std::printf("redundancy avoided by staying normalized: %.1fx\n\n",
-              nm.RedundancyRatio());
+  storage::Catalog catalog;
+  catalog.PutTable("orders", std::move(ds.s));
+  catalog.PutTable("products", std::move(ds.r));
 
   ml::GlmConfig config;
   config.family = ml::GlmFamily::kGaussian;
   config.learning_rate = 0.01;
   config.max_epochs = 50;
+  const auto features = StarFeatures(options.ds, options.dr);
 
+  auto run = [&](pipeline::Route route) {
+    pipeline::PipelineOptions popts;
+    popts.route = route;
+    return pipeline::Pipeline::From(&catalog, "orders")
+        .Join("products", "fk", "rid")
+        .Features(features)
+        .Label("y")
+        .WithOptions(popts)
+        .TrainGlm(config);
+  };
+
+  // One pipeline program, trained through both physical routes.
   Stopwatch w1;
-  auto factorized_model = factorized::TrainFactorizedGlm(nm, ds.y, config);
+  auto fact = run(pipeline::Route::kFactorized);
   double fact_ms = w1.ElapsedMillis();
   Stopwatch w2;
-  auto materialized_model = factorized::TrainMaterializedGlm(nm, ds.y, config);
+  auto mat = run(pipeline::Route::kMaterialize);
   double mat_ms = w2.ElapsedMillis();
-  if (!factorized_model.ok() || !materialized_model.ok()) return 1;
+  if (!fact.ok() || !mat.ok()) {
+    std::printf("pipeline failed: %s\n",
+                (!fact.ok() ? fact.status() : mat.status()).ToString().c_str());
+    return 1;
+  }
 
   std::printf("factorized training:   %7.1f ms (loss %.5f)\n", fact_ms,
-              factorized_model->loss_history.back());
+              fact->model.loss_history.back());
   std::printf("materialized training: %7.1f ms (loss %.5f)\n", mat_ms,
-              materialized_model->loss_history.back());
+              mat->model.loss_history.back());
   std::printf("speedup: %.2fx\n", mat_ms / fact_ms);
-  bool same = factorized_model->weights.ApproxEquals(materialized_model->weights,
-                                                     1e-7);
+  bool same =
+      fact->model.weights.ApproxEquals(mat->model.weights, 1e-7);
   std::printf("identical weights: %s\n\n", same ? "yes" : "NO (bug!)");
 
-  // Segment orders with k-means, also without materializing the join.
+  // What would the optimizer have picked on its own? Ask it.
+  auto chosen = run(pipeline::Route::kAuto);
+  if (!chosen.ok()) return 1;
+  std::printf("%s\n", chosen->report.ExplainText().c_str());
+
+  // Segment orders with k-means through the same front-end — still no join.
   ml::KMeansConfig kmeans_config;
   kmeans_config.k = 5;
   kmeans_config.max_iters = 25;
+  pipeline::PipelineOptions popts;
+  popts.route = pipeline::Route::kFactorized;
   Stopwatch w3;
-  auto clusters = factorized::TrainFactorizedKMeans(nm, kmeans_config);
+  auto clusters = pipeline::Pipeline::From(&catalog, "orders")
+                      .Join("products", "fk", "rid")
+                      .Features(features)
+                      .WithOptions(popts)
+                      .TrainKMeans(kmeans_config);
   if (!clusters.ok()) return 1;
   std::printf("factorized k-means: k=5 in %zu iterations, %.1f ms, inertia %.1f\n",
-              clusters->iters_run, w3.ElapsedMillis(), clusters->inertia);
+              clusters->model.iters_run, w3.ElapsedMillis(),
+              clusters->model.inertia);
   std::vector<size_t> sizes(5, 0);
-  for (int label : clusters->labels) sizes[static_cast<size_t>(label)]++;
+  for (int label : clusters->model.labels) sizes[static_cast<size_t>(label)]++;
   std::printf("cluster sizes:");
   for (size_t s : sizes) std::printf(" %zu", s);
   std::printf("\n");

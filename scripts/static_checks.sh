@@ -9,7 +9,10 @@
 #     bench/bench_cla --smoke checks compressed-vs-dense and pooled-vs-serial
 #     parity; both exit nonzero on any NaN or parity mismatch — catching
 #     miscompiled or numerically broken kernels that an -O0 test run would
-#     miss.
+#     miss. bench/bench_pipeline --smoke gates the declarative pipeline
+#     chooser: factorized picked (and faster) on the skewed star join,
+#     materialization picked on the inverted workload, identical models
+#     from both routes.
 #  3. A mixed-representation parity gate: tests/laopt_repr_test (one laopt
 #     plan executed under dense, sparse and compressed leaf bindings, plus
 #     the unified GLM/k-means trainers) built and run under TSan and under
@@ -22,6 +25,9 @@
 #     liveness-driven buffer sharing are exercised under TSan and ASan+UBSan,
 #     and modelsel_shared_test (the shared-scan rung engine's wide multi-root
 #     plans), each twice: default scheduling and DMML_INTER_NODE=1.
+#     pipeline_frontend_test (table -> join -> train through both physical
+#     routes) also runs under both sanitizers, plain and with
+#     DMML_VERIFY=1 DMML_INTER_NODE=1.
 #  4. A plan-verifier gate: every laopt test binary plus the laopt benches
 #     re-run in the Release build with DMML_VERIFY=1 DMML_LINT=1, so the
 #     structural verifier checks every optimizer pass output at -O2 (Release
@@ -90,7 +96,7 @@ echo "static_checks: building smoke benches (Release) in $smoke_dir..."
 if cmake -B "$smoke_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null \
     && cmake --build "$smoke_dir" --target bench_kernels --target bench_cla \
          --target bench_laopt --target bench_ablations --target bench_modelsel \
-         -j >/dev/null; then
+         --target bench_pipeline -j >/dev/null; then
   if "$smoke_dir/bench/bench_kernels" --smoke; then
     echo "static_checks: kernel smoke clean"
   else
@@ -112,9 +118,9 @@ if cmake -B "$smoke_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null \
     echo "static_checks: FAILED — bench_laopt smoke (profiler overhead bound)" >&2
     status=1
   fi
-  # The ablation and model-selection benches exit nonzero on any parity or
-  # training failure; --smoke keeps each section to seconds.
-  for b in bench_ablations bench_modelsel; do
+  # The ablation, model-selection and pipeline benches exit nonzero on any
+  # parity, training or route-choice failure; --smoke keeps each to seconds.
+  for b in bench_ablations bench_modelsel bench_pipeline; do
     if "$smoke_dir/bench/$b" --smoke >/dev/null; then
       echo "static_checks: $b smoke clean"
     else
@@ -237,10 +243,11 @@ fi
 # ---------------------------------------------------------------------------
 run_sanitized_repr_gate() {
   local san="$1" dir="$2"
-  echo "static_checks: building laopt_repr_test + laopt_verify_test + laopt_sched_test + modelsel_shared_test (DMML_SANITIZE=$san) in $dir..."
+  echo "static_checks: building laopt_repr_test + laopt_verify_test + laopt_sched_test + modelsel_shared_test + pipeline_frontend_test (DMML_SANITIZE=$san) in $dir..."
   if cmake -B "$dir" -S "$repo_root" -DDMML_SANITIZE="$san" >/dev/null \
       && cmake --build "$dir" --target laopt_repr_test --target laopt_verify_test \
-           --target laopt_sched_test --target modelsel_shared_test -j >/dev/null; then
+           --target laopt_sched_test --target modelsel_shared_test \
+           --target pipeline_frontend_test -j >/dev/null; then
     if "$dir/tests/laopt_repr_test" >/dev/null; then
       echo "static_checks: repr parity clean under $san"
     else
@@ -271,6 +278,17 @@ run_sanitized_repr_gate() {
       echo "static_checks: shared-scan rung engine clean under $san"
     else
       echo "static_checks: FAILED — modelsel_shared_test under $san" >&2
+      status=1
+    fi
+    # The pipeline front-end drives relational execution, both physical
+    # routes (materialized bindings and the factorized operand) and the
+    # trainers end to end; run plain and with the verifier plus inter-node
+    # scheduling forced on.
+    if "$dir/tests/pipeline_frontend_test" >/dev/null \
+        && DMML_VERIFY=1 DMML_INTER_NODE=1 "$dir/tests/pipeline_frontend_test" >/dev/null; then
+      echo "static_checks: pipeline front-end clean under $san"
+    else
+      echo "static_checks: FAILED — pipeline_frontend_test under $san" >&2
       status=1
     fi
   else

@@ -181,6 +181,12 @@ Result<NodeAnalysis> DagAnalysis::Ensure(const ExprPtr& node) {
             // cells but with its actual (compressed) footprint below.
             info.sparsity = 1.0;
             break;
+          case Repr::kFactorized:
+            // Matrix-free operators are costed as dense cells but with
+            // their own (normalized) footprint below — the gap is the
+            // redundancy the factorized route avoids.
+            info.sparsity = 1.0;
+            break;
         }
       } else {
         info.sparsity = ClampSparsity(options_.default_placeholder_sparsity);
@@ -263,9 +269,11 @@ Result<NodeAnalysis> DagAnalysis::Ensure(const ExprPtr& node) {
   // CSR exactly when the estimated CSR footprint beats dense.
   if (node->kind() == OpKind::kInput && node->operand().bound()) {
     info.chosen_repr = node->operand().repr();
-    if (info.chosen_repr == Repr::kCompressed && info.bytes_known) {
-      // The actual compressed size is known — report it instead of the
-      // dense/CSR estimate.
+    if ((info.chosen_repr == Repr::kCompressed ||
+         info.chosen_repr == Repr::kFactorized) &&
+        info.bytes_known) {
+      // The actual compressed/normalized size is known — report it instead
+      // of the dense/CSR estimate.
       info.est_bytes = std::min<uint64_t>(node->operand().SizeInBytes(),
                                           info.dense_bytes);
     }
@@ -279,6 +287,9 @@ Result<NodeAnalysis> DagAnalysis::Ensure(const ExprPtr& node) {
     case Repr::kSparse: DMML_COUNTER_INC("laopt.repr.chosen_sparse"); break;
     case Repr::kCompressed:
       DMML_COUNTER_INC("laopt.repr.chosen_compressed");
+      break;
+    case Repr::kFactorized:
+      DMML_COUNTER_INC("laopt.repr.chosen_factorized");
       break;
   }
 

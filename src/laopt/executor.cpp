@@ -144,6 +144,9 @@ void BufferedExecutor::CountDispatch(Slot& slot, Repr repr) {
     case Repr::kCompressed:
       DMML_COUNTER_INC("laopt.repr.compressed_ops");
       break;
+    case Repr::kFactorized:
+      DMML_COUNTER_INC("laopt.repr.factorized_ops");
+      break;
   }
 }
 
@@ -169,6 +172,12 @@ void BufferedExecutor::RecordNodeProfile(const ExprPtr& node, const Slot& slot,
       // report dense (the conservative assumption, matching the analyzer).
       rows = v.c->rows();
       cols = v.c->cols();
+      nnz = static_cast<uint64_t>(rows) * cols;
+      break;
+    case Repr::kFactorized:
+      // Matrix-free operators expose only their logical shape.
+      rows = v.lo->rows();
+      cols = v.lo->cols();
       nnz = static_cast<uint64_t>(rows) * cols;
       break;
   }
@@ -610,6 +619,10 @@ Status BufferedExecutor::DriveInterNode(ParallelPlan& par) {
       case Repr::kCompressed:
         slot->out = {Repr::kCompressed, nullptr, nullptr, operand.compressed()};
         break;
+      case Repr::kFactorized:
+        slot->out = {Repr::kFactorized, nullptr, nullptr, nullptr,
+                     operand.linear()};
+        break;
     }
     slot->out.windowed = operand.windowed();
     slot->out.win_begin = operand.window_begin();
@@ -733,9 +746,10 @@ Result<const DenseMatrix*> BufferedExecutor::Densify(const ExprPtr& owner,
                                                      const Value& v) {
   if (v.repr == Repr::kDense && !v.windowed) return v.d;
   Slot& slot = slots_[owner.get()];
-  const void* src = v.repr == Repr::kDense    ? static_cast<const void*>(v.d)
-                    : v.repr == Repr::kSparse ? static_cast<const void*>(v.s)
-                                              : static_cast<const void*>(v.c);
+  const void* src = v.repr == Repr::kDense        ? static_cast<const void*>(v.d)
+                    : v.repr == Repr::kSparse     ? static_cast<const void*>(v.s)
+                    : v.repr == Repr::kFactorized ? static_cast<const void*>(v.lo)
+                                                  : static_cast<const void*>(v.c);
   PoolClaimScope steal_guard;
   if (par_run_) {
     // Claim the fill so concurrent consumers get one fully-published copy
@@ -802,6 +816,9 @@ Result<const DenseMatrix*> BufferedExecutor::Densify(const ExprPtr& owner,
           DMML_RETURN_IF_ERROR(
               v.c->DecompressRangeInto(v.win_begin, v.win_end, &slot.aux, pool_));
           break;
+        case Repr::kFactorized:
+          slot.aux = v.lo->Materialize(pool_).SliceRows(v.win_begin, v.win_end);
+          break;
       }
     } else if (v.repr == Repr::kSparse) {
       slot.aux.Reshape(v.s->rows(), v.s->cols());
@@ -811,6 +828,8 @@ Result<const DenseMatrix*> BufferedExecutor::Densify(const ExprPtr& owner,
           slot.aux.At(r, v.s->col_idx()[k]) = v.s->values()[k];
         }
       }
+    } else if (v.repr == Repr::kFactorized) {
+      slot.aux = v.lo->Materialize(pool_);
     } else {
       slot.aux = v.c->Decompress(pool_);
     }
@@ -878,6 +897,25 @@ Result<BufferedExecutor::Value> BufferedExecutor::EvalMatMul(
       CountDispatch(slot, Repr::kCompressed);
       return Value{Repr::kDense, slot.buf, nullptr, nullptr};
     }
+    if (uv.repr == Repr::kFactorized && !uv.windowed) {
+      if (rc.get() == u.get()) {
+        // t(T) %*% T — the factorized Gramian (Orion's cofactor
+        // computation): block decomposition over the normalized tables, no
+        // materialized join.
+        if (profile_ != nullptr) profile_->AddFusedUse(lc.get());
+        DMML_ASSIGN_OR_RETURN(*slot.buf, uv.lo->Gram(pool_));
+        CountDispatch(slot, Repr::kFactorized);
+        return Value{Repr::kDense, slot.buf, nullptr, nullptr};
+      }
+      // t(T) %*% M: factorized RMM — rows of M group-accumulate through the
+      // join keys before touching the attribute tables.
+      DMML_ASSIGN_OR_RETURN(Value vv, Eval(rc));
+      DMML_ASSIGN_OR_RETURN(const DenseMatrix* vd, Densify(rc, vv));
+      if (profile_ != nullptr) profile_->AddFusedUse(lc.get());
+      DMML_ASSIGN_OR_RETURN(*slot.buf, uv.lo->TransposeMultiply(*vd, pool_));
+      CountDispatch(slot, Repr::kFactorized);
+      return Value{Repr::kDense, slot.buf, nullptr, nullptr};
+    }
     if (uv.repr == Repr::kSparse) {
       DMML_ASSIGN_OR_RETURN(Value vv, Eval(rc));
       if (uv.windowed) {
@@ -936,6 +974,13 @@ Result<BufferedExecutor::Value> BufferedExecutor::EvalMatMul(
             *bd, a.win_begin, a.win_end, slot.buf, pool_));
         CountDispatch(slot, Repr::kCompressed);
         break;
+      case Repr::kFactorized: {
+        // No ranged factorized kernels — densify the window and run dense.
+        DMML_ASSIGN_OR_RETURN(const DenseMatrix* ad, Densify(lc, a));
+        la::MultiplyInto(*ad, *bd, slot.buf, pool_);
+        CountDispatch(slot, Repr::kDense);
+        break;
+      }
     }
     return Value{Repr::kDense, slot.buf, nullptr, nullptr};
   }
@@ -958,6 +1003,14 @@ Result<BufferedExecutor::Value> BufferedExecutor::EvalMatMul(
         DMML_RETURN_IF_ERROR(a.c->MultiplyMatrixInto(*bd, slot.buf, pool_));
       }
       CountDispatch(slot, Repr::kCompressed);
+      break;
+    }
+    case Repr::kFactorized: {
+      // T %*% M: factorized LMM — per-table products hit each attribute
+      // table once (nR rows) and gather through the foreign keys.
+      DMML_ASSIGN_OR_RETURN(const DenseMatrix* bd, Densify(rc, b));
+      DMML_ASSIGN_OR_RETURN(*slot.buf, a.lo->Multiply(*bd, pool_));
+      CountDispatch(slot, Repr::kFactorized);
       break;
     }
     case Repr::kDense: {
@@ -1030,6 +1083,10 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
         break;
       case Repr::kCompressed:
         slot.out = {Repr::kCompressed, nullptr, nullptr, operand.compressed()};
+        break;
+      case Repr::kFactorized:
+        slot.out = {Repr::kFactorized, nullptr, nullptr, nullptr,
+                    operand.linear()};
         break;
     }
     slot.out.windowed = operand.windowed();
@@ -1170,6 +1227,11 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
       } else if (a.repr == Repr::kCompressed) {
         slot.buf->At(0, 0) = a.c->Sum(pool_);
         CountDispatch(slot, Repr::kCompressed);
+      } else if (a.repr == Repr::kFactorized) {
+        // sum(T) == sum(colSums(T)): d values instead of n·d cells.
+        DMML_ASSIGN_OR_RETURN(slot.aux, a.lo->ColumnSums(pool_));
+        slot.buf->At(0, 0) = la::Sum(slot.aux, pool_);
+        CountDispatch(slot, Repr::kFactorized);
       } else {
         slot.buf->At(0, 0) = la::Sum(*a.d, pool_);
         CountDispatch(slot, Repr::kDense);
@@ -1192,11 +1254,17 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
           DMML_RETURN_IF_ERROR(g.c->RowSquaredNormsInto(slot.buf, pool_));
           CountDispatch(slot, Repr::kCompressed);
           break;
-        }
-        if (g.repr == Repr::kSparse) {
+        } else if (g.repr == Repr::kSparse) {
           if (profile_ != nullptr) profile_->AddFusedUse(ch.get());
           la::SparseRowSquaredNormsInto(*g.s, slot.buf);
           CountDispatch(slot, Repr::kSparse);
+          break;
+        } else if (g.repr == Repr::kFactorized) {
+          // rowSums(T ⊙ T) — per-table squared norms gathered through the
+          // keys; the k-means distance expansion stays factorized.
+          if (profile_ != nullptr) profile_->AddFusedUse(ch.get());
+          DMML_ASSIGN_OR_RETURN(*slot.buf, g.lo->RowSquaredNorms(pool_));
+          CountDispatch(slot, Repr::kFactorized);
           break;
         }
         // Dense G: the generic path below is already one fused pass short of
@@ -1216,6 +1284,12 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
         slot.aux.Fill(1.0);
         DMML_RETURN_IF_ERROR(a.c->MultiplyVectorInto(slot.aux, slot.buf, pool_));
         CountDispatch(slot, Repr::kCompressed);
+      } else if (a.repr == Repr::kFactorized) {
+        // rowSums(T) == T %*% 1 through the factorized LMM.
+        slot.aux.Reshape(a.lo->cols(), 1);
+        slot.aux.Fill(1.0);
+        DMML_ASSIGN_OR_RETURN(*slot.buf, a.lo->Multiply(slot.aux, pool_));
+        CountDispatch(slot, Repr::kFactorized);
       } else {
         la::RowSumsInto(*a.d, slot.buf, pool_);
         CountDispatch(slot, Repr::kDense);
@@ -1238,6 +1312,10 @@ Result<BufferedExecutor::Value> BufferedExecutor::Eval(const ExprPtr& node) {
         slot.aux.Fill(1.0);
         DMML_RETURN_IF_ERROR(a.c->VectorMultiplyInto(slot.aux, slot.buf, pool_));
         CountDispatch(slot, Repr::kCompressed);
+      } else if (a.repr == Repr::kFactorized) {
+        // colSums(T) decomposes per table (Tᵀ1 block sums).
+        DMML_ASSIGN_OR_RETURN(*slot.buf, a.lo->ColumnSums(pool_));
+        CountDispatch(slot, Repr::kFactorized);
       } else {
         la::ColumnSumsInto(*a.d, slot.buf, pool_);
         CountDispatch(slot, Repr::kDense);

@@ -15,6 +15,10 @@
 ///  * compressed·dense matmul  → the ranged cla::CompressedMatrix operators
 ///    (MultiplyVector / MultiplyMatrix / TransposeMultiplyMatrix), including
 ///    the fused rowSums(X ⊙ X) → RowSquaredNorms pattern;
+///  * factorized leaves        → the abstract LinearOperator virtuals (T·m,
+///    Tᵀ·m, t(T)·T → Gram, colSums, the fused rowSums(T ⊙ T)), so a
+///    normalized-join design matrix trains without ever materializing the
+///    join;
 ///  * everything else          → densify-on-mismatch fallback: the non-dense
 ///    operand is materialized into an executor-owned buffer (cached per
 ///    node, reused across runs) and the dense kernel runs. Every fallback
@@ -198,6 +202,7 @@ class BufferedExecutor {
     const la::DenseMatrix* d = nullptr;
     const la::SparseMatrix* s = nullptr;
     const cla::CompressedMatrix* c = nullptr;
+    const LinearOperator* lo = nullptr;  ///< kFactorized leaves only.
     /// Row-windowed leaf values (Operand::Slice): the pointer above is the
     /// full payload and only rows [win_begin, win_end) belong to the value.
     /// Consumers dispatch ranged kernels; Densify materializes the window.

@@ -1,5 +1,7 @@
 #include "laopt/operand.h"
 
+#include "la/kernels.h"
+
 namespace dmml::laopt {
 
 const char* ReprName(Repr repr) {
@@ -7,14 +9,43 @@ const char* ReprName(Repr repr) {
     case Repr::kDense: return "dense";
     case Repr::kSparse: return "sparse";
     case Repr::kCompressed: return "compressed";
+    case Repr::kFactorized: return "factorized";
   }
   return "unknown";
+}
+
+Result<la::DenseMatrix> LinearOperator::Gram(ThreadPool* pool) const {
+  la::DenseMatrix dense = Materialize(pool);
+  la::DenseMatrix out;
+  la::GramInto(dense, &out, pool);
+  return out;
+}
+
+Result<la::DenseMatrix> LinearOperator::RowSquaredNorms(ThreadPool* pool) const {
+  la::DenseMatrix dense = Materialize(pool);
+  la::DenseMatrix out(dense.rows(), 1);
+  for (size_t i = 0; i < dense.rows(); ++i) {
+    const double* row = dense.Row(i);
+    double acc = 0.0;
+    for (size_t j = 0; j < dense.cols(); ++j) acc += row[j] * row[j];
+    out.At(i, 0) = acc;
+  }
+  return out;
+}
+
+Result<la::DenseMatrix> LinearOperator::ColumnSums(ThreadPool* pool) const {
+  la::DenseMatrix ones(rows(), 1, 1.0);
+  DMML_ASSIGN_OR_RETURN(la::DenseMatrix col, TransposeMultiply(ones, pool));
+  la::DenseMatrix out(1, col.rows());
+  for (size_t j = 0; j < col.rows(); ++j) out.At(0, j) = col.At(j, 0);
+  return out;
 }
 
 size_t Operand::PayloadRows() const {
   if (dense_) return dense_->rows();
   if (sparse_) return sparse_->rows();
   if (compressed_) return compressed_->rows();
+  if (linear_) return linear_->rows();
   return 0;
 }
 
@@ -43,6 +74,7 @@ size_t Operand::cols() const {
   if (dense_) return dense_->cols();
   if (sparse_) return sparse_->cols();
   if (compressed_) return compressed_->cols();
+  if (linear_) return linear_->cols();
   return 0;
 }
 
@@ -50,6 +82,7 @@ const void* Operand::payload() const {
   if (dense_) return dense_.get();
   if (sparse_) return sparse_.get();
   if (compressed_) return compressed_.get();
+  if (linear_) return linear_.get();
   return nullptr;
 }
 
@@ -70,6 +103,7 @@ uint64_t Operand::SizeInBytes() const {
            static_cast<uint64_t>(sparse_->rows() + 1) * sizeof(size_t);
   }
   if (compressed_) return compressed_->SizeInBytes();
+  if (linear_) return linear_->SizeInBytes();
   return 0;
 }
 
@@ -82,11 +116,13 @@ la::DenseMatrix Operand::ToDense(ThreadPool* pool) const {
       (void)compressed_->DecompressRangeInto(win_begin_, win_end_, &out, pool);
       return out;
     }
+    if (linear_) return linear_->Materialize(pool).SliceRows(win_begin_, win_end_);
     return {};
   }
   if (dense_) return *dense_;
   if (sparse_) return sparse_->ToDense();
   if (compressed_) return compressed_->Decompress(pool);
+  if (linear_) return linear_->Materialize(pool);
   return {};
 }
 

@@ -22,6 +22,7 @@
 #include "cla/compressed_matrix.h"
 #include "la/dense_matrix.h"
 #include "la/sparse_matrix.h"
+#include "util/result.h"
 #include "util/thread_pool.h"
 
 namespace dmml::laopt {
@@ -32,6 +33,49 @@ enum class Repr {
   kDense,       ///< Row-major la::DenseMatrix.
   kSparse,      ///< CSR la::SparseMatrix.
   kCompressed,  ///< cla::CompressedMatrix column groups.
+  kFactorized,  ///< Abstract LinearOperator (e.g. a normalized join).
+};
+
+/// \brief Abstract matrix-free operand: anything that can act as a linear
+/// operator without exposing its cells. The canonical implementation is the
+/// factorized (normalized-join) design matrix in `factorized/`, which
+/// answers T·m and Tᵀ·m by pushing work through the join instead of
+/// materializing it (Orion / Morpheus). laopt depends only on this
+/// interface, so the dependency arrow stays factorized → laopt.
+///
+/// The executor dispatches the products its trainer programs need — T·m,
+/// Tᵀ·m, Gram (TᵀT), rowSums(T⊙T), colSums(T) — to these virtuals and falls
+/// back to Materialize() for anything else (the same densify-on-mismatch
+/// contract the compressed representation has).
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  virtual size_t rows() const = 0;
+  virtual size_t cols() const = 0;
+
+  /// T · m for m of shape (cols() x k).
+  virtual Result<la::DenseMatrix> Multiply(const la::DenseMatrix& m,
+                                           ThreadPool* pool) const = 0;
+  /// Tᵀ · m for m of shape (rows() x k).
+  virtual Result<la::DenseMatrix> TransposeMultiply(const la::DenseMatrix& m,
+                                                    ThreadPool* pool) const = 0;
+  /// TᵀT (cols() x cols()). Default: materialize and multiply.
+  virtual Result<la::DenseMatrix> Gram(ThreadPool* pool) const;
+  /// Per-row sums of squared entries (rows() x 1). Default: materialize.
+  virtual Result<la::DenseMatrix> RowSquaredNorms(ThreadPool* pool) const;
+  /// Column sums as a 1 x cols() row vector. Default: Tᵀ·1 reshaped.
+  virtual Result<la::DenseMatrix> ColumnSums(ThreadPool* pool) const;
+
+  /// Dense copy of the full operator output (the densify fallback).
+  virtual la::DenseMatrix Materialize(ThreadPool* pool) const = 0;
+
+  /// Resident bytes of the operator's own storage (not the materialized
+  /// size — the gap between the two is exactly what the chooser weighs).
+  virtual uint64_t SizeInBytes() const = 0;
+
+  /// Short stable name for EXPLAIN / metrics (e.g. "normalized_matrix").
+  virtual const char* Name() const = 0;
 };
 
 /// \brief Stable identifier ("dense", "sparse", "compressed") usable as a
@@ -59,15 +103,17 @@ class Operand {
   Operand(std::shared_ptr<const cla::CompressedMatrix> m)
       : compressed_(std::move(m)) {}
   Operand(std::shared_ptr<cla::CompressedMatrix> m) : compressed_(std::move(m)) {}
+  Operand(std::shared_ptr<const LinearOperator> op) : linear_(std::move(op)) {}
   // NOLINTEND(google-explicit-constructor)
 
   /// \brief True iff a matrix is bound (in any representation).
-  bool bound() const { return dense_ || sparse_ || compressed_; }
+  bool bound() const { return dense_ || sparse_ || compressed_ || linear_; }
 
   /// \brief Representation of the bound matrix; kDense when unbound.
   Repr repr() const {
     if (sparse_) return Repr::kSparse;
     if (compressed_) return Repr::kCompressed;
+    if (linear_) return Repr::kFactorized;
     return Repr::kDense;
   }
 
@@ -100,6 +146,7 @@ class Operand {
   const la::DenseMatrix* dense() const { return dense_.get(); }
   const la::SparseMatrix* sparse() const { return sparse_.get(); }
   const cla::CompressedMatrix* compressed() const { return compressed_.get(); }
+  const LinearOperator* linear() const { return linear_.get(); }
 
   /// \brief The dense handle (empty unless repr() == kDense). Kept as a
   /// shared_ptr so dense-only call sites (ExprNode::matrix()) can share
@@ -130,6 +177,7 @@ class Operand {
   std::shared_ptr<const la::DenseMatrix> dense_;
   std::shared_ptr<const la::SparseMatrix> sparse_;
   std::shared_ptr<const cla::CompressedMatrix> compressed_;
+  std::shared_ptr<const LinearOperator> linear_;
   bool windowed_ = false;
   size_t win_begin_ = 0;
   size_t win_end_ = 0;

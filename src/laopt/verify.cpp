@@ -614,7 +614,8 @@ std::vector<Diagnostic> LintImpl(const ExprPtr& root,
         break;
       case OpKind::kTranspose:
         if (!kids.empty() && kids[0] &&
-            repr_of(kids[0].get()) == Repr::kCompressed &&
+            (repr_of(kids[0].get()) == Repr::kCompressed ||
+             repr_of(kids[0].get()) == Repr::kFactorized) &&
             !absorbed_by_fusion(n)) {
           densified = kids[0].get();
         }

@@ -114,4 +114,64 @@ Result<SparseMatrix> HashEncode(const Table& table,
                                     std::move(triplets));
 }
 
+Result<AssembledFeatures> AssembleFeaturesCsr(
+    const Table& table, const std::vector<std::string>& numeric_columns,
+    const std::vector<std::string>& categorical_columns) {
+  const size_t n = table.num_rows();
+  const size_t dn = numeric_columns.size();
+
+  std::vector<const Column*> numeric;
+  numeric.reserve(dn);
+  for (const auto& name : numeric_columns) {
+    DMML_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(name));
+    if (col->type() != storage::DataType::kDouble &&
+        col->type() != storage::DataType::kInt64) {
+      return Status::InvalidArgument("numeric feature column " + name +
+                                     " is not numeric");
+    }
+    numeric.push_back(col);
+  }
+
+  AssembledFeatures out;
+  out.feature_names = numeric_columns;
+  SparseMatrix onehot;
+  if (!categorical_columns.empty()) {
+    DMML_ASSIGN_OR_RETURN(onehot,
+                          out.encoder.FitTransform(table, categorical_columns));
+    for (std::string& name : out.encoder.FeatureNames()) {
+      out.feature_names.push_back(std::move(name));
+    }
+  }
+  const size_t d = dn + (categorical_columns.empty() ? 0 : onehot.cols());
+
+  // Direct CSR build: numeric block entries first (indices 0..dn-1 in the
+  // given column order), then the one-hot row shifted by dn — both already
+  // strictly increasing, so no triplet sort is needed.
+  std::vector<size_t> row_ptr(n + 1, 0);
+  std::vector<uint32_t> col_idx;
+  std::vector<double> values;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < dn; ++j) {
+      const Column* col = numeric[j];
+      if (!col->IsValid(i)) continue;
+      const double v = col->type() == storage::DataType::kDouble
+                           ? col->GetDouble(i)
+                           : static_cast<double>(col->GetInt64(i));
+      if (v == 0.0) continue;
+      col_idx.push_back(static_cast<uint32_t>(j));
+      values.push_back(v);
+    }
+    if (!categorical_columns.empty()) {
+      for (size_t e = onehot.RowBegin(i); e < onehot.RowEnd(i); ++e) {
+        col_idx.push_back(static_cast<uint32_t>(dn + onehot.col_idx()[e]));
+        values.push_back(onehot.values()[e]);
+      }
+    }
+    row_ptr[i + 1] = col_idx.size();
+  }
+  out.matrix = SparseMatrix::FromCsr(n, d, std::move(row_ptr),
+                                     std::move(col_idx), std::move(values));
+  return out;
+}
+
 }  // namespace dmml::ml

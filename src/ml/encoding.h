@@ -55,6 +55,25 @@ Result<la::SparseMatrix> HashEncode(const storage::Table& table,
                                     const std::vector<std::string>& columns,
                                     size_t num_buckets, uint64_t seed = 42);
 
+/// \brief A combined numeric + one-hot feature matrix assembled as one CSR.
+struct AssembledFeatures {
+  la::SparseMatrix matrix;                 ///< n x feature_names.size().
+  std::vector<std::string> feature_names;  ///< Numeric names, then "col=value".
+  OneHotEncoder encoder;                   ///< Fitted over the categoricals.
+};
+
+/// \brief Assembles the named numeric columns (leading block, in the given
+/// order) and one-hot indicator blocks for the categorical columns into a
+/// single CSR matrix, without ever allocating the dense (n x d) intermediate
+/// — wide categorical encodings stay sparse end-to-end, ready to bind to a
+/// laopt leaf as-is. NULL numerics encode as 0 (Table::ToMatrix semantics);
+/// NULL / unseen categoricals encode as an all-zero block (OneHotEncoder
+/// semantics). `categorical_columns` may be empty (pure numeric CSR).
+Result<AssembledFeatures> AssembleFeaturesCsr(
+    const storage::Table& table,
+    const std::vector<std::string>& numeric_columns,
+    const std::vector<std::string>& categorical_columns);
+
 }  // namespace dmml::ml
 
 #endif  // DMML_ML_ENCODING_H_

@@ -333,6 +333,11 @@ Result<std::vector<double>> ScoreConfigsOnWindow(
       DMML_RETURN_IF_ERROR(v.compressed()->MultiplyMatrixRangeInto(
           weights, v.window_begin(), v.window_end(), &scores, pool));
       break;
+    case Repr::kFactorized:
+      // No ranged factorized kernels: materialize the window (ToDense slices
+      // the row range) and score dense.
+      la::MultiplyInto(v.ToDense(pool), weights, &scores, pool);
+      break;
   }
 
   DenseMatrix yv(range, 1);

@@ -1,6 +1,20 @@
 #include "relational/predicate.h"
 
+#include <algorithm>
+
+#include "relational/statistics.h"
+
 namespace dmml::relational {
+
+namespace {
+
+double ClampSelectivity(double s) { return std::clamp(s, 0.0, 1.0); }
+
+}  // namespace
+
+double Predicate::EstimateSelectivity(const TableStatistics& /*stats*/) const {
+  return kDefaultSelectivity;
+}
 
 namespace {
 
@@ -77,6 +91,36 @@ class ComparePredicate : public Predicate {
                : Status::NotFound("predicate references unknown column: " + column_);
   }
 
+  double EstimateSelectivity(const TableStatistics& stats) const override {
+    double value = 0.0;
+    bool numeric = false;
+    if (const auto* d = std::get_if<double>(&literal_)) {
+      value = *d;
+      numeric = true;
+    } else if (const auto* i = std::get_if<int64_t>(&literal_)) {
+      value = static_cast<double>(*i);
+      numeric = true;
+    }
+    if (numeric) {
+      Result<double> s =
+          relational::EstimateSelectivity(stats, column_, op_, value);
+      if (s.ok()) return ClampSelectivity(std::move(s).ValueOrDie());
+    }
+    // String/bool literals: ndv-based equality estimate over non-NULL rows.
+    const ColumnStatistics* col = stats.Find(column_);
+    if (col != nullptr && col->num_rows > 0 && col->distinct_count > 0) {
+      const double non_null =
+          1.0 - static_cast<double>(col->null_count) / col->num_rows;
+      if (op_ == CompareOp::kEq) {
+        return ClampSelectivity(non_null / col->distinct_count);
+      }
+      if (op_ == CompareOp::kNe) {
+        return ClampSelectivity(non_null * (1.0 - 1.0 / col->distinct_count));
+      }
+    }
+    return kDefaultSelectivity;
+  }
+
  private:
   std::string column_;
   CompareOp op_;
@@ -100,6 +144,13 @@ class BinaryPredicate : public Predicate {
     return rhs_->Validate(schema);
   }
 
+  double EstimateSelectivity(const TableStatistics& stats) const override {
+    const double l = lhs_->EstimateSelectivity(stats);
+    const double r = rhs_->EstimateSelectivity(stats);
+    // Independence assumption: AND multiplies, OR inclusion–excludes.
+    return ClampSelectivity(is_and_ ? l * r : l + r - l * r);
+  }
+
  private:
   PredicatePtr lhs_, rhs_;
   bool is_and_;
@@ -116,6 +167,10 @@ class NotPredicate : public Predicate {
 
   Status Validate(const storage::Schema& schema) const override {
     return inner_->Validate(schema);
+  }
+
+  double EstimateSelectivity(const TableStatistics& stats) const override {
+    return ClampSelectivity(1.0 - inner_->EstimateSelectivity(stats));
   }
 
  private:
@@ -135,6 +190,13 @@ class IsNullPredicate : public Predicate {
     return schema.RequireField(column_).ok()
                ? Status::OK()
                : Status::NotFound("predicate references unknown column: " + column_);
+  }
+
+  double EstimateSelectivity(const TableStatistics& stats) const override {
+    const ColumnStatistics* col = stats.Find(column_);
+    if (col == nullptr || col->num_rows == 0) return kDefaultSelectivity;
+    return ClampSelectivity(static_cast<double>(col->null_count) /
+                            col->num_rows);
   }
 
  private:

@@ -12,8 +12,14 @@
 
 namespace dmml::relational {
 
+struct TableStatistics;
+
 /// Comparison operator of a leaf predicate.
 enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Selectivity assumed when statistics cannot say anything sharper (the
+/// System R magic constant for an arbitrary predicate).
+inline constexpr double kDefaultSelectivity = 1.0 / 3.0;
 
 /// \brief A boolean row predicate tree (leaf comparisons, AND/OR/NOT).
 ///
@@ -29,6 +35,14 @@ class Predicate {
 
   /// \brief Checks the predicate is well-formed against `schema`.
   virtual Status Validate(const storage::Schema& schema) const = 0;
+
+  /// \brief Estimated fraction of rows the predicate keeps, given collected
+  /// statistics for the input table. Leaf comparisons use histogram/ndv
+  /// estimates (relational/statistics.h); AND multiplies, OR adds with
+  /// inclusion–exclusion, NOT complements — all under the textbook
+  /// independence assumption. Defaults to kDefaultSelectivity when the
+  /// statistics cannot say anything sharper.
+  virtual double EstimateSelectivity(const TableStatistics& stats) const;
 };
 
 using PredicatePtr = std::shared_ptr<const Predicate>;
